@@ -1,0 +1,46 @@
+//! Ablation benches (A1/A4): greedy vs exact DP, and the three
+//! valuation-evaluation paths (dense f64 / sparse f64 / exact rational).
+
+use cobra_bench::{scale_bound, telephony_workload};
+use cobra_core::{dp, optimize_greedy, GroupAnalysis};
+use cobra_datagen::scenarios;
+use cobra_provenance::DenseValuation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let mut w = telephony_workload(100_000);
+    let analysis = GroupAnalysis::analyze(&w.polys, &w.tree).expect("telephony");
+    let bound = scale_bound(38_600, w.config.zips);
+
+    group.bench_function("optimizer/dp", |b| {
+        b.iter(|| dp::optimize(&w.tree, &analysis, bound).expect("feasible"));
+    });
+    group.bench_function("optimizer/greedy", |b| {
+        b.iter(|| optimize_greedy(&w.tree, &analysis, bound).expect("feasible"));
+    });
+
+    let scenario_rat = scenarios::march_discount().valuation(&mut w.reg);
+    let scenario_f64 = scenario_rat.map(|c| c.to_f64());
+    let full64 = w.polys.to_f64_set();
+    let dense = DenseValuation::from_valuation(&scenario_f64, w.reg.len(), 1.0);
+    group.bench_function("valuation/dense_f64", |b| {
+        b.iter(|| std::hint::black_box(full64.eval_dense(&dense).len()));
+    });
+    group.bench_function("valuation/sparse_f64", |b| {
+        b.iter(|| std::hint::black_box(full64.eval(&scenario_f64).expect("total").len()));
+    });
+    group.bench_function("valuation/exact_rational", |b| {
+        b.iter(|| std::hint::black_box(w.polys.eval(&scenario_rat).expect("total").len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

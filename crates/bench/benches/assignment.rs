@@ -1,0 +1,56 @@
+//! Benchmark for experiment E4: assignment (valuation) time on the full
+//! vs. compressed provenance — the kernel behind the paper's 47%/79%
+//! speedup figures.
+
+use cobra_bench::{scale_bound, telephony_workload, PAPER_BOUNDS};
+use cobra_core::{apply_cut, dp, GroupAnalysis};
+use cobra_datagen::scenarios;
+use cobra_provenance::DenseValuation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let customers = 100_000usize;
+    let mut w = telephony_workload(customers);
+    let analysis = GroupAnalysis::analyze(&w.polys, &w.tree).expect("telephony");
+    let scenario = scenarios::march_discount()
+        .valuation(&mut w.reg)
+        .map(|c| c.to_f64());
+
+    let full64 = w.polys.to_f64_set();
+    let dense = DenseValuation::from_valuation(&scenario, w.reg.len(), 1.0);
+    group.bench_function(BenchmarkId::new("full", full64.total_monomials()), |b| {
+        b.iter(|| std::hint::black_box(full64.eval_dense(&dense).len()));
+    });
+
+    for (bound, _, _) in PAPER_BOUNDS {
+        let scaled = scale_bound(bound, w.config.zips);
+        let sol = dp::optimize(&w.tree, &analysis, scaled).expect("feasible");
+        let applied = apply_cut(&w.polys, &w.tree, &sol.cut, &mut w.reg);
+        let comp64 = applied.compressed.to_f64_set();
+        let dense = DenseValuation::from_valuation(&scenario, w.reg.len(), 1.0);
+        group.bench_function(
+            BenchmarkId::new("compressed", comp64.total_monomials()),
+            |b| {
+                b.iter(|| std::hint::black_box(comp64.eval_dense(&dense).len()));
+            },
+        );
+    }
+
+    // exact-rational evaluation for reference (the correctness path)
+    let rat_val = scenarios::march_discount().valuation(&mut w.reg);
+    group.sample_size(10);
+    group.bench_function("full_exact_rational", |b| {
+        b.iter(|| w.polys.eval(&rat_val).expect("total"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

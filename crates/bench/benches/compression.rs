@@ -1,0 +1,51 @@
+//! Benchmarks for experiments E2/E3: the compression pipeline — group
+//! analysis, DP optimization, and cut application — at telephony scales.
+
+use cobra_bench::{scale_bound, telephony_workload};
+use cobra_core::{apply_cut, dp, GroupAnalysis};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for customers in [10_000usize, 100_000] {
+        let w = telephony_workload(customers);
+        group.bench_with_input(
+            BenchmarkId::new("group_analysis", customers),
+            &w,
+            |b, w| {
+                b.iter(|| GroupAnalysis::analyze(&w.polys, &w.tree).expect("telephony"));
+            },
+        );
+        let analysis = GroupAnalysis::analyze(&w.polys, &w.tree).expect("telephony");
+        let bound = scale_bound(38_600, w.config.zips);
+        group.bench_with_input(
+            BenchmarkId::new("dp_optimize", customers),
+            &(&w, &analysis),
+            |b, (w, analysis)| {
+                b.iter(|| dp::optimize(&w.tree, analysis, bound).expect("feasible"));
+            },
+        );
+        let sol = dp::optimize(&w.tree, &analysis, bound).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::new("apply_cut", customers),
+            &(&w, &sol),
+            |b, (w, sol)| {
+                b.iter_batched(
+                    || w.reg.clone(),
+                    |mut reg| apply_cut(&w.polys, &w.tree, &sol.cut, &mut reg),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmark for ablation A2: provenance generation throughput — the
+//! instrumented SQL path vs. the verified direct path, plus raw engine
+//! operator costs.
+
+use cobra_datagen::telephony::{Telephony, TelephonyConfig};
+use cobra_provenance::VarRegistry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for customers in [1_000usize, 5_000] {
+        let config = TelephonyConfig {
+            customers,
+            zips: 50,
+            months: 6,
+            seed: 4,
+        };
+        // end-to-end: tables + parameterization + 3-way join + aggregate
+        group.bench_with_input(
+            BenchmarkId::new("sql_provenance", customers),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let t = Telephony::generate(config);
+                    std::hint::black_box(t.revenue_polyset().total_monomials())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct_provenance", customers),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let mut reg = VarRegistry::new();
+                    let (set, _, _) = Telephony::direct_polyset(config, &mut reg);
+                    std::hint::black_box(set.total_monomials())
+                });
+            },
+        );
+        // query-only cost (tables pre-built)
+        let t = Telephony::generate(config);
+        group.bench_with_input(
+            BenchmarkId::new("query_only", customers),
+            &t,
+            |b, t| {
+                b.iter(|| std::hint::black_box(t.revenue_polyset().total_monomials()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

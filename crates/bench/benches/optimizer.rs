@@ -1,0 +1,66 @@
+//! Benchmark for ablation A1: the exact DP against the brute-force
+//! enumeration on small trees, and DP scaling with tree size (the PTIME
+//! claim of §2).
+
+use cobra_core::{dp, enumerate_cuts, GroupAnalysis};
+use cobra_datagen::synthetic::{generate, SyntheticConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // DP vs brute force on an enumerable tree.
+    let small = generate(SyntheticConfig {
+        leaves: 12,
+        max_children: 3,
+        polynomials: 4,
+        contexts: 3,
+        density: 0.5,
+        seed: 12,
+    });
+    let analysis = GroupAnalysis::analyze(&small.set, &small.tree).expect("synthetic");
+    let bound = analysis.total_monomials() / 2;
+    group.bench_function("dp_12_leaves", |b| {
+        b.iter(|| dp::optimize(&small.tree, &analysis, bound).expect("feasible"));
+    });
+    group.bench_function("brute_force_12_leaves", |b| {
+        let cuts = enumerate_cuts(&small.tree, 1_000_000).expect("enumerable");
+        b.iter(|| {
+            cuts.iter()
+                .map(|c| (c.len(), analysis.compressed_size(c.nodes())))
+                .filter(|&(_, s)| s <= bound)
+                .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+        });
+    });
+
+    // DP scaling in the number of leaves.
+    for leaves in [128usize, 512, 2048] {
+        let synthetic = generate(SyntheticConfig {
+            leaves,
+            max_children: 4,
+            polynomials: 8,
+            contexts: 4,
+            density: 0.3,
+            seed: 7,
+        });
+        let analysis =
+            GroupAnalysis::analyze(&synthetic.set, &synthetic.tree).expect("synthetic");
+        let bound = analysis.total_monomials() / 2;
+        group.bench_with_input(
+            BenchmarkId::new("dp_scaling", leaves),
+            &(&synthetic, &analysis),
+            |b, (synthetic, analysis)| {
+                b.iter(|| dp::optimize(&synthetic.tree, analysis, bound).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

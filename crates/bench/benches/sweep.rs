@@ -1,0 +1,45 @@
+//! Benchmark for experiment E5: the bound sweep — computing the full
+//! expressiveness/size Pareto frontier, and optimizing at a range of
+//! bounds (the interactive loop of the demonstration).
+
+use cobra_bench::telephony_workload;
+use cobra_core::{dp, pareto_frontier, GroupAnalysis};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for customers in [10_000usize, 100_000] {
+        let w = telephony_workload(customers);
+        let analysis = GroupAnalysis::analyze(&w.polys, &w.tree).expect("telephony");
+        group.bench_with_input(
+            BenchmarkId::new("pareto_frontier", customers),
+            &(&w, &analysis),
+            |b, (w, analysis)| {
+                b.iter(|| pareto_frontier(&w.tree, analysis));
+            },
+        );
+        let full = analysis.total_monomials();
+        group.bench_with_input(
+            BenchmarkId::new("optimize_8_bounds", customers),
+            &(&w, &analysis),
+            |b, (w, analysis)| {
+                b.iter(|| {
+                    for divisor in [1u64, 2, 3, 4, 6, 8, 12, 24] {
+                        let bound = (full / divisor).max(1);
+                        std::hint::black_box(dp::optimize(&w.tree, analysis, bound).ok());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

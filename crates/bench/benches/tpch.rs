@@ -1,0 +1,49 @@
+//! Benchmark for experiment E7: the TPC-H phase — query evaluation with
+//! provenance and compression against the geography tree.
+
+use cobra_core::{dp, GroupAnalysis};
+use cobra_datagen::tpch::{
+    geography_tree, InstrumentedTpch, TpchConfig, TpchDatabase, TPCH_QUERIES,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_tpch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let instrumented =
+        InstrumentedTpch::new(TpchDatabase::generate(TpchConfig::sf(0.005)));
+
+    for query in &TPCH_QUERIES {
+        group.bench_with_input(
+            BenchmarkId::new("query", query.name),
+            &(&instrumented, query),
+            |b, (instrumented, query)| {
+                b.iter(|| {
+                    let set = instrumented.run(query).expect("query runs");
+                    std::hint::black_box(set.total_monomials())
+                });
+            },
+        );
+    }
+
+    // compression of the Q1 provenance
+    let polys = instrumented.run(&TPCH_QUERIES[0]).expect("Q1");
+    let mut reg = instrumented.reg.clone();
+    let geo = geography_tree(&mut reg);
+    group.bench_function("q1_analyze_and_optimize", |b| {
+        b.iter(|| {
+            let analysis = GroupAnalysis::analyze(&polys, &geo).expect("one nation var");
+            let bound = analysis.total_monomials() / 3;
+            std::hint::black_box(dp::optimize(&geo, &analysis, bound).ok())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

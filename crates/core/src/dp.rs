@@ -1,0 +1,347 @@
+//! The exact single-tree optimizer (paper §2, "Optimization Problem").
+//!
+//! "The algorithm traverses the abstraction tree in a bottom-up fashion,
+//! and using dynamic programming, computes an abstraction for the sub-tree
+//! rooted by each one of the inner nodes." Concretely, because the
+//! compressed size decomposes as `base + Σ_{v∈cut} w(v)`
+//! ([`crate::groups`]), the problem becomes a **tree knapsack**: for every
+//! node `v` and cut cardinality `k`, compute
+//!
+//! ```text
+//! f_v(k) = min { Σ_{u∈cut} w(u) : cut of subtree(v), |cut| = k }
+//! ```
+//!
+//! For a leaf, `f(1) = w`. For an inner node, either cut at the node
+//! itself (`k = 1`, cost `w(v)`) or combine children cuts by knapsack
+//! convolution. The optimum for bound `B` is the largest `k` with
+//! `f_root(k) ≤ B − base`; the cut is recovered through backpointers.
+//! Total work is `O(L²)` over the convolutions (`L` = number of leaves) —
+//! the PTIME bound claimed in the paper.
+//!
+//! `f_root` is exposed in full as the **Pareto frontier** of
+//! expressiveness vs. size, which drives the paper's interactive
+//! bound-sweep (experiment E5).
+
+use crate::cut::Cut;
+use crate::error::{CoreError, Result};
+use crate::groups::GroupAnalysis;
+use crate::tree::{AbstractionTree, NodeId};
+
+const INF: u64 = u64::MAX;
+
+/// Per-node DP table: `cost[k-1]` = minimal Σw for a cut of this subtree
+/// with exactly `k` nodes (`INF` if unattainable), plus backpointers.
+struct NodeTable {
+    cost: Vec<u64>,
+    /// For each feasible `k`: `None` = cut at this node (only for k=1);
+    /// `Some(splits)` = per-child cardinalities.
+    choice: Vec<Option<Vec<usize>>>,
+}
+
+/// A point of the expressiveness/size trade-off curve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Cut cardinality (number of meta-variables for this tree).
+    pub variables: usize,
+    /// Total compressed provenance size (monomials, including base).
+    pub size: u64,
+}
+
+/// The optimizer's output.
+#[derive(Clone, Debug)]
+pub struct DpSolution {
+    /// The chosen cut.
+    pub cut: Cut,
+    /// `|cut|` — the expressiveness achieved on this tree.
+    pub variables: usize,
+    /// Compressed provenance size under the cut (monomials, incl. base).
+    pub size: u64,
+}
+
+/// Exact optimizer: maximal-cardinality cut whose compressed size is
+/// ≤ `bound`; ties broken by smaller size.
+///
+/// ```
+/// use cobra_core::{dp, groups::GroupAnalysis, tree::AbstractionTree};
+/// use cobra_provenance::{parse_polyset, VarRegistry};
+///
+/// let mut reg = VarRegistry::new();
+/// let tree = AbstractionTree::parse("T(A(a1,a2), B(b1,b2))", &mut reg).unwrap();
+/// let set = parse_polyset("P = 1*c*a1 + 2*c*a2 + 3*c*b1 + 4*c*b2", &mut reg).unwrap();
+/// let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+/// // bound 3 forces one merge; the optimizer keeps three variables
+/// let sol = dp::optimize(&tree, &analysis, 3).unwrap();
+/// assert_eq!(sol.variables, 3);
+/// assert_eq!(sol.size, 3);
+/// ```
+///
+/// # Errors
+/// [`CoreError::InfeasibleBound`] if even the root cut exceeds the bound.
+pub fn optimize(
+    tree: &AbstractionTree,
+    analysis: &GroupAnalysis,
+    bound: u64,
+) -> Result<DpSolution> {
+    let tables = build_tables(tree, analysis);
+    let root = &tables[tree.root().index()];
+    let budget = bound.saturating_sub(analysis.base_monomials);
+    if analysis.base_monomials > bound || root.cost[0] > budget {
+        return Err(CoreError::InfeasibleBound {
+            min_achievable: analysis.base_monomials + root.cost[0],
+        });
+    }
+    let mut best_k = 1usize;
+    for k in 1..=root.cost.len() {
+        let c = root.cost[k - 1];
+        if c != INF && c <= budget {
+            best_k = k; // larger k always preferred; cost for fixed k is minimal
+        }
+    }
+    let mut nodes = Vec::with_capacity(best_k);
+    reconstruct(tree, &tables, tree.root(), best_k, &mut nodes);
+    let cut = Cut::new(tree, nodes).expect("DP reconstruction yields a valid cut");
+    let size = analysis.base_monomials + root.cost[best_k - 1];
+    debug_assert_eq!(size, analysis.compressed_size(cut.nodes()));
+    Ok(DpSolution {
+        variables: best_k,
+        size,
+        cut,
+    })
+}
+
+/// The full trade-off curve: for every attainable cut cardinality `k`, the
+/// minimal compressed size. Monotone non-decreasing in `k`.
+pub fn pareto_frontier(tree: &AbstractionTree, analysis: &GroupAnalysis) -> Vec<ParetoPoint> {
+    let tables = build_tables(tree, analysis);
+    let root = &tables[tree.root().index()];
+    (1..=root.cost.len())
+        .filter(|&k| root.cost[k - 1] != INF)
+        .map(|k| ParetoPoint {
+            variables: k,
+            size: analysis.base_monomials + root.cost[k - 1],
+        })
+        .collect()
+}
+
+/// The minimal-size cut for an exact cardinality `k`, if attainable — used
+/// by the ablation experiments to pin expressiveness while varying cost.
+pub fn optimize_for_cardinality(
+    tree: &AbstractionTree,
+    analysis: &GroupAnalysis,
+    k: usize,
+) -> Option<DpSolution> {
+    let tables = build_tables(tree, analysis);
+    let root = &tables[tree.root().index()];
+    if k == 0 || k > root.cost.len() || root.cost[k - 1] == INF {
+        return None;
+    }
+    let mut nodes = Vec::with_capacity(k);
+    reconstruct(tree, &tables, tree.root(), k, &mut nodes);
+    let cut = Cut::new(tree, nodes).expect("DP reconstruction yields a valid cut");
+    Some(DpSolution {
+        variables: k,
+        size: analysis.base_monomials + root.cost[k - 1],
+        cut,
+    })
+}
+
+fn build_tables(tree: &AbstractionTree, analysis: &GroupAnalysis) -> Vec<NodeTable> {
+    let mut tables: Vec<Option<NodeTable>> = (0..tree.num_nodes()).map(|_| None).collect();
+    for node in tree.post_order() {
+        let w = analysis.node_weight[node.index()];
+        let table = if tree.is_leaf(node) {
+            NodeTable {
+                cost: vec![w],
+                choice: vec![None],
+            }
+        } else {
+            // Knapsack convolution over children: `acc_cost[k]` is the
+            // minimal Σw over cuts of the already-folded children using
+            // exactly `k` nodes; `acc_split[k]` records each child's share.
+            let mut acc_cost: Vec<u64> = vec![0];
+            let mut acc_split: Vec<Vec<usize>> = vec![Vec::new()];
+            for &child in tree.children(node) {
+                let ct = tables[child.index()].as_ref().expect("post-order fills children first");
+                let new_len = acc_cost.len() + ct.cost.len();
+                let mut new_cost = vec![INF; new_len];
+                let mut new_split: Vec<Vec<usize>> = vec![Vec::new(); new_len];
+                for (i, &ca) in acc_cost.iter().enumerate() {
+                    if ca == INF {
+                        continue;
+                    }
+                    for (j, &cb) in ct.cost.iter().enumerate() {
+                        if cb == INF {
+                            continue;
+                        }
+                        let k = i + j + 1; // this child contributes j+1 nodes
+                        let total = ca + cb;
+                        if total < new_cost[k] {
+                            new_cost[k] = total;
+                            let mut s = acc_split[i].clone();
+                            s.push(j + 1);
+                            new_split[k] = s;
+                        }
+                    }
+                }
+                acc_cost = new_cost;
+                acc_split = new_split;
+            }
+            // Shift to 1-based cardinalities; k ranges up to #leaves(node).
+            let max_k = acc_cost.len() - 1;
+            let mut cost = vec![INF; max_k];
+            let mut choice: Vec<Option<Vec<usize>>> = vec![None; max_k];
+            for k in 1..=max_k {
+                if acc_cost[k] != INF {
+                    cost[k - 1] = acc_cost[k];
+                    choice[k - 1] = Some(std::mem::take(&mut acc_split[k]));
+                }
+            }
+            // Option: cut at this node itself (k = 1).
+            if w < cost[0] {
+                cost[0] = w;
+                choice[0] = None;
+            }
+            NodeTable { cost, choice }
+        };
+        tables[node.index()] = Some(table);
+    }
+    tables.into_iter().map(|t| t.expect("all filled")).collect()
+}
+
+fn reconstruct(
+    tree: &AbstractionTree,
+    tables: &[NodeTable],
+    node: NodeId,
+    k: usize,
+    out: &mut Vec<NodeId>,
+) {
+    match &tables[node.index()].choice[k - 1] {
+        None => out.push(node),
+        Some(splits) => {
+            debug_assert_eq!(splits.len(), tree.children(node).len());
+            for (&child, &ck) in tree.children(node).iter().zip(splits) {
+                reconstruct(tree, tables, child, ck, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::paper_plans_tree;
+    use cobra_provenance::{parse_polyset, VarRegistry};
+
+    fn paper_analysis() -> (VarRegistry, AbstractionTree, GroupAnalysis) {
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let src = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+        let set = parse_polyset(src, &mut reg).unwrap();
+        let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+        (reg, tree, analysis)
+    }
+
+    #[test]
+    fn unconstrained_bound_returns_leaf_cut() {
+        let (_, tree, a) = paper_analysis();
+        let sol = optimize(&tree, &a, 10_000).unwrap();
+        assert_eq!(sol.variables, 11);
+        assert_eq!(sol.size, 14); // no compression needed
+    }
+
+    #[test]
+    fn tight_bound_returns_root_cut() {
+        let (_, tree, a) = paper_analysis();
+        let sol = optimize(&tree, &a, 4).unwrap();
+        assert_eq!(sol.variables, 1);
+        assert_eq!(sol.size, 4);
+        assert_eq!(sol.cut.nodes(), &[tree.root()]);
+    }
+
+    #[test]
+    fn infeasible_bound_reports_minimum() {
+        let (_, tree, a) = paper_analysis();
+        match optimize(&tree, &a, 3) {
+            Err(CoreError::InfeasibleBound { min_achievable }) => {
+                assert_eq!(min_achievable, 4)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn intermediate_bounds_maximize_variables() {
+        let (_, tree, a) = paper_analysis();
+        // The paper's S1 = {Business, Special, Standard} reaches size 6
+        // with 3 variables, but the optimizer does better: p2 occurs in no
+        // polynomial, so {p1, p2, Special, Business} also has size 6 with
+        // 4 variables (free leaves cost nothing).
+        let sol6 = optimize(&tree, &a, 6).unwrap();
+        assert_eq!(sol6.variables, 4);
+        assert_eq!(sol6.size, 6);
+        // At bound 5 neither k=3 nor k=4 fits (both cost 6) and k=2 is
+        // unattainable on Fig. 2, so the root cut wins.
+        let sol5 = optimize(&tree, &a, 5).unwrap();
+        assert_eq!(sol5.variables, 1);
+        assert_eq!(sol5.size, 4);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone_and_complete() {
+        let (_, tree, a) = paper_analysis();
+        let frontier = pareto_frontier(&tree, &a);
+        assert!(!frontier.is_empty());
+        assert_eq!(frontier.first().unwrap().variables, 1);
+        assert_eq!(frontier.first().unwrap().size, 4);
+        assert_eq!(frontier.last().unwrap().variables, 11);
+        assert_eq!(frontier.last().unwrap().size, 14);
+        for w in frontier.windows(2) {
+            assert!(w[0].variables < w[1].variables);
+            assert!(w[0].size <= w[1].size, "size must be monotone in k");
+        }
+    }
+
+    #[test]
+    fn solution_size_matches_group_formula_and_cut_is_valid() {
+        let (_, tree, a) = paper_analysis();
+        for bound in [4, 5, 6, 8, 10, 12, 14] {
+            let sol = optimize(&tree, &a, bound).unwrap();
+            assert_eq!(sol.size, a.compressed_size(sol.cut.nodes()), "bound {bound}");
+            assert!(sol.size <= bound as u64);
+            assert_eq!(sol.cut.len(), sol.variables);
+        }
+    }
+
+    #[test]
+    fn optimize_for_cardinality_pins_k() {
+        let (_, tree, a) = paper_analysis();
+        let sol = optimize_for_cardinality(&tree, &a, 3).unwrap();
+        assert_eq!(sol.variables, 3);
+        assert_eq!(sol.size, 6);
+        // k=2 is NOT attainable on Fig. 2 (root has 3 children)
+        assert!(optimize_for_cardinality(&tree, &a, 2).is_none());
+        assert!(optimize_for_cardinality(&tree, &a, 0).is_none());
+        assert!(optimize_for_cardinality(&tree, &a, 12).is_none());
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_paper_input() {
+        let (_, tree, a) = paper_analysis();
+        let cuts = crate::cut::enumerate_cuts(&tree, 1_000).unwrap();
+        for bound in 4..=14u64 {
+            let dp = optimize(&tree, &a, bound).unwrap();
+            // brute force: max k with size ≤ bound, tie → min size
+            let best = cuts
+                .iter()
+                .map(|c| (c.len(), a.compressed_size(c.nodes())))
+                .filter(|&(_, size)| size <= bound)
+                .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+                .unwrap();
+            assert_eq!(dp.variables, best.0, "bound {bound}");
+            assert_eq!(dp.size, best.1, "bound {bound}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for the compression pipeline.
+
+use std::fmt;
+
+/// Errors raised while building trees, analysing provenance, or optimizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Tree construction: duplicate node name within one tree.
+    DuplicateNodeName(String),
+    /// Tree construction: a leaf variable appears twice.
+    DuplicateLeafVar(String),
+    /// Tree text parse failure.
+    TreeParse { offset: usize, message: String },
+    /// A node name did not resolve in the tree.
+    UnknownNode(String),
+    /// The node set is not a valid cut (not an antichain covering all
+    /// leaves). The payload explains which leaf is uncovered / doubly
+    /// covered.
+    InvalidCut(String),
+    /// Single-tree analysis found a monomial containing two or more
+    /// distinct leaves of the same tree — outside the demo paper's setting
+    /// (each monomial may mention at most one variable under the tree).
+    MonomialSpansTree {
+        /// Label of the offending polynomial.
+        poly: String,
+        /// The two variable names found.
+        vars: (String, String),
+    },
+    /// No cut satisfies the size bound; the payload is the smallest
+    /// achievable total size (cut at the root).
+    InfeasibleBound { min_achievable: u64 },
+    /// Cut enumeration exceeded the caller-supplied limit.
+    TooManyCuts { limit: usize },
+    /// Session misuse (missing inputs).
+    Session(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateNodeName(n) => write!(f, "duplicate node name in tree: {n}"),
+            CoreError::DuplicateLeafVar(v) => write!(f, "duplicate leaf variable in tree: {v}"),
+            CoreError::TreeParse { offset, message } => {
+                write!(f, "tree parse error at byte {offset}: {message}")
+            }
+            CoreError::UnknownNode(n) => write!(f, "unknown tree node: {n}"),
+            CoreError::InvalidCut(m) => write!(f, "invalid cut: {m}"),
+            CoreError::MonomialSpansTree { poly, vars } => write!(
+                f,
+                "monomial in {poly} mentions two leaves of the same tree ({} and {}); \
+                 the single-tree algorithm requires at most one",
+                vars.0, vars.1
+            ),
+            CoreError::InfeasibleBound { min_achievable } => write!(
+                f,
+                "no abstraction meets the bound; the coarsest cut still has {min_achievable} monomials"
+            ),
+            CoreError::TooManyCuts { limit } => {
+                write!(f, "cut enumeration exceeded limit of {limit}")
+            }
+            CoreError::Session(m) => write!(f, "session error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Core result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

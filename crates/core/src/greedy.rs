@@ -1,0 +1,150 @@
+//! Greedy agglomerative optimizer — the natural baseline against the
+//! exact DP (ablation A1).
+//!
+//! Start from the identity (leaf) cut and repeatedly *coarsen*: replace a
+//! sibling group that is fully present in the cut by its parent, choosing
+//! the move with the best size reduction per variable lost, until the
+//! bound is met. Each coarsening is monotone (never increases the size),
+//! so the procedure terminates at the root in the worst case — but unlike
+//! the DP it can commit to locally attractive merges that block better
+//! global cuts (see `tests/greedy_vs_dp.rs` for a witnessed gap).
+
+use crate::cut::Cut;
+use crate::dp::DpSolution;
+use crate::error::{CoreError, Result};
+use crate::groups::GroupAnalysis;
+use crate::tree::{AbstractionTree, NodeId};
+
+/// Greedy coarsening from the leaf cut down to `bound`.
+///
+/// # Errors
+/// [`CoreError::InfeasibleBound`] if even the root cut exceeds the bound.
+pub fn optimize_greedy(
+    tree: &AbstractionTree,
+    analysis: &GroupAnalysis,
+    bound: u64,
+) -> Result<DpSolution> {
+    let w = |n: NodeId| analysis.node_weight[n.index()];
+    let mut in_cut = vec![false; tree.num_nodes()];
+    let mut cost = 0u64;
+    for id in tree.node_ids() {
+        if tree.is_leaf(id) {
+            in_cut[id.index()] = true;
+            cost += w(id);
+        }
+    }
+    let mut size = analysis.base_monomials + cost;
+
+    while size > bound {
+        // candidate moves: internal nodes whose children are all in the cut
+        let mut best: Option<(NodeId, u64, usize, f64)> = None; // (node, Δsize, Δvars, ratio)
+        for id in tree.node_ids() {
+            if tree.is_leaf(id) || in_cut[id.index()] {
+                continue;
+            }
+            let children = tree.children(id);
+            if !children.iter().all(|c| in_cut[c.index()]) {
+                continue;
+            }
+            let child_cost: u64 = children.iter().map(|&c| w(c)).sum();
+            let saved = child_cost - w(id); // ≥ 0 by subadditivity
+            let lost = children.len() - 1;
+            // unary chains lose no variables: always worth collapsing
+            let ratio = if lost == 0 {
+                f64::INFINITY
+            } else {
+                saved as f64 / lost as f64
+            };
+            let better = match best {
+                None => true,
+                Some((_, best_saved, _, best_ratio)) => {
+                    ratio > best_ratio || (ratio == best_ratio && saved > best_saved)
+                }
+            };
+            if better {
+                best = Some((id, saved, lost, ratio));
+            }
+        }
+        let Some((node, saved, _, _)) = best else {
+            // cut is already {root}
+            return Err(CoreError::InfeasibleBound {
+                min_achievable: size,
+            });
+        };
+        for &c in tree.children(node) {
+            in_cut[c.index()] = false;
+        }
+        in_cut[node.index()] = true;
+        size -= saved;
+    }
+
+    let nodes: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&id| in_cut[id.index()])
+        .collect();
+    let cut = Cut::new(tree, nodes).expect("coarsening preserves cut validity");
+    Ok(DpSolution {
+        variables: cut.len(),
+        size,
+        cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use crate::tree::paper_plans_tree;
+    use cobra_provenance::{parse_polyset, PolySet, VarRegistry};
+    use cobra_util::Rat;
+
+    fn paper_setup() -> (VarRegistry, AbstractionTree, GroupAnalysis) {
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let src = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+        let set: PolySet<Rat> = parse_polyset(src, &mut reg).unwrap();
+        let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+        (reg, tree, analysis)
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_never_beats_dp() {
+        let (_, tree, analysis) = paper_setup();
+        for bound in 4..=14u64 {
+            let greedy = optimize_greedy(&tree, &analysis, bound).unwrap();
+            let exact = dp::optimize(&tree, &analysis, bound).unwrap();
+            assert!(greedy.size <= bound, "bound {bound}");
+            assert!(
+                greedy.variables <= exact.variables,
+                "greedy cannot exceed the optimum (bound {bound})"
+            );
+            assert_eq!(
+                analysis.compressed_size(greedy.cut.nodes()),
+                greedy.size,
+                "bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_greedy_keeps_leaves() {
+        let (_, tree, analysis) = paper_setup();
+        let sol = optimize_greedy(&tree, &analysis, 1_000).unwrap();
+        assert_eq!(sol.variables, tree.num_leaves());
+        assert_eq!(sol.size, 14);
+    }
+
+    #[test]
+    fn infeasible_bound_detected() {
+        let (_, tree, analysis) = paper_setup();
+        assert!(matches!(
+            optimize_greedy(&tree, &analysis, 3),
+            Err(CoreError::InfeasibleBound { min_achievable: 4 })
+        ));
+    }
+
+    use crate::tree::AbstractionTree;
+}

@@ -1,0 +1,72 @@
+//! # cobra-core
+//!
+//! COBRA — **CO**mpression using a**B**st**RA**ction trees — the primary
+//! contribution of Deutch, Moskovitch & Rinetzky (ICDE'19 demo; algorithm
+//! from their SIGMOD'19 paper *Hypothetical Reasoning via Provenance
+//! Abstraction*).
+//!
+//! Given provenance polynomials, a user-supplied **abstraction tree** over
+//! (a subset of) the variables, and a bound on the provenance size, COBRA
+//! chooses a **cut** of the tree — grouping the leaves below each cut node
+//! into one meta-variable — that brings the polynomial's monomial count
+//! under the bound while **maximizing the number of distinct variables**
+//! (the degrees of freedom left for hypothetical reasoning).
+//!
+//! * [`tree`] — abstraction trees ([`AbstractionTree`]), built from specs
+//!   or the compact text syntax; [`tree::paper_plans_tree`] is Fig. 2.
+//! * [`cut`] — validated cuts, meta-variable substitutions, and full cut
+//!   enumeration for the oracle.
+//! * [`groups`] — the `(polynomial, context, exponent)` group analysis
+//!   that makes the compressed size additive over cut nodes.
+//! * [`dp`] — the exact PTIME optimizer: bottom-up tree-knapsack dynamic
+//!   programming, plus the expressiveness/size Pareto frontier.
+//! * [`apply`] — applying a cut: variable renaming + monomial merging.
+//! * [`brute`] — exhaustive search, the correctness oracle for tests.
+//! * [`multi`] — multi-tree forests via coordinate descent (extension
+//!   beyond the demo's single-tree setting).
+//! * [`assign`] — meta-variable defaults (group averages), scenario
+//!   projection/expansion, result comparison and assignment-speedup
+//!   measurement.
+//! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
+//! * [`report`] — displayable compression reports.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cobra_core::CobraSession;
+//!
+//! let mut session = CobraSession::from_text(
+//!     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+//! ).unwrap();
+//! session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+//! session.set_bound(2);
+//! let report = session.compress().unwrap();
+//! assert_eq!(report.compressed_size, 2); // p1, v merged per month
+//! ```
+
+pub mod apply;
+pub mod assign;
+pub mod brute;
+pub mod cut;
+pub mod dp;
+pub mod error;
+pub mod greedy;
+pub mod groups;
+pub mod multi;
+pub mod report;
+pub mod sensitivity;
+pub mod session;
+pub mod tree;
+
+pub use apply::{apply_cut, apply_cuts, AppliedAbstraction};
+pub use assign::{ResultComparison, ResultRow, SpeedupMeasurement};
+pub use cut::{enumerate_cuts, Cut, MetaVar};
+pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
+pub use error::{CoreError, Result};
+pub use greedy::optimize_greedy;
+pub use groups::GroupAnalysis;
+pub use sensitivity::SensitivityReport;
+pub use multi::{optimize_forest_descent, ForestSolution};
+pub use report::CompressionReport;
+pub use session::{CobraSession, MetaSummaryRow};
+pub use tree::{AbstractionTree, NodeId, TreeSpec};

@@ -1,0 +1,202 @@
+//! Multi-tree forests — the full-paper generalization (extension).
+//!
+//! The demonstration restricts to a single abstraction tree, where the
+//! problem is PTIME. With several trees the interactions between cuts make
+//! the problem NP-hard in general (SIGMOD'19 [4]), so we provide a
+//! **coordinate-descent** heuristic: fix the cuts of all trees but one,
+//! substitute them into the provenance, and re-optimize the remaining tree
+//! exactly with the single-tree DP; iterate until a fixpoint. Each step is
+//! exact given the others, so the objective `(Σ variables, −size)`
+//! improves lexicographically and the process terminates. The brute-force
+//! forest search ([`crate::brute::optimize_forest`]) serves as the oracle
+//! on small instances.
+
+use crate::apply::{apply_cut, apply_cuts};
+use crate::cut::Cut;
+use crate::dp;
+use crate::error::{CoreError, Result};
+use crate::groups::GroupAnalysis;
+use crate::tree::AbstractionTree;
+use cobra_provenance::{Coeff, PolySet, VarRegistry};
+
+/// Output of the coordinate-descent forest optimizer.
+#[derive(Clone, Debug)]
+pub struct ForestSolution {
+    /// One cut per tree, in input order.
+    pub cuts: Vec<Cut>,
+    /// Total variables across all cuts (Σ |cutᵢ|).
+    pub variables: usize,
+    /// Measured compressed size with all cuts applied.
+    pub size: u64,
+    /// Number of improvement rounds until the fixpoint.
+    pub rounds: usize,
+}
+
+/// Coordinate-descent optimization over a forest of abstraction trees.
+///
+/// # Errors
+/// [`CoreError::InfeasibleBound`] if even the all-roots abstraction
+/// exceeds `bound`; [`CoreError::MonomialSpansTree`] if some monomial
+/// mentions two leaves of one tree.
+pub fn optimize_forest_descent<C: Coeff>(
+    set: &PolySet<C>,
+    trees: &[&AbstractionTree],
+    bound: u64,
+    reg: &mut VarRegistry,
+    max_rounds: usize,
+) -> Result<ForestSolution> {
+    assert!(!trees.is_empty(), "forest must contain at least one tree");
+    // Start from the coarsest abstraction: every tree cut at its root.
+    let mut cuts: Vec<Cut> = trees.iter().map(|t| Cut::root(t)).collect();
+    let pairs: Vec<(&AbstractionTree, &Cut)> =
+        trees.iter().copied().zip(cuts.iter()).collect();
+    let mut size = apply_cuts(set, &pairs, reg).compressed_size as u64;
+    if size > bound {
+        return Err(CoreError::InfeasibleBound {
+            min_achievable: size,
+        });
+    }
+
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let mut improved = false;
+        for i in 0..trees.len() {
+            // Substitute every other tree's current cut.
+            let others: Vec<(&AbstractionTree, &Cut)> = trees
+                .iter()
+                .copied()
+                .zip(cuts.iter())
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, pair)| pair)
+                .collect();
+            let substituted = if others.is_empty() {
+                set.clone()
+            } else {
+                apply_cuts(set, &others, reg).compressed
+            };
+            // Exact single-tree optimization on the substituted set.
+            let analysis = GroupAnalysis::analyze(&substituted, trees[i])?;
+            let sol = dp::optimize(trees[i], &analysis, bound)?;
+            let better = sol.variables > cuts[i].len()
+                || (sol.variables == cuts[i].len() && sol.size < size);
+            if better {
+                // Confirm with a real application (guards the cost model).
+                let mut candidate = cuts.clone();
+                candidate[i] = sol.cut.clone();
+                let pairs: Vec<(&AbstractionTree, &Cut)> =
+                    trees.iter().copied().zip(candidate.iter()).collect();
+                let measured = apply_cuts(set, &pairs, reg).compressed_size as u64;
+                if measured <= bound && (sol.variables > cuts[i].len() || measured < size) {
+                    cuts = candidate;
+                    size = measured;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(ForestSolution {
+        variables: cuts.iter().map(Cut::len).sum(),
+        cuts,
+        size,
+        rounds,
+    })
+}
+
+/// Convenience wrapper for the single-tree case: exact DP plus a real
+/// application, returning the same shape as the forest optimizer.
+pub fn optimize_single_tree<C: Coeff>(
+    set: &PolySet<C>,
+    tree: &AbstractionTree,
+    bound: u64,
+    reg: &mut VarRegistry,
+) -> Result<(ForestSolution, crate::apply::AppliedAbstraction<C>)> {
+    let analysis = GroupAnalysis::analyze(set, tree)?;
+    let sol = dp::optimize(tree, &analysis, bound)?;
+    let applied = apply_cut(set, tree, &sol.cut, reg);
+    debug_assert_eq!(applied.compressed_size as u64, sol.size);
+    Ok((
+        ForestSolution {
+            cuts: vec![sol.cut],
+            variables: sol.variables,
+            size: sol.size,
+            rounds: 1,
+        },
+        applied,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::paper_plans_tree;
+    use cobra_provenance::parse_polyset;
+    use cobra_util::Rat;
+
+    fn setup() -> (VarRegistry, AbstractionTree, PolySet<Rat>) {
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let src = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+        let set = parse_polyset(src, &mut reg).unwrap();
+        (reg, tree, set)
+    }
+
+    #[test]
+    fn single_tree_descent_matches_dp() {
+        let (mut reg, tree, set) = setup();
+        for bound in [4u64, 6, 8, 14] {
+            let sol =
+                optimize_forest_descent(&set, &[&tree], bound, &mut reg, 10).unwrap();
+            let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+            let exact = dp::optimize(&tree, &analysis, bound).unwrap();
+            assert_eq!(sol.variables, exact.variables, "bound {bound}");
+            assert_eq!(sol.size, exact.size, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn two_tree_descent_matches_brute_force() {
+        let (mut reg, plans, set) = setup();
+        let months = AbstractionTree::parse("M(m1,m3)", &mut reg).unwrap();
+        for bound in [2u64, 4, 6, 7, 10, 14] {
+            let descent =
+                optimize_forest_descent(&set, &[&plans, &months], bound, &mut reg, 20)
+                    .unwrap();
+            let brute = crate::brute::optimize_forest(
+                &set,
+                &[&plans, &months],
+                bound,
+                &mut reg,
+                1_000_000,
+            )
+            .unwrap();
+            // The heuristic must be feasible and match the oracle's
+            // variable count on these small, well-behaved instances.
+            assert!(descent.size <= bound, "bound {bound}");
+            assert_eq!(
+                descent.variables, brute.variables,
+                "bound {bound}: descent {descent:?} vs brute {brute:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_forest_bound() {
+        let (mut reg, plans, set) = setup();
+        let months = AbstractionTree::parse("M(m1,m3)", &mut reg).unwrap();
+        assert!(matches!(
+            optimize_forest_descent(&set, &[&plans, &months], 1, &mut reg, 10),
+            Err(CoreError::InfeasibleBound { min_achievable: 2 })
+        ));
+    }
+
+    use crate::tree::AbstractionTree;
+}

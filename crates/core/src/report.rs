@@ -1,0 +1,123 @@
+//! Compression reports: the information COBRA's UI surfaces (paper §3) —
+//! provenance sizes, expressiveness, the chosen cut, assignment speedup —
+//! as displayable structures.
+
+use crate::assign::SpeedupMeasurement;
+use cobra_util::table::thousands;
+use cobra_util::Table;
+use std::fmt;
+
+/// Summary of one compression run.
+#[derive(Clone, Debug)]
+pub struct CompressionReport {
+    /// The user's bound on the provenance size.
+    pub bound: u64,
+    /// Monomials before compression.
+    pub original_size: u64,
+    /// Monomials after compression.
+    pub compressed_size: u64,
+    /// Distinct variables before compression.
+    pub original_vars: usize,
+    /// Distinct variables after compression.
+    pub compressed_vars: usize,
+    /// Human-readable cut description per tree, e.g.
+    /// `Plans: {Business, Special, Standard}`.
+    pub cuts: Vec<String>,
+    /// Optional assignment-speedup measurement.
+    pub speedup: Option<SpeedupMeasurement>,
+}
+
+impl CompressionReport {
+    /// `compressed / original` size ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.original_size == 0 {
+            1.0
+        } else {
+            self.compressed_size as f64 / self.original_size as f64
+        }
+    }
+
+    /// Renders as a two-column table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["metric", "value"]).numeric();
+        t.row(["bound".to_owned(), thousands(self.bound)]);
+        t.row([
+            "provenance size (full)".to_owned(),
+            thousands(self.original_size),
+        ]);
+        t.row([
+            "provenance size (compressed)".to_owned(),
+            thousands(self.compressed_size),
+        ]);
+        t.row(["size ratio".to_owned(), format!("{:.3}", self.ratio())]);
+        t.row([
+            "distinct variables (full)".to_owned(),
+            self.original_vars.to_string(),
+        ]);
+        t.row([
+            "distinct variables (compressed)".to_owned(),
+            self.compressed_vars.to_string(),
+        ]);
+        for cut in &self.cuts {
+            t.row(["cut".to_owned(), cut.clone()]);
+        }
+        if let Some(s) = &self.speedup {
+            t.row([
+                "assignment time (full)".to_owned(),
+                format!("{:.3} ms", s.full_time.as_secs_f64() * 1e3),
+            ]);
+            t.row([
+                "assignment time (compressed)".to_owned(),
+                format!("{:.3} ms", s.compressed_time.as_secs_f64() * 1e3),
+            ]);
+            t.row([
+                "assignment speedup".to_owned(),
+                format!("{:.0}%", s.speedup_percent()),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for CompressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_all_rows() {
+        let r = CompressionReport {
+            bound: 94_600,
+            original_size: 139_260,
+            compressed_size: 88_620,
+            original_vars: 23,
+            compressed_vars: 19,
+            cuts: vec!["Plans: {SB, e, F, Y, v, p1, p2}".to_owned()],
+            speedup: None,
+        };
+        let s = r.to_string();
+        assert!(s.contains("139,260"));
+        assert!(s.contains("88,620"));
+        assert!(s.contains("{SB, e, F, Y, v, p1, p2}"));
+        assert!((r.ratio() - 0.6364).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_original_ratio_is_one() {
+        let r = CompressionReport {
+            bound: 0,
+            original_size: 0,
+            compressed_size: 0,
+            original_vars: 0,
+            compressed_vars: 0,
+            cuts: vec![],
+            speedup: None,
+        };
+        assert_eq!(r.ratio(), 1.0);
+    }
+}

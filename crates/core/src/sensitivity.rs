@@ -1,0 +1,132 @@
+//! Sensitivity analysis — an extension for hypothetical reasoning.
+//!
+//! Before choosing which hypotheticals to explore (or which variables an
+//! abstraction may safely group), an analyst can ask *which parameters
+//! move the results most*. The sensitivity of result tuple `P` to
+//! variable `x` at the current valuation is `∂P/∂x` evaluated there; the
+//! aggregate sensitivity of `x` sums |∂P/∂x| over all result tuples.
+//!
+//! Variables with near-equal sensitivities inside a subtree are natural
+//! grouping candidates — grouping them loses little scenario resolution —
+//! so the report doubles as guidance for building abstraction trees (the
+//! paper leaves tree construction to the user's domain knowledge).
+
+use cobra_provenance::{PolySet, Valuation, Var, VarRegistry};
+use cobra_util::{Rat, Table};
+
+/// Sensitivity of every variable, sorted descending.
+#[derive(Clone, Debug)]
+pub struct SensitivityReport {
+    /// `(variable, Σ over result tuples of |∂P/∂x| at the valuation)`,
+    /// sorted by descending sensitivity.
+    pub ranking: Vec<(Var, Rat)>,
+}
+
+impl SensitivityReport {
+    /// Computes the report at `val` (must be total — give it a default).
+    pub fn compute(set: &PolySet<Rat>, val: &Valuation<Rat>) -> SensitivityReport {
+        let mut ranking: Vec<(Var, Rat)> = set
+            .distinct_vars()
+            .into_iter()
+            .map(|v| {
+                let total: Rat = set
+                    .iter()
+                    .map(|(_, p)| {
+                        p.derivative(v)
+                            .eval(val)
+                            .expect("sensitivity requires a total valuation")
+                            .abs()
+                    })
+                    .sum();
+                (v, total)
+            })
+            .collect();
+        ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        SensitivityReport { ranking }
+    }
+
+    /// The `n` most sensitive variables.
+    pub fn top(&self, n: usize) -> &[(Var, Rat)] {
+        &self.ranking[..n.min(self.ranking.len())]
+    }
+
+    /// Sensitivity of one variable (zero if absent).
+    pub fn of(&self, v: Var) -> Rat {
+        self.ranking
+            .iter()
+            .find(|(w, _)| *w == v)
+            .map(|(_, s)| *s)
+            .unwrap_or(Rat::ZERO)
+    }
+
+    /// Renders as a named table.
+    pub fn to_table(&self, reg: &VarRegistry) -> Table {
+        let mut t = Table::new(["variable", "sensitivity"]).numeric();
+        for (v, s) in &self.ranking {
+            t.row([reg.name(*v).to_owned(), format!("{:.4}", s.to_f64())]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_provenance::parse_polyset;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    #[test]
+    fn ranks_paper_example_variables() {
+        let mut reg = VarRegistry::new();
+        let set = parse_polyset(
+            "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+            &mut reg,
+        )
+        .unwrap();
+        let ones = Valuation::with_default(Rat::ONE);
+        let report = SensitivityReport::compute(&set, &ones);
+        let p1 = reg.lookup("p1").unwrap();
+        let v = reg.lookup("v").unwrap();
+        let m1 = reg.lookup("m1").unwrap();
+        // ∂P1/∂p1 = 208.8·m1 + 240·m3 → 448.8 at all-ones
+        assert_eq!(report.of(p1), rat("448.8"));
+        assert_eq!(report.of(v), rat("66.2"));
+        // ∂P1/∂m1 = 208.8·p1 + 42·v → 250.8
+        assert_eq!(report.of(m1), rat("250.8"));
+        // ranking: p1 > m3 (264.2) > m1 > v
+        assert_eq!(report.ranking[0].0, p1);
+        assert_eq!(report.top(2).len(), 2);
+        assert_eq!(report.of(Var(999)), Rat::ZERO);
+    }
+
+    #[test]
+    fn valuation_shifts_the_ranking() {
+        let mut reg = VarRegistry::new();
+        let set = parse_polyset("P = 10*a*x + 1*b*x", &mut reg).unwrap();
+        let a = reg.lookup("a").unwrap();
+        let b = reg.lookup("b").unwrap();
+        let x = reg.lookup("x").unwrap();
+        // at x=1: sens(a)=10, sens(b)=1; at x=0 both vanish
+        let at_one = SensitivityReport::compute(&set, &Valuation::with_default(Rat::ONE));
+        assert!(at_one.of(a) > at_one.of(b));
+        let mut zero_x = Valuation::with_default(Rat::ONE);
+        zero_x.set(x, Rat::ZERO);
+        let at_zero = SensitivityReport::compute(&set, &zero_x);
+        assert_eq!(at_zero.of(a), Rat::ZERO);
+        assert_eq!(at_zero.of(b), Rat::ZERO);
+        // sens(x) at ones = 11
+        assert_eq!(at_one.of(x), Rat::int(11));
+    }
+
+    #[test]
+    fn table_renders_names() {
+        let mut reg = VarRegistry::new();
+        let set = parse_polyset("P = 2*alpha", &mut reg).unwrap();
+        let report = SensitivityReport::compute(&set, &Valuation::with_default(Rat::ONE));
+        let t = report.to_table(&reg);
+        assert!(t.to_string().contains("alpha"));
+    }
+}

@@ -1,0 +1,452 @@
+//! The COBRA session: the end-to-end pipeline of the paper's Fig. 4.
+//!
+//! ```text
+//! Provenance Engine → Provenance Polynomials ┐
+//! Bound, Abstraction Trees ─────────────────→ Provenance Compression
+//!                                             → Abstracted Polynomials
+//! Meta-variables + Assignment ──────────────→ Results (+ speedup)
+//! ```
+//!
+//! A [`CobraSession`] owns the variable registry, the input polynomials,
+//! the user's valuation, trees and bound; [`compress`](CobraSession::compress)
+//! runs the optimizer, after which meta-variables can be inspected
+//! ([`meta_summary`](CobraSession::meta_summary), the paper's Fig. 5
+//! screen) and scenarios evaluated ([`assign`](CobraSession::assign)).
+//! With tracing enabled the session records the "under the hood" steps the
+//! demonstration walks through (§4).
+
+use crate::apply::AppliedAbstraction;
+use crate::assign::{
+    self, densify, measure_assignment_speedup, ResultComparison, SpeedupMeasurement,
+};
+use crate::cut::MetaVar;
+use crate::error::{CoreError, Result};
+use crate::multi::{optimize_forest_descent, optimize_single_tree};
+use crate::report::CompressionReport;
+use crate::tree::AbstractionTree;
+use cobra_provenance::{PolySet, ProvenanceStats, Valuation, VarRegistry};
+use cobra_util::Rat;
+
+/// One row of the meta-variable screen: the meta-variable, the original
+/// variables it groups with their base values, and the default (average).
+#[derive(Clone, Debug)]
+pub struct MetaSummaryRow {
+    /// Meta-variable name.
+    pub name: String,
+    /// `(leaf name, base value)` for each grouped variable.
+    pub leaves: Vec<(String, Rat)>,
+    /// Default value = average of the leaves' base values.
+    pub default_value: Rat,
+}
+
+/// An interactive COBRA session (Fig. 4).
+pub struct CobraSession {
+    reg: VarRegistry,
+    polys: PolySet<Rat>,
+    base_valuation: Valuation<Rat>,
+    trees: Vec<AbstractionTree>,
+    bound: Option<u64>,
+    compressed: Option<Compressed>,
+    trace: Vec<String>,
+    trace_enabled: bool,
+}
+
+struct Compressed {
+    applied: AppliedAbstraction<Rat>,
+    cuts_display: Vec<String>,
+}
+
+impl CobraSession {
+    /// Starts a session over polynomials produced by any provenance engine
+    /// (the registry must be the one the polynomials were built against).
+    pub fn new(reg: VarRegistry, polys: PolySet<Rat>) -> CobraSession {
+        CobraSession {
+            reg,
+            polys,
+            base_valuation: Valuation::with_default(Rat::ONE),
+            trees: Vec::new(),
+            bound: None,
+            compressed: None,
+            trace: Vec::new(),
+            trace_enabled: false,
+        }
+    }
+
+    /// Parses polynomials from the text interchange format and starts a
+    /// session (the "any provenance engine" entry point).
+    pub fn from_text(polys: &str) -> Result<CobraSession> {
+        let mut reg = VarRegistry::new();
+        let set = cobra_provenance::parse_polyset(polys, &mut reg).map_err(|e| {
+            CoreError::Session(format!("polynomial parse failed: {e}"))
+        })?;
+        Ok(CobraSession::new(reg, set))
+    }
+
+    /// Enables step tracing (the demo's "under the hood" view).
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    fn log(&mut self, msg: impl FnOnce() -> String) {
+        if self.trace_enabled {
+            self.trace.push(msg());
+        }
+    }
+
+    /// The variable registry.
+    pub fn registry(&self) -> &VarRegistry {
+        &self.reg
+    }
+
+    /// Mutable registry access (for building valuations by name).
+    pub fn registry_mut(&mut self) -> &mut VarRegistry {
+        &mut self.reg
+    }
+
+    /// The input polynomials.
+    pub fn polynomials(&self) -> &PolySet<Rat> {
+        &self.polys
+    }
+
+    /// Sets the default assignment of the provenance variables (the
+    /// "original values"; defaults to the all-ones valuation meaning "no
+    /// change").
+    pub fn set_base_valuation(&mut self, val: Valuation<Rat>) {
+        self.base_valuation = val;
+    }
+
+    /// Registers an abstraction tree.
+    pub fn add_tree(&mut self, tree: AbstractionTree) {
+        self.compressed = None;
+        self.trees.push(tree);
+    }
+
+    /// Parses and registers an abstraction tree from the compact text
+    /// syntax (`Plans(Standard(p1,p2), …)`).
+    pub fn add_tree_text(&mut self, src: &str) -> Result<()> {
+        let tree = AbstractionTree::parse(src, &mut self.reg)?;
+        self.add_tree(tree);
+        Ok(())
+    }
+
+    /// The registered trees.
+    pub fn trees(&self) -> &[AbstractionTree] {
+        &self.trees
+    }
+
+    /// Sets the bound over the compressed provenance size.
+    pub fn set_bound(&mut self, bound: u64) {
+        self.compressed = None;
+        self.bound = Some(bound);
+    }
+
+    /// Runs the compression: the exact DP for a single tree, coordinate
+    /// descent for a forest.
+    ///
+    /// # Errors
+    /// `Session` if trees/bound are missing; `InfeasibleBound` if no
+    /// abstraction fits.
+    pub fn compress(&mut self) -> Result<CompressionReport> {
+        let bound = self
+            .bound
+            .ok_or_else(|| CoreError::Session("set_bound must be called first".into()))?;
+        if self.trees.is_empty() {
+            return Err(CoreError::Session("no abstraction tree registered".into()));
+        }
+        let full_stats = ProvenanceStats::compute(&self.polys);
+        self.log(|| format!("input: {full_stats}"));
+        let trees: Vec<&AbstractionTree> = self.trees.iter().collect();
+        let (cuts, applied) = if trees.len() == 1 {
+            let (sol, applied) =
+                optimize_single_tree(&self.polys, trees[0], bound, &mut self.reg)?;
+            (sol.cuts, applied)
+        } else {
+            let sol =
+                optimize_forest_descent(&self.polys, &trees, bound, &mut self.reg, 32)?;
+            let pairs: Vec<(&AbstractionTree, &crate::cut::Cut)> =
+                trees.iter().copied().zip(sol.cuts.iter()).collect();
+            let applied = crate::apply::apply_cuts(&self.polys, &pairs, &mut self.reg);
+            (sol.cuts, applied)
+        };
+        let cuts_display: Vec<String> = self
+            .trees
+            .iter()
+            .zip(&cuts)
+            .map(|(t, c)| format!("{}: {}", t.name(), c.display(t)))
+            .collect();
+        for line in &cuts_display {
+            let line = line.clone();
+            self.log(move || format!("chosen cut — {line}"));
+        }
+        self.log(|| {
+            format!(
+                "compressed {} → {} monomials",
+                applied.original_size, applied.compressed_size
+            )
+        });
+        let report = CompressionReport {
+            bound,
+            original_size: applied.original_size as u64,
+            compressed_size: applied.compressed_size as u64,
+            original_vars: full_stats.distinct_vars,
+            compressed_vars: applied.distinct_vars(),
+            cuts: cuts_display.clone(),
+            speedup: None,
+        };
+        self.compressed = Some(Compressed {
+            applied,
+            cuts_display,
+        });
+        Ok(report)
+    }
+
+    fn compressed_state(&self) -> Result<&Compressed> {
+        self.compressed
+            .as_ref()
+            .ok_or_else(|| CoreError::Session("compress must be called first".into()))
+    }
+
+    /// The compressed polynomials.
+    pub fn compressed_polynomials(&self) -> Result<&PolySet<Rat>> {
+        Ok(&self.compressed_state()?.applied.compressed)
+    }
+
+    /// The applied abstraction (substitution + meta-variables).
+    pub fn abstraction(&self) -> Result<&AppliedAbstraction<Rat>> {
+        Ok(&self.compressed_state()?.applied)
+    }
+
+    /// The meta-variable screen (paper Fig. 5): every meta-variable with
+    /// its grouped originals and the average default.
+    pub fn meta_summary(&self) -> Result<Vec<MetaSummaryRow>> {
+        let state = self.compressed_state()?;
+        let fallback = self
+            .base_valuation
+            .default_value()
+            .copied()
+            .unwrap_or(Rat::ONE);
+        Ok(state
+            .applied
+            .meta_vars
+            .iter()
+            .map(|meta: &MetaVar| {
+                let leaves: Vec<(String, Rat)> = meta
+                    .leaves
+                    .iter()
+                    .map(|&l| {
+                        (
+                            self.reg.name(l).to_owned(),
+                            self.base_valuation.get(l).unwrap_or(fallback),
+                        )
+                    })
+                    .collect();
+                let sum: Rat = leaves.iter().map(|(_, v)| *v).sum();
+                MetaSummaryRow {
+                    name: meta.name.clone(),
+                    default_value: sum / Rat::int(leaves.len() as i64),
+                    leaves,
+                }
+            })
+            .collect())
+    }
+
+    /// Evaluates a **leaf-level** scenario on both the full and the
+    /// compressed provenance (the scenario is projected onto the
+    /// meta-variables by group averaging) and returns the side-by-side
+    /// results.
+    pub fn assign(&self, scenario: &Valuation<Rat>) -> Result<ResultComparison> {
+        let state = self.compressed_state()?;
+        let leaf_val = self.base_valuation.overridden_by(scenario);
+        // Project the tree leaves onto meta-variables; bindings of
+        // variables outside the trees (e.g. the month variables) carry
+        // over unchanged.
+        let meta_val = leaf_val
+            .overridden_by(&assign::project_scenario(&state.applied.meta_vars, &leaf_val));
+        Ok(ResultComparison::evaluate(
+            &self.polys,
+            &leaf_val,
+            &state.applied.compressed,
+            &meta_val,
+        ))
+    }
+
+    /// Evaluates a **meta-level** assignment directly (the user typed
+    /// values into the Fig. 5 screen). The full provenance is evaluated
+    /// under the expansion of the meta values to their leaves, so the
+    /// comparison isolates compression loss (zero here by construction).
+    pub fn assign_meta(&self, meta_scenario: &Valuation<Rat>) -> Result<ResultComparison> {
+        let state = self.compressed_state()?;
+        let defaults =
+            assign::default_meta_valuation(&state.applied.meta_vars, &self.base_valuation);
+        let meta_val = self
+            .base_valuation
+            .overridden_by(&defaults)
+            .overridden_by(meta_scenario);
+        let leaf_val = self
+            .base_valuation
+            .overridden_by(&assign::expand_to_leaves(&state.applied.meta_vars, &meta_val));
+        Ok(ResultComparison::evaluate(
+            &self.polys,
+            &leaf_val,
+            &state.applied.compressed,
+            &meta_val,
+        ))
+    }
+
+    /// Measures the assignment speedup (paper §4) on the `f64` fast path.
+    pub fn measure_speedup(
+        &self,
+        scenario: &Valuation<Rat>,
+        warmup: usize,
+        runs: usize,
+    ) -> Result<SpeedupMeasurement> {
+        let state = self.compressed_state()?;
+        let leaf_val = self.base_valuation.overridden_by(scenario);
+        let meta_val = leaf_val
+            .overridden_by(&assign::project_scenario(&state.applied.meta_vars, &leaf_val));
+        let full64 = self.polys.to_f64_set();
+        let comp64 = state.applied.compressed.to_f64_set();
+        let leaf_dense = densify(&leaf_val.map(|c| c.to_f64()), self.reg.len());
+        let meta_dense = densify(&meta_val.map(|c| c.to_f64()), self.reg.len());
+        Ok(measure_assignment_speedup(
+            &full64,
+            &comp64,
+            &leaf_dense,
+            &meta_dense,
+            warmup,
+            runs,
+        ))
+    }
+
+    /// A full report, optionally including a speedup measurement.
+    pub fn report(&self, speedup: Option<SpeedupMeasurement>) -> Result<CompressionReport> {
+        let state = self.compressed_state()?;
+        Ok(CompressionReport {
+            bound: self.bound.unwrap_or(0),
+            original_size: state.applied.original_size as u64,
+            compressed_size: state.applied.compressed_size as u64,
+            original_vars: self.polys.distinct_vars().len(),
+            compressed_vars: state.applied.distinct_vars(),
+            cuts: state.cuts_display.clone(),
+            speedup,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_POLYS: &str = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+
+    const FIG2_TREE: &str =
+        "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))";
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn session_with_bound(bound: u64) -> CobraSession {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.set_bound(bound);
+        s
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let mut s = session_with_bound(6);
+        s.enable_trace();
+        let report = s.compress().unwrap();
+        assert_eq!(report.original_size, 14);
+        assert_eq!(report.compressed_size, 6);
+        assert!(report.cuts[0].contains("Business"));
+        assert!(!s.trace().is_empty());
+        // meta screen: 4 rows ({p1, p2, Special, Business} — the optimal
+        // size-6 cut), Business groups b1,b2,e with default 1
+        let metas = s.meta_summary().unwrap();
+        assert_eq!(metas.len(), 4);
+        let business = metas.iter().find(|m| m.name == "Business").unwrap();
+        assert_eq!(business.leaves.len(), 3);
+        assert_eq!(business.default_value, Rat::ONE);
+    }
+
+    #[test]
+    fn missing_inputs_are_session_errors() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        assert!(matches!(s.compress(), Err(CoreError::Session(_))));
+        s.set_bound(6);
+        assert!(matches!(s.compress(), Err(CoreError::Session(_))));
+        assert!(matches!(s.meta_summary(), Err(CoreError::Session(_))));
+    }
+
+    #[test]
+    fn assign_reports_march_discount() {
+        // the paper's first hypothetical: price of all plans −20% in March
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        let cmp = s.assign(&scenario).unwrap();
+        // month variables are outside the tree → compression is lossless
+        assert!(cmp.is_exact());
+        // P1 = m1-part + 0.8 × m3-part = 454.1 + 0.8·451.15
+        assert_eq!(cmp.rows[0].full, rat("454.1") + rat("0.8") * rat("451.15"));
+    }
+
+    #[test]
+    fn assign_meta_is_always_internally_consistent() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let business = s.registry_mut().var("Business");
+        let scenario = Valuation::new().bind(business, rat("1.1"));
+        let cmp = s.assign_meta(&scenario).unwrap();
+        // meta-level assignment has no projection loss by construction
+        assert!(cmp.is_exact());
+        assert_eq!(
+            cmp.rows[1].full,
+            (rat("77.9") + rat("52.2") + rat("69.7")) * rat("1.1")
+                + (rat("80.5") + rat("56.5") + rat("100.65")) * rat("1.1")
+        );
+    }
+
+    #[test]
+    fn speedup_measurement_runs() {
+        let mut s = session_with_bound(4);
+        s.compress().unwrap();
+        let m = s
+            .measure_speedup(&Valuation::with_default(Rat::ONE), 1, 3)
+            .unwrap();
+        assert_eq!(m.full_size, 14);
+        assert_eq!(m.compressed_size, 4);
+    }
+
+    #[test]
+    fn multi_tree_session() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.add_tree_text("Months(m1,m3)").unwrap();
+        s.set_bound(2);
+        let report = s.compress().unwrap();
+        assert_eq!(report.compressed_size, 2);
+        assert_eq!(report.cuts.len(), 2);
+    }
+
+    #[test]
+    fn recompression_after_bound_change() {
+        let mut s = session_with_bound(14);
+        let r1 = s.compress().unwrap();
+        assert_eq!(r1.compressed_size, 14); // leaf cut, no loss
+        s.set_bound(4);
+        let r2 = s.compress().unwrap();
+        assert_eq!(r2.compressed_size, 4);
+    }
+}

@@ -1,0 +1,526 @@
+//! Abstraction trees (paper §2, Fig. 2).
+//!
+//! An abstraction tree is an ontology over provenance variables: leaves are
+//! variables, inner nodes name meaningful groups ("SB", "Business",
+//! "Special"). A *cut* of the tree (see [`crate::cut`]) replaces every leaf
+//! below a chosen node with that node's meta-variable.
+//!
+//! Trees are arena-allocated; every node records its subtree's leaves as a
+//! contiguous range over a preorder-flattened leaf array, so `leaves_under`
+//! is an O(1) slice.
+
+use crate::error::{CoreError, Result};
+use cobra_provenance::{Var, VarRegistry};
+use cobra_util::FxHashMap;
+use std::fmt;
+
+/// Index of a node within its tree's arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// `Some` iff this node is a leaf (a provenance variable).
+    var: Option<Var>,
+    /// Range into the flattened leaf array covering this subtree.
+    leaf_start: u32,
+    leaf_end: u32,
+    depth: u32,
+}
+
+/// A declarative tree specification, the input to
+/// [`AbstractionTree::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeSpec {
+    /// A leaf: the name of a provenance variable (registered on build).
+    Leaf(String),
+    /// An inner node with a meta-variable name and children.
+    Node(String, Vec<TreeSpec>),
+}
+
+impl TreeSpec {
+    /// Leaf constructor.
+    pub fn leaf(name: impl Into<String>) -> TreeSpec {
+        TreeSpec::Leaf(name.into())
+    }
+
+    /// Inner-node constructor.
+    pub fn node(name: impl Into<String>, children: Vec<TreeSpec>) -> TreeSpec {
+        TreeSpec::Node(name.into(), children)
+    }
+}
+
+/// An abstraction tree over provenance variables.
+#[derive(Clone, Debug)]
+pub struct AbstractionTree {
+    nodes: Vec<Node>,
+    /// Subtree leaves, flattened in preorder; each node holds a range.
+    flat_leaves: Vec<Var>,
+    /// Leaf node ids in the same order as `flat_leaves`.
+    flat_leaf_nodes: Vec<NodeId>,
+    var_to_leaf: FxHashMap<Var, NodeId>,
+    name_to_node: FxHashMap<String, NodeId>,
+}
+
+impl AbstractionTree {
+    /// Builds a tree from a spec, registering leaf variables in `reg`.
+    ///
+    /// # Errors
+    /// Rejects duplicate node names and duplicate leaf variables.
+    pub fn build(spec: &TreeSpec, reg: &mut VarRegistry) -> Result<AbstractionTree> {
+        let mut tree = AbstractionTree {
+            nodes: Vec::new(),
+            flat_leaves: Vec::new(),
+            flat_leaf_nodes: Vec::new(),
+            var_to_leaf: FxHashMap::default(),
+            name_to_node: FxHashMap::default(),
+        };
+        tree.add(spec, None, 0, reg)?;
+        Ok(tree)
+    }
+
+    /// Parses the compact text form, e.g. the paper's Fig. 2 tree:
+    /// `Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))`.
+    /// Names without parentheses are leaves (variables).
+    pub fn parse(src: &str, reg: &mut VarRegistry) -> Result<AbstractionTree> {
+        let spec = parse_tree_spec(src)?;
+        Self::build(&spec, reg)
+    }
+
+    fn add(
+        &mut self,
+        spec: &TreeSpec,
+        parent: Option<NodeId>,
+        depth: u32,
+        reg: &mut VarRegistry,
+    ) -> Result<NodeId> {
+        let (name, children_spec) = match spec {
+            TreeSpec::Leaf(name) => (name, None),
+            TreeSpec::Node(name, children) => (name, Some(children)),
+        };
+        if self.name_to_node.contains_key(name) {
+            return Err(CoreError::DuplicateNodeName(name.clone()));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.clone(),
+            parent,
+            children: Vec::new(),
+            var: None,
+            leaf_start: 0,
+            leaf_end: 0,
+            depth,
+        });
+        self.name_to_node.insert(name.clone(), id);
+        let leaf_start = self.flat_leaves.len() as u32;
+        match children_spec {
+            None => {
+                // A leaf: register its variable.
+                let var = reg.var(name);
+                if self.var_to_leaf.contains_key(&var) {
+                    return Err(CoreError::DuplicateLeafVar(name.clone()));
+                }
+                self.var_to_leaf.insert(var, id);
+                self.nodes[id.index()].var = Some(var);
+                self.flat_leaves.push(var);
+                self.flat_leaf_nodes.push(id);
+            }
+            Some(children) => {
+                if children.is_empty() {
+                    // an inner node written with `()` — treat as leaf-less
+                    // group, which would cover nothing; reject.
+                    return Err(CoreError::TreeParse {
+                        offset: 0,
+                        message: format!("inner node {name} has no children"),
+                    });
+                }
+                for c in children {
+                    let cid = self.add(c, Some(id), depth + 1, reg)?;
+                    self.nodes[id.index()].children.push(cid);
+                }
+            }
+        }
+        self.nodes[id.index()].leaf_start = leaf_start;
+        self.nodes[id.index()].leaf_end = self.flat_leaves.len() as u32;
+        Ok(id)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.flat_leaves.len()
+    }
+
+    /// The tree's display name (the root's name).
+    pub fn name(&self) -> &str {
+        &self.nodes[0].name
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// A node's children.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// A node's parent (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// A node's depth (root = 0).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// True iff the node is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].var.is_some()
+    }
+
+    /// The leaf's variable (`None` for inner nodes).
+    pub fn leaf_var(&self, id: NodeId) -> Option<Var> {
+        self.nodes[id.index()].var
+    }
+
+    /// Resolves a node by name.
+    pub fn node_by_name(&self, name: &str) -> Result<NodeId> {
+        self.name_to_node
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownNode(name.to_owned()))
+    }
+
+    /// The leaf node owning variable `v`, if `v` is under this tree.
+    pub fn leaf_of_var(&self, v: Var) -> Option<NodeId> {
+        self.var_to_leaf.get(&v).copied()
+    }
+
+    /// True iff `v` is a leaf of this tree.
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.var_to_leaf.contains_key(&v)
+    }
+
+    /// All leaf variables below `id` (O(1) slice).
+    pub fn leaves_under(&self, id: NodeId) -> &[Var] {
+        let n = &self.nodes[id.index()];
+        &self.flat_leaves[n.leaf_start as usize..n.leaf_end as usize]
+    }
+
+    /// The range of leaf positions (indices into [`Self::leaves`]) covered
+    /// by the subtree rooted at `id`.
+    pub fn leaf_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        let n = &self.nodes[id.index()];
+        n.leaf_start as usize..n.leaf_end as usize
+    }
+
+    /// All leaf node ids below `id`.
+    pub fn leaf_nodes_under(&self, id: NodeId) -> &[NodeId] {
+        let n = &self.nodes[id.index()];
+        &self.flat_leaf_nodes[n.leaf_start as usize..n.leaf_end as usize]
+    }
+
+    /// All leaf variables of the tree.
+    pub fn leaves(&self) -> &[Var] {
+        &self.flat_leaves
+    }
+
+    /// Node ids in post-order (children before parents) — the traversal
+    /// order of the DP optimizer.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root(), false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded || self.is_leaf(id) {
+                out.push(id);
+            } else {
+                stack.push((id, true));
+                for &c in self.children(id).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// All node ids, root first (arena order is preorder).
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Is `anc` an ancestor of (or equal to) `node`?
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        let a = &self.nodes[anc.index()];
+        let n = &self.nodes[node.index()];
+        // preorder arena: subtree of `anc` is a contiguous id range only for
+        // leaf ranges; use leaf-range containment plus depth walk instead.
+        if self.is_leaf(node) {
+            let pos = n.leaf_start; // leaf's own position
+            return a.leaf_start <= pos && pos < a.leaf_end;
+        }
+        a.leaf_start <= n.leaf_start && n.leaf_end <= a.leaf_end && {
+            // ranges can coincide for unary chains; walk up to disambiguate
+            let mut cur = Some(node);
+            while let Some(c) = cur {
+                if c == anc {
+                    return true;
+                }
+                cur = self.parent(c);
+            }
+            false
+        }
+    }
+
+    /// Renders the tree with indentation.
+    pub fn render(&self, reg: &VarRegistry) -> String {
+        let mut out = String::new();
+        self.render_node(self.root(), reg, &mut out);
+        out
+    }
+
+    fn render_node(&self, id: NodeId, reg: &VarRegistry, out: &mut String) {
+        let pad = "  ".repeat(self.depth(id) as usize);
+        match self.leaf_var(id) {
+            Some(v) => out.push_str(&format!("{pad}{}\n", reg.name(v))),
+            None => {
+                out.push_str(&format!("{pad}{}/\n", self.node_name(id)));
+                for &c in self.children(id) {
+                    self.render_node(c, reg, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AbstractionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AbstractionTree({}: {} nodes, {} leaves)",
+            self.name(),
+            self.num_nodes(),
+            self.num_leaves()
+        )
+    }
+}
+
+/// Parses the compact nested syntax into a [`TreeSpec`].
+fn parse_tree_spec(src: &str) -> Result<TreeSpec> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let spec = parse_node(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(CoreError::TreeParse {
+            offset: pos,
+            message: "trailing input after tree".into(),
+        });
+    }
+    Ok(spec)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_node(bytes: &[u8], pos: &mut usize) -> Result<TreeSpec> {
+    skip_ws(bytes, pos);
+    let start = *pos;
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_alphanumeric() || bytes[*pos] == b'_' || bytes[*pos] == b'#')
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(CoreError::TreeParse {
+            offset: *pos,
+            message: "expected node name".into(),
+        });
+    }
+    let name = std::str::from_utf8(&bytes[start..*pos])
+        .expect("ascii")
+        .to_owned();
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == b'(' {
+        *pos += 1;
+        let mut children = Vec::new();
+        loop {
+            children.push(parse_node(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => {
+                    *pos += 1;
+                }
+                Some(b')') => {
+                    *pos += 1;
+                    break;
+                }
+                _ => {
+                    return Err(CoreError::TreeParse {
+                        offset: *pos,
+                        message: "expected ',' or ')'".into(),
+                    })
+                }
+            }
+        }
+        Ok(TreeSpec::Node(name, children))
+    } else {
+        Ok(TreeSpec::Leaf(name))
+    }
+}
+
+/// The paper's Fig. 2 tree over the plan variables.
+pub fn paper_plans_tree(reg: &mut VarRegistry) -> AbstractionTree {
+    AbstractionTree::parse(
+        "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))",
+        reg,
+    )
+    .expect("paper tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2(reg: &mut VarRegistry) -> AbstractionTree {
+        paper_plans_tree(reg)
+    }
+
+    #[test]
+    fn parses_fig2_shape() {
+        let mut reg = VarRegistry::new();
+        let t = fig2(&mut reg);
+        assert_eq!(t.name(), "Plans");
+        assert_eq!(t.num_leaves(), 11);
+        // 11 leaves + inner nodes Plans, Standard, Special, Y, F,
+        // Business, SB = 18 nodes
+        assert_eq!(t.num_nodes(), 18);
+        let business = t.node_by_name("Business").unwrap();
+        let leaves: Vec<&str> = t
+            .leaves_under(business)
+            .iter()
+            .map(|&v| reg.name(v))
+            .collect();
+        assert_eq!(leaves, vec!["b1", "b2", "e"]);
+        assert_eq!(t.children(t.root()).len(), 3);
+    }
+
+    #[test]
+    fn leaf_lookup_and_membership() {
+        let mut reg = VarRegistry::new();
+        let t = fig2(&mut reg);
+        let v = reg.lookup("v").unwrap();
+        let leaf = t.leaf_of_var(v).unwrap();
+        assert!(t.is_leaf(leaf));
+        assert_eq!(t.leaf_var(leaf), Some(v));
+        assert_eq!(t.node_name(leaf), "v");
+        let outside = reg.var("m1");
+        assert!(!t.contains_var(outside));
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let mut reg = VarRegistry::new();
+        let t = fig2(&mut reg);
+        let order = t.post_order();
+        assert_eq!(order.len(), t.num_nodes());
+        assert_eq!(*order.last().unwrap(), t.root());
+        let pos: FxHashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for id in t.node_ids() {
+            for &c in t.children(id) {
+                assert!(pos[&c] < pos[&id], "child must precede parent");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestry() {
+        let mut reg = VarRegistry::new();
+        let t = fig2(&mut reg);
+        let root = t.root();
+        let business = t.node_by_name("Business").unwrap();
+        let sb = t.node_by_name("SB").unwrap();
+        let b1 = t.node_by_name("b1").unwrap();
+        let special = t.node_by_name("Special").unwrap();
+        assert!(t.is_ancestor_or_self(root, b1));
+        assert!(t.is_ancestor_or_self(business, b1));
+        assert!(t.is_ancestor_or_self(sb, b1));
+        assert!(t.is_ancestor_or_self(b1, b1));
+        assert!(!t.is_ancestor_or_self(special, b1));
+        assert!(!t.is_ancestor_or_self(b1, sb));
+        assert_eq!(t.parent(root), None);
+        assert_eq!(t.parent(sb), Some(business));
+        assert_eq!(t.depth(b1), 3);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut reg = VarRegistry::new();
+        assert!(matches!(
+            AbstractionTree::parse("T(a, a)", &mut reg),
+            Err(CoreError::DuplicateNodeName(_))
+        ));
+        let mut reg2 = VarRegistry::new();
+        assert!(matches!(
+            AbstractionTree::parse("T(A(x), x)", &mut reg2),
+            Err(CoreError::DuplicateNodeName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        let mut reg = VarRegistry::new();
+        for src in ["", "T(", "T(a,)", "T(a))", "(a)", "T(a) junk"] {
+            assert!(
+                AbstractionTree::parse(src, &mut reg).is_err(),
+                "should reject {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut reg = VarRegistry::new();
+        let t = AbstractionTree::parse("x", &mut reg).unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.is_leaf(t.root()));
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut reg = VarRegistry::new();
+        let t = AbstractionTree::parse("T(A(x,y), z)", &mut reg).unwrap();
+        let r = t.render(&reg);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[0], "T/");
+        assert_eq!(lines[1], "  A/");
+        assert_eq!(lines[2], "    x");
+        assert_eq!(lines[4], "  z");
+    }
+}

@@ -1,0 +1,29 @@
+//! # cobra-datagen
+//!
+//! Workload generators for the COBRA reproduction:
+//!
+//! * [`telephony`] — the paper's running example: the exact Figure 1
+//!   database, and a scalable generator (up to the paper's one million
+//!   customers) whose provenance sizes reproduce §4's numbers exactly
+//!   (139,260 monomials full; 88,620 and 37,980 compressed).
+//! * [`tpch`] — a TPC-H-style database generator (`dbgen`-lite: same
+//!   schema and key structure, seeded and scale-factor driven) plus
+//!   provenance-parameterized analogues of Q1/Q3/Q5/Q6/Q10 and the
+//!   geography/time abstraction trees the demo describes.
+//! * [`scenarios`] — the hypothetical scenarios used in the paper's
+//!   walk-through ("what if the ppm of all plans decreased by 20% in
+//!   March?", "business plans +10%").
+//! * [`synthetic`] — random polynomial sets and abstraction trees for
+//!   stress tests, property tests and the optimizer ablations.
+//!
+//! All generation is deterministic per seed (SplitMix64), so the numbers
+//! in EXPERIMENTS.md are reproducible bit-for-bit.
+
+pub mod scenarios;
+pub mod synthetic;
+pub mod telephony;
+pub mod tpch;
+
+pub use scenarios::Scenario;
+pub use telephony::{Telephony, TelephonyConfig};
+pub use tpch::{TpchConfig, TpchDatabase};

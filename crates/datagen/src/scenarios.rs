@@ -1,0 +1,128 @@
+//! Hypothetical scenarios — the "what if" side of the demonstration.
+//!
+//! A scenario is a multiplicative change to a set of provenance
+//! variables: "what if the ppm of all plans decreased by 20% on March?"
+//! is `m3 ↦ 0.8`; "what if the business plans increased by 10%?" is
+//! `{b1, b2, e} ↦ 1.1` (paper §2, Example 1).
+
+use cobra_provenance::{Valuation, VarRegistry};
+use cobra_util::Rat;
+
+/// A named multiplicative what-if scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Short identifier.
+    pub name: &'static str,
+    /// Human-readable description (as phrased in the paper).
+    pub description: &'static str,
+    /// `(variable name, factor)` pairs; all other variables stay at 1.
+    pub factors: Vec<(&'static str, Rat)>,
+}
+
+impl Scenario {
+    /// Builds the leaf-level valuation (default 1 elsewhere), registering
+    /// any missing variables.
+    pub fn valuation(&self, reg: &mut VarRegistry) -> Valuation<Rat> {
+        let mut val = Valuation::with_default(Rat::ONE);
+        for (name, factor) in &self.factors {
+            val.set(reg.var(name), *factor);
+        }
+        val
+    }
+}
+
+fn rat(s: &str) -> Rat {
+    Rat::parse(s).expect("scenario factor literal")
+}
+
+/// §2 Example 1: "what if the price per minute of all plans are decreased
+/// by 20% on March?"
+pub fn march_discount() -> Scenario {
+    Scenario {
+        name: "march-20pct-off",
+        description: "ppm of all plans decreased by 20% in March",
+        factors: vec![("m3", rat("0.8"))],
+    }
+}
+
+/// §2 Example 1: "what if the ppm in the business calling plans are
+/// increased by 10%?" — aligned with the `Business` subtree of Fig. 2,
+/// so compression under any cut at or below `Business` loses nothing.
+pub fn business_increase() -> Scenario {
+    Scenario {
+        name: "business-up-10pct",
+        description: "ppm of business plans (SB1, SB2, E) increased by 10%",
+        factors: vec![
+            ("b1", rat("1.1")),
+            ("b2", rat("1.1")),
+            ("e", rat("1.1")),
+        ],
+    }
+}
+
+/// A tree-misaligned variant: only SB1 changes. Once `b1` is merged into
+/// `SB` or `Business`, the compressed provenance can only approximate
+/// this scenario — the loss the demo lets the audience observe.
+pub fn sb1_only_increase() -> Scenario {
+    Scenario {
+        name: "sb1-only-up-10pct",
+        description: "ppm of SB1 alone increased by 10% (not expressible after grouping)",
+        factors: vec![("b1", rat("1.1"))],
+    }
+}
+
+/// §4: "prices are usually changed uniformly during each quarter" — a
+/// Q1-uniform change, aligned with the quarters tree.
+pub fn q1_uniform_discount() -> Scenario {
+    Scenario {
+        name: "q1-uniform-5pct-off",
+        description: "ppm decreased by 5% across the first quarter",
+        factors: vec![
+            ("m1", rat("0.95")),
+            ("m2", rat("0.95")),
+            ("m3", rat("0.95")),
+        ],
+    }
+}
+
+/// All telephony scenarios in demonstration order.
+pub fn telephony_scenarios() -> Vec<Scenario> {
+    vec![
+        march_discount(),
+        business_increase(),
+        sb1_only_increase(),
+        q1_uniform_discount(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valuations_bind_factors_with_unit_default() {
+        let mut reg = VarRegistry::new();
+        let val = march_discount().valuation(&mut reg);
+        let m3 = reg.lookup("m3").unwrap();
+        assert_eq!(val.get(m3), Some(rat("0.8")));
+        assert_eq!(val.get(reg.var("other")), Some(Rat::ONE));
+    }
+
+    #[test]
+    fn business_scenario_is_uniform_over_group() {
+        let mut reg = VarRegistry::new();
+        let val = business_increase().valuation(&mut reg);
+        for name in ["b1", "b2", "e"] {
+            assert_eq!(val.get(reg.lookup(name).unwrap()), Some(rat("1.1")));
+        }
+    }
+
+    #[test]
+    fn scenario_catalogue_is_distinctly_named() {
+        let all = telephony_scenarios();
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

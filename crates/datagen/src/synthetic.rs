@@ -1,0 +1,174 @@
+//! Synthetic polynomial sets and abstraction trees for stress tests,
+//! property tests, and the optimizer ablations (experiment A1).
+//!
+//! The generator mirrors the structure the group analysis cares about:
+//! polynomials are sums of `coeff · context · leaf` monomials where
+//! contexts come from a pool of non-tree variables — so tree size, group
+//! count and density can be swept independently.
+
+use cobra_core::tree::{AbstractionTree, TreeSpec};
+use cobra_provenance::{Monomial, PolySet, Polynomial, Var, VarRegistry};
+use cobra_util::{Rat, SplitMix64};
+
+/// Configuration of a synthetic workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticConfig {
+    /// Number of tree leaves.
+    pub leaves: usize,
+    /// Maximum children per inner node (≥ 2).
+    pub max_children: usize,
+    /// Number of polynomials.
+    pub polynomials: usize,
+    /// Number of distinct context variables (monomial contexts).
+    pub contexts: usize,
+    /// Probability that a given (polynomial, context, leaf) monomial
+    /// exists.
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            leaves: 64,
+            max_children: 4,
+            polynomials: 16,
+            contexts: 8,
+            density: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated synthetic workload.
+pub struct Synthetic {
+    /// The variable registry.
+    pub reg: VarRegistry,
+    /// The abstraction tree over `x0..x{leaves-1}`.
+    pub tree: AbstractionTree,
+    /// The polynomial set.
+    pub set: PolySet<Rat>,
+    /// Context variables (outside the tree).
+    pub context_vars: Vec<Var>,
+}
+
+/// Builds a random tree spec with the requested number of leaves.
+///
+/// Leaves are named `x{i}`, inner nodes `n{i}`; both are unique, so the
+/// spec always builds.
+pub fn random_tree_spec(rng: &mut SplitMix64, leaves: usize, max_children: usize) -> TreeSpec {
+    assert!(leaves >= 1);
+    assert!(max_children >= 2);
+    let mut counter = 0usize;
+    let mut leaf_counter = 0usize;
+    build_subtree(rng, leaves, max_children, &mut counter, &mut leaf_counter)
+}
+
+fn build_subtree(
+    rng: &mut SplitMix64,
+    leaves: usize,
+    max_children: usize,
+    inner_counter: &mut usize,
+    leaf_counter: &mut usize,
+) -> TreeSpec {
+    if leaves == 1 {
+        let spec = TreeSpec::leaf(format!("x{leaf_counter}"));
+        *leaf_counter += 1;
+        return spec;
+    }
+    let name = format!("n{inner_counter}");
+    *inner_counter += 1;
+    // split `leaves` into 2..=max_children non-empty parts
+    let parts = 2 + rng.gen_index((max_children - 1).min(leaves - 1));
+    let mut sizes = vec![1usize; parts];
+    for _ in 0..(leaves - parts) {
+        sizes[rng.gen_index(parts)] += 1;
+    }
+    let children = sizes
+        .into_iter()
+        .map(|s| build_subtree(rng, s, max_children, inner_counter, leaf_counter))
+        .collect();
+    TreeSpec::node(name, children)
+}
+
+/// Generates the full synthetic workload.
+pub fn generate(config: SyntheticConfig) -> Synthetic {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut reg = VarRegistry::new();
+    let spec = random_tree_spec(&mut rng, config.leaves, config.max_children);
+    let tree = AbstractionTree::build(&spec, &mut reg).expect("generated names are unique");
+    let leaf_vars: Vec<Var> = tree.leaves().to_vec();
+    let context_vars: Vec<Var> = (0..config.contexts)
+        .map(|i| reg.var(&format!("c{i}")))
+        .collect();
+
+    let mut set = PolySet::new();
+    for p in 0..config.polynomials {
+        let mut poly = Polynomial::zero();
+        for &ctx in &context_vars {
+            for &leaf in &leaf_vars {
+                if rng.gen_bool(config.density) {
+                    let coeff = Rat::new(rng.gen_range_inclusive(1, 999) as i128, 10);
+                    poly.add_term(Monomial::from_pairs([(ctx, 1), (leaf, 1)]), coeff);
+                }
+            }
+        }
+        // a few base monomials exercising the `base` path
+        if rng.gen_bool(0.5) {
+            poly.add_term(
+                Monomial::var(context_vars[rng.gen_index(config.contexts.max(1))]),
+                Rat::int(rng.gen_range_inclusive(1, 9)),
+            );
+        }
+        set.push(format!("P{p}"), poly);
+    }
+    Synthetic {
+        reg,
+        tree,
+        set,
+        context_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_spec_has_requested_leaves() {
+        let mut rng = SplitMix64::new(3);
+        for leaves in [1usize, 2, 5, 17, 64] {
+            let spec = random_tree_spec(&mut rng, leaves, 4);
+            let mut reg = VarRegistry::new();
+            let tree = AbstractionTree::build(&spec, &mut reg).unwrap();
+            assert_eq!(tree.num_leaves(), leaves);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_analyzable() {
+        let config = SyntheticConfig::default();
+        let a = generate(config);
+        let b = generate(config);
+        assert_eq!(a.set, b.set);
+        // Every monomial mentions at most one leaf, so analysis succeeds.
+        let analysis =
+            cobra_core::GroupAnalysis::analyze(&a.set, &a.tree).expect("single-leaf monomials");
+        assert_eq!(analysis.total_monomials() as usize, a.set.total_monomials());
+        assert!(analysis.num_groups() > 0);
+    }
+
+    #[test]
+    fn density_scales_size() {
+        let sparse = generate(SyntheticConfig {
+            density: 0.1,
+            ..Default::default()
+        });
+        let dense = generate(SyntheticConfig {
+            density: 0.9,
+            ..Default::default()
+        });
+        assert!(dense.set.total_monomials() > sparse.set.total_monomials());
+    }
+}

@@ -1,0 +1,514 @@
+//! The telephony workload — the paper's running example.
+//!
+//! Two constructions are provided:
+//!
+//! * [`Telephony::paper_example`] — the exact Figure 1 database (7
+//!   customers, months 1 and 3). Running the revenue query over it must
+//!   reproduce Example 2's polynomials `P1`/`P2` coefficient-for-
+//!   coefficient (asserted in `tests/paper_example.rs`).
+//! * [`Telephony::generate`] — the scalable database behind §4's numbers:
+//!   `zips` zip codes (1055, as implied by `139,260 = 1055 × 11 × 12`),
+//!   11 plans, 12 months, any number of customers. Customers are placed
+//!   round-robin over (zip, plan) so every combination is inhabited,
+//!   which makes the full provenance size exactly
+//!   `zips × plans × months` monomials.
+//!
+//! The engine path materializes real tables and runs the paper's SQL; the
+//! [`Telephony::direct_polyset`] fast path emits the identical aggregated
+//! polynomials without materializing `customers × months` call rows
+//! (needed for the 1M-customer experiment; equality with the engine path
+//! is asserted in tests at small scale).
+
+use cobra_core::tree::{paper_plans_tree, AbstractionTree};
+use cobra_engine::{parameterize, Database, Relation, Value};
+use cobra_provenance::{Monomial, PolySet, Polynomial, Valuation, Var, VarRegistry};
+use cobra_util::{Rat, SplitMix64};
+
+/// The 11 canonical plans: `(plan name, provenance variable)`, matching
+/// Fig. 1/2 of the paper.
+pub const PLANS: [(&str, &str); 11] = [
+    ("A", "p1"),
+    ("B", "p2"),
+    ("F1", "f1"),
+    ("F2", "f2"),
+    ("Y1", "y1"),
+    ("Y2", "y2"),
+    ("Y3", "y3"),
+    ("V", "v"),
+    ("SB1", "b1"),
+    ("SB2", "b2"),
+    ("E", "e"),
+];
+
+/// Base price-per-minute of each plan, in cents (index-aligned with
+/// [`PLANS`]). Monthly prices perturb these deterministically.
+const BASE_PRICE_CENTS: [i64; 11] = [40, 45, 35, 30, 30, 25, 20, 25, 10, 10, 5];
+
+/// Configuration of the scalable telephony database.
+#[derive(Clone, Copy, Debug)]
+pub struct TelephonyConfig {
+    /// Number of customers (the paper demos with 1,000,000).
+    pub customers: usize,
+    /// Number of zip codes. 1055 reproduces the paper's provenance sizes.
+    pub zips: usize,
+    /// Number of months of call data (the paper uses a full year).
+    pub months: u32,
+    /// RNG seed for durations and price perturbations.
+    pub seed: u64,
+}
+
+impl Default for TelephonyConfig {
+    fn default() -> Self {
+        TelephonyConfig {
+            customers: 10_000,
+            zips: 1055,
+            months: 12,
+            seed: 0xC0B2A,
+        }
+    }
+}
+
+impl TelephonyConfig {
+    /// The §4 configuration: one million customers.
+    pub fn paper_scale() -> TelephonyConfig {
+        TelephonyConfig {
+            customers: 1_000_000,
+            ..TelephonyConfig::default()
+        }
+    }
+
+    /// A configuration scaled down to `customers`, keeping everything
+    /// else at the paper's values.
+    pub fn with_customers(customers: usize) -> TelephonyConfig {
+        TelephonyConfig {
+            customers,
+            ..TelephonyConfig::default()
+        }
+    }
+
+    fn zip_of(&self, customer: usize) -> i64 {
+        10_000 + (customer % self.zips) as i64
+    }
+
+    fn plan_of(&self, customer: usize) -> usize {
+        // Round-robin over plans within each zip so every (zip, plan)
+        // pair is inhabited once customers ≥ zips × 11.
+        (customer / self.zips) % PLANS.len()
+    }
+
+    /// Deterministic, stateless call duration for a customer-month —
+    /// shared by the engine path and the direct path so both produce the
+    /// same polynomials.
+    fn duration(&self, customer: usize, month: u32) -> i64 {
+        let mut rng = SplitMix64::new(
+            self.seed ^ (customer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (month as u64) << 48,
+        );
+        rng.gen_range_inclusive(10, 1500)
+    }
+
+    /// Deterministic price of a plan in a month (exact rational, cents).
+    fn price(&self, plan_idx: usize, month: u32) -> Rat {
+        const PRICE_SALT: u64 = 0x5052_4943_455F_5341;
+        let mut rng =
+            SplitMix64::new(self.seed ^ PRICE_SALT ^ ((plan_idx as u64) << 32) ^ month as u64);
+        let jitter = rng.gen_range_inclusive(-5, 5); // ±5 cents
+        let cents = (BASE_PRICE_CENTS[plan_idx] + jitter).max(1);
+        Rat::new(cents as i128, 100)
+    }
+}
+
+/// The assembled telephony workload.
+pub struct Telephony {
+    /// The database with the `Price` column already parameterized.
+    pub db: Database,
+    /// The variable registry (plan vars + month vars).
+    pub reg: VarRegistry,
+    /// Plan variables, index-aligned with [`PLANS`].
+    pub plan_vars: Vec<Var>,
+    /// Month variables `m1..m{months}`.
+    pub month_vars: Vec<Var>,
+    /// The generating configuration.
+    pub config: TelephonyConfig,
+}
+
+impl Telephony {
+    /// The paper's revenue query (§2), verbatim.
+    pub const REVENUE_SQL: &'static str = "SELECT Zip, SUM(Calls.Dur * Plans.Price) AS revenue \
+         FROM Calls, Cust, Plans \
+         WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID AND Calls.Mo = Plans.Mo \
+         GROUP BY Cust.Zip";
+
+    /// Generates the full database (engine path). Memory grows with
+    /// `customers × months` call rows; prefer [`Self::direct_polyset`]
+    /// beyond ~100k customers.
+    pub fn generate(config: TelephonyConfig) -> Telephony {
+        let mut reg = VarRegistry::new();
+        let plan_vars: Vec<Var> = PLANS.iter().map(|(_, v)| reg.var(v)).collect();
+        let month_vars: Vec<Var> =
+            (1..=config.months).map(|m| reg.var(&format!("m{m}"))).collect();
+
+        let mut cust_rows = Vec::with_capacity(config.customers);
+        for c in 0..config.customers {
+            cust_rows.push(vec![
+                Value::Int(c as i64 + 1),
+                Value::str(PLANS[config.plan_of(c)].0),
+                Value::Int(config.zip_of(c)),
+            ]);
+        }
+        let cust = Relation::from_rows(["ID", "Plan", "Zip"], cust_rows).expect("arity");
+
+        let mut call_rows = Vec::with_capacity(config.customers * config.months as usize);
+        for c in 0..config.customers {
+            for mo in 1..=config.months {
+                call_rows.push(vec![
+                    Value::Int(c as i64 + 1),
+                    Value::Int(mo as i64),
+                    Value::Int(config.duration(c, mo)),
+                ]);
+            }
+        }
+        let calls = Relation::from_rows(["CID", "Mo", "Dur"], call_rows).expect("arity");
+
+        let mut plan_rows = Vec::with_capacity(PLANS.len() * config.months as usize);
+        for (pi, (name, _)) in PLANS.iter().enumerate() {
+            for mo in 1..=config.months {
+                plan_rows.push(vec![
+                    Value::str(name),
+                    Value::Int(mo as i64),
+                    Value::Num(config.price(pi, mo)),
+                ]);
+            }
+        }
+        let mut plans = Relation::from_rows(["Plan", "Mo", "Price"], plan_rows).expect("arity");
+
+        // Instrument the Price cells: price(plan, mo) ↦ price · plan_var · m_mo
+        // (the paper's Example 2 parameterization).
+        parameterize(&mut plans, "Price", |row| {
+            let plan_idx = match &row[0] {
+                Value::Str(s) => PLANS.iter().position(|(n, _)| n == &&**s)?,
+                _ => return None,
+            };
+            let mo = match row[1] {
+                Value::Int(m) => m as usize,
+                _ => return None,
+            };
+            Some(Monomial::from_pairs([
+                (plan_vars[plan_idx], 1),
+                (month_vars[mo - 1], 1),
+            ]))
+        })
+        .expect("Price column is numeric");
+
+        let mut db = Database::new();
+        db.insert("Cust", cust);
+        db.insert("Calls", calls);
+        db.insert("Plans", plans);
+        Telephony {
+            db,
+            reg,
+            plan_vars,
+            month_vars,
+            config,
+        }
+    }
+
+    /// Runs the revenue query and extracts one polynomial per zip.
+    pub fn revenue_polyset(&self) -> PolySet<Rat> {
+        let result = self
+            .db
+            .sql(Self::REVENUE_SQL)
+            .expect("revenue query is valid");
+        result
+            .extract_polyset(&["Zip"], "revenue")
+            .expect("revenue column holds polynomials")
+    }
+
+    /// Emits the same polynomials as the engine path without
+    /// materializing call rows: coefficient of `plan_var·m_mo` in zip `z`
+    /// is `Σ_{customers c in (z, plan)} duration(c, mo) × price(plan, mo)`.
+    pub fn direct_polyset(
+        config: TelephonyConfig,
+        reg: &mut VarRegistry,
+    ) -> (PolySet<Rat>, Vec<Var>, Vec<Var>) {
+        let plan_vars: Vec<Var> = PLANS.iter().map(|(_, v)| reg.var(v)).collect();
+        let month_vars: Vec<Var> =
+            (1..=config.months).map(|m| reg.var(&format!("m{m}"))).collect();
+        // dur_sum[zip][plan][month] accumulated over customers
+        let nz = config.zips;
+        let np = PLANS.len();
+        let nm = config.months as usize;
+        let mut dur_sum = vec![0i64; nz * np * nm];
+        for c in 0..config.customers {
+            let z = c % nz;
+            let p = config.plan_of(c);
+            for mo in 1..=config.months {
+                dur_sum[(z * np + p) * nm + mo as usize - 1] += config.duration(c, mo);
+            }
+        }
+        let mut set = PolySet::new();
+        for z in 0..nz {
+            let mut poly = Polynomial::zero();
+            for p in 0..np {
+                for mo in 1..=config.months {
+                    let total = dur_sum[(z * np + p) * nm + mo as usize - 1];
+                    if total == 0 {
+                        continue;
+                    }
+                    let coeff = Rat::int(total) * config.price(p, mo);
+                    poly.add_term(
+                        Monomial::from_pairs([
+                            (plan_vars[p], 1),
+                            (month_vars[mo as usize - 1], 1),
+                        ]),
+                        coeff,
+                    );
+                }
+            }
+            set.push(format!("{}", 10_000 + z), poly);
+        }
+        (set, plan_vars, month_vars)
+    }
+
+    /// The Fig. 2 abstraction tree over the plan variables.
+    pub fn plans_tree(reg: &mut VarRegistry) -> AbstractionTree {
+        paper_plans_tree(reg)
+    }
+
+    /// The quarters tree over the month variables described in §4:
+    /// `Year(q1(m1,m2,m3), q2(m4,m5,m6), …)`.
+    pub fn months_tree(reg: &mut VarRegistry, months: u32) -> AbstractionTree {
+        let mut quarters: Vec<String> = Vec::new();
+        let mut q = 0;
+        let mut current: Vec<String> = Vec::new();
+        for m in 1..=months {
+            current.push(format!("m{m}"));
+            if current.len() == 3 || m == months {
+                q += 1;
+                quarters.push(format!("q{q}({})", current.join(",")));
+                current.clear();
+            }
+        }
+        let src = format!("Year({})", quarters.join(","));
+        AbstractionTree::parse(&src, reg).expect("generated tree is well-formed")
+    }
+
+    /// The all-ones base valuation ("no change").
+    pub fn base_valuation(&self) -> Valuation<Rat> {
+        Valuation::with_default(Rat::ONE)
+    }
+
+    /// The exact Figure 1 database (7 customers, months 1 and 3),
+    /// parameterized like Example 2. Returns the workload with tables
+    /// `Cust`, `Calls`, `Plans` in the database.
+    pub fn paper_example() -> Telephony {
+        let mut reg = VarRegistry::new();
+        // Only the 7 plans of Fig. 1, but register all 11 vars so the
+        // Fig. 2 tree applies unchanged.
+        let plan_vars: Vec<Var> = PLANS.iter().map(|(_, v)| reg.var(v)).collect();
+        let month_vars: Vec<Var> = vec![reg.var("m1"), reg.var("m3")];
+
+        let cust = Relation::from_rows(
+            ["ID", "Plan", "Zip"],
+            vec![
+                vec![Value::Int(1), Value::str("A"), Value::Int(10001)],
+                vec![Value::Int(2), Value::str("F1"), Value::Int(10001)],
+                vec![Value::Int(3), Value::str("SB1"), Value::Int(10002)],
+                vec![Value::Int(4), Value::str("Y1"), Value::Int(10001)],
+                vec![Value::Int(5), Value::str("V"), Value::Int(10001)],
+                vec![Value::Int(6), Value::str("E"), Value::Int(10002)],
+                vec![Value::Int(7), Value::str("SB2"), Value::Int(10002)],
+            ],
+        )
+        .expect("arity");
+
+        let durs_m1 = [522, 364, 779, 253, 168, 1044, 697];
+        let durs_m3 = [480, 327, 805, 290, 121, 1130, 671];
+        let mut call_rows = Vec::new();
+        for (i, &d) in durs_m1.iter().enumerate() {
+            call_rows.push(vec![Value::Int(i as i64 + 1), Value::Int(1), Value::Int(d)]);
+        }
+        for (i, &d) in durs_m3.iter().enumerate() {
+            call_rows.push(vec![Value::Int(i as i64 + 1), Value::Int(3), Value::Int(d)]);
+        }
+        let calls = Relation::from_rows(["CID", "Mo", "Dur"], call_rows).expect("arity");
+
+        let prices_m1: [(&str, &str); 7] = [
+            ("A", "0.4"),
+            ("F1", "0.35"),
+            ("Y1", "0.3"),
+            ("V", "0.25"),
+            ("SB1", "0.1"),
+            ("SB2", "0.1"),
+            ("E", "0.05"),
+        ];
+        let prices_m3: [(&str, &str); 7] = [
+            ("A", "0.5"),
+            ("F1", "0.35"),
+            ("Y1", "0.25"),
+            ("V", "0.2"),
+            ("SB1", "0.1"),
+            ("SB2", "0.15"),
+            ("E", "0.05"),
+        ];
+        let mut plan_rows = Vec::new();
+        for (plan, price) in prices_m1 {
+            plan_rows.push(vec![
+                Value::str(plan),
+                Value::Int(1),
+                Value::Num(Rat::parse(price).expect("price literal")),
+            ]);
+        }
+        for (plan, price) in prices_m3 {
+            plan_rows.push(vec![
+                Value::str(plan),
+                Value::Int(3),
+                Value::Num(Rat::parse(price).expect("price literal")),
+            ]);
+        }
+        let mut plans = Relation::from_rows(["Plan", "Mo", "Price"], plan_rows).expect("arity");
+
+        parameterize(&mut plans, "Price", |row| {
+            let plan_idx = match &row[0] {
+                Value::Str(s) => PLANS.iter().position(|(n, _)| n == &&**s)?,
+                _ => return None,
+            };
+            let mv = match row[1] {
+                Value::Int(1) => month_vars[0],
+                Value::Int(3) => month_vars[1],
+                _ => return None,
+            };
+            Some(Monomial::from_pairs([(plan_vars[plan_idx], 1), (mv, 1)]))
+        })
+        .expect("Price column is numeric");
+
+        let mut db = Database::new();
+        db.insert("Cust", cust);
+        db.insert("Calls", calls);
+        db.insert("Plans", plans);
+        Telephony {
+            db,
+            reg,
+            plan_vars,
+            month_vars,
+            config: TelephonyConfig {
+                customers: 7,
+                zips: 2,
+                months: 3,
+                seed: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_example2() {
+        let t = Telephony::paper_example();
+        let set = t.revenue_polyset();
+        assert_eq!(set.len(), 2);
+        let p1 = set.get("10001").unwrap();
+        let p2 = set.get("10002").unwrap();
+        assert_eq!(p1.num_terms(), 8);
+        assert_eq!(p2.num_terms(), 6);
+        let reg = &t.reg;
+        let coeff = |poly: &Polynomial<Rat>, a: &str, b: &str| {
+            poly.coeff_of(&Monomial::from_pairs([
+                (reg.lookup(a).unwrap(), 1),
+                (reg.lookup(b).unwrap(), 1),
+            ]))
+        };
+        // Example 2, verbatim
+        assert_eq!(coeff(p1, "p1", "m1"), Rat::parse("208.8").unwrap());
+        assert_eq!(coeff(p1, "p1", "m3"), Rat::parse("240").unwrap());
+        assert_eq!(coeff(p1, "f1", "m1"), Rat::parse("127.4").unwrap());
+        assert_eq!(coeff(p1, "f1", "m3"), Rat::parse("114.45").unwrap());
+        assert_eq!(coeff(p1, "y1", "m1"), Rat::parse("75.9").unwrap());
+        assert_eq!(coeff(p1, "y1", "m3"), Rat::parse("72.5").unwrap());
+        assert_eq!(coeff(p1, "v", "m1"), Rat::parse("42").unwrap());
+        assert_eq!(coeff(p1, "v", "m3"), Rat::parse("24.2").unwrap());
+        assert_eq!(coeff(p2, "b1", "m1"), Rat::parse("77.9").unwrap());
+        assert_eq!(coeff(p2, "b1", "m3"), Rat::parse("80.5").unwrap());
+        assert_eq!(coeff(p2, "e", "m1"), Rat::parse("52.2").unwrap());
+        assert_eq!(coeff(p2, "e", "m3"), Rat::parse("56.5").unwrap());
+        assert_eq!(coeff(p2, "b2", "m1"), Rat::parse("69.7").unwrap());
+        assert_eq!(coeff(p2, "b2", "m3"), Rat::parse("100.65").unwrap());
+    }
+
+    #[test]
+    fn engine_and_direct_paths_agree() {
+        let config = TelephonyConfig {
+            customers: 500,
+            zips: 13,
+            months: 4,
+            seed: 42,
+        };
+        let t = Telephony::generate(config);
+        let engine_set = t.revenue_polyset();
+        let mut reg2 = VarRegistry::new();
+        let (direct_set, _, _) = Telephony::direct_polyset(config, &mut reg2);
+        // Same zips, same polynomials (variable ids align: both register
+        // plan vars then month vars in the same order).
+        assert_eq!(engine_set.len(), direct_set.len());
+        for (label, direct_poly) in direct_set.iter() {
+            let engine_poly = engine_set
+                .get(label)
+                .unwrap_or_else(|| panic!("zip {label} missing from engine output"));
+            assert_eq!(engine_poly, direct_poly, "zip {label}");
+        }
+    }
+
+    #[test]
+    fn full_coverage_size_formula() {
+        // customers ≥ zips × plans ⇒ every (zip, plan, month) inhabited
+        let config = TelephonyConfig {
+            customers: 11 * 7,
+            zips: 7,
+            months: 5,
+            seed: 1,
+        };
+        let mut reg = VarRegistry::new();
+        let (set, _, _) = Telephony::direct_polyset(config, &mut reg);
+        assert_eq!(set.len(), 7);
+        assert_eq!(set.total_monomials(), 7 * 11 * 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = TelephonyConfig::with_customers(200);
+        let mut r1 = VarRegistry::new();
+        let mut r2 = VarRegistry::new();
+        let (a, _, _) = Telephony::direct_polyset(config, &mut r1);
+        let (b, _, _) = Telephony::direct_polyset(config, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn months_tree_shape() {
+        let mut reg = VarRegistry::new();
+        let t = Telephony::months_tree(&mut reg, 12);
+        assert_eq!(t.num_leaves(), 12);
+        let q1 = t.node_by_name("q1").unwrap();
+        assert_eq!(t.leaves_under(q1).len(), 3);
+        assert_eq!(t.children(t.root()).len(), 4);
+        // uneven month counts still partition
+        let mut reg2 = VarRegistry::new();
+        let t2 = Telephony::months_tree(&mut reg2, 7);
+        assert_eq!(t2.num_leaves(), 7);
+        assert_eq!(t2.children(t2.root()).len(), 3);
+    }
+
+    #[test]
+    fn prices_are_positive_exact_cents() {
+        let config = TelephonyConfig::default();
+        for p in 0..PLANS.len() {
+            for mo in 1..=12 {
+                let price = config.price(p, mo);
+                assert!(price > Rat::ZERO);
+                assert!(price.denom() <= 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The table generator (`dbgen`-lite).
+//!
+//! Cardinalities follow the TPC-H specification scaled by `sf`:
+//! supplier 10k·sf, customer 150k·sf, part 200k·sf, partsupp 4/part,
+//! orders 1.5M·sf, lineitem 1–7 per order. Dates span 1992–1998 and are
+//! stored both as `yyyymmdd` integers (for range predicates) and as
+//! year/month columns (for the time abstraction tree).
+
+use super::text::{
+    MKT_SEGMENTS, NATIONS, PART_WORDS, PRIORITIES, REGIONS, TYPE_S1, TYPE_S2, TYPE_S3,
+};
+use cobra_engine::{Database, Relation, Value};
+use cobra_util::{Rat, SplitMix64};
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchConfig {
+    /// Scale factor; 1.0 is the canonical 1 GB database. The experiments
+    /// here use 0.01–0.1.
+    pub scale_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.01,
+            seed: 0x7bc4,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A configuration at the given scale factor.
+    pub fn sf(scale_factor: f64) -> TpchConfig {
+        TpchConfig {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    fn scaled(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.scale_factor) as usize).max(min)
+    }
+
+    /// Supplier cardinality.
+    pub fn suppliers(&self) -> usize {
+        self.scaled(10_000, 10)
+    }
+    /// Customer cardinality.
+    pub fn customers(&self) -> usize {
+        self.scaled(150_000, 50)
+    }
+    /// Part cardinality.
+    pub fn parts(&self) -> usize {
+        self.scaled(200_000, 50)
+    }
+    /// Orders cardinality.
+    pub fn orders(&self) -> usize {
+        self.scaled(1_500_000, 150)
+    }
+}
+
+/// The generated database plus the side tables the instrumentation needs.
+pub struct TpchDatabase {
+    /// Tables: region, nation, supplier, customer, part, partsupp,
+    /// orders, lineitem.
+    pub db: Database,
+    /// `supp_nation[suppkey-1]` = nationkey of the supplier.
+    pub supp_nation: Vec<usize>,
+    /// `part_brand[partkey-1]` = the part's `Brand#MN` digits `(M, N)`.
+    pub part_brand: Vec<(u8, u8)>,
+    /// The generating configuration.
+    pub config: TpchConfig,
+    /// Total lineitem rows generated.
+    pub lineitems: usize,
+}
+
+fn yyyymmdd(year: i64, month: i64, day: i64) -> i64 {
+    year * 10_000 + month * 100 + day
+}
+
+/// Generates the database.
+pub fn generate(config: TpchConfig) -> TpchDatabase {
+    let mut rng = SplitMix64::new(config.seed);
+
+    // region
+    let region_rows = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(k, name)| vec![Value::Int(k as i64), Value::str(name)])
+        .collect();
+    let region = Relation::from_rows(["r_regionkey", "r_name"], region_rows).expect("arity");
+
+    // nation
+    let nation_rows = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(k, (name, regionkey))| {
+            vec![
+                Value::Int(k as i64),
+                Value::str(name),
+                Value::Int(*regionkey as i64),
+            ]
+        })
+        .collect();
+    let nation =
+        Relation::from_rows(["n_nationkey", "n_name", "n_regionkey"], nation_rows).expect("arity");
+
+    // supplier
+    let n_supp = config.suppliers();
+    let mut supp_nation = Vec::with_capacity(n_supp);
+    let mut supplier_rows = Vec::with_capacity(n_supp);
+    for s in 1..=n_supp {
+        let nk = rng.gen_index(NATIONS.len());
+        supp_nation.push(nk);
+        supplier_rows.push(vec![
+            Value::Int(s as i64),
+            Value::str(&format!("Supplier#{s:09}")),
+            Value::Int(nk as i64),
+        ]);
+    }
+    let supplier =
+        Relation::from_rows(["s_suppkey", "s_name", "s_nationkey"], supplier_rows).expect("arity");
+
+    // customer
+    let n_cust = config.customers();
+    let mut customer_rows = Vec::with_capacity(n_cust);
+    for c in 1..=n_cust {
+        customer_rows.push(vec![
+            Value::Int(c as i64),
+            Value::str(&format!("Customer#{c:09}")),
+            Value::Int(rng.gen_index(NATIONS.len()) as i64),
+            Value::str(*rng.choose(&MKT_SEGMENTS)),
+        ]);
+    }
+    let customer = Relation::from_rows(
+        ["c_custkey", "c_name", "c_nationkey", "c_mktsegment"],
+        customer_rows,
+    )
+    .expect("arity");
+
+    // part
+    let n_part = config.parts();
+    let mut part_rows = Vec::with_capacity(n_part);
+    let mut part_brand = Vec::with_capacity(n_part);
+    for p in 1..=n_part {
+        let name = format!(
+            "{} {}",
+            rng.choose(&PART_WORDS),
+            rng.choose(&PART_WORDS)
+        );
+        let (bm, bn) = (
+            rng.gen_range_inclusive(1, 5) as u8,
+            rng.gen_range_inclusive(1, 5) as u8,
+        );
+        part_brand.push((bm, bn));
+        let brand = format!("Brand#{bm}{bn}");
+        let ptype = format!(
+            "{} {} {}",
+            rng.choose(&TYPE_S1),
+            rng.choose(&TYPE_S2),
+            rng.choose(&TYPE_S3)
+        );
+        // spec-style retail price: 900 + (partkey/10 mod 2001)/100 …
+        let retail = Rat::new(90_000 + (p as i128 % 20_010), 100);
+        part_rows.push(vec![
+            Value::Int(p as i64),
+            Value::str(&name),
+            Value::str(&brand),
+            Value::str(&ptype),
+            Value::Num(retail),
+        ]);
+    }
+    let part = Relation::from_rows(
+        ["p_partkey", "p_name", "p_brand", "p_type", "p_retailprice"],
+        part_rows,
+    )
+    .expect("arity");
+
+    // partsupp: 4 suppliers per part
+    let mut partsupp_rows = Vec::with_capacity(n_part * 4);
+    for p in 1..=n_part {
+        for i in 0..4usize {
+            let s = 1 + (p + i * (n_supp / 4).max(1)) % n_supp;
+            partsupp_rows.push(vec![
+                Value::Int(p as i64),
+                Value::Int(s as i64),
+                Value::Num(Rat::new(rng.gen_range_inclusive(100, 99_999) as i128, 100)),
+                Value::Int(rng.gen_range_inclusive(1, 9_999)),
+            ]);
+        }
+    }
+    let partsupp = Relation::from_rows(
+        ["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+        partsupp_rows,
+    )
+    .expect("arity");
+
+    // orders + lineitem
+    let n_orders = config.orders();
+    let mut orders_rows = Vec::with_capacity(n_orders);
+    let mut lineitem_rows = Vec::new();
+    for o in 1..=n_orders {
+        let custkey = 1 + rng.gen_index(n_cust);
+        let year = rng.gen_range_inclusive(1992, 1998);
+        let month = rng.gen_range_inclusive(1, 12);
+        let day = rng.gen_range_inclusive(1, 28);
+        let odate = yyyymmdd(year, month, day);
+        orders_rows.push(vec![
+            Value::Int(o as i64),
+            Value::Int(custkey as i64),
+            Value::Int(odate),
+            Value::Int(year),
+            Value::Int(month),
+            Value::str(*rng.choose(&PRIORITIES)),
+        ]);
+        let lines = rng.gen_range_inclusive(1, 7);
+        for ln in 1..=lines {
+            let partkey = 1 + rng.gen_index(n_part);
+            let suppkey = 1 + rng.gen_index(n_supp);
+            let quantity = rng.gen_range_inclusive(1, 50);
+            // extendedprice = quantity × pseudo retail price of the part
+            let retail = Rat::new(90_000 + (partkey as i128 % 20_010), 100);
+            let extended = Rat::int(quantity) * retail;
+            let discount = Rat::new(rng.gen_range_inclusive(0, 10) as i128, 100);
+            let tax = Rat::new(rng.gen_range_inclusive(0, 8) as i128, 100);
+            // ship 1..120 days after the order; clamp month arithmetic to
+            // the calendar by rolling months forward
+            let ship_offset_months = rng.gen_index(4) as i64;
+            let (ship_year, ship_month) = {
+                let m0 = month - 1 + ship_offset_months;
+                (year + m0 / 12, m0 % 12 + 1)
+            };
+            let sdate = yyyymmdd(ship_year, ship_month, rng.gen_range_inclusive(1, 28));
+            let returnflag = if sdate
+                <= yyyymmdd(1995, 6, 17) && rng.gen_bool(0.5)
+            {
+                *rng.choose(&["R", "A"])
+            } else {
+                "N"
+            };
+            let linestatus = if ship_year <= 1995 { "F" } else { "O" };
+            lineitem_rows.push(vec![
+                Value::Int(o as i64),
+                Value::Int(partkey as i64),
+                Value::Int(suppkey as i64),
+                Value::Int(ln),
+                Value::Int(quantity),
+                Value::Num(extended),
+                Value::Num(discount),
+                Value::Num(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Int(sdate),
+                Value::Int(ship_year),
+                Value::Int(ship_month),
+            ]);
+        }
+    }
+    let lineitems = lineitem_rows.len();
+    let orders = Relation::from_rows(
+        [
+            "o_orderkey",
+            "o_custkey",
+            "o_orderdate",
+            "o_year",
+            "o_month",
+            "o_orderpriority",
+        ],
+        orders_rows,
+    )
+    .expect("arity");
+    let lineitem = Relation::from_rows(
+        [
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_shipyear",
+            "l_shipmonth",
+        ],
+        lineitem_rows,
+    )
+    .expect("arity");
+
+    let mut db = Database::new();
+    db.insert("region", region);
+    db.insert("nation", nation);
+    db.insert("supplier", supplier);
+    db.insert("customer", customer);
+    db.insert("part", part);
+    db.insert("partsupp", partsupp);
+    db.insert("orders", orders);
+    db.insert("lineitem", lineitem);
+    TpchDatabase {
+        db,
+        supp_nation,
+        part_brand,
+        config,
+        lineitems,
+    }
+}
+
+impl TpchDatabase {
+    /// Generates at the given configuration.
+    pub fn generate(config: TpchConfig) -> TpchDatabase {
+        generate(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let small = TpchConfig::sf(0.01);
+        assert_eq!(small.suppliers(), 100);
+        assert_eq!(small.customers(), 1500);
+        assert_eq!(small.orders(), 15_000);
+        // minimums kick in at tiny scales
+        let tiny = TpchConfig::sf(0.0001);
+        assert_eq!(tiny.suppliers(), 10);
+    }
+
+    #[test]
+    fn generates_consistent_tables() {
+        let t = TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.001,
+            seed: 5,
+        });
+        assert_eq!(t.db.table("region").unwrap().len(), 5);
+        assert_eq!(t.db.table("nation").unwrap().len(), 25);
+        let supp = t.db.table("supplier").unwrap();
+        assert_eq!(supp.len(), t.config.suppliers());
+        assert_eq!(t.supp_nation.len(), supp.len());
+        let orders = t.db.table("orders").unwrap();
+        let lineitem = t.db.table("lineitem").unwrap();
+        assert!(lineitem.len() >= orders.len());
+        assert_eq!(lineitem.len(), t.lineitems);
+        // foreign keys in range
+        for row in lineitem.rows().iter().take(100) {
+            let (ok, sk) = match (&row[0], &row[2]) {
+                (Value::Int(o), Value::Int(s)) => (*o, *s),
+                _ => panic!("bad types"),
+            };
+            assert!(ok >= 1 && ok <= orders.len() as i64);
+            assert!(sk >= 1 && sk <= supp.len() as i64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.001,
+            seed: 9,
+        });
+        let b = TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.001,
+            seed: 9,
+        });
+        assert_eq!(
+            a.db.table("lineitem").unwrap().rows(),
+            b.db.table("lineitem").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn dates_are_calendar_valid() {
+        let t = TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.001,
+            seed: 11,
+        });
+        for row in t.db.table("lineitem").unwrap().rows() {
+            let (y, m) = match (&row[11], &row[12]) {
+                (Value::Int(y), Value::Int(m)) => (*y, *m),
+                _ => panic!("bad types"),
+            };
+            assert!((1992..=1999).contains(&y));
+            assert!((1..=12).contains(&m));
+        }
+    }
+}

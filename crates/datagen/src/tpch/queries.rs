@@ -1,0 +1,399 @@
+//! TPC-H query analogues with provenance parameterization.
+//!
+//! The instrumentation mirrors the telephony example: every
+//! `l_extendedprice` cell is multiplied by `nation_var × month_var`,
+//! where the nation is the supplying nation and the month is the ship
+//! month. The natural abstraction trees are then **geography** (regions
+//! group nations — Fig. 2's analogue) and **time** (quarters group
+//! months — exactly the quarter tree §4 describes).
+
+use super::gen::TpchDatabase;
+use super::text::{nation_var_name, region_node_name, NATIONS, REGIONS};
+use cobra_core::AbstractionTree;
+use cobra_engine::{parameterize, EngineError, Value};
+use cobra_provenance::{Monomial, PolySet, Var, VarRegistry};
+use cobra_util::Rat;
+
+/// A TPC-H query analogue: SQL text plus how to extract its provenance.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchQuery {
+    /// Identifier ("Q1", …).
+    pub name: &'static str,
+    /// What the query computes.
+    pub description: &'static str,
+    /// The SQL text (dialect of `cobra_engine::sql`).
+    pub sql: &'static str,
+    /// Columns labelling each result tuple.
+    pub label_cols: &'static [&'static str],
+    /// The symbolic (SUM) column holding the provenance polynomial.
+    pub poly_col: &'static str,
+}
+
+/// The demonstrated query subset.
+pub const TPCH_QUERIES: [TpchQuery; 6] = [
+    TpchQuery {
+        name: "Q1",
+        description: "pricing summary by return flag and line status",
+        sql: "SELECT l_returnflag, l_linestatus, \
+                     SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+                     SUM(l_quantity) AS sum_qty, COUNT(*) AS count_order \
+              FROM lineitem WHERE l_shipdate <= 19980902 \
+              GROUP BY l_returnflag, l_linestatus",
+        label_cols: &["l_returnflag", "l_linestatus"],
+        poly_col: "revenue",
+    },
+    TpchQuery {
+        name: "Q3",
+        description: "revenue of building-segment orders placed before 1995-03-15",
+        sql: "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer, orders, lineitem \
+              WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey \
+                AND l_orderkey = o_orderkey AND o_orderdate < 19950315 \
+                AND l_shipdate > 19950315 \
+              GROUP BY l_orderkey",
+        label_cols: &["l_orderkey"],
+        poly_col: "revenue",
+    },
+    TpchQuery {
+        name: "Q5",
+        description: "local-supplier volume per ASIA nation in 1994",
+        sql: "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer, orders, lineitem, supplier, nation, region \
+              WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+                AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey \
+                AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+                AND r_name = 'ASIA' AND o_year = 1994 \
+              GROUP BY n_name",
+        label_cols: &["n_name"],
+        poly_col: "revenue",
+    },
+    TpchQuery {
+        name: "Q6",
+        description: "forecast revenue change from mid-range discounts in 1994",
+        sql: "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+              FROM lineitem \
+              WHERE l_shipyear = 1994 AND l_discount >= 0.05 \
+                AND l_discount <= 0.07 AND l_quantity < 24",
+        label_cols: &[],
+        poly_col: "revenue",
+    },
+    TpchQuery {
+        name: "Q11",
+        description: "stock value per part held by EUROPE suppliers",
+        sql: "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value \
+              FROM partsupp, supplier, nation, region \
+              WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey \
+                AND n_regionkey = r_regionkey AND r_name = 'EUROPE' \
+              GROUP BY ps_partkey",
+        label_cols: &["ps_partkey"],
+        poly_col: "value",
+    },
+    TpchQuery {
+        name: "Q10",
+        description: "revenue lost to returned items per customer (1993 Q4)",
+        sql: "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue \
+              FROM customer, orders, lineitem, nation \
+              WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+                AND c_nationkey = n_nationkey AND l_returnflag = 'R' \
+                AND o_orderdate >= 19931001 AND o_orderdate < 19940101 \
+              GROUP BY c_custkey, c_name",
+        label_cols: &["c_custkey"],
+        poly_col: "revenue",
+    },
+];
+
+/// Which ontology dimension parameterizes `l_extendedprice` (the second
+/// factor is always the ship month).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PriceDimension {
+    /// `price · nation(supplier) · sm(month)` — pairs with
+    /// [`geography_tree`].
+    SupplierNation,
+    /// `price · brand(part) · sm(month)` — pairs with [`part_tree`].
+    PartBrand,
+}
+
+/// The database after instrumentation, with its provenance variables.
+pub struct InstrumentedTpch {
+    /// The TPC-H database with `l_extendedprice` (and `ps_supplycost`)
+    /// parameterized.
+    pub tpch: TpchDatabase,
+    /// The shared variable registry.
+    pub reg: VarRegistry,
+    /// Nation variables, index-aligned with [`NATIONS`].
+    pub nation_vars: Vec<Var>,
+    /// Ship-month variables `sm1..sm12`.
+    pub month_vars: Vec<Var>,
+    /// Brand variables `brand_MN` (index `(M-1)*5 + (N-1)`).
+    pub brand_vars: Vec<Var>,
+    /// The chosen price dimension.
+    pub dimension: PriceDimension,
+}
+
+impl InstrumentedTpch {
+    /// Instruments with the default supplier-nation dimension.
+    pub fn new(tpch: TpchDatabase) -> InstrumentedTpch {
+        Self::with_dimension(tpch, PriceDimension::SupplierNation)
+    }
+
+    /// Instruments a generated database: every `l_extendedprice` becomes
+    /// `price · dim_var · sm(ship month)` where `dim_var` is the supplier
+    /// nation or the part brand, and every `ps_supplycost` becomes
+    /// `cost · nation(supplier)` (for the Q11 analogue).
+    pub fn with_dimension(
+        mut tpch: TpchDatabase,
+        dimension: PriceDimension,
+    ) -> InstrumentedTpch {
+        let mut reg = VarRegistry::new();
+        let nation_vars: Vec<Var> = NATIONS
+            .iter()
+            .map(|(n, _)| reg.var(&nation_var_name(n)))
+            .collect();
+        let month_vars: Vec<Var> = (1..=12).map(|m| reg.var(&format!("sm{m}"))).collect();
+        let mut brand_vars = Vec::with_capacity(25);
+        for m in 1..=5u8 {
+            for n in 1..=5u8 {
+                brand_vars.push(reg.var(&format!("brand_{m}{n}")));
+            }
+        }
+        let supp_nation = tpch.supp_nation.clone();
+        let part_brand = tpch.part_brand.clone();
+        let lineitem = tpch
+            .db
+            .table_mut("lineitem")
+            .expect("lineitem table exists");
+        parameterize(lineitem, "l_extendedprice", |row| {
+            let month = match row[12] {
+                Value::Int(m) => m as usize,
+                _ => return None,
+            };
+            let dim_var = match dimension {
+                PriceDimension::SupplierNation => {
+                    let suppkey = match row[2] {
+                        Value::Int(s) => s as usize,
+                        _ => return None,
+                    };
+                    nation_vars[supp_nation[suppkey - 1]]
+                }
+                PriceDimension::PartBrand => {
+                    let partkey = match row[1] {
+                        Value::Int(p) => p as usize,
+                        _ => return None,
+                    };
+                    let (bm, bn) = part_brand[partkey - 1];
+                    brand_vars[(bm as usize - 1) * 5 + (bn as usize - 1)]
+                }
+            };
+            Some(Monomial::from_pairs([
+                (dim_var, 1),
+                (month_vars[month - 1], 1),
+            ]))
+        })
+        .expect("l_extendedprice is numeric");
+        let partsupp = tpch
+            .db
+            .table_mut("partsupp")
+            .expect("partsupp table exists");
+        parameterize(partsupp, "ps_supplycost", |row| {
+            let suppkey = match row[1] {
+                Value::Int(s) => s as usize,
+                _ => return None,
+            };
+            Some(Monomial::var(nation_vars[supp_nation[suppkey - 1]]))
+        })
+        .expect("ps_supplycost is numeric");
+        InstrumentedTpch {
+            tpch,
+            reg,
+            nation_vars,
+            month_vars,
+            brand_vars,
+            dimension,
+        }
+    }
+
+    /// Runs one query and extracts its provenance polynomials.
+    pub fn run(&self, query: &TpchQuery) -> Result<PolySet<Rat>, EngineError> {
+        let rel = self.tpch.db.sql(query.sql)?;
+        if query.label_cols.is_empty() {
+            // single global aggregate → one polynomial labelled by name
+            let set = rel.extract_polyset(&[], query.poly_col)?;
+            let mut named = PolySet::new();
+            for (i, (_, p)) in set.iter().enumerate() {
+                named.push(format!("{}#{i}", query.name), p.clone());
+            }
+            return Ok(named);
+        }
+        rel.extract_polyset(query.label_cols, query.poly_col)
+    }
+}
+
+/// The geography tree: `World(AFRICA(...), AMERICA(...), …)`, regions
+/// grouping their five nations.
+pub fn geography_tree(reg: &mut VarRegistry) -> AbstractionTree {
+    let mut region_specs = Vec::with_capacity(REGIONS.len());
+    for (rk, region) in REGIONS.iter().enumerate() {
+        let nations: Vec<String> = NATIONS
+            .iter()
+            .filter(|(_, r)| *r == rk)
+            .map(|(n, _)| nation_var_name(n))
+            .collect();
+        region_specs.push(format!("{}({})", region_node_name(region), nations.join(",")));
+    }
+    let src = format!("World({})", region_specs.join(","));
+    AbstractionTree::parse(&src, reg).expect("generated geography tree is well-formed")
+}
+
+/// The parts tree: `Parts(Mfgr1(brand_11..brand_15), …)` — manufacturers
+/// grouping their five brands (TPC-H brands `Brand#MN` belong to
+/// `Manufacturer#M`).
+pub fn part_tree(reg: &mut VarRegistry) -> AbstractionTree {
+    let mut mfgrs = Vec::with_capacity(5);
+    for m in 1..=5 {
+        let brands: Vec<String> = (1..=5).map(|n| format!("brand_{m}{n}")).collect();
+        mfgrs.push(format!("Mfgr{m}({})", brands.join(",")));
+    }
+    let src = format!("Parts({})", mfgrs.join(","));
+    AbstractionTree::parse(&src, reg).expect("generated parts tree is well-formed")
+}
+
+/// The time tree: `ShipYear(sq1(sm1,sm2,sm3), …)` — quarters grouping
+/// ship months, as §4 suggests for uniformly-changing periods.
+pub fn time_tree(reg: &mut VarRegistry) -> AbstractionTree {
+    let mut quarters = Vec::with_capacity(4);
+    for q in 0..4 {
+        let months: Vec<String> = (1..=3).map(|m| format!("sm{}", q * 3 + m)).collect();
+        quarters.push(format!("sq{}({})", q + 1, months.join(",")));
+    }
+    let src = format!("ShipYear({})", quarters.join(","));
+    AbstractionTree::parse(&src, reg).expect("generated time tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::TpchConfig;
+
+    fn tiny() -> InstrumentedTpch {
+        InstrumentedTpch::new(TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.002,
+            seed: 21,
+        }))
+    }
+
+    #[test]
+    fn all_queries_run_and_produce_polynomials() {
+        let t = tiny();
+        for q in &TPCH_QUERIES {
+            let set = t.run(q).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            assert!(!set.is_empty(), "{} produced no polynomials", q.name);
+            assert!(
+                set.total_monomials() > 0,
+                "{} produced empty polynomials",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn q5_polynomials_mention_only_asia_nations() {
+        let t = tiny();
+        let q5 = &TPCH_QUERIES[2];
+        let set = t.run(q5).unwrap();
+        let asia: Vec<Var> = NATIONS
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, rk))| *rk == 2)
+            .map(|(i, _)| t.nation_vars[i])
+            .collect();
+        for (label, poly) in set.iter() {
+            for (m, _) in poly.iter() {
+                for v in m.vars() {
+                    if t.nation_vars.contains(&v) {
+                        assert!(asia.contains(&v), "{label} mentions non-ASIA nation");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trees_cover_all_parameter_variables() {
+        let t = tiny();
+        let mut reg = t.reg.clone();
+        let geo = geography_tree(&mut reg);
+        let time = time_tree(&mut reg);
+        assert_eq!(geo.num_leaves(), 25);
+        assert_eq!(time.num_leaves(), 12);
+        for &v in &t.nation_vars {
+            assert!(geo.contains_var(v));
+        }
+        for &v in &t.month_vars {
+            assert!(time.contains_var(v));
+        }
+    }
+
+    #[test]
+    fn q11_uses_partsupp_with_nation_provenance() {
+        let t = tiny();
+        let q11 = TPCH_QUERIES.iter().find(|q| q.name == "Q11").unwrap();
+        let set = t.run(q11).unwrap();
+        assert!(!set.is_empty());
+        // every monomial mentions exactly one EUROPE nation variable
+        let europe: Vec<Var> = NATIONS
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, rk))| *rk == 3)
+            .map(|(i, _)| t.nation_vars[i])
+            .collect();
+        for (label, poly) in set.iter() {
+            for (m, _) in poly.iter() {
+                let nation_count = m
+                    .vars()
+                    .filter(|v| t.nation_vars.contains(v))
+                    .count();
+                assert_eq!(nation_count, 1, "{label}");
+                for v in m.vars() {
+                    if t.nation_vars.contains(&v) {
+                        assert!(europe.contains(&v), "{label}: non-EUROPE nation");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brand_dimension_pairs_with_part_tree() {
+        let t = InstrumentedTpch::with_dimension(
+            TpchDatabase::generate(crate::tpch::TpchConfig {
+                scale_factor: 0.002,
+                seed: 21,
+            }),
+            PriceDimension::PartBrand,
+        );
+        let set = t.run(&TPCH_QUERIES[0]).unwrap(); // Q1
+        let mut reg = t.reg.clone();
+        let parts = part_tree(&mut reg);
+        assert_eq!(parts.num_leaves(), 25);
+        // Q1's polynomials analyse cleanly against the parts tree…
+        let analysis = cobra_core::GroupAnalysis::analyze(&set, &parts).unwrap();
+        let full = analysis.total_monomials();
+        // …and grouping brands by manufacturer shrinks the provenance
+        let mfgrs: Vec<_> = (1..=5)
+            .map(|m| parts.node_by_name(&format!("Mfgr{m}")).unwrap())
+            .collect();
+        assert!(analysis.compressed_size(&mfgrs) < full);
+    }
+
+    #[test]
+    fn q1_compresses_under_geography() {
+        let t = tiny();
+        let set = t.run(&TPCH_QUERIES[0]).unwrap();
+        let mut reg = t.reg.clone();
+        let geo = geography_tree(&mut reg);
+        let analysis = cobra_core::GroupAnalysis::analyze(&set, &geo).unwrap();
+        let full = analysis.total_monomials();
+        let root_size = analysis.compressed_size(&[geo.root()]);
+        assert!(root_size < full, "grouping nations must shrink Q1");
+    }
+}

@@ -1,0 +1,119 @@
+//! Fixed text pools of the TPC-H specification (regions, nations, market
+//! segments, part vocabulary) and naming helpers.
+
+/// The five regions, index = `r_regionkey`.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations as `(name, regionkey)`, index = `n_nationkey` —
+/// the standard TPC-H nation/region mapping.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Customer market segments.
+pub const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Part-name vocabulary (a subset of the spec's P_NAME word list).
+pub const PART_WORDS: [&str; 24] = [
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "drab",
+];
+
+/// Part type components (`TYPE_S1 TYPE_S2 TYPE_S3`).
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// The provenance-variable name of a nation: lowercase with underscores
+/// (`"UNITED STATES"` → `"united_states"`), a valid identifier for the
+/// polynomial and tree parsers.
+pub fn nation_var_name(nation: &str) -> String {
+    nation.to_ascii_lowercase().replace(' ', "_")
+}
+
+/// The tree-node name of a region (`"MIDDLE EAST"` → `"MIDDLE_EAST"`).
+pub fn region_node_name(region: &str) -> String {
+    region.replace(' ', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nation_region_mapping_is_complete() {
+        assert_eq!(NATIONS.len(), 25);
+        for (_, rk) in NATIONS {
+            assert!(rk < REGIONS.len());
+        }
+        // every region has exactly 5 nations in TPC-H
+        for r in 0..REGIONS.len() {
+            assert_eq!(NATIONS.iter().filter(|(_, rk)| *rk == r).count(), 5);
+        }
+    }
+
+    #[test]
+    fn var_names_are_identifiers() {
+        for (n, _) in NATIONS {
+            let v = nation_var_name(n);
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_eq!(nation_var_name("UNITED STATES"), "united_states");
+        assert_eq!(region_node_name("MIDDLE EAST"), "MIDDLE_EAST");
+    }
+}

@@ -1,0 +1,82 @@
+//! The database catalog: named relations and query entry points.
+
+use crate::error::Result;
+use crate::query::Plan;
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// A named collection of in-memory relations.
+///
+/// `BTreeMap` keeps table iteration deterministic for display and tests.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a table.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.tables.insert(name.into(), rel);
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access to a table (for in-place parameterization).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.tables.get_mut(name)
+    }
+
+    /// Iterates `(name, relation)` in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True iff there are no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Executes a logical plan.
+    pub fn execute(&self, plan: &Plan) -> Result<Relation> {
+        crate::exec::execute(self, plan)
+    }
+
+    /// Parses and executes a SQL query.
+    pub fn sql(&self, query: &str) -> Result<Relation> {
+        let plan = crate::sql::compile(query, self)?;
+        self.execute(&plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn insert_lookup_iterate() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.insert("b", Relation::empty(Schema::new(["x"])));
+        db.insert("a", Relation::empty(Schema::new(["y"])));
+        assert_eq!(db.len(), 2);
+        assert!(db.table("a").is_some());
+        assert!(db.table("c").is_none());
+        let names: Vec<&str> = db.tables().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]); // deterministic order
+        db.table_mut("a").unwrap();
+    }
+}

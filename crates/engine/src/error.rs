@@ -1,0 +1,49 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while planning or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A column name did not resolve against the schema.
+    UnknownColumn(String),
+    /// A column name matched more than one column.
+    AmbiguousColumn(String),
+    /// A table name did not resolve against the catalog.
+    UnknownTable(String),
+    /// An operation was applied to values of unsupported types.
+    TypeError(String),
+    /// Division by a zero scalar.
+    DivisionByZero,
+    /// A symbolic (polynomial) value reached a position that requires a
+    /// concrete scalar (group key, comparison, MIN/MAX).
+    SymbolicValue(String),
+    /// SQL lexing/parsing failure.
+    Sql { offset: usize, message: String },
+    /// Plan shape error (e.g. non-aggregated column outside GROUP BY).
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::SymbolicValue(m) => {
+                write!(f, "symbolic value where a scalar is required: {m}")
+            }
+            EngineError::Sql { offset, message } => {
+                write!(f, "SQL error at byte {offset}: {message}")
+            }
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,307 @@
+//! K-relations: relations annotated with elements of an arbitrary
+//! commutative semiring (Green et al., PODS 2007 — the paper's [5]).
+//!
+//! This is the tuple-level provenance model that provenance polynomials
+//! instantiate (take `K = ℕ[X]`, i.e. `Polynomial`). The module provides
+//! the positive relational algebra (selection, projection, join, union)
+//! over annotated tuples, and is used by the tests to verify the
+//! **commutation theorem**: evaluating a query and then applying a semiring
+//! homomorphism to the annotations equals applying the homomorphism to the
+//! input annotations and then evaluating the query. COBRA's "assign values
+//! to the polynomial instead of re-running the query" rests exactly on this
+//! property.
+
+use crate::error::{EngineError, Result};
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::{ScalarKey, Value};
+use cobra_provenance::Semiring;
+use cobra_util::FxHashMap;
+
+/// A relation whose tuples carry semiring annotations.
+///
+/// Tuples are kept in a canonical map keyed by their scalar values;
+/// inserting an existing tuple combines annotations with `⊕` (so a
+/// K-relation is a function `tuples → K` with finite support, as in the
+/// paper).
+#[derive(Clone, Debug)]
+pub struct KRelation<K: Semiring> {
+    schema: Schema,
+    rows: Vec<(Row, K)>,
+    index: FxHashMap<Vec<ScalarKey>, usize>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    /// Creates an empty K-relation.
+    pub fn new(schema: Schema) -> Self {
+        KRelation {
+            schema,
+            rows: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Iterates `(tuple, annotation)` pairs with non-zero annotations.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &K)> {
+        self.rows
+            .iter()
+            .filter(|(_, k)| !k.is_zero())
+            .map(|(r, k)| (r, k))
+    }
+
+    /// Number of tuples with non-zero annotation.
+    pub fn support(&self) -> usize {
+        self.rows.iter().filter(|(_, k)| !k.is_zero()).count()
+    }
+
+    fn key_of(row: &Row) -> Result<Vec<ScalarKey>> {
+        row.iter().map(Value::key).collect()
+    }
+
+    /// Adds `annotation` to the tuple's current annotation (⊕-insert).
+    pub fn insert(&mut self, row: Row, annotation: K) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::Plan(format!(
+                "tuple arity {} != schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        let key = Self::key_of(&row)?;
+        match self.index.get(&key) {
+            Some(&i) => {
+                let cur = &self.rows[i].1;
+                self.rows[i].1 = cur.plus(&annotation);
+            }
+            None => {
+                self.index.insert(key, self.rows.len());
+                self.rows.push((row, annotation));
+            }
+        }
+        Ok(())
+    }
+
+    /// The annotation of a tuple (`K::zero()` if absent).
+    pub fn annotation(&self, row: &Row) -> Result<K> {
+        let key = Self::key_of(row)?;
+        Ok(match self.index.get(&key) {
+            Some(&i) => self.rows[i].1.clone(),
+            None => K::zero(),
+        })
+    }
+
+    /// Selection σ: keeps tuples satisfying `pred` (annotations unchanged).
+    pub fn select(&self, mut pred: impl FnMut(&Row) -> bool) -> Self {
+        let mut out = KRelation::new(self.schema.clone());
+        for (row, k) in self.iter() {
+            if pred(row) {
+                out.insert(row.clone(), k.clone()).expect("same arity");
+            }
+        }
+        out
+    }
+
+    /// Projection π onto the given columns; tuples that collapse combine
+    /// their annotations with `⊕`.
+    pub fn project(&self, columns: &[&str]) -> Result<Self> {
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.resolve(c))
+            .collect::<Result<_>>()?;
+        let schema = Schema::from_columns(
+            idx.iter().map(|&i| self.schema.column(i).clone()).collect(),
+        );
+        let mut out = KRelation::new(schema);
+        for (row, k) in self.iter() {
+            let projected: Row = idx.iter().map(|&i| row[i].clone()).collect();
+            out.insert(projected, k.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Natural-style equi-join ⋈ on `(left column, right column)` pairs;
+    /// matched annotations combine with `⊗`.
+    pub fn join(&self, other: &Self, on: &[(&str, &str)]) -> Result<Self> {
+        let left_idx: Vec<usize> = on
+            .iter()
+            .map(|(a, _)| self.schema.resolve(a))
+            .collect::<Result<_>>()?;
+        let right_idx: Vec<usize> = on
+            .iter()
+            .map(|(_, b)| other.schema.resolve(b))
+            .collect::<Result<_>>()?;
+        let mut index: FxHashMap<Vec<ScalarKey>, Vec<usize>> = FxHashMap::default();
+        for (i, (row, k)) in other.rows.iter().enumerate() {
+            if k.is_zero() {
+                continue;
+            }
+            let key: Vec<ScalarKey> = right_idx
+                .iter()
+                .map(|&j| row[j].key())
+                .collect::<Result<_>>()?;
+            index.entry(key).or_default().push(i);
+        }
+        let mut out = KRelation::new(self.schema.concat(&other.schema));
+        for (row, k) in self.iter() {
+            let key: Vec<ScalarKey> = left_idx
+                .iter()
+                .map(|&j| row[j].key())
+                .collect::<Result<_>>()?;
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    let (rrow, rk) = &other.rows[ri];
+                    let mut joined = row.clone();
+                    joined.extend(rrow.iter().cloned());
+                    out.insert(joined, k.times(rk))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Union ∪ (schemas must agree); annotations of equal tuples combine
+    /// with `⊕`.
+    pub fn union(&self, other: &Self) -> Result<Self> {
+        if self.schema.len() != other.schema.len() {
+            return Err(EngineError::Plan("union arity mismatch".into()));
+        }
+        let mut out = KRelation::new(self.schema.clone());
+        for (row, k) in self.iter().chain(other.iter()) {
+            out.insert(row.clone(), k.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Applies a function to every annotation — in particular a semiring
+    /// homomorphism, for the commutation theorem.
+    pub fn map_annotations<K2: Semiring>(&self, mut f: impl FnMut(&K) -> K2) -> KRelation<K2> {
+        let mut out = KRelation::new(self.schema.clone());
+        for (row, k) in self.iter() {
+            out.insert(row.clone(), f(k)).expect("same arity");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_provenance::semiring::Why;
+    use cobra_provenance::{Monomial, Polynomial, Var};
+    use cobra_util::Rat;
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|s| s.to_string()))
+    }
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn insert_combines_with_plus() {
+        let mut r: KRelation<u64> = KRelation::new(schema(&["x"]));
+        r.insert(row(&[1]), 2).unwrap();
+        r.insert(row(&[1]), 3).unwrap();
+        r.insert(row(&[2]), 1).unwrap();
+        assert_eq!(r.annotation(&row(&[1])).unwrap(), 5);
+        assert_eq!(r.annotation(&row(&[3])).unwrap(), 0);
+        assert_eq!(r.support(), 2);
+    }
+
+    #[test]
+    fn positive_algebra_counting() {
+        // R(x) = {1↦2, 2↦1}; S(x,y) = {(1,7)↦3}
+        let mut r: KRelation<u64> = KRelation::new(schema(&["x"]));
+        r.insert(row(&[1]), 2).unwrap();
+        r.insert(row(&[2]), 1).unwrap();
+        let mut s: KRelation<u64> = KRelation::new(schema(&["x2", "y"]));
+        s.insert(row(&[1, 7]), 3).unwrap();
+        // join multiplies: (1,1,7) ↦ 6
+        let j = r.join(&s, &[("x", "x2")]).unwrap();
+        assert_eq!(j.annotation(&row(&[1, 1, 7])).unwrap(), 6);
+        // project onto y keeps 6
+        let p = j.project(&["y"]).unwrap();
+        assert_eq!(p.annotation(&row(&[7])).unwrap(), 6);
+        // union adds
+        let u = r.union(&r).unwrap();
+        assert_eq!(u.annotation(&row(&[2])).unwrap(), 2);
+        // select filters without touching annotations
+        let sel = r.select(|t| t[0] == Value::Int(1));
+        assert_eq!(sel.support(), 1);
+    }
+
+    #[test]
+    fn why_provenance_tracks_witnesses() {
+        let mut r: KRelation<Why> = KRelation::new(schema(&["x"]));
+        r.insert(row(&[1]), Why::tuple(Var(10))).unwrap();
+        let mut s: KRelation<Why> = KRelation::new(schema(&["x2"]));
+        s.insert(row(&[1]), Why::tuple(Var(20))).unwrap();
+        let j = r.join(&s, &[("x", "x2")]).unwrap();
+        let w = j.annotation(&row(&[1, 1])).unwrap();
+        // single witness containing both source tuples
+        assert_eq!(w.0.len(), 1);
+        assert!(w.0.iter().next().unwrap().contains(&Var(10)));
+        assert!(w.0.iter().next().unwrap().contains(&Var(20)));
+    }
+
+    /// The commutation theorem on a concrete query:
+    /// `hom(eval(Q, R)) == eval(Q, hom(R))` for the evaluation
+    /// homomorphism ℚ[X] → ℚ.
+    #[test]
+    fn homomorphism_commutes_with_queries() {
+        use cobra_provenance::Valuation;
+        let x1 = Var(1);
+        let x2 = Var(2);
+        let x3 = Var(3);
+        let poly = |v: Var| Polynomial::<Rat>::term(Monomial::var(v), Rat::ONE);
+
+        let mut r: KRelation<Polynomial<Rat>> = KRelation::new(schema(&["a", "b"]));
+        r.insert(row(&[1, 10]), poly(x1)).unwrap();
+        r.insert(row(&[2, 10]), poly(x2)).unwrap();
+        let mut s: KRelation<Polynomial<Rat>> = KRelation::new(schema(&["b2", "c"]));
+        s.insert(row(&[10, 5]), poly(x3)).unwrap();
+
+        let query = |r: &KRelation<Polynomial<Rat>>, s: &KRelation<Polynomial<Rat>>| {
+            r.join(s, &[("b", "b2")]).unwrap().project(&["c"]).unwrap()
+        };
+        let query_num = |r: &KRelation<Rat>, s: &KRelation<Rat>| {
+            r.join(s, &[("b", "b2")]).unwrap().project(&["c"]).unwrap()
+        };
+
+        let val = Valuation::with_default(Rat::ONE)
+            .bind(x1, Rat::int(3))
+            .bind(x2, Rat::int(0)) // hypothetically delete tuple 2
+            .bind(x3, Rat::int(2));
+        let hom = |p: &Polynomial<Rat>| p.eval(&val).unwrap();
+
+        // eval-then-hom
+        let symbolic_result = query(&r, &s).map_annotations(hom);
+        // hom-then-eval
+        let concrete_result = query_num(&r.map_annotations(hom), &s.map_annotations(hom));
+
+        // (c=5) is derived as x1·x3 + x2·x3 = 3·2 + 0·2 = 6 both ways
+        assert_eq!(
+            symbolic_result.annotation(&row(&[5])).unwrap(),
+            Rat::int(6)
+        );
+        assert_eq!(
+            concrete_result.annotation(&row(&[5])).unwrap(),
+            Rat::int(6)
+        );
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut r: KRelation<u64> = KRelation::new(schema(&["x"]));
+        assert!(r.insert(row(&[1, 2]), 1).is_err());
+        let s: KRelation<u64> = KRelation::new(schema(&["a", "b"]));
+        assert!(r.union(&s).is_err());
+        assert!(r.project(&["nope"]).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # cobra-engine
+//!
+//! A provenance-aware in-memory SPJA (select / project / join / aggregate)
+//! query engine — the "provenance engine" box of the paper's architecture
+//! (Fig. 4) that produces the polynomials COBRA compresses.
+//!
+//! The engine implements the aggregate-provenance semantics of Amsterdamer,
+//! Deutch & Tannen (PODS 2011, the paper's [2]) in the specialized form the
+//! paper uses: selected input **cells** are parameterized by multiplying
+//! them with provenance variables ([`parameterize`]); arithmetic and `SUM`
+//! aggregation then propagate symbolic values, so an aggregate query result
+//! is a [`cobra_provenance::Polynomial`] per output tuple (paper Example 2).
+//!
+//! Modules:
+//! * [`value`] — dynamically typed cell values, including symbolic
+//!   polynomial values, with numeric promotion rules.
+//! * [`schema`] / [`relation`] — named columns and in-memory tables.
+//! * [`expr`] / [`predicate`] — scalar expressions and boolean predicates.
+//! * [`query`] — logical plans (scan, filter, project, equi-join,
+//!   group-by aggregate) with a builder API.
+//! * [`exec`] — the executor: hash joins, hash aggregation, symbolic SUM.
+//! * [`parameterize`] — cell-level instrumentation with provenance
+//!   variables (the paper's "instrument the data with symbolic variables").
+//! * [`sql`] — a SQL subset (SELECT/FROM/WHERE/GROUP BY) compiled to plans,
+//!   sufficient for the paper's running example and the TPC-H queries.
+//! * [`catalog`] — the [`Database`]: named relations + query entry points.
+//! * [`krelation`] — K-relations over arbitrary provenance semirings
+//!   (Green et al., PODS 2007) with the homomorphism commutation property.
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod krelation;
+pub mod parameterize;
+pub mod predicate;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod sql;
+pub mod value;
+
+pub use catalog::Database;
+pub use error::EngineError;
+pub use expr::Expr;
+pub use parameterize::parameterize;
+pub use predicate::{CmpOp, Pred};
+pub use query::{AggFunc, Plan};
+pub use relation::{Relation, Row};
+pub use schema::{Column, Schema};
+pub use value::Value;

@@ -1,0 +1,155 @@
+//! Cell-level parameterization: instrumenting data with provenance
+//! variables.
+//!
+//! This is the paper's instrumentation step (§1: "instrument the data with
+//! symbolic variables, either at the cell or tuple level"). A numeric cell
+//! holding value `v` becomes the symbolic value `v · x₁·…·xₖ` where the
+//! monomial `x₁·…·xₖ` is chosen per row — in the running example the
+//! `Price` cell of plan `A` in month 1 becomes `0.4 · p1 · m1`, so that a
+//! later valuation `p1 ↦ 1.1` models "plan A's price +10%".
+
+use crate::error::{EngineError, Result};
+use crate::relation::{Relation, Row};
+use crate::value::Value;
+use cobra_provenance::{Monomial, Polynomial};
+
+/// Multiplies the numeric cells of `column` by a per-row monomial.
+///
+/// `tagger` inspects the full row and returns the monomial of provenance
+/// variables for that cell, or `None` to leave the cell concrete. Returns
+/// the number of parameterized cells.
+///
+/// # Errors
+/// `TypeError` if a tagged cell is not numeric/symbolic.
+pub fn parameterize(
+    rel: &mut Relation,
+    column: &str,
+    mut tagger: impl FnMut(&Row) -> Option<Monomial>,
+) -> Result<usize> {
+    let idx = rel.schema().resolve(column)?;
+    let mut count = 0usize;
+    for row in rel.rows_mut() {
+        let Some(monomial) = tagger(row) else {
+            continue;
+        };
+        if monomial.is_one() {
+            continue;
+        }
+        let cell = &row[idx];
+        let poly = match cell {
+            Value::Poly(p) => p.mul_monomial(&monomial),
+            other => {
+                let c = other.as_rat().ok_or_else(|| {
+                    EngineError::TypeError(format!(
+                        "cannot parameterize {} cell in column {column}",
+                        other.type_name()
+                    ))
+                })?;
+                Polynomial::term(monomial, c)
+            }
+        };
+        row[idx] = Value::Poly(poly);
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_provenance::VarRegistry;
+    use cobra_util::Rat;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    #[test]
+    fn paper_style_price_parameterization() {
+        // Plans(Plan, Mo, Price): annotate Price with plan-var × month-var.
+        let mut reg = VarRegistry::new();
+        let p1 = reg.var("p1");
+        let f1 = reg.var("f1");
+        let m1 = reg.var("m1");
+        let mut rel = Relation::from_rows(
+            ["Plan", "Mo", "Price"],
+            vec![
+                vec![Value::str("A"), Value::Int(1), Value::Num(rat("0.4"))],
+                vec![Value::str("F1"), Value::Int(1), Value::Num(rat("0.35"))],
+            ],
+        )
+        .unwrap();
+        let n = parameterize(&mut rel, "Price", |row| {
+            let plan_var = match &row[0] {
+                Value::Str(s) if &**s == "A" => p1,
+                _ => f1,
+            };
+            Some(Monomial::from_pairs([(plan_var, 1), (m1, 1)]))
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        match &rel.rows()[0][2] {
+            Value::Poly(p) => {
+                assert_eq!(
+                    p.coeff_of(&Monomial::from_pairs([(p1, 1), (m1, 1)])),
+                    rat("0.4")
+                );
+            }
+            other => panic!("expected poly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_and_repeat_tagging() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut rel = Relation::from_rows(
+            ["k", "v"],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        // tag only k=1
+        let n = parameterize(&mut rel, "v", |row| {
+            (row[0] == Value::Int(1)).then(|| Monomial::var(x))
+        })
+        .unwrap();
+        assert_eq!(n, 1);
+        assert!(matches!(rel.rows()[0][1], Value::Poly(_)));
+        assert_eq!(rel.rows()[1][1], Value::Int(20));
+        // second parameterization multiplies into the existing polynomial
+        parameterize(&mut rel, "v", |row| {
+            (row[0] == Value::Int(1)).then(|| Monomial::var(y))
+        })
+        .unwrap();
+        match &rel.rows()[0][1] {
+            Value::Poly(p) => assert_eq!(
+                p.coeff_of(&Monomial::from_pairs([(x, 1), (y, 1)])),
+                rat("10")
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_monomial_is_a_no_op() {
+        let mut rel =
+            Relation::from_rows(["v"], vec![vec![Value::Int(1)]]).unwrap();
+        let n = parameterize(&mut rel, "v", |_| Some(Monomial::one())).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(rel.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn non_numeric_cell_errors() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let mut rel =
+            Relation::from_rows(["v"], vec![vec![Value::str("oops")]]).unwrap();
+        assert!(parameterize(&mut rel, "v", |_| Some(Monomial::var(x))).is_err());
+        assert!(parameterize(&mut rel, "missing", |_| None).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Boolean predicates over rows (WHERE clauses).
+
+use crate::error::Result;
+use crate::expr::{BoundExpr, Expr};
+use crate::relation::Row;
+use crate::schema::Schema;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to a three-way comparison result.
+    pub fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pred {
+    /// Comparison between two scalar expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `lhs op rhs`.
+    pub fn cmp(lhs: Expr, op: CmpOp, rhs: Expr) -> Pred {
+        Pred::Cmp(lhs, op, rhs)
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Pred {
+        Pred::Cmp(lhs, CmpOp::Eq, rhs)
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    pub fn negate(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// Resolves column references against `schema`.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPred> {
+        Ok(match self {
+            Pred::Cmp(a, op, b) => BoundPred::Cmp(a.bind(schema)?, *op, b.bind(schema)?),
+            Pred::And(a, b) => BoundPred::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Pred::Or(a, b) => BoundPred::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Pred::Not(a) => BoundPred::Not(Box::new(a.bind(schema)?)),
+        })
+    }
+
+    /// Splits a conjunction into its flat list of conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a Pred, out: &mut Vec<&'a Pred>) {
+            match p {
+                Pred::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuilds a conjunction from conjuncts (`None` if empty).
+    pub fn from_conjuncts(preds: Vec<Pred>) -> Option<Pred> {
+        preds.into_iter().reduce(|a, b| a.and(b))
+    }
+
+    /// If this predicate is `col = col` between two plain column
+    /// references, returns them — the shape the planner turns into
+    /// hash-join keys.
+    pub fn as_column_equality(&self) -> Option<(&str, &str)> {
+        match self {
+            Pred::Cmp(Expr::Col(a), CmpOp::Eq, Expr::Col(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(a, op, b) => write!(f, "{a} {op} {b}"),
+            Pred::And(a, b) => write!(f, "({a} AND {b})"),
+            Pred::Or(a, b) => write!(f, "({a} OR {b})"),
+            Pred::Not(a) => write!(f, "(NOT {a})"),
+        }
+    }
+}
+
+/// A predicate with column references resolved.
+#[derive(Clone, Debug)]
+pub enum BoundPred {
+    Cmp(BoundExpr, CmpOp, BoundExpr),
+    And(Box<BoundPred>, Box<BoundPred>),
+    Or(Box<BoundPred>, Box<BoundPred>),
+    Not(Box<BoundPred>),
+}
+
+impl BoundPred {
+    /// Evaluates against a row.
+    pub fn eval(&self, row: &Row) -> Result<bool> {
+        Ok(match self {
+            BoundPred::Cmp(a, op, b) => {
+                let va = a.eval(row)?;
+                let vb = b.eval(row)?;
+                op.test(va.compare(&vb)?)
+            }
+            BoundPred::And(a, b) => a.eval(row)? && b.eval(row)?,
+            BoundPred::Or(a, b) => a.eval(row)? || b.eval(row)?,
+            BoundPred::Not(a) => !a.eval(row)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn comparison_ops() {
+        use Ordering::*;
+        assert!(CmpOp::Eq.test(Equal) && !CmpOp::Eq.test(Less));
+        assert!(CmpOp::Ne.test(Less) && !CmpOp::Ne.test(Equal));
+        assert!(CmpOp::Le.test(Equal) && CmpOp::Le.test(Less) && !CmpOp::Le.test(Greater));
+        assert!(CmpOp::Ge.test(Greater) && CmpOp::Ge.test(Equal));
+    }
+
+    #[test]
+    fn eval_logical_tree() {
+        let schema = Schema::new(["a", "b"]);
+        let p = Pred::cmp(Expr::col("a"), CmpOp::Lt, Expr::col("b"))
+            .and(Pred::cmp(Expr::col("a"), CmpOp::Gt, Expr::lit(0)))
+            .or(Pred::eq(Expr::col("b"), Expr::lit(-1)).negate().negate());
+        let bound = p.bind(&schema).unwrap();
+        assert!(bound.eval(&vec![Value::Int(1), Value::Int(2)]).unwrap());
+        assert!(!bound.eval(&vec![Value::Int(3), Value::Int(2)]).unwrap());
+        assert!(bound.eval(&vec![Value::Int(3), Value::Int(-1)]).unwrap());
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let p = Pred::eq(Expr::col("a"), Expr::col("b"))
+            .and(Pred::eq(Expr::col("c"), Expr::lit(1)).and(Pred::eq(
+                Expr::col("d"),
+                Expr::col("e"),
+            )));
+        let cs = p.conjuncts();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].as_column_equality(), Some(("a", "b")));
+        assert_eq!(cs[1].as_column_equality(), None); // rhs is a literal
+        assert_eq!(cs[2].as_column_equality(), Some(("d", "e")));
+        let rebuilt = Pred::from_conjuncts(cs.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rebuilt.conjuncts().len(), 3);
+    }
+}

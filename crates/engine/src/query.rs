@@ -1,0 +1,287 @@
+//! Logical query plans.
+//!
+//! The plan algebra covers exactly what the paper's workloads need: scans,
+//! filters, projections, equi-joins and group-by aggregation with SUM /
+//! COUNT / MIN / MAX / AVG. Plans are built either directly (builder API)
+//! or from SQL ([`crate::sql`]).
+
+use crate::expr::Expr;
+use crate::predicate::Pred;
+use std::fmt;
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum — propagates symbolic values, producing provenance polynomials.
+    Sum,
+    /// Count of rows in the group.
+    Count,
+    /// Minimum (concrete scalars only).
+    Min,
+    /// Maximum (concrete scalars only).
+    Max,
+    /// Average = Sum / Count (exact rational; symbolic sums allowed).
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One aggregate output: `func(expr) AS name`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Aggregate {
+    pub func: AggFunc,
+    pub expr: Expr,
+    pub name: String,
+}
+
+/// A logical query plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Scan a named base relation. Column references become qualified by
+    /// `alias` (or the table name if `alias` is `None`).
+    Scan {
+        table: String,
+        alias: Option<String>,
+    },
+    /// Keep rows satisfying `pred`.
+    Filter { input: Box<Plan>, pred: Pred },
+    /// Compute `exprs` (with output names) per row.
+    Project {
+        input: Box<Plan>,
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Hash equi-join on pairs of (left column, right column).
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+    },
+    /// Group by columns and compute aggregates. Output schema: group
+    /// columns (unqualified output names) followed by aggregate names.
+    AggregateBy {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggs: Vec<Aggregate>,
+    },
+    /// Sort by concrete-valued columns (`(column, descending)`), keeping
+    /// at most `limit` rows if set. Symbolic (polynomial) sort keys error.
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(String, bool)>,
+        limit: Option<usize>,
+    },
+    /// Remove duplicate rows (SELECT DISTINCT). All columns must be
+    /// concrete; keeps the first occurrence of each row.
+    Distinct { input: Box<Plan> },
+}
+
+impl Plan {
+    /// Scans a table.
+    pub fn scan(table: impl Into<String>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    /// Scans a table under an alias.
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> Plan {
+        Plan::Scan {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// Filters by a predicate.
+    pub fn filter(self, pred: Pred) -> Plan {
+        Plan::Filter {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// Projects expressions with explicit names.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Projects columns by name.
+    pub fn project_cols<S: Into<String> + Copy>(self, cols: &[S]) -> Plan {
+        self.project(
+            cols.iter()
+                .map(|&c| {
+                    let name: String = c.into();
+                    (Expr::col(name.clone()), Expr::col(name).default_name())
+                })
+                .collect(),
+        )
+    }
+
+    /// Equi-joins with another plan.
+    pub fn join(self, right: Plan, on: Vec<(&str, &str)>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on
+                .into_iter()
+                .map(|(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+        }
+    }
+
+    /// Removes duplicate rows.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Sorts by columns (`(name, descending)`), optionally limiting the
+    /// row count.
+    pub fn sort(self, keys: Vec<(&str, bool)>, limit: Option<usize>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            keys: keys
+                .into_iter()
+                .map(|(c, d)| (c.to_owned(), d))
+                .collect(),
+            limit,
+        }
+    }
+
+    /// Groups and aggregates.
+    pub fn aggregate(self, group_by: Vec<&str>, aggs: Vec<(AggFunc, Expr, &str)>) -> Plan {
+        Plan::AggregateBy {
+            input: Box::new(self),
+            group_by: group_by.into_iter().map(str::to_owned).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|(func, expr, name)| Aggregate {
+                    func,
+                    expr,
+                    name: name.to_owned(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Pretty-prints the plan tree with indentation (for the "under the
+    /// hood" demonstration step).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, alias } => {
+                out.push_str(&pad);
+                match alias {
+                    Some(a) => out.push_str(&format!("Scan {table} AS {a}\n")),
+                    None => out.push_str(&format!("Scan {table}\n")),
+                }
+            }
+            Plan::Filter { input, pred } => {
+                out.push_str(&format!("{pad}Filter {pred}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                let cols: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Join { left, right, on } => {
+                let keys: Vec<String> = on.iter().map(|(a, b)| format!("{a} = {b}")).collect();
+                out.push_str(&format!("{pad}HashJoin on {}\n", keys.join(" AND ")));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::AggregateBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let aggs: Vec<String> = aggs
+                    .iter()
+                    .map(|a| format!("{}({}) AS {}", a.func, a.expr, a.name))
+                    .collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate group by [{}] compute [{}]\n",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys, limit } => {
+                let keys: Vec<String> = keys
+                    .iter()
+                    .map(|(c, desc)| format!("{c}{}", if *desc { " DESC" } else { "" }))
+                    .collect();
+                match limit {
+                    Some(n) => out.push_str(&format!(
+                        "{pad}Sort by [{}] limit {n}\n",
+                        keys.join(", ")
+                    )),
+                    None => out.push_str(&format!("{pad}Sort by [{}]\n", keys.join(", "))),
+                }
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_tree() {
+        let plan = Plan::scan("Calls")
+            .join(Plan::scan("Cust"), vec![("Calls.CID", "Cust.ID")])
+            .filter(Pred::eq(Expr::col("Zip"), Expr::lit(10001)))
+            .aggregate(
+                vec!["Zip"],
+                vec![(AggFunc::Sum, Expr::col("Dur"), "total")],
+            );
+        match &plan {
+            Plan::AggregateBy { group_by, aggs, .. } => {
+                assert_eq!(group_by, &vec!["Zip".to_owned()]);
+                assert_eq!(aggs[0].name, "total");
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::scan_as("Plans", "p")
+            .filter(Pred::eq(Expr::col("Mo"), Expr::lit(1)))
+            .project(vec![(Expr::col("p.Price"), "Price".into())]);
+        let text = plan.explain();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("Project"));
+        assert!(lines[1].trim_start().starts_with("Filter"));
+        assert!(lines[2].trim_start().starts_with("Scan Plans AS p"));
+    }
+}

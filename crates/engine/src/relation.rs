@@ -1,0 +1,240 @@
+//! In-memory relations (tables).
+
+use crate::error::{EngineError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use cobra_provenance::{Coeff, PolySet, Polynomial};
+use cobra_util::Rat;
+use std::fmt;
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation: a schema plus rows (bag semantics — duplicates
+/// are meaningful, matching the provenance model's ℕ-relations).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation, checking row arity.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Relation> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != schema.len() {
+                return Err(EngineError::Plan(format!(
+                    "row {i} has arity {}, schema has {}",
+                    r.len(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(Relation { schema, rows })
+    }
+
+    /// Builds a relation from unqualified column names and rows.
+    pub fn from_rows<S: Into<String>>(
+        names: impl IntoIterator<Item = S>,
+        rows: Vec<Row>,
+    ) -> Result<Relation> {
+        Relation::new(Schema::new(names), rows)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    /// `Plan` error on arity mismatch.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::Plan(format!(
+                "row arity {} != schema arity {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Consumes into rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Mutable row access (used by [`crate::parameterize`]).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Sorts rows by their display strings — a deterministic order for
+    /// tests and golden output (result relations are small).
+    pub fn sorted_for_display(mut self) -> Relation {
+        self.rows.sort_by_key(|r| {
+            r.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        });
+        self
+    }
+
+    /// Extracts a [`PolySet`] from a result relation: for each row, the
+    /// polynomial in column `poly_col`, labelled by the values of
+    /// `label_cols` joined with `:`. Concrete numeric cells lift to
+    /// constant polynomials, so the extraction is total on SUM results.
+    ///
+    /// This is the bridge from the engine to COBRA (Fig. 4: "Provenance
+    /// Engine → Provenance Polynomials").
+    pub fn extract_polyset(&self, label_cols: &[&str], poly_col: &str) -> Result<PolySet<Rat>> {
+        let label_idx: Vec<usize> = label_cols
+            .iter()
+            .map(|c| self.schema.resolve(c))
+            .collect::<Result<_>>()?;
+        let poly_idx = self.schema.resolve(poly_col)?;
+        let mut set = PolySet::new();
+        for row in &self.rows {
+            let label = label_idx
+                .iter()
+                .map(|&i| row[i].to_string())
+                .collect::<Vec<_>>()
+                .join(":");
+            let poly: Polynomial<Rat> = row[poly_idx].as_poly().ok_or_else(|| {
+                EngineError::TypeError(format!(
+                    "column {poly_col} is not numeric/symbolic: {}",
+                    row[poly_idx].type_name()
+                ))
+            })?;
+            set.push(label, poly);
+        }
+        Ok(set)
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Renders as an aligned text table (small relations only).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = cobra_util::Table::new(
+            self.schema.columns().iter().map(|c| c.to_string()),
+        );
+        for row in &self.rows {
+            t.row(row.iter().map(|v| v.to_string()));
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Lifts evaluated `(label, value)` pairs into a two-column relation —
+/// used to display scenario results next to the original query output.
+pub fn relation_from_values<C: Coeff + fmt::Display>(
+    values: &[(String, C)],
+    label_name: &str,
+    value_name: &str,
+) -> Relation {
+    let schema = Schema::new([label_name.to_owned(), value_name.to_owned()]);
+    let rows: Vec<Row> = values
+        .iter()
+        .map(|(l, c)| vec![Value::str(l), Value::str(&c.to_string())])
+        .collect();
+    Relation { schema, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_provenance::{Monomial, VarRegistry};
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = Relation::empty(Schema::new(["a", "b"]));
+        assert!(r.push(vec![Value::Int(1), Value::Int(2)]).is_ok());
+        assert!(r.push(vec![Value::Int(1)]).is_err());
+        assert!(Relation::from_rows(["a"], vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = Relation::from_rows(
+            ["Zip", "Rev"],
+            vec![
+                vec![Value::Int(10001), Value::Num(rat("651.25"))],
+                vec![Value::Int(10002), Value::Num(rat("437.45"))],
+            ],
+        )
+        .unwrap();
+        let s = r.to_string();
+        assert!(s.contains("Zip"));
+        assert!(s.contains("651.25"));
+    }
+
+    #[test]
+    fn extract_polyset_lifts_constants() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let r = Relation::from_rows(
+            ["Zip", "Rev"],
+            vec![
+                vec![
+                    Value::Int(10001),
+                    Value::Poly(Polynomial::term(Monomial::var(x), rat("2"))),
+                ],
+                vec![Value::Int(10002), Value::Num(rat("5"))],
+            ],
+        )
+        .unwrap();
+        let set = r.extract_polyset(&["Zip"], "Rev").unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("10001").unwrap().num_terms(), 1);
+        assert_eq!(
+            set.get("10002").unwrap().coeff_of(&Monomial::one()),
+            rat("5")
+        );
+        assert!(r.extract_polyset(&["Zip"], "nope").is_err());
+    }
+
+    #[test]
+    fn sorted_for_display_is_deterministic() {
+        let r = Relation::from_rows(
+            ["k"],
+            vec![
+                vec![Value::str("b")],
+                vec![Value::str("a")],
+            ],
+        )
+        .unwrap()
+        .sorted_for_display();
+        assert_eq!(r.rows()[0][0], Value::str("a"));
+    }
+}

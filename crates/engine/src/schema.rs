@@ -1,0 +1,195 @@
+//! Column schemas with optional table qualifiers.
+//!
+//! Name resolution supports both bare (`Dur`) and qualified (`Calls.Dur`)
+//! references, with ambiguity detection — needed because the paper's
+//! running example joins three tables sharing column names (`Plan`, `Mo`).
+
+use crate::error::{EngineError, Result};
+use std::fmt;
+
+/// A named column, optionally qualified by the table (or alias) it came
+/// from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Table or alias qualifier, if any.
+    pub table: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn new(name: impl Into<String>) -> Column {
+        Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// A table-qualified column.
+    pub fn qualified(table: impl Into<String>, name: impl Into<String>) -> Column {
+        Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
+    }
+
+    /// True iff this column answers to `reference` (either `name` or
+    /// `table.name`).
+    pub fn matches(&self, reference: &str) -> bool {
+        match reference.split_once('.') {
+            Some((t, n)) => self.table.as_deref() == Some(t) && self.name == n,
+            None => self.name == reference,
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema of unqualified columns.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Schema {
+        Schema {
+            columns: names.into_iter().map(|n| Column::new(n)).collect(),
+        }
+    }
+
+    /// Builds a schema where every column is qualified by `table`.
+    pub fn qualified<S: Into<String>>(
+        table: &str,
+        names: impl IntoIterator<Item = S>,
+    ) -> Schema {
+        Schema {
+            columns: names
+                .into_iter()
+                .map(|n| Column::qualified(table, n))
+                .collect(),
+        }
+    }
+
+    /// Builds from explicit columns.
+    pub fn from_columns(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Resolves a (possibly qualified) column reference to its index.
+    ///
+    /// # Errors
+    /// `UnknownColumn` if nothing matches, `AmbiguousColumn` if several do.
+    pub fn resolve(&self, reference: &str) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.matches(reference) {
+                if found.is_some() {
+                    return Err(EngineError::AmbiguousColumn(reference.to_owned()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| EngineError::UnknownColumn(reference.to_owned()))
+    }
+
+    /// Concatenates two schemas (for joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Re-qualifies every column with a new table alias.
+    pub fn with_qualifier(&self, table: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column::qualified(table, c.name.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_bare_and_qualified() {
+        let s = Schema::from_columns(vec![
+            Column::qualified("Cust", "ID"),
+            Column::qualified("Cust", "Plan"),
+            Column::qualified("Plans", "Plan"),
+        ]);
+        assert_eq!(s.resolve("ID").unwrap(), 0);
+        assert_eq!(s.resolve("Cust.Plan").unwrap(), 1);
+        assert_eq!(s.resolve("Plans.Plan").unwrap(), 2);
+        assert_eq!(
+            s.resolve("Plan"),
+            Err(EngineError::AmbiguousColumn("Plan".into()))
+        );
+        assert_eq!(
+            s.resolve("nope"),
+            Err(EngineError::UnknownColumn("nope".into()))
+        );
+    }
+
+    #[test]
+    fn concat_and_requalify() {
+        let a = Schema::qualified("t", ["x"]);
+        let b = Schema::qualified("u", ["y"]);
+        let ab = a.concat(&b);
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.resolve("t.x").unwrap(), 0);
+        let re = ab.with_qualifier("v");
+        assert_eq!(re.resolve("v.y").unwrap(), 1);
+        assert!(re.resolve("t.x").is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::from_columns(vec![
+            Column::qualified("t", "a"),
+            Column::new("b"),
+        ]);
+        assert_eq!(s.to_string(), "(t.a, b)");
+    }
+}

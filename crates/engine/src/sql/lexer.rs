@@ -1,0 +1,285 @@
+//! SQL lexer.
+
+use crate::error::{EngineError, Result};
+use cobra_util::Rat;
+
+/// SQL keywords (case-insensitive in the source).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    As,
+    And,
+    Or,
+    Not,
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+    Order,
+    Limit,
+    Asc,
+    Desc,
+    Having,
+    Distinct,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "SUM" => Keyword::Sum,
+            "COUNT" => Keyword::Count,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "AVG" => Keyword::Avg,
+            "ORDER" => Keyword::Order,
+            "LIMIT" => Keyword::Limit,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "HAVING" => Keyword::Having,
+            "DISTINCT" => Keyword::Distinct,
+            _ => return None,
+        })
+    }
+}
+
+/// A SQL token with its byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlToken {
+    Kw(Keyword),
+    /// Identifier (original case preserved). Qualified names arrive as
+    /// `Ident . Ident` token sequences.
+    Ident(String),
+    /// Numeric literal; integers keep a flag so `1` stays an `Int`.
+    Number { value: Rat, is_integer: bool },
+    /// Single-quoted string literal.
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+}
+
+/// Tokenizes `src`, returning `(offset, token)` pairs.
+pub fn tokenize(src: &str) -> Result<Vec<(usize, SqlToken)>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    let err = |pos: usize, message: String| EngineError::Sql {
+        offset: pos,
+        message,
+    };
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if c.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let tok = match c {
+            b',' => {
+                pos += 1;
+                SqlToken::Comma
+            }
+            b'.' => {
+                pos += 1;
+                SqlToken::Dot
+            }
+            b'*' => {
+                pos += 1;
+                SqlToken::Star
+            }
+            b'+' => {
+                pos += 1;
+                SqlToken::Plus
+            }
+            b'-' => {
+                // '--' line comment
+                if bytes.get(pos + 1) == Some(&b'-') {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                    continue;
+                }
+                pos += 1;
+                SqlToken::Minus
+            }
+            b'/' => {
+                pos += 1;
+                SqlToken::Slash
+            }
+            b'(' => {
+                pos += 1;
+                SqlToken::LParen
+            }
+            b')' => {
+                pos += 1;
+                SqlToken::RParen
+            }
+            b'=' => {
+                pos += 1;
+                SqlToken::Eq
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    pos += 2;
+                    SqlToken::Le
+                }
+                Some(b'>') => {
+                    pos += 2;
+                    SqlToken::Ne
+                }
+                _ => {
+                    pos += 1;
+                    SqlToken::Lt
+                }
+            },
+            b'>' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    pos += 2;
+                    SqlToken::Ge
+                }
+                _ => {
+                    pos += 1;
+                    SqlToken::Gt
+                }
+            },
+            b'!' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    pos += 2;
+                    SqlToken::Ne
+                }
+                _ => return Err(err(pos, "expected '=' after '!'".into())),
+            },
+            b'\'' => {
+                pos += 1;
+                let s_start = pos;
+                while pos < bytes.len() && bytes[pos] != b'\'' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(err(start, "unterminated string literal".into()));
+                }
+                let s = std::str::from_utf8(&bytes[s_start..pos])
+                    .map_err(|_| err(start, "invalid UTF-8 in string".into()))?
+                    .to_owned();
+                pos += 1; // closing quote
+                SqlToken::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut is_integer = true;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                if pos < bytes.len() && bytes[pos] == b'.' && bytes.get(pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    is_integer = false;
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                let value = Rat::parse(text)
+                    .map_err(|_| err(start, format!("invalid number {text:?}")))?;
+                SqlToken::Number { value, is_integer }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                match Keyword::from_ident(text) {
+                    Some(kw) => SqlToken::Kw(kw),
+                    None => SqlToken::Ident(text.to_owned()),
+                }
+            }
+            other => {
+                return Err(err(
+                    pos,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        out.push((start, tok));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select FROM WhErE").unwrap();
+        assert_eq!(toks[0].1, SqlToken::Kw(Keyword::Select));
+        assert_eq!(toks[1].1, SqlToken::Kw(Keyword::From));
+        assert_eq!(toks[2].1, SqlToken::Kw(Keyword::Where));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = tokenize("42 3.14 'abc def'").unwrap();
+        match &toks[0].1 {
+            SqlToken::Number { value, is_integer } => {
+                assert_eq!(*value, Rat::int(42));
+                assert!(is_integer);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &toks[1].1 {
+            SqlToken::Number { is_integer, .. } => assert!(!is_integer),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(toks[2].1, SqlToken::Str("abc def".into()));
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        let toks = tokenize("a <= b <> c -- trailing comment\n>= !=").unwrap();
+        let kinds: Vec<&SqlToken> = toks.iter().map(|(_, t)| t).collect();
+        assert!(matches!(kinds[1], SqlToken::Le));
+        assert!(matches!(kinds[3], SqlToken::Ne));
+        assert!(matches!(kinds[5], SqlToken::Ge));
+        assert!(matches!(kinds[6], SqlToken::Ne));
+    }
+
+    #[test]
+    fn qualified_name_token_stream() {
+        let toks = tokenize("Cust.Plan").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(toks[1].1, SqlToken::Dot));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+}

@@ -1,0 +1,572 @@
+//! Lowering: [`SelectStmt`] AST → logical [`Plan`].
+//!
+//! The FROM list plus WHERE equalities become a left-deep hash-join tree;
+//! single-table predicates are pushed below the joins; aggregate SELECT
+//! lists become an `AggregateBy` followed by a reordering projection.
+
+use super::parser::{SelectItem, SelectStmt, SqlExpr};
+use crate::catalog::Database;
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::predicate::Pred;
+use crate::query::{AggFunc, Plan};
+use crate::schema::Schema;
+
+/// Lowers a parsed statement into a plan, consulting `db` for schemas.
+pub fn lower(stmt: &SelectStmt, db: &Database) -> Result<Plan> {
+    if stmt.from.is_empty() {
+        return Err(EngineError::Plan("FROM list is empty".into()));
+    }
+    // Qualified schema of every FROM table.
+    let mut schemas: Vec<Schema> = Vec::with_capacity(stmt.from.len());
+    for tref in &stmt.from {
+        let rel = db
+            .table(&tref.table)
+            .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+        schemas.push(rel.schema().with_qualifier(tref.qualifier()));
+    }
+
+    // Classify WHERE conjuncts.
+    let mut join_conds: Vec<(usize, usize, String, String)> = Vec::new();
+    let mut pushed: Vec<Vec<Pred>> = vec![Vec::new(); stmt.from.len()];
+    let mut residual: Vec<Pred> = Vec::new();
+    if let Some(where_clause) = &stmt.where_clause {
+        let pred = to_pred(where_clause)?;
+        for conjunct in pred.conjuncts() {
+            classify_conjunct(conjunct, &schemas, &mut join_conds, &mut pushed, &mut residual)?;
+        }
+    }
+
+    // Scans with pushed-down filters.
+    let mut nodes: Vec<Option<Plan>> = stmt
+        .from
+        .iter()
+        .zip(pushed)
+        .map(|(tref, preds)| {
+            let scan = match &tref.alias {
+                Some(a) => Plan::scan_as(&tref.table, a),
+                None => Plan::scan(&tref.table),
+            };
+            Some(match Pred::from_conjuncts(preds) {
+                Some(p) => scan.filter(p),
+                None => scan,
+            })
+        })
+        .collect();
+
+    // Left-deep join tree: start from table 0, repeatedly attach any table
+    // connected to the joined set by at least one equality.
+    let mut plan = nodes[0].take().expect("table 0 present");
+    let mut joined = vec![false; stmt.from.len()];
+    joined[0] = true;
+    let mut remaining = stmt.from.len() - 1;
+    while remaining > 0 {
+        let next = (0..stmt.from.len()).find(|&t| {
+            !joined[t]
+                && join_conds
+                    .iter()
+                    .any(|(a, b, _, _)| (joined[*a] && *b == t) || (joined[*b] && *a == t))
+        });
+        let Some(t) = next else {
+            return Err(EngineError::Plan(
+                "tables are not connected by join equalities (cross joins unsupported)".into(),
+            ));
+        };
+        let mut on: Vec<(String, String)> = Vec::new();
+        join_conds.retain(|(a, b, ca, cb)| {
+            if joined[*a] && *b == t {
+                on.push((ca.clone(), cb.clone()));
+                false
+            } else if joined[*b] && *a == t {
+                on.push((cb.clone(), ca.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        plan = Plan::Join {
+            left: Box::new(plan),
+            right: Box::new(nodes[t].take().expect("unjoined table present")),
+            on,
+        };
+        joined[t] = true;
+        remaining -= 1;
+    }
+    // Equalities between already-joined tables (e.g. cyclic conditions)
+    // remain as residual filters.
+    for (_, _, a, b) in join_conds {
+        residual.push(Pred::eq(Expr::col(a), Expr::col(b)));
+    }
+    if let Some(p) = Pred::from_conjuncts(residual) {
+        plan = plan.filter(p);
+    }
+
+    // SELECT list.
+    let is_aggregate = !stmt.group_by.is_empty()
+        || stmt.items.iter().any(|item| {
+            matches!(
+                item,
+                SelectItem::Expr { expr, .. } if contains_agg(expr)
+            )
+        });
+    let mut plan = if is_aggregate {
+        lower_aggregate(stmt, plan, &schemas)?
+    } else {
+        if stmt.having.is_some() {
+            return Err(EngineError::Plan(
+                "HAVING requires GROUP BY / aggregates".into(),
+            ));
+        }
+        lower_projection(stmt, plan, &schemas)?
+    };
+    if stmt.distinct {
+        plan = plan.distinct();
+    }
+
+    // ORDER BY / LIMIT sit on top of the final projection and reference
+    // its output names (unqualified for aggregate queries).
+    if stmt.order_by.is_empty() && stmt.limit.is_none() {
+        return Ok(plan);
+    }
+    let keys: Vec<(String, bool)> = stmt
+        .order_by
+        .iter()
+        .map(|k| {
+            let name = if is_aggregate {
+                unqualified(&k.column).to_owned()
+            } else {
+                k.column.clone()
+            };
+            (name, k.descending)
+        })
+        .collect();
+    Ok(Plan::Sort {
+        input: Box::new(plan),
+        keys,
+        limit: stmt.limit,
+    })
+}
+
+/// Does the expression contain an aggregate call?
+fn contains_agg(e: &SqlExpr) -> bool {
+    match e {
+        SqlExpr::Agg(..) | SqlExpr::CountStar => true,
+        SqlExpr::Column(_) | SqlExpr::Lit(_) => false,
+        SqlExpr::Add(a, b)
+        | SqlExpr::Sub(a, b)
+        | SqlExpr::Mul(a, b)
+        | SqlExpr::Div(a, b)
+        | SqlExpr::Cmp(a, _, b)
+        | SqlExpr::And(a, b)
+        | SqlExpr::Or(a, b) => contains_agg(a) || contains_agg(b),
+        SqlExpr::Neg(a) | SqlExpr::Not(a) => contains_agg(a),
+    }
+}
+
+/// Converts a WHERE expression to a predicate.
+fn to_pred(e: &SqlExpr) -> Result<Pred> {
+    Ok(match e {
+        SqlExpr::Cmp(a, op, b) => Pred::Cmp(to_expr(a)?, *op, to_expr(b)?),
+        SqlExpr::And(a, b) => to_pred(a)?.and(to_pred(b)?),
+        SqlExpr::Or(a, b) => to_pred(a)?.or(to_pred(b)?),
+        SqlExpr::Not(a) => to_pred(a)?.negate(),
+        other => {
+            return Err(EngineError::Plan(format!(
+                "expected boolean condition, found {other:?}"
+            )))
+        }
+    })
+}
+
+/// Converts a scalar expression (no aggregates, no booleans).
+fn to_expr(e: &SqlExpr) -> Result<Expr> {
+    Ok(match e {
+        SqlExpr::Column(c) => Expr::Col(c.clone()),
+        SqlExpr::Lit(v) => Expr::Lit(v.clone()),
+        SqlExpr::Add(a, b) => to_expr(a)?.add(to_expr(b)?),
+        SqlExpr::Sub(a, b) => to_expr(a)?.sub(to_expr(b)?),
+        SqlExpr::Mul(a, b) => to_expr(a)?.mul(to_expr(b)?),
+        SqlExpr::Div(a, b) => to_expr(a)?.div(to_expr(b)?),
+        SqlExpr::Neg(a) => to_expr(a)?.neg(),
+        SqlExpr::Agg(..) | SqlExpr::CountStar => {
+            return Err(EngineError::Plan(
+                "aggregate call in scalar context (nested aggregates unsupported)".into(),
+            ))
+        }
+        other => {
+            return Err(EngineError::Plan(format!(
+                "boolean expression in scalar context: {other:?}"
+            )))
+        }
+    })
+}
+
+/// Which FROM tables can resolve every column of `cols`?
+fn resolving_tables(cols: &[&str], schemas: &[Schema]) -> Vec<usize> {
+    (0..schemas.len())
+        .filter(|&t| cols.iter().all(|c| schemas[t].resolve(c).is_ok()))
+        .collect()
+}
+
+fn classify_conjunct(
+    conjunct: &Pred,
+    schemas: &[Schema],
+    join_conds: &mut Vec<(usize, usize, String, String)>,
+    pushed: &mut [Vec<Pred>],
+    residual: &mut Vec<Pred>,
+) -> Result<()> {
+    if let Some((a, b)) = conjunct.as_column_equality() {
+        let ta = resolving_tables(&[a], schemas);
+        let tb = resolving_tables(&[b], schemas);
+        if ta.len() == 1 && tb.len() == 1 && ta[0] != tb[0] {
+            join_conds.push((ta[0], tb[0], a.to_owned(), b.to_owned()));
+            return Ok(());
+        }
+        if ta.len() > 1 || tb.len() > 1 {
+            let ambiguous = if ta.len() > 1 { a } else { b };
+            return Err(EngineError::AmbiguousColumn(ambiguous.to_owned()));
+        }
+        // same table or unresolved → fall through to filter classification
+    }
+    let cols: Vec<&str> = pred_columns(conjunct);
+    match resolving_tables(&cols, schemas).as_slice() {
+        [t] => pushed[*t].push(conjunct.clone()),
+        [] => residual.push(conjunct.clone()),
+        _many => {
+            // every column individually ambiguous across tables
+            return Err(EngineError::AmbiguousColumn(
+                cols.first().copied().unwrap_or("<none>").to_owned(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// All column names referenced by a predicate.
+fn pred_columns(p: &Pred) -> Vec<&str> {
+    match p {
+        Pred::Cmp(a, _, b) => {
+            let mut cols = a.columns();
+            cols.extend(b.columns());
+            cols
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            let mut cols = pred_columns(a);
+            cols.extend(pred_columns(b));
+            cols
+        }
+        Pred::Not(a) => pred_columns(a),
+    }
+}
+
+fn unqualified(name: &str) -> &str {
+    name.rsplit_once('.').map(|(_, c)| c).unwrap_or(name)
+}
+
+fn lower_projection(stmt: &SelectStmt, plan: Plan, schemas: &[Schema]) -> Result<Plan> {
+    let mut exprs: Vec<(Expr, String)> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                for schema in schemas {
+                    for col in schema.columns() {
+                        exprs.push((Expr::col(col.to_string()), col.name.clone()));
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let e = to_expr(expr)?;
+                let name = alias.clone().unwrap_or_else(|| e.default_name());
+                exprs.push((e, name));
+            }
+        }
+    }
+    Ok(plan.project(exprs))
+}
+
+fn lower_aggregate(stmt: &SelectStmt, plan: Plan, _schemas: &[Schema]) -> Result<Plan> {
+    // Build aggregate list and the final output projection in SELECT order.
+    let mut aggs: Vec<(AggFunc, Expr, String)> = Vec::new();
+    let mut outputs: Vec<(Expr, String)> = Vec::new();
+    let mut agg_counter = 0usize;
+    for item in &stmt.items {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(EngineError::Plan(
+                "SELECT * is not allowed in aggregate queries".into(),
+            ));
+        };
+        match expr {
+            SqlExpr::Column(c) => {
+                // must be (a suffix-match of) a GROUP BY column
+                let matched = stmt
+                    .group_by
+                    .iter()
+                    .any(|g| g == c || unqualified(g) == unqualified(c));
+                if !matched {
+                    return Err(EngineError::Plan(format!(
+                        "column {c} is neither aggregated nor in GROUP BY"
+                    )));
+                }
+                let out_name = alias.clone().unwrap_or_else(|| unqualified(c).to_owned());
+                outputs.push((Expr::col(unqualified(c)), out_name));
+            }
+            agg_expr if contains_agg(agg_expr) => {
+                let (func, inner) = match agg_expr {
+                    SqlExpr::Agg(func, inner) => (*func, to_expr(inner)?),
+                    SqlExpr::CountStar => (AggFunc::Count, Expr::lit(1)),
+                    other => {
+                        return Err(EngineError::Plan(format!(
+                            "arithmetic over aggregates is unsupported: {other:?}"
+                        )))
+                    }
+                };
+                let name = alias.clone().unwrap_or_else(|| {
+                    agg_counter += 1;
+                    if agg_counter == 1 {
+                        format!("{func}").to_ascii_lowercase()
+                    } else {
+                        format!("{}_{agg_counter}", format!("{func}").to_ascii_lowercase())
+                    }
+                });
+                aggs.push((func, inner, name.clone()));
+                outputs.push((Expr::col(name.clone()), name));
+            }
+            other => {
+                return Err(EngineError::Plan(format!(
+                    "non-aggregate expression in aggregate query: {other:?}"
+                )))
+            }
+        }
+    }
+    let agg_plan = plan.aggregate(
+        stmt.group_by.iter().map(String::as_str).collect(),
+        aggs.iter()
+            .map(|(f, e, n)| (*f, e.clone(), n.as_str()))
+            .collect(),
+    );
+    let mut plan = agg_plan.project(outputs);
+    // HAVING filters the aggregate output; aggregate calls in the clause
+    // must structurally match a SELECT aggregate (they reuse its column).
+    if let Some(having) = &stmt.having {
+        let pred = to_pred(&rewrite_having(having, &aggs)?)?;
+        plan = plan.filter(pred);
+    }
+    Ok(plan)
+}
+
+/// Replaces aggregate calls inside a HAVING expression with references to
+/// the matching SELECT-list aggregate's output column.
+fn rewrite_having(
+    e: &SqlExpr,
+    aggs: &[(AggFunc, Expr, String)],
+) -> Result<SqlExpr> {
+    let find = |func: AggFunc, inner: &Expr| -> Result<SqlExpr> {
+        aggs.iter()
+            .find(|(f, e, _)| *f == func && e == inner)
+            .map(|(_, _, name)| SqlExpr::Column(name.clone()))
+            .ok_or_else(|| {
+                EngineError::Plan(format!(
+                    "HAVING aggregate {func}({inner}) must also appear in the SELECT list"
+                ))
+            })
+    };
+    Ok(match e {
+        SqlExpr::Agg(func, inner) => find(*func, &to_expr(inner)?)?,
+        SqlExpr::CountStar => find(AggFunc::Count, &Expr::lit(1))?,
+        SqlExpr::Column(_) | SqlExpr::Lit(_) => e.clone(),
+        SqlExpr::Add(a, b) => SqlExpr::Add(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Sub(a, b) => SqlExpr::Sub(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Mul(a, b) => SqlExpr::Mul(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Div(a, b) => SqlExpr::Div(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Neg(a) => SqlExpr::Neg(Box::new(rewrite_having(a, aggs)?)),
+        SqlExpr::Cmp(a, op, b) => SqlExpr::Cmp(
+            Box::new(rewrite_having(a, aggs)?),
+            *op,
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::And(a, b) => SqlExpr::And(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Or(a, b) => SqlExpr::Or(
+            Box::new(rewrite_having(a, aggs)?),
+            Box::new(rewrite_having(b, aggs)?),
+        ),
+        SqlExpr::Not(a) => SqlExpr::Not(Box::new(rewrite_having(a, aggs)?)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::value::Value;
+    use cobra_util::Rat;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn mini_db() -> Database {
+        let mut db = Database::new();
+        db.insert(
+            "Cust",
+            Relation::from_rows(
+                ["ID", "Plan", "Zip"],
+                vec![
+                    vec![Value::Int(1), Value::str("A"), Value::Int(10001)],
+                    vec![Value::Int(2), Value::str("B"), Value::Int(10002)],
+                ],
+            )
+            .unwrap(),
+        );
+        db.insert(
+            "Calls",
+            Relation::from_rows(
+                ["CID", "Mo", "Dur"],
+                vec![
+                    vec![Value::Int(1), Value::Int(1), Value::Int(522)],
+                    vec![Value::Int(2), Value::Int(1), Value::Int(100)],
+                    vec![Value::Int(1), Value::Int(3), Value::Int(480)],
+                ],
+            )
+            .unwrap(),
+        );
+        db.insert(
+            "Plans",
+            Relation::from_rows(
+                ["Plan", "Mo", "Price"],
+                vec![
+                    vec![Value::str("A"), Value::Int(1), Value::Num(rat("0.4"))],
+                    vec![Value::str("A"), Value::Int(3), Value::Num(rat("0.5"))],
+                    vec![Value::str("B"), Value::Int(1), Value::Num(rat("0.1"))],
+                ],
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn end_to_end_running_example_shape() {
+        let db = mini_db();
+        let out = db
+            .sql(
+                "SELECT Zip, SUM(Calls.Dur * Plans.Price) AS revenue \
+                 FROM Calls, Cust, Plans \
+                 WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID AND Calls.Mo = Plans.Mo \
+                 GROUP BY Cust.Zip",
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        // 522·0.4 + 480·0.5 = 448.8 for zip 10001; 100·0.1 = 10 for 10002
+        let r = out.sorted_for_display();
+        assert_eq!(r.rows()[0][0], Value::Int(10001));
+        assert_eq!(r.rows()[0][1], Value::Num(rat("448.8")));
+        assert_eq!(r.rows()[1][1], Value::Num(rat("10")));
+    }
+
+    #[test]
+    fn projection_star_and_alias() {
+        let db = mini_db();
+        let out = db.sql("SELECT * FROM Plans WHERE Mo = 1").unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().len(), 3);
+        let out2 = db
+            .sql("SELECT Price * 2 AS dbl FROM Plans WHERE Plan = 'A' AND Mo = 1")
+            .unwrap();
+        assert_eq!(out2.rows()[0][0], Value::Num(rat("0.8")));
+    }
+
+    #[test]
+    fn pushdown_produces_filtered_scans() {
+        let db = mini_db();
+        let plan = super::super::compile(
+            "SELECT Dur FROM Calls, Cust WHERE Cust.ID = Calls.CID AND Zip = 10001",
+            &db,
+        )
+        .unwrap();
+        // The Zip filter must sit below the join, directly over the Cust scan.
+        let text = plan.explain();
+        let join_line = text.lines().position(|l| l.contains("HashJoin")).unwrap();
+        let filter_line = text.lines().position(|l| l.contains("Filter Zip")).unwrap();
+        assert!(filter_line > join_line, "filter should be under the join:\n{text}");
+    }
+
+    #[test]
+    fn aggregate_without_alias_gets_default_name() {
+        let db = mini_db();
+        let out = db
+            .sql("SELECT Zip, SUM(Dur) FROM Calls, Cust WHERE Cust.ID = Calls.CID GROUP BY Zip")
+            .unwrap();
+        assert!(out.schema().resolve("sum").is_ok());
+    }
+
+    #[test]
+    fn count_star_and_global_aggregate() {
+        let db = mini_db();
+        let out = db.sql("SELECT COUNT(*) AS n FROM Calls").unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn select_order_can_put_aggregate_first() {
+        let db = mini_db();
+        let out = db
+            .sql("SELECT SUM(Dur) AS s, Mo FROM Calls GROUP BY Mo")
+            .unwrap();
+        assert_eq!(out.schema().resolve("s").unwrap(), 0);
+        assert_eq!(out.schema().resolve("Mo").unwrap(), 1);
+        let r = out.sorted_for_display();
+        assert_eq!(r.rows()[0][0], Value::Int(480)); // Mo=3
+        assert_eq!(r.rows()[1][0], Value::Int(622)); // Mo=1
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let db = mini_db();
+        assert!(matches!(
+            db.sql("SELECT x FROM Nope"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.sql("SELECT Zip, SUM(Dur) FROM Calls, Cust GROUP BY Zip"),
+            Err(EngineError::Plan(_)) // no join condition
+        ));
+        assert!(matches!(
+            db.sql("SELECT Mo FROM Calls, Plans WHERE Calls.Mo = Plans.Mo AND Mo = 1"),
+            Err(EngineError::AmbiguousColumn(_))
+        ));
+        assert!(matches!(
+            db.sql("SELECT Dur FROM Calls GROUP BY Mo"),
+            Err(EngineError::Plan(_)) // Dur not grouped
+        ));
+    }
+
+    #[test]
+    fn non_equi_cross_table_condition_is_residual() {
+        let db = mini_db();
+        // joinable via CID=ID, plus a residual cross-table inequality
+        let out = db
+            .sql(
+                "SELECT Dur FROM Calls, Cust \
+                 WHERE Cust.ID = Calls.CID AND Calls.Mo < Cust.ID",
+            )
+            .unwrap();
+        // rows: (CID=2, Mo=1) qualifies (1 < 2); others have Mo >= ID
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(100));
+    }
+}

@@ -1,0 +1,37 @@
+//! SQL subset: `SELECT … FROM … WHERE … GROUP BY …`.
+//!
+//! Large enough for the paper's running example and the TPC-H-style
+//! workloads: expressions with arithmetic, comparisons, `AND`/`OR`/`NOT`,
+//! aggregates (`SUM`, `COUNT(*)`, `COUNT`, `MIN`, `MAX`, `AVG`), table
+//! aliases, and multi-table `FROM` lists whose equality conditions are
+//! turned into hash joins with single-table predicate pushdown.
+//!
+//! ```
+//! use cobra_engine::{Database, Relation, Value};
+//! let mut db = Database::new();
+//! db.insert("t", Relation::from_rows(
+//!     ["k", "v"],
+//!     vec![vec![Value::Int(1), Value::Int(10)],
+//!          vec![Value::Int(1), Value::Int(5)]],
+//! ).unwrap());
+//! let out = db.sql("SELECT k, SUM(v) AS total FROM t GROUP BY k").unwrap();
+//! assert_eq!(out.rows()[0][1], Value::Int(15));
+//! ```
+
+mod lexer;
+mod lower;
+mod parser;
+
+pub use lexer::{tokenize, Keyword, SqlToken};
+pub use parser::{parse_select, SelectItem, SelectStmt, SqlExpr, TableRef};
+
+use crate::catalog::Database;
+use crate::error::Result;
+use crate::query::Plan;
+
+/// Parses a SQL query and lowers it to a logical [`Plan`] against `db`'s
+/// catalog (schemas are needed to route join keys and push filters down).
+pub fn compile(query: &str, db: &Database) -> Result<Plan> {
+    let stmt = parse_select(query)?;
+    lower::lower(&stmt, db)
+}

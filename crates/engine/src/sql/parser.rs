@@ -1,0 +1,524 @@
+//! SQL parser: token stream → [`SelectStmt`] AST.
+//!
+//! Precedence (loosest to tightest): `OR`, `AND`, `NOT`, comparisons,
+//! `+`/`-`, `*`/`/`, unary minus, atoms.
+
+use super::lexer::{tokenize, Keyword, SqlToken};
+use crate::error::{EngineError, Result};
+use crate::predicate::CmpOp;
+use crate::query::AggFunc;
+use crate::value::Value;
+
+/// A scalar or aggregate SQL expression (aggregates are only legal in the
+/// SELECT list; the lowering step enforces this).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExpr {
+    /// Possibly-qualified column reference (`Zip`, `Cust.Zip`).
+    Column(String),
+    /// Literal.
+    Lit(Value),
+    /// Binary arithmetic.
+    Add(Box<SqlExpr>, Box<SqlExpr>),
+    Sub(Box<SqlExpr>, Box<SqlExpr>),
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+    Div(Box<SqlExpr>, Box<SqlExpr>),
+    /// Unary minus.
+    Neg(Box<SqlExpr>),
+    /// Aggregate call `SUM(expr)`, `MIN(expr)`, …
+    Agg(AggFunc, Box<SqlExpr>),
+    /// `COUNT(*)`.
+    CountStar,
+    /// Comparison (produces a boolean; only valid inside WHERE).
+    Cmp(Box<SqlExpr>, CmpOp, Box<SqlExpr>),
+    /// Boolean connectives (only valid inside WHERE).
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+}
+
+/// One item of the SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Star,
+    /// `expr [AS alias]`.
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
+}
+
+/// A table reference `name [AS alias]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name columns of this table are qualified with.
+    pub fn qualifier(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// One ORDER BY key: column name and direction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderKey {
+    pub column: String,
+    pub descending: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<String>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+/// Parses a single SELECT statement.
+pub fn parse_select(src: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(src)?;
+    let mut p = P {
+        tokens,
+        pos: 0,
+        len: src.len(),
+    };
+    let stmt = p.select()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct P {
+    tokens: Vec<(usize, SqlToken)>,
+    pos: usize,
+    len: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&SqlToken> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<SqlToken> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len)
+    }
+
+    fn err(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Sql {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        match self.bump() {
+            Some(SqlToken::Kw(k)) if k == kw => Ok(()),
+            other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &SqlToken) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&SqlToken::Kw(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(SqlToken::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Possibly-qualified column name: `a` or `a.b`.
+    fn column_name(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.eat(&SqlToken::Dot) {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+        let mut items = vec![self.select_item()?];
+        while self.eat(&SqlToken::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&SqlToken::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr_or()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.column_name()?);
+            while self.eat(&SqlToken::Comma) {
+                group_by.push(self.column_name()?);
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr_or()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            order_by.push(self.order_key()?);
+            while self.eat(&SqlToken::Comma) {
+                order_by.push(self.order_key()?);
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.bump() {
+                Some(SqlToken::Number { value, is_integer: true }) if value.numer() >= 0 => {
+                    Some(usize::try_from(value.numer()).map_err(|_| self.err("LIMIT too large"))?)
+                }
+                other => return Err(self.err(format!("expected integer after LIMIT, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn order_key(&mut self) -> Result<OrderKey> {
+        let column = self.column_name()?;
+        let descending = if self.eat_kw(Keyword::Desc) {
+            true
+        } else {
+            self.eat_kw(Keyword::Asc);
+            false
+        };
+        Ok(OrderKey { column, descending })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&SqlToken::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr_add()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let Some(SqlToken::Ident(_)) = self.peek() {
+            // implicit alias: FROM Plans p
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // WHERE expression grammar.
+    fn expr_or(&mut self) -> Result<SqlExpr> {
+        let mut acc = self.expr_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.expr_and()?;
+            acc = SqlExpr::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn expr_and(&mut self) -> Result<SqlExpr> {
+        let mut acc = self.expr_not()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.expr_not()?;
+            acc = SqlExpr::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn expr_not(&mut self) -> Result<SqlExpr> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.expr_not()?;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.expr_cmp()
+    }
+
+    fn expr_cmp(&mut self) -> Result<SqlExpr> {
+        let lhs = self.expr_add()?;
+        let op = match self.peek() {
+            Some(SqlToken::Eq) => CmpOp::Eq,
+            Some(SqlToken::Ne) => CmpOp::Ne,
+            Some(SqlToken::Lt) => CmpOp::Lt,
+            Some(SqlToken::Le) => CmpOp::Le,
+            Some(SqlToken::Gt) => CmpOp::Gt,
+            Some(SqlToken::Ge) => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.expr_add()?;
+        Ok(SqlExpr::Cmp(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn expr_add(&mut self) -> Result<SqlExpr> {
+        let mut acc = self.expr_mul()?;
+        loop {
+            if self.eat(&SqlToken::Plus) {
+                let rhs = self.expr_mul()?;
+                acc = SqlExpr::Add(Box::new(acc), Box::new(rhs));
+            } else if self.eat(&SqlToken::Minus) {
+                let rhs = self.expr_mul()?;
+                acc = SqlExpr::Sub(Box::new(acc), Box::new(rhs));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn expr_mul(&mut self) -> Result<SqlExpr> {
+        let mut acc = self.expr_unary()?;
+        loop {
+            if self.eat(&SqlToken::Star) {
+                let rhs = self.expr_unary()?;
+                acc = SqlExpr::Mul(Box::new(acc), Box::new(rhs));
+            } else if self.eat(&SqlToken::Slash) {
+                let rhs = self.expr_unary()?;
+                acc = SqlExpr::Div(Box::new(acc), Box::new(rhs));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<SqlExpr> {
+        if self.eat(&SqlToken::Minus) {
+            let inner = self.expr_unary()?;
+            return Ok(SqlExpr::Neg(Box::new(inner)));
+        }
+        self.expr_atom()
+    }
+
+    fn agg_func(kw: Keyword) -> Option<AggFunc> {
+        Some(match kw {
+            Keyword::Sum => AggFunc::Sum,
+            Keyword::Count => AggFunc::Count,
+            Keyword::Min => AggFunc::Min,
+            Keyword::Max => AggFunc::Max,
+            Keyword::Avg => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    fn expr_atom(&mut self) -> Result<SqlExpr> {
+        match self.bump() {
+            Some(SqlToken::Number { value, is_integer }) => Ok(SqlExpr::Lit(if is_integer {
+                Value::Int(i64::try_from(value.numer()).map_err(|_| self.err("integer literal out of range"))?)
+            } else {
+                Value::Num(value)
+            })),
+            Some(SqlToken::Str(s)) => Ok(SqlExpr::Lit(Value::str(&s))),
+            Some(SqlToken::LParen) => {
+                let inner = self.expr_add()?;
+                if !self.eat(&SqlToken::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(SqlToken::Kw(kw)) => {
+                let func =
+                    Self::agg_func(kw).ok_or_else(|| self.err(format!("unexpected {kw:?}")))?;
+                if !self.eat(&SqlToken::LParen) {
+                    return Err(self.err("expected '(' after aggregate"));
+                }
+                if func == AggFunc::Count && self.eat(&SqlToken::Star) {
+                    if !self.eat(&SqlToken::RParen) {
+                        return Err(self.err("expected ')' after COUNT(*)"));
+                    }
+                    return Ok(SqlExpr::CountStar);
+                }
+                let inner = self.expr_add()?;
+                if !self.eat(&SqlToken::RParen) {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(SqlExpr::Agg(func, Box::new(inner)))
+            }
+            Some(SqlToken::Ident(first)) => {
+                if self.eat(&SqlToken::Dot) {
+                    let second = self.ident()?;
+                    Ok(SqlExpr::Column(format!("{first}.{second}")))
+                } else {
+                    Ok(SqlExpr::Column(first))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_util::Rat;
+
+    #[test]
+    fn parses_paper_query() {
+        let stmt = parse_select(
+            "SELECT Zip, SUM(Calls.Dur * Plans.Price) \
+             FROM Calls, Cust, Plans \
+             WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID AND Calls.Mo = Plans.Mo \
+             GROUP BY Cust.Zip",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.group_by, vec!["Cust.Zip"]);
+        match &stmt.items[1] {
+            SelectItem::Expr {
+                expr: SqlExpr::Agg(AggFunc::Sum, inner),
+                alias: None,
+            } => match &**inner {
+                SqlExpr::Mul(a, b) => {
+                    assert_eq!(**a, SqlExpr::Column("Calls.Dur".into()));
+                    assert_eq!(**b, SqlExpr::Column("Plans.Price".into()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // WHERE is a 3-way AND
+        match stmt.where_clause.unwrap() {
+            SqlExpr::And(..) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases_and_star() {
+        let stmt = parse_select("SELECT *, v AS val FROM t x, u AS y").unwrap();
+        assert_eq!(stmt.items[0], SelectItem::Star);
+        match &stmt.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("val")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(stmt.from[0].qualifier(), "x");
+        assert_eq!(stmt.from[1].qualifier(), "y");
+    }
+
+    #[test]
+    fn precedence_arithmetic_vs_comparison() {
+        let stmt = parse_select("SELECT a FROM t WHERE a + 1 * 2 < b OR NOT a = b AND b = 1")
+            .unwrap();
+        // OR( <(a + (1*2), b), AND(NOT(a=b), b=1) )
+        match stmt.where_clause.unwrap() {
+            SqlExpr::Or(l, r) => {
+                match *l {
+                    SqlExpr::Cmp(lhs, CmpOp::Lt, _) => match *lhs {
+                        SqlExpr::Add(_, mul) => {
+                            assert!(matches!(*mul, SqlExpr::Mul(..)))
+                        }
+                        other => panic!("{other:?}"),
+                    },
+                    other => panic!("{other:?}"),
+                }
+                assert!(matches!(*r, SqlExpr::And(..)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_and_literals() {
+        let stmt =
+            parse_select("SELECT COUNT(*), SUM(price * 0.9), MIN(name) FROM t WHERE name = 'x'")
+                .unwrap();
+        assert!(matches!(
+            stmt.items[0],
+            SelectItem::Expr {
+                expr: SqlExpr::CountStar,
+                ..
+            }
+        ));
+        match &stmt.items[1] {
+            SelectItem::Expr {
+                expr: SqlExpr::Agg(AggFunc::Sum, inner),
+                ..
+            } => match &**inner {
+                SqlExpr::Mul(_, rhs) => {
+                    assert_eq!(**rhs, SqlExpr::Lit(Value::Num(Rat::parse("0.9").unwrap())))
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for q in [
+            "FROM t",
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT SUM( FROM t",
+            "SELECT a FROM t extra garbage",
+        ] {
+            assert!(parse_select(q).is_err(), "should reject {q:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_select("SELECT a FROM t WHERE ,").unwrap_err();
+        match err {
+            EngineError::Sql { offset, .. } => assert_eq!(offset, 23),
+            other => panic!("{other:?}"),
+        }
+    }
+}

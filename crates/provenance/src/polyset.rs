@@ -1,0 +1,243 @@
+//! Named collections of provenance polynomials.
+//!
+//! A provenance-aware query result is one polynomial per result tuple
+//! (paper Example 2: `P1` for zip 10001, `P2` for zip 10002). [`PolySet`]
+//! holds that collection, keyed by a display label (typically the group-by
+//! key), and exposes the aggregate size measures the optimization problem
+//! is defined over.
+
+use crate::poly::{Coeff, Polynomial};
+use crate::valuation::{DenseValuation, Valuation};
+use crate::var::{Var, VarRegistry};
+use cobra_util::{FxHashSet, Rat};
+use std::fmt;
+
+/// An ordered collection of labelled polynomials — the "multiset of
+/// polynomials" COBRA takes as input. Labels identify result tuples and
+/// need not be unique (a true multiset is allowed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolySet<C: Coeff> {
+    entries: Vec<(String, Polynomial<C>)>,
+}
+
+impl<C: Coeff> Default for PolySet<C> {
+    fn default() -> Self {
+        PolySet {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<C: Coeff> PolySet<C> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a labelled polynomial.
+    pub fn push(&mut self, label: impl Into<String>, poly: Polynomial<C>) {
+        self.entries.push((label.into(), poly));
+    }
+
+    /// Builds from `(label, polynomial)` pairs.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (String, Polynomial<C>)>,
+    ) -> Self {
+        PolySet {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Number of polynomials.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff there are no polynomials.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(label, polynomial)` in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (&str, &Polynomial<C>)> {
+        self.entries.iter().map(|(l, p)| (l.as_str(), p))
+    }
+
+    /// Looks up the first polynomial with the given label.
+    pub fn get(&self, label: &str) -> Option<&Polynomial<C>> {
+        self.entries.iter().find(|(l, _)| l == label).map(|(_, p)| p)
+    }
+
+    /// **The paper's provenance-size measure**: total number of monomials
+    /// across all polynomials (§2, "the provenance size is measured by the
+    /// number of monomials").
+    pub fn total_monomials(&self) -> usize {
+        self.entries.iter().map(|(_, p)| p.num_terms()).sum()
+    }
+
+    /// The set of distinct variables across all polynomials — the paper's
+    /// expressiveness measure counts these.
+    pub fn distinct_vars(&self) -> FxHashSet<Var> {
+        let mut set = FxHashSet::default();
+        for (_, p) in &self.entries {
+            for (m, _) in p.iter() {
+                set.extend(m.vars());
+            }
+        }
+        set
+    }
+
+    /// Applies a variable renaming to every polynomial (the compression
+    /// substitution), preserving labels.
+    pub fn rename_vars(&self, mut f: impl FnMut(Var) -> Var) -> Self {
+        PolySet {
+            entries: self
+                .entries
+                .iter()
+                .map(|(l, p)| (l.clone(), p.rename_vars(&mut f)))
+                .collect(),
+        }
+    }
+
+    /// Evaluates every polynomial under a sparse valuation.
+    ///
+    /// # Errors
+    /// Returns the first missing variable.
+    pub fn eval(&self, val: &Valuation<C>) -> Result<Vec<(String, C)>, Var> {
+        self.entries
+            .iter()
+            .map(|(l, p)| Ok((l.clone(), p.eval(val)?)))
+            .collect()
+    }
+
+    /// Evaluates every polynomial against a dense valuation (fast path).
+    pub fn eval_dense(&self, val: &DenseValuation<C>) -> Vec<(String, C)> {
+        self.entries
+            .iter()
+            .map(|(l, p)| (l.clone(), p.eval_dense(val)))
+            .collect()
+    }
+
+    /// Maps coefficients into another ring.
+    pub fn map_coeff<D: Coeff>(&self, mut f: impl FnMut(&C) -> D) -> PolySet<D> {
+        PolySet {
+            entries: self
+                .entries
+                .iter()
+                .map(|(l, p)| (l.clone(), p.map_coeff(&mut f)))
+                .collect(),
+        }
+    }
+
+    /// Renders the whole set with variable names, one polynomial per line.
+    pub fn display<'a>(&'a self, reg: &'a VarRegistry) -> impl fmt::Display + 'a
+    where
+        C: fmt::Display,
+    {
+        PolySetDisplay { set: self, reg }
+    }
+}
+
+impl PolySet<Rat> {
+    /// Exact → `f64` conversion for the timing experiments.
+    pub fn to_f64_set(&self) -> PolySet<f64> {
+        self.map_coeff(|c| c.to_f64())
+    }
+}
+
+struct PolySetDisplay<'a, C: Coeff + fmt::Display> {
+    set: &'a PolySet<C>,
+    reg: &'a VarRegistry,
+}
+
+impl<C: Coeff + fmt::Display> fmt::Display for PolySetDisplay<'_, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, poly) in self.set.iter() {
+            writeln!(f, "{} = {}", label, poly.display(self.reg))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn sample() -> (VarRegistry, PolySet<Rat>) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut set = PolySet::new();
+        set.push(
+            "P1",
+            Polynomial::from_terms([
+                (Monomial::var(x), rat("2")),
+                (Monomial::var(y), rat("3")),
+            ]),
+        );
+        set.push(
+            "P2",
+            Polynomial::from_terms([(Monomial::from_pairs([(x, 1), (y, 1)]), rat("1"))]),
+        );
+        (reg, set)
+    }
+
+    #[test]
+    fn size_measures() {
+        let (_, set) = sample();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_monomials(), 3);
+        assert_eq!(set.distinct_vars().len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let (_, set) = sample();
+        assert!(set.get("P1").is_some());
+        assert!(set.get("P3").is_none());
+    }
+
+    #[test]
+    fn eval_all() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let val = Valuation::new().bind(x, rat("10")).bind(y, rat("1"));
+        let out = set.eval(&val).unwrap();
+        assert_eq!(out[0], ("P1".to_owned(), rat("23")));
+        assert_eq!(out[1], ("P2".to_owned(), rat("10")));
+        let dense = DenseValuation::from_valuation(&val, reg.len(), Rat::ONE);
+        assert_eq!(set.eval_dense(&dense), out);
+    }
+
+    #[test]
+    fn rename_merges_across_each_poly() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let merged = set.rename_vars(|v| if v == y { x } else { v });
+        // P1: 2x + 3x = 5x (one monomial); P2: x·x = x² (one monomial)
+        assert_eq!(merged.total_monomials(), 2);
+        assert_eq!(
+            merged.get("P1").unwrap().coeff_of(&Monomial::var(x)),
+            rat("5")
+        );
+        assert_eq!(
+            merged.get("P2").unwrap().coeff_of(&Monomial::from_pairs([(x, 2)])),
+            rat("1")
+        );
+    }
+
+    #[test]
+    fn display_lists_lines() {
+        let (reg, set) = sample();
+        let s = set.display(&reg).to_string();
+        assert!(s.contains("P1 = 2*x + 3*y"));
+        assert!(s.lines().count() == 2);
+    }
+}

@@ -1,0 +1,380 @@
+//! The provenance-semiring framework of Green, Karvounarakis & Tannen
+//! (PODS 2007) — the model the paper cites as [5].
+//!
+//! Provenance polynomials are the *free* commutative semiring ℕ[X]; every
+//! other provenance semantics is obtained by a semiring homomorphism from
+//! it. This module provides the [`Semiring`] abstraction, the standard
+//! instances used in the literature, and [`SemiringHom`] with the
+//! commutation property (`hom(eval_poly) = eval_hom-image`) that underpins
+//! COBRA's correctness guarantee (paper §1: polynomial construction
+//! "commutes with variable valuations").
+//!
+//! `cobra-engine` evaluates K-relations over any of these semirings; the
+//! COBRA pipeline itself instantiates the framework with polynomials over
+//! exact rationals (aggregate provenance in the style of Amsterdamer,
+//! Deutch & Tannen, PODS 2011 — the paper's [2]).
+
+use crate::poly::{Coeff, Polynomial};
+use crate::valuation::Valuation;
+use crate::var::Var;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A commutative semiring `(K, ⊕, ⊗, 0, 1)`.
+///
+/// Laws (checked by the property tests in this module and in
+/// `tests/semiring_laws.rs`): `⊕` and `⊗` are associative and commutative
+/// with identities `zero`/`one`; `⊗` distributes over `⊕`; `zero` is
+/// absorbing for `⊗`.
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// Additive identity (annotation of absent tuples).
+    fn zero() -> Self;
+    /// Multiplicative identity (annotation of "simply present" tuples).
+    fn one() -> Self;
+    /// Alternative use of data (union / projection).
+    fn plus(&self, other: &Self) -> Self;
+    /// Joint use of data (join).
+    fn times(&self, other: &Self) -> Self;
+    /// Is this the additive identity?
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// ℕ (here `u64`) with `+`/`×`: bag semantics, counts derivations.
+impl Semiring for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn times(&self, other: &Self) -> Self {
+        self * other
+    }
+}
+
+/// The Boolean semiring `({false, true}, ∨, ∧)`: set semantics / lineage
+/// ("is this tuple in the result at all?").
+impl Semiring for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn plus(&self, other: &Self) -> Self {
+        *self || *other
+    }
+    fn times(&self, other: &Self) -> Self {
+        *self && *other
+    }
+}
+
+/// ℚ with `+`/`×` — the numeric target of aggregate-provenance
+/// valuations (every commutative ring is in particular a semiring).
+impl Semiring for cobra_util::Rat {
+    fn zero() -> Self {
+        cobra_util::Rat::ZERO
+    }
+    fn one() -> Self {
+        cobra_util::Rat::ONE
+    }
+    fn plus(&self, other: &Self) -> Self {
+        *self + *other
+    }
+    fn times(&self, other: &Self) -> Self {
+        *self * *other
+    }
+}
+
+/// The tropical semiring `(ℕ ∪ {∞}, min, +)`: cost of the cheapest
+/// derivation. `∞` (= [`Tropical::INFINITY`]) is the additive identity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord, Hash)]
+pub struct Tropical(pub u64);
+
+impl Tropical {
+    /// The absorbing "no derivation" element.
+    pub const INFINITY: Tropical = Tropical(u64::MAX);
+
+    /// Finite cost constructor.
+    pub fn cost(c: u64) -> Tropical {
+        assert!(c != u64::MAX, "u64::MAX is reserved for infinity");
+        Tropical(c)
+    }
+
+    /// True iff this is the infinite cost.
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical::INFINITY
+    }
+    fn one() -> Self {
+        Tropical(0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Tropical(self.0.min(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        if self.is_infinite() || other.is_infinite() {
+            Tropical::INFINITY
+        } else {
+            Tropical(self.0 + other.0)
+        }
+    }
+}
+
+/// The access-control semiring (Foster, Green & Tannen): clearance levels
+/// ordered `Public < Confidential < Secret < TopSecret < Never`.
+/// `plus` = min (the most permissive alternative derivation wins),
+/// `times` = max (joint use requires the stricter clearance). `Never` is
+/// the annotation of unusable data (the additive identity).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Access {
+    Public,
+    Confidential,
+    Secret,
+    TopSecret,
+    /// Absorbing "not available at any clearance".
+    Never,
+}
+
+impl Semiring for Access {
+    fn zero() -> Self {
+        Access::Never
+    }
+    fn one() -> Self {
+        Access::Public
+    }
+    fn plus(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+
+/// Why-provenance `Why(X)`: sets of witnesses, each witness a set of base
+/// tuples. `plus` = union of witness sets, `times` = pairwise union of
+/// witnesses. (Buneman, Khanna & Tan's model as cast into the semiring
+/// framework.)
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Why(pub BTreeSet<BTreeSet<Var>>);
+
+impl Why {
+    /// The annotation of a base tuple tagged `v`: one witness `{v}`.
+    pub fn tuple(v: Var) -> Why {
+        Why(BTreeSet::from([BTreeSet::from([v])]))
+    }
+}
+
+impl Semiring for Why {
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+    fn one() -> Self {
+        // One empty witness: derivable from nothing.
+        Why(BTreeSet::from([BTreeSet::new()]))
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+    fn times(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why(out)
+    }
+}
+
+/// Polynomials form a semiring over any coefficient ring — in particular
+/// ℕ[X] (how-provenance, the free commutative semiring) and the ℚ[X]
+/// aggregate-provenance expressions COBRA compresses.
+impl<C: Coeff> Semiring for Polynomial<C> {
+    fn zero() -> Self {
+        Polynomial::zero()
+    }
+    fn one() -> Self {
+        Polynomial::constant(C::one())
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self.add(other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        self.mul(other)
+    }
+}
+
+/// A semiring homomorphism `K₁ → K₂`: preserves 0, 1, ⊕ and ⊗.
+///
+/// The fundamental theorem of provenance semirings: any variable valuation
+/// `X → K` extends uniquely to a homomorphism ℕ[X] → K, and query
+/// evaluation commutes with it. [`eval_hom`] is that extension for
+/// polynomial provenance; COBRA's correctness (evaluating the compressed
+/// polynomial ≡ re-running the query on modified inputs) is an instance.
+pub trait SemiringHom<K1: Semiring, K2: Semiring> {
+    /// Applies the homomorphism.
+    fn apply(&self, k: &K1) -> K2;
+}
+
+/// The evaluation homomorphism `C[X] → C` induced by a valuation.
+pub struct EvalHom<'a, C: Coeff> {
+    valuation: &'a Valuation<C>,
+}
+
+impl<'a, C: Coeff> EvalHom<'a, C> {
+    /// Wraps a (total, via default) valuation as a homomorphism.
+    pub fn new(valuation: &'a Valuation<C>) -> Self {
+        EvalHom { valuation }
+    }
+}
+
+impl<C: Coeff + Semiring> SemiringHom<Polynomial<C>, C> for EvalHom<'_, C> {
+    fn apply(&self, p: &Polynomial<C>) -> C {
+        p.eval(self.valuation)
+            .expect("EvalHom requires a total valuation (set a default)")
+    }
+}
+
+/// The drop-to-Boolean homomorphism ℕ → 𝔹 (bag → set semantics).
+pub struct CountToBool;
+
+impl SemiringHom<u64, bool> for CountToBool {
+    fn apply(&self, k: &u64) -> bool {
+        *k > 0
+    }
+}
+
+/// `eval_hom(p, val)` — convenience wrapper for the evaluation
+/// homomorphism; total because `val` must carry a default.
+pub fn eval_hom<C: Coeff + Semiring>(p: &Polynomial<C>, val: &Valuation<C>) -> C {
+    EvalHom::new(val).apply(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use cobra_util::Rat;
+
+    /// Checks all commutative-semiring laws on a triple of sample values.
+    fn check_laws<K: Semiring>(a: K, b: K, c: K) {
+        let zero = K::zero();
+        let one = K::one();
+        // identities
+        assert_eq!(a.plus(&zero), a);
+        assert_eq!(a.times(&one), a);
+        // commutativity
+        assert_eq!(a.plus(&b), b.plus(&a));
+        assert_eq!(a.times(&b), b.times(&a));
+        // associativity
+        assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+        assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
+        // distributivity
+        assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+        // absorption
+        assert!(a.times(&zero).is_zero());
+    }
+
+    #[test]
+    fn counting_semiring_laws() {
+        check_laws(3u64, 5, 7);
+    }
+
+    #[test]
+    fn boolean_semiring_laws() {
+        check_laws(true, false, true);
+        check_laws(false, false, true);
+    }
+
+    #[test]
+    fn tropical_semiring_laws() {
+        check_laws(Tropical(2), Tropical(9), Tropical::INFINITY);
+        assert_eq!(Tropical(3).plus(&Tropical(5)), Tropical(3));
+        assert_eq!(Tropical(3).times(&Tropical(5)), Tropical(8));
+    }
+
+    #[test]
+    fn access_semiring_laws() {
+        use Access::*;
+        check_laws(Public, Secret, Never);
+        check_laws(Confidential, TopSecret, Public);
+        // a tuple derivable publicly OR secretly is public
+        assert_eq!(Public.plus(&Secret), Public);
+        // joining confidential with secret data requires secret clearance
+        assert_eq!(Confidential.times(&Secret), Secret);
+        assert_eq!(TopSecret.times(&Never), Never);
+    }
+
+    #[test]
+    fn why_semiring_laws() {
+        let a = Why::tuple(Var(1));
+        let b = Why::tuple(Var(2));
+        let c = Why::tuple(Var(3)).plus(&Why::tuple(Var(1)));
+        check_laws(a.clone(), b.clone(), c);
+        // joint use merges witnesses
+        let ab = a.times(&b);
+        assert_eq!(ab.0.len(), 1);
+        assert!(ab.0.contains(&BTreeSet::from([Var(1), Var(2)])));
+    }
+
+    #[test]
+    fn polynomial_semiring_laws() {
+        let x = Polynomial::<Rat>::var(Var(0));
+        let y = Polynomial::<Rat>::var(Var(1));
+        let two = Polynomial::constant(Rat::int(2));
+        check_laws(x.clone(), y.clone(), two.clone());
+        check_laws(x.plus(&y), two.times(&x), Polynomial::zero());
+    }
+
+    #[test]
+    fn eval_hom_is_a_homomorphism() {
+        let x = Polynomial::<Rat>::var(Var(0));
+        let y = Polynomial::<Rat>::var(Var(1));
+        let val = Valuation::with_default(Rat::ONE)
+            .bind(Var(0), Rat::int(3))
+            .bind(Var(1), Rat::int(4));
+        let h = |p: &Polynomial<Rat>| eval_hom(p, &val);
+        let p = x.plus(&y);
+        let q = x.times(&y).plus(&Polynomial::constant(Rat::int(2)));
+        assert_eq!(h(&p.plus(&q)), h(&p) + h(&q));
+        assert_eq!(h(&p.times(&q)), h(&p) * h(&q));
+        assert_eq!(h(&Polynomial::zero()), Rat::ZERO);
+        assert_eq!(h(&Polynomial::constant(Rat::ONE)), Rat::ONE);
+    }
+
+    #[test]
+    fn count_to_bool_is_a_homomorphism() {
+        let h = CountToBool;
+        for a in [0u64, 1, 5] {
+            for b in [0u64, 2] {
+                assert_eq!(h.apply(&(a + b)), h.apply(&a).plus(&h.apply(&b)));
+                assert_eq!(h.apply(&(a * b)), h.apply(&a).times(&h.apply(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn how_provenance_specializes_to_counting() {
+        // ℕ[X] under the valuation "every var ↦ 1" counts derivations.
+        let x = Var(0);
+        let y = Var(1);
+        // provenance of a tuple derived two ways: x·y + x
+        let p: Polynomial<Rat> = Polynomial::from_terms([
+            (Monomial::from_pairs([(x, 1), (y, 1)]), Rat::ONE),
+            (Monomial::var(x), Rat::ONE),
+        ]);
+        let ones = Valuation::with_default(Rat::ONE);
+        assert_eq!(eval_hom(&p, &ones), Rat::int(2));
+    }
+}

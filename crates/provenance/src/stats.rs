@@ -1,0 +1,107 @@
+//! Summary statistics for provenance sets.
+//!
+//! The demonstration UI (paper §3) reports "the resulting provenance size";
+//! these statistics back that read-out and the experiment tables.
+
+use crate::poly::Coeff;
+use crate::polyset::PolySet;
+use std::fmt;
+
+/// Aggregate size/shape statistics of a [`PolySet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceStats {
+    /// Number of polynomials (result tuples).
+    pub num_polynomials: usize,
+    /// Total monomials across all polynomials — the paper's size measure.
+    pub total_monomials: usize,
+    /// Number of distinct variables — the paper's expressiveness measure.
+    pub distinct_vars: usize,
+    /// Largest single polynomial (in monomials).
+    pub max_poly_monomials: usize,
+    /// Maximum total degree of any monomial.
+    pub max_degree: u32,
+}
+
+impl ProvenanceStats {
+    /// Computes statistics for `set`.
+    pub fn compute<C: Coeff>(set: &PolySet<C>) -> ProvenanceStats {
+        let mut max_poly = 0usize;
+        let mut max_degree = 0u32;
+        for (_, p) in set.iter() {
+            max_poly = max_poly.max(p.num_terms());
+            max_degree = max_degree.max(p.degree());
+        }
+        ProvenanceStats {
+            num_polynomials: set.len(),
+            total_monomials: set.total_monomials(),
+            distinct_vars: set.distinct_vars().len(),
+            max_poly_monomials: max_poly,
+            max_degree,
+        }
+    }
+
+    /// Mean monomials per polynomial.
+    pub fn mean_monomials(&self) -> f64 {
+        if self.num_polynomials == 0 {
+            0.0
+        } else {
+            self.total_monomials as f64 / self.num_polynomials as f64
+        }
+    }
+}
+
+impl fmt::Display for ProvenanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} polynomials, {} monomials ({} distinct vars, max poly {}, max degree {})",
+            self.num_polynomials,
+            cobra_util::table::thousands(self.total_monomials as u64),
+            self.distinct_vars,
+            self.max_poly_monomials,
+            self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::poly::Polynomial;
+    use crate::var::VarRegistry;
+    use cobra_util::Rat;
+
+    #[test]
+    fn computes_all_measures() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut set = PolySet::new();
+        set.push(
+            "a",
+            Polynomial::from_terms([
+                (Monomial::from_pairs([(x, 2), (y, 1)]), Rat::ONE),
+                (Monomial::var(y), Rat::int(2)),
+            ]),
+        );
+        set.push("b", Polynomial::constant(Rat::int(5)));
+        let stats = ProvenanceStats::compute(&set);
+        assert_eq!(stats.num_polynomials, 2);
+        assert_eq!(stats.total_monomials, 3);
+        assert_eq!(stats.distinct_vars, 2);
+        assert_eq!(stats.max_poly_monomials, 2);
+        assert_eq!(stats.max_degree, 3);
+        assert!((stats.mean_monomials() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set: PolySet<Rat> = PolySet::new();
+        let stats = ProvenanceStats::compute(&set);
+        assert_eq!(stats.total_monomials, 0);
+        assert_eq!(stats.mean_monomials(), 0.0);
+        let s = stats.to_string();
+        assert!(s.contains("0 polynomials"));
+    }
+}

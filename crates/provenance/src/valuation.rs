@@ -1,0 +1,218 @@
+//! Valuations: assignments of values to provenance variables.
+//!
+//! Hypothetical reasoning = pick a valuation, evaluate the provenance
+//! polynomial (paper §1). Two representations are provided:
+//!
+//! * [`Valuation`] — sparse map with an optional default, the user-facing
+//!   form ("set `m3 = 0.8`, everything else 1").
+//! * [`DenseValuation`] — a flat slice indexed by variable id, the compiled
+//!   fast path whose lookup is one bounds-checked index. The paper's
+//!   "assignment speedup" experiments time this path.
+
+use crate::poly::Coeff;
+use crate::var::Var;
+use cobra_util::FxHashMap;
+
+/// A sparse variable assignment with an optional default value for
+/// unmentioned variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Valuation<C> {
+    map: FxHashMap<Var, C>,
+    default: Option<C>,
+}
+
+impl<C: Coeff> Default for Valuation<C> {
+    fn default() -> Self {
+        Valuation {
+            map: FxHashMap::default(),
+            default: None,
+        }
+    }
+}
+
+impl<C: Coeff> Valuation<C> {
+    /// An empty valuation with no default: evaluation fails on any variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty valuation where unmentioned variables evaluate to `default`.
+    /// `Valuation::with_default(C::one())` is the identity scenario: nothing
+    /// changes, the query result equals the original.
+    pub fn with_default(default: C) -> Self {
+        Valuation {
+            map: FxHashMap::default(),
+            default: Some(default),
+        }
+    }
+
+    /// Binds `v` to `value`, returning any previous binding.
+    pub fn set(&mut self, v: Var, value: C) -> Option<C> {
+        self.map.insert(v, value)
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn bind(mut self, v: Var, value: C) -> Self {
+        self.set(v, value);
+        self
+    }
+
+    /// The value of `v`: its binding, or the default.
+    pub fn get(&self, v: Var) -> Option<C> {
+        self.map.get(&v).cloned().or_else(|| self.default.clone())
+    }
+
+    /// The explicit binding of `v` (ignores the default).
+    pub fn get_explicit(&self, v: Var) -> Option<&C> {
+        self.map.get(&v)
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff there are no explicit bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The default value, if any.
+    pub fn default_value(&self) -> Option<&C> {
+        self.default.as_ref()
+    }
+
+    /// Iterates explicit `(var, value)` bindings (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &C)> {
+        self.map.iter().map(|(&v, c)| (v, c))
+    }
+
+    /// Maps all values (and the default) into another coefficient ring —
+    /// e.g. exact `Rat` → `f64` for the timing fast path.
+    pub fn map<D: Coeff>(&self, mut f: impl FnMut(&C) -> D) -> Valuation<D> {
+        let mut out = Valuation {
+            map: FxHashMap::default(),
+            default: self.default.as_ref().map(&mut f),
+        };
+        for (v, c) in self.iter() {
+            out.set(v, f(c));
+        }
+        out
+    }
+
+    /// Merges `other`'s explicit bindings over this valuation (right bias).
+    pub fn overridden_by(&self, other: &Valuation<C>) -> Valuation<C> {
+        let mut out = self.clone();
+        for (v, c) in other.iter() {
+            out.set(v, c.clone());
+        }
+        if let Some(d) = &other.default {
+            out.default = Some(d.clone());
+        }
+        out
+    }
+}
+
+/// A dense variable assignment: `values[var.index()]`.
+///
+/// Compiled once per scenario from a sparse [`Valuation`]; evaluation of a
+/// large polynomial set then performs no hashing at all.
+#[derive(Clone, Debug)]
+pub struct DenseValuation<C> {
+    values: Vec<C>,
+}
+
+impl<C: Coeff> DenseValuation<C> {
+    /// Compiles a sparse valuation into a dense table covering variables
+    /// `0..num_vars`, using the valuation's default (or `fallback`) for
+    /// unbound variables.
+    pub fn from_valuation(val: &Valuation<C>, num_vars: usize, fallback: C) -> Self {
+        let default = val.default_value().cloned().unwrap_or(fallback);
+        let mut values = vec![default; num_vars];
+        for (v, c) in val.iter() {
+            if v.index() < values.len() {
+                values[v.index()] = c.clone();
+            }
+        }
+        DenseValuation { values }
+    }
+
+    /// Builds directly from a value table.
+    pub fn from_values(values: Vec<C>) -> Self {
+        DenseValuation { values }
+    }
+
+    /// The value of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the compiled range.
+    #[inline]
+    pub fn get(&self, v: Var) -> &C {
+        &self.values[v.index()]
+    }
+
+    /// Number of covered variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mutable access (used by scenario sweeps that perturb one variable).
+    pub fn set(&mut self, v: Var, value: C) {
+        self.values[v.index()] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_util::Rat;
+
+    #[test]
+    fn sparse_lookup_and_default() {
+        let mut val: Valuation<Rat> = Valuation::with_default(Rat::ONE);
+        assert_eq!(val.get(Var(5)), Some(Rat::ONE));
+        val.set(Var(5), Rat::int(3));
+        assert_eq!(val.get(Var(5)), Some(Rat::int(3)));
+        assert_eq!(val.get_explicit(Var(4)), None);
+        assert_eq!(val.len(), 1);
+    }
+
+    #[test]
+    fn no_default_means_none() {
+        let val: Valuation<Rat> = Valuation::new();
+        assert_eq!(val.get(Var(0)), None);
+    }
+
+    #[test]
+    fn override_merge() {
+        let base: Valuation<Rat> = Valuation::with_default(Rat::ONE)
+            .bind(Var(0), Rat::int(2))
+            .bind(Var(1), Rat::int(3));
+        let scenario = Valuation::new().bind(Var(1), Rat::int(9));
+        let merged = base.overridden_by(&scenario);
+        assert_eq!(merged.get(Var(0)), Some(Rat::int(2)));
+        assert_eq!(merged.get(Var(1)), Some(Rat::int(9)));
+        assert_eq!(merged.get(Var(7)), Some(Rat::ONE)); // default kept
+    }
+
+    #[test]
+    fn dense_compilation() {
+        let val: Valuation<Rat> = Valuation::with_default(Rat::ONE).bind(Var(2), Rat::int(5));
+        let dense = DenseValuation::from_valuation(&val, 4, Rat::ZERO);
+        assert_eq!(*dense.get(Var(2)), Rat::int(5));
+        assert_eq!(*dense.get(Var(0)), Rat::ONE); // valuation default wins over fallback
+        assert_eq!(dense.len(), 4);
+    }
+
+    #[test]
+    fn dense_fallback_when_no_default() {
+        let val: Valuation<Rat> = Valuation::new().bind(Var(0), Rat::int(2));
+        let dense = DenseValuation::from_valuation(&val, 3, Rat::int(7));
+        assert_eq!(*dense.get(Var(1)), Rat::int(7));
+    }
+}

@@ -1,0 +1,136 @@
+//! Provenance variables and their registry.
+//!
+//! A [`Var`] is a dense 32-bit id; the [`VarRegistry`] maps ids to the
+//! human-readable names used in the paper (`p1`, `f1`, `m3`, and
+//! meta-variables such as `Business` introduced by abstraction).
+
+use cobra_util::{Interner, Symbol};
+use std::fmt;
+
+/// A provenance variable (an interned name).
+///
+/// Ordering follows registration order and is the canonical variable order
+/// used inside monomials.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+/// Registry of provenance variables: name ⇄ [`Var`].
+///
+/// One registry is shared across a whole COBRA session; polynomials,
+/// abstraction trees and valuations all refer to the same variable space.
+#[derive(Default, Clone, Debug)]
+pub struct VarRegistry {
+    interner: Interner,
+}
+
+impl VarRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a variable by name.
+    pub fn var(&mut self, name: &str) -> Var {
+        Var(self.interner.intern(name).0)
+    }
+
+    /// Registers many variables at once, in order.
+    pub fn vars<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) -> Vec<Var> {
+        names.into_iter().map(|n| self.var(n)).collect()
+    }
+
+    /// Looks a variable up by name without registering it.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.interner.get(name).map(|s| Var(s.0))
+    }
+
+    /// Resolves a variable to its name.
+    ///
+    /// # Panics
+    /// Panics if `v` is not from this registry.
+    pub fn name(&self, v: Var) -> &str {
+        self.interner.resolve(Symbol(v.0))
+    }
+
+    /// Registers a fresh variable with a name based on `base`, appending a
+    /// numeric suffix if the base name is taken. Used for meta-variables
+    /// whose natural name collides with an existing variable.
+    pub fn fresh(&mut self, base: &str) -> Var {
+        if self.lookup(base).is_none() {
+            return self.var(base);
+        }
+        for i in 1.. {
+            let candidate = format!("{base}#{i}");
+            if self.lookup(&candidate).is_none() {
+                return self.var(&candidate);
+            }
+        }
+        unreachable!()
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// True iff no variable has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Iterates all `(var, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &str)> {
+        self.interner.iter().map(|(s, n)| (Var(s.0), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_round_trip() {
+        let mut reg = VarRegistry::new();
+        let p1 = reg.var("p1");
+        let m1 = reg.var("m1");
+        assert_eq!(reg.var("p1"), p1);
+        assert_ne!(p1, m1);
+        assert_eq!(reg.name(p1), "p1");
+        assert_eq!(reg.lookup("m1"), Some(m1));
+        assert_eq!(reg.lookup("nope"), None);
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut reg = VarRegistry::new();
+        let a = reg.var("Business");
+        let b = reg.fresh("Business");
+        assert_ne!(a, b);
+        assert_eq!(reg.name(b), "Business#1");
+        let c = reg.fresh("Business");
+        assert_eq!(reg.name(c), "Business#2");
+        let d = reg.fresh("Special");
+        assert_eq!(reg.name(d), "Special");
+    }
+
+    #[test]
+    fn bulk_registration_preserves_order() {
+        let mut reg = VarRegistry::new();
+        let vs = reg.vars(["a", "b", "c"]);
+        assert!(vs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(reg.len(), 3);
+    }
+}

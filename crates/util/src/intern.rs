@@ -1,0 +1,144 @@
+//! String interning for provenance variable names.
+//!
+//! Provenance polynomials mention the same variable names millions of times;
+//! interning maps each name to a dense `u32` [`Symbol`] so monomials store
+//! and compare 4-byte ids instead of strings.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned string id. Ordering follows interning order, which the rest
+/// of the system treats as the canonical variable order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once (as `Arc<str>` so lookups can hand out cheap
+/// clones) and mapped to dense [`Symbol`]s.
+#[derive(Default, Clone)]
+pub struct Interner {
+    by_name: FxHashMap<Arc<str>, Symbol>,
+    names: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let sym = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(arc.clone());
+        self.by_name.insert(arc, sym);
+        sym
+    }
+
+    /// Looks up a symbol by name without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Resolves a symbol to a shared `Arc<str>`.
+    pub fn resolve_arc(&self, sym: Symbol) -> Arc<str> {
+        self.names[sym.index()].clone()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_ref()))
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("p1");
+        let b = i.intern("m1");
+        let a2 = i.intern("p1");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        for name in ["p1", "f1", "y1", "v", "b1", "b2", "e"] {
+            let s = i.intern(name);
+            assert_eq!(i.resolve(s), name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        i.intern("x");
+        assert!(i.get("x").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let syms: Vec<Symbol> = (0..10).map(|k| i.intern(&format!("v{k}"))).collect();
+        for (k, s) in syms.iter().enumerate() {
+            assert_eq!(s.index(), k);
+        }
+        assert!(syms.windows(2).all(|w| w[0] < w[1]));
+    }
+}

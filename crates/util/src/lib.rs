@@ -1,0 +1,30 @@
+//! # cobra-util
+//!
+//! Support substrate for the COBRA reproduction. Everything here is
+//! deliberately dependency-free so that data generation and arithmetic are
+//! bit-for-bit reproducible across toolchains:
+//!
+//! * [`rational`] — exact rational arithmetic ([`Rat`]) used for provenance
+//!   coefficients, so the paper's numbers (e.g. `208.8 = 522 × 0.4`) are
+//!   reproduced without floating-point drift.
+//! * [`intern`] — string interning ([`Symbol`], [`Interner`]) backing
+//!   provenance variable names.
+//! * [`hash`] — an Fx-style fast hasher for hot hash maps keyed by small
+//!   integers/monomials (see the Rust Performance Book's hashing chapter).
+//! * [`rng`] — SplitMix64, a tiny deterministic RNG for workload generation.
+//! * [`timing`] — wall-clock measurement helpers for the speedup experiments.
+//! * [`table`] — plain-text/markdown table rendering for experiment reports.
+
+pub mod hash;
+pub mod intern;
+pub mod rational;
+pub mod rng;
+pub mod table;
+pub mod timing;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intern::{Interner, Symbol};
+pub use rational::{ParseRatError, Rat};
+pub use rng::SplitMix64;
+pub use table::Table;
+pub use timing::{time_best_of, time_once, Stopwatch};

@@ -1,0 +1,468 @@
+//! Exact rational arithmetic.
+//!
+//! Provenance coefficients in the paper are products and sums of small
+//! decimals (call durations × per-minute prices), e.g. `522 × 0.4 = 208.8`.
+//! Reproducing the paper's tables exactly requires exact arithmetic, so the
+//! whole pipeline runs on [`Rat`], a reduced `i128` fraction. Conversion to
+//! `f64` is provided for the timing-oriented valuation benchmarks where
+//! exactness is irrelevant and speed matters.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den`, always kept in canonical form:
+/// `den > 0` and `gcd(|num|, den) == 1` (and `0` is `0/1`).
+///
+/// Arithmetic panics on overflow of the underlying `i128`s (after reduction);
+/// the workloads in this repository stay far below that (denominators are
+/// products of price denominators, ≤ 10⁴).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num / den` in canonical form.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "Rat denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Rat::ZERO;
+        }
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates an integer rational.
+    pub const fn int(n: i64) -> Rat {
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
+    }
+
+    /// Numerator of the canonical form (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the canonical form (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "division by zero Rat");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Nearest `f64` approximation.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Parses a decimal literal such as `"0.35"`, `"-12"`, `"208.80"` into
+    /// the exact rational it denotes. Also accepts `a/b` fraction syntax.
+    pub fn parse(s: &str) -> Result<Rat, ParseRatError> {
+        s.parse()
+    }
+
+    /// Raises to a non-negative integer power by repeated squaring.
+    pub fn pow(self, mut exp: u32) -> Rat {
+        let mut base = self;
+        let mut acc = Rat::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base *= base;
+            }
+        }
+        acc
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Self {
+        Rat::int(n)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(n: i32) -> Self {
+        Rat::int(n as i64)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(n: u32) -> Self {
+        Rat::int(n as i64)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // Reduce cross terms first to delay overflow (a/b + c/d with g = gcd(b, d)).
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rat::new(
+            self.num * lhs_scale + rhs.num * rhs_scale,
+            self.den * lhs_scale,
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let g1 = if g1 == 0 { 1 } else { g1 };
+        let g2 = if g2 == 0 { 1 } else { g2 };
+        Rat {
+            num: (self.num / g1) * (rhs.num / g2),
+            den: (self.den / g2) * (rhs.den / g1),
+        }
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+/// Error returned when parsing a decimal or fraction literal fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    input: String,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRatError {
+            input: s.to_owned(),
+        };
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let n: i128 = n.trim().parse().map_err(|_| err())?;
+            let d: i128 = d.trim().parse().map_err(|_| err())?;
+            if d == 0 {
+                return Err(err());
+            }
+            return Ok(Rat::new(n, d));
+        }
+        let (sign, body) = match s.strip_prefix('-') {
+            Some(rest) => (-1i128, rest),
+            None => (1i128, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(err());
+        }
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(err());
+        }
+        let digits_ok = |d: &str| d.chars().all(|c| c.is_ascii_digit());
+        if !digits_ok(int_part) || !digits_ok(frac_part) {
+            return Err(err());
+        }
+        let int_val: i128 = if int_part.is_empty() {
+            0
+        } else {
+            int_part.parse().map_err(|_| err())?
+        };
+        if frac_part.len() > 30 {
+            return Err(err());
+        }
+        let mut den: i128 = 1;
+        let mut frac_val: i128 = 0;
+        for c in frac_part.chars() {
+            den = den.checked_mul(10).ok_or_else(err)?;
+            frac_val = frac_val
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((c as u8 - b'0') as i128))
+                .ok_or_else(err)?;
+        }
+        Ok(Rat::new(sign * (int_val * den + frac_val), den))
+    }
+}
+
+impl fmt::Display for Rat {
+    /// Renders as a terminating decimal when the denominator is of the form
+    /// `2^a·5^b` (always the case for price/duration data), otherwise as
+    /// `num/den`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            return write!(f, "{}", self.num);
+        }
+        // Check for a terminating decimal expansion.
+        let mut d = self.den;
+        let mut pow2 = 0u32;
+        let mut pow5 = 0u32;
+        while d % 2 == 0 {
+            d /= 2;
+            pow2 += 1;
+        }
+        while d % 5 == 0 {
+            d /= 5;
+            pow5 += 1;
+        }
+        if d != 1 || pow2.max(pow5) > 30 {
+            return write!(f, "{}/{}", self.num, self.den);
+        }
+        let digits = pow2.max(pow5);
+        // Scale numerator so the denominator becomes 10^digits.
+        let scale = 2i128.pow(digits - pow2) * 5i128.pow(digits - pow5);
+        let scaled = self.num * scale;
+        let (sign, scaled) = if scaled < 0 { ("-", -scaled) } else { ("", scaled) };
+        let ten = 10i128.pow(digits);
+        let int_part = scaled / ten;
+        let frac = scaled % ten;
+        let frac_str = format!("{:0width$}", frac, width = digits as usize);
+        let frac_str = frac_str.trim_end_matches('0');
+        if frac_str.is_empty() {
+            write!(f, "{}{}", sign, int_part)
+        } else {
+            write!(f, "{}{}.{}", sign, int_part, frac_str)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({})", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, 4), Rat::new(1, -2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+        assert_eq!(Rat::new(0, -7).denom(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+        assert_eq!(a.pow(3), Rat::new(1, 8));
+        assert_eq!(a.pow(0), Rat::ONE);
+    }
+
+    #[test]
+    fn paper_coefficients_exact() {
+        // Example 2 of the paper: 522 × 0.4 = 208.8, 364 × 0.35 = 127.4, …
+        let dur = Rat::int(522);
+        let ppm = Rat::parse("0.4").unwrap();
+        assert_eq!(dur * ppm, Rat::parse("208.8").unwrap());
+        assert_eq!(
+            Rat::int(364) * Rat::parse("0.35").unwrap(),
+            Rat::parse("127.4").unwrap()
+        );
+        assert_eq!(
+            Rat::int(671) * Rat::parse("0.15").unwrap(),
+            Rat::parse("100.65").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "0.5", "-0.25", "208.8", "100.65", "42"] {
+            let r = Rat::parse(s).unwrap();
+            assert_eq!(r.to_string(), s.trim_start_matches('+'));
+        }
+        assert_eq!(Rat::parse("3/4").unwrap(), Rat::new(3, 4));
+        assert_eq!(Rat::parse("-6/8").unwrap(), Rat::new(-3, 4));
+        assert_eq!(Rat::new(1, 3).to_string(), "1/3");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", ".", "1.2.3", "a", "1/0", "--2", "1e5"] {
+            assert!(Rat::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![
+            Rat::new(1, 2),
+            Rat::new(-1, 2),
+            Rat::ZERO,
+            Rat::int(3),
+            Rat::new(1, 3),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Rat::new(-1, 2),
+                Rat::ZERO,
+                Rat::new(1, 3),
+                Rat::new(1, 2),
+                Rat::int(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rat = (1..=4).map(|i| Rat::new(1, i)).sum();
+        assert_eq!(total, Rat::new(25, 12));
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(Rat::new(1, 2).to_f64(), 0.5);
+        assert_eq!(Rat::parse("208.8").unwrap().to_f64(), 208.8);
+    }
+}

@@ -1,0 +1,213 @@
+//! Plain-text / markdown table rendering for experiment reports.
+//!
+//! The `experiments` binary prints the same rows the paper reports
+//! (paper-value vs. measured-value); this module renders them with aligned
+//! columns for terminals and in GitHub-flavoured markdown for
+//! EXPERIMENTS.md.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// An in-memory table: a header row plus data rows of equal arity.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (all left-aligned).
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `idx`.
+    pub fn align(mut self, idx: usize, align: Align) -> Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first (the usual shape for
+    /// name + numbers tables).
+    pub fn numeric(mut self) -> Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = " ".repeat(width - len);
+        match align {
+            Align::Left => format!("{cell}{fill}"),
+            Align::Right => format!("{fill}{cell}"),
+        }
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let render_row = |cells: &[String]| {
+            let body: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Self::pad(c, w[i], self.aligns[i]))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&render_row(&self.headers));
+        let sep: Vec<String> = w
+            .iter()
+            .zip(&self.aligns)
+            .map(|(&width, a)| match a {
+                Align::Left => "-".repeat(width.max(3)),
+                Align::Right => format!("{}:", "-".repeat(width.max(3) - 1)),
+            })
+            .collect();
+        out.push_str(&format!("|{}|\n", sep.iter().map(|s| format!(" {s} ")).collect::<Vec<_>>().join("|")));
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Renders with aligned columns for terminal output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let render = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| Self::pad(c, w[i], self.aligns[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            w.iter()
+                .map(|&n| "-".repeat(n))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", render(row).trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an integer with thousands separators (`139260` → `"139,260"`),
+/// matching how the paper prints provenance sizes.
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new(["cut", "monomials", "variables"]).numeric();
+        t.row(["S1", "4", "4"]);
+        t.row(["S5", "2", "3"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("cut"));
+        assert!(lines[2].contains("S1"));
+        // numeric columns right-aligned under their headers
+        assert!(lines[2].ends_with('4'));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(["a", "b"]).numeric();
+        t.row(["x", "1"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a"));
+        assert!(md.lines().nth(1).unwrap().contains("---"));
+        assert!(md.lines().nth(1).unwrap().contains(":"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(139260), "139,260");
+        assert_eq!(thousands(1234567890), "1,234,567,890");
+    }
+}

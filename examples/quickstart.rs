@@ -1,0 +1,119 @@
+//! Quickstart: the paper's running example end to end.
+//!
+//! Builds the Figure 1 database, runs the revenue query with provenance
+//! tracking (reproducing Example 2's polynomials), compresses with the
+//! Figure 2 abstraction tree (Example 4), and evaluates the two
+//! hypothetical scenarios of Example 1.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cobra::core::CobraSession;
+use cobra::datagen::scenarios;
+use cobra::datagen::telephony::Telephony;
+use cobra::util::Rat;
+
+fn main() {
+    // ── 1. The provenance engine side (Fig. 4, left) ────────────────────
+    let telephony = Telephony::paper_example();
+    println!("Figure 1 database:");
+    for name in ["Cust", "Calls", "Plans"] {
+        let table = telephony.db.table(name).expect("table exists");
+        println!("\n{name} ({} rows)", table.len());
+    }
+    println!("\nRevenue query:\n{}\n", Telephony::REVENUE_SQL);
+
+    let polys = telephony.revenue_polyset();
+    println!("Provenance polynomials (paper Example 2):");
+    print!("{}", polys.display(&telephony.reg));
+
+    // ── 2. The COBRA side: tree + bound → compression ──────────────────
+    let mut session = CobraSession::new(telephony.reg, polys);
+    session.enable_trace();
+    session
+        .add_tree_text(
+            "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))",
+        )
+        .expect("Fig. 2 tree parses");
+    session.set_bound(6);
+    let report = session.compress().expect("bound 6 is feasible");
+    println!("\nCompression report (bound 6):\n{report}");
+
+    println!("Compressed polynomials:");
+    print!(
+        "{}",
+        session
+            .compressed_polynomials()
+            .expect("compressed")
+            .display(session.registry())
+    );
+
+    // The meta-variable screen (paper Fig. 5).
+    println!("\nMeta-variables (Fig. 5 screen):");
+    for row in session.meta_summary().expect("compressed") {
+        let leaves: Vec<String> = row
+            .leaves
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        println!(
+            "  {} = {{{}}}  default {}",
+            row.name,
+            leaves.join(", "),
+            row.default_value
+        );
+    }
+
+    // ── 3. Hypothetical reasoning ───────────────────────────────────────
+    for scenario in [scenarios::march_discount(), scenarios::business_increase()] {
+        let valuation = scenario.valuation(session.registry_mut());
+        let cmp = session.assign(&valuation).expect("assignment");
+        println!("\nScenario: {}", scenario.description);
+        println!("  zip    full        compressed  rel.err");
+        for row in &cmp.rows {
+            println!(
+                "  {:<6} {:<11} {:<11} {:.4}",
+                row.label,
+                row.full.to_f64(),
+                row.compressed.to_f64(),
+                row.rel_error()
+            );
+        }
+        if cmp.is_exact() {
+            println!("  (compression introduced no error for this scenario)");
+        }
+    }
+
+    // A scenario the abstraction cannot express exactly:
+    let misaligned = scenarios::sb1_only_increase();
+    let valuation = misaligned.valuation(session.registry_mut());
+    let cmp = session.assign(&valuation).expect("assignment");
+    println!("\nScenario: {}", misaligned.description);
+    println!(
+        "  max relative error from compression: {:.4}",
+        cmp.max_rel_error()
+    );
+
+    // ── 4. Sensitivity analysis (extension): which parameters matter? ──
+    use cobra::core::SensitivityReport;
+    use cobra::provenance::Valuation;
+    let sensitivity = SensitivityReport::compute(
+        session.polynomials(),
+        &Valuation::with_default(Rat::ONE),
+    );
+    println!("\nMost sensitive parameters (|∂revenue/∂x| at the base valuation):");
+    for (var, s) in sensitivity.top(5) {
+        println!("  {:<4} {}", session.registry().name(*var), s);
+    }
+
+    // ── 5. Under the hood (the demo's final phase) ──────────────────────
+    println!("\nTrace:");
+    for line in session.trace() {
+        println!("  {line}");
+    }
+
+    // Sanity: exact rational arithmetic reproduces 522 × 0.4 = 208.8.
+    assert_eq!(
+        Rat::int(522) * Rat::parse("0.4").unwrap(),
+        Rat::parse("208.8").unwrap()
+    );
+}

@@ -1,0 +1,248 @@
+//! `cobra` — command-line front end to the compression pipeline.
+//!
+//! ```text
+//! cobra demo
+//!     Run the paper's running example end to end.
+//!
+//! cobra compress --polys FILE --tree TREE --bound N
+//!                [--scenario v=1.1,w=0.8] [--trace] [--sensitivity]
+//!     Compress a polynomial file (text interchange format: one
+//!     `label = polynomial` per line) against an abstraction tree
+//!     (inline text like `Plans(Standard(p1,p2), v)` or `@file`),
+//!     then optionally evaluate a what-if scenario.
+//! ```
+
+use cobra::core::{CobraSession, SensitivityReport};
+use cobra::provenance::Valuation;
+use cobra::util::Rat;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("cobra: {message}");
+            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `compress` invocation.
+#[derive(Debug, Default, PartialEq)]
+struct CompressArgs {
+    polys: String,
+    tree: String,
+    bound: u64,
+    scenario: Vec<(String, Rat)>,
+    trace: bool,
+    sensitivity: bool,
+}
+
+fn parse_compress_args(args: &[String]) -> Result<CompressArgs, String> {
+    let mut out = CompressArgs::default();
+    let mut bound = None;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--polys" => out.polys = value()?,
+            "--tree" => out.tree = value()?,
+            "--bound" => {
+                bound = Some(
+                    value()?
+                        .replace(',', "")
+                        .parse::<u64>()
+                        .map_err(|e| format!("--bound: {e}"))?,
+                )
+            }
+            "--scenario" => {
+                for part in value()?.split(',') {
+                    let (name, factor) = part
+                        .split_once('=')
+                        .ok_or_else(|| format!("--scenario entries are var=factor, got {part:?}"))?;
+                    let factor = Rat::parse(factor.trim())
+                        .map_err(|e| format!("--scenario {name}: {e}"))?;
+                    out.scenario.push((name.trim().to_owned(), factor));
+                }
+            }
+            "--trace" => out.trace = true,
+            "--sensitivity" => out.sensitivity = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.polys.is_empty() {
+        return Err("--polys is required".into());
+    }
+    if out.tree.is_empty() {
+        return Err("--tree is required".into());
+    }
+    out.bound = bound.ok_or("--bound is required")?;
+    Ok(out)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("demo") => demo(),
+        Some("compress") => compress(parse_compress_args(&args[1..])?),
+        _ => Err("expected a subcommand: demo | compress".into()),
+    }
+}
+
+fn demo() -> Result<(), String> {
+    use cobra::datagen::telephony::Telephony;
+    let telephony = Telephony::paper_example();
+    let polys = telephony.revenue_polyset();
+    println!("Provenance of the paper's revenue query (Example 2):");
+    print!("{}", polys.display(&telephony.reg));
+    let mut session = CobraSession::new(telephony.reg, polys);
+    session
+        .add_tree_text(
+            "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))",
+        )
+        .map_err(|e| e.to_string())?;
+    session.set_bound(6);
+    let report = session.compress().map_err(|e| e.to_string())?;
+    println!("\n{report}");
+    println!("Compressed polynomials:");
+    print!(
+        "{}",
+        session
+            .compressed_polynomials()
+            .map_err(|e| e.to_string())?
+            .display(session.registry())
+    );
+    Ok(())
+}
+
+fn compress(args: CompressArgs) -> Result<(), String> {
+    // load polynomials
+    let text = std::fs::read_to_string(&args.polys)
+        .map_err(|e| format!("cannot read {}: {e}", args.polys))?;
+    let mut session = CobraSession::from_text(&text).map_err(|e| e.to_string())?;
+    if args.trace {
+        session.enable_trace();
+    }
+
+    // load tree (inline or @file)
+    let tree_text = match args.tree.strip_prefix('@') {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?,
+        None => args.tree.clone(),
+    };
+    session
+        .add_tree_text(tree_text.trim())
+        .map_err(|e| e.to_string())?;
+
+    session.set_bound(args.bound);
+    let report = session.compress().map_err(|e| e.to_string())?;
+    println!("{report}");
+
+    println!("Meta-variables:");
+    for row in session.meta_summary().map_err(|e| e.to_string())? {
+        let leaves: Vec<String> = row.leaves.iter().map(|(n, _)| n.clone()).collect();
+        println!(
+            "  {} = {{{}}}  (default {})",
+            row.name,
+            leaves.join(", "),
+            row.default_value
+        );
+    }
+
+    if !args.scenario.is_empty() {
+        let mut valuation = Valuation::with_default(Rat::ONE);
+        for (name, factor) in &args.scenario {
+            let var = session.registry_mut().var(name);
+            valuation.set(var, *factor);
+        }
+        let cmp = session.assign(&valuation).map_err(|e| e.to_string())?;
+        println!("\nScenario results (full vs compressed):");
+        for row in &cmp.rows {
+            println!(
+                "  {:<12} {:<14} {:<14} rel.err {:.6}",
+                row.label,
+                row.full.to_f64(),
+                row.compressed.to_f64(),
+                row.rel_error()
+            );
+        }
+        println!(
+            "max relative error: {:.6}{}",
+            cmp.max_rel_error(),
+            if cmp.is_exact() { " (exact)" } else { "" }
+        );
+    }
+
+    if args.sensitivity {
+        let report = SensitivityReport::compute(
+            session.polynomials(),
+            &Valuation::with_default(Rat::ONE),
+        );
+        println!("\nSensitivity ranking (at the all-ones valuation):");
+        print!("{}", report.to_table(session.registry()));
+    }
+
+    if args.trace {
+        println!("\nTrace:");
+        for line in session.trace() {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let args = parse_compress_args(&s(&[
+            "--polys",
+            "p.txt",
+            "--tree",
+            "T(a,b)",
+            "--bound",
+            "94,600",
+            "--scenario",
+            "m3=0.8, b1=1.1",
+            "--trace",
+            "--sensitivity",
+        ]))
+        .unwrap();
+        assert_eq!(args.polys, "p.txt");
+        assert_eq!(args.bound, 94_600);
+        assert_eq!(args.scenario.len(), 2);
+        assert_eq!(args.scenario[0].0, "m3");
+        assert_eq!(args.scenario[0].1, Rat::parse("0.8").unwrap());
+        assert!(args.trace && args.sensitivity);
+    }
+
+    #[test]
+    fn rejects_missing_required_flags() {
+        assert!(parse_compress_args(&s(&["--polys", "p"])).is_err());
+        assert!(parse_compress_args(&s(&["--tree", "T(a)"])).is_err());
+        assert!(parse_compress_args(&s(&["--polys", "p", "--tree", "t", "--bound"])).is_err());
+        assert!(parse_compress_args(&s(&["--nope"])).is_err());
+        assert!(parse_compress_args(&s(&[
+            "--polys", "p", "--tree", "t", "--bound", "5", "--scenario", "novalue"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn run_demo_succeeds() {
+        run(&s(&["demo"])).unwrap();
+        assert!(run(&s(&["unknown"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

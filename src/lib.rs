@@ -1,0 +1,42 @@
+//! # COBRA — Compression via Abstraction of Provenance for Hypothetical Reasoning
+//!
+//! A from-scratch Rust reproduction of Deutch, Moskovitch & Rinetzky's
+//! ICDE 2019 demonstration (arXiv:2007.05389), including every substrate
+//! the paper depends on. This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`util`] (cobra-util) | exact rationals, interning, fast hashing, RNG, timing, tables |
+//! | [`provenance`] (cobra-provenance) | provenance polynomials, semirings, valuations, text format |
+//! | [`engine`] (cobra-engine) | provenance-aware SPJA query engine, SQL subset, K-relations |
+//! | [`core`] (cobra-core) | abstraction trees, the exact DP compression optimizer, sessions |
+//! | [`datagen`] (cobra-datagen) | telephony & TPC-H-style workloads, scenarios, synthetic inputs |
+//!
+//! ## The 30-second tour
+//!
+//! ```
+//! use cobra::core::CobraSession;
+//!
+//! // Provenance polynomials from any engine (paper Example 2, abridged):
+//! let mut session = CobraSession::from_text(
+//!     "P1 = 208.8*p1*m1 + 127.4*f1*m1 + 75.9*y1*m1 + 42*v*m1",
+//! ).unwrap();
+//! // The Fig. 2 abstraction tree and a size bound:
+//! session.add_tree_text(
+//!     "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))",
+//! ).unwrap();
+//! session.set_bound(2);
+//! // Compress: the optimizer groups the special plans, keeping the rest.
+//! let report = session.compress().unwrap();
+//! assert!(report.compressed_size <= 2);
+//! ```
+//!
+//! See `examples/` for the full walk-throughs (quickstart, telephony at
+//! paper scale, TPC-H, and the bound-sweep explorer) and EXPERIMENTS.md
+//! for the paper-vs-measured tables.
+
+pub use cobra_core as core;
+pub use cobra_datagen as datagen;
+pub use cobra_engine as engine;
+pub use cobra_provenance as provenance;
+pub use cobra_util as util;

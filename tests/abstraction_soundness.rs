@@ -1,0 +1,130 @@
+//! Property tests for the semantics of abstraction itself:
+//!
+//! 1. **Soundness** — for any cut, evaluating the compressed provenance
+//!    under a meta-valuation equals evaluating the full provenance under
+//!    the expansion of that valuation to the leaves (the degrees of
+//!    freedom lost are exactly "grouped variables share a value").
+//! 2. Compression never increases the provenance size, and the root cut
+//!    never beats the bound formula from the group analysis.
+//! 3. Refining a cut (replacing a node by its children) never decreases
+//!    the size.
+
+use cobra::core::{apply_cut, enumerate_cuts, GroupAnalysis};
+use cobra::core::{AbstractionTree, Cut};
+use cobra::datagen::synthetic::{generate, SyntheticConfig};
+use cobra::provenance::{Valuation, Var};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (2usize..10, 2usize..4, 1usize..4, 1usize..4, 1u64..1000).prop_map(
+        |(leaves, max_children, polynomials, contexts, seed)| SyntheticConfig {
+            leaves,
+            max_children,
+            polynomials,
+            contexts,
+            density: 0.6,
+            seed,
+        },
+    )
+}
+
+/// Meta valuation with distinct values per meta var; expansion to leaves.
+fn valuations_for_cut(
+    tree: &AbstractionTree,
+    cut: &Cut,
+    metas: &[cobra::core::MetaVar],
+    salt: i64,
+) -> (Valuation<Rat>, Valuation<Rat>) {
+    let mut meta_val = Valuation::with_default(Rat::ONE);
+    let mut leaf_val = Valuation::with_default(Rat::ONE);
+    for (i, meta) in metas.iter().enumerate() {
+        let value = Rat::new((salt + i as i64 + 2) as i128, 7);
+        meta_val.set(meta.var, value);
+        for &leaf in &meta.leaves {
+            leaf_val.set(leaf, value);
+        }
+    }
+    let _ = (tree, cut);
+    (meta_val, leaf_val)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compressed_eval_equals_full_eval_under_grouping(
+        config in config_strategy(),
+        salt in 0i64..100,
+    ) {
+        let mut synthetic = generate(config);
+        let cuts = enumerate_cuts(&synthetic.tree, 10_000).expect("small tree");
+        for cut in cuts {
+            let applied = apply_cut(&synthetic.set, &synthetic.tree, &cut, &mut synthetic.reg);
+            let (meta_val, leaf_val) =
+                valuations_for_cut(&synthetic.tree, &cut, &applied.meta_vars, salt);
+            let full = synthetic.set.eval(&leaf_val).expect("total valuation");
+            let compressed = applied.compressed.eval(&meta_val).expect("total valuation");
+            prop_assert_eq!(full, compressed, "cut {}", cut.display(&synthetic.tree));
+        }
+    }
+
+    #[test]
+    fn compression_never_grows_and_refinement_is_monotone(
+        config in config_strategy(),
+    ) {
+        let mut synthetic = generate(config);
+        let analysis = GroupAnalysis::analyze(&synthetic.set, &synthetic.tree)
+            .expect("single-leaf monomials");
+        let full = synthetic.set.total_monomials();
+        for cut in enumerate_cuts(&synthetic.tree, 10_000).expect("small tree") {
+            let applied =
+                apply_cut(&synthetic.set, &synthetic.tree, &cut, &mut synthetic.reg);
+            // never larger than the original
+            prop_assert!(applied.compressed_size <= full);
+            // formula agreement
+            prop_assert_eq!(
+                applied.compressed_size as u64,
+                analysis.compressed_size(cut.nodes())
+            );
+            // refinement monotonicity: expand the first inner cut node
+            if let Some(&node) = cut
+                .nodes()
+                .iter()
+                .find(|&&n| !synthetic.tree.is_leaf(n))
+            {
+                let mut refined: Vec<_> =
+                    cut.nodes().iter().copied().filter(|&n| n != node).collect();
+                refined.extend_from_slice(synthetic.tree.children(node));
+                let refined_cut = Cut::new(&synthetic.tree, refined).expect("valid refinement");
+                let refined_size = analysis.compressed_size(refined_cut.nodes());
+                prop_assert!(
+                    refined_size >= applied.compressed_size as u64,
+                    "refining must not shrink: {} -> {}",
+                    cut.display(&synthetic.tree),
+                    refined_cut.display(&synthetic.tree)
+                );
+            }
+        }
+    }
+
+    /// Meta-variables partition the leaves: every tree leaf belongs to
+    /// exactly one meta-variable, and identity cuts at leaves map to
+    /// themselves.
+    #[test]
+    fn meta_vars_partition_leaves(config in config_strategy()) {
+        let mut synthetic = generate(config);
+        for cut in enumerate_cuts(&synthetic.tree, 10_000).expect("small tree") {
+            let applied =
+                apply_cut(&synthetic.set, &synthetic.tree, &cut, &mut synthetic.reg);
+            let mut seen: Vec<Var> = Vec::new();
+            for meta in &applied.meta_vars {
+                for &leaf in &meta.leaves {
+                    prop_assert!(!seen.contains(&leaf), "leaf covered twice");
+                    seen.push(leaf);
+                }
+            }
+            prop_assert_eq!(seen.len(), synthetic.tree.num_leaves());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The correctness guarantee of the whole approach (paper §1): applying a
+//! valuation to the provenance polynomial yields the same result as
+//! modifying the inputs and re-running the query.
+//!
+//! Property-tested end to end through the engine: random telephony-shaped
+//! databases, random multiplicative scenarios, both evaluation orders.
+
+use cobra::engine::{parameterize, Database, Relation, Value};
+use cobra::provenance::{Monomial, Valuation, VarRegistry};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+const QUERY: &str = "SELECT Zip, SUM(Calls.Dur * Plans.Price) AS revenue \
+     FROM Calls, Cust, Plans \
+     WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID AND Calls.Mo = Plans.Mo \
+     GROUP BY Cust.Zip";
+
+#[derive(Debug, Clone)]
+struct Workload {
+    customers: Vec<(usize, i64)>, // (plan index, zip)
+    durations: Vec<Vec<i64>>,     // per customer, per month
+    prices: Vec<Vec<i64>>,        // per plan, per month (cents)
+    factors: Vec<Vec<(i64, i64)>>, // scenario factor per (plan, month) as num/den
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    let plans = 3usize;
+    let months = 2usize;
+    (1usize..6).prop_flat_map(move |n_cust| {
+        (
+            proptest::collection::vec((0..plans, 0i64..3), n_cust),
+            proptest::collection::vec(
+                proptest::collection::vec(1i64..500, months),
+                n_cust,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(1i64..100, months),
+                plans,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec((0i64..30, 1i64..10), months),
+                plans,
+            ),
+        )
+            .prop_map(|(customers, durations, prices, factors)| Workload {
+                customers,
+                durations,
+                prices,
+                factors,
+            })
+    })
+}
+
+fn plan_name(i: usize) -> String {
+    format!("PL{i}")
+}
+
+/// Builds the database; `scaled` applies the scenario factors directly to
+/// the price table (the "re-execute on modified input" side).
+fn build_db(w: &Workload, scaled: bool) -> Database {
+    let months = w.durations[0].len();
+    let mut cust_rows = Vec::new();
+    for (i, (plan, zip)) in w.customers.iter().enumerate() {
+        cust_rows.push(vec![
+            Value::Int(i as i64 + 1),
+            Value::str(&plan_name(*plan)),
+            Value::Int(10_000 + zip),
+        ]);
+    }
+    let mut call_rows = Vec::new();
+    for (i, durs) in w.durations.iter().enumerate() {
+        for (mo, &d) in durs.iter().enumerate() {
+            call_rows.push(vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(mo as i64 + 1),
+                Value::Int(d),
+            ]);
+        }
+    }
+    let mut plan_rows = Vec::new();
+    for (p, prices) in w.prices.iter().enumerate() {
+        for mo in 0..months {
+            let mut price = Rat::new(prices[mo] as i128, 100);
+            if scaled {
+                let (num, den) = w.factors[p][mo];
+                price = price * Rat::new(num as i128, den as i128);
+            }
+            plan_rows.push(vec![
+                Value::str(&plan_name(p)),
+                Value::Int(mo as i64 + 1),
+                Value::Num(price),
+            ]);
+        }
+    }
+    let mut db = Database::new();
+    db.insert("Cust", Relation::from_rows(["ID", "Plan", "Zip"], cust_rows).unwrap());
+    db.insert("Calls", Relation::from_rows(["CID", "Mo", "Dur"], call_rows).unwrap());
+    db.insert(
+        "Plans",
+        Relation::from_rows(["Plan", "Mo", "Price"], plan_rows).unwrap(),
+    );
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// eval(valuation, provenance(Q, D)) == Q(scale(D, valuation))
+    #[test]
+    fn valuation_commutes_with_reexecution(w in workload_strategy()) {
+        let months = w.durations[0].len();
+        // ── symbolic side: parameterize, run once, evaluate polynomial ──
+        let mut reg = VarRegistry::new();
+        let vars: Vec<Vec<_>> = (0..w.prices.len())
+            .map(|p| {
+                (0..months)
+                    .map(|mo| reg.var(&format!("x_{p}_{mo}")))
+                    .collect()
+            })
+            .collect();
+        let mut db = build_db(&w, false);
+        let plans_table = db.table_mut("Plans").unwrap();
+        parameterize(plans_table, "Price", |row| {
+            let p: usize = match &row[0] {
+                Value::Str(s) => s[2..].parse().unwrap(),
+                _ => return None,
+            };
+            let mo = match row[1] {
+                Value::Int(m) => m as usize - 1,
+                _ => return None,
+            };
+            Some(Monomial::var(vars[p][mo]))
+        })
+        .unwrap();
+        let result = db.sql(QUERY).unwrap();
+        let polys = result.extract_polyset(&["Zip"], "revenue").unwrap();
+
+        let mut valuation = Valuation::with_default(Rat::ONE);
+        for (p, row) in w.factors.iter().enumerate() {
+            for (mo, (num, den)) in row.iter().enumerate() {
+                valuation.set(vars[p][mo], Rat::new(*num as i128, *den as i128));
+            }
+        }
+        let symbolic: Vec<(String, Rat)> = polys.eval(&valuation).unwrap();
+
+        // ── concrete side: scale the input prices and re-run ───────────
+        let db2 = build_db(&w, true);
+        let rerun = db2.sql(QUERY).unwrap();
+        let concrete = rerun.extract_polyset(&["Zip"], "revenue").unwrap();
+
+        prop_assert_eq!(symbolic.len(), concrete.len());
+        for (label, value) in &symbolic {
+            let poly = concrete.get(label).expect("zip in re-run");
+            // a fully concrete polynomial is a constant
+            prop_assert_eq!(poly.num_terms() <= 1, true);
+            let constant = poly.coeff_of(&Monomial::one());
+            prop_assert_eq!(*value, constant, "zip {}", label);
+        }
+    }
+}

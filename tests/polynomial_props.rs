@@ -1,0 +1,146 @@
+//! Property tests on the provenance-polynomial substrate: ring laws,
+//! canonical-form invariants, parser round-trips, and the interplay of
+//! renaming (abstraction) with evaluation.
+
+use cobra::provenance::{parse_poly, Monomial, Polynomial, Valuation, Var, VarRegistry};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+const NUM_VARS: u32 = 5;
+
+fn rat_strategy() -> impl Strategy<Value = Rat> {
+    (-50i128..50, 1i128..8).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn monomial_strategy() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec((0u32..NUM_VARS, 1u32..3), 0..4)
+        .prop_map(|pairs| Monomial::from_pairs(pairs.into_iter().map(|(v, e)| (Var(v), e))))
+}
+
+fn poly_strategy() -> impl Strategy<Value = Polynomial<Rat>> {
+    proptest::collection::vec((monomial_strategy(), rat_strategy()), 0..6)
+        .prop_map(Polynomial::from_terms)
+}
+
+fn valuation_strategy() -> impl Strategy<Value = Valuation<Rat>> {
+    proptest::collection::vec(rat_strategy(), NUM_VARS as usize).prop_map(|vals| {
+        let mut v = Valuation::with_default(Rat::ONE);
+        for (i, value) in vals.into_iter().enumerate() {
+            v.set(Var(i as u32), value);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ring_laws(p in poly_strategy(), q in poly_strategy(), r in poly_strategy()) {
+        // commutativity
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert_eq!(p.mul(&q), q.mul(&p));
+        // associativity
+        prop_assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+        prop_assert_eq!(p.mul(&q).mul(&r), p.mul(&q.mul(&r)));
+        // distributivity
+        prop_assert_eq!(p.mul(&q.add(&r)), p.mul(&q).add(&p.mul(&r)));
+        // identities & inverses
+        prop_assert_eq!(p.add(&Polynomial::zero()), p.clone());
+        prop_assert_eq!(p.mul(&Polynomial::constant(Rat::ONE)), p.clone());
+        prop_assert!(p.sub(&p).is_zero());
+    }
+
+    #[test]
+    fn canonical_form_invariants(p in poly_strategy(), q in poly_strategy()) {
+        for poly in [&p, &q, &p.add(&q), &p.mul(&q)] {
+            // strictly increasing monomials, no zero coefficients
+            let terms: Vec<_> = poly.iter().collect();
+            for w in terms.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            prop_assert!(terms.iter().all(|(_, c)| !c.is_zero()));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_a_ring_homomorphism(
+        p in poly_strategy(),
+        q in poly_strategy(),
+        val in valuation_strategy(),
+    ) {
+        let ev = |poly: &Polynomial<Rat>| poly.eval(&val).unwrap();
+        prop_assert_eq!(ev(&p.add(&q)), ev(&p) + ev(&q));
+        prop_assert_eq!(ev(&p.mul(&q)), ev(&p) * ev(&q));
+        prop_assert_eq!(ev(&p.neg()), -ev(&p));
+    }
+
+    /// rename-then-evaluate == evaluate-with-pulled-back-valuation: the
+    /// algebraic heart of the compression correctness argument.
+    #[test]
+    fn rename_commutes_with_eval(
+        p in poly_strategy(),
+        val in valuation_strategy(),
+        target in 0u32..NUM_VARS,
+    ) {
+        // merge all variables into `target`
+        let renamed = p.rename_vars(|_| Var(target));
+        let direct = renamed.eval(&val).unwrap();
+        // pull back: every variable takes target's value
+        let target_value = val.get(Var(target)).unwrap();
+        let pulled = Valuation::with_default(target_value);
+        prop_assert_eq!(p.eval(&pulled).unwrap(), direct);
+    }
+
+    #[test]
+    fn rename_preserves_eval_under_matching_valuation(
+        p in poly_strategy(),
+        val in valuation_strategy(),
+    ) {
+        // identity rename is a no-op
+        prop_assert_eq!(p.rename_vars(|v| v), p.clone());
+        // renaming can only reduce (or keep) the term count
+        let merged = p.rename_vars(|v| Var(v.0 / 2));
+        prop_assert!(merged.num_terms() <= p.num_terms());
+        let _ = val;
+    }
+
+    #[test]
+    fn partial_eval_then_total_matches_direct(
+        p in poly_strategy(),
+        val in valuation_strategy(),
+    ) {
+        // bind only even vars first, then the rest
+        let mut first = Valuation::new();
+        let mut second = Valuation::with_default(Rat::ONE);
+        for i in 0..NUM_VARS {
+            let value = val.get(Var(i)).unwrap();
+            if i % 2 == 0 {
+                first.set(Var(i), value);
+            } else {
+                second.set(Var(i), value);
+            }
+        }
+        let staged = p.partial_eval(&first).eval(&second).unwrap();
+        prop_assert_eq!(staged, p.eval(&val).unwrap());
+    }
+
+    #[test]
+    fn display_parse_round_trip(p in poly_strategy()) {
+        let mut reg = VarRegistry::new();
+        for i in 0..NUM_VARS {
+            reg.var(&format!("v{i}"));
+        }
+        let printed = p.display(&reg).to_string();
+        let reparsed = parse_poly(&printed, &mut reg).unwrap();
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn dense_and_sparse_eval_agree(p in poly_strategy(), val in valuation_strategy()) {
+        let dense = cobra::provenance::DenseValuation::from_valuation(
+            &val, NUM_VARS as usize, Rat::ONE,
+        );
+        prop_assert_eq!(p.eval(&val).unwrap(), p.eval_dense(&dense));
+    }
+}

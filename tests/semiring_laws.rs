@@ -1,0 +1,147 @@
+//! Property tests for the semiring provenance substrate (Green et al.):
+//! commutative-semiring laws for every instance, and homomorphism
+//! commutation through K-relation queries with random data.
+
+use cobra::engine::krelation::KRelation;
+use cobra::engine::{Schema, Value};
+use cobra::provenance::semiring::{eval_hom, Access, Tropical, Why};
+use cobra::provenance::{Monomial, Polynomial, Semiring, Valuation, Var};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+fn check_laws<K: Semiring>(a: &K, b: &K, c: &K) -> Result<(), TestCaseError> {
+    let zero = K::zero();
+    let one = K::one();
+    prop_assert_eq!(a.plus(&zero), a.clone());
+    prop_assert_eq!(a.times(&one), a.clone());
+    prop_assert_eq!(a.plus(b), b.plus(a));
+    prop_assert_eq!(a.times(b), b.times(a));
+    prop_assert_eq!(a.plus(b).plus(c), a.plus(&b.plus(c)));
+    prop_assert_eq!(a.times(b).times(c), a.times(&b.times(c)));
+    prop_assert_eq!(a.times(&b.plus(c)), a.times(b).plus(&a.times(c)));
+    prop_assert!(a.times(&zero).is_zero());
+    Ok(())
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        Just(Access::Public),
+        Just(Access::Confidential),
+        Just(Access::Secret),
+        Just(Access::TopSecret),
+        Just(Access::Never),
+    ]
+}
+
+fn why_strategy() -> impl Strategy<Value = Why> {
+    proptest::collection::vec(proptest::collection::vec(0u32..5, 0..3), 0..3).prop_map(
+        |witnesses| {
+            Why(witnesses
+                .into_iter()
+                .map(|w| w.into_iter().map(Var).collect())
+                .collect())
+        },
+    )
+}
+
+fn poly_strategy() -> impl Strategy<Value = Polynomial<Rat>> {
+    proptest::collection::vec(
+        (proptest::collection::vec((0u32..4, 1u32..3), 0..3), -9i64..9),
+        0..4,
+    )
+    .prop_map(|terms| {
+        Polynomial::from_terms(terms.into_iter().map(|(pairs, c)| {
+            (
+                Monomial::from_pairs(pairs.into_iter().map(|(v, e)| (Var(v), e))),
+                Rat::int(c),
+            )
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counting_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        check_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn boolean_laws(a: bool, b: bool, c: bool) {
+        check_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn tropical_laws(a in 0u64..100, b in 0u64..100, c in 0u64..100) {
+        check_laws(&Tropical(a), &Tropical(b), &Tropical::INFINITY)?;
+        check_laws(&Tropical(a), &Tropical(b), &Tropical(c))?;
+    }
+
+    #[test]
+    fn access_laws(a in access_strategy(), b in access_strategy(), c in access_strategy()) {
+        check_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn why_laws(a in why_strategy(), b in why_strategy(), c in why_strategy()) {
+        check_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn polynomial_laws(a in poly_strategy(), b in poly_strategy(), c in poly_strategy()) {
+        check_laws(&a, &b, &c)?;
+    }
+
+    /// The fundamental commutation theorem over random K-relations: for a
+    /// join-project query, evaluating symbolically (ℚ[X]) and then
+    /// applying the valuation homomorphism equals evaluating over ℚ
+    /// directly.
+    #[test]
+    fn hom_commutes_over_random_krelations(
+        r_rows in proptest::collection::vec((0i64..4, 0i64..4, 0u32..6), 1..8),
+        s_rows in proptest::collection::vec((0i64..4, 0i64..4, 0u32..6), 1..8),
+        values in proptest::collection::vec(-3i64..4, 6),
+    ) {
+        let val = {
+            let mut v = Valuation::with_default(Rat::ONE);
+            for (i, &x) in values.iter().enumerate() {
+                v.set(Var(i as u32), Rat::int(x));
+            }
+            v
+        };
+        let poly = |x: u32| Polynomial::<Rat>::term(Monomial::var(Var(x)), Rat::ONE);
+
+        let mut r_sym: KRelation<Polynomial<Rat>> = KRelation::new(Schema::new(["a", "b"]));
+        let mut r_num: KRelation<Rat> = KRelation::new(Schema::new(["a", "b"]));
+        for &(a, b, x) in &r_rows {
+            let row = vec![Value::Int(a), Value::Int(b)];
+            r_sym.insert(row.clone(), poly(x)).unwrap();
+            r_num.insert(row, eval_hom(&poly(x), &val)).unwrap();
+        }
+        let mut s_sym: KRelation<Polynomial<Rat>> = KRelation::new(Schema::new(["b2", "c"]));
+        let mut s_num: KRelation<Rat> = KRelation::new(Schema::new(["b2", "c"]));
+        for &(b, c, x) in &s_rows {
+            let row = vec![Value::Int(b), Value::Int(c)];
+            s_sym.insert(row.clone(), poly(x)).unwrap();
+            s_num.insert(row, eval_hom(&poly(x), &val)).unwrap();
+        }
+
+        let sym = r_sym
+            .join(&s_sym, &[("b", "b2")]).unwrap()
+            .project(&["c"]).unwrap()
+            .map_annotations(|p| eval_hom(p, &val));
+        let num = r_num
+            .join(&s_num, &[("b", "b2")]).unwrap()
+            .project(&["c"]).unwrap();
+
+        for c in 0i64..4 {
+            let row = vec![Value::Int(c)];
+            prop_assert_eq!(
+                sym.annotation(&row).unwrap(),
+                num.annotation(&row).unwrap(),
+                "tuple c={}", c
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Failure-path coverage for the session pipeline: every misuse and
+//! infeasibility mode surfaces as a typed, actionable error (the demo UI
+//! relies on these to guide the analyst's bound choice).
+
+use cobra::core::{CobraSession, CoreError};
+use cobra::provenance::Valuation;
+use cobra::util::Rat;
+
+const POLYS: &str = "P1 = 2*a*x + 3*b*x\nP2 = 5*a*y";
+
+#[test]
+fn missing_inputs_in_order() {
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    // no bound
+    assert!(matches!(s.compress(), Err(CoreError::Session(_))));
+    s.set_bound(10);
+    // no tree
+    assert!(matches!(s.compress(), Err(CoreError::Session(_))));
+    // results before compression
+    assert!(matches!(s.meta_summary(), Err(CoreError::Session(_))));
+    assert!(matches!(
+        s.assign(&Valuation::with_default(Rat::ONE)),
+        Err(CoreError::Session(_))
+    ));
+    assert!(matches!(
+        s.measure_speedup(&Valuation::with_default(Rat::ONE), 0, 1),
+        Err(CoreError::Session(_))
+    ));
+}
+
+#[test]
+fn infeasible_bound_reports_minimum_achievable() {
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    s.add_tree_text("T(a,b)").unwrap();
+    // coarsest abstraction: P1 → {T·x}, P2 → {T·y} ⇒ minimum size 2
+    s.set_bound(1);
+    match s.compress() {
+        Err(CoreError::InfeasibleBound { min_achievable }) => {
+            assert_eq!(min_achievable, 2)
+        }
+        other => panic!("{other:?}"),
+    }
+    // raising the bound to the reported minimum succeeds
+    s.set_bound(2);
+    let report = s.compress().unwrap();
+    assert_eq!(report.compressed_size, 2);
+}
+
+#[test]
+fn malformed_inputs_are_parse_errors() {
+    assert!(matches!(
+        CobraSession::from_text("not a polynomial line"),
+        Err(CoreError::Session(_))
+    ));
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    assert!(matches!(
+        s.add_tree_text("T(a,"),
+        Err(CoreError::TreeParse { .. })
+    ));
+    assert!(matches!(
+        s.add_tree_text("T(a, a)"),
+        Err(CoreError::DuplicateNodeName(_))
+    ));
+}
+
+#[test]
+fn spanning_monomial_is_rejected_with_context() {
+    // a·b in one monomial while a and b are leaves of the same tree
+    let mut s = CobraSession::from_text("P = 2*a*b").unwrap();
+    s.add_tree_text("T(a,b)").unwrap();
+    s.set_bound(1);
+    match s.compress() {
+        Err(CoreError::MonomialSpansTree { poly, .. }) => assert_eq!(poly, "P"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn recompression_invalidates_stale_state() {
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    s.add_tree_text("T(a,b)").unwrap();
+    s.set_bound(10);
+    s.compress().unwrap();
+    assert!(s.meta_summary().is_ok());
+    // changing the bound invalidates compressed state until recompression
+    s.set_bound(2);
+    assert!(matches!(s.meta_summary(), Err(CoreError::Session(_))));
+    s.compress().unwrap();
+    assert!(s.meta_summary().is_ok());
+    // adding a tree also invalidates
+    s.add_tree_text("U(x,y)").unwrap();
+    assert!(matches!(s.meta_summary(), Err(CoreError::Session(_))));
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let err = CoreError::InfeasibleBound { min_achievable: 42 };
+    assert!(err.to_string().contains("42"));
+    let err = CoreError::UnknownNode("Bizness".into());
+    assert!(err.to_string().contains("Bizness"));
+    let err = CoreError::TooManyCuts { limit: 7 };
+    assert!(err.to_string().contains('7'));
+}

@@ -1,0 +1,309 @@
+//! Engine integration tests: SQL end to end over multi-table databases,
+//! checked against hand-computed results, plus K-relation provenance
+//! through the same schemas.
+
+use cobra::engine::krelation::KRelation;
+use cobra::engine::{Database, EngineError, Relation, Schema, Value};
+use cobra::provenance::semiring::Why;
+use cobra::provenance::Var;
+use cobra::util::Rat;
+
+fn rat(s: &str) -> Rat {
+    Rat::parse(s).unwrap()
+}
+
+fn shop_db() -> Database {
+    let mut db = Database::new();
+    db.insert(
+        "items",
+        Relation::from_rows(
+            ["item", "category", "price"],
+            vec![
+                vec![Value::str("apple"), Value::str("fruit"), Value::Num(rat("1.2"))],
+                vec![Value::str("pear"), Value::str("fruit"), Value::Num(rat("2.5"))],
+                vec![Value::str("soap"), Value::str("home"), Value::Num(rat("3.0"))],
+                vec![Value::str("mop"), Value::str("home"), Value::Num(rat("9.9"))],
+            ],
+        )
+        .unwrap(),
+    );
+    db.insert(
+        "sales",
+        Relation::from_rows(
+            ["sitem", "qty", "day"],
+            vec![
+                vec![Value::str("apple"), Value::Int(3), Value::Int(1)],
+                vec![Value::str("apple"), Value::Int(2), Value::Int(2)],
+                vec![Value::str("pear"), Value::Int(1), Value::Int(1)],
+                vec![Value::str("mop"), Value::Int(5), Value::Int(2)],
+            ],
+        )
+        .unwrap(),
+    );
+    db
+}
+
+#[test]
+fn join_aggregate_arithmetic() {
+    let db = shop_db();
+    let out = db
+        .sql(
+            "SELECT category, SUM(qty * price) AS revenue, COUNT(*) AS n \
+             FROM items, sales WHERE item = sitem GROUP BY category",
+        )
+        .unwrap()
+        .sorted_for_display();
+    assert_eq!(out.len(), 2);
+    // fruit: 3·1.2 + 2·1.2 + 1·2.5 = 8.5 over 3 sale rows
+    assert_eq!(out.rows()[0][0], Value::str("fruit"));
+    assert_eq!(out.rows()[0][1], Value::Num(rat("8.5")));
+    assert_eq!(out.rows()[0][2], Value::Int(3));
+    // home: 5·9.9 = 49.5
+    assert_eq!(out.rows()[1][1], Value::Num(rat("49.5")));
+}
+
+#[test]
+fn filters_and_expressions() {
+    let db = shop_db();
+    let out = db
+        .sql("SELECT item, price * 2 AS dbl FROM items WHERE price >= 2.5 AND category <> 'home'")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::str("pear"));
+    assert_eq!(out.rows()[0][1], Value::Num(rat("5")));
+}
+
+#[test]
+fn min_max_avg_and_aliased_tables() {
+    let db = shop_db();
+    let out = db
+        .sql(
+            "SELECT MIN(i.price) AS lo, MAX(i.price) AS hi, AVG(i.price) AS mean \
+             FROM items i",
+        )
+        .unwrap();
+    assert_eq!(out.rows()[0][0], Value::Num(rat("1.2")));
+    assert_eq!(out.rows()[0][1], Value::Num(rat("9.9")));
+    assert_eq!(out.rows()[0][2], Value::Num(rat("4.15")));
+}
+
+#[test]
+fn three_way_join_chain() {
+    let mut db = shop_db();
+    db.insert(
+        "days",
+        Relation::from_rows(
+            ["d", "weekday"],
+            vec![
+                vec![Value::Int(1), Value::str("mon")],
+                vec![Value::Int(2), Value::str("tue")],
+            ],
+        )
+        .unwrap(),
+    );
+    let out = db
+        .sql(
+            "SELECT weekday, SUM(qty * price) AS revenue \
+             FROM items, sales, days \
+             WHERE item = sitem AND day = d \
+             GROUP BY weekday",
+        )
+        .unwrap()
+        .sorted_for_display();
+    assert_eq!(out.len(), 2);
+    // mon: 3·1.2 + 1·2.5 = 6.1; tue: 2·1.2 + 5·9.9 = 51.9
+    assert_eq!(out.rows()[0][0], Value::str("mon"));
+    assert_eq!(out.rows()[0][1], Value::Num(rat("6.1")));
+    assert_eq!(out.rows()[1][1], Value::Num(rat("51.9")));
+}
+
+#[test]
+fn empty_results_and_unmatched_joins() {
+    let db = shop_db();
+    let none = db
+        .sql("SELECT item FROM items WHERE price > 100")
+        .unwrap();
+    assert!(none.is_empty());
+    let mut db2 = shop_db();
+    db2.insert("empty", Relation::empty(Schema::new(["eitem"])));
+    let joined = db2
+        .sql("SELECT item FROM items, empty WHERE item = eitem")
+        .unwrap();
+    assert!(joined.is_empty());
+}
+
+#[test]
+fn duplicate_rows_are_bag_semantics() {
+    let mut db = Database::new();
+    db.insert(
+        "t",
+        Relation::from_rows(
+            ["x"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap(),
+    );
+    let out = db.sql("SELECT COUNT(*) AS n, SUM(x) AS s FROM t").unwrap();
+    assert_eq!(out.rows()[0][0], Value::Int(3));
+    assert_eq!(out.rows()[0][1], Value::Int(4));
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let db = shop_db();
+    assert!(matches!(
+        db.sql("SELECT nope FROM items"),
+        Err(EngineError::UnknownColumn(_))
+    ));
+    assert!(matches!(
+        db.sql("SELECT item FROM missing"),
+        Err(EngineError::UnknownTable(_))
+    ));
+    assert!(matches!(
+        db.sql("SELECT item FROM"),
+        Err(EngineError::Sql { .. })
+    ));
+    assert!(matches!(
+        db.sql("SELECT price + item FROM items"),
+        Err(EngineError::TypeError(_))
+    ));
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = shop_db();
+    let out = db
+        .sql("SELECT item, price FROM items ORDER BY price DESC LIMIT 2")
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows()[0][0], Value::str("mop"));
+    assert_eq!(out.rows()[1][0], Value::str("soap"));
+    // multi-key with mixed directions over an aggregate
+    let agg = db
+        .sql(
+            "SELECT category, SUM(qty) AS total \
+             FROM items, sales WHERE item = sitem \
+             GROUP BY category ORDER BY total DESC, category ASC",
+        )
+        .unwrap();
+    assert_eq!(agg.rows()[0][0], Value::str("fruit")); // total 6 > 5
+    assert_eq!(agg.rows()[1][0], Value::str("home"));
+    // LIMIT without ORDER BY keeps first rows
+    let limited = db.sql("SELECT item FROM items LIMIT 1").unwrap();
+    assert_eq!(limited.len(), 1);
+    // LIMIT larger than result is a no-op
+    assert_eq!(db.sql("SELECT item FROM items LIMIT 99").unwrap().len(), 4);
+}
+
+#[test]
+fn having_filters_groups() {
+    let db = shop_db();
+    let out = db
+        .sql(
+            "SELECT category, SUM(qty) AS total \
+             FROM items, sales WHERE item = sitem \
+             GROUP BY category HAVING SUM(qty) > 5 ORDER BY category",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::str("fruit")); // total 6 > 5; home has 5
+    // HAVING may also reference output aliases and mix conditions
+    let out = db
+        .sql(
+            "SELECT category, SUM(qty) AS total, COUNT(*) AS n \
+             FROM items, sales WHERE item = sitem \
+             GROUP BY category HAVING total >= 5 AND COUNT(*) < 2",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows()[0][0], Value::str("home")); // 1 sale row
+    // aggregates in HAVING must appear in SELECT
+    assert!(matches!(
+        db.sql(
+            "SELECT category, SUM(qty) AS total FROM items, sales \
+             WHERE item = sitem GROUP BY category HAVING MIN(qty) > 1"
+        ),
+        Err(EngineError::Plan(_))
+    ));
+    // HAVING without aggregation is rejected
+    assert!(matches!(
+        db.sql("SELECT item FROM items HAVING item = 'x'"),
+        Err(EngineError::Plan(_))
+    ));
+}
+
+#[test]
+fn select_distinct() {
+    let db = shop_db();
+    let out = db
+        .sql("SELECT DISTINCT category FROM items ORDER BY category")
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows()[0][0], Value::str("fruit"));
+    assert_eq!(out.rows()[1][0], Value::str("home"));
+    // distinct over multiple columns keeps genuine combinations
+    let out = db
+        .sql("SELECT DISTINCT sitem, day FROM sales")
+        .unwrap();
+    assert_eq!(out.len(), 4); // all (item, day) pairs are unique here
+}
+
+#[test]
+fn order_by_rejects_symbolic_keys() {
+    use cobra::engine::parameterize;
+    use cobra::provenance::{Monomial, VarRegistry};
+    let mut reg = VarRegistry::new();
+    let x = reg.var("x");
+    let mut db = shop_db();
+    parameterize(db.table_mut("items").unwrap(), "price", |_| {
+        Some(Monomial::var(x))
+    })
+    .unwrap();
+    assert!(matches!(
+        db.sql("SELECT item, price FROM items ORDER BY price"),
+        Err(EngineError::SymbolicValue(_))
+    ));
+    // ORDER BY references the output columns; sorting by an unselected
+    // column is rejected rather than silently reordered
+    assert!(matches!(
+        db.sql("SELECT item FROM items ORDER BY price"),
+        Err(EngineError::UnknownColumn(_))
+    ));
+}
+
+/// Why-provenance through a join-project pipeline over the same shop
+/// data: witnesses name exactly the contributing base tuples.
+#[test]
+fn why_provenance_pipeline() {
+    let items_schema = Schema::new(["item", "category"]);
+    let sales_schema = Schema::new(["sitem", "qty"]);
+    let mut items: KRelation<Why> = KRelation::new(items_schema);
+    items
+        .insert(vec![Value::str("apple"), Value::str("fruit")], Why::tuple(Var(1)))
+        .unwrap();
+    items
+        .insert(vec![Value::str("mop"), Value::str("home")], Why::tuple(Var(2)))
+        .unwrap();
+    let mut sales: KRelation<Why> = KRelation::new(sales_schema);
+    sales
+        .insert(vec![Value::str("apple"), Value::Int(3)], Why::tuple(Var(10)))
+        .unwrap();
+    sales
+        .insert(vec![Value::str("apple"), Value::Int(2)], Why::tuple(Var(11)))
+        .unwrap();
+
+    let joined = items.join(&sales, &[("item", "sitem")]).unwrap();
+    let cats = joined.project(&["category"]).unwrap();
+    let fruit = cats
+        .annotation(&vec![Value::str("fruit")])
+        .unwrap();
+    // two witnesses: {item1, sale10} and {item1, sale11}
+    assert_eq!(fruit.0.len(), 2);
+    for witness in &fruit.0 {
+        assert!(witness.contains(&Var(1)));
+        assert_eq!(witness.len(), 2);
+    }
+    // home category never sold → zero annotation
+    let home = cats.annotation(&vec![Value::str("home")]).unwrap();
+    assert!(home.0.is_empty());
+}

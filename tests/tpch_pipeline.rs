@@ -1,0 +1,169 @@
+//! Experiment E7 plumbing: the TPC-H phase end to end — generate,
+//! instrument, query, compress against geography/time trees, and verify
+//! scenario exactness for tree-aligned hypotheticals.
+
+use cobra::core::{CobraSession, GroupAnalysis};
+use cobra::datagen::tpch::{
+    geography_tree, time_tree, InstrumentedTpch, TpchConfig, TpchDatabase, TPCH_QUERIES,
+};
+use cobra::provenance::Valuation;
+use cobra::util::Rat;
+
+fn instrumented() -> InstrumentedTpch {
+    InstrumentedTpch::new(TpchDatabase::generate(TpchConfig {
+        scale_factor: 0.003,
+        seed: 1234,
+    }))
+}
+
+#[test]
+fn q1_full_pipeline_with_geography_tree() {
+    let t = instrumented();
+    let polys = t.run(&TPCH_QUERIES[0]).unwrap();
+    let full = polys.total_monomials() as u64;
+    assert!(full > 100, "Q1 provenance is non-trivial: {full}");
+
+    let mut session = CobraSession::new(t.reg.clone(), polys);
+    let geo = geography_tree(session.registry_mut());
+    session.add_tree(geo);
+    session.set_bound(full / 2);
+    let report = session.compress().unwrap();
+    assert!(report.compressed_size <= full / 2);
+    assert!(report.compressed_vars < report.original_vars);
+
+    // region-aligned scenario: all ASIA nations +5% — exact after
+    // compression whenever the cut does not split ASIA
+    let mut scenario = Valuation::with_default(Rat::ONE);
+    for name in ["india", "indonesia", "japan", "china", "vietnam"] {
+        scenario.set(session.registry_mut().var(name), Rat::parse("1.05").unwrap());
+    }
+    let cmp = session.assign(&scenario).unwrap();
+    let asia_is_grouped = session
+        .abstraction()
+        .unwrap()
+        .meta_vars
+        .iter()
+        .any(|m| m.name == "ASIA");
+    if asia_is_grouped {
+        assert!(cmp.is_exact(), "ASIA grouped ⇒ ASIA-wide scenario exact");
+    }
+    assert!(cmp.max_rel_error() < 0.05, "errors stay small either way");
+}
+
+#[test]
+fn q5_respects_region_filter_and_compresses_to_quarters() {
+    let t = instrumented();
+    let polys = t.run(&TPCH_QUERIES[2]).unwrap();
+    // Q5 groups by ASIA nations only
+    assert!(polys.len() <= 5);
+    let mut reg = t.reg.clone();
+    let time = time_tree(&mut reg);
+    let analysis = GroupAnalysis::analyze(&polys, &time).unwrap();
+    let full = analysis.total_monomials();
+    // collapsing months to quarters divides the month dimension by ~3
+    let root = analysis.compressed_size(&[time.root()]);
+    assert!(root < full);
+    let quarters: Vec<_> = (1..=4)
+        .map(|q| time.node_by_name(&format!("sq{q}")).unwrap())
+        .collect();
+    let quarter_size = analysis.compressed_size(&quarters);
+    assert!(root <= quarter_size && quarter_size <= full);
+}
+
+#[test]
+fn q6_single_polynomial_compression() {
+    let t = instrumented();
+    let polys = t.run(&TPCH_QUERIES[3]).unwrap();
+    assert_eq!(polys.len(), 1);
+    let mut session = CobraSession::new(t.reg.clone(), polys);
+    let geo = geography_tree(session.registry_mut());
+    session.add_tree(geo);
+    session.set_bound(12); // at most one monomial per month
+    let report = session.compress().unwrap();
+    assert!(report.compressed_size <= 12);
+}
+
+#[test]
+fn q3_and_q10_produce_per_group_polynomials() {
+    let t = instrumented();
+    for name in ["Q3", "Q10"] {
+        let q = TPCH_QUERIES.iter().find(|q| q.name == name).unwrap();
+        let polys = t.run(q).unwrap();
+        assert!(!polys.is_empty(), "{}", q.name);
+        // every polynomial uses only registered vars and has positive size
+        for (label, poly) in polys.iter() {
+            assert!(poly.num_terms() > 0, "{}: {label}", q.name);
+        }
+    }
+}
+
+#[test]
+fn q11_partsupp_compression_pipeline() {
+    let t = instrumented();
+    let q11 = TPCH_QUERIES.iter().find(|q| q.name == "Q11").unwrap();
+    let polys = t.run(q11).unwrap();
+    assert!(!polys.is_empty());
+    let full = polys.total_monomials() as u64;
+    let mut session = CobraSession::new(t.reg.clone(), polys);
+    let geo = geography_tree(session.registry_mut());
+    session.add_tree(geo);
+    // EUROPE has 5 nations; grouping them bounds each part's polynomial
+    // by one monomial
+    session.set_bound(full); // any bound; check the frontier edge instead
+    session.compress().unwrap();
+    let analysis = GroupAnalysis::analyze(session.polynomials(), &session.trees()[0]).unwrap();
+    let root = analysis.compressed_size(&[session.trees()[0].root()]);
+    assert!(root <= full);
+    assert_eq!(
+        root,
+        session.polynomials().len() as u64,
+        "root cut leaves exactly one monomial per part (no month dimension)"
+    );
+}
+
+#[test]
+fn brand_dimension_full_pipeline() {
+    use cobra::datagen::tpch::{part_tree, PriceDimension};
+    let t = cobra::datagen::tpch::InstrumentedTpch::with_dimension(
+        TpchDatabase::generate(TpchConfig {
+            scale_factor: 0.003,
+            seed: 1234,
+        }),
+        PriceDimension::PartBrand,
+    );
+    let polys = t.run(&TPCH_QUERIES[0]).unwrap();
+    let full = polys.total_monomials() as u64;
+    let mut session = CobraSession::new(t.reg.clone(), polys);
+    let parts = part_tree(session.registry_mut());
+    session.add_tree(parts);
+    session.set_bound(full / 2);
+    let report = session.compress().unwrap();
+    assert!(report.compressed_size <= full / 2);
+    // a brand-aligned scenario stays exact when its manufacturer group
+    // is not split below the brand level
+    let mut scenario = cobra::provenance::Valuation::with_default(Rat::ONE);
+    for n in 1..=5 {
+        scenario.set(
+            session.registry_mut().var(&format!("brand_1{n}")),
+            Rat::parse("1.02").unwrap(),
+        );
+    }
+    let cmp = session.assign(&scenario).unwrap();
+    assert!(cmp.max_rel_error() < 0.02);
+}
+
+#[test]
+fn multi_tree_session_on_q1() {
+    let t = instrumented();
+    let polys = t.run(&TPCH_QUERIES[0]).unwrap();
+    let full = polys.total_monomials() as u64;
+    let mut session = CobraSession::new(t.reg.clone(), polys);
+    let geo = geography_tree(session.registry_mut());
+    session.add_tree(geo);
+    let time = time_tree(session.registry_mut());
+    session.add_tree(time);
+    session.set_bound(full / 4);
+    let report = session.compress().unwrap();
+    assert!(report.compressed_size <= full / 4);
+    assert_eq!(report.cuts.len(), 2);
+}
