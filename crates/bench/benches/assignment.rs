@@ -1,13 +1,18 @@
 //! Benchmark for experiment E4: assignment (valuation) time on the full
 //! vs. compressed provenance — the kernel behind the paper's 47%/79%
-//! speedup figures.
+//! speedup figures — plus the compiled batch engine: one CSR program
+//! evaluated for a 64-scenario sweep, against the per-scenario
+//! `eval_dense` walk it replaces.
 
 use cobra_bench::{scale_bound, telephony_workload, PAPER_BOUNDS};
 use cobra_core::{apply_cut, dp, GroupAnalysis};
 use cobra_datagen::scenarios;
-use cobra_provenance::DenseValuation;
+use cobra_provenance::{BatchEvaluator, DenseValuation, Valuation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
+
+/// Scenario batch size for the sweep benches (the acceptance bar is ≥ 64).
+const SWEEP: usize = 64;
 
 fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("assignment");
@@ -29,6 +34,60 @@ fn bench_assignment(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(full64.eval_dense(&dense).len()));
     });
 
+    // The compiled engine on the same single scenario: amortizes lowering
+    // across calls, so even a one-scenario assignment skips the
+    // monomial-pointer walk.
+    let full_engine = BatchEvaluator::compile(&full64);
+    let row = full_engine.program().bind_dense(&dense);
+    group.bench_function(
+        BenchmarkId::new("full_compiled", full64.total_monomials()),
+        |b| {
+            b.iter(|| {
+                std::hint::black_box(full_engine.program().eval_scenario(&row).len())
+            });
+        },
+    );
+
+    // ---- the batched sweep: SWEEP scenarios at once --------------------
+    // Distinct discount factors so no two scenario rows are equal. One
+    // shared scenario list feeds both the full and the compressed sweeps.
+    let m3 = w.reg.lookup("m3").expect("telephony month var");
+    let sweep_scenarios: Vec<Valuation<f64>> = (0..SWEEP)
+        .map(|i| {
+            let mut v = scenario.clone();
+            v.set(m3, 0.5 + i as f64 / SWEEP as f64);
+            v
+        })
+        .collect();
+    let sweep_vals: Vec<DenseValuation<f64>> = sweep_scenarios
+        .iter()
+        .map(|v| DenseValuation::from_valuation(v, w.reg.len(), 1.0))
+        .collect();
+    let sweep_rows: Vec<Vec<f64>> = sweep_vals
+        .iter()
+        .map(|d| full_engine.program().bind_dense(d))
+        .collect();
+    group.bench_function(
+        BenchmarkId::new("sweep64_dense_scalar", full64.total_monomials()),
+        |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for dense in &sweep_vals {
+                    acc += full64.eval_dense(dense).len();
+                }
+                std::hint::black_box(acc)
+            });
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("sweep64_compiled_batch", full64.total_monomials()),
+        |b| {
+            b.iter(|| {
+                std::hint::black_box(full_engine.eval_batch_fast(&sweep_rows).num_scenarios())
+            });
+        },
+    );
+
     for (bound, _, _) in PAPER_BOUNDS {
         let scaled = scale_bound(bound, w.config.zips);
         let sol = dp::optimize(&w.tree, &analysis, scaled).expect("feasible");
@@ -41,6 +100,30 @@ fn bench_assignment(c: &mut Criterion) {
                 b.iter(|| std::hint::black_box(comp64.eval_dense(&dense).len()));
             },
         );
+        // Compressed side through the same batched engine (the sweep the
+        // paper's interactive exploration performs after compression), over
+        // the same shared scenario list. Rebuild the dense tables at the
+        // *current* registry width: the cut application just registered the
+        // meta-variables (they take the scenario default, 1.0 — the march
+        // discount lies outside the tree).
+        let comp_engine = BatchEvaluator::compile(&comp64);
+        let comp_rows: Vec<Vec<f64>> = sweep_scenarios
+            .iter()
+            .map(|v| {
+                let dense = DenseValuation::from_valuation(v, w.reg.len(), 1.0);
+                comp_engine.program().bind_dense(&dense)
+            })
+            .collect();
+        group.bench_function(
+            BenchmarkId::new("sweep64_compressed_batch", comp64.total_monomials()),
+            |b| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        comp_engine.eval_batch_fast(&comp_rows).num_scenarios(),
+                    )
+                });
+            },
+        );
     }
 
     // exact-rational evaluation for reference (the correctness path)
@@ -48,6 +131,16 @@ fn bench_assignment(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_exact_rational", |b| {
         b.iter(|| w.polys.eval(&rat_val).expect("total"));
+    });
+    let exact_engine = BatchEvaluator::compile(&w.polys);
+    let exact_row = exact_engine
+        .program()
+        .bind(&rat_val)
+        .expect("total valuation");
+    group.bench_function("full_exact_rational_compiled", |b| {
+        b.iter(|| {
+            std::hint::black_box(exact_engine.program().eval_scenario(&exact_row).len())
+        });
     });
     group.finish();
 }

@@ -310,7 +310,7 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         for bound in [4, 5, 6, 8, 10, 12, 14] {
             let sol = optimize(&tree, &a, bound).unwrap();
             assert_eq!(sol.size, a.compressed_size(sol.cut.nodes()), "bound {bound}");
-            assert!(sol.size <= bound as u64);
+            assert!(sol.size <= bound);
             assert_eq!(sol.cut.len(), sol.variables);
         }
     }

@@ -27,6 +27,9 @@
 //! * [`assign`] — meta-variable defaults (group averages), scenario
 //!   projection/expansion, result comparison and assignment-speedup
 //!   measurement.
+//! * [`scenario`] — batched scenario sweeps over the compiled evaluation
+//!   engine: many hypotheticals evaluated in one pass on both the full and
+//!   the compressed provenance.
 //! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
 //! * [`report`] — displayable compression reports.
 //!
@@ -54,6 +57,7 @@ pub mod greedy;
 pub mod groups;
 pub mod multi;
 pub mod report;
+pub mod scenario;
 pub mod sensitivity;
 pub mod session;
 pub mod tree;
@@ -65,6 +69,9 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
+pub use scenario::{
+    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, ScenarioSweep,
+};
 pub use sensitivity::SensitivityReport;
 pub use multi::{optimize_forest_descent, ForestSolution};
 pub use report::CompressionReport;

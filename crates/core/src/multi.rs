@@ -11,13 +11,15 @@
 //! forest search ([`crate::brute::optimize_forest`]) serves as the oracle
 //! on small instances.
 
-use crate::apply::{apply_cut, apply_cuts};
+use crate::apply::{apply_cut, apply_cuts, AppliedAbstraction};
 use crate::cut::Cut;
 use crate::dp;
 use crate::error::{CoreError, Result};
 use crate::groups::GroupAnalysis;
+use crate::scenario::{sweep_full_vs_compressed, CompiledComparison, ScenarioSweep};
 use crate::tree::AbstractionTree;
-use cobra_provenance::{Coeff, PolySet, VarRegistry};
+use cobra_provenance::{Coeff, PolySet, Valuation, VarRegistry};
+use cobra_util::Rat;
 
 /// Output of the coordinate-descent forest optimizer.
 #[derive(Clone, Debug)]
@@ -131,6 +133,20 @@ pub fn optimize_single_tree<C: Coeff>(
     ))
 }
 
+/// Batched full-vs-compressed sweep for a forest application: multi-tree
+/// sessions run their scenario exploration through the same compiled
+/// engine as single-tree ones (meta-variables from every tree project at
+/// once).
+pub fn forest_sweep(
+    set: &PolySet<Rat>,
+    applied: &AppliedAbstraction<Rat>,
+    base: &Valuation<Rat>,
+    scenarios: &[Valuation<Rat>],
+) -> ScenarioSweep {
+    let engines = CompiledComparison::compile(set, &applied.compressed);
+    sweep_full_vs_compressed(&engines, &applied.meta_vars, base, scenarios)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +201,44 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
                 descent.variables, brute.variables,
                 "bound {bound}: descent {descent:?} vs brute {brute:?}"
             );
+        }
+    }
+
+    #[test]
+    fn forest_sweep_runs_compiled_comparison() {
+        let (mut reg, plans, set) = setup();
+        let months = AbstractionTree::parse("M(m1,m3)", &mut reg).unwrap();
+        let sol =
+            optimize_forest_descent(&set, &[&plans, &months], 4, &mut reg, 20).unwrap();
+        let pairs: Vec<(&AbstractionTree, &Cut)> = [&plans, &months]
+            .into_iter()
+            .zip(sol.cuts.iter())
+            .collect();
+        let applied = apply_cuts(&set, &pairs, &mut reg);
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let scenarios = vec![
+            Valuation::with_default(Rat::ONE).bind(m3, Rat::parse("0.8").unwrap()),
+            Valuation::with_default(Rat::ONE),
+        ];
+        let sweep = forest_sweep(&set, &applied, &base, &scenarios);
+        assert_eq!(sweep.len(), 2);
+        // the all-ones scenario is always exact (defaults project losslessly)
+        assert!(sweep.comparisons[1].is_exact());
+        // batched results match the scalar comparison path
+        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+            let leaf_val = base.overridden_by(scenario);
+            let meta_val = leaf_val.overridden_by(&crate::assign::project_scenario(
+                &applied.meta_vars,
+                &leaf_val,
+            ));
+            let expected = crate::assign::ResultComparison::evaluate(
+                &set,
+                &leaf_val,
+                &applied.compressed,
+                &meta_val,
+            );
+            assert_eq!(cmp.rows, expected.rows);
         }
     }
 

@@ -1,0 +1,276 @@
+//! Batched scenario sweeps: many hypotheticals in one compiled pass.
+//!
+//! The interactive loop the paper demonstrates — "what if March prices
+//! dropped 20%? what if business plans rose 10%? …" — evaluates the same
+//! provenance under many valuations. Instead of re-walking the term lists
+//! per scenario, this module compiles the full and compressed polynomial
+//! sets once (via [`cobra_provenance::compile`]) and evaluates whole
+//! scenario batches through the same engine, so full-vs-compressed numbers
+//! are produced under identical evaluation machinery.
+
+use crate::assign::{self, ResultComparison, ResultRow, SpeedupMeasurement};
+use crate::cut::MetaVar;
+use cobra_provenance::{BatchEvaluator, PolySet, Valuation};
+use cobra_util::timing::time_best_of;
+use cobra_util::Rat;
+
+/// The full-vs-compressed engines for one compression outcome, compiled
+/// once and reusable across any number of sweeps.
+#[derive(Clone, Debug)]
+pub struct CompiledComparison {
+    /// Batched evaluator over the full provenance (exact coefficients).
+    pub full: BatchEvaluator<Rat>,
+    /// Batched evaluator over the compressed provenance.
+    pub compressed: BatchEvaluator<Rat>,
+}
+
+impl CompiledComparison {
+    /// Compiles both sides.
+    pub fn compile(full: &PolySet<Rat>, compressed: &PolySet<Rat>) -> CompiledComparison {
+        CompiledComparison {
+            full: BatchEvaluator::compile(full),
+            compressed: BatchEvaluator::compile(compressed),
+        }
+    }
+}
+
+/// Results of a batched scenario sweep: one [`ResultComparison`] per
+/// scenario, in input order.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioSweep {
+    /// Per-scenario full-vs-compressed comparisons.
+    pub comparisons: Vec<ResultComparison>,
+}
+
+impl ScenarioSweep {
+    /// Number of scenarios evaluated.
+    pub fn len(&self) -> usize {
+        self.comparisons.len()
+    }
+
+    /// True iff no scenario was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.comparisons.is_empty()
+    }
+
+    /// Largest relative error over every scenario and result tuple.
+    pub fn max_rel_error(&self) -> f64 {
+        self.comparisons
+            .iter()
+            .map(ResultComparison::max_rel_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// True iff compression introduced no error in any scenario.
+    pub fn is_exact(&self) -> bool {
+        self.comparisons.iter().all(ResultComparison::is_exact)
+    }
+}
+
+/// Evaluates `scenarios` (leaf-level, merged over `base`) on both the full
+/// and the compressed provenance through the compiled batch engine. Each
+/// scenario is projected onto the meta-variables by group averaging,
+/// exactly like [`CobraSession::assign`](crate::session::CobraSession::assign).
+///
+/// # Panics
+/// Panics if some scenario (merged over `base`) does not cover a variable —
+/// give `base` a default, as assignment screens always do.
+pub fn sweep_full_vs_compressed(
+    engines: &CompiledComparison,
+    metas: &[MetaVar],
+    base: &Valuation<Rat>,
+    scenarios: &[Valuation<Rat>],
+) -> ScenarioSweep {
+    let mut full_rows = Vec::with_capacity(scenarios.len());
+    let mut comp_rows = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        let (leaf_val, meta_val) = project_pair(metas, base, scenario);
+        full_rows.push(
+            engines
+                .full
+                .program()
+                .bind(&leaf_val)
+                .expect("leaf valuation must be total"),
+        );
+        comp_rows.push(
+            engines
+                .compressed
+                .program()
+                .bind(&meta_val)
+                .expect("meta valuation must be total"),
+        );
+    }
+    let full = engines.full.eval_batch(&full_rows);
+    let compressed = engines.compressed.eval_batch(&comp_rows);
+    let labels = engines.full.program().labels();
+    let comparisons = (0..scenarios.len())
+        .map(|s| compare_rows(labels, full.row(s).to_vec(), compressed.row(s).to_vec()))
+        .collect();
+    ScenarioSweep { comparisons }
+}
+
+/// The canonical leaf/meta valuation pair for one scenario: the scenario
+/// merged over the base, and its projection onto the meta-variables by
+/// group averaging. Every assignment and timing path shares this rule.
+pub(crate) fn project_pair(
+    metas: &[MetaVar],
+    base: &Valuation<Rat>,
+    scenario: &Valuation<Rat>,
+) -> (Valuation<Rat>, Valuation<Rat>) {
+    let leaf_val = base.overridden_by(scenario);
+    let meta_val = leaf_val.overridden_by(&assign::project_scenario(metas, &leaf_val));
+    (leaf_val, meta_val)
+}
+
+/// Pairs full and compressed result values by position into a
+/// [`ResultComparison`].
+///
+/// # Panics
+/// Panics unless both value vectors have exactly one entry per label —
+/// the full and compressed polynomial sets must align.
+pub(crate) fn compare_rows(
+    labels: &[String],
+    full: Vec<Rat>,
+    compressed: Vec<Rat>,
+) -> ResultComparison {
+    assert_eq!(labels.len(), full.len(), "polynomial sets must align");
+    assert_eq!(labels.len(), compressed.len(), "polynomial sets must align");
+    ResultComparison {
+        rows: labels
+            .iter()
+            .zip(full.into_iter().zip(compressed))
+            .map(|(label, (full, compressed))| ResultRow {
+                label: label.clone(),
+                full,
+                compressed,
+            })
+            .collect(),
+    }
+}
+
+/// Times a batched sweep of `scenarios` over the full and the compressed
+/// provenance on the `f64` fast path — the batched generalization of
+/// [`assign::measure_assignment_speedup`]. Reported durations cover the
+/// *whole batch* (binding excluded, evaluation only), best-of-`runs` after
+/// `warmup` rounds.
+pub fn measure_sweep_speedup(
+    full: &BatchEvaluator<f64>,
+    compressed: &BatchEvaluator<f64>,
+    full_rows: &[Vec<f64>],
+    comp_rows: &[Vec<f64>],
+    warmup: usize,
+    runs: usize,
+) -> SpeedupMeasurement {
+    let (_, full_time) = time_best_of(warmup, runs, || {
+        std::hint::black_box(full.eval_batch_fast(full_rows).num_scenarios())
+    });
+    let (_, compressed_time) = time_best_of(warmup, runs, || {
+        std::hint::black_box(compressed.eval_batch_fast(comp_rows).num_scenarios())
+    });
+    SpeedupMeasurement {
+        full_time,
+        compressed_time,
+        full_size: full.program().num_terms(),
+        compressed_size: compressed.program().num_terms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_cut;
+    use crate::assign::uniform_scenario;
+    use crate::cut::Cut;
+    use crate::tree::paper_plans_tree;
+    use cobra_provenance::{parse_polyset, VarRegistry};
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn setup() -> (
+        VarRegistry,
+        PolySet<Rat>,
+        crate::apply::AppliedAbstraction<Rat>,
+    ) {
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let src = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+        let set = parse_polyset(src, &mut reg).unwrap();
+        let cut = Cut::from_names(&tree, &["Business", "Special", "Standard"]).unwrap();
+        let applied = apply_cut(&set, &tree, &cut, &mut reg);
+        (reg, set, applied)
+    }
+
+    #[test]
+    fn sweep_matches_single_scenario_evaluation() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let base = Valuation::with_default(Rat::ONE);
+        let b_vars = ["b1", "b2", "e"].map(|n| reg.var(n));
+        let m3 = reg.var("m3");
+        let scenarios = vec![
+            uniform_scenario(&b_vars, rat("1.1")),
+            Valuation::with_default(Rat::ONE).bind(m3, rat("0.8")),
+            uniform_scenario(&[b_vars[0]], rat("1.3")),
+        ];
+        let sweep = sweep_full_vs_compressed(&engines, &applied.meta_vars, &base, &scenarios);
+        assert_eq!(sweep.len(), 3);
+        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+            let leaf_val = base.overridden_by(scenario);
+            let meta_val = leaf_val
+                .overridden_by(&assign::project_scenario(&applied.meta_vars, &leaf_val));
+            let expected = ResultComparison::evaluate(
+                &set,
+                &leaf_val,
+                &applied.compressed,
+                &meta_val,
+            );
+            assert_eq!(cmp.rows, expected.rows);
+        }
+        // aligned scenarios are exact, the misaligned third one is not
+        assert!(sweep.comparisons[0].is_exact());
+        assert!(sweep.comparisons[1].is_exact());
+        assert!(!sweep.comparisons[2].is_exact());
+        assert!(!sweep.is_exact());
+        assert!(sweep.max_rel_error() > 0.0);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let (_, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let sweep = sweep_full_vs_compressed(
+            &engines,
+            &applied.meta_vars,
+            &Valuation::with_default(Rat::ONE),
+            &[],
+        );
+        assert!(sweep.is_empty());
+        assert!(sweep.is_exact());
+        assert_eq!(sweep.max_rel_error(), 0.0);
+    }
+
+    #[test]
+    fn sweep_speedup_reports_batch_sizes() {
+        let (_, set, applied) = setup();
+        let full = BatchEvaluator::new(
+            cobra_provenance::EvalProgram::compile(&set).to_f64_program(),
+        );
+        let compressed = BatchEvaluator::new(
+            cobra_provenance::EvalProgram::compile(&applied.compressed).to_f64_program(),
+        );
+        let full_rows: Vec<Vec<f64>> =
+            (0..16).map(|_| vec![1.0; full.program().num_locals()]).collect();
+        let comp_rows: Vec<Vec<f64>> = (0..16)
+            .map(|_| vec![1.0; compressed.program().num_locals()])
+            .collect();
+        let m = measure_sweep_speedup(&full, &compressed, &full_rows, &comp_rows, 1, 3);
+        assert_eq!(m.full_size, 14);
+        assert_eq!(m.compressed_size, 6);
+        assert!(m.speedup_percent() <= 100.0);
+    }
+}

@@ -16,16 +16,18 @@
 //! demonstration walks through (§4).
 
 use crate::apply::AppliedAbstraction;
-use crate::assign::{
-    self, densify, measure_assignment_speedup, ResultComparison, SpeedupMeasurement,
-};
+use crate::assign::{self, ResultComparison, SpeedupMeasurement};
 use crate::cut::MetaVar;
 use crate::error::{CoreError, Result};
 use crate::multi::{optimize_forest_descent, optimize_single_tree};
 use crate::report::CompressionReport;
+use crate::scenario::{
+    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, ScenarioSweep,
+};
 use crate::tree::AbstractionTree;
-use cobra_provenance::{PolySet, ProvenanceStats, Valuation, VarRegistry};
+use cobra_provenance::{BatchEvaluator, PolySet, ProvenanceStats, Valuation, VarRegistry};
 use cobra_util::Rat;
+use std::cell::OnceCell;
 
 /// One row of the meta-variable screen: the meta-variable, the original
 /// variables it groups with their base values, and the default (average).
@@ -54,6 +56,25 @@ pub struct CobraSession {
 struct Compressed {
     applied: AppliedAbstraction<Rat>,
     cuts_display: Vec<String>,
+    /// Exact batched engines over the full and compressed provenance,
+    /// compiled once per compression and reused by every assignment.
+    engines: CompiledComparison,
+    /// `f64` shadows of the engines for the timing fast path, built
+    /// lazily on the first speedup measurement (assign/sweep-only
+    /// sessions never pay for the copy).
+    f64_engines: OnceCell<(BatchEvaluator<f64>, BatchEvaluator<f64>)>,
+}
+
+impl Compressed {
+    fn f64_engines(&self) -> (&BatchEvaluator<f64>, &BatchEvaluator<f64>) {
+        let (full, compressed) = self.f64_engines.get_or_init(|| {
+            (
+                BatchEvaluator::new(self.engines.full.program().to_f64_program()),
+                BatchEvaluator::new(self.engines.compressed.program().to_f64_program()),
+            )
+        });
+        (full, compressed)
+    }
 }
 
 impl CobraSession {
@@ -198,9 +219,12 @@ impl CobraSession {
             cuts: cuts_display.clone(),
             speedup: None,
         };
+        let engines = CompiledComparison::compile(&self.polys, &applied.compressed);
         self.compressed = Some(Compressed {
             applied,
             cuts_display,
+            engines,
+            f64_engines: OnceCell::new(),
         });
         Ok(report)
     }
@@ -260,18 +284,23 @@ impl CobraSession {
     /// meta-variables by group averaging) and returns the side-by-side
     /// results.
     pub fn assign(&self, scenario: &Valuation<Rat>) -> Result<ResultComparison> {
+        // A one-scenario sweep: the single-assignment screen runs through
+        // the same compiled engine as the batched explorer.
+        let mut sweep = self.sweep(std::slice::from_ref(scenario))?;
+        Ok(sweep.comparisons.remove(0))
+    }
+
+    /// Evaluates a whole batch of **leaf-level** scenarios in one compiled
+    /// pass over both the full and the compressed provenance (the
+    /// interactive explorer's bulk what-if screen). Results are exact and
+    /// ordered like the input.
+    pub fn sweep(&self, scenarios: &[Valuation<Rat>]) -> Result<ScenarioSweep> {
         let state = self.compressed_state()?;
-        let leaf_val = self.base_valuation.overridden_by(scenario);
-        // Project the tree leaves onto meta-variables; bindings of
-        // variables outside the trees (e.g. the month variables) carry
-        // over unchanged.
-        let meta_val = leaf_val
-            .overridden_by(&assign::project_scenario(&state.applied.meta_vars, &leaf_val));
-        Ok(ResultComparison::evaluate(
-            &self.polys,
-            &leaf_val,
-            &state.applied.compressed,
-            &meta_val,
+        Ok(sweep_full_vs_compressed(
+            &state.engines,
+            &state.applied.meta_vars,
+            &self.base_valuation,
+            scenarios,
         ))
     }
 
@@ -290,34 +319,76 @@ impl CobraSession {
         let leaf_val = self
             .base_valuation
             .overridden_by(&assign::expand_to_leaves(&state.applied.meta_vars, &meta_val));
-        Ok(ResultComparison::evaluate(
-            &self.polys,
-            &leaf_val,
-            &state.applied.compressed,
-            &meta_val,
+        let full_row = state
+            .engines
+            .full
+            .program()
+            .bind(&leaf_val)
+            .expect("leaf valuation must be total");
+        let meta_row = state
+            .engines
+            .compressed
+            .program()
+            .bind(&meta_val)
+            .expect("meta valuation must be total");
+        let full = state.engines.full.program().eval_scenario(&full_row);
+        let compressed = state.engines.compressed.program().eval_scenario(&meta_row);
+        Ok(crate::scenario::compare_rows(
+            state.engines.full.program().labels(),
+            full,
+            compressed,
         ))
     }
 
-    /// Measures the assignment speedup (paper §4) on the `f64` fast path.
+    /// Measures the assignment speedup (paper §4) on the `f64` fast path —
+    /// a one-scenario batch through the compiled engines.
     pub fn measure_speedup(
         &self,
         scenario: &Valuation<Rat>,
         warmup: usize,
         runs: usize,
     ) -> Result<SpeedupMeasurement> {
+        self.measure_batch_speedup(std::slice::from_ref(scenario), warmup, runs)
+    }
+
+    /// Measures the assignment speedup over a whole scenario batch: both
+    /// sides are evaluated by the same compiled batch engine, so the
+    /// full-vs-compressed comparison isolates provenance size (the paper's
+    /// variable) from evaluation machinery.
+    pub fn measure_batch_speedup(
+        &self,
+        scenarios: &[Valuation<Rat>],
+        warmup: usize,
+        runs: usize,
+    ) -> Result<SpeedupMeasurement> {
         let state = self.compressed_state()?;
-        let leaf_val = self.base_valuation.overridden_by(scenario);
-        let meta_val = leaf_val
-            .overridden_by(&assign::project_scenario(&state.applied.meta_vars, &leaf_val));
-        let full64 = self.polys.to_f64_set();
-        let comp64 = state.applied.compressed.to_f64_set();
-        let leaf_dense = densify(&leaf_val.map(|c| c.to_f64()), self.reg.len());
-        let meta_dense = densify(&meta_val.map(|c| c.to_f64()), self.reg.len());
-        Ok(measure_assignment_speedup(
-            &full64,
-            &comp64,
-            &leaf_dense,
-            &meta_dense,
+        let (full_f64, compressed_f64) = state.f64_engines();
+        let mut full_rows = Vec::with_capacity(scenarios.len());
+        let mut comp_rows = Vec::with_capacity(scenarios.len());
+        for scenario in scenarios {
+            let (leaf_val, meta_val) = crate::scenario::project_pair(
+                &state.applied.meta_vars,
+                &self.base_valuation,
+                scenario,
+            );
+            full_rows.push(
+                full_f64
+                    .program()
+                    .bind(&leaf_val.map(|c| c.to_f64()))
+                    .expect("leaf valuation must be total"),
+            );
+            comp_rows.push(
+                compressed_f64
+                    .program()
+                    .bind(&meta_val.map(|c| c.to_f64()))
+                    .expect("meta valuation must be total"),
+            );
+        }
+        Ok(measure_sweep_speedup(
+            full_f64,
+            compressed_f64,
+            &full_rows,
+            &comp_rows,
             warmup,
             runs,
         ))
@@ -341,6 +412,7 @@ impl CobraSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     const PAPER_POLYS: &str = "\
 P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
@@ -427,6 +499,44 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
             .unwrap();
         assert_eq!(m.full_size, 14);
         assert_eq!(m.compressed_size, 4);
+    }
+
+    #[test]
+    fn sweep_batches_many_scenarios_exactly() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let b1 = s.registry_mut().var("b1");
+        let scenarios: Vec<Valuation<Rat>> = (0..20)
+            .map(|i: i128| {
+                Valuation::with_default(Rat::ONE)
+                    .bind(m3, Rat::ONE - Rat::new(i, 100))
+                    .bind(b1, Rat::ONE + Rat::new(i, 50))
+            })
+            .collect();
+        let sweep = s.sweep(&scenarios).unwrap();
+        assert_eq!(sweep.len(), 20);
+        // every batched row equals the single-assignment path
+        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+            let single = s.assign(scenario).unwrap();
+            assert_eq!(single.rows, cmp.rows);
+        }
+        // scenario 0 leaves b1 at 1 → aligned, exact; later ones perturb
+        // b1 alone inside the Business group → lossy
+        assert!(sweep.comparisons[0].is_exact());
+        assert!(!sweep.comparisons[10].is_exact());
+    }
+
+    #[test]
+    fn batch_speedup_measurement_runs() {
+        let mut s = session_with_bound(4);
+        s.compress().unwrap();
+        let scenarios: Vec<Valuation<Rat>> =
+            (0..8).map(|_| Valuation::with_default(Rat::ONE)).collect();
+        let m = s.measure_batch_speedup(&scenarios, 1, 3).unwrap();
+        assert_eq!(m.full_size, 14);
+        assert_eq!(m.compressed_size, 4);
+        assert!(m.full_time > Duration::ZERO);
     }
 
     #[test]

@@ -132,7 +132,7 @@ pub fn generate(config: TpchConfig) -> TpchDatabase {
             Value::Int(c as i64),
             Value::str(&format!("Customer#{c:09}")),
             Value::Int(rng.gen_index(NATIONS.len()) as i64),
-            Value::str(*rng.choose(&MKT_SEGMENTS)),
+            Value::str(rng.choose::<&str>(&MKT_SEGMENTS)),
         ]);
     }
     let customer = Relation::from_rows(
@@ -214,7 +214,7 @@ pub fn generate(config: TpchConfig) -> TpchDatabase {
             Value::Int(odate),
             Value::Int(year),
             Value::Int(month),
-            Value::str(*rng.choose(&PRIORITIES)),
+            Value::str(rng.choose::<&str>(&PRIORITIES)),
         ]);
         let lines = rng.gen_range_inclusive(1, 7);
         for ln in 1..=lines {

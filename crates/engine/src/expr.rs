@@ -30,6 +30,11 @@ pub enum Expr {
     Neg(Box<Expr>),
 }
 
+// The builder methods deliberately mirror the operator names (`add`, `mul`,
+// …) without implementing the operator traits: `Expr` construction moves
+// its operands into boxes, and plan-building code reads better with
+// explicit method chains than with overloaded operators.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(name: impl Into<String>) -> Expr {

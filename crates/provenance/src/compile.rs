@@ -1,0 +1,557 @@
+//! Compiled batch evaluation: CSR polynomial programs and scenario sweeps.
+//!
+//! COBRA's value proposition is that compressed provenance makes *repeated*
+//! hypothetical evaluation cheap — the paper's headline metric is the
+//! assignment speedup over many scenarios (§4). The tree-walking
+//! [`Polynomial::eval_dense`] path pays per-term pointer chasing (every
+//! monomial is its own heap allocation) and a `powi` call per variable
+//! occurrence on every scenario. This module lowers a whole [`PolySet`]
+//! once into a flat **CSR program** and then amortizes that work across
+//! arbitrarily many scenarios:
+//!
+//! * [`EvalProgram`] — contiguous coefficient / monomial-offset /
+//!   variable-id / exponent arrays. Variables are remapped to a dense
+//!   *local* index space (`0..num_locals`), so a scenario is a small flat
+//!   table even when the global registry holds millions of variables.
+//! * [`BatchEvaluator`] — evaluates many scenarios × many polynomials in
+//!   one call, splitting scenarios across cores
+//!   ([`cobra_util::par`]) and, on the `f64` fast path, blocking scenarios
+//!   into SIMD-friendly lanes so the term loop vectorizes.
+//!
+//! The exact [`Rat`](cobra_util::Rat) path is retained for correctness
+//! checks: `EvalProgram<Rat>` evaluation is term-for-term identical to
+//! [`Polynomial::eval`]. On the `f64` path the lane kernel performs the
+//! same multiply/add sequence per scenario as `eval_dense`, so results are
+//! bit-for-bit identical, not merely close.
+
+use crate::poly::Coeff;
+use crate::polyset::PolySet;
+use crate::valuation::{DenseValuation, Valuation};
+use crate::var::Var;
+use cobra_util::{par, FxHashMap, Rat};
+
+/// Number of scenarios evaluated together by the `f64` lane kernel — one
+/// parallel work item. 64 lanes keep the per-term working set (512 B per
+/// accumulator vector) in L1 while the whole CSR program streams through
+/// exactly once per block.
+pub const LANES: usize = 64;
+
+/// A [`PolySet`] lowered to flat CSR arrays for repeated evaluation.
+///
+/// Layout (all indices `u32`; a program is limited to 2³²−1 terms):
+///
+/// ```text
+/// poly_offsets: [0 .. num_polys]  → term range of each polynomial
+/// coeffs:       [0 .. num_terms]  → coefficient of each term
+/// term_offsets: [0 .. num_terms]  → factor range of each term
+/// var_ids:      [0 .. num_factors] → LOCAL variable id of each factor
+/// exps:         [0 .. num_factors] → exponent of each factor
+/// ```
+#[derive(Clone, Debug)]
+pub struct EvalProgram<C: Coeff> {
+    labels: Vec<String>,
+    poly_offsets: Vec<u32>,
+    coeffs: Vec<C>,
+    term_offsets: Vec<u32>,
+    var_ids: Vec<u32>,
+    exps: Vec<u32>,
+    /// Local index → global variable.
+    locals: Vec<Var>,
+    /// Global variable → local index.
+    local_of: FxHashMap<Var, u32>,
+}
+
+impl<C: Coeff> EvalProgram<C> {
+    /// Lowers a polynomial set. Variables are numbered in first-occurrence
+    /// order (deterministic for a canonical set).
+    pub fn compile(set: &PolySet<C>) -> EvalProgram<C> {
+        let mut labels = Vec::with_capacity(set.len());
+        let mut poly_offsets = Vec::with_capacity(set.len() + 1);
+        let mut coeffs = Vec::new();
+        let mut term_offsets = vec![0u32];
+        let mut var_ids = Vec::new();
+        let mut exps = Vec::new();
+        let mut locals = Vec::new();
+        let mut local_of: FxHashMap<Var, u32> = FxHashMap::default();
+
+        poly_offsets.push(0);
+        for (label, poly) in set.iter() {
+            labels.push(label.to_owned());
+            for (m, c) in poly.iter() {
+                coeffs.push(c.clone());
+                for (v, e) in m.iter() {
+                    let local = *local_of.entry(v).or_insert_with(|| {
+                        locals.push(v);
+                        (locals.len() - 1) as u32
+                    });
+                    var_ids.push(local);
+                    exps.push(e);
+                }
+                term_offsets.push(
+                    u32::try_from(var_ids.len())
+                        .expect("EvalProgram limited to u32::MAX factors"),
+                );
+            }
+            poly_offsets.push(
+                u32::try_from(coeffs.len()).expect("EvalProgram limited to u32::MAX terms"),
+            );
+        }
+
+        EvalProgram {
+            labels,
+            poly_offsets,
+            coeffs,
+            term_offsets,
+            var_ids,
+            exps,
+            locals,
+            local_of,
+        }
+    }
+
+    /// Number of polynomials.
+    pub fn num_polys(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of terms (monomials) across all polynomials.
+    pub fn num_terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of distinct variables referenced by the program.
+    pub fn num_locals(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Result-tuple labels, in program order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The global variables referenced, in local-index order.
+    pub fn vars(&self) -> &[Var] {
+        &self.locals
+    }
+
+    /// Local index of a global variable, if it occurs in the program.
+    pub fn local_of(&self, v: Var) -> Option<u32> {
+        self.local_of.get(&v).copied()
+    }
+
+    /// Compiles a sparse valuation into a scenario row (`num_locals`
+    /// values, local-index order).
+    ///
+    /// # Errors
+    /// Returns the first program variable the valuation does not cover.
+    pub fn bind(&self, val: &Valuation<C>) -> Result<Vec<C>, Var> {
+        self.locals
+            .iter()
+            .map(|&v| val.get(v).ok_or(v))
+            .collect()
+    }
+
+    /// Compiles a dense (global-index) valuation into a scenario row.
+    pub fn bind_dense(&self, val: &DenseValuation<C>) -> Vec<C> {
+        self.locals.iter().map(|&v| val.get(v).clone()).collect()
+    }
+
+    /// Evaluates every polynomial for one scenario row into `out`
+    /// (`num_polys` values). Term-for-term the same operation order as
+    /// [`Polynomial::eval_dense`], so exact rings give identical results.
+    ///
+    /// # Panics
+    /// Panics if `scenario.len() != num_locals()` or
+    /// `out.len() != num_polys()`.
+    pub fn eval_scenario_into(&self, scenario: &[C], out: &mut [C]) {
+        assert_eq!(scenario.len(), self.num_locals(), "scenario row width");
+        assert_eq!(out.len(), self.num_polys(), "output row width");
+        for (p, slot) in out.iter_mut().enumerate() {
+            let mut acc = C::zero();
+            let terms =
+                self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
+            for t in terms {
+                let mut term = self.coeffs[t].clone();
+                let factors =
+                    self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
+                for f in factors {
+                    let x = &scenario[self.var_ids[f] as usize];
+                    term = term.mul(&x.pow(self.exps[f]));
+                }
+                acc = acc.add(&term);
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Evaluates every polynomial for one scenario row.
+    pub fn eval_scenario(&self, scenario: &[C]) -> Vec<C> {
+        let mut out = vec![C::zero(); self.num_polys()];
+        self.eval_scenario_into(scenario, &mut out);
+        out
+    }
+}
+
+impl EvalProgram<Rat> {
+    /// Converts an exact program into its `f64` counterpart (same shape and
+    /// variable numbering, approximate coefficients).
+    pub fn to_f64_program(&self) -> EvalProgram<f64> {
+        EvalProgram {
+            labels: self.labels.clone(),
+            poly_offsets: self.poly_offsets.clone(),
+            coeffs: self.coeffs.iter().map(|c| c.to_f64()).collect(),
+            term_offsets: self.term_offsets.clone(),
+            var_ids: self.var_ids.clone(),
+            exps: self.exps.clone(),
+            locals: self.locals.clone(),
+            local_of: self.local_of.clone(),
+        }
+    }
+}
+
+/// Result matrix of a batch evaluation: `num_scenarios × num_polys`,
+/// scenario-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchResults<C> {
+    values: Vec<C>,
+    num_polys: usize,
+    num_scenarios: usize,
+}
+
+impl<C> BatchResults<C> {
+    /// Number of evaluated scenarios.
+    pub fn num_scenarios(&self) -> usize {
+        self.num_scenarios
+    }
+
+    /// Number of polynomials per scenario.
+    pub fn num_polys(&self) -> usize {
+        self.num_polys
+    }
+
+    /// All results of one scenario, in program (label) order.
+    pub fn row(&self, scenario: usize) -> &[C] {
+        &self.values[scenario * self.num_polys..(scenario + 1) * self.num_polys]
+    }
+
+    /// One result value.
+    pub fn get(&self, scenario: usize, poly: usize) -> &C {
+        &self.values[scenario * self.num_polys + poly]
+    }
+
+    /// Iterates scenario rows in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[C]> {
+        (0..self.num_scenarios).map(|s| self.row(s))
+    }
+
+    /// The flat scenario-major value buffer.
+    pub fn into_values(self) -> Vec<C> {
+        self.values
+    }
+}
+
+/// Evaluates many scenarios × many polynomials in one call over a compiled
+/// [`EvalProgram`], in parallel across scenarios.
+#[derive(Clone, Debug)]
+pub struct BatchEvaluator<C: Coeff> {
+    program: EvalProgram<C>,
+}
+
+impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
+    /// Wraps a compiled program.
+    pub fn new(program: EvalProgram<C>) -> BatchEvaluator<C> {
+        BatchEvaluator { program }
+    }
+
+    /// Compiles and wraps in one step.
+    pub fn compile(set: &PolySet<C>) -> BatchEvaluator<C> {
+        Self::new(EvalProgram::compile(set))
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &EvalProgram<C> {
+        &self.program
+    }
+
+    /// Binds many sparse valuations into scenario rows.
+    ///
+    /// # Errors
+    /// Returns the first uncovered variable of the first offending scenario.
+    pub fn bind_all(&self, vals: &[Valuation<C>]) -> Result<Vec<Vec<C>>, Var> {
+        vals.iter().map(|v| self.program.bind(v)).collect()
+    }
+
+    /// Evaluates every scenario row (generic scalar kernel, parallel across
+    /// scenarios). This is the exact path for `Rat` programs.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from `num_locals()`.
+    pub fn eval_batch(&self, scenarios: &[Vec<C>]) -> BatchResults<C> {
+        let np = self.program.num_polys();
+        let mut values = vec![C::zero(); scenarios.len() * np];
+        if np > 0 {
+            par::par_chunks_mut(&mut values, np, |s, row| {
+                self.program.eval_scenario_into(&scenarios[s], row);
+            });
+        }
+        BatchResults {
+            values,
+            num_polys: np,
+            num_scenarios: scenarios.len(),
+        }
+    }
+}
+
+impl BatchEvaluator<f64> {
+    /// The `f64` fast path: scenarios are blocked into [`LANES`]-wide
+    /// groups; within a block the CSR program is streamed **once** and
+    /// every term is applied to all lanes before moving on, so each cache
+    /// line of program data is touched once per block and the lane loops
+    /// auto-vectorize. Per scenario the multiply/add sequence is the same
+    /// as the scalar kernel (and as `eval_dense`), so results are
+    /// bit-identical to per-scenario evaluation.
+    ///
+    /// # Panics
+    /// Panics if any row's width differs from `num_locals()`.
+    pub fn eval_batch_fast(&self, scenarios: &[Vec<f64>]) -> BatchResults<f64> {
+        let prog = &self.program;
+        let np = prog.num_polys();
+        let nl = prog.num_locals();
+        for row in scenarios {
+            assert_eq!(row.len(), nl, "scenario row width");
+        }
+        let mut values = vec![0.0f64; scenarios.len() * np];
+        if np == 0 || scenarios.is_empty() {
+            return BatchResults {
+                values,
+                num_polys: np,
+                num_scenarios: scenarios.len(),
+            };
+        }
+        // One parallel chunk = one lane block of scenarios.
+        par::par_chunks_mut(&mut values, LANES * np, |block, out| {
+            let s0 = block * LANES;
+            let width = (scenarios.len() - s0).min(LANES);
+            // Transpose the block: vals[v * width + lane], so one term's
+            // factor reads a contiguous lane vector per variable.
+            let mut vals = vec![0.0f64; nl * width];
+            for lane in 0..width {
+                for (v, &x) in scenarios[s0 + lane].iter().enumerate() {
+                    vals[v * width + lane] = x;
+                }
+            }
+            let mut term = vec![0.0f64; width];
+            let mut acc = vec![0.0f64; width];
+            for p in 0..np {
+                acc.fill(0.0);
+                let terms =
+                    prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+                for t in terms {
+                    term.fill(prog.coeffs[t]);
+                    let factors = prog.term_offsets[t] as usize
+                        ..prog.term_offsets[t + 1] as usize;
+                    for f in factors {
+                        let base = prog.var_ids[f] as usize * width;
+                        let xs = &vals[base..base + width];
+                        let e = prog.exps[f];
+                        if e == 1 {
+                            for (t, &x) in term.iter_mut().zip(xs) {
+                                *t *= x;
+                            }
+                        } else {
+                            for (t, &x) in term.iter_mut().zip(xs) {
+                                *t *= x.powi(e as i32);
+                            }
+                        }
+                    }
+                    for (a, &t) in acc.iter_mut().zip(&term) {
+                        *a += t;
+                    }
+                }
+                for lane in 0..width {
+                    out[lane * np + p] = acc[lane];
+                }
+            }
+        });
+        BatchResults {
+            values,
+            num_polys: np,
+            num_scenarios: scenarios.len(),
+        }
+    }
+}
+
+/// Compiles the `f64` shadow of an exact set and wraps it for batching —
+/// the usual entry point for timing experiments.
+pub fn compile_f64(set: &PolySet<Rat>) -> BatchEvaluator<f64> {
+    BatchEvaluator::new(EvalProgram::compile(set).to_f64_program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::poly::Polynomial;
+    use crate::var::VarRegistry;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn sample() -> (VarRegistry, PolySet<Rat>) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let z = reg.var("z");
+        let mut set = PolySet::new();
+        set.push(
+            "P1",
+            Polynomial::from_terms([
+                (Monomial::from_pairs([(x, 2)]), rat("3")),
+                (Monomial::from_pairs([(x, 1), (y, 1)]), rat("-1")),
+                (Monomial::one(), rat("7")),
+            ]),
+        );
+        set.push("Pzero", Polynomial::zero());
+        set.push(
+            "P2",
+            Polynomial::from_terms([(Monomial::from_pairs([(z, 1)]), rat("2"))]),
+        );
+        (reg, set)
+    }
+
+    #[test]
+    fn csr_shape_and_local_remap() {
+        let (mut reg, set) = sample();
+        // Widen the registry far beyond the program's variables: locals
+        // must stay dense regardless.
+        for i in 0..100 {
+            reg.var(&format!("pad{i}"));
+        }
+        let prog = EvalProgram::compile(&set);
+        assert_eq!(prog.num_polys(), 3);
+        assert_eq!(prog.num_terms(), 4);
+        assert_eq!(prog.num_locals(), 3);
+        assert_eq!(prog.labels(), &["P1", "Pzero", "P2"]);
+        let x = reg.lookup("x").unwrap();
+        assert_eq!(prog.local_of(x), Some(0));
+        assert_eq!(prog.local_of(reg.lookup("pad7").unwrap()), None);
+    }
+
+    #[test]
+    fn scenario_eval_matches_sparse_eval() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let val = Valuation::with_default(Rat::ONE)
+            .bind(x, rat("2"))
+            .bind(y, rat("5"));
+        let prog = EvalProgram::compile(&set);
+        let row = prog.bind(&val).unwrap();
+        let out = prog.eval_scenario(&row);
+        // 3·4 − 10 + 7 = 9; zero poly → 0; 2·1 = 2
+        assert_eq!(out, vec![rat("9"), Rat::ZERO, rat("2")]);
+        let expected = set.eval(&val).unwrap();
+        for ((_, e), o) in expected.iter().zip(&out) {
+            assert_eq!(e, o);
+        }
+    }
+
+    #[test]
+    fn bind_reports_missing_var() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let prog = EvalProgram::compile(&set);
+        let partial = Valuation::new().bind(x, rat("1")).bind(y, rat("1"));
+        let z = reg.lookup("z").unwrap();
+        assert_eq!(prog.bind(&partial), Err(z));
+    }
+
+    #[test]
+    fn batch_matches_per_scenario_for_rat() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let evaluator = BatchEvaluator::compile(&set);
+        let vals: Vec<Valuation<Rat>> = (0..23)
+            .map(|i| Valuation::with_default(Rat::ONE).bind(x, Rat::int(i)))
+            .collect();
+        let rows = evaluator.bind_all(&vals).unwrap();
+        let batch = evaluator.eval_batch(&rows);
+        assert_eq!(batch.num_scenarios(), 23);
+        assert_eq!(batch.num_polys(), 3);
+        for (s, val) in vals.iter().enumerate() {
+            let expected = set.eval(val).unwrap();
+            for (p, (_, e)) in expected.iter().enumerate() {
+                assert_eq!(batch.get(s, p), e, "scenario {s} poly {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_bit_identical_to_scalar() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let set64 = set.to_f64_set();
+        let evaluator = BatchEvaluator::compile(&set64);
+        // 19 scenarios: exercises a full lane block plus a ragged tail.
+        let rows: Vec<Vec<f64>> = (0..19)
+            .map(|i| {
+                let val = Valuation::with_default(1.0)
+                    .bind(x, 0.1 + i as f64 * 0.37)
+                    .bind(y, 1.7 - i as f64 * 0.11);
+                evaluator.program().bind(&val).unwrap()
+            })
+            .collect();
+        let fast = evaluator.eval_batch_fast(&rows);
+        let scalar = evaluator.eval_batch(&rows);
+        assert_eq!(fast, scalar, "lane kernel must be bit-identical");
+        // ... and identical to the original eval_dense walk.
+        let dense_reg_len = reg.len();
+        for (s, row) in rows.iter().enumerate() {
+            let mut dense = DenseValuation::from_valuation(
+                &Valuation::with_default(1.0),
+                dense_reg_len,
+                1.0,
+            );
+            for (local, &v) in evaluator.program().vars().iter().enumerate() {
+                dense.set(v, row[local]);
+            }
+            for (p, (_, value)) in set64.eval_dense(&dense).iter().enumerate() {
+                assert_eq!(fast.get(s, p), value, "scenario {s} poly {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_and_empty_batch() {
+        let set: PolySet<Rat> = PolySet::new();
+        let evaluator = BatchEvaluator::compile(&set);
+        let batch = evaluator.eval_batch(&[]);
+        assert_eq!(batch.num_scenarios(), 0);
+        assert_eq!(batch.num_polys(), 0);
+        let batch = evaluator.eval_batch(&[vec![], vec![]]);
+        assert_eq!(batch.num_polys(), 0);
+        let f = compile_f64(&set);
+        assert_eq!(f.eval_batch_fast(&[vec![]]).num_polys(), 0);
+    }
+
+    #[test]
+    fn higher_exponents_agree_between_paths() {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let set = PolySet::from_entries([(
+            "P".to_owned(),
+            Polynomial::from_terms([(Monomial::from_pairs([(x, 4)]), rat("1"))]),
+        )]);
+        let set64 = set.to_f64_set();
+        let evaluator = BatchEvaluator::compile(&set64);
+        let rows: Vec<Vec<f64>> = (0..9).map(|i| vec![1.0 + i as f64 * 0.5]).collect();
+        let fast = evaluator.eval_batch_fast(&rows);
+        let scalar = evaluator.eval_batch(&rows);
+        // Both use powi for e > 1, so even non-multilinear programs agree
+        // bit-for-bit.
+        assert_eq!(fast, scalar);
+    }
+}

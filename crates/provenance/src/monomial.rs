@@ -156,7 +156,7 @@ impl Monomial {
 
 impl PartialOrd for Monomial {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.canonical_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -284,7 +284,7 @@ mod tests {
         let a = Monomial::var(x);
         let b = Monomial::var(y);
         let c = Monomial::from_pairs([(x, 1), (y, 1)]);
-        let mut v = vec![c.clone(), b.clone(), a.clone(), Monomial::one()];
+        let mut v = [c.clone(), b.clone(), a.clone(), Monomial::one()];
         v.sort();
         assert_eq!(v[0], Monomial::one());
         assert_eq!(v[1], a);

@@ -11,12 +11,15 @@
 //!   provenance variable names.
 //! * [`hash`] — an Fx-style fast hasher for hot hash maps keyed by small
 //!   integers/monomials (see the Rust Performance Book's hashing chapter).
+//! * [`par`] — structured data-parallel helpers (scoped threads) used by
+//!   the compiled batch evaluation engine; the offline stand-in for rayon.
 //! * [`rng`] — SplitMix64, a tiny deterministic RNG for workload generation.
 //! * [`timing`] — wall-clock measurement helpers for the speedup experiments.
 //! * [`table`] — plain-text/markdown table rendering for experiment reports.
 
 pub mod hash;
 pub mod intern;
+pub mod par;
 pub mod rational;
 pub mod rng;
 pub mod table;

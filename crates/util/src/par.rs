@@ -1,0 +1,132 @@
+//! Structured data-parallel helpers over `std::thread::scope`.
+//!
+//! The batched evaluation engine splits scenario sweeps across cores. The
+//! usual crate for this is `rayon`, but the build environment has no
+//! crates.io access, so these helpers provide the two shapes the engine
+//! needs — indexed map and chunked in-place fill — on scoped threads.
+//! They degrade to straight serial loops when `available_parallelism` is 1
+//! (or the input is tiny), so single-core containers pay no thread cost.
+
+use std::thread;
+
+/// Number of worker threads to use (`COBRA_THREADS` overrides the
+/// detected parallelism, useful for benchmarking scaling curves).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("COBRA_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` (with the item index), preserving order.
+/// Parallelises across contiguous chunks when multiple cores are available.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = num_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per = items.len().div_ceil(threads);
+    let parts: Vec<Vec<U>> = thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(per)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let f = &f;
+                s.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * per + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` (the final chunk
+/// may be shorter) and calls `f(chunk_index, chunk)` for each, distributing
+/// whole chunks across threads. Chunk indices are global and chunks are
+/// disjoint, so `f` may fill its chunk without synchronisation.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = num_threads().min(n_chunks).max(1);
+    if threads == 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let chunks_per_thread = n_chunks.div_ceil(threads);
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut chunk_base = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per_thread * chunk_len).min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let base = chunk_base;
+            chunk_base += chunks_per_thread;
+            let f = &f;
+            s.spawn(move || {
+                for (i, c) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + i, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(par_map::<usize, usize, _>(&[], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn par_chunks_fill_disjoint() {
+        let mut data = vec![0usize; 103];
+        par_chunks_mut(&mut data, 8, |ci, chunk| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = ci * 8 + j;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_sizes_cover_tail() {
+        let mut data = vec![0u8; 10];
+        par_chunks_mut(&mut data, 4, |_, chunk| {
+            assert!(chunk.len() == 4 || chunk.len() == 2);
+            chunk.fill(1);
+        });
+        assert!(data.iter().all(|&b| b == 1));
+    }
+}

@@ -201,6 +201,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division *is* multiply-by-reciprocal
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

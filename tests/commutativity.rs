@@ -79,11 +79,11 @@ fn build_db(w: &Workload, scaled: bool) -> Database {
     }
     let mut plan_rows = Vec::new();
     for (p, prices) in w.prices.iter().enumerate() {
-        for mo in 0..months {
-            let mut price = Rat::new(prices[mo] as i128, 100);
+        for (mo, &cents) in prices.iter().enumerate().take(months) {
+            let mut price = Rat::new(cents as i128, 100);
             if scaled {
                 let (num, den) = w.factors[p][mo];
-                price = price * Rat::new(num as i128, den as i128);
+                price *= Rat::new(num as i128, den as i128);
             }
             plan_rows.push(vec![
                 Value::str(&plan_name(p)),

@@ -1,0 +1,179 @@
+//! Property tests for the compiled batch evaluation engine: on random
+//! polynomial sets and scenarios, `EvalProgram`/`BatchEvaluator` must agree
+//! exactly with the sparse reference path `Polynomial::eval` (exact `Rat`
+//! arithmetic), including empty polynomials and default-valued valuations;
+//! and the `f64` lane kernel must be bit-identical to its scalar
+//! counterpart and to `eval_dense`.
+
+use cobra::provenance::{
+    BatchEvaluator, DenseValuation, EvalProgram, Monomial, PolySet, Polynomial, Valuation,
+    Var,
+};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+const NUM_VARS: u32 = 6;
+
+fn rat_strategy() -> impl Strategy<Value = Rat> {
+    (-50i128..50, 1i128..8).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn monomial_strategy() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec((0u32..NUM_VARS, 1u32..4), 0..4)
+        .prop_map(|pairs| Monomial::from_pairs(pairs.into_iter().map(|(v, e)| (Var(v), e))))
+}
+
+fn poly_strategy() -> impl Strategy<Value = Polynomial<Rat>> {
+    proptest::collection::vec((monomial_strategy(), rat_strategy()), 0..6)
+        .prop_map(Polynomial::from_terms)
+}
+
+/// Sets of 0..5 labelled polynomials; empty polynomials are common (the
+/// term-count range starts at zero, and cancellation adds more).
+fn polyset_strategy() -> impl Strategy<Value = PolySet<Rat>> {
+    proptest::collection::vec(poly_strategy(), 0..5).prop_map(|polys| {
+        PolySet::from_entries(
+            polys
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (format!("P{i}"), p)),
+        )
+    })
+}
+
+/// Default-valued valuations binding only a random subset of variables:
+/// exercises the `Valuation::get` fallback inside `EvalProgram::bind`.
+fn valuation_strategy() -> impl Strategy<Value = Valuation<Rat>> {
+    (
+        rat_strategy(),
+        proptest::collection::vec((0u32..NUM_VARS, rat_strategy()), 0..NUM_VARS as usize),
+    )
+        .prop_map(|(default, binds)| {
+            let mut v = Valuation::with_default(default);
+            for (var, value) in binds {
+                v.set(Var(var), value);
+            }
+            v
+        })
+}
+
+fn scenarios_strategy() -> impl Strategy<Value = Vec<Valuation<Rat>>> {
+    proptest::collection::vec(valuation_strategy(), 0..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The compiled scalar path equals the sparse reference evaluator.
+    #[test]
+    fn program_matches_sparse_eval(set in polyset_strategy(), val in valuation_strategy()) {
+        let prog = EvalProgram::compile(&set);
+        prop_assert_eq!(prog.num_polys(), set.len());
+        prop_assert_eq!(prog.num_terms(), set.total_monomials());
+        let row = prog.bind(&val).expect("valuation has a default");
+        let out = prog.eval_scenario(&row);
+        for (p, (_, poly)) in set.iter().enumerate() {
+            let expected = poly.eval(&val).expect("valuation has a default");
+            prop_assert_eq!(&out[p], &expected, "poly {}", p);
+        }
+    }
+
+    /// Batch evaluation equals per-scenario reference evaluation, for
+    /// every scenario × polynomial cell.
+    #[test]
+    fn batch_matches_sparse_eval(
+        set in polyset_strategy(),
+        scenarios in scenarios_strategy(),
+    ) {
+        let evaluator = BatchEvaluator::compile(&set);
+        let rows = evaluator.bind_all(&scenarios).expect("valuations have defaults");
+        let batch = evaluator.eval_batch(&rows);
+        prop_assert_eq!(batch.num_scenarios(), scenarios.len());
+        for (s, val) in scenarios.iter().enumerate() {
+            for (p, (_, poly)) in set.iter().enumerate() {
+                let expected = poly.eval(val).expect("valuation has a default");
+                prop_assert_eq!(batch.get(s, p), &expected, "scenario {} poly {}", s, p);
+            }
+        }
+    }
+
+    /// The f64 lane kernel is bit-identical to the scalar f64 kernel and
+    /// to the eval_dense walk over the same scenario values.
+    #[test]
+    fn f64_lane_kernel_bit_identical(
+        set in polyset_strategy(),
+        scenarios in scenarios_strategy(),
+    ) {
+        let set64 = set.to_f64_set();
+        let evaluator = BatchEvaluator::compile(&set64);
+        let rows: Vec<Vec<f64>> = scenarios
+            .iter()
+            .map(|v| evaluator.program().bind(&v.map(|c| c.to_f64())).unwrap())
+            .collect();
+        let fast = evaluator.eval_batch_fast(&rows);
+        let scalar = evaluator.eval_batch(&rows);
+        prop_assert_eq!(&fast, &scalar);
+        for (s, row) in rows.iter().enumerate() {
+            let mut dense =
+                DenseValuation::from_values(vec![1.0f64; NUM_VARS as usize]);
+            for (local, &v) in evaluator.program().vars().iter().enumerate() {
+                dense.set(v, row[local]);
+            }
+            for (p, (_, value)) in set64.eval_dense(&dense).iter().enumerate() {
+                prop_assert_eq!(fast.get(s, p), value, "scenario {} poly {}", s, p);
+            }
+        }
+    }
+
+    /// Compression commutes with compiled evaluation: renaming variables
+    /// and evaluating the compiled program equals evaluating the original
+    /// under the pulled-back valuation (meta value shared by all leaves).
+    #[test]
+    fn compiled_eval_commutes_with_abstraction(
+        set in polyset_strategy(),
+        val in valuation_strategy(),
+    ) {
+        // Group the even-indexed variables into Var(0).
+        let merged = set.rename_vars(|v| if v.0 % 2 == 0 { Var(0) } else { v });
+        // Pull the valuation back: every even variable reads Var(0)'s value.
+        let mut pulled = val.clone();
+        for v in 1..NUM_VARS {
+            if v % 2 == 0 {
+                let shared = val.get(Var(0)).expect("default");
+                pulled.set(Var(v), shared);
+            }
+        }
+        let prog_merged = EvalProgram::compile(&merged);
+        let prog_full = EvalProgram::compile(&set);
+        let merged_row = prog_merged.bind(&val).expect("default");
+        let full_row = prog_full.bind(&pulled).expect("default");
+        let merged_out = prog_merged.eval_scenario(&merged_row);
+        let full_out = prog_full.eval_scenario(&full_row);
+        prop_assert_eq!(merged_out, full_out);
+    }
+}
+
+#[test]
+fn empty_set_and_empty_scenarios() {
+    let set: PolySet<Rat> = PolySet::new();
+    let evaluator = BatchEvaluator::compile(&set);
+    assert_eq!(evaluator.program().num_polys(), 0);
+    assert_eq!(evaluator.program().num_locals(), 0);
+    let batch = evaluator.eval_batch(&[]);
+    assert_eq!(batch.num_scenarios(), 0);
+}
+
+#[test]
+fn missing_variable_is_reported_by_bind() {
+    let mut setp = PolySet::new();
+    setp.push(
+        "P",
+        Polynomial::<Rat>::from_terms([(
+            Monomial::from_pairs([(Var(3), 1)]),
+            Rat::ONE,
+        )]),
+    );
+    let prog = EvalProgram::compile(&setp);
+    // no default, nothing bound → Var(3) is missing
+    assert_eq!(prog.bind(&Valuation::new()), Err(Var(3)));
+}

@@ -1,0 +1,28 @@
+//! `Arbitrary`: default generation for typed `proptest!` parameters
+//! (`fn f(a: bool)`).
+
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain generator.
+pub trait Arbitrary {
+    /// Draws one value covering the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
