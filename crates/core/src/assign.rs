@@ -74,15 +74,22 @@ impl ResultRow {
 
     /// Relative error (|Δ| / |full|), 0 for a zero baseline.
     pub fn rel_error(&self) -> f64 {
-        if self.full.is_zero() {
-            if self.compressed.is_zero() {
-                0.0
-            } else {
-                f64::INFINITY
-            }
+        rel_error_value(&self.full, &self.compressed)
+    }
+}
+
+/// Relative error of a full/compressed value pair (|Δ| / |full|, 0 for a
+/// doubly-zero pair, ∞ for a zero baseline) — shared by [`ResultRow`] and
+/// the flat sweep storage.
+pub(crate) fn rel_error_value(full: &Rat, compressed: &Rat) -> f64 {
+    if full.is_zero() {
+        if compressed.is_zero() {
+            0.0
         } else {
-            (self.abs_error() / self.full.abs()).to_f64()
+            f64::INFINITY
         }
+    } else {
+        ((*full - *compressed).abs() / full.abs()).to_f64()
     }
 }
 

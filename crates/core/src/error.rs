@@ -33,6 +33,9 @@ pub enum CoreError {
     TooManyCuts { limit: usize },
     /// Session misuse (missing inputs).
     Session(String),
+    /// A scenario grid is malformed (overlapping axes, cardinality
+    /// overflow).
+    InvalidScenarioGrid(String),
 }
 
 impl fmt::Display for CoreError {
@@ -59,6 +62,7 @@ impl fmt::Display for CoreError {
                 write!(f, "cut enumeration exceeded limit of {limit}")
             }
             CoreError::Session(m) => write!(f, "session error: {m}"),
+            CoreError::InvalidScenarioGrid(m) => write!(f, "invalid scenario grid: {m}"),
         }
     }
 }

@@ -27,9 +27,12 @@
 //! * [`assign`] — meta-variable defaults (group averages), scenario
 //!   projection/expansion, result comparison and assignment-speedup
 //!   measurement.
+//! * [`scenario_set`] — lazily enumerated scenario families
+//!   ([`ScenarioSet`]): cartesian factor grids, per-variable
+//!   perturbations, and explicit lists, described in O(axes) memory.
 //! * [`scenario`] — batched scenario sweeps over the compiled evaluation
 //!   engine: many hypotheticals evaluated in one pass on both the full and
-//!   the compressed provenance.
+//!   the compressed provenance, with allocation-free grid binding.
 //! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
 //! * [`report`] — displayable compression reports.
 //!
@@ -58,6 +61,7 @@ pub mod groups;
 pub mod multi;
 pub mod report;
 pub mod scenario;
+pub mod scenario_set;
 pub mod sensitivity;
 pub mod session;
 pub mod tree;
@@ -70,9 +74,11 @@ pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
 pub use scenario::{
-    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, ScenarioSweep,
+    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, PairBinder,
+    ScenarioSweep,
 };
-pub use sensitivity::SensitivityReport;
+pub use scenario_set::{Axis, AxisOp, GridBuilder, RowBinder, ScenarioSet};
+pub use sensitivity::{scenario_impacts, SensitivityReport};
 pub use multi::{optimize_forest_descent, ForestSolution};
 pub use report::CompressionReport;
 pub use session::{CobraSession, MetaSummaryRow};

@@ -16,7 +16,8 @@ use crate::cut::Cut;
 use crate::dp;
 use crate::error::{CoreError, Result};
 use crate::groups::GroupAnalysis;
-use crate::scenario::{sweep_full_vs_compressed, CompiledComparison, ScenarioSweep};
+use crate::scenario::{CompiledComparison, ScenarioSweep};
+use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
 use cobra_provenance::{Coeff, PolySet, Valuation, VarRegistry};
 use cobra_util::Rat;
@@ -136,15 +137,16 @@ pub fn optimize_single_tree<C: Coeff>(
 /// Batched full-vs-compressed sweep for a forest application: multi-tree
 /// sessions run their scenario exploration through the same compiled
 /// engine as single-tree ones (meta-variables from every tree project at
-/// once).
+/// once). Accepts anything convertible to a
+/// [`ScenarioSet`] — grids stream without materializing valuations.
 pub fn forest_sweep(
     set: &PolySet<Rat>,
     applied: &AppliedAbstraction<Rat>,
     base: &Valuation<Rat>,
-    scenarios: &[Valuation<Rat>],
+    scenarios: impl Into<ScenarioSet>,
 ) -> ScenarioSweep {
     let engines = CompiledComparison::compile(set, &applied.compressed);
-    sweep_full_vs_compressed(&engines, &applied.meta_vars, base, scenarios)
+    engines.sweep(&applied.meta_vars, base, &scenarios.into())
 }
 
 #[cfg(test)]
@@ -224,9 +226,9 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         let sweep = forest_sweep(&set, &applied, &base, &scenarios);
         assert_eq!(sweep.len(), 2);
         // the all-ones scenario is always exact (defaults project losslessly)
-        assert!(sweep.comparisons[1].is_exact());
+        assert!(sweep.comparison(1).is_exact());
         // batched results match the scalar comparison path
-        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+        for (scenario, cmp) in scenarios.iter().zip(sweep.comparisons()) {
             let leaf_val = base.overridden_by(scenario);
             let meta_val = leaf_val.overridden_by(&crate::assign::project_scenario(
                 &applied.meta_vars,

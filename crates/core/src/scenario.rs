@@ -7,15 +7,32 @@
 //! sets once (via [`cobra_provenance::compile`]) and evaluates whole
 //! scenario batches through the same engine, so full-vs-compressed numbers
 //! are produced under identical evaluation machinery.
+//!
+//! Scenario *families* arrive as [`ScenarioSet`]s. Grid- and
+//! perturbation-shaped sets are bound **allocation-free**: the
+//! [`PairBinder`] caches the base scenario row for both programs once,
+//! then each scenario is a row `memcpy` plus one write per override —
+//! meta-variable group averages are maintained incrementally, so a
+//! 10⁶-scenario grid streams through the lane-blocked kernel without ever
+//! materializing a `Vec<Valuation>`.
 
 use crate::assign::{self, ResultComparison, ResultRow, SpeedupMeasurement};
 use crate::cut::MetaVar;
-use cobra_provenance::{BatchEvaluator, PolySet, Valuation};
+use crate::scenario_set::{base_value, for_each_grid_digit, ScenarioSet};
+use cobra_provenance::compile::LANES;
+use cobra_provenance::{BatchEvaluator, Coeff, EvalProgram, PolySet, Valuation, Var};
 use cobra_util::timing::time_best_of;
-use cobra_util::Rat;
+use cobra_util::{FxHashMap, FxHashSet, Rat};
+
+/// Scenarios bound and evaluated per streamed block: a handful of lane
+/// blocks, so peak transient memory stays O(block × row) regardless of the
+/// set's cardinality while the batch kernel still gets full lanes.
+const STREAM_BLOCK: usize = 16 * LANES;
 
 /// The full-vs-compressed engines for one compression outcome, compiled
-/// once and reusable across any number of sweeps.
+/// once and reusable across any number of sweeps. Cloning shares the
+/// underlying programs (see [`BatchEvaluator`]), so a session-invariant
+/// full-side program can be cached and paired with each new compression.
 #[derive(Clone, Debug)]
 pub struct CompiledComparison {
     /// Batched evaluator over the full provenance (exact coefficients).
@@ -32,81 +49,201 @@ impl CompiledComparison {
             compressed: BatchEvaluator::compile(compressed),
         }
     }
+
+    /// Pairs two already-compiled engines (e.g. a cached full-side program
+    /// with a freshly compressed side).
+    pub fn from_engines(
+        full: BatchEvaluator<Rat>,
+        compressed: BatchEvaluator<Rat>,
+    ) -> CompiledComparison {
+        CompiledComparison { full, compressed }
+    }
+
+    /// Evaluates every scenario of `set` on both sides, streaming grid
+    /// scenarios straight into the batch kernels in blocks — see
+    /// [`sweep_full_vs_compressed`] for the scenario semantics.
+    pub fn sweep(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+    ) -> ScenarioSweep {
+        let n = set.len();
+        let np = self.full.program().num_polys();
+        assert_eq!(
+            np,
+            self.compressed.program().num_polys(),
+            "polynomial sets must align"
+        );
+        let mut full_vals = vec![Rat::ZERO; n * np];
+        let mut comp_vals = vec![Rat::ZERO; n * np];
+        let mut binder = PairBinder::new(self, metas, base, set);
+        let block = STREAM_BLOCK.min(n.max(1));
+        let mut full_rows: Vec<Vec<Rat>> = (0..block)
+            .map(|_| vec![Rat::ZERO; self.full.program().num_locals()])
+            .collect();
+        let mut comp_rows: Vec<Vec<Rat>> = (0..block)
+            .map(|_| vec![Rat::ZERO; self.compressed.program().num_locals()])
+            .collect();
+        let mut start = 0;
+        while start < n {
+            let width = block.min(n - start);
+            for k in 0..width {
+                let (frow, crow) = (&mut full_rows[k], &mut comp_rows[k]);
+                // split borrows: binder needs &mut self for its scratch
+                binder.bind_pair_into(start + k, frow, crow);
+            }
+            let out = &mut full_vals[start * np..(start + width) * np];
+            self.full.eval_batch_into(&full_rows[..width], out);
+            let out = &mut comp_vals[start * np..(start + width) * np];
+            self.compressed.eval_batch_into(&comp_rows[..width], out);
+            start += width;
+        }
+        ScenarioSweep {
+            labels: self.full.program().labels().to_vec(),
+            num_scenarios: n,
+            full: full_vals,
+            compressed: comp_vals,
+        }
+    }
+
+    /// Projects and binds every scenario of `set` into materialized
+    /// full/compressed row pairs, mapping each value through `map` — the
+    /// shared project-and-bind loop behind both the exact sweep and the
+    /// `f64` timing path
+    /// ([`CobraSession::measure_batch_speedup`](crate::session::CobraSession::measure_batch_speedup)).
+    /// `map` is typically the identity (exact rows) or `Rat::to_f64`
+    /// (timing rows; the `f64` shadow programs share this program's
+    /// variable numbering, so the rows bind directly).
+    ///
+    /// Unlike [`sweep`](Self::sweep), this deliberately materializes
+    /// O(set × locals) row memory: timing paths bind once up front so the
+    /// measured runs cover evaluation only. Use `sweep` for result
+    /// computation over very large grids.
+    pub fn bind_rows<C: Coeff>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        map: impl Fn(&Rat) -> C,
+    ) -> (Vec<Vec<C>>, Vec<Vec<C>>) {
+        let mut binder = PairBinder::new(self, metas, base, set);
+        let mut frow = vec![Rat::ZERO; self.full.program().num_locals()];
+        let mut crow = vec![Rat::ZERO; self.compressed.program().num_locals()];
+        let mut full_rows = Vec::with_capacity(set.len());
+        let mut comp_rows = Vec::with_capacity(set.len());
+        for i in 0..set.len() {
+            binder.bind_pair_into(i, &mut frow, &mut crow);
+            full_rows.push(frow.iter().map(&map).collect());
+            comp_rows.push(crow.iter().map(&map).collect());
+        }
+        (full_rows, comp_rows)
+    }
 }
 
-/// Results of a batched scenario sweep: one [`ResultComparison`] per
-/// scenario, in input order.
+/// Results of a batched scenario sweep, stored flat: the labels once and
+/// one `num_polys`-wide row of exact values per scenario per side —
+/// O(scenarios × polynomials) memory with no per-scenario `String`s.
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioSweep {
-    /// Per-scenario full-vs-compressed comparisons.
-    pub comparisons: Vec<ResultComparison>,
+    labels: Vec<String>,
+    num_scenarios: usize,
+    /// Scenario-major full-provenance values (`num_scenarios × num_polys`).
+    full: Vec<Rat>,
+    /// Scenario-major compressed-provenance values.
+    compressed: Vec<Rat>,
 }
 
 impl ScenarioSweep {
     /// Number of scenarios evaluated.
     pub fn len(&self) -> usize {
-        self.comparisons.len()
+        self.num_scenarios
     }
 
     /// True iff no scenario was evaluated.
     pub fn is_empty(&self) -> bool {
-        self.comparisons.is_empty()
+        self.num_scenarios == 0
+    }
+
+    /// Number of result tuples per scenario.
+    pub fn num_polys(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Result-tuple labels, shared by every scenario.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Full-provenance results of one scenario, in label order.
+    pub fn full_row(&self, scenario: usize) -> &[Rat] {
+        let np = self.labels.len();
+        &self.full[scenario * np..(scenario + 1) * np]
+    }
+
+    /// Compressed-provenance results of one scenario, in label order.
+    pub fn compressed_row(&self, scenario: usize) -> &[Rat] {
+        let np = self.labels.len();
+        &self.compressed[scenario * np..(scenario + 1) * np]
+    }
+
+    /// Materializes the side-by-side comparison of one scenario.
+    pub fn comparison(&self, scenario: usize) -> ResultComparison {
+        compare_rows(
+            &self.labels,
+            self.full_row(scenario).to_vec(),
+            self.compressed_row(scenario).to_vec(),
+        )
+    }
+
+    /// Iterates materialized comparisons in scenario order.
+    pub fn comparisons(&self) -> impl ExactSizeIterator<Item = ResultComparison> + '_ {
+        (0..self.num_scenarios).map(|s| self.comparison(s))
     }
 
     /// Largest relative error over every scenario and result tuple.
     pub fn max_rel_error(&self) -> f64 {
-        self.comparisons
+        self.full
             .iter()
-            .map(ResultComparison::max_rel_error)
+            .zip(&self.compressed)
+            .map(|(f, c)| assign::rel_error_value(f, c))
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest relative error within one scenario.
+    pub fn scenario_max_rel_error(&self, scenario: usize) -> f64 {
+        self.full_row(scenario)
+            .iter()
+            .zip(self.compressed_row(scenario))
+            .map(|(f, c)| assign::rel_error_value(f, c))
             .fold(0.0, f64::max)
     }
 
     /// True iff compression introduced no error in any scenario.
     pub fn is_exact(&self) -> bool {
-        self.comparisons.iter().all(ResultComparison::is_exact)
+        self.full == self.compressed
     }
 }
 
-/// Evaluates `scenarios` (leaf-level, merged over `base`) on both the full
-/// and the compressed provenance through the compiled batch engine. Each
-/// scenario is projected onto the meta-variables by group averaging,
-/// exactly like [`CobraSession::assign`](crate::session::CobraSession::assign).
+/// Evaluates the scenarios of `scenarios` (leaf-level, merged over `base`)
+/// on both the full and the compressed provenance through the compiled
+/// batch engine. Each scenario is projected onto the meta-variables by
+/// group averaging, exactly like
+/// [`CobraSession::assign`](crate::session::CobraSession::assign). Accepts
+/// anything convertible to a [`ScenarioSet`] — grids stream through the
+/// engine without materializing per-scenario valuations.
 ///
 /// # Panics
 /// Panics if some scenario (merged over `base`) does not cover a variable —
-/// give `base` a default, as assignment screens always do.
+/// give `base` a default, as assignment screens always do. Grid and
+/// perturbation sets additionally require `base` itself to be total.
 pub fn sweep_full_vs_compressed(
     engines: &CompiledComparison,
     metas: &[MetaVar],
     base: &Valuation<Rat>,
-    scenarios: &[Valuation<Rat>],
+    scenarios: impl Into<ScenarioSet>,
 ) -> ScenarioSweep {
-    let mut full_rows = Vec::with_capacity(scenarios.len());
-    let mut comp_rows = Vec::with_capacity(scenarios.len());
-    for scenario in scenarios {
-        let (leaf_val, meta_val) = project_pair(metas, base, scenario);
-        full_rows.push(
-            engines
-                .full
-                .program()
-                .bind(&leaf_val)
-                .expect("leaf valuation must be total"),
-        );
-        comp_rows.push(
-            engines
-                .compressed
-                .program()
-                .bind(&meta_val)
-                .expect("meta valuation must be total"),
-        );
-    }
-    let full = engines.full.eval_batch(&full_rows);
-    let compressed = engines.compressed.eval_batch(&comp_rows);
-    let labels = engines.full.program().labels();
-    let comparisons = (0..scenarios.len())
-        .map(|s| compare_rows(labels, full.row(s).to_vec(), compressed.row(s).to_vec()))
-        .collect();
-    ScenarioSweep { comparisons }
+    engines.sweep(metas, base, &scenarios.into())
 }
 
 /// The canonical leaf/meta valuation pair for one scenario: the scenario
@@ -145,6 +282,217 @@ pub(crate) fn compare_rows(
                 compressed,
             })
             .collect(),
+    }
+}
+
+/// Where an override lands on the compressed side.
+#[derive(Clone, Copy, Debug)]
+enum CompTarget {
+    /// The variable survives compression: write its local directly (or
+    /// nothing, if the compressed program never mentions it).
+    Direct(Option<u32>),
+    /// The variable is a grouped leaf: fold its delta into the group
+    /// average (index into the binder's group plans).
+    Group(u32),
+    /// The variable *is* a meta-variable: leaf-level scenarios cannot set
+    /// metas directly — the group-average projection always wins, exactly
+    /// like the materialized path.
+    Ignore,
+}
+
+/// One override slot of a grid axis (or perturbation family), resolved
+/// against both programs once at binder construction.
+#[derive(Clone, Copy, Debug)]
+struct PairSlot {
+    full_local: Option<u32>,
+    target: CompTarget,
+    base_val: Rat,
+}
+
+/// A touched meta-variable group: its compressed-side local plus the
+/// base-valuation sum over its leaves, so per-scenario averages are
+/// `(base_sum + Σ deltas) / count` — bit-identical to re-averaging.
+#[derive(Clone, Copy, Debug)]
+struct GroupPlan {
+    comp_local: Option<u32>,
+    base_sum: Rat,
+    count: usize,
+}
+
+/// Binds [`ScenarioSet`] scenarios into full/compressed scenario-row pairs
+/// with the meta-variable projection applied — the allocation-free heart
+/// of the sweep. Explicit (materialized) sets fall back to the classic
+/// merge-project-bind per scenario; grids and perturbations reuse cached
+/// base rows and touch only their overrides.
+pub struct PairBinder<'a> {
+    set: &'a ScenarioSet,
+    metas: &'a [MetaVar],
+    base: &'a Valuation<Rat>,
+    full: &'a EvalProgram<Rat>,
+    comp: &'a EvalProgram<Rat>,
+    base_full_row: Vec<Rat>,
+    base_comp_row: Vec<Rat>,
+    /// Override slots per axis (grids) or one flat list (perturbations).
+    slots: Vec<Vec<PairSlot>>,
+    groups: Vec<GroupPlan>,
+    /// Per-scenario group-delta accumulator (zeroed on every bind).
+    scratch: Vec<Rat>,
+}
+
+impl<'a> PairBinder<'a> {
+    /// Prepares a binder for `set` against a compiled engine pair.
+    ///
+    /// # Panics
+    /// For grid/perturbation sets, panics if `base` does not cover every
+    /// program variable (explicit sets defer the totality check to each
+    /// scenario, matching the materialized path).
+    pub fn new(
+        engines: &'a CompiledComparison,
+        metas: &'a [MetaVar],
+        base: &'a Valuation<Rat>,
+        set: &'a ScenarioSet,
+    ) -> PairBinder<'a> {
+        let full = engines.full.program();
+        let comp = engines.compressed.program();
+        let mut binder = PairBinder {
+            set,
+            metas,
+            base,
+            full,
+            comp,
+            base_full_row: Vec::new(),
+            base_comp_row: Vec::new(),
+            slots: Vec::new(),
+            groups: Vec::new(),
+            scratch: Vec::new(),
+        };
+        if set.explicit().is_some() {
+            return binder; // per-scenario merge path needs no plan
+        }
+        binder.base_full_row = full.bind(base).expect("leaf valuation must be total");
+        let base_meta = base.overridden_by(&assign::project_scenario(metas, base));
+        binder.base_comp_row = comp
+            .bind(&base_meta)
+            .expect("meta valuation must be total");
+
+        let meta_vars: FxHashSet<Var> = metas.iter().map(|m| m.var).collect();
+        let mut leaf_group: FxHashMap<Var, usize> = FxHashMap::default();
+        for (g, meta) in metas.iter().enumerate() {
+            for &leaf in &meta.leaves {
+                leaf_group.insert(leaf, g);
+            }
+        }
+        let mut group_slot: FxHashMap<usize, u32> = FxHashMap::default();
+        let mut plan_slot = |binder: &mut PairBinder<'a>, v: Var| {
+            // Grouped-leaf membership wins over meta-var identity: a cut
+            // at a leaf keeps the leaf's own variable as its (one-leaf)
+            // meta, and the projection then passes overrides through as
+            // the trivial average — exactly the materialized semantics.
+            let target = if let Some(&g) = leaf_group.get(&v) {
+                let slot = *group_slot.entry(g).or_insert_with(|| {
+                    let meta = &metas[g];
+                    binder.groups.push(GroupPlan {
+                        comp_local: comp.local_of(meta.var),
+                        base_sum: meta.leaves.iter().map(|&l| base_value(base, l)).sum(),
+                        count: meta.leaves.len(),
+                    });
+                    (binder.groups.len() - 1) as u32
+                });
+                CompTarget::Group(slot)
+            } else if meta_vars.contains(&v) {
+                CompTarget::Ignore
+            } else {
+                CompTarget::Direct(comp.local_of(v))
+            };
+            PairSlot {
+                full_local: full.local_of(v),
+                target,
+                base_val: base_value(base, v),
+            }
+        };
+        if let Some(axes) = set.axes() {
+            let planned: Vec<Vec<PairSlot>> = axes
+                .iter()
+                .map(|axis| {
+                    axis.vars()
+                        .iter()
+                        .map(|&v| plan_slot(&mut binder, v))
+                        .collect()
+                })
+                .collect();
+            binder.slots = planned;
+        } else if let Some((vars, _, _)) = set.perturbation() {
+            let planned: Vec<PairSlot> = vars.iter().map(|&v| plan_slot(&mut binder, v)).collect();
+            binder.slots = vec![planned];
+        }
+        binder.scratch = vec![Rat::ZERO; binder.groups.len()];
+        binder
+    }
+
+    /// Binds scenario `i` into the two row buffers.
+    ///
+    /// # Panics
+    /// Panics if `i >= set.len()`, a buffer width mismatches its program,
+    /// or (explicit sets) the merged valuation is not total.
+    pub fn bind_pair_into(&mut self, i: usize, full_row: &mut [Rat], comp_row: &mut [Rat]) {
+        if let Some(scenarios) = self.set.explicit() {
+            let (leaf_val, meta_val) = project_pair(self.metas, self.base, &scenarios[i]);
+            self.full
+                .bind_into(&leaf_val, full_row)
+                .expect("leaf valuation must be total");
+            self.comp
+                .bind_into(&meta_val, comp_row)
+                .expect("meta valuation must be total");
+            return;
+        }
+        assert!(i < self.set.len(), "scenario index {i} out of range");
+        full_row.copy_from_slice(&self.base_full_row);
+        comp_row.copy_from_slice(&self.base_comp_row);
+        if let Some(axes) = self.set.axes() {
+            for d in &mut self.scratch {
+                *d = Rat::ZERO;
+            }
+            let slots = &self.slots;
+            let scratch = &mut self.scratch;
+            for_each_grid_digit(axes, i, |j, digit| {
+                let axis = &axes[j];
+                let level = axis.levels()[digit];
+                for s in &slots[j] {
+                    let new = axis.op().apply(s.base_val, level);
+                    if let Some(fl) = s.full_local {
+                        full_row[fl as usize] = new;
+                    }
+                    match s.target {
+                        CompTarget::Direct(Some(cl)) => comp_row[cl as usize] = new,
+                        CompTarget::Direct(None) | CompTarget::Ignore => {}
+                        CompTarget::Group(g) => scratch[g as usize] += new - s.base_val,
+                    }
+                }
+            });
+            for (plan, delta) in self.groups.iter().zip(&self.scratch) {
+                if let Some(cl) = plan.comp_local {
+                    comp_row[cl as usize] =
+                        (plan.base_sum + *delta) / Rat::int(plan.count as i64);
+                }
+            }
+        } else if let Some((_, delta, op)) = self.set.perturbation() {
+            let s = self.slots[0][i];
+            let new = op.apply(s.base_val, delta);
+            if let Some(fl) = s.full_local {
+                full_row[fl as usize] = new;
+            }
+            match s.target {
+                CompTarget::Direct(Some(cl)) => comp_row[cl as usize] = new,
+                CompTarget::Direct(None) | CompTarget::Ignore => {}
+                CompTarget::Group(g) => {
+                    let plan = &self.groups[g as usize];
+                    if let Some(cl) = plan.comp_local {
+                        comp_row[cl as usize] = (plan.base_sum + (new - s.base_val))
+                            / Rat::int(plan.count as i64);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -219,7 +567,8 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         ];
         let sweep = sweep_full_vs_compressed(&engines, &applied.meta_vars, &base, &scenarios);
         assert_eq!(sweep.len(), 3);
-        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+        assert_eq!(sweep.num_polys(), 2);
+        for (scenario, cmp) in scenarios.iter().zip(sweep.comparisons()) {
             let leaf_val = base.overridden_by(scenario);
             let meta_val = leaf_val
                 .overridden_by(&assign::project_scenario(&applied.meta_vars, &leaf_val));
@@ -232,11 +581,87 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
             assert_eq!(cmp.rows, expected.rows);
         }
         // aligned scenarios are exact, the misaligned third one is not
-        assert!(sweep.comparisons[0].is_exact());
-        assert!(sweep.comparisons[1].is_exact());
-        assert!(!sweep.comparisons[2].is_exact());
+        assert!(sweep.comparison(0).is_exact());
+        assert!(sweep.comparison(1).is_exact());
+        assert!(!sweep.comparison(2).is_exact());
         assert!(!sweep.is_exact());
         assert!(sweep.max_rel_error() > 0.0);
+        assert_eq!(sweep.scenario_max_rel_error(0), 0.0);
+        assert!(sweep.scenario_max_rel_error(2) > 0.0);
+    }
+
+    #[test]
+    fn grid_sweep_is_bit_identical_to_materialized_sweep() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let b_vars = ["b1", "b2", "e"].map(|n| reg.var(n));
+        let y1 = reg.var("y1");
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("1"), rat("1.25")])
+            .axis(b_vars, [rat("0.9"), rat("1.1")])
+            // y1 alone inside the Special group: a lossy, partial touch
+            .scale_axis([y1], [rat("1"), rat("1.05")])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 12);
+        let by_grid = engines.sweep(&applied.meta_vars, &base, &grid);
+        let flat = grid.materialize(&base);
+        let by_vec = sweep_full_vs_compressed(&engines, &applied.meta_vars, &base, &flat[..]);
+        assert_eq!(by_grid.len(), by_vec.len());
+        for i in 0..by_grid.len() {
+            assert_eq!(by_grid.full_row(i), by_vec.full_row(i), "scenario {i}");
+            assert_eq!(
+                by_grid.compressed_row(i),
+                by_vec.compressed_row(i),
+                "scenario {i}"
+            );
+        }
+        // uniform business change is exact; scaling b1 alone inside the
+        // group is lossy — the grid must reproduce both regimes
+        assert!(by_grid.comparison(0).is_exact());
+        assert!(!by_grid.is_exact());
+    }
+
+    #[test]
+    fn perturbation_sweep_matches_materialized() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let base = Valuation::with_default(Rat::ONE);
+        let vars: Vec<Var> = ["b1", "m3", "p1", "v"].iter().map(|n| reg.var(n)).collect();
+        let perturb = ScenarioSet::perturb_each(vars, rat("0.125"));
+        let by_set = engines.sweep(&applied.meta_vars, &base, &perturb);
+        let flat = perturb.materialize(&base);
+        let by_vec = sweep_full_vs_compressed(&engines, &applied.meta_vars, &base, &flat[..]);
+        for i in 0..by_set.len() {
+            assert_eq!(by_set.full_row(i), by_vec.full_row(i), "scenario {i}");
+            assert_eq!(by_set.compressed_row(i), by_vec.compressed_row(i), "scenario {i}");
+        }
+    }
+
+    #[test]
+    fn bind_rows_matches_sweep_rows() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("0.9"), rat("1")])
+            .build()
+            .unwrap();
+        let (full_rows, comp_rows) = engines.bind_rows(&applied.meta_vars, &base, &grid, |r| *r);
+        assert_eq!(full_rows.len(), 3);
+        let full_batch = engines.full.eval_batch(&full_rows);
+        let comp_batch = engines.compressed.eval_batch(&comp_rows);
+        let sweep = engines.sweep(&applied.meta_vars, &base, &grid);
+        for i in 0..3 {
+            assert_eq!(full_batch.row(i), sweep.full_row(i));
+            assert_eq!(comp_batch.row(i), sweep.compressed_row(i));
+        }
+        // f64 mapping binds against the shadow programs directly
+        let (f64_rows, _) = engines.bind_rows(&applied.meta_vars, &base, &grid, |r| r.to_f64());
+        assert_eq!(f64_rows[0].len(), engines.full.program().num_locals());
     }
 
     #[test]
@@ -247,7 +672,7 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
             &engines,
             &applied.meta_vars,
             &Valuation::with_default(Rat::ONE),
-            &[],
+            &[][..],
         );
         assert!(sweep.is_empty());
         assert!(sweep.is_exact());

@@ -1,0 +1,786 @@
+//! Scenario sets: lazily enumerated families of hypothetical scenarios.
+//!
+//! COBRA's value is answering *many* hypotheticals cheaply, and the
+//! explorer's natural input is not a flat list of valuations but a
+//! **grid** — "sweep the March discount from −20% to +20% while the
+//! business plans move ±10%" is a cartesian product of two factor axes.
+//! A [`ScenarioSet`] describes such a family in O(axes) memory and lets
+//! the sweep engine bind each scenario straight into compiled evaluation
+//! buffers ([`RowBinder`]) without ever materializing a
+//! `Vec<Valuation>`: a grid of 10⁶ scenarios is two small `Vec`s.
+//!
+//! Three shapes are supported, all behind one type:
+//!
+//! * **Grids** ([`ScenarioSet::grid`]): a cartesian product of [`Axis`]
+//!   entries, each assigning one level to a group of variables. Later
+//!   axes vary fastest (row-major order, like nested `for` loops).
+//! * **Perturbations** ([`ScenarioSet::perturb_each`]): one scenario per
+//!   variable, nudging it off the base valuation — the input of
+//!   finite-difference sensitivity.
+//! * **Explicit lists** (`From<&[Valuation<Rat>]>` and friends): the
+//!   legacy materialized form, so every pre-grid call site keeps working.
+//!
+//! # Example
+//!
+//! A 3 × 2 grid over the paper's telephony provenance, swept through a
+//! [`CobraSession`](crate::session::CobraSession) — six scenarios
+//! evaluated on both the full and the compressed provenance in one
+//! compiled pass, and bit-identical to the materialized-vector path:
+//!
+//! ```
+//! use cobra_core::{CobraSession, ScenarioSet};
+//! use cobra_util::Rat;
+//!
+//! let mut session = CobraSession::from_text(
+//!     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+//! ).unwrap();
+//! session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+//! session.set_bound(2);
+//! session.compress().unwrap();
+//!
+//! let m3 = session.registry_mut().var("m3");
+//! let p1 = session.registry_mut().var("p1");
+//! let rat = |s: &str| Rat::parse(s).unwrap();
+//! let grid = ScenarioSet::grid()
+//!     .axis([m3], [rat("0.8"), rat("1"), rat("1.2")]) // March ±20%
+//!     .axis([p1], [rat("1"), rat("1.1")])             // plan 1 +10%
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(grid.len(), 6);
+//!
+//! let sweep = session.sweep(&grid).unwrap();
+//! assert_eq!(sweep.len(), 6);
+//! // same results as materializing every valuation up front
+//! let flat = grid.materialize(session.base_valuation());
+//! let reference = session.sweep(&flat[..]).unwrap();
+//! for i in 0..sweep.len() {
+//!     assert_eq!(sweep.comparison(i).rows, reference.comparison(i).rows);
+//! }
+//! ```
+
+use crate::error::{CoreError, Result};
+use cobra_provenance::{EvalProgram, Valuation, Var, VarRegistry};
+use cobra_util::{FxHashSet, Rat};
+
+/// How an axis level (or perturbation delta) combines with the base
+/// valuation's value for the variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisOp {
+    /// The level *replaces* the base value (`v ↦ level`) — the usual
+    /// multiplicative-factor scenario over an all-ones base.
+    Set,
+    /// The level *scales* the base value (`v ↦ base(v) × level`).
+    Scale,
+    /// The level *shifts* the base value (`v ↦ base(v) + level`) — the
+    /// finite-difference bump of sensitivity analysis.
+    Shift,
+}
+
+impl AxisOp {
+    /// Resolves a level against the base value of the variable.
+    #[inline]
+    pub fn apply(self, base: Rat, level: Rat) -> Rat {
+        match self {
+            AxisOp::Set => level,
+            AxisOp::Scale => base * level,
+            AxisOp::Shift => base + level,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            AxisOp::Set => "=",
+            AxisOp::Scale => "*=",
+            AxisOp::Shift => "+=",
+        }
+    }
+}
+
+/// One factor axis of a grid: every variable in `vars` takes the same
+/// level, and the grid enumerates all levels of all axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    vars: Vec<Var>,
+    levels: Vec<Rat>,
+    op: AxisOp,
+}
+
+impl Axis {
+    /// An axis that sets `vars` to each of `levels` in turn.
+    pub fn new(
+        vars: impl IntoIterator<Item = Var>,
+        levels: impl IntoIterator<Item = Rat>,
+    ) -> Axis {
+        Axis::with_op(vars, levels, AxisOp::Set)
+    }
+
+    /// An axis with an explicit [`AxisOp`].
+    pub fn with_op(
+        vars: impl IntoIterator<Item = Var>,
+        levels: impl IntoIterator<Item = Rat>,
+        op: AxisOp,
+    ) -> Axis {
+        Axis {
+            vars: vars.into_iter().collect(),
+            levels: levels.into_iter().collect(),
+            op,
+        }
+    }
+
+    /// `steps` evenly spaced levels from `lo` to `hi` inclusive — exact
+    /// rational spacing. Zero steps yield an empty (grid-annihilating)
+    /// axis; a single step collapses to `lo`.
+    pub fn linspace(vars: impl IntoIterator<Item = Var>, lo: Rat, hi: Rat, steps: usize) -> Axis {
+        let levels: Vec<Rat> = if steps == 0 {
+            Vec::new()
+        } else if steps == 1 {
+            vec![lo]
+        } else {
+            let width = hi - lo;
+            (0..steps)
+                .map(|k| lo + width * Rat::new(k as i128, (steps - 1) as i128))
+                .collect()
+        };
+        Axis::with_op(vars, levels, AxisOp::Set)
+    }
+
+    /// The variables moved together by this axis.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The axis levels, in enumeration order.
+    pub fn levels(&self) -> &[Rat] {
+        &self.levels
+    }
+
+    /// How levels combine with the base valuation.
+    pub fn op(&self) -> AxisOp {
+        self.op
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Explicit {
+        scenarios: Vec<Valuation<Rat>>,
+        labels: Option<Vec<String>>,
+    },
+    Grid {
+        axes: Vec<Axis>,
+        len: usize,
+    },
+    PerturbEach {
+        vars: Vec<Var>,
+        delta: Rat,
+        op: AxisOp,
+    },
+}
+
+/// A lazily enumerated family of scenarios — see the [module docs](self).
+///
+/// Scenario `i` of a set is always *leaf-level overrides relative to a
+/// base valuation*: consumers merge it over their base exactly like a
+/// sparse [`Valuation`] scenario, which [`scenario_valuation`]
+/// (ScenarioSet::scenario_valuation) makes explicit.
+#[derive(Clone, Debug)]
+pub struct ScenarioSet {
+    kind: Kind,
+}
+
+impl ScenarioSet {
+    /// Starts a grid builder (cartesian product of factor axes).
+    pub fn grid() -> GridBuilder {
+        GridBuilder { axes: Vec::new() }
+    }
+
+    /// One scenario per variable in `vars`, shifting it by `delta` off the
+    /// base valuation (all other variables unchanged) — the
+    /// finite-difference family of
+    /// [`SensitivityReport::compute_sweep`](crate::sensitivity::SensitivityReport::compute_sweep).
+    pub fn perturb_each(vars: impl IntoIterator<Item = Var>, delta: Rat) -> ScenarioSet {
+        ScenarioSet {
+            kind: Kind::PerturbEach {
+                vars: vars.into_iter().collect(),
+                delta,
+                op: AxisOp::Shift,
+            },
+        }
+    }
+
+    /// One scenario per variable in `vars`, scaling it by `factor` off the
+    /// base valuation (multiplicative perturbation).
+    pub fn scale_each(vars: impl IntoIterator<Item = Var>, factor: Rat) -> ScenarioSet {
+        ScenarioSet {
+            kind: Kind::PerturbEach {
+                vars: vars.into_iter().collect(),
+                delta: factor,
+                op: AxisOp::Scale,
+            },
+        }
+    }
+
+    /// An explicit list of scenarios (the legacy materialized form).
+    pub fn from_valuations(scenarios: Vec<Valuation<Rat>>) -> ScenarioSet {
+        ScenarioSet {
+            kind: Kind::Explicit {
+                scenarios,
+                labels: None,
+            },
+        }
+    }
+
+    /// A single scenario.
+    pub fn single(scenario: Valuation<Rat>) -> ScenarioSet {
+        ScenarioSet::from_valuations(vec![scenario])
+    }
+
+    /// Named single scenarios, e.g. the demo catalogue ("march-20pct-off",
+    /// "business-up-10pct", …). [`label`](Self::label) recovers the names.
+    pub fn named(
+        scenarios: impl IntoIterator<Item = (impl Into<String>, Valuation<Rat>)>,
+    ) -> ScenarioSet {
+        let (labels, scenarios): (Vec<String>, Vec<Valuation<Rat>>) = scenarios
+            .into_iter()
+            .map(|(name, val)| (name.into(), val))
+            .unzip();
+        ScenarioSet {
+            kind: Kind::Explicit {
+                scenarios,
+                labels: Some(labels),
+            },
+        }
+    }
+
+    /// Number of scenarios the set enumerates. A grid with no axes has
+    /// exactly one scenario (the base itself); a grid containing an axis
+    /// with no levels is empty.
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            Kind::Explicit { scenarios, .. } => scenarios.len(),
+            Kind::Grid { len, .. } => *len,
+            Kind::PerturbEach { vars, .. } => vars.len(),
+        }
+    }
+
+    /// True iff the set enumerates no scenario.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The grid axes, if this set is a grid.
+    pub fn axes(&self) -> Option<&[Axis]> {
+        match &self.kind {
+            Kind::Grid { axes, .. } => Some(axes),
+            _ => None,
+        }
+    }
+
+    /// The name of scenario `i`, if the set carries names.
+    pub fn label(&self, i: usize) -> Option<&str> {
+        match &self.kind {
+            Kind::Explicit {
+                labels: Some(labels),
+                ..
+            } => labels.get(i).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// The materialized valuation of scenario `i`: the explicit overrides
+    /// relative to `base` (no default of its own, so merging it over the
+    /// base with [`Valuation::overridden_by`] reproduces exactly what the
+    /// allocation-free binder computes). `Scale`/`Shift` levels resolve
+    /// against `base` with the projection fallback rule: a variable the
+    /// base does not bind reads the base default, or 1 if there is none.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn scenario_valuation(&self, i: usize, base: &Valuation<Rat>) -> Valuation<Rat> {
+        assert!(i < self.len(), "scenario index {i} out of range");
+        match &self.kind {
+            Kind::Explicit { scenarios, .. } => scenarios[i].clone(),
+            Kind::Grid { axes, .. } => {
+                let mut out = Valuation::new();
+                for_each_grid_digit(axes, i, |j, digit| {
+                    let axis = &axes[j];
+                    let level = axis.levels[digit];
+                    for &v in &axis.vars {
+                        out.set(v, axis.op.apply(base_value(base, v), level));
+                    }
+                });
+                out
+            }
+            Kind::PerturbEach { vars, delta, op } => {
+                let v = vars[i];
+                Valuation::new().bind(v, op.apply(base_value(base, v), *delta))
+            }
+        }
+    }
+
+    /// Materializes the whole family as a `Vec<Valuation>` — the
+    /// pre-`ScenarioSet` representation, kept for tests and interop. Costs
+    /// O(len) memory; sweeps should pass the set itself instead.
+    pub fn materialize(&self, base: &Valuation<Rat>) -> Vec<Valuation<Rat>> {
+        (0..self.len())
+            .map(|i| self.scenario_valuation(i, base))
+            .collect()
+    }
+
+    /// A human-readable description of scenario `i`, e.g. `m3=0.8, b1=1.1`
+    /// (grids render resolved ops; named scenarios render their label).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn describe(&self, i: usize, reg: &VarRegistry) -> String {
+        assert!(i < self.len(), "scenario index {i} out of range");
+        if let Some(label) = self.label(i) {
+            return label.to_owned();
+        }
+        match &self.kind {
+            Kind::Explicit { scenarios, .. } => {
+                let mut parts: Vec<String> = scenarios[i]
+                    .iter()
+                    .map(|(v, c)| format!("{}={}", reg.name(v), c))
+                    .collect();
+                parts.sort_unstable();
+                parts.join(", ")
+            }
+            Kind::Grid { axes, .. } => {
+                let mut parts = vec![String::new(); axes.len()];
+                for_each_grid_digit(axes, i, |j, digit| {
+                    let axis = &axes[j];
+                    let names: Vec<&str> =
+                        axis.vars.iter().map(|&v| reg.name(v)).collect();
+                    parts[j] = format!(
+                        "{}{}{}",
+                        names.join(","),
+                        axis.op.symbol(),
+                        axis.levels[digit]
+                    );
+                });
+                parts.join(", ")
+            }
+            Kind::PerturbEach { vars, delta, op } => {
+                format!("{}{}{}", reg.name(vars[i]), op.symbol(), delta)
+            }
+        }
+    }
+
+    /// Dispatch helper for binders: the explicit scenarios, if any.
+    pub(crate) fn explicit(&self) -> Option<&[Valuation<Rat>]> {
+        match &self.kind {
+            Kind::Explicit { scenarios, .. } => Some(scenarios),
+            _ => None,
+        }
+    }
+
+    /// Dispatch helper for binders: the perturbation family, if any.
+    pub(crate) fn perturbation(&self) -> Option<(&[Var], Rat, AxisOp)> {
+        match &self.kind {
+            Kind::PerturbEach { vars, delta, op } => Some((vars, *delta, *op)),
+            _ => None,
+        }
+    }
+}
+
+/// THE grid enumeration order, defined once: scenario `i` decomposes into
+/// one level index per axis like a mixed-radix odometer with the **last
+/// axis varying fastest** (row-major, nested-loop order). Visits
+/// `(axis index, level index)` in reverse axis order — the decode order.
+/// Every consumer (materialization, description, and both row binders)
+/// routes through this function, so the order cannot silently diverge.
+///
+/// Callers guarantee `i < Π levels` (so no axis is empty).
+pub(crate) fn for_each_grid_digit(axes: &[Axis], i: usize, mut f: impl FnMut(usize, usize)) {
+    let mut rest = i;
+    for (j, axis) in axes.iter().enumerate().rev() {
+        let digit = rest % axis.levels.len();
+        rest /= axis.levels.len();
+        f(j, digit);
+    }
+}
+
+/// The base value of `v` with the projection fallback rule: the base's
+/// default, or 1 ("unchanged") if the base has none — exactly the
+/// fallback [`assign::project_scenario`](crate::assign::project_scenario)
+/// uses when averaging groups.
+pub(crate) fn base_value(base: &Valuation<Rat>, v: Var) -> Rat {
+    base.get(v)
+        .or_else(|| base.default_value().copied())
+        .unwrap_or(Rat::ONE)
+}
+
+/// Builder for grid-shaped [`ScenarioSet`]s. Axes enumerate in insertion
+/// order with the **last axis varying fastest**.
+#[derive(Clone, Debug, Default)]
+pub struct GridBuilder {
+    axes: Vec<Axis>,
+}
+
+impl GridBuilder {
+    /// Adds an axis that sets `vars` to each of `levels`.
+    pub fn axis(
+        self,
+        vars: impl IntoIterator<Item = Var>,
+        levels: impl IntoIterator<Item = Rat>,
+    ) -> GridBuilder {
+        self.push(Axis::new(vars, levels))
+    }
+
+    /// Adds an axis that scales the base value of `vars` by each level.
+    pub fn scale_axis(
+        self,
+        vars: impl IntoIterator<Item = Var>,
+        levels: impl IntoIterator<Item = Rat>,
+    ) -> GridBuilder {
+        self.push(Axis::with_op(vars, levels, AxisOp::Scale))
+    }
+
+    /// Adds an axis that shifts the base value of `vars` by each level.
+    pub fn shift_axis(
+        self,
+        vars: impl IntoIterator<Item = Var>,
+        levels: impl IntoIterator<Item = Rat>,
+    ) -> GridBuilder {
+        self.push(Axis::with_op(vars, levels, AxisOp::Shift))
+    }
+
+    /// Adds a prebuilt [`Axis`].
+    pub fn push(mut self, axis: Axis) -> GridBuilder {
+        self.axes.push(axis);
+        self
+    }
+
+    /// Validates and builds the grid.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidScenarioGrid`] if a variable appears twice
+    /// (within one axis or across axes — overlapping axes would make the
+    /// enumeration order-dependent), or if the grid cardinality overflows
+    /// `usize`.
+    pub fn build(self) -> Result<ScenarioSet> {
+        let mut seen: FxHashSet<Var> = FxHashSet::default();
+        for axis in &self.axes {
+            for &v in &axis.vars {
+                if !seen.insert(v) {
+                    return Err(CoreError::InvalidScenarioGrid(format!(
+                        "variable Var({}) appears in more than one axis position",
+                        v.0
+                    )));
+                }
+            }
+        }
+        let mut len: usize = 1;
+        for axis in &self.axes {
+            len = len.checked_mul(axis.levels.len()).ok_or_else(|| {
+                CoreError::InvalidScenarioGrid("grid cardinality overflows usize".into())
+            })?;
+        }
+        Ok(ScenarioSet {
+            kind: Kind::Grid {
+                axes: self.axes,
+                len,
+            },
+        })
+    }
+}
+
+// Back-compat conversions for the pre-grid call shapes. Borrowed inputs
+// are cloned into the set — fine for the small explicit lists these
+// shapes carry; large families should be described as grids or
+// perturbations (O(axes) memory) or passed by value.
+impl From<&[Valuation<Rat>]> for ScenarioSet {
+    fn from(scenarios: &[Valuation<Rat>]) -> ScenarioSet {
+        ScenarioSet::from_valuations(scenarios.to_vec())
+    }
+}
+
+impl From<Vec<Valuation<Rat>>> for ScenarioSet {
+    fn from(scenarios: Vec<Valuation<Rat>>) -> ScenarioSet {
+        ScenarioSet::from_valuations(scenarios)
+    }
+}
+
+impl From<&Vec<Valuation<Rat>>> for ScenarioSet {
+    fn from(scenarios: &Vec<Valuation<Rat>>) -> ScenarioSet {
+        ScenarioSet::from_valuations(scenarios.clone())
+    }
+}
+
+impl<const N: usize> From<&[Valuation<Rat>; N]> for ScenarioSet {
+    fn from(scenarios: &[Valuation<Rat>; N]) -> ScenarioSet {
+        ScenarioSet::from_valuations(scenarios.to_vec())
+    }
+}
+
+impl From<&Valuation<Rat>> for ScenarioSet {
+    fn from(scenario: &Valuation<Rat>) -> ScenarioSet {
+        ScenarioSet::single(scenario.clone())
+    }
+}
+
+impl From<Valuation<Rat>> for ScenarioSet {
+    fn from(scenario: Valuation<Rat>) -> ScenarioSet {
+        ScenarioSet::single(scenario)
+    }
+}
+
+impl From<&ScenarioSet> for ScenarioSet {
+    fn from(set: &ScenarioSet) -> ScenarioSet {
+        set.clone()
+    }
+}
+
+/// Binds the scenarios of a [`ScenarioSet`] into rows of a single compiled
+/// [`EvalProgram`] — base row cached once, per-scenario work is a `memcpy`
+/// plus one write per override, with no allocation.
+///
+/// For the full/compressed *pair* with meta-variable projection, see
+/// [`PairBinder`](crate::scenario::PairBinder).
+pub struct RowBinder<'a> {
+    set: &'a ScenarioSet,
+    prog: &'a EvalProgram<Rat>,
+    base: &'a Valuation<Rat>,
+    base_row: Vec<Rat>,
+    /// Per axis (grids) or per variable (perturbations): the override
+    /// slots resolved to program locals once, up front.
+    slots: Vec<Vec<Slot>>,
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    local: Option<u32>,
+    base_val: Rat,
+}
+
+impl<'a> RowBinder<'a> {
+    /// Prepares a binder.
+    ///
+    /// # Panics
+    /// Panics if the base valuation does not cover every program variable
+    /// (give it a default, as assignment screens always do).
+    pub fn new(
+        set: &'a ScenarioSet,
+        prog: &'a EvalProgram<Rat>,
+        base: &'a Valuation<Rat>,
+    ) -> RowBinder<'a> {
+        let base_row = prog.bind(base).expect("base valuation must be total");
+        let slot = |v: Var| Slot {
+            local: prog.local_of(v),
+            base_val: base_value(base, v),
+        };
+        let slots: Vec<Vec<Slot>> = match &set.kind {
+            Kind::Explicit { .. } => Vec::new(),
+            Kind::Grid { axes, .. } => axes
+                .iter()
+                .map(|axis| axis.vars.iter().map(|&v| slot(v)).collect())
+                .collect(),
+            Kind::PerturbEach { vars, .. } => {
+                vec![vars.iter().map(|&v| slot(v)).collect()]
+            }
+        };
+        RowBinder {
+            set,
+            prog,
+            base,
+            base_row,
+            slots,
+        }
+    }
+
+    /// Scenario row width (`num_locals` of the program).
+    pub fn width(&self) -> usize {
+        self.base_row.len()
+    }
+
+    /// Binds scenario `i` into `row`.
+    ///
+    /// # Panics
+    /// Panics if `i >= set.len()` or `row.len() != width()`.
+    pub fn bind_into(&self, i: usize, row: &mut [Rat]) {
+        match &self.set.kind {
+            Kind::Explicit { scenarios, .. } => {
+                let merged = self.base.overridden_by(&scenarios[i]);
+                self.prog
+                    .bind_into(&merged, row)
+                    .expect("scenario valuation must be total");
+            }
+            Kind::Grid { axes, .. } => {
+                assert!(i < self.set.len(), "scenario index {i} out of range");
+                row.copy_from_slice(&self.base_row);
+                for_each_grid_digit(axes, i, |j, digit| {
+                    let axis = &axes[j];
+                    let level = axis.levels[digit];
+                    for s in &self.slots[j] {
+                        if let Some(local) = s.local {
+                            row[local as usize] = axis.op.apply(s.base_val, level);
+                        }
+                    }
+                });
+            }
+            Kind::PerturbEach { vars, delta, op } => {
+                assert!(i < vars.len(), "scenario index {i} out of range");
+                row.copy_from_slice(&self.base_row);
+                let s = self.slots[0][i];
+                if let Some(local) = s.local {
+                    row[local as usize] = op.apply(s.base_val, *delta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    #[test]
+    fn grid_cardinality_and_row_major_order() {
+        let grid = ScenarioSet::grid()
+            .axis([Var(0)], [rat("1"), rat("2")])
+            .axis([Var(1)], [rat("10"), rat("20"), rat("30")])
+            .build()
+            .unwrap();
+        assert_eq!(grid.len(), 6);
+        let base = Valuation::with_default(Rat::ONE);
+        // last axis fastest: (1,10), (1,20), (1,30), (2,10), …
+        let expect = [
+            ("1", "10"),
+            ("1", "20"),
+            ("1", "30"),
+            ("2", "10"),
+            ("2", "20"),
+            ("2", "30"),
+        ];
+        for (i, (a, b)) in expect.iter().enumerate() {
+            let val = grid.scenario_valuation(i, &base);
+            assert_eq!(val.get(Var(0)), Some(rat(a)), "scenario {i}");
+            assert_eq!(val.get(Var(1)), Some(rat(b)), "scenario {i}");
+            assert_eq!(val.len(), 2);
+            assert!(val.default_value().is_none());
+        }
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid_and_no_axes_mean_identity() {
+        let empty = ScenarioSet::grid()
+            .axis([Var(0)], [])
+            .axis([Var(1)], [Rat::ONE])
+            .build()
+            .unwrap();
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+
+        let identity = ScenarioSet::grid().build().unwrap();
+        assert_eq!(identity.len(), 1);
+        let val = identity.scenario_valuation(0, &Valuation::with_default(Rat::ONE));
+        assert!(val.is_empty());
+    }
+
+    #[test]
+    fn overlapping_axes_are_rejected() {
+        let err = ScenarioSet::grid()
+            .axis([Var(0), Var(1)], [Rat::ONE])
+            .axis([Var(1)], [Rat::ONE])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidScenarioGrid(_)));
+        let err = ScenarioSet::grid()
+            .axis([Var(2), Var(2)], [Rat::ONE])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidScenarioGrid(_)));
+    }
+
+    #[test]
+    fn scale_and_shift_resolve_against_base() {
+        let base = Valuation::with_default(Rat::ONE).bind(Var(0), rat("4"));
+        let grid = ScenarioSet::grid()
+            .scale_axis([Var(0)], [rat("0.5")])
+            .shift_axis([Var(1)], [rat("3")])
+            .build()
+            .unwrap();
+        let val = grid.scenario_valuation(0, &base);
+        assert_eq!(val.get(Var(0)), Some(rat("2"))); // 4 × 0.5
+        assert_eq!(val.get(Var(1)), Some(rat("4"))); // 1 + 3
+    }
+
+    #[test]
+    fn perturb_each_is_one_scenario_per_var() {
+        let base = Valuation::with_default(rat("2"));
+        let set = ScenarioSet::perturb_each([Var(0), Var(5)], rat("0.25"));
+        assert_eq!(set.len(), 2);
+        let s0 = set.scenario_valuation(0, &base);
+        assert_eq!(s0.get(Var(0)), Some(rat("2.25")));
+        assert_eq!(s0.get_explicit(Var(5)), None);
+        let s1 = set.scenario_valuation(1, &base);
+        assert_eq!(s1.get(Var(5)), Some(rat("2.25")));
+
+        let scaled = ScenarioSet::scale_each([Var(0)], rat("1.1"));
+        assert_eq!(
+            scaled.scenario_valuation(0, &base).get(Var(0)),
+            Some(rat("2.2"))
+        );
+    }
+
+    #[test]
+    fn named_sets_carry_labels() {
+        let set = ScenarioSet::named([
+            ("march", Valuation::with_default(Rat::ONE).bind(Var(0), rat("0.8"))),
+            ("base", Valuation::with_default(Rat::ONE)),
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.label(0), Some("march"));
+        assert_eq!(set.label(1), Some("base"));
+        assert_eq!(set.label(2), None);
+        let mut reg = VarRegistry::new();
+        reg.var("x");
+        assert_eq!(set.describe(0, &reg), "march");
+    }
+
+    #[test]
+    fn describe_renders_grid_points() {
+        let mut reg = VarRegistry::new();
+        let m3 = reg.var("m3");
+        let b = reg.var("b1");
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("1.2")])
+            .scale_axis([b], [rat("1.1")])
+            .build()
+            .unwrap();
+        assert_eq!(grid.describe(1, &reg), "m3=1.2, b1*=1.1");
+    }
+
+    #[test]
+    fn from_impls_cover_legacy_shapes() {
+        let vals = vec![
+            Valuation::with_default(Rat::ONE),
+            Valuation::with_default(Rat::ONE).bind(Var(0), rat("2")),
+        ];
+        assert_eq!(ScenarioSet::from(&vals[..]).len(), 2);
+        assert_eq!(ScenarioSet::from(&vals).len(), 2);
+        assert_eq!(ScenarioSet::from(vals.clone()).len(), 2);
+        assert_eq!(ScenarioSet::from(&vals[0]).len(), 1);
+        let set = ScenarioSet::from(vals.clone());
+        assert_eq!(ScenarioSet::from(&set).len(), 2);
+        // explicit sets materialize to themselves
+        let base = Valuation::with_default(Rat::ONE);
+        assert_eq!(set.materialize(&base), vals);
+    }
+
+    #[test]
+    fn linspace_is_inclusive_and_exact() {
+        let axis = Axis::linspace([Var(0)], rat("0.8"), rat("1.2"), 5);
+        assert_eq!(
+            axis.levels(),
+            &[rat("0.8"), rat("0.9"), rat("1"), rat("1.1"), rat("1.2")]
+        );
+        assert_eq!(Axis::linspace([Var(0)], rat("3"), rat("9"), 1).levels(), &[rat("3")]);
+        assert!(Axis::linspace([Var(0)], rat("3"), rat("9"), 0).levels().is_empty());
+    }
+}

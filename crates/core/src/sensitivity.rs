@@ -11,8 +11,9 @@
 //! so the report doubles as guidance for building abstraction trees (the
 //! paper leaves tree construction to the user's domain knowledge).
 
+use crate::scenario_set::{RowBinder, ScenarioSet};
 use cobra_provenance::{BatchEvaluator, EvalProgram, PolySet, Valuation, Var, VarRegistry};
-use cobra_util::{par, Rat, Table};
+use cobra_util::{Rat, Table};
 
 /// Sensitivity of every variable, sorted descending.
 #[derive(Clone, Debug)]
@@ -75,11 +76,11 @@ impl SensitivityReport {
     }
 
     /// Finite-difference sensitivity through a **batched scenario sweep**:
-    /// one scenario per variable (its value bumped by `delta`), all
-    /// evaluated in a single compiled pass, ranked by
-    /// `Σ |P(v + δ) − P(v)| / δ`. For multilinear provenance (every
-    /// exponent 1, the common case for SPJ provenance) this equals the
-    /// derivative ranking exactly.
+    /// a [`ScenarioSet::perturb_each`] family (one scenario per variable,
+    /// its value bumped by `delta`) streamed through the compiled engine
+    /// and ranked by `Σ |P(v + δ) − P(v)| / δ`. For multilinear provenance
+    /// (every exponent 1, the common case for SPJ provenance) this equals
+    /// the derivative ranking exactly.
     ///
     /// # Panics
     /// Panics if `delta` is zero or `val` is not total over `set`.
@@ -90,29 +91,14 @@ impl SensitivityReport {
     ) -> SensitivityReport {
         assert!(!delta.is_zero(), "delta must be nonzero");
         let evaluator = BatchEvaluator::compile(set);
-        let base_row = evaluator
-            .program()
-            .bind(val)
-            .expect("sensitivity requires a total valuation");
         let vars: Vec<Var> = evaluator.program().vars().to_vec();
-        let base = evaluator.program().eval_scenario(&base_row);
-        // One bumped scenario per variable. Rows are materialized lazily
-        // inside the parallel map (each differs from the base in a single
-        // entry), keeping memory at O(threads · |vars|) instead of
-        // O(|vars|²).
-        let indices: Vec<usize> = (0..vars.len()).collect();
-        let scores = par::par_map(&indices, |_, &i| {
-            let mut row = base_row.clone();
-            row[i] += delta;
-            evaluator
-                .program()
-                .eval_scenario(&row)
-                .iter()
-                .zip(&base)
-                .map(|(bumped, b)| (*bumped - *b).abs() / delta.abs())
-                .sum::<Rat>()
-        });
-        let mut ranking: Vec<(Var, Rat)> = vars.into_iter().zip(scores).collect();
+        let family = ScenarioSet::perturb_each(vars.iter().copied(), delta);
+        let impacts = impacts_against(&evaluator, val, &family);
+        let mut ranking: Vec<(Var, Rat)> = vars
+            .into_iter()
+            .zip(impacts)
+            .map(|(v, impact)| (v, impact / delta.abs()))
+            .collect();
         // Variables absent from the program (possible when `set` came from
         // a wider registry) have zero sensitivity and are simply omitted,
         // matching `compute` which only ranks occurring variables.
@@ -142,6 +128,71 @@ impl SensitivityReport {
         }
         t
     }
+}
+
+/// The aggregate impact of every scenario in a family: `Σ over result
+/// tuples of |P(scenario) − P(base)|`, in the set's enumeration order.
+/// Accepts anything convertible to a [`ScenarioSet`] — grids and
+/// perturbation families stream through the compiled engine without
+/// materializing per-scenario valuations, so ranking a 10⁵-point grid by
+/// how much it moves the results is O(axes) extra memory.
+///
+/// # Panics
+/// Panics if `val` is not total over `set` (give it a default).
+pub fn scenario_impacts(
+    set: &PolySet<Rat>,
+    val: &Valuation<Rat>,
+    scenarios: impl Into<ScenarioSet>,
+) -> Vec<Rat> {
+    let family = scenarios.into();
+    let evaluator = BatchEvaluator::compile(set);
+    impacts_against(&evaluator, val, &family)
+}
+
+/// Block-streamed impact computation against an already-compiled engine.
+fn impacts_against(
+    evaluator: &BatchEvaluator<Rat>,
+    val: &Valuation<Rat>,
+    family: &ScenarioSet,
+) -> Vec<Rat> {
+    let prog = evaluator.program();
+    let base_row = prog
+        .bind(val)
+        .expect("sensitivity requires a total valuation");
+    let base = prog.eval_scenario(&base_row);
+    let np = prog.num_polys();
+    let n = family.len();
+    let binder = RowBinder::new(family, prog, val);
+    // Cap the block so the row buffers stay around a megabyte of values
+    // even for very wide programs (10⁵+ variables): peak memory is
+    // O(block × width), not O(n × width).
+    let block = (1usize << 20)
+        .checked_div(base_row.len())
+        .unwrap_or(1024)
+        .clamp(1, 1024)
+        .min(n.max(1));
+    let mut rows: Vec<Vec<Rat>> = (0..block).map(|_| base_row.clone()).collect();
+    let mut out = vec![Rat::ZERO; block * np];
+    let mut impacts = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let width = block.min(n - start);
+        for (k, row) in rows[..width].iter_mut().enumerate() {
+            binder.bind_into(start + k, row);
+        }
+        evaluator.eval_batch_into(&rows[..width], &mut out[..width * np]);
+        for k in 0..width {
+            impacts.push(
+                out[k * np..(k + 1) * np]
+                    .iter()
+                    .zip(&base)
+                    .map(|(bumped, b)| (*bumped - *b).abs())
+                    .sum::<Rat>(),
+            );
+        }
+        start += width;
+    }
+    impacts
 }
 
 #[cfg(test)]
@@ -216,6 +267,26 @@ mod tests {
             let sweep = SensitivityReport::compute_sweep(&set, &val, rat(delta));
             assert_eq!(scalar.ranking, sweep.ranking, "delta {delta}");
         }
+    }
+
+    #[test]
+    fn scenario_impacts_rank_grid_points() {
+        let mut reg = VarRegistry::new();
+        let set = parse_polyset("P = 10*a + 1*b", &mut reg).unwrap();
+        let a = reg.lookup("a").unwrap();
+        let b = reg.lookup("b").unwrap();
+        let ones = Valuation::with_default(Rat::ONE);
+        let grid = crate::scenario_set::ScenarioSet::grid()
+            .axis([a], [rat("1"), rat("2")])
+            .axis([b], [rat("1"), rat("3")])
+            .build()
+            .unwrap();
+        let impacts = scenario_impacts(&set, &ones, &grid);
+        // |Δ| per grid point: (a,b) ∈ {(1,1),(1,3),(2,1),(2,3)}
+        assert_eq!(impacts, vec![rat("0"), rat("2"), rat("10"), rat("12")]);
+        // explicit lists work through the same surface
+        let flat = grid.materialize(&ones);
+        assert_eq!(scenario_impacts(&set, &ones, &flat[..]), impacts);
     }
 
     #[test]

@@ -21,9 +21,8 @@ use crate::cut::MetaVar;
 use crate::error::{CoreError, Result};
 use crate::multi::{optimize_forest_descent, optimize_single_tree};
 use crate::report::CompressionReport;
-use crate::scenario::{
-    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, ScenarioSweep,
-};
+use crate::scenario::{measure_sweep_speedup, CompiledComparison, ScenarioSweep};
+use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
 use cobra_provenance::{BatchEvaluator, PolySet, ProvenanceStats, Valuation, VarRegistry};
 use cobra_util::Rat;
@@ -48,6 +47,15 @@ pub struct CobraSession {
     base_valuation: Valuation<Rat>,
     trees: Vec<AbstractionTree>,
     bound: Option<u64>,
+    /// Exact compiled engine over the full provenance. The input
+    /// polynomials never change after construction, so this is compiled
+    /// once per session (lazily, on first compression) and *shared* with
+    /// every [`Compressed`] state — recompressing under a new bound only
+    /// compiles the compressed side.
+    full_rat: OnceCell<BatchEvaluator<Rat>>,
+    /// `f64` shadow of the full-side engine for the timing fast path,
+    /// likewise session-invariant and built on first use.
+    full_f64: OnceCell<BatchEvaluator<f64>>,
     compressed: Option<Compressed>,
     trace: Vec<String>,
     trace_enabled: bool,
@@ -56,25 +64,14 @@ pub struct CobraSession {
 struct Compressed {
     applied: AppliedAbstraction<Rat>,
     cuts_display: Vec<String>,
-    /// Exact batched engines over the full and compressed provenance,
-    /// compiled once per compression and reused by every assignment.
+    /// Exact batched engines over the full and compressed provenance; the
+    /// full side shares the session's cached program (cheap `Arc` clone),
+    /// only the compressed side is compiled per compression.
     engines: CompiledComparison,
-    /// `f64` shadows of the engines for the timing fast path, built
-    /// lazily on the first speedup measurement (assign/sweep-only
+    /// `f64` shadow of the compressed engine for the timing fast path,
+    /// built lazily on the first speedup measurement (assign/sweep-only
     /// sessions never pay for the copy).
-    f64_engines: OnceCell<(BatchEvaluator<f64>, BatchEvaluator<f64>)>,
-}
-
-impl Compressed {
-    fn f64_engines(&self) -> (&BatchEvaluator<f64>, &BatchEvaluator<f64>) {
-        let (full, compressed) = self.f64_engines.get_or_init(|| {
-            (
-                BatchEvaluator::new(self.engines.full.program().to_f64_program()),
-                BatchEvaluator::new(self.engines.compressed.program().to_f64_program()),
-            )
-        });
-        (full, compressed)
-    }
+    comp_f64: OnceCell<BatchEvaluator<f64>>,
 }
 
 impl CobraSession {
@@ -87,10 +84,34 @@ impl CobraSession {
             base_valuation: Valuation::with_default(Rat::ONE),
             trees: Vec::new(),
             bound: None,
+            full_rat: OnceCell::new(),
+            full_f64: OnceCell::new(),
             compressed: None,
             trace: Vec::new(),
             trace_enabled: false,
         }
+    }
+
+    /// The session-invariant compiled engine over the full provenance
+    /// (compiled on first use, shared by every compression).
+    fn full_engine(&self) -> &BatchEvaluator<Rat> {
+        self.full_rat
+            .get_or_init(|| BatchEvaluator::compile(&self.polys))
+    }
+
+    /// The `f64` timing shadows: session-cached full side, per-compression
+    /// compressed side.
+    fn f64_engines<'a>(
+        &'a self,
+        state: &'a Compressed,
+    ) -> (&'a BatchEvaluator<f64>, &'a BatchEvaluator<f64>) {
+        let full = self.full_f64.get_or_init(|| {
+            BatchEvaluator::new(self.full_engine().program().to_f64_program())
+        });
+        let compressed = state.comp_f64.get_or_init(|| {
+            BatchEvaluator::new(state.engines.compressed.program().to_f64_program())
+        });
+        (full, compressed)
     }
 
     /// Parses polynomials from the text interchange format and starts a
@@ -139,6 +160,11 @@ impl CobraSession {
     /// change").
     pub fn set_base_valuation(&mut self, val: Valuation<Rat>) {
         self.base_valuation = val;
+    }
+
+    /// The current base valuation.
+    pub fn base_valuation(&self) -> &Valuation<Rat> {
+        &self.base_valuation
     }
 
     /// Registers an abstraction tree.
@@ -219,12 +245,17 @@ impl CobraSession {
             cuts: cuts_display.clone(),
             speedup: None,
         };
-        let engines = CompiledComparison::compile(&self.polys, &applied.compressed);
+        // The full-side program is session-invariant: reuse the cached
+        // engine (an `Arc` clone) and compile only the compressed side.
+        let engines = CompiledComparison::from_engines(
+            self.full_engine().clone(),
+            BatchEvaluator::compile(&applied.compressed),
+        );
         self.compressed = Some(Compressed {
             applied,
             cuts_display,
             engines,
-            f64_engines: OnceCell::new(),
+            comp_f64: OnceCell::new(),
         });
         Ok(report)
     }
@@ -279,43 +310,67 @@ impl CobraSession {
             .collect())
     }
 
-    /// Evaluates a **leaf-level** scenario on both the full and the
+    /// Evaluates a single **leaf-level** scenario on both the full and the
     /// compressed provenance (the scenario is projected onto the
     /// meta-variables by group averaging) and returns the side-by-side
-    /// results.
-    pub fn assign(&self, scenario: &Valuation<Rat>) -> Result<ResultComparison> {
+    /// results. Accepts anything convertible to a one-scenario
+    /// [`ScenarioSet`] — typically `&Valuation<Rat>`.
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run or the set does not contain
+    /// exactly one scenario (use [`sweep`](Self::sweep) for families).
+    pub fn assign(&self, scenario: impl Into<ScenarioSet>) -> Result<ResultComparison> {
         // A one-scenario sweep: the single-assignment screen runs through
         // the same compiled engine as the batched explorer.
-        let mut sweep = self.sweep(std::slice::from_ref(scenario))?;
-        Ok(sweep.comparisons.remove(0))
+        let set = scenario.into();
+        if set.len() != 1 {
+            return Err(CoreError::Session(format!(
+                "assign takes exactly one scenario, got {}; use sweep for families",
+                set.len()
+            )));
+        }
+        Ok(self.sweep(set)?.comparison(0))
     }
 
-    /// Evaluates a whole batch of **leaf-level** scenarios in one compiled
-    /// pass over both the full and the compressed provenance (the
-    /// interactive explorer's bulk what-if screen). Results are exact and
-    /// ordered like the input.
-    pub fn sweep(&self, scenarios: &[Valuation<Rat>]) -> Result<ScenarioSweep> {
+    /// Evaluates a whole family of **leaf-level** scenarios in one
+    /// compiled pass over both the full and the compressed provenance (the
+    /// interactive explorer's bulk what-if screen). Accepts anything
+    /// convertible to a [`ScenarioSet`]: grids and perturbation families
+    /// stream straight into the batch kernels without materializing
+    /// per-scenario valuations, flat `&[Valuation]` slices keep working.
+    /// Results are exact and ordered like the set's enumeration.
+    pub fn sweep(&self, scenarios: impl Into<ScenarioSet>) -> Result<ScenarioSweep> {
         let state = self.compressed_state()?;
-        Ok(sweep_full_vs_compressed(
-            &state.engines,
+        Ok(state.engines.sweep(
             &state.applied.meta_vars,
             &self.base_valuation,
-            scenarios,
+            &scenarios.into(),
         ))
     }
 
-    /// Evaluates a **meta-level** assignment directly (the user typed
-    /// values into the Fig. 5 screen). The full provenance is evaluated
-    /// under the expansion of the meta values to their leaves, so the
-    /// comparison isolates compression loss (zero here by construction).
-    pub fn assign_meta(&self, meta_scenario: &Valuation<Rat>) -> Result<ResultComparison> {
+    /// Evaluates a single **meta-level** assignment directly (the user
+    /// typed values into the Fig. 5 screen). The full provenance is
+    /// evaluated under the expansion of the meta values to their leaves,
+    /// so the comparison isolates compression loss (zero here by
+    /// construction). Scenario-set levels resolve against the default
+    /// meta-valuation (group averages over the base).
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run or the set does not contain
+    /// exactly one scenario.
+    pub fn assign_meta(&self, meta_scenario: impl Into<ScenarioSet>) -> Result<ResultComparison> {
         let state = self.compressed_state()?;
+        let set = meta_scenario.into();
+        if set.len() != 1 {
+            return Err(CoreError::Session(format!(
+                "assign_meta takes exactly one scenario, got {}",
+                set.len()
+            )));
+        }
         let defaults =
             assign::default_meta_valuation(&state.applied.meta_vars, &self.base_valuation);
-        let meta_val = self
-            .base_valuation
-            .overridden_by(&defaults)
-            .overridden_by(meta_scenario);
+        let meta_base = self.base_valuation.overridden_by(&defaults);
+        let meta_val = meta_base.overridden_by(&set.scenario_valuation(0, &meta_base));
         let leaf_val = self
             .base_valuation
             .overridden_by(&assign::expand_to_leaves(&state.applied.meta_vars, &meta_val));
@@ -348,42 +403,32 @@ impl CobraSession {
         warmup: usize,
         runs: usize,
     ) -> Result<SpeedupMeasurement> {
-        self.measure_batch_speedup(std::slice::from_ref(scenario), warmup, runs)
+        self.measure_batch_speedup(scenario, warmup, runs)
     }
 
-    /// Measures the assignment speedup over a whole scenario batch: both
+    /// Measures the assignment speedup over a whole scenario family: both
     /// sides are evaluated by the same compiled batch engine, so the
     /// full-vs-compressed comparison isolates provenance size (the paper's
-    /// variable) from evaluation machinery.
+    /// variable) from evaluation machinery. Accepts anything convertible
+    /// to a [`ScenarioSet`]; rows are bound once up front (timing covers
+    /// evaluation only).
     pub fn measure_batch_speedup(
         &self,
-        scenarios: &[Valuation<Rat>],
+        scenarios: impl Into<ScenarioSet>,
         warmup: usize,
         runs: usize,
     ) -> Result<SpeedupMeasurement> {
         let state = self.compressed_state()?;
-        let (full_f64, compressed_f64) = state.f64_engines();
-        let mut full_rows = Vec::with_capacity(scenarios.len());
-        let mut comp_rows = Vec::with_capacity(scenarios.len());
-        for scenario in scenarios {
-            let (leaf_val, meta_val) = crate::scenario::project_pair(
-                &state.applied.meta_vars,
-                &self.base_valuation,
-                scenario,
-            );
-            full_rows.push(
-                full_f64
-                    .program()
-                    .bind(&leaf_val.map(|c| c.to_f64()))
-                    .expect("leaf valuation must be total"),
-            );
-            comp_rows.push(
-                compressed_f64
-                    .program()
-                    .bind(&meta_val.map(|c| c.to_f64()))
-                    .expect("meta valuation must be total"),
-            );
-        }
+        let (full_f64, compressed_f64) = self.f64_engines(state);
+        let set = scenarios.into();
+        // Exact projection, f64 rows: the shadow programs share the exact
+        // programs' variable numbering.
+        let (full_rows, comp_rows) = state.engines.bind_rows(
+            &state.applied.meta_vars,
+            &self.base_valuation,
+            &set,
+            |r| r.to_f64(),
+        );
         Ok(measure_sweep_speedup(
             full_f64,
             compressed_f64,
@@ -517,14 +562,64 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         let sweep = s.sweep(&scenarios).unwrap();
         assert_eq!(sweep.len(), 20);
         // every batched row equals the single-assignment path
-        for (scenario, cmp) in scenarios.iter().zip(&sweep.comparisons) {
+        for (scenario, cmp) in scenarios.iter().zip(sweep.comparisons()) {
             let single = s.assign(scenario).unwrap();
             assert_eq!(single.rows, cmp.rows);
         }
         // scenario 0 leaves b1 at 1 → aligned, exact; later ones perturb
         // b1 alone inside the Business group → lossy
-        assert!(sweep.comparisons[0].is_exact());
-        assert!(!sweep.comparisons[10].is_exact());
+        assert!(sweep.comparison(0).is_exact());
+        assert!(!sweep.comparison(10).is_exact());
+    }
+
+    #[test]
+    fn grid_sweep_through_session_matches_assign() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let b1 = s.registry_mut().var("b1");
+        let grid = ScenarioSet::grid()
+            .axis([m3], (0..5).map(|i| Rat::ONE - Rat::new(i, 20)).collect::<Vec<_>>())
+            .axis([b1], [rat("1"), rat("1.1")])
+            .build()
+            .unwrap();
+        let sweep = s.sweep(&grid).unwrap();
+        assert_eq!(sweep.len(), 10);
+        for i in 0..grid.len() {
+            let materialized = grid.scenario_valuation(i, s.base_valuation());
+            let single = s.assign(&materialized).unwrap();
+            assert_eq!(single.rows, sweep.comparison(i).rows, "scenario {i}");
+        }
+        // grids feed the timing path too
+        let m = s.measure_batch_speedup(&grid, 0, 1).unwrap();
+        assert_eq!(m.full_size, 14);
+    }
+
+    #[test]
+    fn assign_rejects_multi_scenario_sets() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let scenarios =
+            [Valuation::with_default(Rat::ONE), Valuation::with_default(Rat::ONE)];
+        assert!(matches!(s.assign(&scenarios[..]), Err(CoreError::Session(_))));
+        assert!(matches!(
+            s.assign_meta(&scenarios[..]),
+            Err(CoreError::Session(_))
+        ));
+    }
+
+    #[test]
+    fn recompression_reuses_the_full_side_program() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let first = s.abstraction().unwrap().compressed.clone();
+        let full_before: *const _ = s.compressed.as_ref().unwrap().engines.full.program();
+        s.set_bound(4);
+        s.compress().unwrap();
+        let full_after: *const _ = s.compressed.as_ref().unwrap().engines.full.program();
+        // same Arc'd program, not a recompilation
+        assert_eq!(full_before, full_after);
+        assert_ne!(first.total_monomials(), s.abstraction().unwrap().compressed.total_monomials());
     }
 
     #[test]

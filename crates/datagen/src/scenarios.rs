@@ -4,8 +4,15 @@
 //! variables: "what if the ppm of all plans decreased by 20% on March?"
 //! is `m3 ↦ 0.8`; "what if the business plans increased by 10%?" is
 //! `{b1, b2, e} ↦ 1.1` (paper §2, Example 1).
+//!
+//! Beyond the four single scenarios the demo walks through, this module
+//! emits scenario **grids** ([`telephony_grid`],
+//! [`telephony_scenario_set`]): cartesian products of the demo's factor
+//! axes, described as [`ScenarioSet`]s in O(axes) memory so sweeps of
+//! 10⁵+ scenarios never materialize per-scenario valuations.
 
-use cobra_provenance::{Valuation, VarRegistry};
+use cobra_core::scenario_set::{Axis, ScenarioSet};
+use cobra_provenance::{Valuation, Var, VarRegistry};
 use cobra_util::Rat;
 
 /// A named multiplicative what-if scenario.
@@ -28,6 +35,18 @@ impl Scenario {
             val.set(reg.var(name), *factor);
         }
         val
+    }
+
+    /// The variables this scenario moves, registering any missing ones.
+    pub fn vars(&self, reg: &mut VarRegistry) -> Vec<Var> {
+        self.factors.iter().map(|(name, _)| reg.var(name)).collect()
+    }
+
+    /// The scenario as one grid axis: its variable group swept over
+    /// `levels` instead of pinned at the single demo factor. Composing
+    /// axes from several scenarios yields the explorer's grid.
+    pub fn axis(&self, reg: &mut VarRegistry, levels: impl IntoIterator<Item = Rat>) -> Axis {
+        Axis::new(self.vars(reg), levels)
     }
 }
 
@@ -95,6 +114,46 @@ pub fn telephony_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The demonstration catalogue as a named [`ScenarioSet`] — the four
+/// single scenarios behind one sweepable surface (labels preserved).
+pub fn telephony_scenario_set(reg: &mut VarRegistry) -> ScenarioSet {
+    ScenarioSet::named(
+        telephony_scenarios()
+            .into_iter()
+            .map(|s| (s.name, s.valuation(reg))),
+    )
+}
+
+/// The explorer's scenario **grid**: the demo's three disjoint factor
+/// groups — the March month (`m3`), the business plans (`b1, b2, e`) and
+/// the standard plans (`p1, p2`) — each swept over `steps` evenly spaced
+/// factors (March ±20%, plans ±10%), giving `steps³` scenarios described
+/// in O(1) memory. `steps = 47` yields a 103 823-scenario grid.
+pub fn telephony_grid(reg: &mut VarRegistry, steps: usize) -> ScenarioSet {
+    let rat = |s: &str| Rat::parse(s).expect("grid bound literal");
+    ScenarioSet::grid()
+        .push(Axis::linspace(
+            march_discount().vars(reg),
+            rat("0.8"),
+            rat("1.2"),
+            steps,
+        ))
+        .push(Axis::linspace(
+            business_increase().vars(reg),
+            rat("0.9"),
+            rat("1.1"),
+            steps,
+        ))
+        .push(Axis::linspace(
+            [reg.var("p1"), reg.var("p2")],
+            rat("0.9"),
+            rat("1.1"),
+            steps,
+        ))
+        .build()
+        .expect("telephony grid axes are disjoint")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +174,40 @@ mod tests {
         for name in ["b1", "b2", "e"] {
             assert_eq!(val.get(reg.lookup(name).unwrap()), Some(rat("1.1")));
         }
+    }
+
+    #[test]
+    fn scenario_set_carries_catalogue_labels() {
+        let mut reg = VarRegistry::new();
+        let set = telephony_scenario_set(&mut reg);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.label(0), Some("march-20pct-off"));
+        let m3 = reg.lookup("m3").unwrap();
+        let base = Valuation::with_default(Rat::ONE);
+        assert_eq!(set.scenario_valuation(0, &base).get(m3), Some(rat("0.8")));
+    }
+
+    #[test]
+    fn telephony_grid_scales_as_steps_cubed() {
+        let mut reg = VarRegistry::new();
+        let grid = telephony_grid(&mut reg, 5);
+        assert_eq!(grid.len(), 125);
+        let axes = grid.axes().unwrap();
+        assert_eq!(axes.len(), 3);
+        assert_eq!(axes[0].levels().first(), Some(&rat("0.8")));
+        assert_eq!(axes[0].levels().last(), Some(&rat("1.2")));
+        assert_eq!(axes[1].vars().len(), 3); // b1, b2, e move together
+        // a 10^5+ grid is still just three axes
+        let big = telephony_grid(&mut VarRegistry::new(), 47);
+        assert_eq!(big.len(), 103_823);
+    }
+
+    #[test]
+    fn scenario_axis_reuses_the_factor_group() {
+        let mut reg = VarRegistry::new();
+        let axis = business_increase().axis(&mut reg, [rat("0.9"), rat("1.1")]);
+        assert_eq!(axis.vars().len(), 3);
+        assert_eq!(axis.levels().len(), 2);
     }
 
     #[test]

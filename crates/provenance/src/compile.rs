@@ -28,7 +28,8 @@ use crate::poly::Coeff;
 use crate::polyset::PolySet;
 use crate::valuation::{DenseValuation, Valuation};
 use crate::var::Var;
-use cobra_util::{par, FxHashMap, Rat};
+use cobra_util::{par, DenseRemap, Rat};
+use std::sync::Arc;
 
 /// Number of scenarios evaluated together by the `f64` lane kernel — one
 /// parallel work item. 64 lanes keep the per-term working set (512 B per
@@ -57,8 +58,9 @@ pub struct EvalProgram<C: Coeff> {
     exps: Vec<u32>,
     /// Local index → global variable.
     locals: Vec<Var>,
-    /// Global variable → local index.
-    local_of: FxHashMap<Var, u32>,
+    /// Global variable → local index: a registry-scoped dense table, so
+    /// lookups are one indexed load and binding performs no hashing.
+    local_of: DenseRemap,
 }
 
 impl<C: Coeff> EvalProgram<C> {
@@ -72,7 +74,7 @@ impl<C: Coeff> EvalProgram<C> {
         let mut var_ids = Vec::new();
         let mut exps = Vec::new();
         let mut locals = Vec::new();
-        let mut local_of: FxHashMap<Var, u32> = FxHashMap::default();
+        let mut local_of = DenseRemap::new();
 
         poly_offsets.push(0);
         for (label, poly) in set.iter() {
@@ -80,10 +82,10 @@ impl<C: Coeff> EvalProgram<C> {
             for (m, c) in poly.iter() {
                 coeffs.push(c.clone());
                 for (v, e) in m.iter() {
-                    let local = *local_of.entry(v).or_insert_with(|| {
+                    let (local, fresh) = local_of.get_or_insert(v.0);
+                    if fresh {
                         locals.push(v);
-                        (locals.len() - 1) as u32
-                    });
+                    }
                     var_ids.push(local);
                     exps.push(e);
                 }
@@ -136,7 +138,7 @@ impl<C: Coeff> EvalProgram<C> {
 
     /// Local index of a global variable, if it occurs in the program.
     pub fn local_of(&self, v: Var) -> Option<u32> {
-        self.local_of.get(&v).copied()
+        self.local_of.get(v.0)
     }
 
     /// Compiles a sparse valuation into a scenario row (`num_locals`
@@ -145,15 +147,41 @@ impl<C: Coeff> EvalProgram<C> {
     /// # Errors
     /// Returns the first program variable the valuation does not cover.
     pub fn bind(&self, val: &Valuation<C>) -> Result<Vec<C>, Var> {
-        self.locals
-            .iter()
-            .map(|&v| val.get(v).ok_or(v))
-            .collect()
+        let mut row = vec![C::zero(); self.num_locals()];
+        self.bind_into(val, &mut row)?;
+        Ok(row)
+    }
+
+    /// [`bind`](Self::bind) into a caller-provided row buffer — the
+    /// allocation-free path scenario sweeps stream rows through.
+    ///
+    /// # Errors
+    /// Returns the first program variable the valuation does not cover.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_locals()`.
+    pub fn bind_into(&self, val: &Valuation<C>, row: &mut [C]) -> Result<(), Var> {
+        assert_eq!(row.len(), self.num_locals(), "scenario row width");
+        for (slot, &v) in row.iter_mut().zip(&self.locals) {
+            *slot = val.get(v).ok_or(v)?;
+        }
+        Ok(())
     }
 
     /// Compiles a dense (global-index) valuation into a scenario row.
     pub fn bind_dense(&self, val: &DenseValuation<C>) -> Vec<C> {
         self.locals.iter().map(|&v| val.get(v).clone()).collect()
+    }
+
+    /// [`bind_dense`](Self::bind_dense) into a caller-provided row buffer.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_locals()`.
+    pub fn bind_dense_into(&self, val: &DenseValuation<C>, row: &mut [C]) {
+        assert_eq!(row.len(), self.num_locals(), "scenario row width");
+        for (slot, &v) in row.iter_mut().zip(&self.locals) {
+            *slot = val.get(v).clone();
+        }
     }
 
     /// Evaluates every polynomial for one scenario row into `out`
@@ -252,14 +280,25 @@ impl<C> BatchResults<C> {
 
 /// Evaluates many scenarios × many polynomials in one call over a compiled
 /// [`EvalProgram`], in parallel across scenarios.
+///
+/// The program is held behind an [`Arc`], so cloning an evaluator (e.g. to
+/// cache a session-invariant full-provenance program across compressions)
+/// shares the CSR arrays instead of copying them.
 #[derive(Clone, Debug)]
 pub struct BatchEvaluator<C: Coeff> {
-    program: EvalProgram<C>,
+    program: Arc<EvalProgram<C>>,
 }
 
 impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
     /// Wraps a compiled program.
     pub fn new(program: EvalProgram<C>) -> BatchEvaluator<C> {
+        BatchEvaluator {
+            program: Arc::new(program),
+        }
+    }
+
+    /// Wraps an already-shared program without copying it.
+    pub fn from_shared(program: Arc<EvalProgram<C>>) -> BatchEvaluator<C> {
         BatchEvaluator { program }
     }
 
@@ -271,6 +310,11 @@ impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
     /// The underlying program.
     pub fn program(&self) -> &EvalProgram<C> {
         &self.program
+    }
+
+    /// The shared handle to the underlying program.
+    pub fn shared_program(&self) -> Arc<EvalProgram<C>> {
+        Arc::clone(&self.program)
     }
 
     /// Binds many sparse valuations into scenario rows.
@@ -289,15 +333,28 @@ impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
     pub fn eval_batch(&self, scenarios: &[Vec<C>]) -> BatchResults<C> {
         let np = self.program.num_polys();
         let mut values = vec![C::zero(); scenarios.len() * np];
-        if np > 0 {
-            par::par_chunks_mut(&mut values, np, |s, row| {
-                self.program.eval_scenario_into(&scenarios[s], row);
-            });
-        }
+        self.eval_batch_into(scenarios, &mut values);
         BatchResults {
             values,
             num_polys: np,
             num_scenarios: scenarios.len(),
+        }
+    }
+
+    /// [`eval_batch`](Self::eval_batch) into a caller-provided
+    /// scenario-major output buffer (`scenarios.len() × num_polys`) —
+    /// the allocation-free path block-streamed sweeps use.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_into(&self, scenarios: &[Vec<C>], out: &mut [C]) {
+        let np = self.program.num_polys();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
+        if np > 0 {
+            par::par_chunks_mut(out, np, |s, row| {
+                self.program.eval_scenario_into(&scenarios[s], row);
+            });
         }
     }
 }

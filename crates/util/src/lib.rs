@@ -13,6 +13,9 @@
 //!   integers/monomials (see the Rust Performance Book's hashing chapter).
 //! * [`par`] — structured data-parallel helpers (scoped threads) used by
 //!   the compiled batch evaluation engine; the offline stand-in for rayon.
+//! * [`remap`] — registry-scoped dense `global → local` id remapping
+//!   ([`DenseRemap`]) backing allocation-free scenario binding in the
+//!   compiled evaluation engine.
 //! * [`rng`] — SplitMix64, a tiny deterministic RNG for workload generation.
 //! * [`timing`] — wall-clock measurement helpers for the speedup experiments.
 //! * [`table`] — plain-text/markdown table rendering for experiment reports.
@@ -21,6 +24,7 @@ pub mod hash;
 pub mod intern;
 pub mod par;
 pub mod rational;
+pub mod remap;
 pub mod rng;
 pub mod table;
 pub mod timing;
@@ -28,6 +32,7 @@ pub mod timing;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{Interner, Symbol};
 pub use rational::{ParseRatError, Rat};
+pub use remap::DenseRemap;
 pub use rng::SplitMix64;
 pub use table::Table;
 pub use timing::{time_best_of, time_once, Stopwatch};

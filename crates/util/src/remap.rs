@@ -1,0 +1,134 @@
+//! Registry-scoped dense id remapping.
+//!
+//! The interner hands out dense `u32` ids, so a *global → local* variable
+//! remap does not need a hash map: a flat table indexed by the global id is
+//! one bounds-checked load per lookup and is trivially shareable between
+//! compiled programs (the full and compressed sides of a COBRA session
+//! resolve scenario overrides through the same kind of table). The table
+//! grows to the largest global id it has seen, which for an interner-backed
+//! registry is exactly the registry size — "registry-scoped".
+
+/// Sentinel marking an unmapped global id.
+const UNMAPPED: u32 = u32::MAX;
+
+/// A dense `global id → local index` remap table.
+///
+/// Locals are assigned in first-insertion order, densely from zero —
+/// the same numbering a hash-map based `entry(..).or_insert(len)` loop
+/// produces, but lookups are a single indexed load and building performs
+/// no hashing at all.
+#[derive(Clone, Debug, Default)]
+pub struct DenseRemap {
+    table: Vec<u32>,
+    mapped: u32,
+}
+
+impl DenseRemap {
+    /// An empty remap.
+    pub fn new() -> DenseRemap {
+        DenseRemap::default()
+    }
+
+    /// An empty remap with table capacity for globals `0..scope` (the
+    /// registry size). Ids beyond the scope still work — the table grows.
+    pub fn with_scope(scope: usize) -> DenseRemap {
+        DenseRemap {
+            table: vec![UNMAPPED; scope],
+            mapped: 0,
+        }
+    }
+
+    /// The local index of `global`, inserting the next free local if the
+    /// id is unmapped. Returns `(local, freshly_inserted)`.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX − 1` locals are inserted.
+    pub fn get_or_insert(&mut self, global: u32) -> (u32, bool) {
+        let idx = global as usize;
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, UNMAPPED);
+        }
+        if self.table[idx] != UNMAPPED {
+            return (self.table[idx], false);
+        }
+        let local = self.mapped;
+        assert!(local != UNMAPPED, "DenseRemap overflow");
+        self.table[idx] = local;
+        self.mapped += 1;
+        (local, true)
+    }
+
+    /// The local index of `global`, if mapped. Ids outside the table are
+    /// simply unmapped — callers may probe with any registry id.
+    #[inline]
+    pub fn get(&self, global: u32) -> Option<u32> {
+        match self.table.get(global as usize) {
+            Some(&local) if local != UNMAPPED => Some(local),
+            _ => None,
+        }
+    }
+
+    /// Number of mapped globals (= number of locals handed out).
+    pub fn len(&self) -> usize {
+        self.mapped as usize
+    }
+
+    /// True iff nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.mapped == 0
+    }
+
+    /// The scope of the table (largest global id probed without growth).
+    pub fn scope(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl FromIterator<u32> for DenseRemap {
+    /// Builds a remap from globals in local-index order (duplicates keep
+    /// their first position).
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> DenseRemap {
+        let mut remap = DenseRemap::new();
+        for global in iter {
+            remap.get_or_insert(global);
+        }
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_order_is_local_order() {
+        let mut r = DenseRemap::new();
+        assert_eq!(r.get_or_insert(7), (0, true));
+        assert_eq!(r.get_or_insert(3), (1, true));
+        assert_eq!(r.get_or_insert(7), (0, false));
+        assert_eq!(r.get(7), Some(0));
+        assert_eq!(r.get(3), Some(1));
+        assert_eq!(r.get(0), None);
+        assert_eq!(r.get(1_000_000), None); // beyond the table: unmapped
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn scoped_table_preallocates() {
+        let mut r = DenseRemap::with_scope(100);
+        assert_eq!(r.scope(), 100);
+        assert!(r.is_empty());
+        r.get_or_insert(99);
+        assert_eq!(r.scope(), 100);
+        assert_eq!(r.get(99), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_keeps_first_occurrence() {
+        let r: DenseRemap = [5u32, 2, 5, 9].into_iter().collect();
+        assert_eq!(r.get(5), Some(0));
+        assert_eq!(r.get(2), Some(1));
+        assert_eq!(r.get(9), Some(2));
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Integration coverage for the `ScenarioSet` surface: grid cardinality
+//! and enumeration order, edge cases (empty axes, single scenarios), and
+//! a property test pinning grid-driven sweeps bit-identical to the
+//! materialized-`Vec<Valuation>` path on random grids.
+
+use cobra::core::scenario_set::Axis;
+use cobra::core::{CobraSession, CoreError, ScenarioSet};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+const PAPER_POLYS: &str = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+
+const FIG2_TREE: &str =
+    "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))";
+
+fn rat(s: &str) -> Rat {
+    Rat::parse(s).unwrap()
+}
+
+fn compressed_session(bound: u64) -> CobraSession {
+    let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+    s.add_tree_text(FIG2_TREE).unwrap();
+    s.set_bound(bound);
+    s.compress().unwrap();
+    s
+}
+
+#[test]
+fn grid_enumeration_is_row_major_with_last_axis_fastest() {
+    let mut s = compressed_session(6);
+    let m3 = s.registry_mut().var("m3");
+    let p1 = s.registry_mut().var("p1");
+    let grid = ScenarioSet::grid()
+        .axis([m3], [rat("0.8"), rat("1.2")])
+        .axis([p1], [rat("1"), rat("1.1"), rat("1.3")])
+        .build()
+        .unwrap();
+    assert_eq!(grid.len(), 6);
+    let base = s.base_valuation().clone();
+    let expected = [
+        ("0.8", "1"),
+        ("0.8", "1.1"),
+        ("0.8", "1.3"),
+        ("1.2", "1"),
+        ("1.2", "1.1"),
+        ("1.2", "1.3"),
+    ];
+    for (i, (m3_level, p1_level)) in expected.iter().enumerate() {
+        let val = grid.scenario_valuation(i, &base);
+        assert_eq!(val.get(m3), Some(rat(m3_level)), "scenario {i}");
+        assert_eq!(val.get(p1), Some(rat(p1_level)), "scenario {i}");
+    }
+    // the sweep enumerates the same order
+    let sweep = s.sweep(&grid).unwrap();
+    for (i, (m3_level, _)) in expected.iter().enumerate() {
+        let single = s
+            .assign(base.overridden_by(&grid.scenario_valuation(i, &base)))
+            .unwrap();
+        assert_eq!(sweep.comparison(i).rows, single.rows, "m3={m3_level}");
+    }
+}
+
+#[test]
+fn empty_axis_and_single_scenario_edges() {
+    let mut s = compressed_session(6);
+    let m3 = s.registry_mut().var("m3");
+
+    // an axis with no levels annihilates the grid
+    let empty = ScenarioSet::grid().axis([m3], []).build().unwrap();
+    assert!(empty.is_empty());
+    let sweep = s.sweep(&empty).unwrap();
+    assert!(sweep.is_empty());
+    assert!(sweep.is_exact());
+
+    // a grid with no axes is the base scenario — and a valid `assign`
+    let identity = ScenarioSet::grid().build().unwrap();
+    assert_eq!(identity.len(), 1);
+    let cmp = s.assign(&identity).unwrap();
+    assert!(cmp.is_exact(), "base scenario projects losslessly");
+
+    // a one-level one-axis grid equals the explicit single scenario
+    let single = ScenarioSet::grid()
+        .axis([m3], [rat("0.8")])
+        .build()
+        .unwrap();
+    let explicit = s
+        .assign(cobra::provenance::Valuation::with_default(Rat::ONE).bind(m3, rat("0.8")))
+        .unwrap();
+    assert_eq!(s.assign(&single).unwrap().rows, explicit.rows);
+}
+
+#[test]
+fn overlapping_axes_error_is_surfaced() {
+    let mut reg = cobra::provenance::VarRegistry::new();
+    let x = reg.var("x");
+    let err = ScenarioSet::grid()
+        .axis([x], [Rat::ONE])
+        .scale_axis([x], [Rat::ONE])
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidScenarioGrid(_)));
+    assert!(err.to_string().contains("invalid scenario grid"));
+}
+
+/// Random levels for one axis: 0..=3 levels drawn from a small exact set.
+fn levels_strategy() -> impl Strategy<Value = Vec<Rat>> {
+    proptest::collection::vec((-20i128..40, 1i128..5), 0..4)
+        .prop_map(|pairs| pairs.into_iter().map(|(n, d)| Rat::new(n, d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grid-driven sweeps are bit-identical to sweeping the materialized
+    /// valuation vector, across random level sets, ops, and axis groups
+    /// (aligned group, partial group, tree-external variable).
+    #[test]
+    fn grid_sweep_equals_materialized_sweep(
+        m3_levels in levels_strategy(),
+        business_levels in levels_strategy(),
+        y1_levels in levels_strategy(),
+        scale_y1 in 0u8..2,
+    ) {
+        let scale_y1 = scale_y1 == 1;
+        let mut s = compressed_session(6);
+        let m3 = s.registry_mut().var("m3");
+        let b_vars = ["b1", "b2", "e"].map(|n| s.registry_mut().var(n));
+        let y1 = s.registry_mut().var("y1");
+        let mut builder = ScenarioSet::grid()
+            .axis([m3], m3_levels)
+            .axis(b_vars, business_levels);
+        builder = if scale_y1 {
+            builder.scale_axis([y1], y1_levels)
+        } else {
+            builder.axis([y1], y1_levels)
+        };
+        let grid = builder.build().unwrap();
+        let base = s.base_valuation().clone();
+        let flat = grid.materialize(&base);
+        prop_assert_eq!(flat.len(), grid.len());
+        let by_grid = s.sweep(&grid).unwrap();
+        let by_vec = s.sweep(&flat[..]).unwrap();
+        prop_assert_eq!(by_grid.len(), by_vec.len());
+        for i in 0..by_grid.len() {
+            prop_assert_eq!(by_grid.full_row(i), by_vec.full_row(i), "scenario {}", i);
+            prop_assert_eq!(
+                by_grid.compressed_row(i),
+                by_vec.compressed_row(i),
+                "scenario {}",
+                i
+            );
+        }
+    }
+
+    /// Perturbation families equal their materialized counterparts, and
+    /// `linspace` axes enumerate exact endpoints.
+    #[test]
+    fn perturbation_sweep_equals_materialized(delta_num in 1i128..16) {
+        // 1..16 offset by −8, skipping zero: deltas in ±[1/4, 2]
+        let delta = Rat::new(if delta_num >= 8 { delta_num - 7 } else { delta_num - 9 }, 4);
+        let mut s = compressed_session(6);
+        let vars: Vec<_> = ["b1", "m3", "p1", "y1", "v"]
+            .iter()
+            .map(|n| s.registry_mut().var(n))
+            .collect();
+        let family = ScenarioSet::perturb_each(vars, delta);
+        let base = s.base_valuation().clone();
+        let flat = family.materialize(&base);
+        let by_set = s.sweep(&family).unwrap();
+        let by_vec = s.sweep(&flat[..]).unwrap();
+        for i in 0..by_set.len() {
+            prop_assert_eq!(by_set.full_row(i), by_vec.full_row(i));
+            prop_assert_eq!(by_set.compressed_row(i), by_vec.compressed_row(i));
+        }
+    }
+}
+
+#[test]
+fn linspace_axis_through_full_pipeline() {
+    let mut s = compressed_session(6);
+    let m3 = s.registry_mut().var("m3");
+    let axis = Axis::linspace([m3], rat("0.8"), rat("1.2"), 9);
+    let grid = ScenarioSet::grid().push(axis).build().unwrap();
+    let sweep = s.sweep(&grid).unwrap();
+    assert_eq!(sweep.len(), 9);
+    // month variables sit outside the tree: every point is exact
+    assert!(sweep.is_exact());
+    // endpoints are exact rationals, not float approximations
+    let base = s.base_valuation().clone();
+    assert_eq!(grid.scenario_valuation(0, &base).get(m3), Some(rat("0.8")));
+    assert_eq!(grid.scenario_valuation(8, &base).get(m3), Some(rat("1.2")));
+}

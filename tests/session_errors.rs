@@ -19,7 +19,7 @@ fn missing_inputs_in_order() {
     // results before compression
     assert!(matches!(s.meta_summary(), Err(CoreError::Session(_))));
     assert!(matches!(
-        s.assign(&Valuation::with_default(Rat::ONE)),
+        s.assign(Valuation::with_default(Rat::ONE)),
         Err(CoreError::Session(_))
     ));
     assert!(matches!(
