@@ -93,6 +93,22 @@ pub(crate) fn rel_error_value(full: &Rat, compressed: &Rat) -> f64 {
     }
 }
 
+/// The `f64` sibling of [`rel_error_value`], with the same zero
+/// conventions — one definition shared by the divergence probe, the
+/// approximate sweep statistics, and the error folds, so the convention
+/// cannot silently diverge between them.
+pub(crate) fn rel_error_f64(reference: f64, other: f64) -> f64 {
+    if reference == 0.0 {
+        if other == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((reference - other) / reference).abs()
+    }
+}
+
 /// Full-vs-compressed comparison across all result tuples.
 #[derive(Clone, Debug, Default)]
 pub struct ResultComparison {

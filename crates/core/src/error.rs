@@ -10,7 +10,12 @@ pub enum CoreError {
     /// Tree construction: a leaf variable appears twice.
     DuplicateLeafVar(String),
     /// Tree text parse failure.
-    TreeParse { offset: usize, message: String },
+    TreeParse {
+        /// Byte offset of the failure in the source text.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
     /// A node name did not resolve in the tree.
     UnknownNode(String),
     /// The node set is not a valid cut (not an antichain covering all
@@ -28,9 +33,15 @@ pub enum CoreError {
     },
     /// No cut satisfies the size bound; the payload is the smallest
     /// achievable total size (cut at the root).
-    InfeasibleBound { min_achievable: u64 },
+    InfeasibleBound {
+        /// Monomial count of the coarsest (all-roots) abstraction.
+        min_achievable: u64,
+    },
     /// Cut enumeration exceeded the caller-supplied limit.
-    TooManyCuts { limit: usize },
+    TooManyCuts {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
     /// Session misuse (missing inputs).
     Session(String),
     /// A scenario grid is malformed (overlapping axes, cardinality

@@ -1,0 +1,414 @@
+//! Built-in streaming sweep folds: O(1)-memory aggregates over scenario
+//! families.
+//!
+//! The fold sweep surface
+//! ([`CobraSession::sweep_fold`](crate::session::CobraSession::sweep_fold),
+//! [`CompiledComparison::sweep_fold`](crate::scenario::CompiledComparison::sweep_fold))
+//! hands each scenario's full/compressed result rows to a callback
+//! instead of materializing the O(scenarios × polys) result matrix. The
+//! aggregate questions the paper's analyst actually asks — *what is the
+//! worst-case error of the abstraction? which scenario moves the results
+//! most? how are the outcomes distributed?* — are folds over that
+//! stream, and this module ships the common ones:
+//!
+//! * [`MaxAbsError`] — worst-case absolute/relative full-vs-compressed
+//!   error over the family, with the offending scenario index.
+//! * [`ArgmaxImpact`] — the scenario whose results move farthest from a
+//!   baseline (`Σ_p |P_p(scenario) − P_p(base)|`).
+//! * [`Histogram`] — fixed-range bucket counts of one result tuple.
+//! * [`TopK`] — the `k` scenarios with the largest value of one result
+//!   tuple, in O(k) memory.
+//!
+//! Every fold implements [`SweepFold`] and plugs into a fold sweep via
+//! [`step`]; all of them work on both the exact (`Rat`) and approximate
+//! (`f64`) streams.
+//!
+//! # Example
+//!
+//! The worst-case abstraction error and the top scenarios of a grid,
+//! computed in one streamed pass with no per-scenario storage:
+//!
+//! ```
+//! use cobra_core::folds::{self, MaxAbsError, SweepFold, TopK};
+//! use cobra_core::{CobraSession, ScenarioSet};
+//! use cobra_util::Rat;
+//!
+//! let mut session = CobraSession::from_text(
+//!     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+//! ).unwrap();
+//! session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+//! session.set_bound(2);
+//! session.compress().unwrap();
+//!
+//! let m3 = session.registry_mut().var("m3");
+//! let p1 = session.registry_mut().var("p1");
+//! let rat = |s: &str| Rat::parse(s).unwrap();
+//! let grid = ScenarioSet::grid()
+//!     .axis([m3], [rat("0.8"), rat("1"), rat("1.2")])
+//!     .axis([p1], [rat("1"), rat("1.1")])
+//!     .build()
+//!     .unwrap();
+//!
+//! // Worst-case error of the abstraction over all six scenarios:
+//! let worst = session
+//!     .sweep_fold(&grid, MaxAbsError::new(), folds::step)
+//!     .unwrap()
+//!     .finish();
+//! // p1 moves alone inside the Standard group → some points are lossy.
+//! assert!(worst.max_rel_error > 0.0);
+//!
+//! // The two highest-revenue scenarios for P1 (result tuple 0):
+//! let top = session
+//!     .sweep_fold(&grid, TopK::new(0, 2), folds::step)
+//!     .unwrap()
+//!     .finish();
+//! assert_eq!(top.len(), 2);
+//! assert!(top[0].1 >= top[1].1);
+//! // The maximum sits at m3=1.2, p1=1.1 — the last grid point.
+//! assert_eq!(top[0].0, grid.len() - 1);
+//! ```
+
+use crate::scenario::FoldItem;
+use cobra_provenance::Coeff;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A streaming consumer of fold-sweep items: an online aggregate over
+/// the per-scenario full/compressed result rows. Implementations must be
+/// O(1) (or O(k)) in the number of scenarios — that is the entire point
+/// of the fold surface.
+///
+/// Folds are generic over the coefficient type so the same aggregate
+/// runs on the exact ([`Rat`](cobra_util::Rat)) and the approximate
+/// (`f64`) stream; the built-ins aggregate in `f64` on both (error and
+/// impact *statistics* are reported as floats everywhere in this crate).
+pub trait SweepFold {
+    /// What [`finish`](Self::finish) distills the stream into.
+    type Output;
+
+    /// Consumes one scenario's result rows (exact or approximate — the
+    /// method is generic over the coefficient type, so one fold serves
+    /// both streams).
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>);
+
+    /// Finalizes the aggregate.
+    fn finish(self) -> Self::Output;
+}
+
+/// Adapter from the closure-shaped fold surface to [`SweepFold`]: pass
+/// `folds::step` as the fold function and any `SweepFold` as the
+/// accumulator — `sweep_fold(set, MaxAbsError::new(), folds::step)`.
+pub fn step<C: Coeff, F: SweepFold>(mut fold: F, item: FoldItem<'_, C>) -> F {
+    fold.accept(item);
+    fold
+}
+
+/// Worst-case full-vs-compressed error over the family: the largest
+/// absolute and relative deviations across every scenario and result
+/// tuple, with the scenario indices where they occur — the paper's
+/// "what is the worst-case error of the abstraction?" in one streamed
+/// pass.
+#[derive(Clone, Debug, Default)]
+pub struct MaxAbsError {
+    /// Largest `|full − compressed|` observed.
+    pub max_abs_error: f64,
+    /// Scenario index attaining [`max_abs_error`](Self::max_abs_error).
+    pub argmax_abs: Option<usize>,
+    /// Largest `|full − compressed| / |full|` observed (∞ if a zero full
+    /// value meets a nonzero compressed one, matching
+    /// [`ScenarioSweep::max_rel_error`](crate::scenario::ScenarioSweep::max_rel_error)).
+    pub max_rel_error: f64,
+    /// Scenario index attaining [`max_rel_error`](Self::max_rel_error).
+    pub argmax_rel: Option<usize>,
+}
+
+impl MaxAbsError {
+    /// An empty tracker (zero error, no argmax).
+    pub fn new() -> MaxAbsError {
+        MaxAbsError::default()
+    }
+}
+
+impl SweepFold for MaxAbsError {
+    type Output = MaxAbsError;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        for (f, c) in item.full.iter().zip(item.compressed) {
+            let (f, c) = (f.to_f64(), c.to_f64());
+            let abs = (f - c).abs();
+            if abs > self.max_abs_error {
+                self.max_abs_error = abs;
+                self.argmax_abs = Some(item.scenario);
+            }
+            let rel = crate::assign::rel_error_f64(f, c);
+            if rel > self.max_rel_error {
+                self.max_rel_error = rel;
+                self.argmax_rel = Some(item.scenario);
+            }
+        }
+    }
+
+    fn finish(self) -> MaxAbsError {
+        self
+    }
+}
+
+/// The scenario whose results move farthest from a baseline: tracks
+/// `argmax_i Σ_p |full_p(i) − base_p|` — "which scenario maximizes
+/// impact?" over an unbounded stream. Construct it against the base
+/// results (e.g.
+/// [`CobraSession::baseline_results`](crate::session::CobraSession::baseline_results)).
+#[derive(Clone, Debug)]
+pub struct ArgmaxImpact {
+    base: Vec<f64>,
+    best: Option<(usize, f64)>,
+}
+
+impl ArgmaxImpact {
+    /// Tracks impact against `base` results (one `f64` per result tuple,
+    /// label order).
+    pub fn against(base: Vec<f64>) -> ArgmaxImpact {
+        ArgmaxImpact { base, best: None }
+    }
+
+    /// The winning `(scenario index, impact)` so far.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.best
+    }
+}
+
+impl SweepFold for ArgmaxImpact {
+    type Output = Option<(usize, f64)>;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        debug_assert_eq!(item.full.len(), self.base.len(), "baseline width");
+        let impact: f64 = item
+            .full
+            .iter()
+            .zip(&self.base)
+            .map(|(f, b)| (f.to_f64() - b).abs())
+            .sum();
+        if self.best.is_none_or(|(_, best)| impact > best) {
+            self.best = Some((item.scenario, impact));
+        }
+    }
+
+    fn finish(self) -> Option<(usize, f64)> {
+        self.best
+    }
+}
+
+/// Fixed-range histogram of one result tuple's **full-side** values over
+/// the family: `buckets` equal-width bins spanning `[lo, hi)`, plus
+/// underflow/overflow counters — the distribution of outcomes over a
+/// 10⁷-scenario grid in O(buckets) memory.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    poly: usize,
+    lo: f64,
+    hi: f64,
+    /// Bin counts, in range order.
+    pub counts: Vec<u64>,
+    /// Scenarios whose value fell below `lo`.
+    pub underflow: u64,
+    /// Scenarios whose value fell at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram of result tuple `poly` over `[lo, hi)` with `buckets`
+    /// equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `lo >= hi`.
+    pub fn new(poly: usize, lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            poly,
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Total scenarios observed (in-range + under + over).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+impl SweepFold for Histogram {
+    type Output = Histogram;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        let x = item.full[self.poly].to_f64();
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let k = self.counts.len();
+            let bin = ((x - self.lo) / (self.hi - self.lo) * k as f64) as usize;
+            self.counts[bin.min(k - 1)] += 1;
+        }
+    }
+
+    fn finish(self) -> Histogram {
+        self
+    }
+}
+
+/// `f64` keyed by `total_cmp` so scenario values can live in a heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &OrdF64) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &OrdF64) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The `k` scenarios with the largest **full-side** value of one result
+/// tuple, tracked in a size-`k` min-heap — "which scenarios maximize
+/// revenue?" over an unbounded stream in O(k) memory. Ties break toward
+/// the earlier scenario.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    poly: usize,
+    k: usize,
+    /// Min-heap of `(value, Reverse(scenario))`: the root is the weakest
+    /// kept entry, evicted when a stronger scenario arrives.
+    heap: BinaryHeap<Reverse<(OrdF64, Reverse<usize>)>>,
+}
+
+impl TopK {
+    /// Tracks the `k` largest values of result tuple `poly`.
+    pub fn new(poly: usize, k: usize) -> TopK {
+        TopK {
+            poly,
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+}
+
+impl SweepFold for TopK {
+    type Output = Vec<(usize, f64)>;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Reverse((OrdF64(item.full[self.poly].to_f64()), Reverse(item.scenario)));
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(weakest) = self.heap.peek() {
+            if entry < *weakest {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// The kept scenarios as `(scenario index, value)`, best first.
+    fn finish(self) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .heap
+            .into_iter()
+            .map(|Reverse((OrdF64(v), Reverse(s)))| (s, v))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_util::Rat;
+
+    fn item<'a>(scenario: usize, full: &'a [f64], comp: &'a [f64]) -> FoldItem<'a, f64> {
+        FoldItem {
+            scenario,
+            full,
+            compressed: comp,
+        }
+    }
+
+    #[test]
+    fn max_abs_error_tracks_both_statistics() {
+        let mut fold = MaxAbsError::new();
+        fold.accept(item(0, &[10.0, 2.0], &[10.0, 2.0]));
+        fold.accept(item(1, &[10.0, 2.0], &[9.0, 2.1]));
+        fold.accept(item(2, &[0.5, 2.0], &[0.1, 2.0]));
+        let out = fold.finish();
+        assert_eq!(out.max_abs_error, 1.0);
+        assert_eq!(out.argmax_abs, Some(1));
+        assert_eq!(out.max_rel_error, 0.8); // |0.5-0.1|/0.5
+        assert_eq!(out.argmax_rel, Some(2));
+    }
+
+    #[test]
+    fn max_abs_error_zero_full_is_infinite_rel() {
+        let mut fold = MaxAbsError::new();
+        fold.accept(item(7, &[0.0], &[0.25]));
+        assert_eq!(fold.max_rel_error, f64::INFINITY);
+        assert_eq!(fold.argmax_rel, Some(7));
+        let mut exact = MaxAbsError::new();
+        let zero = [Rat::ZERO];
+        exact.accept(FoldItem {
+            scenario: 0,
+            full: &zero,
+            compressed: &zero,
+        });
+        assert_eq!(exact.max_rel_error, 0.0);
+    }
+
+    #[test]
+    fn argmax_impact_finds_largest_move() {
+        let mut fold = ArgmaxImpact::against(vec![10.0, 5.0]);
+        fold.accept(item(0, &[10.0, 5.0], &[]));
+        fold.accept(item(1, &[12.0, 4.0], &[]));
+        fold.accept(item(2, &[11.0, 5.5], &[]));
+        assert_eq!(fold.best(), Some((1, 3.0)));
+        assert_eq!(fold.finish(), Some((1, 3.0)));
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0, 0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, 10.0, -0.1, 5.0] {
+            let row = [x];
+            h.accept(item(0, &row, &[]));
+        }
+        assert_eq!(h.counts, vec![2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn top_k_keeps_largest_with_stable_ties() {
+        let mut fold = TopK::new(0, 3);
+        for (i, v) in [1.0, 5.0, 3.0, 5.0, 2.0, 4.0].iter().enumerate() {
+            let row = [*v];
+            fold.accept(item(i, &row, &[]));
+        }
+        let out = fold.finish();
+        // ties (5.0 at scenarios 1 and 3) keep the earlier scenario first
+        assert_eq!(out, vec![(1, 5.0), (3, 5.0), (5, 4.0)]);
+        let empty = TopK::new(0, 0).finish();
+        assert!(empty.is_empty());
+    }
+}

@@ -32,7 +32,10 @@
 //!   perturbations, and explicit lists, described in O(axes) memory.
 //! * [`scenario`] — batched scenario sweeps over the compiled evaluation
 //!   engine: many hypotheticals evaluated in one pass on both the full and
-//!   the compressed provenance, with allocation-free grid binding.
+//!   the compressed provenance, with allocation-free grid binding and the
+//!   streaming fold engine every sweep surface is built on.
+//! * [`folds`] — built-in O(1)-memory sweep aggregates ([`folds::MaxAbsError`],
+//!   [`folds::ArgmaxImpact`], [`folds::Histogram`], [`folds::TopK`]).
 //! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
 //! * [`report`] — displayable compression reports.
 //!
@@ -50,12 +53,18 @@
 //! assert_eq!(report.compressed_size, 2); // p1, v merged per month
 //! ```
 
+// The scenario surface (sweeps, sets, folds, the session) is the crate's
+// public API contract: every exported item there must carry docs, and CI
+// rejects broken intra-doc links (`cargo doc` with `-D warnings`).
+#![warn(missing_docs)]
+
 pub mod apply;
 pub mod assign;
 pub mod brute;
 pub mod cut;
 pub mod dp;
 pub mod error;
+pub mod folds;
 pub mod greedy;
 pub mod groups;
 pub mod multi;
@@ -73,13 +82,14 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
+pub use folds::SweepFold;
 pub use scenario::{
-    measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison, PairBinder,
-    ScenarioSweep,
+    fold_program_sweep, measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison,
+    F64Divergence, F64ScenarioSweep, FoldItem, PairBinder, ScenarioSweep,
 };
 pub use scenario_set::{Axis, AxisOp, GridBuilder, RowBinder, ScenarioSet};
 pub use sensitivity::{scenario_impacts, SensitivityReport};
-pub use multi::{optimize_forest_descent, ForestSolution};
+pub use multi::{forest_sweep, forest_sweep_fold, optimize_forest_descent, ForestSolution};
 pub use report::CompressionReport;
 pub use session::{CobraSession, MetaSummaryRow};
 pub use tree::{AbstractionTree, NodeId, TreeSpec};

@@ -2,7 +2,7 @@
 //!
 //! The demonstration restricts to a single abstraction tree, where the
 //! problem is PTIME. With several trees the interactions between cuts make
-//! the problem NP-hard in general (SIGMOD'19 [4]), so we provide a
+//! the problem NP-hard in general (SIGMOD'19 \[4\]), so we provide a
 //! **coordinate-descent** heuristic: fix the cuts of all trees but one,
 //! substitute them into the provenance, and re-optimize the remaining tree
 //! exactly with the single-tree DP; iterate until a fixpoint. Each step is
@@ -138,7 +138,10 @@ pub fn optimize_single_tree<C: Coeff>(
 /// sessions run their scenario exploration through the same compiled
 /// engine as single-tree ones (meta-variables from every tree project at
 /// once). Accepts anything convertible to a
-/// [`ScenarioSet`] — grids stream without materializing valuations.
+/// [`ScenarioSet`] — grids stream without materializing valuations. Like
+/// every sweep surface this is backed by the streaming fold engine
+/// ([`CompiledComparison::sweep_fold`]); use [`forest_sweep_fold`] to
+/// aggregate huge families without materializing the result matrix.
 pub fn forest_sweep(
     set: &PolySet<Rat>,
     applied: &AppliedAbstraction<Rat>,
@@ -147,6 +150,24 @@ pub fn forest_sweep(
 ) -> ScenarioSweep {
     let engines = CompiledComparison::compile(set, &applied.compressed);
     engines.sweep(&applied.meta_vars, base, &scenarios.into())
+}
+
+/// Streaming fold over a forest application's full-vs-compressed results:
+/// [`forest_sweep`] without the O(scenarios × polys) result matrix. Each
+/// scenario's result rows are handed to `f` as a
+/// [`FoldItem`](crate::scenario::FoldItem) in enumeration order, so a
+/// 10⁷-scenario grid aggregates (max error, argmax impact, histograms)
+/// in O(1) output memory over a multi-tree compression.
+pub fn forest_sweep_fold<A>(
+    set: &PolySet<Rat>,
+    applied: &AppliedAbstraction<Rat>,
+    base: &Valuation<Rat>,
+    scenarios: impl Into<ScenarioSet>,
+    init: A,
+    f: impl FnMut(A, crate::scenario::FoldItem<'_, Rat>) -> A,
+) -> A {
+    let engines = CompiledComparison::compile(set, &applied.compressed);
+    engines.sweep_fold(&applied.meta_vars, base, &scenarios.into(), init, f)
 }
 
 #[cfg(test)]

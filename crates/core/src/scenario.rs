@@ -18,7 +18,7 @@
 
 use crate::assign::{self, ResultComparison, ResultRow, SpeedupMeasurement};
 use crate::cut::MetaVar;
-use crate::scenario_set::{base_value, for_each_grid_digit, ScenarioSet};
+use crate::scenario_set::{base_value, for_each_grid_digit, RowBinder, ScenarioSet};
 use cobra_provenance::compile::LANES;
 use cobra_provenance::{BatchEvaluator, Coeff, EvalProgram, PolySet, Valuation, Var};
 use cobra_util::timing::time_best_of;
@@ -28,6 +28,70 @@ use cobra_util::{FxHashMap, FxHashSet, Rat};
 /// blocks, so peak transient memory stays O(block × row) regardless of the
 /// set's cardinality while the batch kernel still gets full lanes.
 const STREAM_BLOCK: usize = 16 * LANES;
+
+/// Scenarios per streamed block, capped so the transient buffers stay
+/// bounded regardless of program shape: the result buffers
+/// (`block × num_polys` values per side) around 64k values, and the
+/// scenario-row buffers (`block × num_locals` values per side) around a
+/// million values even for 10⁵+-variable programs. Whenever the cap
+/// allows it the block is a whole number of `f64` lane groups, so the
+/// lane kernel sees no ragged tail inside a sweep.
+fn stream_block(num_polys: usize, num_locals: usize) -> usize {
+    let by_results = (1usize << 16) / num_polys.max(1);
+    let by_rows = (1usize << 20) / num_locals.max(1);
+    let block = by_results.min(by_rows).min(STREAM_BLOCK);
+    if block >= LANES {
+        (block / LANES) * LANES
+    } else {
+        block.max(1)
+    }
+}
+
+/// Exact-vs-approximate probe scenarios per `f64` fold-sweep: evenly
+/// spaced grid points re-evaluated on the exact engines to measure the
+/// divergence of the `f64` fast path (see [`F64Divergence`]).
+pub const F64_PROBES: usize = 16;
+
+/// One streamed scenario handed to a fold: the scenario's index in the
+/// set's enumeration order plus its full-side and compressed-side result
+/// rows (one value per polynomial, in label order). The rows borrow the
+/// engine's block buffers — copy out whatever the fold needs to keep.
+#[derive(Clone, Copy, Debug)]
+pub struct FoldItem<'a, C> {
+    /// Index of the scenario in the [`ScenarioSet`] enumeration order.
+    pub scenario: usize,
+    /// Full-provenance results, in label order.
+    pub full: &'a [C],
+    /// Compressed-provenance results, in label order.
+    pub compressed: &'a [C],
+}
+
+/// Measured divergence of an approximate (`f64`) fold-sweep from the
+/// exact path: up to [`F64_PROBES`] evenly spaced scenarios are re-bound
+/// and re-evaluated on the exact `Rat` engines, and the largest relative
+/// deviation over both sides and all result tuples is recorded. This is
+/// an *empirical spot check* of floating-point rounding (coefficients,
+/// binding and evaluation all round), not a proven worst-case bound —
+/// for SPJ-style provenance with well-scaled coefficients it sits at the
+/// unit-roundoff scale (≈1e-16, see the `e10` experiment).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F64Divergence {
+    /// Number of scenarios re-evaluated exactly.
+    pub probed: usize,
+    /// Largest relative deviation `|approx − exact| / |exact|` observed
+    /// over the probes (both sides, every result tuple); 0 when nothing
+    /// diverged, ∞ if the exact value was zero but the float was not.
+    pub max_rel_divergence: f64,
+}
+
+impl F64Divergence {
+    fn record(&mut self, exact: &[Rat], approx: &[f64]) {
+        for (e, a) in exact.iter().zip(approx) {
+            let d = assign::rel_error_f64(e.to_f64(), *a);
+            self.max_rel_divergence = self.max_rel_divergence.max(d);
+        }
+    }
+}
 
 /// The full-vs-compressed engines for one compression outcome, compiled
 /// once and reusable across any number of sweeps. Cloning shares the
@@ -61,7 +125,9 @@ impl CompiledComparison {
 
     /// Evaluates every scenario of `set` on both sides, streaming grid
     /// scenarios straight into the batch kernels in blocks — see
-    /// [`sweep_full_vs_compressed`] for the scenario semantics.
+    /// [`sweep_full_vs_compressed`] for the scenario semantics. This is
+    /// [`sweep_fold`](Self::sweep_fold) with an appending fold: the only
+    /// O(scenarios) memory is the returned result matrix itself.
     pub fn sweep(
         &self,
         metas: &[MetaVar],
@@ -70,21 +136,66 @@ impl CompiledComparison {
     ) -> ScenarioSweep {
         let n = set.len();
         let np = self.full.program().num_polys();
+        let init = (
+            Vec::with_capacity(n * np),
+            Vec::with_capacity(n * np),
+        );
+        let (full, compressed) = self.sweep_fold(metas, base, set, init, |(mut f, mut c), item| {
+            f.extend_from_slice(item.full);
+            c.extend_from_slice(item.compressed);
+            (f, c)
+        });
+        ScenarioSweep {
+            labels: self.full.program().labels().to_vec(),
+            num_scenarios: n,
+            full,
+            compressed,
+        }
+    }
+
+    /// Streams every scenario of `set` through both compiled engines and
+    /// folds the per-scenario results into an accumulator — the streaming
+    /// heart every sweep surface is built on. Scenarios are bound in
+    /// blocks by the allocation-free [`PairBinder`], evaluated through
+    /// the batch kernels, and handed to `f` in enumeration order as
+    /// [`FoldItem`]s; peak transient memory is O(block × row) regardless
+    /// of the set's cardinality, so a 10⁷-scenario grid aggregates in
+    /// O(1) output memory.
+    ///
+    /// # Panics
+    /// Panics if the two programs' polynomial counts differ, or under the
+    /// [`PairBinder`] totality rules (grids need a total `base`).
+    pub fn sweep_fold<A>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        init: A,
+        mut f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
+    ) -> A {
+        let n = set.len();
+        let np = self.full.program().num_polys();
         assert_eq!(
             np,
             self.compressed.program().num_polys(),
             "polynomial sets must align"
         );
-        let mut full_vals = vec![Rat::ZERO; n * np];
-        let mut comp_vals = vec![Rat::ZERO; n * np];
         let mut binder = PairBinder::new(self, metas, base, set);
-        let block = STREAM_BLOCK.min(n.max(1));
+        let locals = self
+            .full
+            .program()
+            .num_locals()
+            .max(self.compressed.program().num_locals());
+        let block = stream_block(np, locals).min(n.max(1));
         let mut full_rows: Vec<Vec<Rat>> = (0..block)
             .map(|_| vec![Rat::ZERO; self.full.program().num_locals()])
             .collect();
         let mut comp_rows: Vec<Vec<Rat>> = (0..block)
             .map(|_| vec![Rat::ZERO; self.compressed.program().num_locals()])
             .collect();
+        let mut full_out = vec![Rat::ZERO; block * np];
+        let mut comp_out = vec![Rat::ZERO; block * np];
+        let mut acc = init;
         let mut start = 0;
         while start < n {
             let width = block.min(n - start);
@@ -93,18 +204,151 @@ impl CompiledComparison {
                 // split borrows: binder needs &mut self for its scratch
                 binder.bind_pair_into(start + k, frow, crow);
             }
-            let out = &mut full_vals[start * np..(start + width) * np];
-            self.full.eval_batch_into(&full_rows[..width], out);
-            let out = &mut comp_vals[start * np..(start + width) * np];
-            self.compressed.eval_batch_into(&comp_rows[..width], out);
+            self.full
+                .eval_batch_into(&full_rows[..width], &mut full_out[..width * np]);
+            self.compressed
+                .eval_batch_into(&comp_rows[..width], &mut comp_out[..width * np]);
+            for k in 0..width {
+                acc = f(
+                    acc,
+                    FoldItem {
+                        scenario: start + k,
+                        full: &full_out[k * np..(k + 1) * np],
+                        compressed: &comp_out[k * np..(k + 1) * np],
+                    },
+                );
+            }
             start += width;
         }
-        ScenarioSweep {
-            labels: self.full.program().labels().to_vec(),
-            num_scenarios: n,
-            full: full_vals,
-            compressed: comp_vals,
+        acc
+    }
+
+    /// [`sweep_fold`](Self::sweep_fold) on the approximate `f64` fast
+    /// path: scenarios are bound directly as `f64` rows
+    /// ([`PairBinder::bind_pair_into_f64`]) and each block is evaluated
+    /// through the lane kernel
+    /// ([`BatchEvaluator::eval_batch_fast_into`]), so large grids
+    /// aggregate at the lane-kernel per-scenario cost instead of exact
+    /// `Rat` arithmetic. Up to [`F64_PROBES`] evenly spaced scenarios are
+    /// additionally re-evaluated on the exact engines; the returned
+    /// [`F64Divergence`] records the largest observed deviation.
+    ///
+    /// `shadows` is the `(full, compressed)` pair of `f64` shadow engines
+    /// of this comparison's exact programs
+    /// ([`EvalProgram::to_f64_program`] preserves the variable numbering,
+    /// so the rows bind directly).
+    ///
+    /// # Panics
+    /// Panics if the shadow programs' shapes do not match the exact ones,
+    /// or under the [`PairBinder`] totality rules.
+    pub fn sweep_fold_f64<A>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        init: A,
+        mut f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> (A, F64Divergence) {
+        let (full64, comp64) = shadows;
+        let n = set.len();
+        let np = self.full.program().num_polys();
+        assert_eq!(
+            np,
+            self.compressed.program().num_polys(),
+            "polynomial sets must align"
+        );
+        assert_eq!(
+            full64.program().num_polys(),
+            np,
+            "f64 shadow must mirror the exact full program"
+        );
+        assert_eq!(
+            full64.program().num_locals(),
+            self.full.program().num_locals(),
+            "f64 shadow must share the full program's variable numbering"
+        );
+        assert_eq!(
+            comp64.program().num_polys(),
+            np,
+            "f64 shadow must mirror the exact compressed program"
+        );
+        assert_eq!(
+            comp64.program().num_locals(),
+            self.compressed.program().num_locals(),
+            "f64 shadow must share the compressed program's variable numbering"
+        );
+        let mut binder = PairBinder::new(self, metas, base, set);
+        let locals = self
+            .full
+            .program()
+            .num_locals()
+            .max(self.compressed.program().num_locals());
+        let block = stream_block(np, locals).min(n.max(1));
+        let mut full_rows: Vec<Vec<f64>> = (0..block)
+            .map(|_| vec![0.0; self.full.program().num_locals()])
+            .collect();
+        let mut comp_rows: Vec<Vec<f64>> = (0..block)
+            .map(|_| vec![0.0; self.compressed.program().num_locals()])
+            .collect();
+        let mut full_out = vec![0.0f64; block * np];
+        let mut comp_out = vec![0.0f64; block * np];
+
+        // Evenly spaced probe indices, deduplicated (n may be < F64_PROBES).
+        let probes: Vec<usize> = if n == 0 {
+            Vec::new()
+        } else {
+            let mut p: Vec<usize> = (0..F64_PROBES.min(n))
+                .map(|k| k * (n - 1) / (F64_PROBES.min(n) - 1).max(1))
+                .collect();
+            p.dedup();
+            p
+        };
+        let mut next_probe = 0usize;
+        let mut divergence = F64Divergence::default();
+        let mut probe_full_row = vec![Rat::ZERO; self.full.program().num_locals()];
+        let mut probe_comp_row = vec![Rat::ZERO; self.compressed.program().num_locals()];
+        let mut probe_out = vec![Rat::ZERO; np];
+
+        let mut acc = init;
+        let mut start = 0;
+        while start < n {
+            let width = block.min(n - start);
+            for k in 0..width {
+                let (frow, crow) = (&mut full_rows[k], &mut comp_rows[k]);
+                binder.bind_pair_into_f64(start + k, frow, crow);
+            }
+            full64.eval_batch_fast_into(&full_rows[..width], &mut full_out[..width * np]);
+            comp64.eval_batch_fast_into(&comp_rows[..width], &mut comp_out[..width * np]);
+            for k in 0..width {
+                let i = start + k;
+                let full = &full_out[k * np..(k + 1) * np];
+                let compressed = &comp_out[k * np..(k + 1) * np];
+                if next_probe < probes.len() && probes[next_probe] == i {
+                    next_probe += 1;
+                    divergence.probed += 1;
+                    binder.bind_pair_into(i, &mut probe_full_row, &mut probe_comp_row);
+                    self.full
+                        .program()
+                        .eval_scenario_into(&probe_full_row, &mut probe_out);
+                    divergence.record(&probe_out, full);
+                    self.compressed
+                        .program()
+                        .eval_scenario_into(&probe_comp_row, &mut probe_out);
+                    divergence.record(&probe_out, compressed);
+                }
+                acc = f(
+                    acc,
+                    FoldItem {
+                        scenario: i,
+                        full,
+                        compressed,
+                    },
+                );
+            }
+            start += width;
         }
+        (acc, divergence)
     }
 
     /// Projects and binds every scenario of `set` into materialized
@@ -225,6 +469,70 @@ impl ScenarioSweep {
     }
 }
 
+/// Results of an **approximate** batched sweep
+/// ([`CobraSession::sweep_f64`](crate::session::CobraSession::sweep_f64)):
+/// the `f64` sibling of [`ScenarioSweep`], stored flat (labels once, one
+/// `num_polys`-wide row per scenario per side) with the measured
+/// [`F64Divergence`] of the fast path attached.
+#[derive(Clone, Debug, Default)]
+pub struct F64ScenarioSweep {
+    pub(crate) labels: Vec<String>,
+    pub(crate) num_scenarios: usize,
+    pub(crate) full: Vec<f64>,
+    pub(crate) compressed: Vec<f64>,
+    pub(crate) divergence: F64Divergence,
+}
+
+impl F64ScenarioSweep {
+    /// Number of scenarios evaluated.
+    pub fn len(&self) -> usize {
+        self.num_scenarios
+    }
+
+    /// True iff no scenario was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.num_scenarios == 0
+    }
+
+    /// Number of result tuples per scenario.
+    pub fn num_polys(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Result-tuple labels, shared by every scenario.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Full-provenance results of one scenario, in label order.
+    pub fn full_row(&self, scenario: usize) -> &[f64] {
+        let np = self.labels.len();
+        &self.full[scenario * np..(scenario + 1) * np]
+    }
+
+    /// Compressed-provenance results of one scenario, in label order.
+    pub fn compressed_row(&self, scenario: usize) -> &[f64] {
+        let np = self.labels.len();
+        &self.compressed[scenario * np..(scenario + 1) * np]
+    }
+
+    /// The exact-vs-approximate divergence probe of the sweep.
+    pub fn divergence(&self) -> F64Divergence {
+        self.divergence
+    }
+
+    /// Largest relative full-vs-compressed error over every scenario and
+    /// result tuple (the abstraction's worst case over the family, in
+    /// floating point).
+    pub fn max_rel_error(&self) -> f64 {
+        self.full
+            .iter()
+            .zip(&self.compressed)
+            .map(|(f, c)| assign::rel_error_f64(*f, *c))
+            .fold(0.0, f64::max)
+    }
+}
+
 /// Evaluates the scenarios of `scenarios` (leaf-level, merged over `base`)
 /// on both the full and the compressed provenance through the compiled
 /// batch engine. Each scenario is projected onto the meta-variables by
@@ -244,6 +552,50 @@ pub fn sweep_full_vs_compressed(
     scenarios: impl Into<ScenarioSet>,
 ) -> ScenarioSweep {
     engines.sweep(metas, base, &scenarios.into())
+}
+
+/// Streams every scenario of `set` through a **single** compiled exact
+/// engine and folds the per-scenario result rows — the one-sided sibling
+/// of [`CompiledComparison::sweep_fold`] for consumers that evaluate one
+/// polynomial set without a full/compressed pair
+/// ([`sensitivity::scenario_impacts`](crate::sensitivity::scenario_impacts)
+/// ranks grid points through it). Scenarios are bound allocation-free by
+/// [`RowBinder`] and evaluated in blocks; `f` receives
+/// `(accumulator, scenario index, results)` in enumeration order, with
+/// the result slice borrowing the block buffer.
+///
+/// # Panics
+/// Panics if `base` is not total over the program (give it a default).
+pub fn fold_program_sweep<A>(
+    evaluator: &BatchEvaluator<Rat>,
+    base: &Valuation<Rat>,
+    set: &ScenarioSet,
+    init: A,
+    mut f: impl FnMut(A, usize, &[Rat]) -> A,
+) -> A {
+    let prog = evaluator.program();
+    let np = prog.num_polys();
+    let n = set.len();
+    let binder = RowBinder::new(set, prog, base);
+    let block = stream_block(np, prog.num_locals()).min(n.max(1));
+    let mut rows: Vec<Vec<Rat>> = (0..block)
+        .map(|_| vec![Rat::ZERO; prog.num_locals()])
+        .collect();
+    let mut out = vec![Rat::ZERO; block * np];
+    let mut acc = init;
+    let mut start = 0;
+    while start < n {
+        let width = block.min(n - start);
+        for (k, row) in rows[..width].iter_mut().enumerate() {
+            binder.bind_into(start + k, row);
+        }
+        evaluator.eval_batch_into(&rows[..width], &mut out[..width * np]);
+        for k in 0..width {
+            acc = f(acc, start + k, &out[k * np..(k + 1) * np]);
+        }
+        start += width;
+    }
+    acc
 }
 
 /// The canonical leaf/meta valuation pair for one scenario: the scenario
@@ -301,12 +653,15 @@ enum CompTarget {
 }
 
 /// One override slot of a grid axis (or perturbation family), resolved
-/// against both programs once at binder construction.
+/// against both programs once at binder construction. The `f64` shadow of
+/// the base value rides along so the approximate bind path never touches
+/// `Rat` arithmetic per scenario.
 #[derive(Clone, Copy, Debug)]
 struct PairSlot {
     full_local: Option<u32>,
     target: CompTarget,
     base_val: Rat,
+    base_val_f64: f64,
 }
 
 /// A touched meta-variable group: its compressed-side local plus the
@@ -316,6 +671,7 @@ struct PairSlot {
 struct GroupPlan {
     comp_local: Option<u32>,
     base_sum: Rat,
+    base_sum_f64: f64,
     count: usize,
 }
 
@@ -337,6 +693,17 @@ pub struct PairBinder<'a> {
     groups: Vec<GroupPlan>,
     /// Per-scenario group-delta accumulator (zeroed on every bind).
     scratch: Vec<Rat>,
+    /// `f64` shadows of the cached base rows and the group scratch, built
+    /// lazily on the first [`bind_pair_into_f64`](Self::bind_pair_into_f64)
+    /// call — exact-only sweeps never pay for the copies.
+    f64_ready: bool,
+    base_full_row_f64: Vec<f64>,
+    base_comp_row_f64: Vec<f64>,
+    scratch_f64: Vec<f64>,
+    /// Exact scratch rows for the explicit-set `f64` path (explicit
+    /// scenarios are merged and projected exactly, then converted).
+    explicit_full_scratch: Vec<Rat>,
+    explicit_comp_scratch: Vec<Rat>,
 }
 
 impl<'a> PairBinder<'a> {
@@ -365,6 +732,12 @@ impl<'a> PairBinder<'a> {
             slots: Vec::new(),
             groups: Vec::new(),
             scratch: Vec::new(),
+            f64_ready: false,
+            base_full_row_f64: Vec::new(),
+            base_comp_row_f64: Vec::new(),
+            scratch_f64: Vec::new(),
+            explicit_full_scratch: Vec::new(),
+            explicit_comp_scratch: Vec::new(),
         };
         if set.explicit().is_some() {
             return binder; // per-scenario merge path needs no plan
@@ -391,9 +764,12 @@ impl<'a> PairBinder<'a> {
             let target = if let Some(&g) = leaf_group.get(&v) {
                 let slot = *group_slot.entry(g).or_insert_with(|| {
                     let meta = &metas[g];
+                    let base_sum: Rat =
+                        meta.leaves.iter().map(|&l| base_value(base, l)).sum();
                     binder.groups.push(GroupPlan {
                         comp_local: comp.local_of(meta.var),
-                        base_sum: meta.leaves.iter().map(|&l| base_value(base, l)).sum(),
+                        base_sum,
+                        base_sum_f64: base_sum.to_f64(),
                         count: meta.leaves.len(),
                     });
                     (binder.groups.len() - 1) as u32
@@ -404,10 +780,12 @@ impl<'a> PairBinder<'a> {
             } else {
                 CompTarget::Direct(comp.local_of(v))
             };
+            let base_val = base_value(base, v);
             PairSlot {
                 full_local: full.local_of(v),
                 target,
-                base_val: base_value(base, v),
+                base_val,
+                base_val_f64: base_val.to_f64(),
             }
         };
         if let Some(axes) = set.axes() {
@@ -489,6 +867,104 @@ impl<'a> PairBinder<'a> {
                     if let Some(cl) = plan.comp_local {
                         comp_row[cl as usize] = (plan.base_sum + (new - s.base_val))
                             / Rat::int(plan.count as i64);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the lazily initialized `f64` shadows of the cached base
+    /// rows (grid/perturbation sets) or the exact scratch rows (explicit
+    /// sets).
+    fn ensure_f64(&mut self) {
+        if self.f64_ready {
+            return;
+        }
+        self.f64_ready = true;
+        if self.set.explicit().is_some() {
+            self.explicit_full_scratch = vec![Rat::ZERO; self.full.num_locals()];
+            self.explicit_comp_scratch = vec![Rat::ZERO; self.comp.num_locals()];
+        } else {
+            self.base_full_row_f64 = self.base_full_row.iter().map(|r| r.to_f64()).collect();
+            self.base_comp_row_f64 = self.base_comp_row.iter().map(|r| r.to_f64()).collect();
+            self.scratch_f64 = vec![0.0; self.groups.len()];
+        }
+    }
+
+    /// Binds scenario `i` into two **`f64`** row buffers — the
+    /// approximate bind path of [`CompiledComparison::sweep_fold_f64`].
+    /// Grid and perturbation overrides are resolved in floating point
+    /// against cached `f64` base rows (one write per override, group
+    /// averages included), so per-scenario work involves no `Rat`
+    /// arithmetic at all; explicit scenarios are merged and projected
+    /// exactly, then converted. The rows bind against the `f64` shadow
+    /// programs, which share the exact programs' variable numbering.
+    ///
+    /// # Panics
+    /// Same conditions as [`bind_pair_into`](Self::bind_pair_into).
+    pub fn bind_pair_into_f64(&mut self, i: usize, full_row: &mut [f64], comp_row: &mut [f64]) {
+        self.ensure_f64();
+        if self.set.explicit().is_some() {
+            let mut frow = std::mem::take(&mut self.explicit_full_scratch);
+            let mut crow = std::mem::take(&mut self.explicit_comp_scratch);
+            self.bind_pair_into(i, &mut frow, &mut crow);
+            for (slot, r) in full_row.iter_mut().zip(&frow) {
+                *slot = r.to_f64();
+            }
+            for (slot, r) in comp_row.iter_mut().zip(&crow) {
+                *slot = r.to_f64();
+            }
+            self.explicit_full_scratch = frow;
+            self.explicit_comp_scratch = crow;
+            return;
+        }
+        assert!(i < self.set.len(), "scenario index {i} out of range");
+        full_row.copy_from_slice(&self.base_full_row_f64);
+        comp_row.copy_from_slice(&self.base_comp_row_f64);
+        if let Some(axes) = self.set.axes() {
+            for d in &mut self.scratch_f64 {
+                *d = 0.0;
+            }
+            let slots = &self.slots;
+            let scratch = &mut self.scratch_f64;
+            for_each_grid_digit(axes, i, |j, digit| {
+                let axis = &axes[j];
+                let level = axis.levels()[digit].to_f64();
+                for s in &slots[j] {
+                    let new = axis.op().apply_f64(s.base_val_f64, level);
+                    if let Some(fl) = s.full_local {
+                        full_row[fl as usize] = new;
+                    }
+                    match s.target {
+                        CompTarget::Direct(Some(cl)) => comp_row[cl as usize] = new,
+                        CompTarget::Direct(None) | CompTarget::Ignore => {}
+                        CompTarget::Group(g) => {
+                            scratch[g as usize] += new - s.base_val_f64
+                        }
+                    }
+                }
+            });
+            for (plan, delta) in self.groups.iter().zip(&self.scratch_f64) {
+                if let Some(cl) = plan.comp_local {
+                    comp_row[cl as usize] =
+                        (plan.base_sum_f64 + *delta) / plan.count as f64;
+                }
+            }
+        } else if let Some((_, delta, op)) = self.set.perturbation() {
+            let s = self.slots[0][i];
+            let new = op.apply_f64(s.base_val_f64, delta.to_f64());
+            if let Some(fl) = s.full_local {
+                full_row[fl as usize] = new;
+            }
+            match s.target {
+                CompTarget::Direct(Some(cl)) => comp_row[cl as usize] = new,
+                CompTarget::Direct(None) | CompTarget::Ignore => {}
+                CompTarget::Group(g) => {
+                    let plan = &self.groups[g as usize];
+                    if let Some(cl) = plan.comp_local {
+                        comp_row[cl as usize] = (plan.base_sum_f64
+                            + (new - s.base_val_f64))
+                            / plan.count as f64;
                     }
                 }
             }
@@ -662,6 +1138,151 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         // f64 mapping binds against the shadow programs directly
         let (f64_rows, _) = engines.bind_rows(&applied.meta_vars, &base, &grid, |r| r.to_f64());
         assert_eq!(f64_rows[0].len(), engines.full.program().num_locals());
+    }
+
+    #[test]
+    fn sweep_fold_streams_in_enumeration_order() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let b_vars = ["b1", "b2", "e"].map(|n| reg.var(n));
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("1"), rat("1.25")])
+            .axis(b_vars, [rat("0.9"), rat("1.1")])
+            .build()
+            .unwrap();
+        let sweep = engines.sweep(&applied.meta_vars, &base, &grid);
+        // an appending fold reproduces the materialized sweep bit for bit,
+        // and scenarios arrive strictly in enumeration order
+        let (order, rows) = engines.sweep_fold(
+            &applied.meta_vars,
+            &base,
+            &grid,
+            (Vec::new(), Vec::new()),
+            |(mut order, mut rows): (Vec<usize>, Vec<Rat>), item| {
+                order.push(item.scenario);
+                rows.extend_from_slice(item.full);
+                rows.extend_from_slice(item.compressed);
+                (order, rows)
+            },
+        );
+        assert_eq!(order, (0..grid.len()).collect::<Vec<_>>());
+        for i in 0..grid.len() {
+            let np = sweep.num_polys();
+            assert_eq!(&rows[2 * i * np..(2 * i + 1) * np], sweep.full_row(i));
+            assert_eq!(
+                &rows[(2 * i + 1) * np..(2 * i + 2) * np],
+                sweep.compressed_row(i)
+            );
+        }
+    }
+
+    #[test]
+    fn f64_fold_tracks_exact_path_and_records_divergence() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let full64 = BatchEvaluator::new(engines.full.program().to_f64_program());
+        let comp64 = BatchEvaluator::new(engines.compressed.program().to_f64_program());
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let y1 = reg.var("y1");
+        let b_vars = ["b1", "b2", "e"].map(|n| reg.var(n));
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("1"), rat("1.25")])
+            .scale_axis(b_vars, [rat("0.9"), rat("1.1")])
+            .shift_axis([y1], [rat("0"), rat("0.125")])
+            .build()
+            .unwrap();
+        let exact = engines.sweep(&applied.meta_vars, &base, &grid);
+        let (approx, div) = engines.sweep_fold_f64(
+            (&full64, &comp64),
+            &applied.meta_vars,
+            &base,
+            &grid,
+            Vec::new(),
+            |mut rows: Vec<(Vec<f64>, Vec<f64>)>, item| {
+                rows.push((item.full.to_vec(), item.compressed.to_vec()));
+                rows
+            },
+        );
+        assert_eq!(approx.len(), grid.len());
+        assert!(div.probed > 0 && div.probed <= grid.len());
+        assert!(div.max_rel_divergence < 1e-12, "divergence {div:?}");
+        for (i, (full, comp)) in approx.iter().enumerate() {
+            for (e, a) in exact.full_row(i).iter().zip(full) {
+                assert!((e.to_f64() - a).abs() <= 1e-9 * e.to_f64().abs().max(1.0));
+            }
+            for (e, a) in exact.compressed_row(i).iter().zip(comp) {
+                assert!((e.to_f64() - a).abs() <= 1e-9 * e.to_f64().abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn f64_fold_handles_explicit_and_perturbation_sets() {
+        let (mut reg, set, applied) = setup();
+        let engines = CompiledComparison::compile(&set, &applied.compressed);
+        let full64 = BatchEvaluator::new(engines.full.program().to_f64_program());
+        let comp64 = BatchEvaluator::new(engines.compressed.program().to_f64_program());
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let b1 = reg.var("b1");
+        let explicit = [
+            Valuation::with_default(Rat::ONE).bind(m3, rat("0.8")),
+            Valuation::with_default(Rat::ONE).bind(b1, rat("1.3")),
+        ];
+        let perturb = ScenarioSet::perturb_each([m3, b1], rat("0.25"));
+        for family in [ScenarioSet::from(&explicit[..]), perturb] {
+            let exact = engines.sweep(&applied.meta_vars, &base, &family);
+            let (approx, div) = engines.sweep_fold_f64(
+                (&full64, &comp64),
+                &applied.meta_vars,
+                &base,
+                &family,
+                Vec::new(),
+                |mut rows: Vec<Vec<f64>>, item| {
+                    rows.push(item.full.to_vec());
+                    rows
+                },
+            );
+            assert_eq!(div.probed, family.len().min(16));
+            for (i, full) in approx.iter().enumerate() {
+                for (e, a) in exact.full_row(i).iter().zip(full) {
+                    assert!((e.to_f64() - a).abs() <= 1e-9 * e.to_f64().abs().max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_program_sweep_matches_direct_evaluation() {
+        let (mut reg, set, _) = setup();
+        let evaluator = BatchEvaluator::compile(&set);
+        let base = Valuation::with_default(Rat::ONE);
+        let m3 = reg.var("m3");
+        let grid = ScenarioSet::grid()
+            .axis([m3], [rat("0.8"), rat("0.9"), rat("1"), rat("1.1")])
+            .build()
+            .unwrap();
+        let rows = fold_program_sweep(
+            &evaluator,
+            &base,
+            &grid,
+            Vec::new(),
+            |mut acc: Vec<Vec<Rat>>, i, results| {
+                assert_eq!(i, acc.len());
+                acc.push(results.to_vec());
+                acc
+            },
+        );
+        assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            let val = base.overridden_by(&grid.scenario_valuation(i, &base));
+            for ((_, expected), got) in set.eval(&val).unwrap().iter().zip(row) {
+                assert_eq!(expected, got, "scenario {i}");
+            }
+        }
     }
 
     #[test]

@@ -87,6 +87,18 @@ impl AxisOp {
         }
     }
 
+    /// [`apply`](Self::apply) on the `f64` fast path — the same resolution
+    /// rule in floating point, used by the approximate sweep binder
+    /// ([`PairBinder::bind_pair_into_f64`](crate::scenario::PairBinder::bind_pair_into_f64)).
+    #[inline]
+    pub fn apply_f64(self, base: f64, level: f64) -> f64 {
+        match self {
+            AxisOp::Set => level,
+            AxisOp::Scale => base * level,
+            AxisOp::Shift => base + level,
+        }
+    }
+
     fn symbol(self) -> &'static str {
         match self {
             AxisOp::Set => "=",
@@ -181,8 +193,8 @@ enum Kind {
 ///
 /// Scenario `i` of a set is always *leaf-level overrides relative to a
 /// base valuation*: consumers merge it over their base exactly like a
-/// sparse [`Valuation`] scenario, which [`scenario_valuation`]
-/// (ScenarioSet::scenario_valuation) makes explicit.
+/// sparse [`Valuation`] scenario, which
+/// [`scenario_valuation`](ScenarioSet::scenario_valuation) makes explicit.
 #[derive(Clone, Debug)]
 pub struct ScenarioSet {
     kind: Kind,
@@ -198,6 +210,20 @@ impl ScenarioSet {
     /// base valuation (all other variables unchanged) — the
     /// finite-difference family of
     /// [`SensitivityReport::compute_sweep`](crate::sensitivity::SensitivityReport::compute_sweep).
+    ///
+    /// ```
+    /// use cobra_core::ScenarioSet;
+    /// use cobra_provenance::{Valuation, Var};
+    /// use cobra_util::Rat;
+    ///
+    /// let family = ScenarioSet::perturb_each([Var(0), Var(1)], Rat::new(1, 4));
+    /// assert_eq!(family.len(), 2); // one scenario per variable
+    /// let base = Valuation::with_default(Rat::ONE);
+    /// // scenario 1 bumps Var(1) by +1/4 and touches nothing else
+    /// let s1 = family.scenario_valuation(1, &base);
+    /// assert_eq!(s1.get(Var(1)), Some(Rat::new(5, 4)));
+    /// assert_eq!(s1.get_explicit(Var(0)), None);
+    /// ```
     pub fn perturb_each(vars: impl IntoIterator<Item = Var>, delta: Rat) -> ScenarioSet {
         ScenarioSet {
             kind: Kind::PerturbEach {
@@ -412,7 +438,44 @@ pub(crate) fn base_value(base: &Valuation<Rat>, v: Var) -> Rat {
 }
 
 /// Builder for grid-shaped [`ScenarioSet`]s. Axes enumerate in insertion
-/// order with the **last axis varying fastest**.
+/// order with the **last axis varying fastest** (row-major, nested-loop
+/// order); [`build`](Self::build) validates that no variable appears in
+/// two axis positions and that the cardinality fits `usize`.
+///
+/// Each axis moves a whole *group* of variables together through its
+/// levels — [`axis`](Self::axis) sets absolute values,
+/// [`scale_axis`](Self::scale_axis)/[`shift_axis`](Self::shift_axis)
+/// resolve multiplicatively/additively against the base valuation, and
+/// [`Axis::linspace`] generates exact evenly spaced levels:
+///
+/// ```
+/// use cobra_core::{Axis, ScenarioSet};
+/// use cobra_provenance::{Valuation, Var};
+/// use cobra_util::Rat;
+///
+/// let rat = |s: &str| Rat::parse(s).unwrap();
+/// let (m3, b1, b2) = (Var(0), Var(1), Var(2));
+/// let grid = ScenarioSet::grid()
+///     .axis([m3], [rat("0.8"), rat("1.2")])          // March −20% / +20%
+///     .scale_axis([b1, b2], [rat("1"), rat("1.1")])  // business ±0/+10%
+///     .push(Axis::linspace([Var(3)], rat("0.9"), rat("1.1"), 3))
+///     .build()
+///     .unwrap();
+/// assert_eq!(grid.len(), 2 * 2 * 3); // cartesian product of the axes
+///
+/// // Last axis fastest: scenario 1 moves only the linspace axis.
+/// let base = Valuation::with_default(Rat::ONE);
+/// let s1 = grid.scenario_valuation(1, &base);
+/// assert_eq!(s1.get(m3), Some(rat("0.8")));
+/// assert_eq!(s1.get(Var(3)), Some(rat("1"))); // midpoint, exact
+///
+/// // Overlapping axes are rejected at build time.
+/// assert!(ScenarioSet::grid()
+///     .axis([m3], [rat("1")])
+///     .shift_axis([m3], [rat("0.1")])
+///     .build()
+///     .is_err());
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct GridBuilder {
     axes: Vec<Axis>,

@@ -11,7 +11,8 @@
 //! so the report doubles as guidance for building abstraction trees (the
 //! paper leaves tree construction to the user's domain knowledge).
 
-use crate::scenario_set::{RowBinder, ScenarioSet};
+use crate::scenario::fold_program_sweep;
+use crate::scenario_set::ScenarioSet;
 use cobra_provenance::{BatchEvaluator, EvalProgram, PolySet, Valuation, Var, VarRegistry};
 use cobra_util::{Rat, Table};
 
@@ -149,7 +150,10 @@ pub fn scenario_impacts(
     impacts_against(&evaluator, val, &family)
 }
 
-/// Block-streamed impact computation against an already-compiled engine.
+/// Impact computation against an already-compiled engine, rebuilt on the
+/// one streaming fold engine ([`fold_program_sweep`]): the fold pushes
+/// one aggregate `Rat` per scenario, so beyond the returned vector the
+/// sweep runs in O(block) transient memory at any family cardinality.
 fn impacts_against(
     evaluator: &BatchEvaluator<Rat>,
     val: &Valuation<Rat>,
@@ -160,39 +164,22 @@ fn impacts_against(
         .bind(val)
         .expect("sensitivity requires a total valuation");
     let base = prog.eval_scenario(&base_row);
-    let np = prog.num_polys();
-    let n = family.len();
-    let binder = RowBinder::new(family, prog, val);
-    // Cap the block so the row buffers stay around a megabyte of values
-    // even for very wide programs (10⁵+ variables): peak memory is
-    // O(block × width), not O(n × width).
-    let block = (1usize << 20)
-        .checked_div(base_row.len())
-        .unwrap_or(1024)
-        .clamp(1, 1024)
-        .min(n.max(1));
-    let mut rows: Vec<Vec<Rat>> = (0..block).map(|_| base_row.clone()).collect();
-    let mut out = vec![Rat::ZERO; block * np];
-    let mut impacts = Vec::with_capacity(n);
-    let mut start = 0;
-    while start < n {
-        let width = block.min(n - start);
-        for (k, row) in rows[..width].iter_mut().enumerate() {
-            binder.bind_into(start + k, row);
-        }
-        evaluator.eval_batch_into(&rows[..width], &mut out[..width * np]);
-        for k in 0..width {
+    fold_program_sweep(
+        evaluator,
+        val,
+        family,
+        Vec::with_capacity(family.len()),
+        |mut impacts, _scenario, results| {
             impacts.push(
-                out[k * np..(k + 1) * np]
+                results
                     .iter()
                     .zip(&base)
                     .map(|(bumped, b)| (*bumped - *b).abs())
                     .sum::<Rat>(),
             );
-        }
-        start += width;
-    }
-    impacts
+            impacts
+        },
+    )
 }
 
 #[cfg(test)]

@@ -130,25 +130,33 @@ pub fn telephony_scenario_set(reg: &mut VarRegistry) -> ScenarioSet {
 /// factors (March ±20%, plans ±10%), giving `steps³` scenarios described
 /// in O(1) memory. `steps = 47` yields a 103 823-scenario grid.
 pub fn telephony_grid(reg: &mut VarRegistry, steps: usize) -> ScenarioSet {
+    telephony_grid_steps(reg, [steps; 3])
+}
+
+/// [`telephony_grid`] with a per-axis step count — the knob the streaming
+/// fold-sweep experiments turn to reach 10⁶–10⁷ scenarios (`[100; 3]` is
+/// a 10⁶-point grid, `[220; 3]` ≈ 1.06 × 10⁷) while the description stays
+/// three axes. Zero steps on any axis empties the grid.
+pub fn telephony_grid_steps(reg: &mut VarRegistry, steps: [usize; 3]) -> ScenarioSet {
     let rat = |s: &str| Rat::parse(s).expect("grid bound literal");
     ScenarioSet::grid()
         .push(Axis::linspace(
             march_discount().vars(reg),
             rat("0.8"),
             rat("1.2"),
-            steps,
+            steps[0],
         ))
         .push(Axis::linspace(
             business_increase().vars(reg),
             rat("0.9"),
             rat("1.1"),
-            steps,
+            steps[1],
         ))
         .push(Axis::linspace(
             [reg.var("p1"), reg.var("p2")],
             rat("0.9"),
             rat("1.1"),
-            steps,
+            steps[2],
         ))
         .build()
         .expect("telephony grid axes are disjoint")
@@ -185,6 +193,17 @@ mod tests {
         let m3 = reg.lookup("m3").unwrap();
         let base = Valuation::with_default(Rat::ONE);
         assert_eq!(set.scenario_valuation(0, &base).get(m3), Some(rat("0.8")));
+    }
+
+    #[test]
+    fn telephony_grid_steps_sets_per_axis_cardinality() {
+        let mut reg = VarRegistry::new();
+        let grid = telephony_grid_steps(&mut reg, [2, 3, 4]);
+        assert_eq!(grid.len(), 24);
+        // a 10⁷-scale grid is still three axes of O(steps) levels
+        let huge = telephony_grid_steps(&mut VarRegistry::new(), [220, 220, 220]);
+        assert_eq!(huge.len(), 10_648_000);
+        assert_eq!(huge.axes().unwrap().len(), 3);
     }
 
     #[test]

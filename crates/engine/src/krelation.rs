@@ -1,5 +1,5 @@
 //! K-relations: relations annotated with elements of an arbitrary
-//! commutative semiring (Green et al., PODS 2007 — the paper's [5]).
+//! commutative semiring (Green et al., PODS 2007 — the paper’s \[5\]).
 //!
 //! This is the tuple-level provenance model that provenance polynomials
 //! instantiate (take `K = ℕ[X]`, i.e. `Polynomial`). The module provides

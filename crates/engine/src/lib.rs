@@ -5,9 +5,9 @@
 //! (Fig. 4) that produces the polynomials COBRA compresses.
 //!
 //! The engine implements the aggregate-provenance semantics of Amsterdamer,
-//! Deutch & Tannen (PODS 2011, the paper's [2]) in the specialized form the
+//! Deutch & Tannen (PODS 2011, the paper’s \[2\]) in the specialized form the
 //! paper uses: selected input **cells** are parameterized by multiplying
-//! them with provenance variables ([`parameterize`]); arithmetic and `SUM`
+//! them with provenance variables ([`parameterize()`]); arithmetic and `SUM`
 //! aggregation then propagate symbolic values, so an aggregate query result
 //! is a [`cobra_provenance::Polynomial`] per output tuple (paper Example 2).
 //!
@@ -19,7 +19,7 @@
 //! * [`query`] — logical plans (scan, filter, project, equi-join,
 //!   group-by aggregate) with a builder API.
 //! * [`exec`] — the executor: hash joins, hash aggregation, symbolic SUM.
-//! * [`parameterize`] — cell-level instrumentation with provenance
+//! * [`parameterize()`] — cell-level instrumentation with provenance
 //!   variables (the paper's "instrument the data with symbolic variables").
 //! * [`sql`] — a SQL subset (SELECT/FROM/WHERE/GROUP BY) compiled to plans,
 //!   sufficient for the paper's running example and the TPC-H queries.

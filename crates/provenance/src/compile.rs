@@ -3,7 +3,7 @@
 //! COBRA's value proposition is that compressed provenance makes *repeated*
 //! hypothetical evaluation cheap — the paper's headline metric is the
 //! assignment speedup over many scenarios (§4). The tree-walking
-//! [`Polynomial::eval_dense`] path pays per-term pointer chasing (every
+//! [`Polynomial::eval_dense`](crate::Polynomial::eval_dense) path pays per-term pointer chasing (every
 //! monomial is its own heap allocation) and a `powi` call per variable
 //! occurrence on every scenario. This module lowers a whole [`PolySet`]
 //! once into a flat **CSR program** and then amortizes that work across
@@ -18,9 +18,9 @@
 //!   ([`cobra_util::par`]) and, on the `f64` fast path, blocking scenarios
 //!   into SIMD-friendly lanes so the term loop vectorizes.
 //!
-//! The exact [`Rat`](cobra_util::Rat) path is retained for correctness
+//! The exact [`Rat`] path is retained for correctness
 //! checks: `EvalProgram<Rat>` evaluation is term-for-term identical to
-//! [`Polynomial::eval`]. On the `f64` path the lane kernel performs the
+//! [`Polynomial::eval`](crate::Polynomial::eval). On the `f64` path the lane kernel performs the
 //! same multiply/add sequence per scenario as `eval_dense`, so results are
 //! bit-for-bit identical, not merely close.
 
@@ -186,7 +186,8 @@ impl<C: Coeff> EvalProgram<C> {
 
     /// Evaluates every polynomial for one scenario row into `out`
     /// (`num_polys` values). Term-for-term the same operation order as
-    /// [`Polynomial::eval_dense`], so exact rings give identical results.
+    /// [`Polynomial::eval_dense`](crate::Polynomial::eval_dense), so exact
+    /// rings give identical results.
     ///
     /// # Panics
     /// Panics if `scenario.len() != num_locals()` or
@@ -371,22 +372,36 @@ impl BatchEvaluator<f64> {
     /// # Panics
     /// Panics if any row's width differs from `num_locals()`.
     pub fn eval_batch_fast(&self, scenarios: &[Vec<f64>]) -> BatchResults<f64> {
+        let mut values = vec![0.0f64; scenarios.len() * self.program.num_polys()];
+        self.eval_batch_fast_into(scenarios, &mut values);
+        BatchResults {
+            values,
+            num_polys: self.program.num_polys(),
+            num_scenarios: scenarios.len(),
+        }
+    }
+
+    /// [`eval_batch_fast`](Self::eval_batch_fast) into a caller-provided
+    /// scenario-major output buffer (`scenarios.len() × num_polys`) — the
+    /// allocation-free path streaming fold-sweeps evaluate their blocks
+    /// through.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_fast_into(&self, scenarios: &[Vec<f64>], out: &mut [f64]) {
         let prog = &self.program;
         let np = prog.num_polys();
         let nl = prog.num_locals();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
         for row in scenarios {
             assert_eq!(row.len(), nl, "scenario row width");
         }
-        let mut values = vec![0.0f64; scenarios.len() * np];
         if np == 0 || scenarios.is_empty() {
-            return BatchResults {
-                values,
-                num_polys: np,
-                num_scenarios: scenarios.len(),
-            };
+            return;
         }
         // One parallel chunk = one lane block of scenarios.
-        par::par_chunks_mut(&mut values, LANES * np, |block, out| {
+        par::par_chunks_mut(out, LANES * np, |block, out| {
             let s0 = block * LANES;
             let width = (scenarios.len() - s0).min(LANES);
             // Transpose the block: vals[v * width + lane], so one term's
@@ -430,11 +445,6 @@ impl BatchEvaluator<f64> {
                 }
             }
         });
-        BatchResults {
-            values,
-            num_polys: np,
-            num_scenarios: scenarios.len(),
-        }
     }
 }
 

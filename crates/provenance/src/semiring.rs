@@ -1,7 +1,7 @@
 //! The provenance-semiring framework of Green, Karvounarakis & Tannen
-//! (PODS 2007) — the model the paper cites as [5].
+//! (PODS 2007) — the model the paper cites as \[5\].
 //!
-//! Provenance polynomials are the *free* commutative semiring ℕ[X]; every
+//! Provenance polynomials are the *free* commutative semiring ℕ\[X\]; every
 //! other provenance semantics is obtained by a semiring homomorphism from
 //! it. This module provides the [`Semiring`] abstraction, the standard
 //! instances used in the literature, and [`SemiringHom`] with the
@@ -12,7 +12,7 @@
 //! `cobra-engine` evaluates K-relations over any of these semirings; the
 //! COBRA pipeline itself instantiates the framework with polynomials over
 //! exact rationals (aggregate provenance in the style of Amsterdamer,
-//! Deutch & Tannen, PODS 2011 — the paper's [2]).
+//! Deutch & Tannen, PODS 2011 — the paper's \[2\]).
 
 use crate::poly::{Coeff, Polynomial};
 use crate::valuation::Valuation;
@@ -198,7 +198,7 @@ impl Semiring for Why {
 }
 
 /// Polynomials form a semiring over any coefficient ring — in particular
-/// ℕ[X] (how-provenance, the free commutative semiring) and the ℚ[X]
+/// ℕ\[X\] (how-provenance, the free commutative semiring) and the ℚ\[X\]
 /// aggregate-provenance expressions COBRA compresses.
 impl<C: Coeff> Semiring for Polynomial<C> {
     fn zero() -> Self {
@@ -218,7 +218,7 @@ impl<C: Coeff> Semiring for Polynomial<C> {
 /// A semiring homomorphism `K₁ → K₂`: preserves 0, 1, ⊕ and ⊗.
 ///
 /// The fundamental theorem of provenance semirings: any variable valuation
-/// `X → K` extends uniquely to a homomorphism ℕ[X] → K, and query
+/// `X → K` extends uniquely to a homomorphism ℕ\[X\] → K, and query
 /// evaluation commutes with it. [`eval_hom`] is that extension for
 /// polynomial provenance; COBRA's correctness (evaluating the compressed
 /// polynomial ≡ re-running the query on modified inputs) is an instance.
