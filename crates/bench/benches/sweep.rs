@@ -95,6 +95,36 @@ fn bench_fold_sweep(c: &mut Criterion) {
             });
         },
     );
+    // The parallel fold-combine engines (MergeFold replicas fanned across
+    // workers, merged in span order). On a single-core container these
+    // measure the fan-out overhead (≈1×); on multi-core hardware the
+    // scaling curve via COBRA_THREADS — see experiment E11.
+    let threads = cobra_util::par::num_threads();
+    group.bench_with_input(
+        BenchmarkId::new(format!("exact_rat_par_t{threads}"), grid.len()),
+        &(&session, &grid),
+        |b, (session, grid)| {
+            b.iter(|| {
+                session
+                    .sweep_fold_par(*grid, MaxAbsError::new())
+                    .expect("compressed")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("f64_lane_kernel_par_t{threads}"), grid.len()),
+        &(&session, &grid, &base),
+        |b, (session, grid, base)| {
+            b.iter(|| {
+                session
+                    .sweep_fold_f64_par(
+                        *grid,
+                        (MaxAbsError::new(), ArgmaxImpact::against((*base).clone())),
+                    )
+                    .expect("compressed")
+            });
+        },
+    );
     group.finish();
 }
 

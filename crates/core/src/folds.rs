@@ -21,7 +21,14 @@
 //!
 //! Every fold implements [`SweepFold`] and plugs into a fold sweep via
 //! [`step`]; all of them work on both the exact (`Rat`) and approximate
-//! (`f64`) streams.
+//! (`f64`) streams. Each built-in additionally implements [`MergeFold`] —
+//! a commutative merge of partial accumulators with ties broken toward
+//! the lowest scenario index — so the same fold runs unchanged on the
+//! parallel sweeps
+//! ([`CobraSession::sweep_fold_par`](crate::session::CobraSession::sweep_fold_par))
+//! with results bit-identical to the sequential pass at any thread
+//! count. Folds compose as tuples: `(MaxAbsError::new(), TopK::new(0, 5))`
+//! is itself a `MergeFold` answering both questions in one pass.
 //!
 //! # Example
 //!
@@ -103,6 +110,131 @@ pub fn step<C: Coeff, F: SweepFold>(mut fold: F, item: FoldItem<'_, C>) -> F {
     fold
 }
 
+/// A [`SweepFold`] whose partial accumulators can be **merged** — the
+/// monoid structure the parallel fold engines
+/// ([`CobraSession::sweep_fold_par`](crate::session::CobraSession::sweep_fold_par),
+/// [`CompiledComparison::sweep_fold_par`](crate::scenario::CompiledComparison::sweep_fold_par))
+/// fan scenario blocks across worker threads with: every worker owns a
+/// replica built by [`init`](Self::init), accepts its contiguous scenario
+/// span in ascending order, and the partials are merged back **in
+/// ascending span order**.
+///
+/// # Laws
+///
+/// For any split of an ascending item stream into consecutive runs,
+/// accepting each run into a fresh `init()` replica and merging the
+/// replicas in run order must equal accepting the whole stream into one
+/// accumulator. The engines guarantee the deterministic ascending merge
+/// order, so *ordered* monoids (e.g. an appending collector) are lawful;
+/// every built-in fold is additionally **commutative** — ties between
+/// equal aggregate values break toward the lowest scenario index, never
+/// toward whichever partial merged first — so results are bit-identical
+/// to the sequential fold at any thread count.
+///
+/// ```
+/// use cobra_core::folds::{MergeFold, SweepFold, TopK};
+/// use cobra_core::scenario::FoldItem;
+///
+/// // Split a stream across two replicas, merge, and get the sequential
+/// // answer back — the contract the parallel sweeps rely on.
+/// let proto = TopK::new(0, 2);
+/// let (mut a, mut b) = (proto.init(), proto.init());
+/// for (i, v) in [3.0, 9.0].iter().enumerate() {
+///     let row = [*v];
+///     a.accept(FoldItem { scenario: i, full: &row, compressed: &[] });
+/// }
+/// for (i, v) in [9.0, 4.0].iter().enumerate() {
+///     let row = [*v];
+///     b.accept(FoldItem { scenario: 2 + i, full: &row, compressed: &[] });
+/// }
+/// let mut merged = proto;
+/// merged.merge(a);
+/// merged.merge(b);
+/// // the 9.0 tie breaks toward scenario 1, not the later replica's 2
+/// assert_eq!(merged.finish(), vec![(1, 9.0), (2, 9.0)]);
+/// ```
+pub trait MergeFold: SweepFold + Sized {
+    /// A fresh replica carrying this fold's *configuration* (baseline,
+    /// range, `k`, …) but none of its observations — the identity element
+    /// handed to each worker.
+    fn init(&self) -> Self;
+
+    /// Folds another replica's observations into `self`. The engines call
+    /// this in ascending scenario order (`later` saw strictly later
+    /// scenario indices), and the built-ins are insensitive to the order
+    /// anyway.
+    fn merge(&mut self, later: Self);
+}
+
+/// Pairs fold in lockstep: both components see every item, so one pass
+/// answers two aggregate questions
+/// (`sweep_fold_par(set, (MaxAbsError::new(), TopK::new(0, 5)))`).
+impl<A: SweepFold, B: SweepFold> SweepFold for (A, B) {
+    type Output = (A::Output, B::Output);
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        self.0.accept(item);
+        self.1.accept(item);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish())
+    }
+}
+
+impl<A: MergeFold, B: MergeFold> MergeFold for (A, B) {
+    fn init(&self) -> Self {
+        (self.0.init(), self.1.init())
+    }
+
+    fn merge(&mut self, later: Self) {
+        self.0.merge(later.0);
+        self.1.merge(later.1);
+    }
+}
+
+/// Triples fold in lockstep, like the pair composition.
+impl<A: SweepFold, B: SweepFold, C2: SweepFold> SweepFold for (A, B, C2) {
+    type Output = (A::Output, B::Output, C2::Output);
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        self.0.accept(item);
+        self.1.accept(item);
+        self.2.accept(item);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish(), self.2.finish())
+    }
+}
+
+impl<A: MergeFold, B: MergeFold, C2: MergeFold> MergeFold for (A, B, C2) {
+    fn init(&self) -> Self {
+        (self.0.init(), self.1.init(), self.2.init())
+    }
+
+    fn merge(&mut self, later: Self) {
+        self.0.merge(later.0);
+        self.1.merge(later.1);
+        self.2.merge(later.2);
+    }
+}
+
+/// True iff `(challenger_stat, challenger_at)` beats the incumbent under
+/// the shared argmax rule: strictly larger statistic wins; equal
+/// statistics break toward the **lowest scenario index**. The rule makes
+/// every argmax-shaped fold merge-order independent — two partials
+/// observing the same extremum agree on the winner no matter which side
+/// of a span boundary (or merge tree) saw it.
+fn argmax_beats(challenger: (f64, usize), incumbent: Option<(f64, usize)>) -> bool {
+    match incumbent {
+        None => true,
+        Some((stat, at)) => {
+            challenger.0 > stat || (challenger.0 == stat && challenger.1 < at)
+        }
+    }
+}
+
 /// Worst-case full-vs-compressed error over the family: the largest
 /// absolute and relative deviations across every scenario and result
 /// tuple, with the scenario indices where they occur — the paper's
@@ -153,6 +285,37 @@ impl SweepFold for MaxAbsError {
     }
 }
 
+impl MergeFold for MaxAbsError {
+    fn init(&self) -> MaxAbsError {
+        MaxAbsError::new()
+    }
+
+    fn merge(&mut self, later: MaxAbsError) {
+        // An argmax of None means the replica never saw a nonzero error —
+        // nothing to contribute (`accept` only records strictly positive
+        // deviations). Equal errors break toward the lower scenario index,
+        // exactly like the sequential first-wins update.
+        if let Some(at) = later.argmax_abs {
+            if argmax_beats(
+                (later.max_abs_error, at),
+                self.argmax_abs.map(|i| (self.max_abs_error, i)),
+            ) {
+                self.max_abs_error = later.max_abs_error;
+                self.argmax_abs = Some(at);
+            }
+        }
+        if let Some(at) = later.argmax_rel {
+            if argmax_beats(
+                (later.max_rel_error, at),
+                self.argmax_rel.map(|i| (self.max_rel_error, i)),
+            ) {
+                self.max_rel_error = later.max_rel_error;
+                self.argmax_rel = Some(at);
+            }
+        }
+    }
+}
+
 /// The scenario whose results move farthest from a baseline: tracks
 /// `argmax_i Σ_p |full_p(i) − base_p|` — "which scenario maximizes
 /// impact?" over an unbounded stream. Construct it against the base
@@ -188,13 +351,42 @@ impl SweepFold for ArgmaxImpact {
             .zip(&self.base)
             .map(|(f, b)| (f.to_f64() - b).abs())
             .sum();
-        if self.best.is_none_or(|(_, best)| impact > best) {
+        // Explicit tie-break (lowest scenario index wins) instead of
+        // bare first-wins: on an ascending stream they coincide, and the
+        // explicit rule makes the winner independent of how scenarios
+        // were partitioned across parallel workers.
+        if argmax_beats(
+            (impact, item.scenario),
+            self.best.map(|(i, b)| (b, i)),
+        ) {
             self.best = Some((item.scenario, impact));
         }
     }
 
     fn finish(self) -> Option<(usize, f64)> {
         self.best
+    }
+}
+
+impl MergeFold for ArgmaxImpact {
+    fn init(&self) -> ArgmaxImpact {
+        ArgmaxImpact {
+            base: self.base.clone(),
+            best: None,
+        }
+    }
+
+    fn merge(&mut self, later: ArgmaxImpact) {
+        // Release-mode check, matching Histogram/TopK: merging replicas
+        // built against different baselines would compare incommensurate
+        // impacts silently. O(num_polys) once per merge — merges are
+        // O(workers), never per scenario.
+        assert_eq!(self.base, later.base, "replicas must share the baseline");
+        if let Some((at, impact)) = later.best {
+            if argmax_beats((impact, at), self.best.map(|(i, b)| (b, i))) {
+                self.best = Some((at, impact));
+            }
+        }
     }
 }
 
@@ -261,6 +453,25 @@ impl SweepFold for Histogram {
     }
 }
 
+impl MergeFold for Histogram {
+    fn init(&self) -> Histogram {
+        Histogram::new(self.poly, self.lo, self.hi, self.counts.len())
+    }
+
+    fn merge(&mut self, later: Histogram) {
+        assert_eq!(
+            (self.poly, self.lo, self.hi, self.counts.len()),
+            (later.poly, later.lo, later.hi, later.counts.len()),
+            "histogram replicas must share their binning"
+        );
+        for (c, l) in self.counts.iter_mut().zip(&later.counts) {
+            *c += l;
+        }
+        self.underflow += later.underflow;
+        self.overflow += later.overflow;
+    }
+}
+
 /// `f64` keyed by `total_cmp` so scenario values can live in a heap.
 #[derive(Clone, Copy, Debug, PartialEq)]
 struct OrdF64(f64);
@@ -301,16 +512,15 @@ impl TopK {
             heap: BinaryHeap::with_capacity(k + 1),
         }
     }
-}
 
-impl SweepFold for TopK {
-    type Output = Vec<(usize, f64)>;
-
-    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+    /// Offers one `(value, scenario)` candidate to the heap under the
+    /// total `(value desc, scenario asc)` order — shared by `accept` and
+    /// `merge`, so selection is a pure top-`k` over that order and cannot
+    /// depend on which worker (or in which order) a candidate arrived.
+    fn offer(&mut self, entry: Reverse<(OrdF64, Reverse<usize>)>) {
         if self.k == 0 {
             return;
         }
-        let entry = Reverse((OrdF64(item.full[self.poly].to_f64()), Reverse(item.scenario)));
         if self.heap.len() < self.k {
             self.heap.push(entry);
         } else if let Some(weakest) = self.heap.peek() {
@@ -319,6 +529,17 @@ impl SweepFold for TopK {
                 self.heap.push(entry);
             }
         }
+    }
+}
+
+impl SweepFold for TopK {
+    type Output = Vec<(usize, f64)>;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        self.offer(Reverse((
+            OrdF64(item.full[self.poly].to_f64()),
+            Reverse(item.scenario),
+        )));
     }
 
     /// The kept scenarios as `(scenario index, value)`, best first.
@@ -330,6 +551,23 @@ impl SweepFold for TopK {
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
+    }
+}
+
+impl MergeFold for TopK {
+    fn init(&self) -> TopK {
+        TopK::new(self.poly, self.k)
+    }
+
+    fn merge(&mut self, later: TopK) {
+        assert_eq!(
+            (self.poly, self.k),
+            (later.poly, later.k),
+            "top-k replicas must share their configuration"
+        );
+        for entry in later.heap {
+            self.offer(entry);
+        }
     }
 }
 
@@ -396,6 +634,190 @@ mod tests {
         assert_eq!(h.underflow, 1);
         assert_eq!(h.overflow, 1);
         assert_eq!(h.total(), 7);
+    }
+
+    /// Splits `items` at every possible boundary into two replicas of
+    /// `proto`, merges them both ways where the fold is commutative, and
+    /// checks the merged result equals sequentially accepting everything.
+    fn check_merge_law<F>(proto: &F, items: &[(usize, Vec<f64>, Vec<f64>)], expect: &F)
+    where
+        F: MergeFold + Clone + std::fmt::Debug + PartialEq,
+    {
+        for split in 0..=items.len() {
+            let (mut a, mut b) = (proto.init(), proto.init());
+            for (s, full, comp) in &items[..split] {
+                a.accept(item(*s, full, comp));
+            }
+            for (s, full, comp) in &items[split..] {
+                b.accept(item(*s, full, comp));
+            }
+            let mut ordered = proto.clone();
+            ordered.merge(a.clone());
+            ordered.merge(b.clone());
+            assert_eq!(&ordered, expect, "split {split}");
+            // the built-ins are commutative, not just ordered
+            let mut reversed = proto.clone();
+            reversed.merge(b);
+            reversed.merge(a);
+            assert_eq!(&reversed, expect, "reversed split {split}");
+        }
+    }
+
+    #[test]
+    fn max_abs_error_merge_matches_sequential_with_ties() {
+        // scenarios 1 and 3 produce the *same* absolute error: the lowest
+        // scenario index must win no matter where the split lands
+        let items: Vec<(usize, Vec<f64>, Vec<f64>)> = vec![
+            (0, vec![10.0], vec![10.0]),
+            (1, vec![10.0], vec![9.0]),
+            (2, vec![4.0], vec![4.5]),
+            (3, vec![20.0], vec![19.0]),
+        ];
+        let mut expect = MaxAbsError::new();
+        for (s, full, comp) in &items {
+            expect.accept(item(*s, full, comp));
+        }
+        assert_eq!(expect.argmax_abs, Some(1)); // 1.0 first at scenario 1
+        check_merge_law(&MaxAbsError::new(), &items, &expect);
+        // merging two empty replicas stays empty
+        let mut empty = MaxAbsError::new();
+        empty.merge(MaxAbsError::new());
+        assert_eq!(empty.argmax_abs, None);
+        assert_eq!(empty.max_abs_error, 0.0);
+    }
+
+    impl PartialEq for MaxAbsError {
+        fn eq(&self, other: &MaxAbsError) -> bool {
+            self.max_abs_error == other.max_abs_error
+                && self.argmax_abs == other.argmax_abs
+                && self.max_rel_error == other.max_rel_error
+                && self.argmax_rel == other.argmax_rel
+        }
+    }
+
+    #[test]
+    fn argmax_impact_ties_break_to_lowest_scenario_index() {
+        // baseline 10: scenarios 1 and 2 both move by exactly 2.0
+        let items: Vec<(usize, Vec<f64>, Vec<f64>)> = vec![
+            (0, vec![10.0], vec![]),
+            (1, vec![12.0], vec![]),
+            (2, vec![8.0], vec![]),
+            (3, vec![11.0], vec![]),
+        ];
+        let proto = ArgmaxImpact::against(vec![10.0]);
+        let mut expect = proto.init();
+        for (s, full, comp) in &items {
+            expect.accept(item(*s, full, comp));
+        }
+        assert_eq!(expect.best(), Some((1, 2.0)));
+        // even accepting the tied later scenario FIRST cannot steal the
+        // argmax: the tie-break is by index, not arrival order
+        let mut late_first = proto.init();
+        late_first.accept(item(2, &[8.0], &[]));
+        late_first.accept(item(1, &[12.0], &[]));
+        assert_eq!(late_first.best(), Some((1, 2.0)));
+        check_merge_law(&proto, &items, &expect);
+    }
+
+    impl PartialEq for ArgmaxImpact {
+        fn eq(&self, other: &ArgmaxImpact) -> bool {
+            self.base == other.base && self.best == other.best
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let items: Vec<(usize, Vec<f64>, Vec<f64>)> = [0.5, 3.0, 11.0, -2.0, 7.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, vec![v], vec![]))
+            .collect();
+        let proto = Histogram::new(0, 0.0, 10.0, 5);
+        let mut expect = proto.init();
+        for (s, full, comp) in &items {
+            expect.accept(item(*s, full, comp));
+        }
+        check_merge_law(&proto, &items, &expect);
+    }
+
+    impl PartialEq for Histogram {
+        fn eq(&self, other: &Histogram) -> bool {
+            self.counts == other.counts
+                && self.underflow == other.underflow
+                && self.overflow == other.overflow
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binning")]
+    fn histogram_merge_rejects_mismatched_binning() {
+        Histogram::new(0, 0.0, 10.0, 5).merge(Histogram::new(0, 0.0, 10.0, 6));
+    }
+
+    #[test]
+    fn top_k_merge_keeps_lowest_index_on_cross_replica_ties() {
+        // three-way tie at 5.0 spanning any split point: the kept pair
+        // must always be the two lowest scenario indices {1, 3}
+        let items: Vec<(usize, Vec<f64>, Vec<f64>)> = [1.0, 5.0, 3.0, 5.0, 5.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, vec![v], vec![]))
+            .collect();
+        let proto = TopK::new(0, 2);
+        let mut expect = proto.init();
+        for (s, full, comp) in &items {
+            expect.accept(item(*s, full, comp));
+        }
+        for split in 0..=items.len() {
+            let (mut a, mut b) = (proto.init(), proto.init());
+            for (s, full, comp) in &items[..split] {
+                a.accept(item(*s, full, comp));
+            }
+            for (s, full, comp) in &items[split..] {
+                b.accept(item(*s, full, comp));
+            }
+            let mut merged = proto.init();
+            merged.merge(b); // commutative: later replica first
+            merged.merge(a);
+            assert_eq!(
+                merged.finish(),
+                vec![(1, 5.0), (3, 5.0)],
+                "split {split}"
+            );
+        }
+        assert_eq!(expect.finish(), vec![(1, 5.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn tuple_folds_compose_and_merge() {
+        let proto = (
+            MaxAbsError::new(),
+            ArgmaxImpact::against(vec![10.0]),
+            TopK::new(0, 2),
+        );
+        let items: Vec<(usize, Vec<f64>, Vec<f64>)> = vec![
+            (0, vec![10.0], vec![10.0]),
+            (1, vec![13.0], vec![12.0]),
+            (2, vec![6.0], vec![6.0]),
+        ];
+        let mut seq = proto.init();
+        for (s, full, comp) in &items {
+            seq.accept(item(*s, full, comp));
+        }
+        let (mut a, mut b) = (proto.init(), proto.init());
+        a.accept(item(0, &items[0].1, &items[0].2));
+        b.accept(item(1, &items[1].1, &items[1].2));
+        b.accept(item(2, &items[2].1, &items[2].2));
+        let mut merged = proto.init();
+        merged.merge(a);
+        merged.merge(b);
+        let (worst, impact, top) = merged.finish();
+        let (sworst, simpact, stop) = seq.finish();
+        assert_eq!(worst.argmax_abs, sworst.argmax_abs);
+        assert_eq!(worst.max_abs_error, sworst.max_abs_error);
+        assert_eq!(impact, simpact);
+        assert_eq!(impact, Some((2, 4.0))); // |6 − 10| beats |13 − 10|
+        assert_eq!(top, stop);
     }
 
     #[test]

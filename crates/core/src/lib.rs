@@ -33,9 +33,13 @@
 //! * [`scenario`] — batched scenario sweeps over the compiled evaluation
 //!   engine: many hypotheticals evaluated in one pass on both the full and
 //!   the compressed provenance, with allocation-free grid binding and the
-//!   streaming fold engine every sweep surface is built on.
+//!   streaming fold engine every sweep surface is built on — plus the
+//!   parallel fold-combine engines (`sweep_fold_par`,
+//!   [`fold_program_sweep_par`]) that fan scenario spans across cores.
 //! * [`folds`] — built-in O(1)-memory sweep aggregates ([`folds::MaxAbsError`],
-//!   [`folds::ArgmaxImpact`], [`folds::Histogram`], [`folds::TopK`]).
+//!   [`folds::ArgmaxImpact`], [`folds::Histogram`], [`folds::TopK`]), all
+//!   mergeable ([`MergeFold`]) so the same fold runs sequentially or
+//!   fanned across cores with bit-identical results.
 //! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
 //! * [`report`] — displayable compression reports.
 //!
@@ -82,14 +86,17 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
-pub use folds::SweepFold;
+pub use folds::{MergeFold, SweepFold};
 pub use scenario::{
-    fold_program_sweep, measure_sweep_speedup, sweep_full_vs_compressed, CompiledComparison,
-    F64Divergence, F64ScenarioSweep, FoldItem, PairBinder, ScenarioSweep,
+    fold_program_sweep, fold_program_sweep_par, measure_sweep_speedup, sweep_full_vs_compressed,
+    CompiledComparison, F64Divergence, F64ScenarioSweep, FoldItem, PairBinder, ScenarioSweep,
 };
 pub use scenario_set::{Axis, AxisOp, GridBuilder, RowBinder, ScenarioSet};
 pub use sensitivity::{scenario_impacts, SensitivityReport};
-pub use multi::{forest_sweep, forest_sweep_fold, optimize_forest_descent, ForestSolution};
+pub use multi::{
+    forest_sweep, forest_sweep_fold, forest_sweep_fold_par, optimize_forest_descent,
+    ForestSolution,
+};
 pub use report::CompressionReport;
 pub use session::{CobraSession, MetaSummaryRow};
 pub use tree::{AbstractionTree, NodeId, TreeSpec};

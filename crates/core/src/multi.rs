@@ -170,6 +170,23 @@ pub fn forest_sweep_fold<A>(
     engines.sweep_fold(&applied.meta_vars, base, &scenarios.into(), init, f)
 }
 
+/// [`forest_sweep_fold`] **fanned across cores**: any
+/// [`MergeFold`](crate::folds::MergeFold) aggregates a multi-tree
+/// compression's full-vs-compressed stream with per-worker binders and
+/// fold replicas, merged in ascending span order — bit-identical to the
+/// sequential fold at any thread count (see
+/// [`CompiledComparison::sweep_fold_par`]).
+pub fn forest_sweep_fold_par<F: crate::folds::MergeFold + Send + Sync>(
+    set: &PolySet<Rat>,
+    applied: &AppliedAbstraction<Rat>,
+    base: &Valuation<Rat>,
+    scenarios: impl Into<ScenarioSet>,
+    fold: F,
+) -> F {
+    let engines = CompiledComparison::compile(set, &applied.compressed);
+    engines.sweep_fold_par(&applied.meta_vars, base, &scenarios.into(), fold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

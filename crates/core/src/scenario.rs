@@ -18,11 +18,14 @@
 
 use crate::assign::{self, ResultComparison, ResultRow, SpeedupMeasurement};
 use crate::cut::MetaVar;
+use crate::folds::MergeFold;
 use crate::scenario_set::{base_value, for_each_grid_digit, RowBinder, ScenarioSet};
 use cobra_provenance::compile::LANES;
-use cobra_provenance::{BatchEvaluator, Coeff, EvalProgram, PolySet, Valuation, Var};
+use cobra_provenance::{
+    BatchEvaluator, Coeff, EvalProgram, LaneScratch, PolySet, Valuation, Var,
+};
 use cobra_util::timing::time_best_of;
-use cobra_util::{FxHashMap, FxHashSet, Rat};
+use cobra_util::{par, FxHashMap, FxHashSet, Rat};
 
 /// Scenarios bound and evaluated per streamed block: a handful of lane
 /// blocks, so peak transient memory stays O(block × row) regardless of the
@@ -56,7 +59,7 @@ pub const F64_PROBES: usize = 16;
 /// set's enumeration order plus its full-side and compressed-side result
 /// rows (one value per polynomial, in label order). The rows borrow the
 /// engine's block buffers — copy out whatever the fold needs to keep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Debug)]
 pub struct FoldItem<'a, C> {
     /// Index of the scenario in the [`ScenarioSet`] enumeration order.
     pub scenario: usize,
@@ -65,6 +68,17 @@ pub struct FoldItem<'a, C> {
     /// Compressed-provenance results, in label order.
     pub compressed: &'a [C],
 }
+
+// Manual impls: the derive would demand `C: Copy`, but the fields are
+// shared slices — items are freely copyable for any coefficient type
+// (tuple folds hand the same item to each component).
+impl<C> Clone for FoldItem<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<C> Copy for FoldItem<'_, C> {}
 
 /// Measured divergence of an approximate (`f64`) fold-sweep from the
 /// exact path: up to [`F64_PROBES`] evenly spaced scenarios are re-bound
@@ -91,6 +105,29 @@ impl F64Divergence {
             self.max_rel_divergence = self.max_rel_divergence.max(d);
         }
     }
+
+    /// Combines disjoint probe sets (parallel workers probe the scenarios
+    /// falling in their own spans): counts add, maxima max — commutative,
+    /// so the combined record is independent of the worker partition.
+    fn merge(&mut self, other: F64Divergence) {
+        self.probed += other.probed;
+        self.max_rel_divergence = self.max_rel_divergence.max(other.max_rel_divergence);
+    }
+}
+
+/// The evenly spaced probe indices of an `n`-scenario `f64` sweep:
+/// up to [`F64_PROBES`] indices, deduplicated (`n` may be smaller).
+/// Factored out so the sequential and parallel `f64` engines re-evaluate
+/// exactly the same scenarios.
+fn f64_probe_indices(n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut p: Vec<usize> = (0..F64_PROBES.min(n))
+        .map(|k| k * (n - 1) / (F64_PROBES.min(n) - 1).max(1))
+        .collect();
+    p.dedup();
+    p
 }
 
 /// The full-vs-compressed engines for one compression outcome, compiled
@@ -223,6 +260,99 @@ impl CompiledComparison {
         acc
     }
 
+    /// [`sweep_fold`](Self::sweep_fold) with **binding and evaluation
+    /// fanned across cores**: the scenario range is split into contiguous
+    /// per-worker spans ([`cobra_util::par::par_owned_spans`]), each
+    /// worker owns its own [`PairBinder`], batch buffers and a fold
+    /// replica ([`MergeFold::init`]), and the partial accumulators merge
+    /// back in ascending span order ([`MergeFold::merge`]). The sequential
+    /// fold engine streams blocks one at a time — only each block's
+    /// *evaluation* used the cores, while binding (the dominant cost for
+    /// compressed programs) ran on one thread; here whole spans bind and
+    /// evaluate concurrently, lifting that bottleneck at 10⁷⁺ scenarios.
+    ///
+    /// Results are **bit-identical** to
+    /// [`sweep_fold`](Self::sweep_fold)`(…, fold, folds::step)` at any
+    /// thread count (`COBRA_THREADS` or
+    /// [`cobra_util::par::with_threads`]): workers
+    /// accept disjoint ascending spans, evaluation is per-scenario
+    /// deterministic, and the [`MergeFold`] laws make the ordered merge
+    /// equal to one sequential pass.
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold`](Self::sweep_fold).
+    pub fn sweep_fold_par<F: MergeFold + Send + Sync>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        fold: F,
+    ) -> F {
+        let n = set.len();
+        let np = self.full.program().num_polys();
+        assert_eq!(
+            np,
+            self.compressed.program().num_polys(),
+            "polynomial sets must align"
+        );
+        if n == 0 {
+            return fold;
+        }
+        let locals = self
+            .full
+            .program()
+            .num_locals()
+            .max(self.compressed.program().num_locals());
+        let block = stream_block(np, locals).min(n);
+        let partials = par::par_owned_spans(
+            n,
+            1,
+            || {
+                let full_rows: Vec<Vec<Rat>> = (0..block)
+                    .map(|_| vec![Rat::ZERO; self.full.program().num_locals()])
+                    .collect();
+                let comp_rows: Vec<Vec<Rat>> = (0..block)
+                    .map(|_| vec![Rat::ZERO; self.compressed.program().num_locals()])
+                    .collect();
+                (
+                    PairBinder::new(self, metas, base, set),
+                    full_rows,
+                    comp_rows,
+                    vec![Rat::ZERO; block * np],
+                    vec![Rat::ZERO; block * np],
+                    fold.init(),
+                )
+            },
+            |state, range| {
+                let (binder, full_rows, comp_rows, full_out, comp_out, f) = state;
+                let mut start = range.start;
+                while start < range.end {
+                    let width = block.min(range.end - start);
+                    for k in 0..width {
+                        binder.bind_pair_into(start + k, &mut full_rows[k], &mut comp_rows[k]);
+                    }
+                    self.full
+                        .eval_batch_serial_into(&full_rows[..width], &mut full_out[..width * np]);
+                    self.compressed
+                        .eval_batch_serial_into(&comp_rows[..width], &mut comp_out[..width * np]);
+                    for k in 0..width {
+                        f.accept(FoldItem {
+                            scenario: start + k,
+                            full: &full_out[k * np..(k + 1) * np],
+                            compressed: &comp_out[k * np..(k + 1) * np],
+                        });
+                    }
+                    start += width;
+                }
+            },
+        );
+        let mut fold = fold;
+        for partial in partials {
+            fold.merge(partial.5);
+        }
+        fold
+    }
+
     /// [`sweep_fold`](Self::sweep_fold) on the approximate `f64` fast
     /// path: scenarios are bound directly as `f64` rows
     /// ([`PairBinder::bind_pair_into_f64`]) and each block is evaluated
@@ -253,31 +383,7 @@ impl CompiledComparison {
         let (full64, comp64) = shadows;
         let n = set.len();
         let np = self.full.program().num_polys();
-        assert_eq!(
-            np,
-            self.compressed.program().num_polys(),
-            "polynomial sets must align"
-        );
-        assert_eq!(
-            full64.program().num_polys(),
-            np,
-            "f64 shadow must mirror the exact full program"
-        );
-        assert_eq!(
-            full64.program().num_locals(),
-            self.full.program().num_locals(),
-            "f64 shadow must share the full program's variable numbering"
-        );
-        assert_eq!(
-            comp64.program().num_polys(),
-            np,
-            "f64 shadow must mirror the exact compressed program"
-        );
-        assert_eq!(
-            comp64.program().num_locals(),
-            self.compressed.program().num_locals(),
-            "f64 shadow must share the compressed program's variable numbering"
-        );
+        self.assert_f64_shadows(full64, comp64);
         let mut binder = PairBinder::new(self, metas, base, set);
         let locals = self
             .full
@@ -295,15 +401,7 @@ impl CompiledComparison {
         let mut comp_out = vec![0.0f64; block * np];
 
         // Evenly spaced probe indices, deduplicated (n may be < F64_PROBES).
-        let probes: Vec<usize> = if n == 0 {
-            Vec::new()
-        } else {
-            let mut p: Vec<usize> = (0..F64_PROBES.min(n))
-                .map(|k| k * (n - 1) / (F64_PROBES.min(n) - 1).max(1))
-                .collect();
-            p.dedup();
-            p
-        };
+        let probes = f64_probe_indices(n);
         let mut next_probe = 0usize;
         let mut divergence = F64Divergence::default();
         let mut probe_full_row = vec![Rat::ZERO; self.full.program().num_locals()];
@@ -349,6 +447,172 @@ impl CompiledComparison {
             start += width;
         }
         (acc, divergence)
+    }
+
+    /// [`sweep_fold_f64`](Self::sweep_fold_f64) with binding, lane-kernel
+    /// evaluation **and** the divergence probes fanned across cores — the
+    /// parallel sibling pairing [`sweep_fold_par`](Self::sweep_fold_par)
+    /// with the `f64` fast path. Each worker owns a [`PairBinder`], `f64`
+    /// row/result buffers, one [`LaneScratch`] (reused across all of its
+    /// blocks) and a fold replica; workers re-evaluate exactly the probe
+    /// scenarios falling inside their own spans, so the merged
+    /// [`F64Divergence`] covers the same probes as the sequential engine.
+    ///
+    /// Per scenario the lane kernel performs the same multiply/add
+    /// sequence regardless of blocking or worker, so the fold output and
+    /// the divergence record are bit-identical to
+    /// [`sweep_fold_f64`](Self::sweep_fold_f64) at any thread count.
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold_f64`](Self::sweep_fold_f64).
+    pub fn sweep_fold_f64_par<F: MergeFold + Send + Sync>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        fold: F,
+    ) -> (F, F64Divergence) {
+        let (full64, comp64) = shadows;
+        let n = set.len();
+        let np = self.full.program().num_polys();
+        self.assert_f64_shadows(full64, comp64);
+        if n == 0 {
+            return (fold, F64Divergence::default());
+        }
+        let locals = self
+            .full
+            .program()
+            .num_locals()
+            .max(self.compressed.program().num_locals());
+        let block = stream_block(np, locals).min(n);
+        let probes = f64_probe_indices(n);
+
+        struct Worker<'a, F> {
+            binder: PairBinder<'a>,
+            full_rows: Vec<Vec<f64>>,
+            comp_rows: Vec<Vec<f64>>,
+            full_out: Vec<f64>,
+            comp_out: Vec<f64>,
+            scratch: LaneScratch,
+            probe_full_row: Vec<Rat>,
+            probe_comp_row: Vec<Rat>,
+            probe_out: Vec<Rat>,
+            divergence: F64Divergence,
+            fold: F,
+        }
+
+        let partials = par::par_owned_spans(
+            n,
+            1,
+            || Worker {
+                binder: PairBinder::new(self, metas, base, set),
+                full_rows: (0..block)
+                    .map(|_| vec![0.0f64; self.full.program().num_locals()])
+                    .collect(),
+                comp_rows: (0..block)
+                    .map(|_| vec![0.0f64; self.compressed.program().num_locals()])
+                    .collect(),
+                full_out: vec![0.0f64; block * np],
+                comp_out: vec![0.0f64; block * np],
+                scratch: LaneScratch::new(),
+                probe_full_row: vec![Rat::ZERO; self.full.program().num_locals()],
+                probe_comp_row: vec![Rat::ZERO; self.compressed.program().num_locals()],
+                probe_out: vec![Rat::ZERO; np],
+                divergence: F64Divergence::default(),
+                fold: fold.init(),
+            },
+            |w, range| {
+                // First probe index at or past this span's start.
+                let mut next_probe = probes.partition_point(|&p| p < range.start);
+                let mut start = range.start;
+                while start < range.end {
+                    let width = block.min(range.end - start);
+                    for k in 0..width {
+                        w.binder.bind_pair_into_f64(
+                            start + k,
+                            &mut w.full_rows[k],
+                            &mut w.comp_rows[k],
+                        );
+                    }
+                    full64.eval_batch_fast_serial_into(
+                        &w.full_rows[..width],
+                        &mut w.full_out[..width * np],
+                        &mut w.scratch,
+                    );
+                    comp64.eval_batch_fast_serial_into(
+                        &w.comp_rows[..width],
+                        &mut w.comp_out[..width * np],
+                        &mut w.scratch,
+                    );
+                    for k in 0..width {
+                        let i = start + k;
+                        let full = &w.full_out[k * np..(k + 1) * np];
+                        let compressed = &w.comp_out[k * np..(k + 1) * np];
+                        if next_probe < probes.len() && probes[next_probe] == i {
+                            next_probe += 1;
+                            w.divergence.probed += 1;
+                            w.binder.bind_pair_into(
+                                i,
+                                &mut w.probe_full_row,
+                                &mut w.probe_comp_row,
+                            );
+                            self.full
+                                .program()
+                                .eval_scenario_into(&w.probe_full_row, &mut w.probe_out);
+                            w.divergence.record(&w.probe_out, full);
+                            self.compressed
+                                .program()
+                                .eval_scenario_into(&w.probe_comp_row, &mut w.probe_out);
+                            w.divergence.record(&w.probe_out, compressed);
+                        }
+                        w.fold.accept(FoldItem {
+                            scenario: i,
+                            full,
+                            compressed,
+                        });
+                    }
+                    start += width;
+                }
+            },
+        );
+        let mut fold = fold;
+        let mut divergence = F64Divergence::default();
+        for partial in partials {
+            fold.merge(partial.fold);
+            divergence.merge(partial.divergence);
+        }
+        (fold, divergence)
+    }
+
+    /// Shared shape checks for the `f64` shadow engines.
+    fn assert_f64_shadows(&self, full64: &BatchEvaluator<f64>, comp64: &BatchEvaluator<f64>) {
+        let np = self.full.program().num_polys();
+        assert_eq!(
+            np,
+            self.compressed.program().num_polys(),
+            "polynomial sets must align"
+        );
+        assert_eq!(
+            full64.program().num_polys(),
+            np,
+            "f64 shadow must mirror the exact full program"
+        );
+        assert_eq!(
+            full64.program().num_locals(),
+            self.full.program().num_locals(),
+            "f64 shadow must share the full program's variable numbering"
+        );
+        assert_eq!(
+            comp64.program().num_polys(),
+            np,
+            "f64 shadow must mirror the exact compressed program"
+        );
+        assert_eq!(
+            comp64.program().num_locals(),
+            self.compressed.program().num_locals(),
+            "f64 shadow must share the compressed program's variable numbering"
+        );
     }
 
     /// Projects and binds every scenario of `set` into materialized
@@ -596,6 +860,79 @@ pub fn fold_program_sweep<A>(
         start += width;
     }
     acc
+}
+
+/// [`fold_program_sweep`] fanned across cores: contiguous scenario
+/// spans are bound and evaluated by worker-owned state (one
+/// [`RowBinder`] + batch buffers + a [`MergeFold`] replica per worker)
+/// and the partial accumulators merge in ascending span order — the
+/// single-engine sibling of
+/// [`CompiledComparison::sweep_fold_par`]. Because there is no
+/// full/compressed pair here, each scenario reaches the fold as a
+/// [`FoldItem`] whose `full` side carries the program's result row and
+/// whose `compressed` side is **empty** — full-side folds
+/// ([`ArgmaxImpact`](crate::folds::ArgmaxImpact),
+/// [`Histogram`](crate::folds::Histogram),
+/// [`TopK`](crate::folds::TopK)) run unchanged, while error folds that
+/// zip both sides see no pairs and stay at their identity.
+///
+/// Results are bit-identical to the sequential [`fold_program_sweep`]
+/// at any thread count.
+///
+/// # Panics
+/// Panics if `base` is not total over the program (give it a default).
+pub fn fold_program_sweep_par<F: MergeFold + Send + Sync>(
+    evaluator: &BatchEvaluator<Rat>,
+    base: &Valuation<Rat>,
+    set: &ScenarioSet,
+    fold: F,
+) -> F {
+    let prog = evaluator.program();
+    let np = prog.num_polys();
+    let n = set.len();
+    if n == 0 {
+        return fold;
+    }
+    let block = stream_block(np, prog.num_locals()).min(n);
+    let partials = par::par_owned_spans(
+        n,
+        1,
+        || {
+            let rows: Vec<Vec<Rat>> = (0..block)
+                .map(|_| vec![Rat::ZERO; prog.num_locals()])
+                .collect();
+            (
+                RowBinder::new(set, prog, base),
+                rows,
+                vec![Rat::ZERO; block * np],
+                fold.init(),
+            )
+        },
+        |state, range| {
+            let (binder, rows, out, f) = state;
+            let mut start = range.start;
+            while start < range.end {
+                let width = block.min(range.end - start);
+                for (k, row) in rows[..width].iter_mut().enumerate() {
+                    binder.bind_into(start + k, row);
+                }
+                evaluator.eval_batch_serial_into(&rows[..width], &mut out[..width * np]);
+                for k in 0..width {
+                    f.accept(FoldItem {
+                        scenario: start + k,
+                        full: &out[k * np..(k + 1) * np],
+                        compressed: &[],
+                    });
+                }
+                start += width;
+            }
+        },
+    );
+    let mut fold = fold;
+    for partial in partials {
+        fold.merge(partial.3);
+    }
+    fold
 }
 
 /// The canonical leaf/meta valuation pair for one scenario: the scenario

@@ -11,9 +11,10 @@
 //! so the report doubles as guidance for building abstraction trees (the
 //! paper leaves tree construction to the user's domain knowledge).
 
-use crate::scenario::fold_program_sweep;
+use crate::folds::{MergeFold, SweepFold};
+use crate::scenario::{fold_program_sweep_par, FoldItem};
 use crate::scenario_set::ScenarioSet;
-use cobra_provenance::{BatchEvaluator, EvalProgram, PolySet, Valuation, Var, VarRegistry};
+use cobra_provenance::{BatchEvaluator, Coeff, EvalProgram, PolySet, Valuation, Var, VarRegistry};
 use cobra_util::{Rat, Table};
 
 /// Sensitivity of every variable, sorted descending.
@@ -150,10 +151,59 @@ pub fn scenario_impacts(
     impacts_against(&evaluator, val, &family)
 }
 
+/// The per-scenario aggregate impact as a [`MergeFold`]: workers append
+/// their own spans' impacts in enumeration order and the engine merges
+/// the partial vectors in ascending span order, so the concatenation is
+/// the full family's impact vector — an *ordered* (append) monoid, lawful
+/// because the parallel engines guarantee that merge order.
+struct ImpactsFold {
+    base: Vec<Rat>,
+    impacts: Vec<Rat>,
+}
+
+impl SweepFold for ImpactsFold {
+    type Output = Vec<Rat>;
+
+    fn accept<C: Coeff>(&mut self, item: FoldItem<'_, C>) {
+        debug_assert_eq!(item.full.len(), self.base.len(), "baseline width");
+        let mut impact = Rat::ZERO;
+        for (bumped, b) in item.full.iter().zip(&self.base) {
+            // Sensitivity is exact by contract, so this fold keeps `Rat`
+            // arithmetic. `accept` is generic over the stream's
+            // coefficient type, but [`fold_program_sweep_par`] only ever
+            // produces `Rat` streams (its signature takes a
+            // `BatchEvaluator<Rat>`), so the downcast always succeeds.
+            let bumped = (bumped as &dyn std::any::Any)
+                .downcast_ref::<Rat>()
+                .expect("ImpactsFold aggregates the exact Rat stream");
+            impact += (*bumped - *b).abs();
+        }
+        self.impacts.push(impact);
+    }
+
+    fn finish(self) -> Vec<Rat> {
+        self.impacts
+    }
+}
+
+impl MergeFold for ImpactsFold {
+    fn init(&self) -> ImpactsFold {
+        ImpactsFold {
+            base: self.base.clone(),
+            impacts: Vec::new(),
+        }
+    }
+
+    fn merge(&mut self, later: ImpactsFold) {
+        self.impacts.extend(later.impacts);
+    }
+}
+
 /// Impact computation against an already-compiled engine, rebuilt on the
-/// one streaming fold engine ([`fold_program_sweep`]): the fold pushes
-/// one aggregate `Rat` per scenario, so beyond the returned vector the
-/// sweep runs in O(block) transient memory at any family cardinality.
+/// **parallel** streaming fold engine ([`fold_program_sweep_par`]): each
+/// scenario folds to one aggregate `Rat`, so beyond the returned vector
+/// the sweep runs in O(workers × block) transient memory at any family
+/// cardinality — and the bind/evaluate work scales with cores.
 fn impacts_against(
     evaluator: &BatchEvaluator<Rat>,
     val: &Valuation<Rat>,
@@ -164,22 +214,16 @@ fn impacts_against(
         .bind(val)
         .expect("sensitivity requires a total valuation");
     let base = prog.eval_scenario(&base_row);
-    fold_program_sweep(
+    fold_program_sweep_par(
         evaluator,
         val,
         family,
-        Vec::with_capacity(family.len()),
-        |mut impacts, _scenario, results| {
-            impacts.push(
-                results
-                    .iter()
-                    .zip(&base)
-                    .map(|(bumped, b)| (*bumped - *b).abs())
-                    .sum::<Rat>(),
-            );
-            impacts
+        ImpactsFold {
+            base,
+            impacts: Vec::with_capacity(family.len()),
         },
     )
+    .finish()
 }
 
 #[cfg(test)]

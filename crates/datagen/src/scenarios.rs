@@ -162,6 +162,44 @@ pub fn telephony_grid_steps(reg: &mut VarRegistry, steps: [usize; 3]) -> Scenari
         .expect("telephony grid axes are disjoint")
 }
 
+/// [`telephony_grid_steps`] with a **fourth factor axis** — the special
+/// plans (`y1, y2, y3, f1, f2, v`, the full `Special` subtree of Fig. 2)
+/// swept ±10% — so grids reach 10⁸⁺ scenarios while staying an O(axes)
+/// description (`[100; 4]` is a 10⁸-point family) and every axis still
+/// moves a whole tree group (compression stays lossless across the
+/// grid). This is the scale knob for the parallel fold-combine engines
+/// (`sweep_fold_par` and friends), whose per-worker streaming makes such
+/// families tractable.
+pub fn telephony_grid4(reg: &mut VarRegistry, steps: [usize; 4]) -> ScenarioSet {
+    let rat = |s: &str| Rat::parse(s).expect("grid bound literal");
+    let special: Vec<Var> = ["y1", "y2", "y3", "f1", "f2", "v"]
+        .iter()
+        .map(|n| reg.var(n))
+        .collect();
+    ScenarioSet::grid()
+        .push(Axis::linspace(
+            march_discount().vars(reg),
+            rat("0.8"),
+            rat("1.2"),
+            steps[0],
+        ))
+        .push(Axis::linspace(
+            business_increase().vars(reg),
+            rat("0.9"),
+            rat("1.1"),
+            steps[1],
+        ))
+        .push(Axis::linspace(
+            [reg.var("p1"), reg.var("p2")],
+            rat("0.9"),
+            rat("1.1"),
+            steps[2],
+        ))
+        .push(Axis::linspace(special, rat("0.9"), rat("1.1"), steps[3]))
+        .build()
+        .expect("telephony grid axes are disjoint")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +242,19 @@ mod tests {
         let huge = telephony_grid_steps(&mut VarRegistry::new(), [220, 220, 220]);
         assert_eq!(huge.len(), 10_648_000);
         assert_eq!(huge.axes().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn telephony_grid4_reaches_1e8_in_four_axes() {
+        let mut reg = VarRegistry::new();
+        let grid = telephony_grid4(&mut reg, [2, 3, 4, 5]);
+        assert_eq!(grid.len(), 120);
+        let axes = grid.axes().unwrap();
+        assert_eq!(axes.len(), 4);
+        assert_eq!(axes[3].vars().len(), 6); // the whole Special group moves together
+        let huge = telephony_grid4(&mut VarRegistry::new(), [100; 4]);
+        assert_eq!(huge.len(), 100_000_000);
+        assert_eq!(huge.axes().unwrap().len(), 4);
     }
 
     #[test]

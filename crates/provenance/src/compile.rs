@@ -358,6 +358,105 @@ impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
             });
         }
     }
+
+    /// [`eval_batch_into`](Self::eval_batch_into) **without** the internal
+    /// scenario-parallel dispatch: a plain serial loop over the rows. The
+    /// parallel fold engines call this from their own worker threads —
+    /// each worker already owns a disjoint scenario span, so spawning
+    /// nested threads per block would only oversubscribe the cores.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_serial_into(&self, scenarios: &[Vec<C>], out: &mut [C]) {
+        let np = self.program.num_polys();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
+        if np == 0 {
+            return;
+        }
+        for (row, out) in scenarios.iter().zip(out.chunks_exact_mut(np)) {
+            self.program.eval_scenario_into(row, out);
+        }
+    }
+}
+
+/// Reusable transpose/accumulator buffers for the `f64` lane kernel —
+/// per-worker scratch so a streaming sweep evaluates millions of blocks
+/// without re-allocating the three block-local vectors each time. Sized
+/// lazily on first use; a scratch can be shared across programs (it grows
+/// to the largest block seen).
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    vals: Vec<f64>,
+    term: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> LaneScratch {
+        LaneScratch::default()
+    }
+}
+
+/// Evaluates one lane block (`rows.len() ≤ LANES` scenarios) of `prog`
+/// into `out`, reusing `scratch`. Per scenario the multiply/add sequence
+/// is identical to the scalar kernel, so results do not depend on how
+/// scenarios were grouped into blocks.
+fn eval_lane_block(
+    prog: &EvalProgram<f64>,
+    rows: &[Vec<f64>],
+    out: &mut [f64],
+    scratch: &mut LaneScratch,
+) {
+    let np = prog.num_polys();
+    let nl = prog.num_locals();
+    let width = rows.len();
+    debug_assert_eq!(out.len(), width * np);
+    // Transpose the block: vals[v * width + lane], so one term's factor
+    // reads a contiguous lane vector per variable. Every slot is written
+    // below, so resizing without zeroing is sound.
+    scratch.vals.resize(nl * width, 0.0);
+    scratch.term.resize(width, 0.0);
+    scratch.acc.resize(width, 0.0);
+    let (vals, term, acc) = (
+        &mut scratch.vals[..nl * width],
+        &mut scratch.term[..width],
+        &mut scratch.acc[..width],
+    );
+    for (lane, row) in rows.iter().enumerate() {
+        for (v, &x) in row.iter().enumerate() {
+            vals[v * width + lane] = x;
+        }
+    }
+    for p in 0..np {
+        acc.fill(0.0);
+        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+        for t in terms {
+            term.fill(prog.coeffs[t]);
+            let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
+            for f in factors {
+                let base = prog.var_ids[f] as usize * width;
+                let xs = &vals[base..base + width];
+                let e = prog.exps[f];
+                if e == 1 {
+                    for (t, &x) in term.iter_mut().zip(xs) {
+                        *t *= x;
+                    }
+                } else {
+                    for (t, &x) in term.iter_mut().zip(xs) {
+                        *t *= x.powi(e as i32);
+                    }
+                }
+            }
+            for (a, &t) in acc.iter_mut().zip(&*term) {
+                *a += t;
+            }
+        }
+        for (lane, &a) in acc.iter().enumerate() {
+            out[lane * np + p] = a;
+        }
+    }
 }
 
 impl BatchEvaluator<f64> {
@@ -404,47 +503,45 @@ impl BatchEvaluator<f64> {
         par::par_chunks_mut(out, LANES * np, |block, out| {
             let s0 = block * LANES;
             let width = (scenarios.len() - s0).min(LANES);
-            // Transpose the block: vals[v * width + lane], so one term's
-            // factor reads a contiguous lane vector per variable.
-            let mut vals = vec![0.0f64; nl * width];
-            for lane in 0..width {
-                for (v, &x) in scenarios[s0 + lane].iter().enumerate() {
-                    vals[v * width + lane] = x;
-                }
-            }
-            let mut term = vec![0.0f64; width];
-            let mut acc = vec![0.0f64; width];
-            for p in 0..np {
-                acc.fill(0.0);
-                let terms =
-                    prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
-                for t in terms {
-                    term.fill(prog.coeffs[t]);
-                    let factors = prog.term_offsets[t] as usize
-                        ..prog.term_offsets[t + 1] as usize;
-                    for f in factors {
-                        let base = prog.var_ids[f] as usize * width;
-                        let xs = &vals[base..base + width];
-                        let e = prog.exps[f];
-                        if e == 1 {
-                            for (t, &x) in term.iter_mut().zip(xs) {
-                                *t *= x;
-                            }
-                        } else {
-                            for (t, &x) in term.iter_mut().zip(xs) {
-                                *t *= x.powi(e as i32);
-                            }
-                        }
-                    }
-                    for (a, &t) in acc.iter_mut().zip(&term) {
-                        *a += t;
-                    }
-                }
-                for lane in 0..width {
-                    out[lane * np + p] = acc[lane];
-                }
-            }
+            let mut scratch = LaneScratch::new();
+            eval_lane_block(prog, &scenarios[s0..s0 + width], out, &mut scratch);
         });
+    }
+
+    /// [`eval_batch_fast_into`](Self::eval_batch_fast_into) **without**
+    /// the internal lane-block parallel dispatch: the same lane kernel
+    /// run serially, reusing a caller-owned [`LaneScratch`] across
+    /// blocks. The parallel fold engines call this from their own worker
+    /// threads — each worker owns a disjoint scenario span and one
+    /// scratch, so a 10⁷-scenario sweep performs O(workers) scratch
+    /// allocations instead of O(blocks). Per scenario the multiply/add
+    /// sequence is identical to
+    /// [`eval_batch_fast_into`](Self::eval_batch_fast_into), so results
+    /// are bit-identical regardless of which path (or worker) evaluated a
+    /// scenario.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_fast_serial_into(
+        &self,
+        scenarios: &[Vec<f64>],
+        out: &mut [f64],
+        scratch: &mut LaneScratch,
+    ) {
+        let prog = &self.program;
+        let np = prog.num_polys();
+        let nl = prog.num_locals();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
+        for row in scenarios {
+            assert_eq!(row.len(), nl, "scenario row width");
+        }
+        if np == 0 || scenarios.is_empty() {
+            return;
+        }
+        for (rows, out) in scenarios.chunks(LANES).zip(out.chunks_mut(LANES * np)) {
+            eval_lane_block(prog, rows, out, scratch);
+        }
     }
 }
 

@@ -7,17 +7,47 @@
 //! They degrade to straight serial loops when `available_parallelism` is 1
 //! (or the input is tiny), so single-core containers pay no thread cost.
 
+use std::cell::Cell;
+use std::ops::Range;
 use std::thread;
 
-/// Number of worker threads to use (`COBRA_THREADS` overrides the
-/// detected parallelism, useful for benchmarking scaling curves).
+thread_local! {
+    /// Scoped thread-count override installed by [`with_threads`].
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads to use. Resolution order: a [`with_threads`]
+/// scope on the calling thread, then the `COBRA_THREADS` environment
+/// variable (useful for benchmarking scaling curves and for exercising
+/// both the single- and multi-worker code paths in CI), then the detected
+/// hardware parallelism.
 pub fn num_threads() -> usize {
+    if let Some(n) = THREADS_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
     if let Ok(v) = std::env::var("COBRA_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
         }
     }
     thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with [`num_threads`] pinned to `n` **on the calling thread**
+/// (nested scopes restore the previous value on exit, including on
+/// panic). Unlike setting `COBRA_THREADS`, this is race-free under
+/// concurrent tests: only dispatch decisions made by the calling thread
+/// observe the override, which is exactly where every `par` entry point
+/// reads it.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREADS_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
 }
 
 /// Maps `f` over `items` (with the item index), preserving order.
@@ -94,6 +124,59 @@ where
     });
 }
 
+/// Splits the index range `0..n` into at most [`num_threads`] contiguous
+/// spans — each span a whole number of `align`-sized chunks (the final
+/// span takes the remainder) — and hands every span to its own worker
+/// together with **worker-owned mutable state** built by `init` on the
+/// worker's thread. Returns the states in span order (ascending indices),
+/// so order-sensitive reductions can combine them deterministically.
+///
+/// This is the scope plumbing the parallel fold engines ride: each worker
+/// owns its scenario binder, batch buffers and fold replica (no sharing,
+/// no synchronisation), and the caller merges the returned partial
+/// accumulators in ascending span order — making results independent of
+/// the thread count. Degrades to a single inline `init` + `work` call
+/// when one thread suffices, so single-core machines pay no thread cost.
+///
+/// # Panics
+/// Panics if `align == 0`, or if a worker panics.
+pub fn par_owned_spans<S, I, W>(n: usize, align: usize, init: I, work: W) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, Range<usize>) + Sync,
+{
+    assert!(align > 0, "span alignment must be positive");
+    let chunks = n.div_ceil(align);
+    let threads = num_threads().min(chunks).max(1);
+    if threads == 1 {
+        let mut state = init();
+        if n > 0 {
+            work(&mut state, 0..n);
+        }
+        return vec![state];
+    }
+    let span = chunks.div_ceil(threads) * align;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(span)
+            .map(|start| {
+                let end = (start + span).min(n);
+                let (init, work) = (&init, &work);
+                s.spawn(move || {
+                    let mut state = init();
+                    work(&mut state, start..end);
+                    state
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_owned_spans worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +201,43 @@ mod tests {
             }
         });
         assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        let inner = with_threads(3, || {
+            // nested override wins, then restores to the enclosing one
+            assert_eq!(with_threads(7, num_threads), 7);
+            num_threads()
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(num_threads(), outer);
+        assert_eq!(with_threads(0, num_threads), 1); // clamped
+    }
+
+    #[test]
+    fn owned_spans_cover_all_indices_in_order() {
+        for threads in [1usize, 2, 5] {
+            for (n, align) in [(0usize, 4usize), (3, 4), (64, 4), (103, 8), (7, 100)] {
+                let spans = with_threads(threads, || {
+                    par_owned_spans(
+                        n,
+                        align,
+                        Vec::new,
+                        |seen: &mut Vec<usize>, range| seen.extend(range),
+                    )
+                });
+                // alignment: every span but the last starts and ends on a
+                // chunk boundary, and concatenation reproduces 0..n
+                let flat: Vec<usize> = spans.iter().flatten().copied().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} t={threads}");
+                for s in &spans[..spans.len().saturating_sub(1)] {
+                    assert_eq!(s.len() % align, 0, "n={n} t={threads}");
+                }
+                assert!(spans.len() <= threads.max(1));
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! regression that materializes per-scenario valuations, rows, or results
 //! costs hundreds of megabytes and fails immediately.
 //!
+//! The same test then re-runs the grid through the **parallel** fold
+//! engine (`sweep_fold_par`, ISSUE 4) at 4 workers and proves its budget
+//! is O(workers): each worker owns one set of bind/result block buffers
+//! plus a fold replica, so the parallel pass costs a few worker-sized
+//! constants — not O(scenarios), and not O(blocks) either (per-worker
+//! scratch is reused across all of a worker's blocks).
+//!
 //! This file contains exactly one test so no concurrently running test
-//! pollutes the allocation counter, and pins `COBRA_THREADS=1` so worker
-//! threads spawned per block don't add nondeterministic allocator noise.
+//! pollutes the allocation counter, and pins `COBRA_THREADS=1` for the
+//! sequential phase (the parallel phase pins its worker count with the
+//! race-free `par::with_threads` scope instead).
 
 use cobra::core::folds::{self, MaxAbsError};
 use cobra::core::scenario_set::Axis;
@@ -115,4 +123,30 @@ fn million_scenario_grid_folds_within_constant_budget() {
         .assign(grid.scenario_valuation(worst.argmax_rel.unwrap(), &base))
         .unwrap();
     assert!(cmp.max_rel_error() > 0.0);
+
+    // ── Parallel phase: the same 10⁶-scenario grid through the
+    // fold-combine engine at 4 workers. Budget: O(workers) — every worker
+    // allocates its binder plans, block row/result buffers and one fold
+    // replica exactly once, so 4 workers fit in 4 MiB with headroom while
+    // any per-scenario (or per-block) allocation regression costs orders
+    // of magnitude more and fails immediately.
+    let workers = 4usize;
+    let before = ALLOCATED.load(Ordering::SeqCst);
+    let par_worst = cobra::util::par::with_threads(workers, || {
+        s.sweep_fold_par(&grid, MaxAbsError::new()).unwrap()
+    });
+    let allocated = ALLOCATED.load(Ordering::SeqCst) - before;
+    let budget = workers * 1024 * 1024;
+    assert!(
+        allocated <= budget,
+        "parallel fold allocated {allocated} bytes over a {n}-scenario grid \
+         at {workers} workers, budget {budget}; worker state is no longer \
+         O(workers)"
+    );
+
+    // …and the parallel aggregate is bit-identical to the sequential one.
+    assert_eq!(par_worst.max_abs_error, worst.max_abs_error);
+    assert_eq!(par_worst.argmax_abs, worst.argmax_abs);
+    assert_eq!(par_worst.max_rel_error, worst.max_rel_error);
+    assert_eq!(par_worst.argmax_rel, worst.argmax_rel);
 }
