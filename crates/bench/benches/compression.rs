@@ -1,8 +1,9 @@
 //! Benchmarks for experiments E2/E3: the compression pipeline — group
-//! analysis, DP optimization, and cut application — at telephony scales.
+//! analysis, DP optimization, and cut application — at telephony scales,
+//! plus the session's frontier re-selection path (E12).
 
 use cobra_bench::{scale_bound, telephony_workload};
-use cobra_core::{apply_cut, dp, GroupAnalysis};
+use cobra_core::{apply_cut, dp, CobraSession, GroupAnalysis};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -44,6 +45,34 @@ fn bench_compression(c: &mut Criterion) {
             },
         );
     }
+
+    // Session bound-change paths at 100k customers: a fresh compress()
+    // per bound vs frontier re-selection (lazy polynomials + engines).
+    let w = telephony_workload(100_000);
+    let bound_a = scale_bound(94_600, w.config.zips);
+    let bound_b = scale_bound(38_600, w.config.zips);
+    let mut session = CobraSession::new(w.reg.clone(), w.polys.clone());
+    session.add_tree(w.tree.clone());
+    session.compress_frontier().expect("single tree");
+    group.bench_function("session_select_bound", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            session
+                .select_bound(if flip { bound_a } else { bound_b })
+                .expect("feasible")
+        });
+    });
+    let mut session = CobraSession::new(w.reg.clone(), w.polys.clone());
+    session.add_tree(w.tree.clone());
+    group.bench_function("session_compress", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            session.set_bound(if flip { bound_a } else { bound_b });
+            session.compress().expect("feasible")
+        });
+    });
     group.finish();
 }
 

@@ -1,7 +1,9 @@
 //! Benchmark for ablation A1: the exact DP against the brute-force
-//! enumeration on small trees, and DP scaling with tree size (the PTIME
-//! claim of §2).
+//! enumeration on small trees, DP scaling with tree size (the PTIME
+//! claim of §2), and the unified planner's frontier path (one pass for
+//! the whole bound axis vs per-bound re-planning).
 
+use cobra_core::planner::{CutPlanner, ExactDp, PlanContext};
 use cobra_core::{dp, enumerate_cuts, GroupAnalysis};
 use cobra_datagen::synthetic::{generate, SyntheticConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -35,6 +37,30 @@ fn bench_optimizer(c: &mut Criterion) {
                 .map(|c| (c.len(), analysis.compressed_size(c.nodes())))
                 .filter(|&(_, s)| s <= bound)
                 .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+        });
+    });
+
+    // The frontier path: one PlanContext + plan_frontier answers every
+    // bound, vs re-deriving the context per bound (the pre-planner shape
+    // of a bound sweep). 8 bounds evenly spaced over the size range.
+    let full = analysis.total_monomials();
+    let bounds: Vec<u64> = (0..8u64).map(|i| full / 4 + (full - full / 4) * i / 7).collect();
+    group.bench_function("frontier_once_12_leaves", |b| {
+        b.iter(|| {
+            let ctx = PlanContext::new(&small.tree, &analysis);
+            let frontier = ExactDp.plan_frontier(&ctx).expect("DP frontier");
+            bounds
+                .iter()
+                .filter_map(|&bound| frontier.select(bound))
+                .count()
+        });
+    });
+    group.bench_function("replan_per_bound_12_leaves", |b| {
+        b.iter(|| {
+            bounds
+                .iter()
+                .filter(|&&bound| dp::optimize(&small.tree, &analysis, bound).is_ok())
+                .count()
         });
     });
 

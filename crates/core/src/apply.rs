@@ -6,9 +6,10 @@
 //! monomial (by summing their coefficients)" (paper §1).
 
 use crate::cut::{Cut, MetaVar};
+use crate::groups::GroupAnalysis;
 use crate::tree::AbstractionTree;
-use cobra_provenance::{Coeff, PolySet, Var, VarRegistry};
-use cobra_util::FxHashMap;
+use cobra_provenance::{Coeff, Monomial, PolySet, Polynomial, Var, VarRegistry};
+use cobra_util::{FxHashMap, FxHashSet};
 
 /// The result of applying one cut to a polynomial set.
 #[derive(Clone, Debug)]
@@ -80,6 +81,94 @@ pub fn apply_cut<C: Coeff>(
         substitution,
         meta_vars,
     }
+}
+
+/// Applies `cut` using the shared cut statistics of a [`GroupAnalysis`]
+/// instead of re-walking the full polynomial set: each group contributes
+/// exactly one output monomial `context · meta^exp` per cut node its
+/// leaves fall under, with the member coefficients summed, and base
+/// monomials pass through via their recorded term references. This is the
+/// planner's fast application path — `O(group members + output)` with no
+/// re-hash of the input — and produces a result **equal** to
+/// [`apply_cut`] (property-pinned in `tests/planner.rs` and below).
+///
+/// `reserved` must be the set's distinct variables
+/// ([`PolySet::distinct_vars`]); callers that apply many cuts of the same
+/// session (the frontier re-selection path) compute it once.
+pub fn apply_cut_with_groups<C: Coeff>(
+    set: &PolySet<C>,
+    tree: &AbstractionTree,
+    analysis: &GroupAnalysis,
+    cut: &Cut,
+    reserved: &FxHashSet<Var>,
+    reg: &mut VarRegistry,
+) -> AppliedAbstraction<C> {
+    let (substitution, meta_vars) = cut.substitution(tree, reg, reserved);
+    let compressed = compress_polyset_with_groups(set, tree, analysis, cut, &meta_vars);
+    AppliedAbstraction {
+        original_size: set.total_monomials(),
+        compressed_size: compressed.total_monomials(),
+        compressed,
+        substitution,
+        meta_vars,
+    }
+}
+
+/// The polynomial-construction half of [`apply_cut_with_groups`]: builds
+/// the compressed set from the shared group statistics and an
+/// already-computed meta-variable assignment (`meta_vars` must be the
+/// output of [`Cut::substitution`] for `cut`, i.e. aligned with
+/// `cut.nodes()`). Pure — needs no registry — which is what lets the
+/// session defer it until something actually evaluates.
+pub(crate) fn compress_polyset_with_groups<C: Coeff>(
+    set: &PolySet<C>,
+    tree: &AbstractionTree,
+    analysis: &GroupAnalysis,
+    cut: &Cut,
+    meta_vars: &[MetaVar],
+) -> PolySet<C> {
+    debug_assert_eq!(meta_vars.len(), cut.nodes().len());
+    // leaf position → index of the covering cut node (cut validity
+    // guarantees exactly one).
+    let mut cover = vec![u32::MAX; tree.num_leaves()];
+    for (ci, &node) in cut.nodes().iter().enumerate() {
+        for slot in &mut cover[tree.leaf_range(node)] {
+            *slot = ci as u32;
+        }
+    }
+    let polys: Vec<(&str, &Polynomial<C>)> = set.iter().collect();
+    let mut out_terms: Vec<Vec<(Monomial, C)>> = vec![Vec::new(); polys.len()];
+    for &(poly, term) in &analysis.base_terms {
+        let (m, c) = &polys[poly as usize].1.terms()[term as usize];
+        out_terms[poly as usize].push((m.clone(), c.clone()));
+    }
+    for group in &analysis.groups {
+        let src = polys[group.poly as usize].1.terms();
+        let out = &mut out_terms[group.poly as usize];
+        // Cut nodes cover contiguous leaf ranges and the group's positions
+        // are sorted, so members of the same cut node form runs.
+        let mut i = 0;
+        while i < group.leaf_positions.len() {
+            let node_idx = cover[group.leaf_positions[i] as usize] as usize;
+            let mut coeff = src[group.term_indices[i] as usize].1.clone();
+            let mut j = i + 1;
+            while j < group.leaf_positions.len()
+                && cover[group.leaf_positions[j] as usize] as usize == node_idx
+            {
+                coeff = coeff.add(&src[group.term_indices[j] as usize].1);
+                j += 1;
+            }
+            let meta = Monomial::from_pairs([(meta_vars[node_idx].var, group.exponent)]);
+            out.push((group.context.mul(&meta), coeff));
+            i = j;
+        }
+    }
+    PolySet::from_entries(
+        polys
+            .iter()
+            .zip(out_terms)
+            .map(|(&(label, _), terms)| (label.to_owned(), Polynomial::from_terms(terms))),
+    )
 }
 
 /// Applies several cuts (one per tree of a forest) in sequence.
@@ -204,6 +293,47 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
                 cut.display(&tree)
             );
         }
+    }
+
+    #[test]
+    fn group_apply_equals_rename_apply_for_all_cuts() {
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let set = paper_set(&mut reg);
+        let analysis = crate::groups::GroupAnalysis::analyze(&set, &tree).unwrap();
+        let reserved = set.distinct_vars();
+        for cut in crate::cut::enumerate_cuts(&tree, 1_000).unwrap() {
+            let mut reg_a = reg.clone();
+            let mut reg_b = reg.clone();
+            let slow = apply_cut(&set, &tree, &cut, &mut reg_a);
+            let fast =
+                apply_cut_with_groups(&set, &tree, &analysis, &cut, &reserved, &mut reg_b);
+            assert_eq!(fast.compressed, slow.compressed, "cut {}", cut.display(&tree));
+            assert_eq!(fast.substitution, slow.substitution);
+            assert_eq!(fast.meta_vars, slow.meta_vars);
+            assert_eq!(fast.original_size, slow.original_size);
+            assert_eq!(fast.compressed_size, slow.compressed_size);
+        }
+    }
+
+    #[test]
+    fn group_apply_passes_base_terms_through() {
+        let mut reg = VarRegistry::new();
+        let tree = crate::tree::AbstractionTree::parse("T(a,b)", &mut reg).unwrap();
+        let set = cobra_provenance::parse_polyset(
+            "P = 2*a*x + 3*b*x + 5*x + 7",
+            &mut reg,
+        )
+        .unwrap();
+        let analysis = crate::groups::GroupAnalysis::analyze(&set, &tree).unwrap();
+        let reserved = set.distinct_vars();
+        let cut = Cut::root(&tree);
+        let fast =
+            apply_cut_with_groups(&set, &tree, &analysis, &cut, &reserved, &mut reg.clone());
+        let slow = apply_cut(&set, &tree, &cut, &mut reg);
+        // 2aT x + 3bT x merge to 5*x*T; the tree-free 5*x and 7 survive
+        assert_eq!(fast.compressed_size, 3);
+        assert_eq!(fast.compressed, slow.compressed);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The exact single-tree optimizer (paper §2, "Optimization Problem").
+//! The exact single-tree optimizer (paper §2, "Optimization Problem") —
+//! a thin wrapper over the unified planner.
 //!
 //! "The algorithm traverses the abstraction tree in a bottom-up fashion,
 //! and using dynamic programming, computes an abstraction for the sub-tree
@@ -18,45 +19,24 @@
 //! Total work is `O(L²)` over the convolutions (`L` = number of leaves) —
 //! the PTIME bound claimed in the paper.
 //!
-//! `f_root` is exposed in full as the **Pareto frontier** of
-//! expressiveness vs. size, which drives the paper's interactive
-//! bound-sweep (experiment E5).
+//! The knapsack itself lives in [`crate::planner`] ([`ExactDp`] over a
+//! [`PlanContext`] that memoizes the shared cut statistics); these
+//! functions keep the original one-shot entry points for callers that
+//! plan a single `(tree, analysis, bound)` triple. Callers answering many
+//! bounds should build one [`PlanContext`] (or use
+//! [`CutPlanner::plan_frontier`]) so the tables are built once.
 
-use crate::cut::Cut;
-use crate::error::{CoreError, Result};
+use crate::error::Result;
 use crate::groups::GroupAnalysis;
-use crate::tree::{AbstractionTree, NodeId};
+use crate::planner::{CutPlanner, ExactDp, PlanContext};
+use crate::tree::AbstractionTree;
 
-const INF: u64 = u64::MAX;
+pub use crate::planner::ParetoPoint;
 
-/// Per-node DP table: `cost[k-1]` = minimal Σw for a cut of this subtree
-/// with exactly `k` nodes (`INF` if unattainable), plus backpointers.
-struct NodeTable {
-    cost: Vec<u64>,
-    /// For each feasible `k`: `None` = cut at this node (only for k=1);
-    /// `Some(splits)` = per-child cardinalities.
-    choice: Vec<Option<Vec<usize>>>,
-}
-
-/// A point of the expressiveness/size trade-off curve.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ParetoPoint {
-    /// Cut cardinality (number of meta-variables for this tree).
-    pub variables: usize,
-    /// Total compressed provenance size (monomials, including base).
-    pub size: u64,
-}
-
-/// The optimizer's output.
-#[derive(Clone, Debug)]
-pub struct DpSolution {
-    /// The chosen cut.
-    pub cut: Cut,
-    /// `|cut|` — the expressiveness achieved on this tree.
-    pub variables: usize,
-    /// Compressed provenance size under the cut (monomials, incl. base).
-    pub size: u64,
-}
+/// The optimizer's output — an alias of the planner's
+/// [`PlannedCut`](crate::planner::PlannedCut), kept under the historical
+/// name used throughout the optimizer surface.
+pub type DpSolution = crate::planner::PlannedCut;
 
 /// Exact optimizer: maximal-cardinality cut whose compressed size is
 /// ≤ `bound`; ties broken by smaller size.
@@ -76,51 +56,22 @@ pub struct DpSolution {
 /// ```
 ///
 /// # Errors
-/// [`CoreError::InfeasibleBound`] if even the root cut exceeds the bound.
+/// [`CoreError::InfeasibleBound`](crate::error::CoreError::InfeasibleBound)
+/// if even the root cut exceeds the bound.
 pub fn optimize(
     tree: &AbstractionTree,
     analysis: &GroupAnalysis,
     bound: u64,
 ) -> Result<DpSolution> {
-    let tables = build_tables(tree, analysis);
-    let root = &tables[tree.root().index()];
-    let budget = bound.saturating_sub(analysis.base_monomials);
-    if analysis.base_monomials > bound || root.cost[0] > budget {
-        return Err(CoreError::InfeasibleBound {
-            min_achievable: analysis.base_monomials + root.cost[0],
-        });
-    }
-    let mut best_k = 1usize;
-    for k in 1..=root.cost.len() {
-        let c = root.cost[k - 1];
-        if c != INF && c <= budget {
-            best_k = k; // larger k always preferred; cost for fixed k is minimal
-        }
-    }
-    let mut nodes = Vec::with_capacity(best_k);
-    reconstruct(tree, &tables, tree.root(), best_k, &mut nodes);
-    let cut = Cut::new(tree, nodes).expect("DP reconstruction yields a valid cut");
-    let size = analysis.base_monomials + root.cost[best_k - 1];
-    debug_assert_eq!(size, analysis.compressed_size(cut.nodes()));
-    Ok(DpSolution {
-        variables: best_k,
-        size,
-        cut,
-    })
+    ExactDp.plan(&PlanContext::new(tree, analysis), bound)
 }
 
 /// The full trade-off curve: for every attainable cut cardinality `k`, the
-/// minimal compressed size. Monotone non-decreasing in `k`.
+/// minimal compressed size. Monotone non-decreasing in `k`. (The witness
+/// cuts are available through
+/// [`ExactDp::plan_frontier`](crate::planner::CutPlanner::plan_frontier).)
 pub fn pareto_frontier(tree: &AbstractionTree, analysis: &GroupAnalysis) -> Vec<ParetoPoint> {
-    let tables = build_tables(tree, analysis);
-    let root = &tables[tree.root().index()];
-    (1..=root.cost.len())
-        .filter(|&k| root.cost[k - 1] != INF)
-        .map(|k| ParetoPoint {
-            variables: k,
-            size: analysis.base_monomials + root.cost[k - 1],
-        })
-        .collect()
+    ExactDp.frontier_sizes(&PlanContext::new(tree, analysis))
 }
 
 /// The minimal-size cut for an exact cardinality `k`, if attainable — used
@@ -130,105 +81,13 @@ pub fn optimize_for_cardinality(
     analysis: &GroupAnalysis,
     k: usize,
 ) -> Option<DpSolution> {
-    let tables = build_tables(tree, analysis);
-    let root = &tables[tree.root().index()];
-    if k == 0 || k > root.cost.len() || root.cost[k - 1] == INF {
-        return None;
-    }
-    let mut nodes = Vec::with_capacity(k);
-    reconstruct(tree, &tables, tree.root(), k, &mut nodes);
-    let cut = Cut::new(tree, nodes).expect("DP reconstruction yields a valid cut");
-    Some(DpSolution {
-        variables: k,
-        size: analysis.base_monomials + root.cost[k - 1],
-        cut,
-    })
-}
-
-fn build_tables(tree: &AbstractionTree, analysis: &GroupAnalysis) -> Vec<NodeTable> {
-    let mut tables: Vec<Option<NodeTable>> = (0..tree.num_nodes()).map(|_| None).collect();
-    for node in tree.post_order() {
-        let w = analysis.node_weight[node.index()];
-        let table = if tree.is_leaf(node) {
-            NodeTable {
-                cost: vec![w],
-                choice: vec![None],
-            }
-        } else {
-            // Knapsack convolution over children: `acc_cost[k]` is the
-            // minimal Σw over cuts of the already-folded children using
-            // exactly `k` nodes; `acc_split[k]` records each child's share.
-            let mut acc_cost: Vec<u64> = vec![0];
-            let mut acc_split: Vec<Vec<usize>> = vec![Vec::new()];
-            for &child in tree.children(node) {
-                let ct = tables[child.index()].as_ref().expect("post-order fills children first");
-                let new_len = acc_cost.len() + ct.cost.len();
-                let mut new_cost = vec![INF; new_len];
-                let mut new_split: Vec<Vec<usize>> = vec![Vec::new(); new_len];
-                for (i, &ca) in acc_cost.iter().enumerate() {
-                    if ca == INF {
-                        continue;
-                    }
-                    for (j, &cb) in ct.cost.iter().enumerate() {
-                        if cb == INF {
-                            continue;
-                        }
-                        let k = i + j + 1; // this child contributes j+1 nodes
-                        let total = ca + cb;
-                        if total < new_cost[k] {
-                            new_cost[k] = total;
-                            let mut s = acc_split[i].clone();
-                            s.push(j + 1);
-                            new_split[k] = s;
-                        }
-                    }
-                }
-                acc_cost = new_cost;
-                acc_split = new_split;
-            }
-            // Shift to 1-based cardinalities; k ranges up to #leaves(node).
-            let max_k = acc_cost.len() - 1;
-            let mut cost = vec![INF; max_k];
-            let mut choice: Vec<Option<Vec<usize>>> = vec![None; max_k];
-            for k in 1..=max_k {
-                if acc_cost[k] != INF {
-                    cost[k - 1] = acc_cost[k];
-                    choice[k - 1] = Some(std::mem::take(&mut acc_split[k]));
-                }
-            }
-            // Option: cut at this node itself (k = 1).
-            if w < cost[0] {
-                cost[0] = w;
-                choice[0] = None;
-            }
-            NodeTable { cost, choice }
-        };
-        tables[node.index()] = Some(table);
-    }
-    tables.into_iter().map(|t| t.expect("all filled")).collect()
-}
-
-fn reconstruct(
-    tree: &AbstractionTree,
-    tables: &[NodeTable],
-    node: NodeId,
-    k: usize,
-    out: &mut Vec<NodeId>,
-) {
-    match &tables[node.index()].choice[k - 1] {
-        None => out.push(node),
-        Some(splits) => {
-            debug_assert_eq!(splits.len(), tree.children(node).len());
-            for (&child, &ck) in tree.children(node).iter().zip(splits) {
-                reconstruct(tree, tables, child, ck, out);
-            }
-        }
-    }
+    ExactDp.plan_cardinality(&PlanContext::new(tree, analysis), k)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
     use crate::tree::paper_plans_tree;
     use cobra_provenance::{parse_polyset, VarRegistry};
 

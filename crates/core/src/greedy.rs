@@ -1,5 +1,5 @@
 //! Greedy agglomerative optimizer — the natural baseline against the
-//! exact DP (ablation A1).
+//! exact DP (ablation A1), now a thin wrapper over the unified planner.
 //!
 //! Start from the identity (leaf) cut and repeatedly *coarsen*: replace a
 //! sibling group that is fully present in the cut by its parent, choosing
@@ -8,92 +8,36 @@
 //! so the procedure terminates at the root in the worst case — but unlike
 //! the DP it can commit to locally attractive merges that block better
 //! global cuts (see `tests/greedy_vs_dp.rs` for a witnessed gap).
+//!
+//! The coarsening loop lives in [`crate::planner::Greedy`], which also
+//! exposes the whole trajectory as a
+//! [`CutFrontier`](crate::planner::CutFrontier) via
+//! [`plan_frontier`](crate::planner::CutPlanner::plan_frontier).
 
-use crate::cut::Cut;
 use crate::dp::DpSolution;
-use crate::error::{CoreError, Result};
+use crate::error::Result;
 use crate::groups::GroupAnalysis;
-use crate::tree::{AbstractionTree, NodeId};
+use crate::planner::{CutPlanner, Greedy, PlanContext};
+use crate::tree::AbstractionTree;
 
 /// Greedy coarsening from the leaf cut down to `bound`.
 ///
 /// # Errors
-/// [`CoreError::InfeasibleBound`] if even the root cut exceeds the bound.
+/// [`CoreError::InfeasibleBound`](crate::error::CoreError::InfeasibleBound)
+/// if even the root cut exceeds the bound.
 pub fn optimize_greedy(
     tree: &AbstractionTree,
     analysis: &GroupAnalysis,
     bound: u64,
 ) -> Result<DpSolution> {
-    let w = |n: NodeId| analysis.node_weight[n.index()];
-    let mut in_cut = vec![false; tree.num_nodes()];
-    let mut cost = 0u64;
-    for id in tree.node_ids() {
-        if tree.is_leaf(id) {
-            in_cut[id.index()] = true;
-            cost += w(id);
-        }
-    }
-    let mut size = analysis.base_monomials + cost;
-
-    while size > bound {
-        // candidate moves: internal nodes whose children are all in the cut
-        let mut best: Option<(NodeId, u64, usize, f64)> = None; // (node, Δsize, Δvars, ratio)
-        for id in tree.node_ids() {
-            if tree.is_leaf(id) || in_cut[id.index()] {
-                continue;
-            }
-            let children = tree.children(id);
-            if !children.iter().all(|c| in_cut[c.index()]) {
-                continue;
-            }
-            let child_cost: u64 = children.iter().map(|&c| w(c)).sum();
-            let saved = child_cost - w(id); // ≥ 0 by subadditivity
-            let lost = children.len() - 1;
-            // unary chains lose no variables: always worth collapsing
-            let ratio = if lost == 0 {
-                f64::INFINITY
-            } else {
-                saved as f64 / lost as f64
-            };
-            let better = match best {
-                None => true,
-                Some((_, best_saved, _, best_ratio)) => {
-                    ratio > best_ratio || (ratio == best_ratio && saved > best_saved)
-                }
-            };
-            if better {
-                best = Some((id, saved, lost, ratio));
-            }
-        }
-        let Some((node, saved, _, _)) = best else {
-            // cut is already {root}
-            return Err(CoreError::InfeasibleBound {
-                min_achievable: size,
-            });
-        };
-        for &c in tree.children(node) {
-            in_cut[c.index()] = false;
-        }
-        in_cut[node.index()] = true;
-        size -= saved;
-    }
-
-    let nodes: Vec<NodeId> = tree
-        .node_ids()
-        .filter(|&id| in_cut[id.index()])
-        .collect();
-    let cut = Cut::new(tree, nodes).expect("coarsening preserves cut validity");
-    Ok(DpSolution {
-        variables: cut.len(),
-        size,
-        cut,
-    })
+    Greedy.plan(&PlanContext::new(tree, analysis), bound)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dp;
+    use crate::error::CoreError;
     use crate::tree::paper_plans_tree;
     use cobra_provenance::{parse_polyset, PolySet, VarRegistry};
     use cobra_util::Rat;

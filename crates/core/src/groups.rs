@@ -17,6 +17,14 @@
 //! where `base` counts monomials without tree variables. This module
 //! computes the groups and the node weights `w(v)`; [`crate::dp`] runs the
 //! knapsack over them.
+//!
+//! The additive formula counts one monomial per `(group, cut node)` pair;
+//! it assumes merged coefficients never **cancel to zero** (true for
+//! provenance annotations, which are nonnegative — counts, durations,
+//! prices). With mixed-sign coefficients an exact cancellation would make
+//! the materialized compressed set smaller than the formula predicts; the
+//! optimizer pipeline debug-asserts this invariant wherever a predicted
+//! size meets a real application.
 
 use crate::error::{CoreError, Result};
 use crate::tree::{AbstractionTree, NodeId};
@@ -31,8 +39,18 @@ pub struct Group {
     pub poly: u32,
     /// Exponent of the tree variable in this group's monomials.
     pub exponent: u32,
+    /// The shared context monomial (the non-tree factors).
+    pub context: Monomial,
     /// Leaf positions present (sorted, deduplicated).
     pub leaf_positions: Vec<u32>,
+    /// For each leaf position (aligned with `leaf_positions`): the index of
+    /// the member monomial in its polynomial's canonical term list. Together
+    /// with `context` this is enough to rebuild the compressed provenance
+    /// for any cut directly from the analysis
+    /// ([`crate::apply::apply_cut_with_groups`]) — the shared cut
+    /// statistics the planner rides, computed once instead of re-derived
+    /// per algorithm.
+    pub term_indices: Vec<u32>,
 }
 
 /// The result of analysing a polynomial set against one tree.
@@ -41,7 +59,11 @@ pub struct GroupAnalysis {
     /// Monomials mentioning no tree variable: they survive any cut
     /// unchanged.
     pub base_monomials: u64,
-    /// All groups (unordered).
+    /// The base monomials themselves as `(polynomial index, term index)`
+    /// references into the analyzed set (in set order) — lets a compressed
+    /// set be rebuilt from the analysis without re-scanning the input.
+    pub base_terms: Vec<(u32, u32)>,
+    /// All groups, in a deterministic canonical order.
     pub groups: Vec<Group>,
     /// `w(v)` per node (indexed by `NodeId`): the number of groups whose
     /// leaves intersect the node's subtree.
@@ -55,11 +77,11 @@ impl GroupAnalysis {
     /// [`CoreError::MonomialSpansTree`] if some monomial mentions two
     /// distinct leaves of the tree (outside the single-tree setting).
     pub fn analyze<C: Coeff>(set: &PolySet<C>, tree: &AbstractionTree) -> Result<GroupAnalysis> {
-        let mut base = 0u64;
-        // (poly, context, exponent) → sorted-unique leaf positions
-        let mut groups: FxHashMap<(u32, Monomial, u32), Vec<u32>> = FxHashMap::default();
+        let mut base_terms: Vec<(u32, u32)> = Vec::new();
+        // (poly, context, exponent) → (leaf position, term index) members
+        let mut groups: FxHashMap<(u32, Monomial, u32), Vec<(u32, u32)>> = FxHashMap::default();
         for (poly_idx, (label, poly)) in set.iter().enumerate() {
-            for (monomial, _) in poly.iter() {
+            for (term_idx, (monomial, _)) in poly.iter().enumerate() {
                 let mut tree_var = None;
                 for v in monomial.vars() {
                     if let Some(leaf) = tree.leaf_of_var(v) {
@@ -74,7 +96,7 @@ impl GroupAnalysis {
                     }
                 }
                 match tree_var {
-                    None => base += 1,
+                    None => base_terms.push((poly_idx as u32, term_idx as u32)),
                     Some((v, leaf)) => {
                         let (context, exp) = monomial.without(v);
                         let pos = tree.leaf_range(leaf).start as u32;
@@ -83,30 +105,35 @@ impl GroupAnalysis {
                             .or_default();
                         // canonical polynomials cannot repeat a leaf within
                         // a group, so a plain push keeps entries unique
-                        entry.push(pos);
+                        entry.push((pos, term_idx as u32));
                     }
                 }
             }
         }
 
         let mut out_groups = Vec::with_capacity(groups.len());
-        for ((poly, _ctx, exponent), mut leaf_positions) in groups {
-            leaf_positions.sort_unstable();
-            debug_assert!(leaf_positions.windows(2).all(|w| w[0] != w[1]));
+        for ((poly, context, exponent), mut members) in groups {
+            members.sort_unstable_by_key(|&(pos, _)| pos);
+            debug_assert!(members.windows(2).all(|w| w[0].0 != w[1].0));
             out_groups.push(Group {
                 poly,
                 exponent,
-                leaf_positions,
+                context,
+                leaf_positions: members.iter().map(|&(pos, _)| pos).collect(),
+                term_indices: members.iter().map(|&(_, idx)| idx).collect(),
             });
         }
-        // Deterministic order (hash map iteration order is not).
+        // Deterministic order (hash map iteration order is not); the
+        // context disambiguates groups sharing the same leaf set.
         out_groups.sort_unstable_by(|a, b| {
-            (a.poly, a.exponent, &a.leaf_positions).cmp(&(b.poly, b.exponent, &b.leaf_positions))
+            (a.poly, a.exponent, &a.leaf_positions, &a.context)
+                .cmp(&(b.poly, b.exponent, &b.leaf_positions, &b.context))
         });
 
         let node_weight = compute_node_weights(tree, &out_groups);
         Ok(GroupAnalysis {
-            base_monomials: base,
+            base_monomials: base_terms.len() as u64,
+            base_terms,
             groups: out_groups,
             node_weight,
         })

@@ -18,10 +18,18 @@
 //!   enumeration for the oracle.
 //! * [`groups`] — the `(polynomial, context, exponent)` group analysis
 //!   that makes the compressed size additive over cut nodes.
+//! * [`planner`] — the **unified compression planner**: one
+//!   [`CutPlanner`] interface (`plan` one bound, `plan_frontier` the whole
+//!   Pareto curve) over a shared [`PlanContext`] of memoized cut
+//!   statistics, implemented by [`ExactDp`], [`Greedy`] and [`BruteForce`].
 //! * [`dp`] — the exact PTIME optimizer: bottom-up tree-knapsack dynamic
-//!   programming, plus the expressiveness/size Pareto frontier.
-//! * [`apply`] — applying a cut: variable renaming + monomial merging.
-//! * [`brute`] — exhaustive search, the correctness oracle for tests.
+//!   programming, plus the expressiveness/size Pareto frontier (thin
+//!   wrappers over the planner).
+//! * [`apply`] — applying a cut: variable renaming + monomial merging,
+//!   plus the group-statistics fast path ([`apply::apply_cut_with_groups`])
+//!   the frontier re-selection rides.
+//! * [`brute`] — exhaustive search by real application, the correctness
+//!   oracle for tests.
 //! * [`multi`] — multi-tree forests via coordinate descent (extension
 //!   beyond the demo's single-tree setting).
 //! * [`assign`] — meta-variable defaults (group averages), scenario
@@ -72,6 +80,7 @@ pub mod folds;
 pub mod greedy;
 pub mod groups;
 pub mod multi;
+pub mod planner;
 pub mod report;
 pub mod scenario;
 pub mod scenario_set;
@@ -86,6 +95,10 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
+pub use planner::{
+    BruteForce, CutFrontier, CutPlanner, ExactDp, FrontierPoint, Greedy, NodeStats, PlanContext,
+    PlannedCut,
+};
 pub use folds::{MergeFold, SweepFold};
 pub use scenario::{
     fold_program_sweep, fold_program_sweep_par, measure_sweep_speedup, sweep_full_vs_compressed,
@@ -97,6 +110,6 @@ pub use multi::{
     forest_sweep, forest_sweep_fold, forest_sweep_fold_par, optimize_forest_descent,
     ForestSolution,
 };
-pub use report::CompressionReport;
+pub use report::{frontier_table, CompressionReport};
 pub use session::{CobraSession, MetaSummaryRow};
 pub use tree::{AbstractionTree, NodeId, TreeSpec};

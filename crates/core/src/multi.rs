@@ -5,17 +5,18 @@
 //! the problem NP-hard in general (SIGMOD'19 \[4\]), so we provide a
 //! **coordinate-descent** heuristic: fix the cuts of all trees but one,
 //! substitute them into the provenance, and re-optimize the remaining tree
-//! exactly with the single-tree DP; iterate until a fixpoint. Each step is
-//! exact given the others, so the objective `(Σ variables, −size)`
-//! improves lexicographically and the process terminates. The brute-force
-//! forest search ([`crate::brute::optimize_forest`]) serves as the oracle
-//! on small instances.
+//! exactly with the single-tree planner ([`crate::planner::ExactDp`]);
+//! iterate until a fixpoint. Each step is exact given the others, so the
+//! objective `(Σ variables, −size)` improves lexicographically and the
+//! process terminates. The brute-force forest search
+//! ([`crate::brute::optimize_forest`]) serves as the oracle on small
+//! instances.
 
 use crate::apply::{apply_cut, apply_cuts, AppliedAbstraction};
 use crate::cut::Cut;
-use crate::dp;
 use crate::error::{CoreError, Result};
 use crate::groups::GroupAnalysis;
+use crate::planner::{CutPlanner, ExactDp, PlanContext};
 use crate::scenario::{CompiledComparison, ScenarioSweep};
 use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
@@ -79,9 +80,10 @@ pub fn optimize_forest_descent<C: Coeff>(
             } else {
                 apply_cuts(set, &others, reg).compressed
             };
-            // Exact single-tree optimization on the substituted set.
+            // Exact single-tree optimization on the substituted set,
+            // through the unified planner.
             let analysis = GroupAnalysis::analyze(&substituted, trees[i])?;
-            let sol = dp::optimize(trees[i], &analysis, bound)?;
+            let sol = ExactDp.plan(&PlanContext::new(trees[i], &analysis), bound)?;
             let better = sol.variables > cuts[i].len()
                 || (sol.variables == cuts[i].len() && sol.size < size);
             if better {
@@ -111,8 +113,8 @@ pub fn optimize_forest_descent<C: Coeff>(
     })
 }
 
-/// Convenience wrapper for the single-tree case: exact DP plus a real
-/// application, returning the same shape as the forest optimizer.
+/// Convenience wrapper for the single-tree case: the exact planner plus a
+/// real application, returning the same shape as the forest optimizer.
 pub fn optimize_single_tree<C: Coeff>(
     set: &PolySet<C>,
     tree: &AbstractionTree,
@@ -120,7 +122,7 @@ pub fn optimize_single_tree<C: Coeff>(
     reg: &mut VarRegistry,
 ) -> Result<(ForestSolution, crate::apply::AppliedAbstraction<C>)> {
     let analysis = GroupAnalysis::analyze(set, tree)?;
-    let sol = dp::optimize(tree, &analysis, bound)?;
+    let sol = ExactDp.plan(&PlanContext::new(tree, &analysis), bound)?;
     let applied = apply_cut(set, tree, &sol.cut, reg);
     debug_assert_eq!(applied.compressed_size as u64, sol.size);
     Ok((
@@ -190,6 +192,7 @@ pub fn forest_sweep_fold_par<F: crate::folds::MergeFold + Send + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dp;
     use crate::tree::paper_plans_tree;
     use cobra_provenance::parse_polyset;
     use cobra_util::Rat;

@@ -1,8 +1,11 @@
 //! Compression reports: the information COBRA's UI surfaces (paper §3) —
-//! provenance sizes, expressiveness, the chosen cut, assignment speedup —
-//! as displayable structures.
+//! provenance sizes, expressiveness, the chosen cut, assignment speedup,
+//! and the planner's whole size/expressiveness frontier — as displayable
+//! structures.
 
 use crate::assign::SpeedupMeasurement;
+use crate::planner::CutFrontier;
+use crate::tree::AbstractionTree;
 use cobra_util::table::thousands;
 use cobra_util::Table;
 use std::fmt;
@@ -85,9 +88,49 @@ impl fmt::Display for CompressionReport {
     }
 }
 
+/// Renders a planner [`CutFrontier`] as the bound-sweep table the demo's
+/// interactive slider walks: one row per selectable point with its
+/// expressiveness, minimal size, and witness cut.
+pub fn frontier_table(frontier: &CutFrontier, tree: &AbstractionTree) -> Table {
+    let mut t = Table::new(["variables", "min size", "cut"]).numeric();
+    for point in frontier.points() {
+        t.row([
+            point.variables.to_string(),
+            thousands(point.size),
+            point.cut.display(tree),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frontier_table_renders_every_point() {
+        use crate::groups::GroupAnalysis;
+        use crate::planner::{CutPlanner, ExactDp, PlanContext};
+        use crate::tree::paper_plans_tree;
+        use cobra_provenance::VarRegistry;
+
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let set = cobra_provenance::parse_polyset(
+            "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+            &mut reg,
+        )
+        .unwrap();
+        let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+        let frontier = ExactDp
+            .plan_frontier(&PlanContext::new(&tree, &analysis))
+            .unwrap();
+        let rendered = frontier_table(&frontier, &tree).to_string();
+        for point in frontier.points() {
+            assert!(rendered.contains(&point.variables.to_string()));
+        }
+        assert!(rendered.contains("{Plans}"));
+    }
 
     #[test]
     fn report_renders_all_rows() {

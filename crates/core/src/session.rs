@@ -17,10 +17,12 @@
 
 use crate::apply::AppliedAbstraction;
 use crate::assign::{self, ResultComparison, SpeedupMeasurement};
-use crate::cut::MetaVar;
+use crate::cut::{Cut, MetaVar};
 use crate::error::{CoreError, Result};
 use crate::folds::MergeFold;
+use crate::groups::GroupAnalysis;
 use crate::multi::{optimize_forest_descent, optimize_single_tree};
+use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext};
 use crate::report::CompressionReport;
 use crate::scenario::{
     measure_sweep_speedup, CompiledComparison, F64Divergence, F64ScenarioSweep, FoldItem,
@@ -28,8 +30,8 @@ use crate::scenario::{
 };
 use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
-use cobra_provenance::{BatchEvaluator, PolySet, ProvenanceStats, Valuation, VarRegistry};
-use cobra_util::Rat;
+use cobra_provenance::{BatchEvaluator, PolySet, ProvenanceStats, Valuation, Var, VarRegistry};
+use cobra_util::{FxHashMap, FxHashSet, Rat};
 use std::cell::OnceCell;
 
 /// One row of the meta-variable screen: the meta-variable, the original
@@ -61,21 +63,83 @@ pub struct CobraSession {
     /// likewise session-invariant and built on first use.
     full_f64: OnceCell<BatchEvaluator<f64>>,
     compressed: Option<Compressed>,
+    /// The planner's frontier state (one planning pass over the whole
+    /// bound axis), populated by
+    /// [`compress_frontier`](CobraSession::compress_frontier) and
+    /// invalidated when a tree is added.
+    frontier: Option<FrontierState>,
     trace: Vec<String>,
     trace_enabled: bool,
 }
 
 struct Compressed {
-    applied: AppliedAbstraction<Rat>,
+    /// The meta-variable assignment and substitution of the chosen cut —
+    /// always available without materializing the compressed polynomials
+    /// (sweep projection, the Fig. 5 screen, and reports need only these).
+    meta_vars: Vec<MetaVar>,
+    substitution: FxHashMap<Var, Var>,
+    original_size: usize,
+    compressed_size: usize,
+    compressed_vars: usize,
     cuts_display: Vec<String>,
-    /// Exact batched engines over the full and compressed provenance; the
-    /// full side shares the session's cached program (cheap `Arc` clone),
-    /// only the compressed side is compiled per compression.
-    engines: CompiledComparison,
+    /// For frontier selections: the selected cut, the recipe of the lazy
+    /// group-statistics application. `None` for `compress()`-built states,
+    /// whose `applied` cell is pre-filled.
+    lazy_cut: Option<Cut>,
+    /// The applied abstraction (compressed polynomials included), built
+    /// lazily for frontier selections — report-only bound sweeps never
+    /// construct a polynomial.
+    applied: OnceCell<AppliedAbstraction<Rat>>,
+    /// Exact batched engines over the full and compressed provenance,
+    /// compiled lazily on first evaluation: the full side shares the
+    /// session's cached program (cheap `Arc` clone) and only the
+    /// compressed side is compiled — so report-only compressions and
+    /// frontier re-selections never pay for compilation.
+    engines: OnceCell<CompiledComparison>,
     /// `f64` shadow of the compressed engine for the timing fast path,
     /// built lazily on the first speedup measurement (assign/sweep-only
     /// sessions never pay for the copy).
     comp_f64: OnceCell<BatchEvaluator<f64>>,
+}
+
+impl Compressed {
+    /// Wraps an eagerly applied abstraction (the `compress()` path).
+    fn from_applied(applied: AppliedAbstraction<Rat>, cuts_display: Vec<String>) -> Compressed {
+        let state = Compressed {
+            meta_vars: applied.meta_vars.clone(),
+            substitution: applied.substitution.clone(),
+            original_size: applied.original_size,
+            compressed_size: applied.compressed_size,
+            compressed_vars: applied.distinct_vars(),
+            cuts_display,
+            lazy_cut: None,
+            applied: OnceCell::new(),
+            engines: OnceCell::new(),
+            comp_f64: OnceCell::new(),
+        };
+        let _ = state.applied.set(applied);
+        state
+    }
+}
+
+/// The memoized outcome of one frontier planning pass: the group analysis
+/// and Pareto curve are bound-independent, so changing the bound is an
+/// `O(log frontier)` re-selection plus one fast cut application.
+struct FrontierState {
+    analysis: GroupAnalysis,
+    frontier: CutFrontier,
+    /// Distinct variables of the full provenance (for reports).
+    original_vars: usize,
+    /// Total monomials of the full provenance (for reports).
+    original_size: u64,
+    /// The set's distinct variables, memoized for the fast apply path.
+    reserved: FxHashSet<Var>,
+    /// Distinct non-tree variables (base-term and group-context vars):
+    /// they survive every cut, so any selection's `compressed_vars` is
+    /// this count plus the cut nodes that some group actually touches.
+    invariant_vars: usize,
+    /// Frontier index currently materialized in `compressed`, if any.
+    selected: Option<usize>,
 }
 
 impl CobraSession {
@@ -91,6 +155,7 @@ impl CobraSession {
             full_rat: OnceCell::new(),
             full_f64: OnceCell::new(),
             compressed: None,
+            frontier: None,
             trace: Vec::new(),
             trace_enabled: false,
         }
@@ -103,6 +168,51 @@ impl CobraSession {
             .get_or_init(|| BatchEvaluator::compile(&self.polys))
     }
 
+    /// The exact compiled comparison of a compression, built on first use:
+    /// the session-invariant full side is shared (an `Arc` clone), only
+    /// the compressed side compiles — and only when something actually
+    /// evaluates.
+    fn engines<'a>(&'a self, state: &'a Compressed) -> &'a CompiledComparison {
+        state.engines.get_or_init(|| {
+            CompiledComparison::from_engines(
+                self.full_engine().clone(),
+                BatchEvaluator::compile(&self.applied(state).compressed),
+            )
+        })
+    }
+
+    /// The applied abstraction of a compression, materialized on first
+    /// access: `compress()` fills it eagerly, frontier selections defer
+    /// the group-statistics polynomial construction until something needs
+    /// the compressed set (engine compilation, `compressed_polynomials`).
+    fn applied<'a>(&'a self, state: &'a Compressed) -> &'a AppliedAbstraction<Rat> {
+        state.applied.get_or_init(|| {
+            let cut = state
+                .lazy_cut
+                .as_ref()
+                .expect("an unfilled applied cell implies a frontier selection");
+            let frontier = self
+                .frontier
+                .as_ref()
+                .expect("frontier selections keep their planning state");
+            let compressed = crate::apply::compress_polyset_with_groups(
+                &self.polys,
+                &self.trees[0],
+                &frontier.analysis,
+                cut,
+                &state.meta_vars,
+            );
+            debug_assert_eq!(compressed.total_monomials(), state.compressed_size);
+            AppliedAbstraction {
+                original_size: state.original_size,
+                compressed_size: state.compressed_size,
+                compressed,
+                substitution: state.substitution.clone(),
+                meta_vars: state.meta_vars.clone(),
+            }
+        })
+    }
+
     /// The `f64` timing shadows: session-cached full side, per-compression
     /// compressed side.
     fn f64_engines<'a>(
@@ -113,7 +223,7 @@ impl CobraSession {
             BatchEvaluator::new(self.full_engine().program().to_f64_program())
         });
         let compressed = state.comp_f64.get_or_init(|| {
-            BatchEvaluator::new(state.engines.compressed.program().to_f64_program())
+            BatchEvaluator::new(self.engines(state).compressed.program().to_f64_program())
         });
         (full, compressed)
     }
@@ -174,6 +284,7 @@ impl CobraSession {
     /// Registers an abstraction tree.
     pub fn add_tree(&mut self, tree: AbstractionTree) {
         self.compressed = None;
+        self.frontier = None;
         self.trees.push(tree);
     }
 
@@ -196,8 +307,12 @@ impl CobraSession {
         self.bound = Some(bound);
     }
 
-    /// Runs the compression: the exact DP for a single tree, coordinate
-    /// descent for a forest.
+    /// Runs the compression: the exact planner for a single tree,
+    /// coordinate descent for a forest. This is the one-shot path — it
+    /// re-derives the plan from scratch for the current bound. Sessions
+    /// exploring many bounds should call
+    /// [`compress_frontier`](Self::compress_frontier) once and then
+    /// [`select_bound`](Self::select_bound) per bound.
     ///
     /// # Errors
     /// `Session` if trees/bound are missing; `InfeasibleBound` if no
@@ -249,19 +364,196 @@ impl CobraSession {
             cuts: cuts_display.clone(),
             speedup: None,
         };
-        // The full-side program is session-invariant: reuse the cached
-        // engine (an `Arc` clone) and compile only the compressed side.
-        let engines = CompiledComparison::from_engines(
-            self.full_engine().clone(),
-            BatchEvaluator::compile(&applied.compressed),
-        );
-        self.compressed = Some(Compressed {
-            applied,
-            cuts_display,
-            engines,
-            comp_f64: OnceCell::new(),
-        });
+        // Engines compile lazily on first evaluation; the full-side
+        // program stays session-cached either way.
+        self.compressed = Some(Compressed::from_applied(applied, cuts_display));
+        // Any frontier selection no longer reflects the compressed state.
+        if let Some(frontier) = &mut self.frontier {
+            frontier.selected = None;
+        }
         Ok(report)
+    }
+
+    /// Plans the **entire** size/expressiveness Pareto frontier in one
+    /// pass (the exact planner's
+    /// [`plan_frontier`](crate::planner::CutPlanner::plan_frontier)) and
+    /// caches it: afterwards any bound resolves through
+    /// [`select_bound`](Self::select_bound) in `O(log frontier)` plus one
+    /// fast cut application — no re-analysis, no re-planning, no
+    /// recompilation of the full side. The curve is bound-independent, so
+    /// calling this again is free until a tree is added.
+    ///
+    /// This is the multi-budget exploration surface the COBRA demo's
+    /// interactive bound slider needs: one planning pass, then sweeps at
+    /// every budget.
+    ///
+    /// ```
+    /// use cobra_core::CobraSession;
+    ///
+    /// let mut session = CobraSession::from_text(
+    ///     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+    /// ).unwrap();
+    /// session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+    /// let frontier = session.compress_frontier().unwrap();
+    /// let budgets: Vec<(usize, u64)> = frontier
+    ///     .points()
+    ///     .iter()
+    ///     .map(|p| (p.variables, p.size))
+    ///     .collect();
+    /// // k = 2 ({Standard, v}, size 4) is dominated by the k = 3 leaf
+    /// // cut at the same size, so the frontier keeps the two points any
+    /// // bound can actually select
+    /// assert_eq!(budgets, [(1, 2), (3, 4)]);
+    /// // changing the bound is a re-selection, not a recomputation
+    /// let report = session.select_bound(2).unwrap();
+    /// assert_eq!(report.compressed_size, 2);
+    /// assert_eq!(session.select_bound(4).unwrap().compressed_size, 4);
+    /// ```
+    ///
+    /// # Errors
+    /// `Session` unless exactly one tree is registered (forest frontiers
+    /// would require a planning pass per bound; use
+    /// [`compress`](Self::compress) for forests).
+    pub fn compress_frontier(&mut self) -> Result<&CutFrontier> {
+        if self.trees.len() != 1 {
+            return Err(CoreError::Session(format!(
+                "compress_frontier requires exactly one abstraction tree, got {}; \
+                 use compress() for forests",
+                self.trees.len()
+            )));
+        }
+        if self.frontier.is_none() {
+            let tree = &self.trees[0];
+            let analysis = GroupAnalysis::analyze(&self.polys, tree)?;
+            let frontier = ExactDp
+                .plan_frontier(&PlanContext::new(tree, &analysis))
+                .expect("the exact DP frontier always exists");
+            let full_stats = ProvenanceStats::compute(&self.polys);
+            // The non-tree variables survive every cut: count them once so
+            // selections can report `compressed_vars` without building the
+            // compressed polynomials.
+            let mut invariant: FxHashSet<Var> = FxHashSet::default();
+            for group in &analysis.groups {
+                invariant.extend(group.context.vars());
+            }
+            let polys: Vec<_> = self.polys.iter().map(|(_, p)| p).collect();
+            for &(poly, term) in &analysis.base_terms {
+                invariant.extend(polys[poly as usize].terms()[term as usize].0.vars());
+            }
+            let points = frontier.len();
+            self.log(|| {
+                format!(
+                    "planned frontier: {points} points, sizes {}..={}",
+                    frontier.min_size(),
+                    frontier.points().last().map_or(0, |p| p.size)
+                )
+            });
+            self.frontier = Some(FrontierState {
+                analysis,
+                frontier,
+                original_vars: full_stats.distinct_vars,
+                original_size: self.polys.total_monomials() as u64,
+                reserved: self.polys.distinct_vars(),
+                invariant_vars: invariant.len(),
+                selected: None,
+            });
+        }
+        Ok(&self.frontier.as_ref().expect("just populated").frontier)
+    }
+
+    /// The cached Pareto frontier, if [`compress_frontier`](Self::compress_frontier)
+    /// has run.
+    ///
+    /// # Errors
+    /// `Session` if the frontier has not been planned.
+    pub fn frontier(&self) -> Result<&CutFrontier> {
+        self.frontier
+            .as_ref()
+            .map(|f| &f.frontier)
+            .ok_or_else(|| CoreError::Session("compress_frontier must be called first".into()))
+    }
+
+    /// Re-selects the session's compression for a new bound against the
+    /// cached frontier: an `O(log frontier)` lookup, then — only if the
+    /// selected point actually changed — an `O(leaves)` meta-variable
+    /// assignment plus a stats-derived report. The compressed polynomials
+    /// themselves ([`crate::apply::apply_cut_with_groups`]'s group-statistics
+    /// construction, no re-scan of the full provenance) and the
+    /// compressed engine are built lazily on first evaluation. The result
+    /// is **identical** to `set_bound(bound)` +
+    /// [`compress`](Self::compress) (report, cut and sweep results;
+    /// property-pinned in `tests/planner.rs`), at a fraction of the cost
+    /// (experiment E12 measures the gap at paper scale).
+    ///
+    /// Like every predicted size in the optimizer pipeline, the report's
+    /// `compressed_size` comes from the additive group formula, which
+    /// assumes merged coefficients never cancel to zero (always true for
+    /// nonnegative provenance annotations; see [`crate::groups`]).
+    ///
+    /// # Errors
+    /// `Session` if [`compress_frontier`](Self::compress_frontier) has
+    /// not run; `InfeasibleBound` if even the coarsest frontier point
+    /// exceeds `bound`.
+    pub fn select_bound(&mut self, bound: u64) -> Result<CompressionReport> {
+        let state = self
+            .frontier
+            .as_ref()
+            .ok_or_else(|| CoreError::Session("compress_frontier must be called first".into()))?;
+        let Some(idx) = state.frontier.select_index(bound) else {
+            return Err(CoreError::InfeasibleBound {
+                min_achievable: state.frontier.min_size(),
+            });
+        };
+        self.bound = Some(bound);
+        if state.selected != Some(idx) || self.compressed.is_none() {
+            let point = &state.frontier.points()[idx];
+            let tree = &self.trees[0];
+            // Disjoint field borrows: the frontier state is read-only here
+            // while the registry takes the only mutable borrow.
+            let (substitution, meta_vars) =
+                point.cut.substitution(tree, &mut self.reg, &state.reserved);
+            // The invariant (non-tree) variables survive every cut; a cut
+            // node's meta-variable occurs iff some group touches it.
+            let compressed_vars = state.invariant_vars
+                + point
+                    .cut
+                    .nodes()
+                    .iter()
+                    .filter(|n| state.analysis.node_weight[n.index()] > 0)
+                    .count();
+            let cuts_display = vec![format!("{}: {}", tree.name(), point.cut.display(tree))];
+            let lazy_cut = point.cut.clone();
+            let (original_size, compressed_size) =
+                (state.original_size as usize, point.size as usize);
+            for line in &cuts_display {
+                let line = line.clone();
+                self.log(move || format!("selected cut — {line}"));
+            }
+            self.compressed = Some(Compressed {
+                meta_vars,
+                substitution,
+                original_size,
+                compressed_size,
+                compressed_vars,
+                cuts_display,
+                lazy_cut: Some(lazy_cut),
+                applied: OnceCell::new(),
+                engines: OnceCell::new(),
+                comp_f64: OnceCell::new(),
+            });
+            self.frontier.as_mut().expect("checked above").selected = Some(idx);
+        }
+        let state = self.frontier.as_ref().expect("checked above");
+        let compressed = self.compressed.as_ref().expect("just selected");
+        Ok(CompressionReport {
+            bound,
+            original_size: state.original_size,
+            compressed_size: compressed.compressed_size as u64,
+            original_vars: state.original_vars,
+            compressed_vars: compressed.compressed_vars,
+            cuts: compressed.cuts_display.clone(),
+            speedup: None,
+        })
     }
 
     fn compressed_state(&self) -> Result<&Compressed> {
@@ -270,14 +562,16 @@ impl CobraSession {
             .ok_or_else(|| CoreError::Session("compress must be called first".into()))
     }
 
-    /// The compressed polynomials.
+    /// The compressed polynomials (materialized on first access for
+    /// frontier selections).
     pub fn compressed_polynomials(&self) -> Result<&PolySet<Rat>> {
-        Ok(&self.compressed_state()?.applied.compressed)
+        Ok(&self.applied(self.compressed_state()?).compressed)
     }
 
-    /// The applied abstraction (substitution + meta-variables).
+    /// The applied abstraction (substitution + meta-variables), with the
+    /// compressed polynomials materialized on first access.
     pub fn abstraction(&self) -> Result<&AppliedAbstraction<Rat>> {
-        Ok(&self.compressed_state()?.applied)
+        Ok(self.applied(self.compressed_state()?))
     }
 
     /// The meta-variable screen (paper Fig. 5): every meta-variable with
@@ -290,7 +584,6 @@ impl CobraSession {
             .copied()
             .unwrap_or(Rat::ONE);
         Ok(state
-            .applied
             .meta_vars
             .iter()
             .map(|meta: &MetaVar| {
@@ -350,8 +643,8 @@ impl CobraSession {
     /// exactness for lane-kernel speed with [`sweep_f64`](Self::sweep_f64).
     pub fn sweep(&self, scenarios: impl Into<ScenarioSet>) -> Result<ScenarioSweep> {
         let state = self.compressed_state()?;
-        Ok(state.engines.sweep(
-            &state.applied.meta_vars,
+        Ok(self.engines(state).sweep(
+            &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
         ))
@@ -412,8 +705,8 @@ impl CobraSession {
         f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
     ) -> Result<A> {
         let state = self.compressed_state()?;
-        Ok(state.engines.sweep_fold(
-            &state.applied.meta_vars,
+        Ok(self.engines(state).sweep_fold(
+            &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
             init,
@@ -478,8 +771,8 @@ impl CobraSession {
         fold: F,
     ) -> Result<F> {
         let state = self.compressed_state()?;
-        Ok(state.engines.sweep_fold_par(
-            &state.applied.meta_vars,
+        Ok(self.engines(state).sweep_fold_par(
+            &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
             fold,
@@ -511,9 +804,9 @@ impl CobraSession {
         f: impl FnMut(A, FoldItem<'_, f64>) -> A,
     ) -> Result<(A, F64Divergence)> {
         let state = self.compressed_state()?;
-        Ok(state.engines.sweep_fold_f64(
+        Ok(self.engines(state).sweep_fold_f64(
             self.f64_engines(state),
-            &state.applied.meta_vars,
+            &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
             init,
@@ -567,9 +860,9 @@ impl CobraSession {
         fold: F,
     ) -> Result<(F, F64Divergence)> {
         let state = self.compressed_state()?;
-        Ok(state.engines.sweep_fold_f64_par(
+        Ok(self.engines(state).sweep_fold_f64_par(
             self.f64_engines(state),
-            &state.applied.meta_vars,
+            &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
             fold,
@@ -619,7 +912,7 @@ impl CobraSession {
         let state = self.compressed_state()?;
         let set = scenarios.into();
         let n = set.len();
-        let np = state.engines.full.program().num_polys();
+        let np = self.engines(state).full.program().num_polys();
         let init = (Vec::with_capacity(n * np), Vec::with_capacity(n * np));
         let ((full, compressed), divergence) =
             self.sweep_fold_f64(set, init, |(mut f, mut c), item| {
@@ -628,7 +921,7 @@ impl CobraSession {
                 (f, c)
             })?;
         Ok(F64ScenarioSweep {
-            labels: state.engines.full.program().labels().to_vec(),
+            labels: self.engines(state).full.program().labels().to_vec(),
             num_scenarios: n,
             full,
             compressed,
@@ -645,7 +938,7 @@ impl CobraSession {
     /// `Session` if `compress` has not run.
     pub fn baseline_results(&self) -> Result<Vec<f64>> {
         let state = self.compressed_state()?;
-        let prog = state.engines.full.program();
+        let prog = self.engines(state).full.program();
         let row = prog
             .bind(&self.base_valuation)
             .expect("base valuation must be total");
@@ -672,28 +965,27 @@ impl CobraSession {
             )));
         }
         let defaults =
-            assign::default_meta_valuation(&state.applied.meta_vars, &self.base_valuation);
+            assign::default_meta_valuation(&state.meta_vars, &self.base_valuation);
         let meta_base = self.base_valuation.overridden_by(&defaults);
         let meta_val = meta_base.overridden_by(&set.scenario_valuation(0, &meta_base));
         let leaf_val = self
             .base_valuation
-            .overridden_by(&assign::expand_to_leaves(&state.applied.meta_vars, &meta_val));
-        let full_row = state
-            .engines
+            .overridden_by(&assign::expand_to_leaves(&state.meta_vars, &meta_val));
+        let engines = self.engines(state);
+        let full_row = engines
             .full
             .program()
             .bind(&leaf_val)
             .expect("leaf valuation must be total");
-        let meta_row = state
-            .engines
+        let meta_row = engines
             .compressed
             .program()
             .bind(&meta_val)
             .expect("meta valuation must be total");
-        let full = state.engines.full.program().eval_scenario(&full_row);
-        let compressed = state.engines.compressed.program().eval_scenario(&meta_row);
+        let full = engines.full.program().eval_scenario(&full_row);
+        let compressed = engines.compressed.program().eval_scenario(&meta_row);
         Ok(crate::scenario::compare_rows(
-            state.engines.full.program().labels(),
+            engines.full.program().labels(),
             full,
             compressed,
         ))
@@ -727,8 +1019,8 @@ impl CobraSession {
         let set = scenarios.into();
         // Exact projection, f64 rows: the shadow programs share the exact
         // programs' variable numbering.
-        let (full_rows, comp_rows) = state.engines.bind_rows(
-            &state.applied.meta_vars,
+        let (full_rows, comp_rows) = self.engines(state).bind_rows(
+            &state.meta_vars,
             &self.base_valuation,
             &set,
             |r| r.to_f64(),
@@ -748,10 +1040,10 @@ impl CobraSession {
         let state = self.compressed_state()?;
         Ok(CompressionReport {
             bound: self.bound.unwrap_or(0),
-            original_size: state.applied.original_size as u64,
-            compressed_size: state.applied.compressed_size as u64,
+            original_size: state.original_size as u64,
+            compressed_size: state.compressed_size as u64,
             original_vars: self.polys.distinct_vars().len(),
-            compressed_vars: state.applied.distinct_vars(),
+            compressed_vars: state.compressed_vars,
             cuts: state.cuts_display.clone(),
             speedup,
         })
@@ -1033,11 +1325,17 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         let mut s = session_with_bound(6);
         s.compress().unwrap();
         let first = s.abstraction().unwrap().compressed.clone();
-        let full_before: *const _ = s.compressed.as_ref().unwrap().engines.full.program();
+        s.baseline_results().unwrap(); // force the lazy engine build
+        let full_before: *const _ =
+            s.engines(s.compressed.as_ref().unwrap()).full.program();
         s.set_bound(4);
         s.compress().unwrap();
-        let full_after: *const _ = s.compressed.as_ref().unwrap().engines.full.program();
-        // same Arc'd program, not a recompilation
+        // engines are lazy now: nothing is compiled until evaluation…
+        assert!(s.compressed.as_ref().unwrap().engines.get().is_none());
+        s.baseline_results().unwrap();
+        let full_after: *const _ =
+            s.engines(s.compressed.as_ref().unwrap()).full.program();
+        // …and the full side is the same Arc'd program, not a recompilation
         assert_eq!(full_before, full_after);
         assert_ne!(first.total_monomials(), s.abstraction().unwrap().compressed.total_monomials());
     }
@@ -1052,6 +1350,82 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         assert_eq!(m.full_size, 14);
         assert_eq!(m.compressed_size, 4);
         assert!(m.full_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn frontier_selection_matches_fresh_compress() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        let frontier = s.compress_frontier().unwrap();
+        assert_eq!(frontier.points().first().unwrap().size, 4);
+        assert_eq!(frontier.points().last().unwrap().size, 14);
+        for bound in 4..=14u64 {
+            let selected = s.select_bound(bound).unwrap();
+            let mut fresh = session_with_bound(bound);
+            let compressed = fresh.compress().unwrap();
+            assert_eq!(selected.bound, compressed.bound, "bound {bound}");
+            assert_eq!(selected.original_size, compressed.original_size);
+            assert_eq!(selected.compressed_size, compressed.compressed_size);
+            assert_eq!(selected.original_vars, compressed.original_vars);
+            assert_eq!(selected.compressed_vars, compressed.compressed_vars);
+            assert_eq!(selected.cuts, compressed.cuts, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn select_bound_reuses_state_for_the_same_point() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.compress_frontier().unwrap();
+        s.select_bound(6).unwrap();
+        s.baseline_results().unwrap(); // force engine build
+        let engines_before: *const _ = s.engines(s.compressed.as_ref().unwrap());
+        // bound 7 selects the same frontier point (sizes 6 and 8 bracket it)
+        let report = s.select_bound(7).unwrap();
+        assert_eq!(report.bound, 7);
+        assert_eq!(report.compressed_size, 6);
+        let engines_after: *const _ = s.engines(s.compressed.as_ref().unwrap());
+        assert_eq!(engines_before, engines_after, "same point ⇒ no rebuild");
+        // a genuinely different point rebuilds
+        s.select_bound(14).unwrap();
+        assert!(s.compressed.as_ref().unwrap().engines.get().is_none());
+    }
+
+    #[test]
+    fn frontier_errors_are_session_errors() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        // no tree yet
+        assert!(matches!(s.compress_frontier(), Err(CoreError::Session(_))));
+        assert!(matches!(s.frontier(), Err(CoreError::Session(_))));
+        assert!(matches!(s.select_bound(6), Err(CoreError::Session(_))));
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.add_tree_text("Months(m1,m3)").unwrap();
+        // forests are not frontier-plannable
+        assert!(matches!(s.compress_frontier(), Err(CoreError::Session(_))));
+        // single tree: infeasible bounds report the frontier minimum
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.compress_frontier().unwrap();
+        assert!(matches!(
+            s.select_bound(3),
+            Err(CoreError::InfeasibleBound { min_achievable: 4 })
+        ));
+    }
+
+    #[test]
+    fn selected_session_sweeps_and_assigns() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.compress_frontier().unwrap();
+        s.select_bound(6).unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        let cmp = s.assign(&scenario).unwrap();
+        assert!(cmp.is_exact());
+        assert_eq!(cmp.rows[0].full, rat("454.1") + rat("0.8") * rat("451.15"));
+        // re-selection under a different bound changes the outcome
+        s.select_bound(4).unwrap();
+        assert_eq!(s.meta_summary().unwrap().len(), 1); // {Plans}
     }
 
     #[test]

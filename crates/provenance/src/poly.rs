@@ -179,6 +179,14 @@ impl<C: Coeff> Polynomial<C> {
         self.terms.iter()
     }
 
+    /// The canonical term slice (monomials strictly increasing). Indices
+    /// into this slice are stable for the lifetime of the polynomial —
+    /// they are what `cobra_core`'s group analysis records as term
+    /// references.
+    pub fn terms(&self) -> &[(Monomial, C)] {
+        &self.terms
+    }
+
     /// The coefficient of `m` (zero if absent).
     pub fn coeff_of(&self, m: &Monomial) -> C {
         self.terms

@@ -177,6 +177,37 @@ where
     })
 }
 
+/// Maps contiguous index spans to partial results and reduces the
+/// partials **in ascending span order** — the deterministic fan-out shape
+/// candidate scoring rides (e.g. the planner's exhaustive cut scorer):
+/// each worker scans its own span of `0..n` and produces one partial
+/// (a running best, a per-key table, …), and `reduce` combines them left
+/// to right, so the result is independent of the thread count whenever
+/// `reduce` is associative. Returns `None` for `n == 0`.
+///
+/// Built on [`par_owned_spans`]; degrades to one inline `map(0..n)` call
+/// on a single thread.
+pub fn par_map_reduce<T, M, R>(n: usize, align: usize, map: M, reduce: R) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return None;
+    }
+    let partials = par_owned_spans(
+        n,
+        align,
+        || None,
+        |slot: &mut Option<T>, range| *slot = Some(map(range)),
+    );
+    partials
+        .into_iter()
+        .flatten()
+        .reduce(reduce)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +269,34 @@ mod tests {
                 assert!(spans.len() <= threads.max(1));
             }
         }
+    }
+
+    #[test]
+    fn map_reduce_is_thread_count_independent() {
+        // argmax with a left-biased tie-break: only deterministic if the
+        // partials merge in ascending span order
+        let score = |i: usize| (i * 7919) % 1000;
+        let expected = (0..5000).map(|i| (score(i), std::cmp::Reverse(i))).max();
+        for threads in [1usize, 2, 3, 8] {
+            let got = with_threads(threads, || {
+                par_map_reduce(
+                    5000,
+                    64,
+                    |range| range.map(|i| (score(i), std::cmp::Reverse(i))).max().unwrap(),
+                    std::cmp::max,
+                )
+            });
+            assert_eq!(got, expected, "threads {threads}");
+        }
+        assert_eq!(
+            par_map_reduce(0, 4, |_| 0u32, |a, b| a + b),
+            None
+        );
+        // sums reduce associatively regardless of span boundaries
+        let total = with_threads(4, || {
+            par_map_reduce(103, 8, |r| r.sum::<usize>(), |a, b| a + b)
+        });
+        assert_eq!(total, Some((0..103).sum()));
     }
 
     #[test]

@@ -38,6 +38,16 @@ const fn gcd(mut a: i128, mut b: i128) -> i128 {
     }
 }
 
+/// True iff every value fits in `i64`, so products of two of them (and
+/// sums of two such products) cannot overflow `i128` — the guard for the
+/// small-integer fast paths that skip gcd normalization.
+#[inline]
+fn all_fit_i64(values: [i128; 4]) -> bool {
+    values
+        .iter()
+        .all(|&v| i64::try_from(v).is_ok())
+}
+
 impl Rat {
     /// The rational zero.
     pub const ZERO: Rat = Rat { num: 0, den: 1 };
@@ -166,6 +176,28 @@ impl From<u32> for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
+        // Small-integer fast paths (the hot shape in batched exact sweeps):
+        // both paths produce the canonical form without running gcd on the
+        // result, guarded so the skipped-reduction arithmetic stays within
+        // i128. Integer + integer is trivially reduced; for coprime
+        // denominators `a/b + c/d = (a·d + c·b)/(b·d)` is already in lowest
+        // terms (any common factor of the numerator and `b·d` would divide
+        // one of the coprime pairs).
+        if self.den == 1 && rhs.den == 1 {
+            return Rat {
+                num: self.num + rhs.num,
+                den: 1,
+            };
+        }
+        if all_fit_i64([self.num, self.den, rhs.num, rhs.den]) {
+            let g = gcd(self.den, rhs.den);
+            if g == 1 {
+                return Rat {
+                    num: self.num * rhs.den + rhs.num * self.den,
+                    den: self.den * rhs.den,
+                };
+            }
+        }
         // Reduce cross terms first to delay overflow (a/b + c/d with g = gcd(b, d)).
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
@@ -187,6 +219,13 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
+        // Integer × integer stays canonical with no reduction at all.
+        if self.den == 1 && rhs.den == 1 {
+            return Rat {
+                num: self.num * rhs.num,
+                den: 1,
+            };
+        }
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
@@ -465,5 +504,96 @@ mod tests {
     fn to_f64() {
         assert_eq!(Rat::new(1, 2).to_f64(), 0.5);
         assert_eq!(Rat::parse("208.8").unwrap().to_f64(), 208.8);
+    }
+
+    /// The always-normalizing reference implementations the fast paths
+    /// must match: cross-reduce, combine, then re-canonicalize via
+    /// `Rat::new` (the pre-fast-path code).
+    fn add_slow(a: Rat, b: Rat) -> Rat {
+        let g = gcd(a.den, b.den);
+        let lhs_scale = b.den / g;
+        let rhs_scale = a.den / g;
+        Rat::new(a.num * lhs_scale + b.num * rhs_scale, a.den * lhs_scale)
+    }
+
+    fn mul_slow(a: Rat, b: Rat) -> Rat {
+        if a.num == 0 || b.num == 0 {
+            return Rat::ZERO;
+        }
+        Rat::new(a.num * b.num, a.den * b.den)
+    }
+
+    fn canonical(r: Rat) -> bool {
+        if r.num == 0 {
+            return r.den == 1;
+        }
+        r.den > 0 && gcd(r.num, r.den) == 1
+    }
+
+    mod fast_path_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn rat_strategy() -> impl Strategy<Value = Rat> {
+            // Mix of integers (the gcd-free hot shape), decimal-like
+            // denominators (2^a·5^b, the telephony coefficients), and
+            // arbitrary fractions — all within the i64 fast-path guard
+            // and beyond it.
+            prop_oneof![
+                3 => (-1_000_000i64..1_000_000).prop_map(Rat::int),
+                3 => ((-10_000_000i64..10_000_000), (0u32..5, 0u32..5)).prop_map(
+                    |(n, (p2, p5))| Rat::new(n as i128, 2i128.pow(p2) * 5i128.pow(p5))
+                ),
+                2 => ((-100_000i64..100_000), (1i64..100_000)).prop_map(
+                    |(n, d)| Rat::new(n as i128, d as i128)
+                ),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            #[test]
+            fn add_fast_path_matches_slow_path(
+                a in rat_strategy(),
+                b in rat_strategy(),
+            ) {
+                let fast = a + b;
+                let slow = add_slow(a, b);
+                prop_assert_eq!(fast, slow);
+                prop_assert_eq!(fast.num, slow.num, "canonical numerator");
+                prop_assert_eq!(fast.den, slow.den, "canonical denominator");
+                prop_assert!(canonical(fast), "gcd-skipped result must stay reduced");
+            }
+
+            #[test]
+            fn mul_fast_path_matches_slow_path(
+                a in rat_strategy(),
+                b in rat_strategy(),
+            ) {
+                let fast = a * b;
+                let slow = mul_slow(a, b);
+                prop_assert_eq!(fast.num, slow.num);
+                prop_assert_eq!(fast.den, slow.den);
+                prop_assert!(canonical(fast));
+            }
+        }
+    }
+
+    /// Components beyond the i64 guard must fall through to the reducing
+    /// slow path and still produce canonical results.
+    #[test]
+    fn oversized_components_take_slow_path() {
+        let huge = Rat::new(1i128 << 70, 3); // numerator exceeds i64
+        let small = Rat::new(1, 6);
+        let sum = huge + small;
+        assert_eq!(sum, Rat::new((1i128 << 71) + 1, 6));
+        assert!(canonical(sum));
+        let prod = huge * small;
+        assert_eq!(prod, Rat::new(1i128 << 70, 18));
+        // and the integer fast path handles i128-scale integers unchanged
+        let big_int = Rat::int(i64::MAX) + Rat::int(i64::MAX);
+        assert_eq!(big_int.num, i64::MAX as i128 * 2);
+        assert_eq!(big_int.den, 1);
     }
 }

@@ -1,0 +1,262 @@
+//! Property tests for the unified compression planner.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Frontier exactness** — every point of `ExactDp::plan_frontier` is
+//!    exactly the optimum the application-measured brute-force oracle
+//!    (`brute::optimize_single`) finds for the corresponding bounds, on
+//!    small random trees and polynomial sets.
+//! 2. **Re-selection identity** — `compress_frontier()` + `select_bound(b)`
+//!    is bit-identical to a fresh `set_bound(b)` + `compress()`: same
+//!    report, same cut, same exact sweep results, and (within one session)
+//!    the same compressed polynomials and `f64` sweep bits.
+
+use cobra::core::planner::{CutPlanner, ExactDp, PlanContext};
+use cobra::core::{
+    apply_cut, brute, CobraSession, CoreError, GroupAnalysis, ScenarioSet,
+};
+use cobra::core::{AbstractionTree, TreeSpec};
+use cobra::provenance::{Monomial, PolySet, Polynomial, Valuation, VarRegistry};
+use cobra::util::Rat;
+use proptest::prelude::*;
+
+/// Random tree spec (depth ≤ 3, arity ≤ 3) with globally unique names.
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    tree_spec_inner(3)
+        .prop_map(|spec| {
+            let mut inner = 0usize;
+            let mut leaves = 0usize;
+            relabel(&spec, &mut inner, &mut leaves)
+        })
+        .prop_filter("at least 2 leaves", |s| count_leaves(s) >= 2)
+}
+
+fn tree_spec_inner(depth: usize) -> BoxedStrategy<TreeSpec> {
+    if depth == 0 {
+        Just(TreeSpec::leaf("x")).boxed()
+    } else {
+        prop_oneof![
+            2 => Just(TreeSpec::leaf("x")),
+            3 => proptest::collection::vec(tree_spec_inner(depth - 1), 2..4)
+                .prop_map(|children| TreeSpec::node("n", children)),
+        ]
+        .boxed()
+    }
+}
+
+fn relabel(spec: &TreeSpec, inner: &mut usize, leaves: &mut usize) -> TreeSpec {
+    match spec {
+        TreeSpec::Leaf(_) => {
+            let s = TreeSpec::leaf(format!("x{leaves}"));
+            *leaves += 1;
+            s
+        }
+        TreeSpec::Node(_, children) => {
+            let name = format!("n{inner}");
+            *inner += 1;
+            TreeSpec::node(
+                name,
+                children.iter().map(|c| relabel(c, inner, leaves)).collect(),
+            )
+        }
+    }
+}
+
+fn count_leaves(spec: &TreeSpec) -> usize {
+    match spec {
+        TreeSpec::Leaf(_) => 1,
+        TreeSpec::Node(_, children) => children.iter().map(count_leaves).sum(),
+    }
+}
+
+/// Random polynomial set over the tree's leaves plus two context vars.
+fn polyset_for(
+    tree: &AbstractionTree,
+    reg: &mut VarRegistry,
+    picks: &[(usize, usize, usize, i64)],
+) -> PolySet<Rat> {
+    let contexts = [reg.var("ctx0"), reg.var("ctx1")];
+    let leaves = tree.leaves().to_vec();
+    let mut polys = vec![Polynomial::zero(); 2];
+    for &(poly, ctx, leaf, coeff) in picks {
+        let leaf = leaves[leaf % leaves.len()];
+        let m = Monomial::from_pairs([(contexts[ctx % 2], 1), (leaf, 1)]);
+        polys[poly % 2].add_term(m, Rat::int(coeff.max(1)));
+    }
+    PolySet::from_entries(
+        polys
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (format!("P{i}"), p)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frontier points are exactly the per-bound optima of the
+    /// application-measured brute-force oracle.
+    #[test]
+    fn frontier_points_are_brute_force_optima(
+        spec in tree_strategy(),
+        picks in proptest::collection::vec(
+            (0usize..2, 0usize..2, 0usize..16, 1i64..100),
+            1..24
+        ),
+    ) {
+        let mut reg = VarRegistry::new();
+        let tree = AbstractionTree::build(&spec, &mut reg).expect("unique names");
+        let set = polyset_for(&tree, &mut reg, &picks);
+        let analysis = GroupAnalysis::analyze(&set, &tree).expect("one leaf per monomial");
+        let ctx = PlanContext::new(&tree, &analysis);
+        let frontier = ExactDp.plan_frontier(&ctx).expect("DP frontier");
+        let full = analysis.total_monomials();
+
+        // every frontier point's witness cut really measures its size
+        for point in frontier.points() {
+            let mut reg2 = reg.clone();
+            let applied = apply_cut(&set, &tree, &point.cut, &mut reg2);
+            prop_assert_eq!(applied.compressed_size as u64, point.size);
+            prop_assert_eq!(point.cut.len(), point.variables);
+        }
+
+        for bound in 0..=full + 1 {
+            let selected = frontier.select(bound);
+            let oracle = brute::optimize_single(&set, &tree, bound, &mut reg.clone(), 50_000);
+            match (selected, oracle) {
+                (Some(point), Ok(best)) => {
+                    prop_assert_eq!(point.variables, best.variables, "bound {}", bound);
+                    prop_assert_eq!(point.size, best.size, "bound {}", bound);
+                }
+                (None, Err(CoreError::InfeasibleBound { min_achievable })) => {
+                    prop_assert!(min_achievable > bound);
+                    prop_assert_eq!(frontier.min_size(), min_achievable);
+                }
+                (selected, oracle) => {
+                    return Err(TestCaseError::fail(format!(
+                        "bound {bound}: frontier {selected:?} vs oracle {oracle:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// `compress_frontier` + `select_bound` ≡ a fresh `compress()` at the
+    /// same bound — report, cut, and exact sweep results bit-identical.
+    #[test]
+    fn select_bound_is_bit_identical_to_fresh_compress(
+        spec in tree_strategy(),
+        picks in proptest::collection::vec(
+            (0usize..2, 0usize..2, 0usize..16, 1i64..100),
+            2..24
+        ),
+        divisors in proptest::collection::vec(1u64..8, 1..5),
+    ) {
+        let mut reg = VarRegistry::new();
+        let tree = AbstractionTree::build(&spec, &mut reg).expect("unique names");
+        let set = polyset_for(&tree, &mut reg, &picks);
+        let full = set.total_monomials() as u64;
+
+        // scenarios perturbing every tree leaf plus a context var
+        let scenario_vars: Vec<_> = tree
+            .leaves()
+            .iter()
+            .copied()
+            .chain([reg.lookup("ctx0").expect("ctx0 exists")])
+            .collect();
+        let scenarios: Vec<Valuation<Rat>> = scenario_vars
+            .iter()
+            .map(|&v| Valuation::with_default(Rat::ONE).bind(v, Rat::new(11, 10)))
+            .collect();
+
+        let mut frontier_session = CobraSession::new(reg.clone(), set.clone());
+        frontier_session.add_tree(
+            AbstractionTree::build(&spec, &mut reg.clone()).expect("same spec"),
+        );
+        let min_size = match frontier_session.compress_frontier() {
+            Ok(f) => f.min_size(),
+            Err(e) => return Err(TestCaseError::fail(format!("frontier failed: {e}"))),
+        };
+
+        for divisor in divisors {
+            let bound = (full / divisor).max(min_size);
+            let selected = frontier_session.select_bound(bound).expect("feasible bound");
+
+            let mut fresh = CobraSession::new(reg.clone(), set.clone());
+            fresh.add_tree(AbstractionTree::build(&spec, &mut reg.clone()).expect("same spec"));
+            fresh.set_bound(bound);
+            let compressed = fresh.compress().expect("feasible bound");
+
+            // report identity
+            prop_assert_eq!(selected.bound, compressed.bound);
+            prop_assert_eq!(selected.original_size, compressed.original_size);
+            prop_assert_eq!(selected.compressed_size, compressed.compressed_size);
+            prop_assert_eq!(selected.original_vars, compressed.original_vars);
+            prop_assert_eq!(selected.compressed_vars, compressed.compressed_vars);
+            prop_assert_eq!(&selected.cuts, &compressed.cuts, "cut display");
+
+            // exact sweep results bit-identical (Rat values per scenario)
+            let sweep_a = frontier_session
+                .sweep(ScenarioSet::from(&scenarios[..]))
+                .expect("selected");
+            let sweep_b = fresh.sweep(ScenarioSet::from(&scenarios[..])).expect("compressed");
+            prop_assert_eq!(sweep_a.len(), sweep_b.len());
+            for i in 0..sweep_a.len() {
+                prop_assert_eq!(
+                    &sweep_a.comparison(i).rows,
+                    &sweep_b.comparison(i).rows,
+                    "scenario {} under bound {}",
+                    i,
+                    bound
+                );
+            }
+        }
+    }
+}
+
+/// Within one session (same registry), a `select_bound` after a plain
+/// `compress()` at the same bound reproduces the compressed polynomials
+/// and the `f64` sweep bits exactly.
+#[test]
+fn select_bound_matches_compress_within_one_session() {
+    const POLYS: &str = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+    const TREE: &str =
+        "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))";
+
+    let mut session = CobraSession::from_text(POLYS).unwrap();
+    session.add_tree_text(TREE).unwrap();
+    session.compress_frontier().unwrap();
+    let m3 = session.registry_mut().var("m3");
+    let b1 = session.registry_mut().var("b1");
+    let grid = ScenarioSet::grid()
+        .axis([m3], [Rat::new(8, 10), Rat::ONE, Rat::new(12, 10)])
+        .axis([b1], [Rat::ONE, Rat::new(11, 10)])
+        .build()
+        .unwrap();
+
+    for bound in [4u64, 6, 8, 10, 14] {
+        session.set_bound(bound);
+        let report_compress = session.compress().unwrap();
+        let polys_compress = session.compressed_polynomials().unwrap().clone();
+        let sweep_compress = session.sweep_f64(&grid).unwrap();
+
+        let report_select = session.select_bound(bound).unwrap();
+        let polys_select = session.compressed_polynomials().unwrap().clone();
+        let sweep_select = session.sweep_f64(&grid).unwrap();
+
+        assert_eq!(report_select.compressed_size, report_compress.compressed_size);
+        assert_eq!(report_select.cuts, report_compress.cuts, "bound {bound}");
+        assert_eq!(polys_select, polys_compress, "bound {bound}");
+        for i in 0..grid.len() {
+            assert_eq!(sweep_select.full_row(i), sweep_compress.full_row(i));
+            assert_eq!(
+                sweep_select.compressed_row(i),
+                sweep_compress.compressed_row(i),
+                "f64 bits must match at bound {bound}, scenario {i}"
+            );
+        }
+    }
+}
