@@ -47,6 +47,22 @@ pub enum CoreError {
     /// A scenario grid is malformed (overlapping axes, cardinality
     /// overflow).
     InvalidScenarioGrid(String),
+    /// A sweep was cancelled through its budget's
+    /// [`CancelToken`](cobra_util::CancelToken) (or stopped at a scenario
+    /// cap) and the caller demanded a complete result
+    /// ([`SweepOutcome::into_complete`](crate::budget::SweepOutcome::into_complete)).
+    Cancelled,
+    /// A sweep ran past its budget's wall-clock deadline and the caller
+    /// demanded a complete result.
+    DeadlineExceeded,
+    /// A sweep worker thread panicked. The panic was caught at its span
+    /// boundary, sibling workers were cancelled, and the process and
+    /// session both stay live; the payload is the worker's panic message.
+    WorkerPanicked(String),
+    /// A [`SweepBudget`](crate::budget::SweepBudget) is statically
+    /// unsatisfiable (e.g. a scenario cap of zero) — a misuse, unlike a
+    /// deadline that merely expired.
+    InfeasibleBudget(String),
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +90,20 @@ impl fmt::Display for CoreError {
             }
             CoreError::Session(m) => write!(f, "session error: {m}"),
             CoreError::InvalidScenarioGrid(m) => write!(f, "invalid scenario grid: {m}"),
+            CoreError::Cancelled => write!(
+                f,
+                "sweep cancelled before completion; match on SweepOutcome::Partial \
+                 to use the exact partial fold"
+            ),
+            CoreError::DeadlineExceeded => write!(
+                f,
+                "sweep deadline exceeded before completion; match on \
+                 SweepOutcome::Partial to use the exact partial fold"
+            ),
+            CoreError::WorkerPanicked(m) => {
+                write!(f, "sweep worker panicked (session remains usable): {m}")
+            }
+            CoreError::InfeasibleBudget(m) => write!(f, "infeasible sweep budget: {m}"),
         }
     }
 }

@@ -30,6 +30,9 @@
 //!   the frontier re-selection rides.
 //! * [`brute`] — exhaustive search by real application, the correctness
 //!   oracle for tests.
+//! * [`budget`] — sweep budgets ([`SweepBudget`]: deadlines, scenario
+//!   caps, cooperative cancellation) and exact partial results
+//!   ([`SweepOutcome`]), threaded through every fold entry point.
 //! * [`multi`] — multi-tree forests via coordinate descent (extension
 //!   beyond the demo's single-tree setting).
 //! * [`assign`] — meta-variable defaults (group averages), scenario
@@ -73,6 +76,7 @@
 pub mod apply;
 pub mod assign;
 pub mod brute;
+pub mod budget;
 pub mod cut;
 pub mod dp;
 pub mod error;
@@ -90,6 +94,7 @@ pub mod tree;
 
 pub use apply::{apply_cut, apply_cuts, AppliedAbstraction};
 pub use assign::{ResultComparison, ResultRow, SpeedupMeasurement};
+pub use budget::{StopReason, SweepBudget, SweepOutcome};
 pub use cut::{enumerate_cuts, Cut, MetaVar};
 pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
@@ -101,14 +106,16 @@ pub use planner::{
 };
 pub use folds::{MergeFold, SweepFold};
 pub use scenario::{
-    fold_program_sweep, fold_program_sweep_par, measure_sweep_speedup, sweep_full_vs_compressed,
-    CompiledComparison, F64Divergence, F64ScenarioSweep, FoldItem, PairBinder, ScenarioSweep,
+    fold_program_sweep, fold_program_sweep_budgeted, fold_program_sweep_par,
+    fold_program_sweep_par_budgeted, measure_sweep_speedup, sweep_full_vs_compressed,
+    CompiledComparison, ErrorShadow, F64Divergence, F64ErrorBound, F64ScenarioSweep, FoldItem,
+    PairBinder, ScenarioSweep,
 };
 pub use scenario_set::{Axis, AxisOp, GridBuilder, RowBinder, ScenarioSet};
 pub use sensitivity::{scenario_impacts, SensitivityReport};
 pub use multi::{
-    forest_sweep, forest_sweep_fold, forest_sweep_fold_par, optimize_forest_descent,
-    ForestSolution,
+    forest_sweep, forest_sweep_fold, forest_sweep_fold_budgeted, forest_sweep_fold_par,
+    forest_sweep_fold_par_budgeted, optimize_forest_descent, ForestSolution,
 };
 pub use report::{frontier_table, CompressionReport};
 pub use session::{CobraSession, MetaSummaryRow};

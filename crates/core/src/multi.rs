@@ -189,6 +189,50 @@ pub fn forest_sweep_fold_par<F: crate::folds::MergeFold + Send + Sync>(
     engines.sweep_fold_par(&applied.meta_vars, base, &scenarios.into(), fold)
 }
 
+/// [`forest_sweep_fold`] under a
+/// [`SweepBudget`](crate::budget::SweepBudget): the forest sibling of
+/// [`CompiledComparison::sweep_fold_budgeted`], returning the exact fold
+/// over the completed scenario prefix when the budget runs out.
+///
+/// # Errors
+/// [`CoreError::InfeasibleBudget`]
+/// when the budget is statically unsatisfiable.
+pub fn forest_sweep_fold_budgeted<A>(
+    set: &PolySet<Rat>,
+    applied: &AppliedAbstraction<Rat>,
+    base: &Valuation<Rat>,
+    scenarios: impl Into<ScenarioSet>,
+    budget: &crate::budget::SweepBudget,
+    init: A,
+    f: impl FnMut(A, crate::scenario::FoldItem<'_, Rat>) -> A,
+) -> Result<crate::budget::SweepOutcome<A>> {
+    let engines = CompiledComparison::compile(set, &applied.compressed);
+    engines.sweep_fold_budgeted(&applied.meta_vars, base, &scenarios.into(), budget, init, f)
+}
+
+/// [`forest_sweep_fold_par`] under a
+/// [`SweepBudget`](crate::budget::SweepBudget) with worker faults
+/// isolated — the forest sibling of
+/// [`CompiledComparison::sweep_fold_par_budgeted`], with the same partial
+/// bit-identity and panic-surfacing contracts.
+///
+/// # Errors
+/// [`CoreError::InfeasibleBudget`]
+/// for statically unsatisfiable budgets;
+/// [`CoreError::WorkerPanicked`]
+/// when a worker panicked (the process stays live).
+pub fn forest_sweep_fold_par_budgeted<F: crate::folds::MergeFold + Send + Sync>(
+    set: &PolySet<Rat>,
+    applied: &AppliedAbstraction<Rat>,
+    base: &Valuation<Rat>,
+    scenarios: impl Into<ScenarioSet>,
+    budget: &crate::budget::SweepBudget,
+    fold: F,
+) -> Result<crate::budget::SweepOutcome<F>> {
+    let engines = CompiledComparison::compile(set, &applied.compressed);
+    engines.sweep_fold_par_budgeted(&applied.meta_vars, base, &scenarios.into(), budget, fold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,9 @@
 //! materializing a `Vec<Valuation>`.
 
 use crate::assign::{self, ResultComparison, ResultRow, SpeedupMeasurement};
+use crate::budget::{StopReason, SweepBudget, SweepOutcome};
 use crate::cut::MetaVar;
+use crate::error::Result;
 use crate::folds::MergeFold;
 use crate::scenario_set::{base_value, for_each_grid_digit, RowBinder, ScenarioSet};
 use cobra_provenance::compile::LANES;
@@ -25,7 +27,8 @@ use cobra_provenance::{
     BatchEvaluator, Coeff, EvalProgram, LaneScratch, PolySet, Valuation, Var,
 };
 use cobra_util::timing::time_best_of;
-use cobra_util::{par, FxHashMap, FxHashSet, Rat};
+use cobra_util::{faults, par, CancelToken, FxHashMap, FxHashSet, Rat};
+use std::panic::resume_unwind;
 
 /// Scenarios bound and evaluated per streamed block: a handful of lane
 /// blocks, so peak transient memory stays O(block × row) regardless of the
@@ -130,6 +133,222 @@ fn f64_probe_indices(n: usize) -> Vec<usize> {
     p
 }
 
+/// How far one parallel worker got through its contiguous scenario span
+/// before completing it or hitting the budget — the bookkeeping that lets
+/// interrupted parallel sweeps report an exact prefix.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanProgress {
+    start: usize,
+    /// First scenario of the span **not** folded (== `end` when the span
+    /// completed).
+    done: usize,
+    end: usize,
+    reason: Option<StopReason>,
+}
+
+impl SpanProgress {
+    fn begin(range: &std::ops::Range<usize>) -> SpanProgress {
+        SpanProgress {
+            start: range.start,
+            done: range.start,
+            end: range.end,
+            reason: None,
+        }
+    }
+}
+
+/// Merges worker partials in ascending span order while the covered
+/// prefix stays contiguous and complete: every fully completed span is
+/// absorbed, the first interrupted span contributes its own completed
+/// prefix and ends the merge, and everything after it is discarded. The
+/// result is exactly the fold state of a sequential pass over
+/// `0..returned_done` — the bit-identity contract of
+/// [`SweepOutcome::Partial`].
+fn merge_span_prefix<T>(
+    partials: Vec<(SpanProgress, T)>,
+    mut absorb: impl FnMut(T),
+) -> (usize, Option<StopReason>) {
+    let mut done = 0usize;
+    let mut stop = None;
+    for (span, payload) in partials {
+        if span.start != done {
+            break; // unreachable by construction; belt and braces
+        }
+        absorb(payload);
+        done = span.done;
+        if span.done < span.end {
+            stop = span.reason;
+            break;
+        }
+    }
+    (done, stop)
+}
+
+/// Classifies a finished sweep: a dynamic stop wins, then a scenario cap
+/// (`n_target < n`), otherwise the sweep is complete.
+fn outcome_for<T>(
+    fold: T,
+    done: usize,
+    n: usize,
+    n_target: usize,
+    stop: Option<StopReason>,
+) -> SweepOutcome<T> {
+    if done < n_target {
+        SweepOutcome::Partial {
+            fold,
+            scenarios_done: done,
+            reason: stop.unwrap_or(StopReason::Cancelled),
+        }
+    } else if n_target < n {
+        SweepOutcome::Partial {
+            fold,
+            scenarios_done: done,
+            reason: StopReason::ScenarioCap,
+        }
+    } else {
+        SweepOutcome::Complete(fold)
+    }
+}
+
+/// A **sound** per-sweep rounding-error certificate for the `f64` fast
+/// path, computed by the Higham-style shadow fold of
+/// [`CompiledComparison::sweep_fold_f64_bounded`]: alongside each block,
+/// the absolute-value shadow programs ([`ErrorShadow`]) are evaluated on
+/// the elementwise magnitudes of the same scenario rows, and
+/// `γ_k · Σ|c|Π|x|^e` bounds each result's rounding error a priori.
+///
+/// The contract: for every swept scenario and polynomial, the true value
+/// of the compiled polynomial **at the bound `f64` rows** differs from
+/// the kernel's computed value by at most the recorded bound (coefficient
+/// `Rat → f64` conversion included). Rounding suffered while *binding*
+/// scenario rows is outside the certificate — the 16-sample
+/// [`F64Divergence`] probe remains as the end-to-end empirical
+/// complement. Unlike that probe, this bound covers **every** scenario,
+/// not a sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F64ErrorBound {
+    /// Scenarios covered by the certificate.
+    pub scenarios: usize,
+    /// Largest absolute rounding-error bound over all scenarios, result
+    /// tuples and both sides.
+    pub max_abs_bound: f64,
+    /// Largest *relative* bound (`bound / |computed|`; 0 when both are
+    /// zero, ∞ when a bound is positive at a zero computed value).
+    pub max_rel_bound: f64,
+    /// Earliest scenario index attaining `max_rel_bound`.
+    pub argmax_rel: Option<usize>,
+}
+
+impl F64ErrorBound {
+    fn record_scenario(&mut self, scenario: usize, abs_bound: f64, rel_bound: f64) {
+        self.scenarios += 1;
+        self.max_abs_bound = self.max_abs_bound.max(abs_bound);
+        if self.argmax_rel.is_none() || rel_bound > self.max_rel_bound {
+            self.max_rel_bound = rel_bound;
+            self.argmax_rel = Some(scenario);
+        }
+    }
+
+    /// Combines records over disjoint ascending scenario spans (`other`
+    /// covers later scenarios): counts add, maxima max, and ties keep the
+    /// earlier argmax — so the merged record is identical to sequential
+    /// recording.
+    fn merge(&mut self, other: F64ErrorBound) {
+        self.scenarios += other.scenarios;
+        self.max_abs_bound = self.max_abs_bound.max(other.max_abs_bound);
+        if other.argmax_rel.is_some()
+            && (self.argmax_rel.is_none() || other.max_rel_bound > self.max_rel_bound)
+        {
+            self.max_rel_bound = other.max_rel_bound;
+            self.argmax_rel = other.argmax_rel;
+        }
+    }
+}
+
+/// The effective per-polynomial bound factor: `γ_k = k·u/(1−k·u)`
+/// (Higham's a-priori constant, `u = 2⁻⁵³`), inflated once more by
+/// `1/(1−γ_k)` because the Σ|c|Π|x| numerator is itself *computed* in
+/// `f64` and may under-report by a `(1−γ_k)` factor. Saturates to ∞ when
+/// `k·u` approaches 1 (astronomically long polynomials) — the bound is
+/// then honest about knowing nothing.
+fn gamma_eff(k: u32) -> f64 {
+    let u = f64::EPSILON / 2.0;
+    let ku = k as f64 * u;
+    if ku >= 1.0 {
+        return f64::INFINITY;
+    }
+    let g = ku / (1.0 - ku);
+    if g >= 1.0 {
+        f64::INFINITY
+    } else {
+        g / (1.0 - g)
+    }
+}
+
+/// The Higham shadow of a full/compressed `f64` engine pair: the
+/// absolute-coefficient twin programs
+/// ([`EvalProgram::to_abs_program`]) plus per-polynomial `γ_k` factors
+/// derived from [`EvalProgram::rounding_op_counts`]. Build it once per
+/// compression (the session caches it) and pass it to
+/// [`CompiledComparison::sweep_fold_f64_bounded`]; evaluating the shadow
+/// roughly doubles the per-scenario kernel cost.
+#[derive(Clone, Debug)]
+pub struct ErrorShadow {
+    full_abs: BatchEvaluator<f64>,
+    comp_abs: BatchEvaluator<f64>,
+    full_gamma: Vec<f64>,
+    comp_gamma: Vec<f64>,
+}
+
+impl ErrorShadow {
+    /// Builds the shadow for the `(full, compressed)` `f64` engines of a
+    /// comparison (the same pair handed to the `sweep_fold_f64*`
+    /// engines).
+    pub fn new(full64: &BatchEvaluator<f64>, comp64: &BatchEvaluator<f64>) -> ErrorShadow {
+        let gammas = |prog: &EvalProgram<f64>| -> Vec<f64> {
+            prog.rounding_op_counts().into_iter().map(gamma_eff).collect()
+        };
+        ErrorShadow {
+            full_abs: BatchEvaluator::new(full64.program().to_abs_program()),
+            comp_abs: BatchEvaluator::new(comp64.program().to_abs_program()),
+            full_gamma: gammas(full64.program()),
+            comp_gamma: gammas(comp64.program()),
+        }
+    }
+
+    /// Records one scenario's certificate given both sides' computed
+    /// values and the abs-shadow values (all in label order).
+    fn record(
+        &self,
+        bound: &mut F64ErrorBound,
+        scenario: usize,
+        full: &[f64],
+        comp: &[f64],
+        full_abs: &[f64],
+        comp_abs: &[f64],
+    ) {
+        let mut abs_max = 0.0f64;
+        let mut rel_max = 0.0f64;
+        let mut side = |vals: &[f64], abs_vals: &[f64], gamma: &[f64]| {
+            for ((&v, &a), &g) in vals.iter().zip(abs_vals).zip(gamma) {
+                let b = g * a;
+                abs_max = abs_max.max(b);
+                let rel = if b == 0.0 {
+                    0.0
+                } else if v == 0.0 {
+                    f64::INFINITY
+                } else {
+                    b / v.abs()
+                };
+                rel_max = rel_max.max(rel);
+            }
+        };
+        side(full, full_abs, &self.full_gamma);
+        side(comp, comp_abs, &self.comp_gamma);
+        bound.record_scenario(scenario, abs_max, rel_max);
+    }
+}
+
 /// The full-vs-compressed engines for one compression outcome, compiled
 /// once and reusable across any number of sweeps. Cloning shares the
 /// underlying programs (see [`BatchEvaluator`]), so a session-invariant
@@ -208,9 +427,41 @@ impl CompiledComparison {
         base: &Valuation<Rat>,
         set: &ScenarioSet,
         init: A,
-        mut f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
+        f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
     ) -> A {
+        match self.sweep_fold_budgeted(metas, base, set, &SweepBudget::unlimited(), init, f) {
+            Ok(outcome) => outcome.into_fold(),
+            Err(_) => unreachable!("unlimited budgets cannot fail"),
+        }
+    }
+
+    /// [`sweep_fold`](Self::sweep_fold) under a [`SweepBudget`]: the
+    /// budget's dynamic limits (deadline, token) are polled at **block
+    /// granularity** and a scenario cap deterministically clamps the swept
+    /// range, so an exhausted budget returns
+    /// [`SweepOutcome::Partial`] — the exact fold over the scenario
+    /// prefix completed, never a torn or approximate state. An unlimited
+    /// budget adds one branch per ~10³-scenario block to the hot loop.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// when the budget is statically unsatisfiable (scenario cap 0 over a
+    /// non-empty set).
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold`](Self::sweep_fold).
+    pub fn sweep_fold_budgeted<A>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        init: A,
+        mut f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
+    ) -> Result<SweepOutcome<A>> {
         let n = set.len();
+        budget.validate(n)?;
+        let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
         let np = self.full.program().num_polys();
         assert_eq!(
             np,
@@ -223,7 +474,7 @@ impl CompiledComparison {
             .program()
             .num_locals()
             .max(self.compressed.program().num_locals());
-        let block = stream_block(np, locals).min(n.max(1));
+        let block = stream_block(np, locals).min(n_target.max(1));
         let mut full_rows: Vec<Vec<Rat>> = (0..block)
             .map(|_| vec![Rat::ZERO; self.full.program().num_locals()])
             .collect();
@@ -232,10 +483,19 @@ impl CompiledComparison {
             .collect();
         let mut full_out = vec![Rat::ZERO; block * np];
         let mut comp_out = vec![Rat::ZERO; block * np];
+        let check = budget.has_dynamic_limits();
         let mut acc = init;
         let mut start = 0;
-        while start < n {
-            let width = block.min(n - start);
+        let mut stop = None;
+        while start < n_target {
+            faults::point(faults::Site::Block);
+            if check {
+                if let Some(reason) = budget.stop_reason() {
+                    stop = Some(reason);
+                    break;
+                }
+            }
+            let width = block.min(n_target - start);
             for k in 0..width {
                 let (frow, crow) = (&mut full_rows[k], &mut comp_rows[k]);
                 // split borrows: binder needs &mut self for its scratch
@@ -257,7 +517,7 @@ impl CompiledComparison {
             }
             start += width;
         }
-        acc
+        Ok(outcome_for(acc, start, n, n_target, stop))
     }
 
     /// [`sweep_fold`](Self::sweep_fold) with **binding and evaluation
@@ -288,25 +548,74 @@ impl CompiledComparison {
         set: &ScenarioSet,
         fold: F,
     ) -> F {
+        match self.sweep_fold_par_impl(metas, base, set, &SweepBudget::unlimited(), fold) {
+            Ok(outcome) => outcome.into_fold(),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// [`sweep_fold_par`](Self::sweep_fold_par) under a [`SweepBudget`],
+    /// with worker faults isolated: every worker polls the budget at
+    /// block granularity, an interrupted sweep merges the completed span
+    /// prefixes into a [`SweepOutcome::Partial`] **bit-identical to a
+    /// sequential fold over the same prefix**, and a panicking worker is
+    /// caught at its span boundary (sibling workers are cancelled) and
+    /// surfaced as
+    /// [`CoreError::WorkerPanicked`](crate::error::CoreError::WorkerPanicked)
+    /// instead of aborting the process.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// for statically unsatisfiable budgets;
+    /// [`CoreError::WorkerPanicked`](crate::error::CoreError::WorkerPanicked)
+    /// when a worker panicked (the process and the engines stay usable).
+    ///
+    /// # Panics
+    /// Same binder/shape conditions as [`sweep_fold`](Self::sweep_fold).
+    pub fn sweep_fold_par_budgeted<F: MergeFold + Send + Sync>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        fold: F,
+    ) -> Result<SweepOutcome<F>> {
+        budget.validate(set.len())?;
+        self.sweep_fold_par_impl(metas, base, set, budget, fold)
+            .map_err(|payload| crate::error::CoreError::WorkerPanicked(par::panic_message(&payload)))
+    }
+
+    fn sweep_fold_par_impl<F: MergeFold + Send + Sync>(
+        &self,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        fold: F,
+    ) -> std::result::Result<SweepOutcome<F>, par::WorkerPanic> {
         let n = set.len();
+        let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
         let np = self.full.program().num_polys();
         assert_eq!(
             np,
             self.compressed.program().num_polys(),
             "polynomial sets must align"
         );
-        if n == 0 {
-            return fold;
+        if n_target == 0 {
+            return Ok(outcome_for(fold, 0, n, n_target, None));
         }
         let locals = self
             .full
             .program()
             .num_locals()
             .max(self.compressed.program().num_locals());
-        let block = stream_block(np, locals).min(n);
-        let partials = par::par_owned_spans(
-            n,
+        let block = stream_block(np, locals).min(n_target);
+        let check = budget.has_dynamic_limits();
+        let abort = CancelToken::new();
+        let partials = par::try_par_owned_spans(
+            n_target,
             1,
+            &abort,
             || {
                 let full_rows: Vec<Vec<Rat>> = (0..block)
                     .map(|_| vec![Rat::ZERO; self.full.program().num_locals()])
@@ -321,12 +630,25 @@ impl CompiledComparison {
                     vec![Rat::ZERO; block * np],
                     vec![Rat::ZERO; block * np],
                     fold.init(),
+                    SpanProgress::default(),
                 )
             },
             |state, range| {
-                let (binder, full_rows, comp_rows, full_out, comp_out, f) = state;
+                let (binder, full_rows, comp_rows, full_out, comp_out, f, span) = state;
+                *span = SpanProgress::begin(&range);
                 let mut start = range.start;
                 while start < range.end {
+                    faults::point(faults::Site::Block);
+                    if abort.is_cancelled() {
+                        span.reason = Some(StopReason::Cancelled);
+                        break;
+                    }
+                    if check {
+                        if let Some(reason) = budget.stop_reason() {
+                            span.reason = Some(reason);
+                            break;
+                        }
+                    }
                     let width = block.min(range.end - start);
                     for k in 0..width {
                         binder.bind_pair_into(start + k, &mut full_rows[k], &mut comp_rows[k]);
@@ -343,14 +665,16 @@ impl CompiledComparison {
                         });
                     }
                     start += width;
+                    span.done = start;
                 }
             },
-        );
+        )?;
         let mut fold = fold;
-        for partial in partials {
-            fold.merge(partial.5);
-        }
-        fold
+        let (done, stop) = merge_span_prefix(
+            partials.into_iter().map(|p| (p.6, p.5)).collect(),
+            |partial| fold.merge(partial),
+        );
+        Ok(outcome_for(fold, done, n, n_target, stop))
     }
 
     /// [`sweep_fold`](Self::sweep_fold) on the approximate `f64` fast
@@ -378,10 +702,95 @@ impl CompiledComparison {
         base: &Valuation<Rat>,
         set: &ScenarioSet,
         init: A,
-        mut f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+        f: impl FnMut(A, FoldItem<'_, f64>) -> A,
     ) -> (A, F64Divergence) {
+        match self.sweep_fold_f64_impl(shadows, None, metas, base, set, &SweepBudget::unlimited(), init, f)
+        {
+            Ok((outcome, divergence, _)) => (outcome.into_fold(), divergence),
+            Err(_) => unreachable!("unlimited budgets cannot fail"),
+        }
+    }
+
+    /// [`sweep_fold_f64`](Self::sweep_fold_f64) under a [`SweepBudget`]:
+    /// the fast path's sibling of
+    /// [`sweep_fold_budgeted`](Self::sweep_fold_budgeted). The divergence
+    /// record of a [`SweepOutcome::Partial`] covers exactly the probe
+    /// scenarios inside the completed prefix.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// when the budget is statically unsatisfiable.
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold_f64`](Self::sweep_fold_f64).
+    #[allow(clippy::too_many_arguments)] // low-level engine surface; the session wraps it
+    pub fn sweep_fold_f64_budgeted<A>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        init: A,
+        f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> Result<(SweepOutcome<A>, F64Divergence)> {
+        budget.validate(set.len())?;
+        let (outcome, divergence, _) =
+            self.sweep_fold_f64_impl(shadows, None, metas, base, set, budget, init, f)?;
+        Ok((outcome, divergence))
+    }
+
+    /// [`sweep_fold_f64_budgeted`](Self::sweep_fold_f64_budgeted) with a
+    /// **sound rounding certificate** instead of the sampled divergence
+    /// probe: the [`ErrorShadow`]'s absolute-value twin programs are
+    /// evaluated alongside every block (≈2× kernel cost) and the returned
+    /// [`F64ErrorBound`] bounds the rounding error of *every* folded
+    /// scenario a priori — see [`F64ErrorBound`] for the exact contract.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// when the budget is statically unsatisfiable.
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold_f64`](Self::sweep_fold_f64), plus
+    /// a shape mismatch between `err` and the shadow engines.
+    #[allow(clippy::too_many_arguments)] // low-level engine surface; the session wraps it
+    pub fn sweep_fold_f64_bounded<A>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        err: &ErrorShadow,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        init: A,
+        f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> Result<(SweepOutcome<A>, F64ErrorBound)> {
+        budget.validate(set.len())?;
+        let (outcome, _, bound) =
+            self.sweep_fold_f64_impl(shadows, Some(err), metas, base, set, budget, init, f)?;
+        Ok((outcome, bound))
+    }
+
+    /// The one sequential `f64` engine behind the plain, budgeted and
+    /// bounded surfaces. With an [`ErrorShadow`] the Higham certificate
+    /// replaces the divergence probes (and vice versa), so each surface
+    /// pays only for what it reports.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_fold_f64_impl<A>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        err: Option<&ErrorShadow>,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        init: A,
+        mut f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> Result<(SweepOutcome<A>, F64Divergence, F64ErrorBound)> {
         let (full64, comp64) = shadows;
         let n = set.len();
+        let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
         let np = self.full.program().num_polys();
         self.assert_f64_shadows(full64, comp64);
         let mut binder = PairBinder::new(self, metas, base, set);
@@ -390,7 +799,7 @@ impl CompiledComparison {
             .program()
             .num_locals()
             .max(self.compressed.program().num_locals());
-        let block = stream_block(np, locals).min(n.max(1));
+        let block = stream_block(np, locals).min(n_target.max(1));
         let mut full_rows: Vec<Vec<f64>> = (0..block)
             .map(|_| vec![0.0; self.full.program().num_locals()])
             .collect();
@@ -400,24 +809,69 @@ impl CompiledComparison {
         let mut full_out = vec![0.0f64; block * np];
         let mut comp_out = vec![0.0f64; block * np];
 
-        // Evenly spaced probe indices, deduplicated (n may be < F64_PROBES).
-        let probes = f64_probe_indices(n);
+        // Evenly spaced probe indices, deduplicated (n may be < F64_PROBES);
+        // the bounded path certifies every scenario instead of sampling.
+        let probes = if err.is_some() {
+            Vec::new()
+        } else {
+            f64_probe_indices(n)
+        };
         let mut next_probe = 0usize;
         let mut divergence = F64Divergence::default();
         let mut probe_full_row = vec![Rat::ZERO; self.full.program().num_locals()];
         let mut probe_comp_row = vec![Rat::ZERO; self.compressed.program().num_locals()];
         let mut probe_out = vec![Rat::ZERO; np];
 
+        // Higham-shadow buffers (unused, empty when no shadow is given).
+        let mut bound = F64ErrorBound::default();
+        let mut abs_rows: Vec<Vec<f64>> = Vec::new();
+        let mut abs_comp_rows: Vec<Vec<f64>> = Vec::new();
+        let mut abs_full_out = Vec::new();
+        let mut abs_comp_out = Vec::new();
+        if err.is_some() {
+            abs_rows = (0..block)
+                .map(|_| vec![0.0; self.full.program().num_locals()])
+                .collect();
+            abs_comp_rows = (0..block)
+                .map(|_| vec![0.0; self.compressed.program().num_locals()])
+                .collect();
+            abs_full_out = vec![0.0f64; block * np];
+            abs_comp_out = vec![0.0f64; block * np];
+        }
+
+        let check = budget.has_dynamic_limits();
         let mut acc = init;
         let mut start = 0;
-        while start < n {
-            let width = block.min(n - start);
+        let mut stop = None;
+        while start < n_target {
+            faults::point(faults::Site::Block);
+            if check {
+                if let Some(reason) = budget.stop_reason() {
+                    stop = Some(reason);
+                    break;
+                }
+            }
+            let width = block.min(n_target - start);
             for k in 0..width {
                 let (frow, crow) = (&mut full_rows[k], &mut comp_rows[k]);
                 binder.bind_pair_into_f64(start + k, frow, crow);
             }
             full64.eval_batch_fast_into(&full_rows[..width], &mut full_out[..width * np]);
             comp64.eval_batch_fast_into(&comp_rows[..width], &mut comp_out[..width * np]);
+            if let Some(err) = err {
+                for k in 0..width {
+                    for (a, &x) in abs_rows[k].iter_mut().zip(&full_rows[k]) {
+                        *a = x.abs();
+                    }
+                    for (a, &x) in abs_comp_rows[k].iter_mut().zip(&comp_rows[k]) {
+                        *a = x.abs();
+                    }
+                }
+                err.full_abs
+                    .eval_batch_fast_into(&abs_rows[..width], &mut abs_full_out[..width * np]);
+                err.comp_abs
+                    .eval_batch_fast_into(&abs_comp_rows[..width], &mut abs_comp_out[..width * np]);
+            }
             for k in 0..width {
                 let i = start + k;
                 let full = &full_out[k * np..(k + 1) * np];
@@ -435,6 +889,16 @@ impl CompiledComparison {
                         .eval_scenario_into(&probe_comp_row, &mut probe_out);
                     divergence.record(&probe_out, compressed);
                 }
+                if let Some(err) = err {
+                    err.record(
+                        &mut bound,
+                        i,
+                        full,
+                        compressed,
+                        &abs_full_out[k * np..(k + 1) * np],
+                        &abs_comp_out[k * np..(k + 1) * np],
+                    );
+                }
                 acc = f(
                     acc,
                     FoldItem {
@@ -446,7 +910,7 @@ impl CompiledComparison {
             }
             start += width;
         }
-        (acc, divergence)
+        Ok((outcome_for(acc, start, n, n_target, stop), divergence, bound))
     }
 
     /// [`sweep_fold_f64`](Self::sweep_fold_f64) with binding, lane-kernel
@@ -473,20 +937,121 @@ impl CompiledComparison {
         set: &ScenarioSet,
         fold: F,
     ) -> (F, F64Divergence) {
+        match self.sweep_fold_f64_par_impl(shadows, None, metas, base, set, &SweepBudget::unlimited(), fold)
+        {
+            Ok((outcome, divergence, _)) => (outcome.into_fold(), divergence),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// [`sweep_fold_f64_par`](Self::sweep_fold_f64_par) under a
+    /// [`SweepBudget`] with worker faults isolated — the fast path's
+    /// sibling of
+    /// [`sweep_fold_par_budgeted`](Self::sweep_fold_par_budgeted). A
+    /// partial outcome's divergence record covers exactly the probes
+    /// inside the completed prefix.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// for statically unsatisfiable budgets;
+    /// [`CoreError::WorkerPanicked`](crate::error::CoreError::WorkerPanicked)
+    /// when a worker panicked (the process and the engines stay usable).
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold_f64`](Self::sweep_fold_f64).
+    pub fn sweep_fold_f64_par_budgeted<F: MergeFold + Send + Sync>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        fold: F,
+    ) -> Result<(SweepOutcome<F>, F64Divergence)> {
+        budget.validate(set.len())?;
+        let (outcome, divergence, _) = self
+            .sweep_fold_f64_par_impl(shadows, None, metas, base, set, budget, fold)
+            .map_err(|payload| {
+                crate::error::CoreError::WorkerPanicked(par::panic_message(&payload))
+            })?;
+        Ok((outcome, divergence))
+    }
+
+    /// [`sweep_fold_f64_bounded`](Self::sweep_fold_f64_bounded) fanned
+    /// across cores: every worker evaluates the [`ErrorShadow`] alongside
+    /// its own spans, and the certificates merge in span order, so both
+    /// the fold and the [`F64ErrorBound`] are bit-identical to the
+    /// sequential bounded engine at any thread count.
+    ///
+    /// # Errors
+    /// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+    /// for statically unsatisfiable budgets;
+    /// [`CoreError::WorkerPanicked`](crate::error::CoreError::WorkerPanicked)
+    /// when a worker panicked (the process and the engines stay usable).
+    ///
+    /// # Panics
+    /// Same conditions as [`sweep_fold_f64`](Self::sweep_fold_f64).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_fold_f64_bounded_par<F: MergeFold + Send + Sync>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        err: &ErrorShadow,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        fold: F,
+    ) -> Result<(SweepOutcome<F>, F64ErrorBound)> {
+        budget.validate(set.len())?;
+        let (outcome, _, bound) = self
+            .sweep_fold_f64_par_impl(shadows, Some(err), metas, base, set, budget, fold)
+            .map_err(|payload| {
+                crate::error::CoreError::WorkerPanicked(par::panic_message(&payload))
+            })?;
+        Ok((outcome, bound))
+    }
+
+    /// The one parallel `f64` engine behind the plain, budgeted and
+    /// bounded surfaces (see
+    /// [`sweep_fold_f64_impl`](Self::sweep_fold_f64_impl) for the
+    /// probe-vs-certificate split).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_fold_f64_par_impl<F: MergeFold + Send + Sync>(
+        &self,
+        shadows: (&BatchEvaluator<f64>, &BatchEvaluator<f64>),
+        err: Option<&ErrorShadow>,
+        metas: &[MetaVar],
+        base: &Valuation<Rat>,
+        set: &ScenarioSet,
+        budget: &SweepBudget,
+        fold: F,
+    ) -> std::result::Result<(SweepOutcome<F>, F64Divergence, F64ErrorBound), par::WorkerPanic>
+    {
         let (full64, comp64) = shadows;
         let n = set.len();
+        let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
         let np = self.full.program().num_polys();
         self.assert_f64_shadows(full64, comp64);
-        if n == 0 {
-            return (fold, F64Divergence::default());
+        if n_target == 0 {
+            return Ok((
+                outcome_for(fold, 0, n, n_target, None),
+                F64Divergence::default(),
+                F64ErrorBound::default(),
+            ));
         }
         let locals = self
             .full
             .program()
             .num_locals()
             .max(self.compressed.program().num_locals());
-        let block = stream_block(np, locals).min(n);
-        let probes = f64_probe_indices(n);
+        let block = stream_block(np, locals).min(n_target);
+        let probes = if err.is_some() {
+            Vec::new()
+        } else {
+            f64_probe_indices(n)
+        };
+        let check = budget.has_dynamic_limits();
+        let abort = CancelToken::new();
 
         struct Worker<'a, F> {
             binder: PairBinder<'a>,
@@ -499,12 +1064,19 @@ impl CompiledComparison {
             probe_comp_row: Vec<Rat>,
             probe_out: Vec<Rat>,
             divergence: F64Divergence,
+            abs_rows: Vec<Vec<f64>>,
+            abs_comp_rows: Vec<Vec<f64>>,
+            abs_full_out: Vec<f64>,
+            abs_comp_out: Vec<f64>,
+            bound: F64ErrorBound,
             fold: F,
+            span: SpanProgress,
         }
 
-        let partials = par::par_owned_spans(
-            n,
+        let partials = par::try_par_owned_spans(
+            n_target,
             1,
+            &abort,
             || Worker {
                 binder: PairBinder::new(self, metas, base, set),
                 full_rows: (0..block)
@@ -520,13 +1092,51 @@ impl CompiledComparison {
                 probe_comp_row: vec![Rat::ZERO; self.compressed.program().num_locals()],
                 probe_out: vec![Rat::ZERO; np],
                 divergence: F64Divergence::default(),
+                abs_rows: if err.is_some() {
+                    (0..block)
+                        .map(|_| vec![0.0f64; self.full.program().num_locals()])
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                abs_comp_rows: if err.is_some() {
+                    (0..block)
+                        .map(|_| vec![0.0f64; self.compressed.program().num_locals()])
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                abs_full_out: if err.is_some() {
+                    vec![0.0f64; block * np]
+                } else {
+                    Vec::new()
+                },
+                abs_comp_out: if err.is_some() {
+                    vec![0.0f64; block * np]
+                } else {
+                    Vec::new()
+                },
+                bound: F64ErrorBound::default(),
                 fold: fold.init(),
+                span: SpanProgress::default(),
             },
             |w, range| {
+                w.span = SpanProgress::begin(&range);
                 // First probe index at or past this span's start.
                 let mut next_probe = probes.partition_point(|&p| p < range.start);
                 let mut start = range.start;
                 while start < range.end {
+                    faults::point(faults::Site::Block);
+                    if abort.is_cancelled() {
+                        w.span.reason = Some(StopReason::Cancelled);
+                        break;
+                    }
+                    if check {
+                        if let Some(reason) = budget.stop_reason() {
+                            w.span.reason = Some(reason);
+                            break;
+                        }
+                    }
                     let width = block.min(range.end - start);
                     for k in 0..width {
                         w.binder.bind_pair_into_f64(
@@ -545,6 +1155,26 @@ impl CompiledComparison {
                         &mut w.comp_out[..width * np],
                         &mut w.scratch,
                     );
+                    if let Some(err) = err {
+                        for k in 0..width {
+                            for (a, &x) in w.abs_rows[k].iter_mut().zip(&w.full_rows[k]) {
+                                *a = x.abs();
+                            }
+                            for (a, &x) in w.abs_comp_rows[k].iter_mut().zip(&w.comp_rows[k]) {
+                                *a = x.abs();
+                            }
+                        }
+                        err.full_abs.eval_batch_fast_serial_into(
+                            &w.abs_rows[..width],
+                            &mut w.abs_full_out[..width * np],
+                            &mut w.scratch,
+                        );
+                        err.comp_abs.eval_batch_fast_serial_into(
+                            &w.abs_comp_rows[..width],
+                            &mut w.abs_comp_out[..width * np],
+                            &mut w.scratch,
+                        );
+                    }
                     for k in 0..width {
                         let i = start + k;
                         let full = &w.full_out[k * np..(k + 1) * np];
@@ -566,6 +1196,16 @@ impl CompiledComparison {
                                 .eval_scenario_into(&w.probe_comp_row, &mut w.probe_out);
                             w.divergence.record(&w.probe_out, compressed);
                         }
+                        if let Some(err) = err {
+                            err.record(
+                                &mut w.bound,
+                                i,
+                                full,
+                                compressed,
+                                &w.abs_full_out[k * np..(k + 1) * np],
+                                &w.abs_comp_out[k * np..(k + 1) * np],
+                            );
+                        }
                         w.fold.accept(FoldItem {
                             scenario: i,
                             full,
@@ -573,16 +1213,25 @@ impl CompiledComparison {
                         });
                     }
                     start += width;
+                    w.span.done = start;
                 }
             },
-        );
+        )?;
         let mut fold = fold;
         let mut divergence = F64Divergence::default();
-        for partial in partials {
-            fold.merge(partial.fold);
-            divergence.merge(partial.divergence);
-        }
-        (fold, divergence)
+        let mut bound = F64ErrorBound::default();
+        let (done, stop) = merge_span_prefix(
+            partials
+                .into_iter()
+                .map(|w| (w.span, (w.fold, w.divergence, w.bound)))
+                .collect(),
+            |(f, d, b)| {
+                fold.merge(f);
+                divergence.merge(d);
+                bound.merge(b);
+            },
+        );
+        Ok((outcome_for(fold, done, n, n_target, stop), divergence, bound))
     }
 
     /// Shared shape checks for the `f64` shadow engines.
@@ -835,21 +1484,59 @@ pub fn fold_program_sweep<A>(
     base: &Valuation<Rat>,
     set: &ScenarioSet,
     init: A,
-    mut f: impl FnMut(A, usize, &[Rat]) -> A,
+    f: impl FnMut(A, usize, &[Rat]) -> A,
 ) -> A {
+    match fold_program_sweep_budgeted(evaluator, base, set, &SweepBudget::unlimited(), init, f) {
+        Ok(outcome) => outcome.into_fold(),
+        Err(_) => unreachable!("unlimited budgets cannot fail"),
+    }
+}
+
+/// [`fold_program_sweep`] under a [`SweepBudget`] — the single-engine
+/// sibling of
+/// [`CompiledComparison::sweep_fold_budgeted`]: dynamic limits are polled
+/// per block, a scenario cap clamps the swept range deterministically,
+/// and an exhausted budget returns the exact fold over the completed
+/// prefix as [`SweepOutcome::Partial`].
+///
+/// # Errors
+/// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+/// when the budget is statically unsatisfiable.
+///
+/// # Panics
+/// Panics if `base` is not total over the program (give it a default).
+pub fn fold_program_sweep_budgeted<A>(
+    evaluator: &BatchEvaluator<Rat>,
+    base: &Valuation<Rat>,
+    set: &ScenarioSet,
+    budget: &SweepBudget,
+    init: A,
+    mut f: impl FnMut(A, usize, &[Rat]) -> A,
+) -> Result<SweepOutcome<A>> {
     let prog = evaluator.program();
     let np = prog.num_polys();
     let n = set.len();
+    budget.validate(n)?;
+    let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
     let binder = RowBinder::new(set, prog, base);
-    let block = stream_block(np, prog.num_locals()).min(n.max(1));
+    let block = stream_block(np, prog.num_locals()).min(n_target.max(1));
     let mut rows: Vec<Vec<Rat>> = (0..block)
         .map(|_| vec![Rat::ZERO; prog.num_locals()])
         .collect();
     let mut out = vec![Rat::ZERO; block * np];
+    let check = budget.has_dynamic_limits();
     let mut acc = init;
     let mut start = 0;
-    while start < n {
-        let width = block.min(n - start);
+    let mut stop = None;
+    while start < n_target {
+        faults::point(faults::Site::Block);
+        if check {
+            if let Some(reason) = budget.stop_reason() {
+                stop = Some(reason);
+                break;
+            }
+        }
+        let width = block.min(n_target - start);
         for (k, row) in rows[..width].iter_mut().enumerate() {
             binder.bind_into(start + k, row);
         }
@@ -859,7 +1546,7 @@ pub fn fold_program_sweep<A>(
         }
         start += width;
     }
-    acc
+    Ok(outcome_for(acc, start, n, n_target, stop))
 }
 
 /// [`fold_program_sweep`] fanned across cores: contiguous scenario
@@ -887,16 +1574,58 @@ pub fn fold_program_sweep_par<F: MergeFold + Send + Sync>(
     set: &ScenarioSet,
     fold: F,
 ) -> F {
+    match fold_program_sweep_par_impl(evaluator, base, set, &SweepBudget::unlimited(), fold) {
+        Ok(outcome) => outcome.into_fold(),
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// [`fold_program_sweep_par`] under a [`SweepBudget`] with worker faults
+/// isolated — the single-engine sibling of
+/// [`CompiledComparison::sweep_fold_par_budgeted`], with the same partial
+/// bit-identity and panic-surfacing contracts.
+///
+/// # Errors
+/// [`CoreError::InfeasibleBudget`](crate::error::CoreError::InfeasibleBudget)
+/// for statically unsatisfiable budgets;
+/// [`CoreError::WorkerPanicked`](crate::error::CoreError::WorkerPanicked)
+/// when a worker panicked (the process and the evaluator stay usable).
+///
+/// # Panics
+/// Panics if `base` is not total over the program (give it a default).
+pub fn fold_program_sweep_par_budgeted<F: MergeFold + Send + Sync>(
+    evaluator: &BatchEvaluator<Rat>,
+    base: &Valuation<Rat>,
+    set: &ScenarioSet,
+    budget: &SweepBudget,
+    fold: F,
+) -> Result<SweepOutcome<F>> {
+    budget.validate(set.len())?;
+    fold_program_sweep_par_impl(evaluator, base, set, budget, fold)
+        .map_err(|payload| crate::error::CoreError::WorkerPanicked(par::panic_message(&payload)))
+}
+
+fn fold_program_sweep_par_impl<F: MergeFold + Send + Sync>(
+    evaluator: &BatchEvaluator<Rat>,
+    base: &Valuation<Rat>,
+    set: &ScenarioSet,
+    budget: &SweepBudget,
+    fold: F,
+) -> std::result::Result<SweepOutcome<F>, par::WorkerPanic> {
     let prog = evaluator.program();
     let np = prog.num_polys();
     let n = set.len();
-    if n == 0 {
-        return fold;
+    let n_target = budget.scenario_cap().map_or(n, |c| c.min(n));
+    if n_target == 0 {
+        return Ok(outcome_for(fold, 0, n, n_target, None));
     }
-    let block = stream_block(np, prog.num_locals()).min(n);
-    let partials = par::par_owned_spans(
-        n,
+    let block = stream_block(np, prog.num_locals()).min(n_target);
+    let check = budget.has_dynamic_limits();
+    let abort = CancelToken::new();
+    let partials = par::try_par_owned_spans(
+        n_target,
         1,
+        &abort,
         || {
             let rows: Vec<Vec<Rat>> = (0..block)
                 .map(|_| vec![Rat::ZERO; prog.num_locals()])
@@ -906,12 +1635,25 @@ pub fn fold_program_sweep_par<F: MergeFold + Send + Sync>(
                 rows,
                 vec![Rat::ZERO; block * np],
                 fold.init(),
+                SpanProgress::default(),
             )
         },
         |state, range| {
-            let (binder, rows, out, f) = state;
+            let (binder, rows, out, f, span) = state;
+            *span = SpanProgress::begin(&range);
             let mut start = range.start;
             while start < range.end {
+                faults::point(faults::Site::Block);
+                if abort.is_cancelled() {
+                    span.reason = Some(StopReason::Cancelled);
+                    break;
+                }
+                if check {
+                    if let Some(reason) = budget.stop_reason() {
+                        span.reason = Some(reason);
+                        break;
+                    }
+                }
                 let width = block.min(range.end - start);
                 for (k, row) in rows[..width].iter_mut().enumerate() {
                     binder.bind_into(start + k, row);
@@ -925,14 +1667,16 @@ pub fn fold_program_sweep_par<F: MergeFold + Send + Sync>(
                     });
                 }
                 start += width;
+                span.done = start;
             }
         },
-    );
+    )?;
     let mut fold = fold;
-    for partial in partials {
-        fold.merge(partial.3);
-    }
-    fold
+    let (done, stop) = merge_span_prefix(
+        partials.into_iter().map(|p| (p.4, p.3)).collect(),
+        |partial| fold.merge(partial),
+    );
+    Ok(outcome_for(fold, done, n, n_target, stop))
 }
 
 /// The canonical leaf/meta valuation pair for one scenario: the scenario

@@ -17,6 +17,7 @@
 
 use crate::apply::AppliedAbstraction;
 use crate::assign::{self, ResultComparison, SpeedupMeasurement};
+use crate::budget::{SweepBudget, SweepOutcome};
 use crate::cut::{Cut, MetaVar};
 use crate::error::{CoreError, Result};
 use crate::folds::MergeFold;
@@ -25,8 +26,8 @@ use crate::multi::{optimize_forest_descent, optimize_single_tree};
 use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext};
 use crate::report::CompressionReport;
 use crate::scenario::{
-    measure_sweep_speedup, CompiledComparison, F64Divergence, F64ScenarioSweep, FoldItem,
-    ScenarioSweep,
+    measure_sweep_speedup, CompiledComparison, ErrorShadow, F64Divergence, F64ErrorBound,
+    F64ScenarioSweep, FoldItem, ScenarioSweep,
 };
 use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
@@ -100,6 +101,10 @@ struct Compressed {
     /// built lazily on the first speedup measurement (assign/sweep-only
     /// sessions never pay for the copy).
     comp_f64: OnceCell<BatchEvaluator<f64>>,
+    /// The Higham running-error shadows (|coefficient| programs plus
+    /// per-polynomial γ factors) for the *bounded* `f64` sweeps, derived
+    /// from the `f64` engines on first use.
+    err_shadow: OnceCell<ErrorShadow>,
 }
 
 impl Compressed {
@@ -116,6 +121,7 @@ impl Compressed {
             applied: OnceCell::new(),
             engines: OnceCell::new(),
             comp_f64: OnceCell::new(),
+            err_shadow: OnceCell::new(),
         };
         let _ = state.applied.set(applied);
         state
@@ -226,6 +232,16 @@ impl CobraSession {
             BatchEvaluator::new(self.engines(state).compressed.program().to_f64_program())
         });
         (full, compressed)
+    }
+
+    /// The Higham running-error machinery for the bounded `f64` sweeps
+    /// (|coefficient| shadow programs + per-polynomial γ factors), built
+    /// once per compression on the first bounded sweep.
+    fn error_shadow<'a>(&'a self, state: &'a Compressed) -> &'a ErrorShadow {
+        state.err_shadow.get_or_init(|| {
+            let (full, compressed) = self.f64_engines(state);
+            ErrorShadow::new(full, compressed)
+        })
     }
 
     /// Parses polynomials from the text interchange format and starts a
@@ -540,6 +556,7 @@ impl CobraSession {
                 applied: OnceCell::new(),
                 engines: OnceCell::new(),
                 comp_f64: OnceCell::new(),
+                err_shadow: OnceCell::new(),
             });
             self.frontier.as_mut().expect("checked above").selected = Some(idx);
         }
@@ -714,6 +731,61 @@ impl CobraSession {
         ))
     }
 
+    /// [`sweep_fold`](Self::sweep_fold) under a [`SweepBudget`]: the
+    /// sweep polls the budget at block granularity, and an exhausted
+    /// budget returns [`SweepOutcome::Partial`] whose fold is **exactly**
+    /// the sequential fold over the scenario prefix completed — graceful
+    /// degradation without approximation.
+    ///
+    /// ```
+    /// use cobra_core::{CobraSession, ScenarioSet, SweepBudget};
+    /// use cobra_util::Rat;
+    ///
+    /// let mut session = CobraSession::from_text(
+    ///     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+    /// ).unwrap();
+    /// session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+    /// session.set_bound(2);
+    /// session.compress().unwrap();
+    /// let m3 = session.registry_mut().var("m3");
+    /// let grid = ScenarioSet::grid()
+    ///     .axis([m3], (1..=100i64).map(Rat::int).collect::<Vec<_>>())
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// // Cap the sweep at 40 of the 100 scenarios…
+    /// let budget = SweepBudget::unlimited().with_scenario_cap(40);
+    /// let outcome = session
+    ///     .sweep_fold_budgeted(&grid, budget, 0usize, |n, _| n + 1)
+    ///     .unwrap();
+    /// // …and get the exact fold over precisely that prefix.
+    /// assert_eq!(outcome.scenarios_done(), Some(40));
+    /// assert_eq!(*outcome.fold(), 40);
+    /// // the session stays fully usable afterwards
+    /// assert!(session.sweep_fold(&grid, 0usize, |n, _| n + 1).is_ok());
+    /// ```
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// scenario cap of zero over a non-empty set.
+    pub fn sweep_fold_budgeted<A>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        init: A,
+        f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
+    ) -> Result<SweepOutcome<A>> {
+        let state = self.compressed_state()?;
+        self.engines(state).sweep_fold_budgeted(
+            &state.meta_vars,
+            &self.base_valuation,
+            &scenarios.into(),
+            &budget,
+            init,
+            f,
+        )
+    }
+
     /// [`sweep_fold`](Self::sweep_fold) **fanned across cores**: the
     /// scenario family is split into contiguous per-worker spans, each
     /// worker thread owns its own binder, batch buffers and a replica of
@@ -764,19 +836,44 @@ impl CobraSession {
     /// ```
     ///
     /// # Errors
-    /// `Session` if `compress` has not run.
+    /// `Session` if `compress` has not run; `WorkerPanicked` if a worker
+    /// thread panicked mid-sweep (faults are isolated at span boundaries:
+    /// the panic is caught, sibling workers are cancelled, and the
+    /// session remains fully usable).
     pub fn sweep_fold_par<F: MergeFold + Send + Sync>(
         &self,
         scenarios: impl Into<ScenarioSet>,
         fold: F,
     ) -> Result<F> {
+        self.sweep_fold_par_budgeted(scenarios, SweepBudget::unlimited(), fold)
+            .map(SweepOutcome::into_fold)
+    }
+
+    /// [`sweep_fold_par`](Self::sweep_fold_par) under a [`SweepBudget`]:
+    /// every worker polls the budget between blocks, and an exhausted
+    /// budget returns [`SweepOutcome::Partial`] whose fold is the
+    /// in-order merge of completed span prefixes — **bit-identical** to a
+    /// sequential fold over the same scenario prefix, at any thread
+    /// count (property-pinned in `tests/robustness.rs`).
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// zero scenario cap over a non-empty set; `WorkerPanicked` if a
+    /// worker thread panicked (the session remains usable).
+    pub fn sweep_fold_par_budgeted<F: MergeFold + Send + Sync>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        fold: F,
+    ) -> Result<SweepOutcome<F>> {
         let state = self.compressed_state()?;
-        Ok(self.engines(state).sweep_fold_par(
+        self.engines(state).sweep_fold_par_budgeted(
             &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
+            &budget,
             fold,
-        ))
+        )
     }
 
     /// [`sweep_fold`](Self::sweep_fold) on the **approximate `f64` fast
@@ -812,6 +909,94 @@ impl CobraSession {
             init,
             f,
         ))
+    }
+
+    /// [`sweep_fold_f64`](Self::sweep_fold_f64) under a [`SweepBudget`]:
+    /// block-granular budget polls on the `f64` fast path, exact partial
+    /// prefixes on exhaustion. The returned [`F64Divergence`] covers the
+    /// probes inside the completed prefix, matching a sequential run over
+    /// the same prefix.
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// zero scenario cap over a non-empty set.
+    pub fn sweep_fold_f64_budgeted<A>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        init: A,
+        f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> Result<(SweepOutcome<A>, F64Divergence)> {
+        let state = self.compressed_state()?;
+        self.engines(state).sweep_fold_f64_budgeted(
+            self.f64_engines(state),
+            &state.meta_vars,
+            &self.base_valuation,
+            &scenarios.into(),
+            &budget,
+            init,
+            f,
+        )
+    }
+
+    /// [`sweep_fold_f64`](Self::sweep_fold_f64) with a **sound
+    /// per-scenario error bound** instead of the sampled divergence
+    /// probe: a Higham-style running-error accumulator folds a shadow
+    /// bound alongside every evaluated value (the |coefficient| program
+    /// evaluated at |row| times a per-polynomial γ factor), so the
+    /// returned [`F64ErrorBound`] **dominates** the true rounding error
+    /// of coefficient conversion plus kernel evaluation for *every*
+    /// scenario — not just the 16 probed ones. Costs roughly one extra
+    /// kernel pass per side.
+    ///
+    /// ```
+    /// use cobra_core::{CobraSession, ScenarioSet, SweepBudget};
+    /// use cobra_util::Rat;
+    ///
+    /// let mut session = CobraSession::from_text(
+    ///     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+    /// ).unwrap();
+    /// session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+    /// session.set_bound(2);
+    /// session.compress().unwrap();
+    /// let m3 = session.registry_mut().var("m3");
+    /// let rat = |s: &str| Rat::parse(s).unwrap();
+    /// let grid = ScenarioSet::grid()
+    ///     .axis([m3], [rat("0.8"), rat("1"), rat("1.2")])
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// let (outcome, bound) = session
+    ///     .sweep_fold_f64_bounded(&grid, SweepBudget::unlimited(), 0usize, |n, _| n + 1)
+    ///     .unwrap();
+    /// assert_eq!(outcome.into_fold(), 3);
+    /// assert_eq!(bound.scenarios, 3);
+    /// // the sound bound is tiny for well-conditioned inputs…
+    /// assert!(bound.max_rel_bound < 1e-12);
+    /// // …and dominates the measured divergence by construction.
+    /// ```
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// zero scenario cap over a non-empty set.
+    pub fn sweep_fold_f64_bounded<A>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        init: A,
+        f: impl FnMut(A, FoldItem<'_, f64>) -> A,
+    ) -> Result<(SweepOutcome<A>, F64ErrorBound)> {
+        let state = self.compressed_state()?;
+        self.engines(state).sweep_fold_f64_bounded(
+            self.f64_engines(state),
+            self.error_shadow(state),
+            &state.meta_vars,
+            &self.base_valuation,
+            &scenarios.into(),
+            &budget,
+            init,
+            f,
+        )
     }
 
     /// [`sweep_fold_f64`](Self::sweep_fold_f64) **fanned across cores**:
@@ -853,20 +1038,73 @@ impl CobraSession {
     /// ```
     ///
     /// # Errors
-    /// `Session` if `compress` has not run.
+    /// `Session` if `compress` has not run; `WorkerPanicked` if a worker
+    /// thread panicked mid-sweep (faults are isolated at span boundaries
+    /// and the session remains fully usable).
     pub fn sweep_fold_f64_par<F: MergeFold + Send + Sync>(
         &self,
         scenarios: impl Into<ScenarioSet>,
         fold: F,
     ) -> Result<(F, F64Divergence)> {
+        let (outcome, divergence) =
+            self.sweep_fold_f64_par_budgeted(scenarios, SweepBudget::unlimited(), fold)?;
+        Ok((outcome.into_fold(), divergence))
+    }
+
+    /// [`sweep_fold_f64_par`](Self::sweep_fold_f64_par) under a
+    /// [`SweepBudget`]: the fastest aggregate surface in the crate, now
+    /// interruptible — workers poll the budget between lane-kernel
+    /// blocks, and partial results are the exact in-order merge of the
+    /// completed span prefixes, bit-identical to a sequential budgeted
+    /// run over the same prefix.
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// zero scenario cap over a non-empty set; `WorkerPanicked` if a
+    /// worker thread panicked (the session remains usable).
+    pub fn sweep_fold_f64_par_budgeted<F: MergeFold + Send + Sync>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        fold: F,
+    ) -> Result<(SweepOutcome<F>, F64Divergence)> {
         let state = self.compressed_state()?;
-        Ok(self.engines(state).sweep_fold_f64_par(
+        self.engines(state).sweep_fold_f64_par_budgeted(
             self.f64_engines(state),
             &state.meta_vars,
             &self.base_valuation,
             &scenarios.into(),
+            &budget,
             fold,
-        ))
+        )
+    }
+
+    /// [`sweep_fold_f64_bounded`](Self::sweep_fold_f64_bounded) **fanned
+    /// across cores**: the parallel `f64` fast path with the sound
+    /// Higham running-error bound folded per worker and merged in span
+    /// order — the [`F64ErrorBound`] is bit-identical to the sequential
+    /// bounded sweep at any thread count.
+    ///
+    /// # Errors
+    /// `Session` if `compress` has not run; `InfeasibleBudget` for a
+    /// zero scenario cap over a non-empty set; `WorkerPanicked` if a
+    /// worker thread panicked (the session remains usable).
+    pub fn sweep_fold_f64_bounded_par<F: MergeFold + Send + Sync>(
+        &self,
+        scenarios: impl Into<ScenarioSet>,
+        budget: SweepBudget,
+        fold: F,
+    ) -> Result<(SweepOutcome<F>, F64ErrorBound)> {
+        let state = self.compressed_state()?;
+        self.engines(state).sweep_fold_f64_bounded_par(
+            self.f64_engines(state),
+            self.error_shadow(state),
+            &state.meta_vars,
+            &self.base_valuation,
+            &scenarios.into(),
+            &budget,
+            fold,
+        )
     }
 
     /// Evaluates a scenario family approximately (`f64` lane kernel on

@@ -312,7 +312,12 @@ fn aggregate(rel: Relation, group_by: &[String], aggs: &[Aggregate]) -> Result<R
         rows.push(out);
     }
     for key in order {
-        let (mut head, accs) = groups.remove(&key).expect("group recorded in order");
+        // Every key in `order` was inserted into `groups` above; a miss
+        // would be an executor bug, surfaced as a typed error rather than
+        // a panic so a malformed plan can never take the process down.
+        let (mut head, accs) = groups.remove(&key).ok_or_else(|| {
+            EngineError::Plan("aggregation invariant violated: grouped key lost before output".into())
+        })?;
         for acc in accs {
             head.push(acc.finish()?);
         }

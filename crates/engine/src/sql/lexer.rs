@@ -201,7 +201,12 @@ pub fn tokenize(src: &str) -> Result<Vec<(usize, SqlToken)>> {
                         pos += 1;
                     }
                 }
-                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                // The scanned range contains only ASCII digits and dots,
+                // so conversion cannot fail — but lexing must never
+                // panic on any input, so route the impossible case to
+                // the ordinary lex error.
+                let text = std::str::from_utf8(&bytes[start..pos])
+                    .map_err(|_| err(start, "invalid UTF-8 in number".into()))?;
                 let value = Rat::parse(text)
                     .map_err(|_| err(start, format!("invalid number {text:?}")))?;
                 SqlToken::Number { value, is_integer }
@@ -212,7 +217,9 @@ pub fn tokenize(src: &str) -> Result<Vec<(usize, SqlToken)>> {
                 {
                     pos += 1;
                 }
-                let text = std::str::from_utf8(&bytes[start..pos]).expect("ascii");
+                // ASCII-alphanumeric range, same never-panic policy.
+                let text = std::str::from_utf8(&bytes[start..pos])
+                    .map_err(|_| err(start, "invalid UTF-8 in identifier".into()))?;
                 match Keyword::from_ident(text) {
                     Some(kw) => SqlToken::Kw(kw),
                     None => SqlToken::Ident(text.to_owned()),

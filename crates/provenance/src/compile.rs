@@ -238,6 +238,55 @@ impl EvalProgram<Rat> {
     }
 }
 
+impl EvalProgram<f64> {
+    /// The absolute-value shadow of this program: same shape and variable
+    /// numbering, every coefficient replaced by its magnitude. Evaluated
+    /// on the elementwise absolute values `|x|` of a scenario row it
+    /// computes `Σ_j |c_j| Π |x|^e` per polynomial — the condition-number
+    /// numerator a Higham-style a-priori rounding bound multiplies by
+    /// `γ_k` (see [`rounding_op_counts`](Self::rounding_op_counts)).
+    pub fn to_abs_program(&self) -> EvalProgram<f64> {
+        EvalProgram {
+            coeffs: self.coeffs.iter().map(|c| c.abs()).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// A per-polynomial upper bound `k_p` on the number of f64 roundings
+    /// along any computation path of the evaluation kernels, for use in
+    /// the standard a-priori bound `|computed − exact| ≤ γ_{k_p} · Σ_j
+    /// |c_j| Π |x|^e` with `γ_k = k·u/(1−k·u)` (Higham, *Accuracy and
+    /// Stability of Numerical Algorithms*, §3.1). Deliberately a safe
+    /// overcount: `terms + 1` (the additions plus the one rounding each
+    /// coefficient suffered when converted from its exact value) plus the
+    /// worst term's factor cost, where a factor with exponent `e` is
+    /// charged `2·bits(e) + 1` multiplications (covers both the `e == 1`
+    /// fast path and `powi`'s square-and-multiply chain). An empty
+    /// polynomial evaluates exactly and gets `k_p = 0`.
+    pub fn rounding_op_counts(&self) -> Vec<u32> {
+        (0..self.num_polys())
+            .map(|p| {
+                let terms = self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
+                let num_terms = terms.len() as u32;
+                if num_terms == 0 {
+                    return 0;
+                }
+                let worst_term = terms
+                    .map(|t| {
+                        let factors =
+                            self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
+                        factors
+                            .map(|f| 2 * (32 - self.exps[f].leading_zeros()) + 1)
+                            .sum::<u32>()
+                    })
+                    .max()
+                    .unwrap_or(0);
+                num_terms + 1 + worst_term
+            })
+            .collect()
+    }
+}
+
 /// Result matrix of a batch evaluation: `num_scenarios × num_polys`,
 /// scenario-major.
 #[derive(Clone, Debug, PartialEq)]
@@ -699,6 +748,30 @@ mod tests {
         assert_eq!(batch.num_polys(), 0);
         let f = compile_f64(&set);
         assert_eq!(f.eval_batch_fast(&[vec![]]).num_polys(), 0);
+    }
+
+    #[test]
+    fn abs_program_and_rounding_counts() {
+        let (mut reg, set) = sample();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let prog = EvalProgram::compile(&set).to_f64_program();
+        let abs = prog.to_abs_program();
+        // Same CSR shape, |coefficients|: at a non-negative point the abs
+        // program evaluates the term-wise absolute sum.
+        assert_eq!(abs.num_polys(), prog.num_polys());
+        let val = Valuation::with_default(1.0).bind(x, 2.0).bind(y, 5.0);
+        let row = abs.bind(&val).unwrap();
+        // P1 = 3x² - xy + 7  →  |3|·4 + |-1|·10 + 7 = 29
+        assert_eq!(abs.eval_scenario(&row), vec![29.0, 0.0, 2.0]);
+
+        let k = prog.rounding_op_counts();
+        assert_eq!(k.len(), 3);
+        // The empty polynomial needs no rounding ops at all.
+        assert_eq!(k[1], 0);
+        // P1 (3 terms, worst term two factors) strictly dominates the
+        // single-term single-factor P2; both are small positive counts.
+        assert!(k[0] > k[2] && k[2] > 0);
     }
 
     #[test]

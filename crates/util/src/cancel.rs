@@ -1,0 +1,85 @@
+//! Cooperative cancellation for long-running sweeps.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between the thread that
+//! requests cancellation (a server timeout handler, a UI "stop" button, a
+//! sibling worker that hit a panic) and the workers that poll it at their
+//! block boundaries. Cancellation is *cooperative*: tripping the token
+//! never interrupts a computation mid-block — workers observe it at the
+//! next block-granular budget check and stop with their partial state
+//! intact, which is what makes deadline/cancel partial results exact (see
+//! `cobra_core::budget`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// All clones share one flag: tripping any clone trips them all. The
+/// token only ever transitions unset → set; there is no reset (create a
+/// fresh token per request instead, so a stale cancellation can never
+/// leak into the next sweep).
+///
+/// ```
+/// use cobra_util::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`cancel`](Self::cancel). A relaxed
+    /// poll — cheap enough for per-block checks in hot sweep loops.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        a.cancel();
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn observable_across_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancel thread");
+        assert!(token.is_cancelled());
+    }
+}

@@ -13,6 +13,14 @@
 //!   integers/monomials (see the Rust Performance Book's hashing chapter).
 //! * [`par`] — structured data-parallel helpers (scoped threads) used by
 //!   the compiled batch evaluation engine; the offline stand-in for rayon.
+//!   Worker panics are caught at span boundaries
+//!   ([`par::try_par_owned_spans`]) so a failing worker cancels its
+//!   siblings instead of aborting the process.
+//! * [`cancel`] — the cooperative [`CancelToken`] sweep budgets and the
+//!   panic-isolation path share.
+//! * [`faults`] — the fault-injection test hooks (`COBRA_FAULTS`,
+//!   [`faults::with_faults`]) that keep the robustness promises exercised;
+//!   compiled to near-no-ops when disarmed.
 //! * [`remap`] — registry-scoped dense `global → local` id remapping
 //!   ([`DenseRemap`]) backing allocation-free scenario binding in the
 //!   compiled evaluation engine.
@@ -20,6 +28,8 @@
 //! * [`timing`] — wall-clock measurement helpers for the speedup experiments.
 //! * [`table`] — plain-text/markdown table rendering for experiment reports.
 
+pub mod cancel;
+pub mod faults;
 pub mod hash;
 pub mod intern;
 pub mod par;
@@ -29,6 +39,7 @@ pub mod rng;
 pub mod table;
 pub mod timing;
 
+pub use cancel::CancelToken;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{Interner, Symbol};
 pub use rational::{ParseRatError, Rat};

@@ -7,8 +7,12 @@
 //! They degrade to straight serial loops when `available_parallelism` is 1
 //! (or the input is tiny), so single-core containers pay no thread cost.
 
+use crate::cancel::CancelToken;
+use crate::faults;
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::thread;
 
 thread_local! {
@@ -139,8 +143,65 @@ where
 /// when one thread suffices, so single-core machines pay no thread cost.
 ///
 /// # Panics
-/// Panics if `align == 0`, or if a worker panics.
+/// Panics if `align == 0`, or if a worker panics (the worker's panic is
+/// resumed on the calling thread; see [`try_par_owned_spans`] for the
+/// panic-isolating variant the budgeted sweep engines use).
 pub fn par_owned_spans<S, I, W>(n: usize, align: usize, init: I, work: W) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, Range<usize>) + Sync,
+{
+    let abort = CancelToken::new();
+    match try_par_owned_spans(n, align, &abort, init, work) {
+        Ok(states) => states,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// The payload of a worker panic caught by [`try_par_owned_spans`] — what
+/// `std::panic::catch_unwind` returns, re-raisable via
+/// `std::panic::resume_unwind`.
+pub type WorkerPanic = Box<dyn Any + Send + 'static>;
+
+/// Best-effort human-readable message of a caught worker panic (`&str`
+/// and `String` payloads, which cover `panic!`/`assert!`/`expect`).
+pub fn panic_message(payload: &WorkerPanic) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// [`par_owned_spans`] with **worker panic isolation**: every worker runs
+/// its span under `catch_unwind`, and a panicking worker — instead of
+/// unwinding through `thread::scope` and aborting the whole call — trips
+/// `abort` so cooperative siblings (sweep workers poll their budget at
+/// block granularity) stop early, then surfaces as `Err` with the first
+/// panic's payload (in ascending span order, so the error is
+/// deterministic when several workers fail). All workers are joined
+/// before returning either way; no thread outlives the call.
+///
+/// The fault-injection harness ([`crate::faults`]) hooks every span start,
+/// which is how the panic-isolation path stays permanently exercised.
+///
+/// `abort` is also honored on entry: a pre-tripped token still runs
+/// `init` (returning one empty-progress state per span) but skips `work`,
+/// mirroring what cooperative workers do when they observe cancellation
+/// at their first block boundary.
+///
+/// # Panics
+/// Panics if `align == 0`.
+pub fn try_par_owned_spans<S, I, W>(
+    n: usize,
+    align: usize,
+    abort: &CancelToken,
+    init: I,
+    work: W,
+) -> Result<Vec<S>, WorkerPanic>
 where
     S: Send,
     I: Fn() -> S + Sync,
@@ -149,32 +210,59 @@ where
     assert!(align > 0, "span alignment must be positive");
     let chunks = n.div_ceil(align);
     let threads = num_threads().min(chunks).max(1);
+    let run_span = |state: &mut S, range: Range<usize>| -> Result<(), WorkerPanic> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            faults::point(faults::Site::SpanStart);
+            work(state, range);
+        }));
+        if let Err(payload) = result {
+            abort.cancel();
+            return Err(payload);
+        }
+        Ok(())
+    };
     if threads == 1 {
         let mut state = init();
-        if n > 0 {
-            work(&mut state, 0..n);
+        if n > 0 && !abort.is_cancelled() {
+            run_span(&mut state, 0..n)?;
         }
-        return vec![state];
+        return Ok(vec![state]);
     }
     let span = chunks.div_ceil(threads) * align;
-    thread::scope(|s| {
+    let results: Vec<Result<S, WorkerPanic>> = thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .step_by(span)
             .map(|start| {
                 let end = (start + span).min(n);
-                let (init, work) = (&init, &work);
+                let (init, run_span) = (&init, &run_span);
                 s.spawn(move || {
                     let mut state = init();
-                    work(&mut state, start..end);
-                    state
+                    if abort.is_cancelled() {
+                        return Ok(state);
+                    }
+                    run_span(&mut state, start..end)?;
+                    Ok(state)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_owned_spans worker panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // run_span catches panics from `work`; a join error can
+                // only come from `init` panicking on the worker thread.
+                Err(payload) => {
+                    abort.cancel();
+                    Err(payload)
+                }
+            })
             .collect()
-    })
+    });
+    let mut states = Vec::with_capacity(results.len());
+    for result in results {
+        states.push(result?);
+    }
+    Ok(states)
 }
 
 /// Maps contiguous index spans to partial results and reduces the
@@ -297,6 +385,85 @@ mod tests {
             par_map_reduce(103, 8, |r| r.sum::<usize>(), |a, b| a + b)
         });
         assert_eq!(total, Some((0..103).sum()));
+    }
+
+    #[test]
+    fn try_spans_catch_worker_panics() {
+        for threads in [1usize, 2, 4] {
+            let abort = CancelToken::new();
+            let result = with_threads(threads, || {
+                try_par_owned_spans(
+                    1000,
+                    1,
+                    &abort,
+                    || 0usize,
+                    |done, range| {
+                        for i in range {
+                            assert!(i != 170, "injected");
+                            *done += 1;
+                        }
+                    },
+                )
+            });
+            let payload = result.expect_err("worker panic must surface as Err");
+            assert!(panic_message(&payload).contains("injected"), "t={threads}");
+            assert!(abort.is_cancelled(), "panic must trip the abort token");
+        }
+    }
+
+    #[test]
+    fn try_spans_pretripped_token_skips_work() {
+        let abort = CancelToken::new();
+        abort.cancel();
+        let spans = with_threads(3, || {
+            try_par_owned_spans(
+                300,
+                1,
+                &abort,
+                || 0usize,
+                |done, range| *done += range.len(),
+            )
+        })
+        .expect("no panic");
+        assert!(spans.iter().all(|&d| d == 0), "work must be skipped");
+    }
+
+    #[test]
+    fn try_spans_match_plain_spans_when_nothing_fails() {
+        for threads in [1usize, 2, 5] {
+            let abort = CancelToken::new();
+            let sums = with_threads(threads, || {
+                try_par_owned_spans(
+                    103,
+                    8,
+                    &abort,
+                    || 0usize,
+                    |sum, range| *sum += range.sum::<usize>(),
+                )
+            })
+            .expect("no panic");
+            assert_eq!(sums.iter().sum::<usize>(), (0..103).sum::<usize>());
+            assert!(!abort.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn plain_spans_resume_worker_panics() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                par_owned_spans(
+                    100,
+                    1,
+                    || (),
+                    |(), range| {
+                        if range.contains(&99) {
+                            panic!("legacy path still panics");
+                        }
+                    },
+                )
+            })
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -577,6 +577,52 @@ mod tests {
                 prop_assert_eq!(fast.den, slow.den);
                 prop_assert!(canonical(fast));
             }
+
+            #[test]
+            fn guard_boundary_fast_and_slow_paths_agree(
+                a in boundary_rat(),
+                b in prop_oneof![boundary_rat(), rat_strategy()],
+            ) {
+                let sum = a + b;
+                prop_assert_eq!(sum, add_slow(a, b));
+                prop_assert!(canonical(sum));
+                let diff = a - b;
+                prop_assert_eq!(diff, add_slow(a, -b));
+                prop_assert!(canonical(diff));
+                let prod = a * b;
+                let slow = mul_slow(a, b);
+                prop_assert_eq!(prod.num, slow.num);
+                prop_assert_eq!(prod.den, slow.den);
+                prop_assert!(canonical(prod));
+            }
+        }
+
+        /// Components hugging the `±i64` guard from **both** sides: the
+        /// largest magnitudes the gcd-skipping fast path accepts and the
+        /// smallest it must route to the normalizing slow path. Any
+        /// off-by-one in [`all_fit_i64`] — accepting `i64::MAX + 1`, or
+        /// mishandling `i64::MIN`'s asymmetric magnitude — shows up here
+        /// as a non-canonical or unequal result.
+        fn guard_adjacent() -> impl Strategy<Value = i128> {
+            let anchors = prop_oneof![
+                Just(i64::MAX as i128),
+                Just(i64::MIN as i128),
+                Just(-(i64::MAX as i128)),
+            ];
+            (anchors, -4i64..5).prop_map(|(a, d)| a + d as i128)
+        }
+
+        /// Boundary-sized in exactly **one** component (huge numerator
+        /// over a small denominator, or vice versa): with both components
+        /// near `2^63` the cross terms of addition reach `2·2^126` and
+        /// overflow `i128` on *every* path — an inherent fixed-precision
+        /// limit, not a fast-path property — so such pairs are excluded.
+        fn boundary_rat() -> impl Strategy<Value = Rat> {
+            prop_oneof![
+                (guard_adjacent(), 1i128..9).prop_map(|(n, d)| Rat::new(n, d)),
+                (-8i128..9, guard_adjacent().prop_map(|v| v.abs().max(2)))
+                    .prop_map(|(n, d)| Rat::new(n, d)),
+            ]
         }
     }
 

@@ -2,9 +2,11 @@
 //! infeasibility mode surfaces as a typed, actionable error (the demo UI
 //! relies on these to guide the analyst's bound choice).
 
-use cobra::core::{CobraSession, CoreError};
+use cobra::core::{CobraSession, CoreError, ScenarioSet, SweepBudget};
 use cobra::provenance::Valuation;
-use cobra::util::Rat;
+use cobra::util::faults::{with_faults, FaultPlan, INJECTED_PANIC};
+use cobra::util::{par, CancelToken, Rat};
+use std::time::Duration;
 
 const POLYS: &str = "P1 = 2*a*x + 3*b*x\nP2 = 5*a*y";
 
@@ -100,4 +102,89 @@ fn error_messages_are_actionable() {
     assert!(err.to_string().contains("Bizness"));
     let err = CoreError::TooManyCuts { limit: 7 };
     assert!(err.to_string().contains('7'));
+    // the budget/robustness variants guide the caller too
+    assert!(CoreError::Cancelled.to_string().contains("Partial"));
+    assert!(CoreError::DeadlineExceeded.to_string().contains("deadline"));
+    let err = CoreError::WorkerPanicked("boom".into());
+    assert!(err.to_string().contains("boom"));
+    assert!(err.to_string().contains("session remains usable"));
+    let err = CoreError::InfeasibleBudget("cap is 0".into());
+    assert!(err.to_string().contains("cap is 0"));
+}
+
+/// A compressed session with a 20-scenario grid over a grouped variable.
+fn sweep_fixture() -> (CobraSession, ScenarioSet) {
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    s.add_tree_text("T(a,b)").unwrap();
+    s.set_bound(2);
+    s.compress().unwrap();
+    let x = s.registry_mut().var("x");
+    let grid = ScenarioSet::grid()
+        .axis([x], (1..=20).map(Rat::int).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    (s, grid)
+}
+
+#[test]
+fn zero_scenario_cap_is_infeasible_budget() {
+    let (s, grid) = sweep_fixture();
+    let budget = SweepBudget::unlimited().with_scenario_cap(0);
+    assert!(matches!(
+        s.sweep_fold_budgeted(&grid, budget.clone(), 0usize, |n, _| n + 1),
+        Err(CoreError::InfeasibleBudget(_))
+    ));
+    assert!(matches!(
+        s.sweep_fold_f64_par_budgeted(&grid, budget, cobra::core::folds::MaxAbsError::new()),
+        Err(CoreError::InfeasibleBudget(_))
+    ));
+}
+
+#[test]
+fn demanding_completeness_maps_partials_to_typed_errors() {
+    // `with_faults(default)` injects nothing; its scope lock serializes
+    // this sweep against the fault-injecting test below.
+    with_faults(FaultPlan::default(), || {
+        let (s, grid) = sweep_fixture();
+        // an expired deadline → Partial → DeadlineExceeded on into_complete
+        let expired = SweepBudget::unlimited().with_deadline(Duration::ZERO);
+        let outcome = s
+            .sweep_fold_budgeted(&grid, expired, 0usize, |n, _| n + 1)
+            .unwrap();
+        assert!(matches!(
+            outcome.into_complete(),
+            Err(CoreError::DeadlineExceeded)
+        ));
+        // a pre-tripped token → Partial → Cancelled
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = SweepBudget::unlimited().with_cancel_token(token);
+        let outcome = s
+            .sweep_fold_budgeted(&grid, cancelled, 0usize, |n, _| n + 1)
+            .unwrap();
+        assert!(matches!(outcome.into_complete(), Err(CoreError::Cancelled)));
+        // exhausting a budget poisons nothing: the *next* call is complete
+        // and correct
+        let count = s.sweep_fold(&grid, 0usize, |n, _| n + 1).unwrap();
+        assert_eq!(count, grid.len());
+    });
+}
+
+#[test]
+fn worker_panic_is_a_typed_error_and_session_survives() {
+    let (s, grid) = sweep_fixture();
+    let result = with_faults(FaultPlan::panic_on_span(0), || {
+        par::with_threads(4, || {
+            s.sweep_fold_par(&grid, cobra::core::folds::MaxAbsError::new())
+        })
+    });
+    match result {
+        Err(CoreError::WorkerPanicked(msg)) => assert!(msg.contains(INJECTED_PANIC)),
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // the process did not abort and the session still answers correctly
+    with_faults(FaultPlan::default(), || {
+        let count = s.sweep_fold(&grid, 0usize, |n, _| n + 1).unwrap();
+        assert_eq!(count, grid.len());
+    });
 }
