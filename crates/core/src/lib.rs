@@ -34,7 +34,13 @@
 //!   caps, cooperative cancellation) and exact partial results
 //!   ([`SweepOutcome`]), threaded through every fold entry point.
 //! * [`multi`] — multi-tree forests via coordinate descent (extension
-//!   beyond the demo's single-tree setting).
+//!   beyond the demo's single-tree setting), including the descent-built
+//!   forest staircase ([`plan_forest_frontier`]) behind
+//!   [`CobraSession::compress_forest_frontier`].
+//! * [`hydrate`] — session persistence: snapshot a planned session
+//!   (registry, tree, frontier, compiled engines) into one
+//!   [`cobra_provenance::persist`] artifact and re-hydrate it — by mmap,
+//!   zero-copy — into a session that answers bit-identically.
 //! * [`assign`] — meta-variable defaults (group averages), scenario
 //!   projection/expansion, result comparison and assignment-speedup
 //!   measurement.
@@ -83,6 +89,7 @@ pub mod error;
 pub mod folds;
 pub mod greedy;
 pub mod groups;
+pub mod hydrate;
 pub mod multi;
 pub mod planner;
 pub mod report;
@@ -113,10 +120,12 @@ pub use scenario::{
 };
 pub use scenario_set::{Axis, AxisOp, GridBuilder, RowBinder, ScenarioSet};
 pub use sensitivity::{scenario_impacts, SensitivityReport};
+pub use hydrate::{restore_session, restore_session_from_bytes, snapshot_session};
 pub use multi::{
     forest_sweep, forest_sweep_fold, forest_sweep_fold_budgeted, forest_sweep_fold_par,
-    forest_sweep_fold_par_budgeted, optimize_forest_descent, ForestSolution,
+    forest_sweep_fold_par_budgeted, optimize_forest_descent, plan_forest_frontier, ForestFrontier,
+    ForestFrontierPoint, ForestSolution,
 };
 pub use report::{frontier_table, CompressionReport};
-pub use session::{CobraSession, MetaSummaryRow};
+pub use session::{CobraSession, MetaSummaryRow, SessionInfo};
 pub use tree::{AbstractionTree, NodeId, TreeSpec};

@@ -113,6 +113,113 @@ pub fn optimize_forest_descent<C: Coeff>(
     })
 }
 
+/// One point of a forest's expressiveness/size trade-off curve: a total
+/// cut cardinality across all trees, the measured compressed size, and
+/// the witness cuts (one per tree, input order).
+#[derive(Clone, Debug)]
+pub struct ForestFrontierPoint {
+    /// Σ |cutᵢ| across the forest.
+    pub variables: usize,
+    /// Measured compressed size with all cuts applied.
+    pub size: u64,
+    /// One witness cut per tree, in input order.
+    pub cuts: Vec<Cut>,
+}
+
+/// The forest generalization of [`CutFrontier`](crate::planner::CutFrontier):
+/// a staircase of coordinate-descent solutions in strictly increasing
+/// `variables` **and** `size`, so any bound resolves in `O(log n)` without
+/// re-running the descent. Unlike the single-tree frontier the points are
+/// heuristic (the forest problem is NP-hard), but selection against them
+/// is exactly as cheap.
+#[derive(Clone, Debug, Default)]
+pub struct ForestFrontier {
+    points: Vec<ForestFrontierPoint>,
+}
+
+impl ForestFrontier {
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the frontier has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points in ascending `variables` (and `size`) order.
+    pub fn points(&self) -> &[ForestFrontierPoint] {
+        &self.points
+    }
+
+    /// The most expressive point whose size fits `bound`, as an index into
+    /// [`points`](Self::points). `None` if even the coarsest point exceeds
+    /// the bound.
+    pub fn select_index(&self, bound: u64) -> Option<usize> {
+        let feasible = self.points.partition_point(|p| p.size <= bound);
+        feasible.checked_sub(1)
+    }
+
+    /// The smallest size on the curve (reported for infeasible bounds).
+    pub fn min_size(&self) -> u64 {
+        self.points.first().map_or(0, |p| p.size)
+    }
+}
+
+/// Plans a forest's whole bound axis in one pass: repeated
+/// [`optimize_forest_descent`] runs at decreasing bounds (each run's bound
+/// is one below the previous solution's size, so every distinct attainable
+/// size is visited once), Pareto-filtered into a [`ForestFrontier`]. The
+/// session's `select_bound` then serves any forest bound as a staircase
+/// lookup — the multi-tree sibling of
+/// [`plan_frontier`](crate::planner::CutPlanner::plan_frontier).
+///
+/// # Errors
+/// [`CoreError::MonomialSpansTree`] if some monomial mentions two leaves
+/// of one tree; descent errors other than an infeasible bound propagate.
+pub fn plan_forest_frontier<C: Coeff>(
+    set: &PolySet<C>,
+    trees: &[&AbstractionTree],
+    reg: &mut VarRegistry,
+    max_rounds: usize,
+) -> Result<ForestFrontier> {
+    let mut raw: Vec<ForestFrontierPoint> = Vec::new();
+    let mut bound = set.total_monomials() as u64;
+    loop {
+        match optimize_forest_descent(set, trees, bound, reg, max_rounds) {
+            Ok(sol) => {
+                let next = sol.size.checked_sub(1);
+                raw.push(ForestFrontierPoint {
+                    variables: sol.variables,
+                    size: sol.size,
+                    cuts: sol.cuts,
+                });
+                match next {
+                    Some(b) if b > 0 => bound = b,
+                    _ => break,
+                }
+            }
+            Err(CoreError::InfeasibleBound { .. }) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    // Visited in strictly decreasing size; flip to ascending and keep only
+    // points that strictly gain expressiveness, so selection's "last point
+    // with size ≤ bound" is also the most expressive feasible one.
+    raw.reverse();
+    let mut points: Vec<ForestFrontierPoint> = Vec::new();
+    for p in raw {
+        if points
+            .last()
+            .is_none_or(|l: &ForestFrontierPoint| p.variables > l.variables)
+        {
+            points.push(p);
+        }
+    }
+    Ok(ForestFrontier { points })
+}
+
 /// Convenience wrapper for the single-tree case: the exact planner plus a
 /// real application, returning the same shape as the forest optimizer.
 pub fn optimize_single_tree<C: Coeff>(
@@ -289,6 +396,47 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
                 "bound {bound}: descent {descent:?} vs brute {brute:?}"
             );
         }
+    }
+
+    #[test]
+    fn forest_frontier_is_a_strict_staircase() {
+        let (mut reg, plans, set) = setup();
+        let months = AbstractionTree::parse("M(m1,m3)", &mut reg).unwrap();
+        let frontier =
+            plan_forest_frontier(&set, &[&plans, &months], &mut reg, 20).unwrap();
+        assert!(!frontier.is_empty());
+        let points = frontier.points();
+        for pair in points.windows(2) {
+            assert!(pair[0].size < pair[1].size, "sizes strictly ascend");
+            assert!(
+                pair[0].variables < pair[1].variables,
+                "variables strictly ascend"
+            );
+        }
+        // Every point's achieved solution matches a fresh descent at its
+        // own size bound.
+        for point in points {
+            let sol = optimize_forest_descent(
+                &set,
+                &[&plans, &months],
+                point.size,
+                &mut reg,
+                20,
+            )
+            .unwrap();
+            assert_eq!(sol.variables, point.variables);
+            assert_eq!(sol.size, point.size);
+            assert_eq!(point.cuts.len(), 2);
+        }
+        // Selection resolves like the single-tree staircase.
+        let coarsest = points[0].size;
+        assert_eq!(frontier.min_size(), coarsest);
+        assert!(frontier.select_index(coarsest.saturating_sub(1)).is_none());
+        assert_eq!(frontier.select_index(coarsest), Some(0));
+        assert_eq!(
+            frontier.select_index(u64::MAX),
+            Some(frontier.len() - 1)
+        );
     }
 
     #[test]

@@ -240,7 +240,7 @@ impl CutFrontier {
     /// order, dropping dominated points: a later (more expressive) point
     /// with `size ≤` an earlier one makes the earlier point unselectable
     /// for every bound under the max-variables / min-size objective.
-    fn from_points(mut raw: Vec<FrontierPoint>) -> CutFrontier {
+    pub(crate) fn from_points(mut raw: Vec<FrontierPoint>) -> CutFrontier {
         debug_assert!(!raw.is_empty(), "a frontier has at least the root cut");
         debug_assert!(raw.windows(2).all(|w| w[0].variables < w[1].variables));
         let mut points: Vec<FrontierPoint> = Vec::with_capacity(raw.len());

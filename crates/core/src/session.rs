@@ -22,7 +22,9 @@ use crate::cut::{Cut, MetaVar};
 use crate::error::{CoreError, Result};
 use crate::folds::MergeFold;
 use crate::groups::GroupAnalysis;
-use crate::multi::{optimize_forest_descent, optimize_single_tree};
+use crate::multi::{
+    optimize_forest_descent, optimize_single_tree, plan_forest_frontier, ForestFrontier,
+};
 use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext};
 use crate::report::CompressionReport;
 use crate::scenario::{
@@ -47,64 +49,103 @@ pub struct MetaSummaryRow {
     pub default_value: Rat,
 }
 
+/// Cheap session statistics ([`CobraSession::info`]): everything here is
+/// read off already-computed state — nothing compiles, plans, or
+/// materializes polynomials.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Registered abstraction trees.
+    pub trees: usize,
+    /// The current size bound, if one was set or selected.
+    pub bound: Option<u64>,
+    /// Planned frontier points (single-tree or forest), if planned.
+    pub frontier_points: Option<usize>,
+    /// Total monomials of the full provenance, when known without
+    /// materializing polynomials.
+    pub original_size: Option<u64>,
+    /// Distinct variables of the full provenance, when known.
+    pub original_vars: Option<usize>,
+    /// Monomials of the current compression, if one is selected.
+    pub compressed_size: Option<u64>,
+    /// Distinct variables of the current compression, if selected.
+    pub compressed_vars: Option<usize>,
+    /// Stashed warm compressed-side engines.
+    pub warm_engines: usize,
+    /// True for re-hydrated sessions that have not yet decompiled their
+    /// polynomials (the zero-copy cold path).
+    pub hydrated: bool,
+}
+
 /// An interactive COBRA session (Fig. 4).
 pub struct CobraSession {
-    reg: VarRegistry,
-    polys: PolySet<Rat>,
-    base_valuation: Valuation<Rat>,
-    trees: Vec<AbstractionTree>,
-    bound: Option<u64>,
+    pub(crate) reg: VarRegistry,
+    /// The input polynomials. Eager for sessions built from parsed input;
+    /// **lazy** for re-hydrated sessions ([`crate::hydrate`]), which carry
+    /// a persisted full engine and decompile the polynomial set only when
+    /// something actually needs it (a cold frontier selection's group
+    /// analysis) — the zero-copy cold-start path never allocates it.
+    pub(crate) polys: OnceCell<PolySet<Rat>>,
+    pub(crate) base_valuation: Valuation<Rat>,
+    pub(crate) trees: Vec<AbstractionTree>,
+    /// The compact text each tree was parsed from (`None` for trees added
+    /// programmatically) — what [`crate::hydrate`] persists so a restored
+    /// session rebuilds identical trees.
+    pub(crate) tree_texts: Vec<Option<String>>,
+    pub(crate) bound: Option<u64>,
     /// Exact compiled engine over the full provenance. The input
     /// polynomials never change after construction, so this is compiled
     /// once per session (lazily, on first compression) and *shared* with
     /// every [`Compressed`] state — recompressing under a new bound only
     /// compiles the compressed side.
-    full_rat: OnceCell<BatchEvaluator<Rat>>,
+    pub(crate) full_rat: OnceCell<BatchEvaluator<Rat>>,
     /// `f64` shadow of the full-side engine for the timing fast path,
     /// likewise session-invariant and built on first use.
-    full_f64: OnceCell<BatchEvaluator<f64>>,
-    compressed: Option<Compressed>,
+    pub(crate) full_f64: OnceCell<BatchEvaluator<f64>>,
+    pub(crate) compressed: Option<Compressed>,
     /// The planner's frontier state (one planning pass over the whole
     /// bound axis), populated by
     /// [`compress_frontier`](CobraSession::compress_frontier) and
     /// invalidated when a tree is added.
-    frontier: Option<FrontierState>,
-    trace: Vec<String>,
-    trace_enabled: bool,
+    pub(crate) frontier: Option<FrontierState>,
+    /// The forest sibling of `frontier`, populated by
+    /// [`compress_forest_frontier`](CobraSession::compress_forest_frontier).
+    pub(crate) forest: Option<ForestFrontierState>,
+    pub(crate) trace: Vec<String>,
+    pub(crate) trace_enabled: bool,
 }
 
-struct Compressed {
+pub(crate) struct Compressed {
     /// The meta-variable assignment and substitution of the chosen cut —
     /// always available without materializing the compressed polynomials
     /// (sweep projection, the Fig. 5 screen, and reports need only these).
-    meta_vars: Vec<MetaVar>,
-    substitution: FxHashMap<Var, Var>,
-    original_size: usize,
-    compressed_size: usize,
-    compressed_vars: usize,
-    cuts_display: Vec<String>,
+    pub(crate) meta_vars: Vec<MetaVar>,
+    pub(crate) substitution: FxHashMap<Var, Var>,
+    pub(crate) original_size: usize,
+    pub(crate) compressed_size: usize,
+    pub(crate) compressed_vars: usize,
+    pub(crate) cuts_display: Vec<String>,
     /// For frontier selections: the selected cut, the recipe of the lazy
     /// group-statistics application. `None` for `compress()`-built states,
     /// whose `applied` cell is pre-filled.
-    lazy_cut: Option<Cut>,
+    pub(crate) lazy_cut: Option<Cut>,
     /// The applied abstraction (compressed polynomials included), built
     /// lazily for frontier selections — report-only bound sweeps never
     /// construct a polynomial.
-    applied: OnceCell<AppliedAbstraction<Rat>>,
+    pub(crate) applied: OnceCell<AppliedAbstraction<Rat>>,
     /// Exact batched engines over the full and compressed provenance,
     /// compiled lazily on first evaluation: the full side shares the
     /// session's cached program (cheap `Arc` clone) and only the
     /// compressed side is compiled — so report-only compressions and
     /// frontier re-selections never pay for compilation.
-    engines: OnceCell<CompiledComparison>,
+    pub(crate) engines: OnceCell<CompiledComparison>,
     /// `f64` shadow of the compressed engine for the timing fast path,
     /// built lazily on the first speedup measurement (assign/sweep-only
     /// sessions never pay for the copy).
-    comp_f64: OnceCell<BatchEvaluator<f64>>,
+    pub(crate) comp_f64: OnceCell<BatchEvaluator<f64>>,
     /// The Higham running-error shadows (|coefficient| programs plus
     /// per-polynomial γ factors) for the *bounded* `f64` sweeps, derived
     /// from the `f64` engines on first use.
-    err_shadow: OnceCell<ErrorShadow>,
+    pub(crate) err_shadow: OnceCell<ErrorShadow>,
 }
 
 impl Compressed {
@@ -131,47 +172,107 @@ impl Compressed {
 /// The memoized outcome of one frontier planning pass: the group analysis
 /// and Pareto curve are bound-independent, so changing the bound is an
 /// `O(log frontier)` re-selection plus one fast cut application.
-struct FrontierState {
-    analysis: GroupAnalysis,
-    frontier: CutFrontier,
+pub(crate) struct FrontierState {
+    /// The group analysis behind the plan. Filled eagerly by
+    /// [`CobraSession::compress_frontier`]; left empty by re-hydration and
+    /// recomputed only if a *cold* selection must materialize compressed
+    /// polynomials — the warm and report-only paths never need it.
+    pub(crate) analysis: OnceCell<GroupAnalysis>,
+    /// Per-tree-node group weight (monomials abstracted at that node),
+    /// copied out of the analysis so bound re-selection and persistence
+    /// work without it.
+    pub(crate) node_weight: Vec<u64>,
+    pub(crate) frontier: CutFrontier,
     /// Distinct variables of the full provenance (for reports).
-    original_vars: usize,
+    pub(crate) original_vars: usize,
     /// Total monomials of the full provenance (for reports).
-    original_size: u64,
+    pub(crate) original_size: u64,
     /// The set's distinct variables, memoized for the fast apply path.
-    reserved: FxHashSet<Var>,
+    pub(crate) reserved: FxHashSet<Var>,
     /// Distinct non-tree variables (base-term and group-context vars):
     /// they survive every cut, so any selection's `compressed_vars` is
     /// this count plus the cut nodes that some group actually touches.
-    invariant_vars: usize,
+    pub(crate) invariant_vars: usize,
     /// Frontier index currently materialized in `compressed`, if any.
-    selected: Option<usize>,
+    pub(crate) selected: Option<usize>,
+    /// Compiled compressed-side engines of *previously* selected frontier
+    /// points, stashed on de-selection so hopping back to a bound the
+    /// session already explored re-installs its engines (cheap `Arc`
+    /// clones) instead of decompiling, re-analyzing and recompiling.
+    pub(crate) warm: FxHashMap<usize, WarmEngines>,
+}
+
+/// Engines kept warm for one de-selected frontier point.
+pub(crate) struct WarmEngines {
+    /// The exact compressed-side engine.
+    pub(crate) rat: BatchEvaluator<Rat>,
+    /// Its `f64` timing shadow, if it was ever built.
+    pub(crate) f64: Option<BatchEvaluator<f64>>,
+}
+
+/// The forest analogue of [`FrontierState`]: a staircase of coordinate-
+/// descent solutions over the bound axis, planned once by
+/// [`CobraSession::compress_forest_frontier`].
+pub(crate) struct ForestFrontierState {
+    pub(crate) frontier: ForestFrontier,
+    /// Distinct variables of the full provenance (for reports).
+    pub(crate) original_vars: usize,
+    /// Total monomials of the full provenance (for reports).
+    pub(crate) original_size: u64,
+    /// Frontier index currently materialized in `compressed`, if any.
+    pub(crate) selected: Option<usize>,
 }
 
 impl CobraSession {
     /// Starts a session over polynomials produced by any provenance engine
     /// (the registry must be the one the polynomials were built against).
     pub fn new(reg: VarRegistry, polys: PolySet<Rat>) -> CobraSession {
+        let cell = OnceCell::new();
+        let _ = cell.set(polys);
         CobraSession {
             reg,
-            polys,
+            polys: cell,
             base_valuation: Valuation::with_default(Rat::ONE),
             trees: Vec::new(),
+            tree_texts: Vec::new(),
             bound: None,
             full_rat: OnceCell::new(),
             full_f64: OnceCell::new(),
             compressed: None,
             frontier: None,
+            forest: None,
             trace: Vec::new(),
             trace_enabled: false,
         }
     }
 
+    /// The input polynomial set, decompiling a re-hydrated session's full
+    /// engine on first use. An associated fn over the two cells (not
+    /// `&self`) so callers holding `&mut self.reg` can still reach it.
+    pub(crate) fn polys_of<'a>(
+        cell: &'a OnceCell<PolySet<Rat>>,
+        full: &OnceCell<BatchEvaluator<Rat>>,
+    ) -> &'a PolySet<Rat> {
+        cell.get_or_init(|| {
+            full.get()
+                .expect("a session without polynomials carries a full engine")
+                .program()
+                .decompile()
+        })
+    }
+
     /// The session-invariant compiled engine over the full provenance
     /// (compiled on first use, shared by every compression).
-    fn full_engine(&self) -> &BatchEvaluator<Rat> {
-        self.full_rat
-            .get_or_init(|| BatchEvaluator::compile(&self.polys))
+    pub(crate) fn full_engine(&self) -> &BatchEvaluator<Rat> {
+        self.full_rat.get_or_init(|| {
+            BatchEvaluator::compile(Self::polys_of(&self.polys, &self.full_rat))
+        })
+    }
+
+    /// The session-invariant `f64` shadow of the full engine.
+    pub(crate) fn full_f64_engine(&self) -> &BatchEvaluator<f64> {
+        self.full_f64
+            .get_or_init(|| BatchEvaluator::new(self.full_engine().program().to_f64_program()))
     }
 
     /// The exact compiled comparison of a compression, built on first use:
@@ -201,10 +302,15 @@ impl CobraSession {
                 .frontier
                 .as_ref()
                 .expect("frontier selections keep their planning state");
+            let polys = Self::polys_of(&self.polys, &self.full_rat);
+            let analysis = frontier.analysis.get_or_init(|| {
+                GroupAnalysis::analyze(polys, &self.trees[0])
+                    .expect("a planned session's polynomials re-analyze cleanly")
+            });
             let compressed = crate::apply::compress_polyset_with_groups(
-                &self.polys,
+                polys,
                 &self.trees[0],
-                &frontier.analysis,
+                analysis,
                 cut,
                 &state.meta_vars,
             );
@@ -225,9 +331,7 @@ impl CobraSession {
         &'a self,
         state: &'a Compressed,
     ) -> (&'a BatchEvaluator<f64>, &'a BatchEvaluator<f64>) {
-        let full = self.full_f64.get_or_init(|| {
-            BatchEvaluator::new(self.full_engine().program().to_f64_program())
-        });
+        let full = self.full_f64_engine();
         let compressed = state.comp_f64.get_or_init(|| {
             BatchEvaluator::new(self.engines(state).compressed.program().to_f64_program())
         });
@@ -280,9 +384,10 @@ impl CobraSession {
         &mut self.reg
     }
 
-    /// The input polynomials.
+    /// The input polynomials (decompiled from the persisted engine on
+    /// first access in a re-hydrated session).
     pub fn polynomials(&self) -> &PolySet<Rat> {
-        &self.polys
+        Self::polys_of(&self.polys, &self.full_rat)
     }
 
     /// Sets the default assignment of the provenance variables (the
@@ -301,14 +406,21 @@ impl CobraSession {
     pub fn add_tree(&mut self, tree: AbstractionTree) {
         self.compressed = None;
         self.frontier = None;
+        self.forest = None;
         self.trees.push(tree);
+        self.tree_texts.push(None);
     }
 
     /// Parses and registers an abstraction tree from the compact text
-    /// syntax (`Plans(Standard(p1,p2), …)`).
+    /// syntax (`Plans(Standard(p1,p2), …)`), remembering the source text
+    /// so the session can be persisted ([`crate::hydrate`]).
     pub fn add_tree_text(&mut self, src: &str) -> Result<()> {
         let tree = AbstractionTree::parse(src, &mut self.reg)?;
         self.add_tree(tree);
+        *self
+            .tree_texts
+            .last_mut()
+            .expect("add_tree just pushed a slot") = Some(src.to_owned());
         Ok(())
     }
 
@@ -340,19 +452,18 @@ impl CobraSession {
         if self.trees.is_empty() {
             return Err(CoreError::Session("no abstraction tree registered".into()));
         }
-        let full_stats = ProvenanceStats::compute(&self.polys);
+        let full_stats = ProvenanceStats::compute(Self::polys_of(&self.polys, &self.full_rat));
         self.log(|| format!("input: {full_stats}"));
+        let polys = Self::polys_of(&self.polys, &self.full_rat);
         let trees: Vec<&AbstractionTree> = self.trees.iter().collect();
         let (cuts, applied) = if trees.len() == 1 {
-            let (sol, applied) =
-                optimize_single_tree(&self.polys, trees[0], bound, &mut self.reg)?;
+            let (sol, applied) = optimize_single_tree(polys, trees[0], bound, &mut self.reg)?;
             (sol.cuts, applied)
         } else {
-            let sol =
-                optimize_forest_descent(&self.polys, &trees, bound, &mut self.reg, 32)?;
+            let sol = optimize_forest_descent(polys, &trees, bound, &mut self.reg, 32)?;
             let pairs: Vec<(&AbstractionTree, &crate::cut::Cut)> =
                 trees.iter().copied().zip(sol.cuts.iter()).collect();
-            let applied = crate::apply::apply_cuts(&self.polys, &pairs, &mut self.reg);
+            let applied = crate::apply::apply_cuts(polys, &pairs, &mut self.reg);
             (sol.cuts, applied)
         };
         let cuts_display: Vec<String> = self
@@ -386,6 +497,9 @@ impl CobraSession {
         // Any frontier selection no longer reflects the compressed state.
         if let Some(frontier) = &mut self.frontier {
             frontier.selected = None;
+        }
+        if let Some(forest) = &mut self.forest {
+            forest.selected = None;
         }
         Ok(report)
     }
@@ -427,24 +541,25 @@ impl CobraSession {
     /// ```
     ///
     /// # Errors
-    /// `Session` unless exactly one tree is registered (forest frontiers
-    /// would require a planning pass per bound; use
-    /// [`compress`](Self::compress) for forests).
+    /// `Session` unless exactly one tree is registered (use
+    /// [`compress_forest_frontier`](Self::compress_forest_frontier) for
+    /// forests, or [`compress`](Self::compress) for a single bound).
     pub fn compress_frontier(&mut self) -> Result<&CutFrontier> {
         if self.trees.len() != 1 {
             return Err(CoreError::Session(format!(
                 "compress_frontier requires exactly one abstraction tree, got {}; \
-                 use compress() for forests",
+                 use compress_forest_frontier() for forests",
                 self.trees.len()
             )));
         }
         if self.frontier.is_none() {
+            let set = Self::polys_of(&self.polys, &self.full_rat);
             let tree = &self.trees[0];
-            let analysis = GroupAnalysis::analyze(&self.polys, tree)?;
+            let analysis = GroupAnalysis::analyze(set, tree)?;
             let frontier = ExactDp
                 .plan_frontier(&PlanContext::new(tree, &analysis))
                 .expect("the exact DP frontier always exists");
-            let full_stats = ProvenanceStats::compute(&self.polys);
+            let full_stats = ProvenanceStats::compute(set);
             // The non-tree variables survive every cut: count them once so
             // selections can report `compressed_vars` without building the
             // compressed polynomials.
@@ -452,10 +567,12 @@ impl CobraSession {
             for group in &analysis.groups {
                 invariant.extend(group.context.vars());
             }
-            let polys: Vec<_> = self.polys.iter().map(|(_, p)| p).collect();
+            let polys: Vec<_> = set.iter().map(|(_, p)| p).collect();
             for &(poly, term) in &analysis.base_terms {
                 invariant.extend(polys[poly as usize].terms()[term as usize].0.vars());
             }
+            let original_size = set.total_monomials() as u64;
+            let reserved = set.distinct_vars();
             let points = frontier.len();
             self.log(|| {
                 format!(
@@ -464,17 +581,116 @@ impl CobraSession {
                     frontier.points().last().map_or(0, |p| p.size)
                 )
             });
+            let node_weight = analysis.node_weight.clone();
+            let analysis_cell = OnceCell::new();
+            let _ = analysis_cell.set(analysis);
             self.frontier = Some(FrontierState {
-                analysis,
+                analysis: analysis_cell,
+                node_weight,
                 frontier,
                 original_vars: full_stats.distinct_vars,
-                original_size: self.polys.total_monomials() as u64,
-                reserved: self.polys.distinct_vars(),
+                original_size,
+                reserved,
                 invariant_vars: invariant.len(),
                 selected: None,
+                warm: FxHashMap::default(),
             });
         }
         Ok(&self.frontier.as_ref().expect("just populated").frontier)
+    }
+
+    /// Plans a size/expressiveness staircase for a **forest** of
+    /// abstraction trees by repeated coordinate descent
+    /// ([`crate::multi::plan_forest_frontier`]) and caches it: afterwards
+    /// any bound resolves through [`select_bound`](Self::select_bound)
+    /// without re-planning. Descent is a heuristic, so the staircase is a
+    /// frontier of *achieved* solutions rather than the exact Pareto
+    /// curve a single tree gets.
+    ///
+    /// # Errors
+    /// `Session` unless at least two trees are registered (single trees
+    /// get the exact [`compress_frontier`](Self::compress_frontier)).
+    pub fn compress_forest_frontier(&mut self) -> Result<&ForestFrontier> {
+        if self.trees.len() < 2 {
+            return Err(CoreError::Session(format!(
+                "compress_forest_frontier requires a forest (>= 2 trees), got {}; \
+                 use compress_frontier() for a single tree",
+                self.trees.len()
+            )));
+        }
+        if self.forest.is_none() {
+            let set = Self::polys_of(&self.polys, &self.full_rat);
+            let full_stats = ProvenanceStats::compute(set);
+            let original_size = set.total_monomials() as u64;
+            let trees: Vec<&AbstractionTree> = self.trees.iter().collect();
+            let frontier = plan_forest_frontier(set, &trees, &mut self.reg, 32)?;
+            let points = frontier.len();
+            self.log(|| {
+                format!(
+                    "planned forest frontier: {points} points, sizes {}..={}",
+                    frontier.min_size(),
+                    frontier.points().last().map_or(0, |p| p.size)
+                )
+            });
+            self.forest = Some(ForestFrontierState {
+                frontier,
+                original_vars: full_stats.distinct_vars,
+                original_size,
+                selected: None,
+            });
+        }
+        Ok(&self.forest.as_ref().expect("just populated").frontier)
+    }
+
+    /// Cheap session statistics for monitoring surfaces: never compiles
+    /// an engine, never materializes polynomials (a re-hydrated session
+    /// reports from its persisted plan without decompiling anything).
+    pub fn info(&self) -> SessionInfo {
+        let (frontier_points, original_size, original_vars, warm_engines) = match &self.frontier {
+            Some(f) => (
+                Some(f.frontier.len()),
+                Some(f.original_size),
+                Some(f.original_vars),
+                f.warm.len(),
+            ),
+            None => match &self.forest {
+                Some(f) => (
+                    Some(f.frontier.len()),
+                    Some(f.original_size),
+                    Some(f.original_vars),
+                    0,
+                ),
+                None => (
+                    None,
+                    self.polys.get().map(|p| p.total_monomials() as u64),
+                    self.polys.get().map(|p| p.distinct_vars().len()),
+                    0,
+                ),
+            },
+        };
+        SessionInfo {
+            trees: self.trees.len(),
+            bound: self.bound,
+            frontier_points,
+            original_size,
+            original_vars,
+            compressed_size: self.compressed.as_ref().map(|c| c.compressed_size as u64),
+            compressed_vars: self.compressed.as_ref().map(|c| c.compressed_vars),
+            warm_engines,
+            hydrated: self.polys.get().is_none(),
+        }
+    }
+
+    /// The cached forest staircase, if
+    /// [`compress_forest_frontier`](Self::compress_forest_frontier) has
+    /// run.
+    ///
+    /// # Errors
+    /// `Session` if the forest frontier has not been planned.
+    pub fn forest_frontier(&self) -> Result<&ForestFrontier> {
+        self.forest.as_ref().map(|f| &f.frontier).ok_or_else(|| {
+            CoreError::Session("compress_forest_frontier must be called first".into())
+        })
     }
 
     /// The cached Pareto frontier, if [`compress_frontier`](Self::compress_frontier)
@@ -511,6 +727,9 @@ impl CobraSession {
     /// not run; `InfeasibleBound` if even the coarsest frontier point
     /// exceeds `bound`.
     pub fn select_bound(&mut self, bound: u64) -> Result<CompressionReport> {
+        if self.forest.is_some() {
+            return self.select_bound_forest(bound);
+        }
         let state = self
             .frontier
             .as_ref()
@@ -535,17 +754,31 @@ impl CobraSession {
                     .cut
                     .nodes()
                     .iter()
-                    .filter(|n| state.analysis.node_weight[n.index()] > 0)
+                    .filter(|n| state.node_weight[n.index()] > 0)
                     .count();
             let cuts_display = vec![format!("{}: {}", tree.name(), point.cut.display(tree))];
             let lazy_cut = point.cut.clone();
             let (original_size, compressed_size) =
                 (state.original_size as usize, point.size as usize);
+            let prev_selected = state.selected;
             for line in &cuts_display {
                 let line = line.clone();
                 self.log(move || format!("selected cut — {line}"));
             }
-            self.compressed = Some(Compressed {
+            // Stash the outgoing selection's engines (cheap `Arc` clones)
+            // so hopping back to its bound later skips recompilation.
+            let stash = match (&self.compressed, prev_selected) {
+                (Some(old), Some(old_idx)) if old_idx != idx => old.engines.get().map(|e| {
+                    let warm = WarmEngines {
+                        rat: e.compressed.clone(),
+                        f64: old.comp_f64.get().cloned(),
+                    };
+                    (old_idx, warm)
+                }),
+                _ => None,
+            };
+            let full = self.full_rat.get().cloned();
+            let next = Compressed {
                 meta_vars,
                 substitution,
                 original_size,
@@ -557,10 +790,71 @@ impl CobraSession {
                 engines: OnceCell::new(),
                 comp_f64: OnceCell::new(),
                 err_shadow: OnceCell::new(),
-            });
-            self.frontier.as_mut().expect("checked above").selected = Some(idx);
+            };
+            let fs = self.frontier.as_mut().expect("checked above");
+            if let Some((old_idx, warm)) = stash {
+                fs.warm.insert(old_idx, warm);
+            }
+            // Warm re-selection: pre-install the stashed engines so the
+            // first evaluation after hopping back costs nothing.
+            if let (Some(warm), Some(full)) = (fs.warm.get(&idx), full) {
+                let _ = next
+                    .engines
+                    .set(CompiledComparison::from_engines(full, warm.rat.clone()));
+                if let Some(f64_engine) = &warm.f64 {
+                    let _ = next.comp_f64.set(f64_engine.clone());
+                }
+            }
+            fs.selected = Some(idx);
+            self.compressed = Some(next);
         }
         let state = self.frontier.as_ref().expect("checked above");
+        let compressed = self.compressed.as_ref().expect("just selected");
+        Ok(CompressionReport {
+            bound,
+            original_size: state.original_size,
+            compressed_size: compressed.compressed_size as u64,
+            original_vars: state.original_vars,
+            compressed_vars: compressed.compressed_vars,
+            cuts: compressed.cuts_display.clone(),
+            speedup: None,
+        })
+    }
+
+    /// Forest-staircase bound selection: resolves `bound` against the
+    /// cached [`ForestFrontier`] and applies the selected per-tree cuts
+    /// eagerly (forest applications have no lazy group recipe).
+    fn select_bound_forest(&mut self, bound: u64) -> Result<CompressionReport> {
+        let state = self
+            .forest
+            .as_ref()
+            .expect("select_bound_forest is only called with forest state");
+        let Some(idx) = state.frontier.select_index(bound) else {
+            return Err(CoreError::InfeasibleBound {
+                min_achievable: state.frontier.min_size(),
+            });
+        };
+        self.bound = Some(bound);
+        if state.selected != Some(idx) || self.compressed.is_none() {
+            let cuts: Vec<Cut> = state.frontier.points()[idx].cuts.to_vec();
+            let polys = Self::polys_of(&self.polys, &self.full_rat);
+            let pairs: Vec<(&AbstractionTree, &Cut)> =
+                self.trees.iter().zip(cuts.iter()).collect();
+            let applied = crate::apply::apply_cuts(polys, &pairs, &mut self.reg);
+            let cuts_display: Vec<String> = self
+                .trees
+                .iter()
+                .zip(&cuts)
+                .map(|(t, c)| format!("{}: {}", t.name(), c.display(t)))
+                .collect();
+            for line in &cuts_display {
+                let line = line.clone();
+                self.log(move || format!("selected forest cut — {line}"));
+            }
+            self.compressed = Some(Compressed::from_applied(applied, cuts_display));
+            self.forest.as_mut().expect("checked above").selected = Some(idx);
+        }
+        let state = self.forest.as_ref().expect("checked above");
         let compressed = self.compressed.as_ref().expect("just selected");
         Ok(CompressionReport {
             bound,
@@ -577,6 +871,22 @@ impl CobraSession {
         self.compressed
             .as_ref()
             .ok_or_else(|| CoreError::Session("compress must be called first".into()))
+    }
+
+    /// Forces every lazily compiled engine of the current selection —
+    /// full and compressed, exact and `f64` — without evaluating
+    /// anything, so a later request pays evaluation cost only.
+    ///
+    /// Engine compilation is otherwise deferred to the first evaluation,
+    /// which makes the first request after `select_bound` pay the full
+    /// compile latency. Long-lived services call this once at prepare
+    /// time instead. A no-op for engines that already exist (including
+    /// warm engines restored from a persisted artifact).
+    pub fn warm_up(&self) -> Result<()> {
+        let state = self.compressed_state()?;
+        let _ = self.engines(state);
+        let _ = self.f64_engines(state);
+        Ok(())
     }
 
     /// The compressed polynomials (materialized on first access for
@@ -1280,7 +1590,7 @@ impl CobraSession {
             bound: self.bound.unwrap_or(0),
             original_size: state.original_size as u64,
             compressed_size: state.compressed_size as u64,
-            original_vars: self.polys.distinct_vars().len(),
+            original_vars: self.polynomials().distinct_vars().len(),
             compressed_vars: state.compressed_vars,
             cuts: state.cuts_display.clone(),
             speedup,
@@ -1675,6 +1985,76 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         let report = s.compress().unwrap();
         assert_eq!(report.compressed_size, 2);
         assert_eq!(report.cuts.len(), 2);
+    }
+
+    #[test]
+    fn forest_frontier_selection_matches_one_shot_compress() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        // needs a forest
+        assert!(matches!(
+            s.compress_forest_frontier(),
+            Err(CoreError::Session(_))
+        ));
+        s.add_tree_text("Months(m1,m3)").unwrap();
+        let sizes: Vec<u64> = s
+            .compress_forest_frontier()
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| p.size)
+            .collect();
+        assert!(!sizes.is_empty());
+        let min_size = s.forest_frontier().unwrap().min_size();
+        assert!(matches!(
+            s.select_bound(min_size - 1),
+            Err(CoreError::InfeasibleBound { min_achievable }) if min_achievable == min_size
+        ));
+        for &bound in &sizes {
+            let selected = s.select_bound(bound).unwrap();
+            // the one-shot path must agree with the staircase selection
+            let mut one_shot = CobraSession::from_text(PAPER_POLYS).unwrap();
+            one_shot.add_tree_text(FIG2_TREE).unwrap();
+            one_shot.add_tree_text("Months(m1,m3)").unwrap();
+            one_shot.set_bound(bound);
+            let compressed = one_shot.compress().unwrap();
+            assert_eq!(selected.compressed_size, compressed.compressed_size);
+            assert_eq!(selected.compressed_vars, compressed.compressed_vars);
+            assert_eq!(selected.cuts.len(), 2);
+        }
+        // re-selecting the current point is a no-op
+        let last = *sizes.last().unwrap();
+        s.select_bound(last).unwrap();
+        let before = s.compressed.as_ref().unwrap() as *const Compressed;
+        s.select_bound(last).unwrap();
+        assert!(std::ptr::eq(
+            before,
+            s.compressed.as_ref().unwrap() as *const Compressed
+        ));
+        // selected sessions sweep and assign like any other
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        assert!(s.assign(&scenario).unwrap().is_exact());
+    }
+
+    #[test]
+    fn warm_reselection_is_bit_identical_and_skips_recompilation() {
+        let mut s = session_with_bound(14);
+        s.compress_frontier().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+
+        s.select_bound(6).unwrap();
+        let first = s.assign(&scenario).unwrap();
+        // hop away (engines get built there too), then hop back
+        s.select_bound(4).unwrap();
+        let _ = s.assign(&scenario).unwrap();
+        s.select_bound(6).unwrap();
+        // warm re-selection pre-installed the stashed engines
+        assert!(s.compressed.as_ref().unwrap().engines.get().is_some());
+        let again = s.assign(&scenario).unwrap();
+        assert_eq!(first.rows[0].full, again.rows[0].full);
+        assert_eq!(first.rows[0].compressed, again.rows[0].compressed);
     }
 
     #[test]

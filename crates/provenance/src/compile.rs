@@ -24,11 +24,12 @@
 //! same multiply/add sequence per scenario as `eval_dense`, so results are
 //! bit-for-bit identical, not merely close.
 
-use crate::poly::Coeff;
+use crate::monomial::Monomial;
+use crate::poly::{Coeff, Polynomial};
 use crate::polyset::PolySet;
 use crate::valuation::{DenseValuation, Valuation};
 use crate::var::Var;
-use cobra_util::{par, DenseRemap, Rat};
+use cobra_util::{par, ArcSlice, DenseRemap, Rat};
 use std::sync::Arc;
 
 /// Number of scenarios evaluated together by the `f64` lane kernel — one
@@ -48,14 +49,19 @@ pub const LANES: usize = 64;
 /// var_ids:      [0 .. num_factors] → LOCAL variable id of each factor
 /// exps:         [0 .. num_factors] → exponent of each factor
 /// ```
+///
+/// The CSR arrays are [`ArcSlice`]s: normally backed by the `Vec`s the
+/// compiler produced, but a program loaded from a persisted artifact
+/// ([`crate::persist`]) aliases the memory-mapped file directly — no
+/// re-allocation, cold-start cost is page faults.
 #[derive(Clone, Debug)]
 pub struct EvalProgram<C: Coeff> {
     labels: Vec<String>,
-    poly_offsets: Vec<u32>,
-    coeffs: Vec<C>,
-    term_offsets: Vec<u32>,
-    var_ids: Vec<u32>,
-    exps: Vec<u32>,
+    poly_offsets: ArcSlice<u32>,
+    coeffs: ArcSlice<C>,
+    term_offsets: ArcSlice<u32>,
+    var_ids: ArcSlice<u32>,
+    exps: ArcSlice<u32>,
     /// Local index → global variable.
     locals: Vec<Var>,
     /// Global variable → local index: a registry-scoped dense table, so
@@ -101,6 +107,31 @@ impl<C: Coeff> EvalProgram<C> {
 
         EvalProgram {
             labels,
+            poly_offsets: poly_offsets.into(),
+            coeffs: coeffs.into(),
+            term_offsets: term_offsets.into(),
+            var_ids: var_ids.into(),
+            exps: exps.into(),
+            locals,
+            local_of,
+        }
+    }
+
+    /// Reassembles a program from persisted parts: owned labels/locals and
+    /// (possibly file-backed) CSR slices. The `local_of` remap is rebuilt
+    /// from `locals`, which lists globals in local-index order.
+    pub(crate) fn from_persisted_parts(
+        labels: Vec<String>,
+        poly_offsets: ArcSlice<u32>,
+        coeffs: ArcSlice<C>,
+        term_offsets: ArcSlice<u32>,
+        var_ids: ArcSlice<u32>,
+        exps: ArcSlice<u32>,
+        locals: Vec<Var>,
+    ) -> EvalProgram<C> {
+        let local_of: DenseRemap = locals.iter().map(|v| v.0).collect();
+        EvalProgram {
+            labels,
             poly_offsets,
             coeffs,
             term_offsets,
@@ -109,6 +140,41 @@ impl<C: Coeff> EvalProgram<C> {
             locals,
             local_of,
         }
+    }
+
+    /// The CSR arrays in persistence order, for the [`crate::persist`]
+    /// encoder: `(poly_offsets, coeffs, term_offsets, var_ids, exps)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[C], &[u32], &[u32], &[u32]) {
+        (
+            &self.poly_offsets,
+            &self.coeffs,
+            &self.term_offsets,
+            &self.var_ids,
+            &self.exps,
+        )
+    }
+
+    /// Reconstructs the canonical [`PolySet`] this program was compiled
+    /// from. [`compile`](Self::compile) iterates the set in its canonical
+    /// order, so `compile(&prog.decompile())` reproduces `prog`'s CSR
+    /// arrays exactly — the property session re-hydration relies on to
+    /// re-plan compressions from a persisted program alone.
+    pub fn decompile(&self) -> PolySet<C> {
+        let mut set = PolySet::new();
+        for (p, label) in self.labels.iter().enumerate() {
+            let terms = self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
+            let poly = Polynomial::from_terms(terms.map(|t| {
+                let factors =
+                    self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
+                let m = Monomial::from_pairs(
+                    factors.map(|f| (self.locals[self.var_ids[f] as usize], self.exps[f])),
+                );
+                (m, self.coeffs[t].clone())
+            }));
+            set.push(label, poly);
+        }
+        set
     }
 
     /// Number of polynomials.
@@ -228,7 +294,7 @@ impl EvalProgram<Rat> {
         EvalProgram {
             labels: self.labels.clone(),
             poly_offsets: self.poly_offsets.clone(),
-            coeffs: self.coeffs.iter().map(|c| c.to_f64()).collect(),
+            coeffs: self.coeffs.iter().map(|c| c.to_f64()).collect::<Vec<_>>().into(),
             term_offsets: self.term_offsets.clone(),
             var_ids: self.var_ids.clone(),
             exps: self.exps.clone(),
@@ -247,7 +313,7 @@ impl EvalProgram<f64> {
     /// `γ_k` (see [`rounding_op_counts`](Self::rounding_op_counts)).
     pub fn to_abs_program(&self) -> EvalProgram<f64> {
         EvalProgram {
-            coeffs: self.coeffs.iter().map(|c| c.abs()).collect(),
+            coeffs: self.coeffs.iter().map(|c| c.abs()).collect::<Vec<_>>().into(),
             ..self.clone()
         }
     }
@@ -772,6 +838,30 @@ mod tests {
         // P1 (3 terms, worst term two factors) strictly dominates the
         // single-term single-factor P2; both are small positive counts.
         assert!(k[0] > k[2] && k[2] > 0);
+    }
+
+    #[test]
+    fn decompile_round_trips_canonical_set() {
+        let (mut reg, set) = sample();
+        let prog = EvalProgram::compile(&set);
+        let back = prog.decompile();
+        // Recompiling the decompiled set reproduces the CSR arrays exactly
+        // (canonical iteration order on both sides).
+        let prog2 = EvalProgram::compile(&back);
+        assert_eq!(prog.labels, prog2.labels);
+        assert_eq!(prog.poly_offsets, prog2.poly_offsets);
+        assert_eq!(prog.coeffs, prog2.coeffs);
+        assert_eq!(prog.term_offsets, prog2.term_offsets);
+        assert_eq!(prog.var_ids, prog2.var_ids);
+        assert_eq!(prog.exps, prog2.exps);
+        assert_eq!(prog.locals, prog2.locals);
+        // And the decompiled set evaluates like the original.
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let val = Valuation::with_default(Rat::ONE)
+            .bind(x, rat("2"))
+            .bind(y, rat("5"));
+        assert_eq!(set.eval(&val).unwrap(), back.eval(&val).unwrap());
     }
 
     #[test]

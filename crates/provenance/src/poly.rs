@@ -15,7 +15,7 @@ use std::fmt;
 
 /// Coefficient ring abstraction: exact rationals ([`Rat`]) for
 /// paper-faithful arithmetic, `f64` for the valuation speed benchmarks.
-pub trait Coeff: Clone + PartialEq + std::fmt::Debug + 'static {
+pub trait Coeff: Clone + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Additive identity.
     fn zero() -> Self;
     /// Multiplicative identity.

@@ -1,0 +1,741 @@
+//! The tiered session store and per-session workers.
+//!
+//! Sessions are keyed by a client-chosen dataset id. The in-memory tier
+//! is a map of live workers (one thread per session, owning its
+//! [`CobraSession`]); the disk tier is a directory of
+//! [`cobra_provenance::persist`] artifacts written by `prepare … persist`
+//! and re-loaded — zero-copy, by mmap — on the first request that misses
+//! the in-memory tier.
+//!
+//! ## Coalescing
+//!
+//! Each worker drains its queue in batches. Within a batch, maximal runs
+//! of *deadline-free* `sweep_fold_f64` jobs are **fused**: their
+//! perturbation scenarios are deduplicated into one union grid, the
+//! engine sweeps the union once, and every request is answered from its
+//! own slice of the shared rows. Per-scenario lane results are
+//! independent of batch composition, so a fused reply is bit-identical
+//! to a solo one. Jobs with a deadline run solo under their own
+//! [`SweepBudget`]; mutating jobs (`select_bound`) form batch
+//! boundaries, preserving arrival-order semantics.
+//!
+//! ## Fault isolation
+//!
+//! Every job (or fused group) runs under `catch_unwind`: a panic becomes
+//! an `{"ok":false,"kind":"panic"}` reply to the affected requests and
+//! the worker keeps serving (the session mutates only through its own
+//! API, so an unwound job leaves it consistent).
+
+use crate::json::Json;
+use cobra_core::{restore_session, snapshot_session, CobraSession, CoreError, ScenarioSet,
+    SweepBudget, SweepOutcome};
+use cobra_provenance::persist::{write_file, PersistError};
+use cobra_provenance::{LoadedArtifact, Valuation};
+use cobra_util::Rat;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Reply body: `ok` members, or `(kind, message)` for errors.
+pub type ReplyBody = Result<Vec<(String, Json)>, (String, String)>;
+
+/// Per-scenario `(full, compressed)` totals from a sweep fold.
+type SweepRows = Vec<(f64, f64)>;
+
+/// One queued sweep: its scenarios plus where the reply goes.
+type QueuedSweep = (Vec<(String, Rat)>, Sender<ReplyBody>);
+
+/// One queued request for a session worker.
+pub enum Job {
+    /// Exact scenario evaluation.
+    Assign {
+        /// Variable-name → factor bindings.
+        scenario: Vec<(String, Rat)>,
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+    /// `f64` perturbation sweep (fused with queue neighbors when
+    /// deadline-free).
+    Sweep {
+        /// `(var, factor)` single-variable perturbations.
+        scenarios: Vec<(String, Rat)>,
+        /// Wall-clock budget.
+        deadline_ms: Option<u64>,
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+    /// Bound re-selection (batch boundary).
+    SelectBound {
+        /// New bound.
+        bound: u64,
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+    /// Cheap statistics.
+    Stats {
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+    /// Debug: deliberately panic in the worker (fault-isolation probe).
+    Panic {
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+}
+
+struct SessionHandle {
+    tx: Sender<Job>,
+}
+
+/// The tiered session store.
+pub struct SessionStore {
+    dir: Option<PathBuf>,
+    sessions: Mutex<HashMap<String, SessionHandle>>,
+}
+
+fn session_err(e: CoreError) -> (String, String) {
+    let kind = match &e {
+        CoreError::InfeasibleBound { .. } => "infeasible_bound",
+        _ => "session",
+    };
+    (kind.to_owned(), e.to_string())
+}
+
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl SessionStore {
+    /// Creates a store; `dir` enables the disk tier.
+    pub fn new(dir: Option<PathBuf>) -> SessionStore {
+        SessionStore {
+            dir,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn artifact_path(&self, id: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{id}.cobra")))
+    }
+
+    /// Prepares a session: builds it from polynomial + tree text, or —
+    /// when `polys` is omitted — re-hydrates it from the disk tier.
+    /// Returns the reply body.
+    pub fn prepare(
+        &self,
+        id: &str,
+        polys: Option<&str>,
+        tree: Option<&str>,
+        persist: bool,
+    ) -> ReplyBody {
+        if !valid_id(id) {
+            return Err((
+                "bad_request".into(),
+                "session ids are 1-64 chars of [A-Za-z0-9_-]".into(),
+            ));
+        }
+        {
+            let sessions = self.sessions.lock().unwrap();
+            if sessions.contains_key(id) {
+                return Ok(vec![
+                    ("session".into(), Json::Str(id.to_owned())),
+                    ("source".into(), Json::Str("cached".into())),
+                ]);
+            }
+        }
+        let (session, source) = match polys {
+            Some(polys) => {
+                let tree = tree.ok_or_else(|| {
+                    ("bad_request".to_owned(), "prepare with polys requires a tree".to_owned())
+                })?;
+                let mut s = CobraSession::from_text(polys).map_err(session_err)?;
+                s.add_tree_text(tree).map_err(session_err)?;
+                s.compress_frontier().map_err(session_err)?;
+                if persist {
+                    let path = self.artifact_path(id).ok_or_else(|| {
+                        (
+                            "bad_request".to_owned(),
+                            "persist requested but the server has no store directory".to_owned(),
+                        )
+                    })?;
+                    let bytes = snapshot_session(&s).map_err(session_err)?;
+                    write_file(&path, &bytes).map_err(persist_io_err)?;
+                }
+                (s, "built")
+            }
+            None => (self.load_from_disk(id)?, "loaded"),
+        };
+        let points = session.info().frontier_points.unwrap_or(0);
+        self.insert_worker(id, session);
+        Ok(vec![
+            ("session".into(), Json::Str(id.to_owned())),
+            ("source".into(), Json::Str(source.into())),
+            ("frontier_points".into(), Json::Num(points as f64)),
+            ("persisted".into(), Json::Bool(persist)),
+        ])
+    }
+
+    /// Adopts an already-built session into the in-memory tier under
+    /// `id` — for embedding callers that construct sessions from
+    /// in-memory polynomials instead of protocol text. Replaces any
+    /// live worker for the id.
+    pub fn adopt(&self, id: &str, session: CobraSession) -> Result<(), (String, String)> {
+        if !valid_id(id) {
+            return Err((
+                "bad_request".into(),
+                "session ids are 1-64 chars of [A-Za-z0-9_-]".into(),
+            ));
+        }
+        self.insert_worker(id, session);
+        Ok(())
+    }
+
+    fn load_from_disk(&self, id: &str) -> Result<CobraSession, (String, String)> {
+        let path = self.artifact_path(id).ok_or_else(|| {
+            (
+                "unknown_session".to_owned(),
+                format!("session {id:?} is not prepared and the server has no store directory"),
+            )
+        })?;
+        if !path.exists() {
+            return Err((
+                "unknown_session".to_owned(),
+                format!("session {id:?} is neither live nor persisted"),
+            ));
+        }
+        let artifact = LoadedArtifact::open(&path).map_err(persist_io_err)?;
+        restore_session(&artifact).map_err(session_err)
+    }
+
+    fn insert_worker(&self, id: &str, session: CobraSession) {
+        let (tx, rx) = channel();
+        std::thread::Builder::new()
+            .name(format!("cobra-session-{id}"))
+            .spawn(move || worker_loop(session, rx))
+            .expect("spawning a session worker thread");
+        self.sessions
+            .lock()
+            .unwrap()
+            .insert(id.to_owned(), SessionHandle { tx });
+    }
+
+    /// Routes a job to a session's worker, re-hydrating from the disk
+    /// tier on an in-memory miss, and waits for the reply.
+    pub fn dispatch(&self, id: &str, job: impl FnOnce(Sender<ReplyBody>) -> Job) -> ReplyBody {
+        if !valid_id(id) {
+            return Err((
+                "bad_request".into(),
+                "session ids are 1-64 chars of [A-Za-z0-9_-]".into(),
+            ));
+        }
+        let tx = {
+            let sessions = self.sessions.lock().unwrap();
+            sessions.get(id).map(|h| h.tx.clone())
+        };
+        let tx = match tx {
+            Some(tx) => tx,
+            None => {
+                let session = self.load_from_disk(id)?;
+                self.insert_worker(id, session);
+                self.sessions
+                    .lock()
+                    .unwrap()
+                    .get(id)
+                    .map(|h| h.tx.clone())
+                    .expect("worker just inserted")
+            }
+        };
+        let (reply_tx, reply_rx) = channel();
+        if tx.send(job(reply_tx)).is_err() {
+            return Err(("session".into(), "session worker is gone".into()));
+        }
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err(("session".into(), "session worker dropped the reply".into())))
+    }
+}
+
+fn persist_io_err(e: PersistError) -> (String, String) {
+    ("persist".to_owned(), e.to_string())
+}
+
+fn send(reply: &Sender<ReplyBody>, body: ReplyBody) {
+    // A disconnected client is not the worker's problem.
+    let _ = reply.send(body);
+}
+
+fn worker_loop(mut session: CobraSession, rx: Receiver<Job>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // store dropped: session retires
+        };
+        let mut batch = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            batch.push(job);
+        }
+        let mut iter = batch.into_iter().peekable();
+        while let Some(job) = iter.next() {
+            match job {
+                Job::Sweep {
+                    scenarios,
+                    deadline_ms: None,
+                    reply,
+                } => {
+                    // Fuse the maximal run of deadline-free sweeps.
+                    let mut group = vec![(scenarios, reply)];
+                    while matches!(
+                        iter.peek(),
+                        Some(Job::Sweep {
+                            deadline_ms: None,
+                            ..
+                        })
+                    ) {
+                        if let Some(Job::Sweep {
+                            scenarios, reply, ..
+                        }) = iter.next()
+                        {
+                            group.push((scenarios, reply));
+                        }
+                    }
+                    run_sweep_group(&mut session, group);
+                }
+                other => run_one(&mut session, other),
+            }
+        }
+    }
+}
+
+fn run_one(session: &mut CobraSession, job: Job) {
+    match job {
+        Job::Assign { scenario, reply } => {
+            let body = catch_unwind(AssertUnwindSafe(|| do_assign(session, &scenario)))
+                .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
+        Job::Sweep {
+            scenarios,
+            deadline_ms,
+            reply,
+        } => {
+            let body =
+                catch_unwind(AssertUnwindSafe(|| do_sweep_solo(session, &scenarios, deadline_ms)))
+                    .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
+        Job::SelectBound { bound, reply } => {
+            let body = catch_unwind(AssertUnwindSafe(|| do_select_bound(session, bound)))
+                .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
+        Job::Stats { reply } => {
+            let body = catch_unwind(AssertUnwindSafe(|| Ok(do_stats(session))))
+                .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
+        Job::Panic { reply } => {
+            let body = catch_unwind(|| -> ReplyBody {
+                panic!("deliberate fault-injection panic");
+            })
+            .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
+    }
+}
+
+fn panic_body(payload: Box<dyn std::any::Any + Send>) -> ReplyBody {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "worker panicked".to_owned());
+    Err(("panic".to_owned(), msg))
+}
+
+fn scenario_valuation(session: &mut CobraSession, bindings: &[(String, Rat)]) -> Valuation<Rat> {
+    let mut val = Valuation::with_default(Rat::ONE);
+    for (name, factor) in bindings {
+        let var = session.registry_mut().var(name);
+        val.set(var, *factor);
+    }
+    val
+}
+
+fn do_assign(session: &mut CobraSession, scenario: &[(String, Rat)]) -> ReplyBody {
+    let val = scenario_valuation(session, scenario);
+    let cmp = session.assign(&val).map_err(session_err)?;
+    let rows: Vec<Json> = cmp
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("label".into(), Json::Str(r.label.clone())),
+                ("full".into(), Json::Str(r.full.to_string())),
+                ("compressed".into(), Json::Str(r.compressed.to_string())),
+            ])
+        })
+        .collect();
+    Ok(vec![
+        ("rows".into(), Json::Arr(rows)),
+        ("max_rel_error".into(), Json::Num(cmp.max_rel_error())),
+        ("exact".into(), Json::Bool(cmp.is_exact())),
+    ])
+}
+
+/// Shared fold: per scenario, the sums of the full-side and
+/// compressed-side result tuples.
+fn totals_fold(
+    session: &CobraSession,
+    set: ScenarioSet,
+    deadline_ms: Option<u64>,
+) -> Result<(SweepOutcome<SweepRows>, f64), (String, String)> {
+    let fold = |mut acc: SweepRows, item: cobra_core::FoldItem<'_, f64>| {
+        let full: f64 = item.full.iter().sum();
+        let comp: f64 = item.compressed.iter().sum();
+        acc.push((full, comp));
+        acc
+    };
+    match deadline_ms {
+        None => {
+            let (rows, div) = session
+                .sweep_fold_f64(set, Vec::new(), fold)
+                .map_err(session_err)?;
+            Ok((SweepOutcome::Complete(rows), div.max_rel_divergence))
+        }
+        Some(ms) => {
+            let budget = SweepBudget::unlimited().with_deadline(Duration::from_millis(ms));
+            let (outcome, div) = session
+                .sweep_fold_f64_budgeted(set, budget, Vec::new(), fold)
+                .map_err(session_err)?;
+            Ok((outcome, div.max_rel_divergence))
+        }
+    }
+}
+
+fn rows_json(rows: &[(f64, f64)]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|&(f, c)| Json::Arr(vec![Json::Num(f), Json::Num(c)]))
+            .collect(),
+    )
+}
+
+fn sweep_body(
+    rows: SweepRows,
+    requested: usize,
+    outcome_meta: Option<(usize, &'static str)>,
+    divergence: f64,
+) -> Vec<(String, Json)> {
+    let mut body = vec![
+        ("rows".into(), rows_json(&rows)),
+        ("requested".into(), Json::Num(requested as f64)),
+        ("partial".into(), Json::Bool(outcome_meta.is_some())),
+    ];
+    if let Some((done, reason)) = outcome_meta {
+        body.push(("done".into(), Json::Num(done as f64)));
+        body.push(("stop".into(), Json::Str(reason.into())));
+    }
+    body.push(("max_rel_divergence".into(), Json::Num(divergence)));
+    body
+}
+
+fn stop_str(reason: cobra_core::StopReason) -> &'static str {
+    match reason {
+        cobra_core::StopReason::Deadline => "deadline",
+        cobra_core::StopReason::Cancelled => "cancelled",
+        cobra_core::StopReason::ScenarioCap => "scenario_cap",
+    }
+}
+
+fn do_sweep_solo(
+    session: &mut CobraSession,
+    scenarios: &[(String, Rat)],
+    deadline_ms: Option<u64>,
+) -> ReplyBody {
+    let vals: Vec<Valuation<Rat>> = scenarios
+        .iter()
+        .map(|(name, factor)| {
+            let var = session.registry_mut().var(name);
+            Valuation::with_default(Rat::ONE).bind(var, *factor)
+        })
+        .collect();
+    let requested = vals.len();
+    let (outcome, divergence) =
+        totals_fold(session, ScenarioSet::from_valuations(vals), deadline_ms)?;
+    let body = match outcome {
+        SweepOutcome::Complete(rows) => sweep_body(rows, requested, None, divergence),
+        SweepOutcome::Partial {
+            fold,
+            scenarios_done,
+            reason,
+        } => sweep_body(
+            fold,
+            requested,
+            Some((scenarios_done, stop_str(reason))),
+            divergence,
+        ),
+    };
+    Ok(body)
+}
+
+fn run_sweep_group(session: &mut CobraSession, group: Vec<QueuedSweep>) {
+    if group.len() == 1 {
+        let (scenarios, reply) = group.into_iter().next().expect("len checked");
+        let body = catch_unwind(AssertUnwindSafe(|| do_sweep_solo(session, &scenarios, None)))
+            .unwrap_or_else(panic_body);
+        send(&reply, body);
+        return;
+    }
+    // Union grid: deduplicate (var, factor) perturbations across the
+    // fused requests; each request is answered from its own indices.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut unique: Vec<Valuation<Rat>> = Vec::new();
+        let mut index_of: HashMap<(u32, Rat), usize> = HashMap::new();
+        let mut per_request: Vec<Vec<usize>> = Vec::with_capacity(group.len());
+        for (scenarios, _) in &group {
+            let mut indices = Vec::with_capacity(scenarios.len());
+            for (name, factor) in scenarios {
+                let var = session.registry_mut().var(name);
+                let next = unique.len();
+                let idx = *index_of.entry((var.0, *factor)).or_insert(next);
+                if idx == next {
+                    unique.push(Valuation::with_default(Rat::ONE).bind(var, *factor));
+                }
+                indices.push(idx);
+            }
+            per_request.push(indices);
+        }
+        let (outcome, divergence) =
+            totals_fold(session, ScenarioSet::from_valuations(unique), None)?;
+        let rows = outcome.into_fold();
+        Ok((rows, per_request, divergence))
+    }))
+    .unwrap_or_else(|payload| Err(panic_body(payload).expect_err("panic_body always errs")));
+
+    match result {
+        Err(err) => {
+            for (_, reply) in &group {
+                send(reply, Err(err.clone()));
+            }
+        }
+        Ok((rows, per_request, divergence)) => {
+            for ((scenarios, reply), indices) in group.iter().zip(&per_request) {
+                let own: SweepRows = indices.iter().map(|&i| rows[i]).collect();
+                send(
+                    reply,
+                    Ok(sweep_body(own, scenarios.len(), None, divergence)),
+                );
+            }
+        }
+    }
+}
+
+fn do_select_bound(session: &mut CobraSession, bound: u64) -> ReplyBody {
+    let report = session.select_bound(bound).map_err(session_err)?;
+    // A service trades a slower select for fast first requests: compile
+    // every engine of the new selection now, while the client is already
+    // waiting on a structural operation. Warm engines (restored from an
+    // artifact or stashed by an earlier hop) make this a no-op.
+    session.warm_up().map_err(session_err)?;
+    Ok(vec![
+        ("bound".into(), Json::Num(report.bound as f64)),
+        (
+            "original_size".into(),
+            Json::Num(report.original_size as f64),
+        ),
+        (
+            "compressed_size".into(),
+            Json::Num(report.compressed_size as f64),
+        ),
+        (
+            "original_vars".into(),
+            Json::Num(report.original_vars as f64),
+        ),
+        (
+            "compressed_vars".into(),
+            Json::Num(report.compressed_vars as f64),
+        ),
+        (
+            "cuts".into(),
+            Json::Arr(report.cuts.iter().cloned().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+fn opt_num(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, |n| Json::Num(n as f64))
+}
+
+fn do_stats(session: &CobraSession) -> Vec<(String, Json)> {
+    let info = session.info();
+    vec![
+        ("trees".into(), Json::Num(info.trees as f64)),
+        ("bound".into(), opt_num(info.bound)),
+        (
+            "frontier_points".into(),
+            opt_num(info.frontier_points.map(|n| n as u64)),
+        ),
+        ("original_size".into(), opt_num(info.original_size)),
+        (
+            "original_vars".into(),
+            opt_num(info.original_vars.map(|n| n as u64)),
+        ),
+        ("compressed_size".into(), opt_num(info.compressed_size)),
+        (
+            "compressed_vars".into(),
+            opt_num(info.compressed_vars.map(|n| n as u64)),
+        ),
+        ("warm_engines".into(), Json::Num(info.warm_engines as f64)),
+        ("hydrated".into(), Json::Bool(info.hydrated)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLYS: &str = "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3";
+    const TREE: &str = "Plans(Standard(p1,p2), v)";
+
+    fn prepared_store() -> SessionStore {
+        let store = SessionStore::new(None);
+        store.prepare("t", Some(POLYS), Some(TREE), false).unwrap();
+        store
+    }
+
+    fn get(body: &[(String, Json)], key: &str) -> Json {
+        body.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Json::Null)
+    }
+
+    #[test]
+    fn prepare_select_assign_round_trip() {
+        let store = prepared_store();
+        let body = store
+            .dispatch("t", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        assert_eq!(get(&body, "compressed_size"), Json::Num(2.0));
+        let body = store
+            .dispatch("t", |reply| Job::Assign {
+                scenario: vec![("m3".into(), Rat::parse("0.8").unwrap())],
+                reply,
+            })
+            .unwrap();
+        assert_eq!(get(&body, "exact"), Json::Bool(true));
+        let rows = get(&body, "rows");
+        assert_eq!(rows.as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_sessions_and_bad_ids_are_typed_errors() {
+        let store = SessionStore::new(None);
+        let (kind, _) = store
+            .dispatch("nope", |reply| Job::Stats { reply })
+            .unwrap_err();
+        assert_eq!(kind, "unknown_session");
+        let (kind, _) = store
+            .dispatch("../evil", |reply| Job::Stats { reply })
+            .unwrap_err();
+        assert_eq!(kind, "bad_request");
+        let (kind, _) = store.prepare("t", Some("P1 ="), Some(TREE), false).unwrap_err();
+        assert_eq!(kind, "session");
+    }
+
+    #[test]
+    fn worker_survives_panics() {
+        let store = prepared_store();
+        let (kind, _) = store
+            .dispatch("t", |reply| Job::Panic { reply })
+            .unwrap_err();
+        assert_eq!(kind, "panic");
+        // the session keeps serving
+        let body = store
+            .dispatch("t", |reply| Job::Stats { reply })
+            .unwrap();
+        assert_eq!(get(&body, "trees"), Json::Num(1.0));
+    }
+
+    #[test]
+    fn sweeps_answer_per_request_rows() {
+        let store = prepared_store();
+        store
+            .dispatch("t", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        let body = store
+            .dispatch("t", |reply| Job::Sweep {
+                scenarios: vec![
+                    ("m3".into(), Rat::parse("0.8").unwrap()),
+                    ("m1".into(), Rat::parse("1.2").unwrap()),
+                ],
+                deadline_ms: None,
+                reply,
+            })
+            .unwrap();
+        assert_eq!(get(&body, "partial"), Json::Bool(false));
+        assert_eq!(get(&body, "rows").as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fused_union_grid_matches_solo_rows() {
+        let store = prepared_store();
+        store
+            .dispatch("t", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        let r1 = vec![
+            ("m3".into(), Rat::parse("0.8").unwrap()),
+            ("m1".into(), Rat::parse("1.2").unwrap()),
+        ];
+        let r2 = vec![
+            ("m1".into(), Rat::parse("1.2").unwrap()),
+            ("v".into(), Rat::parse("2").unwrap()),
+        ];
+        let solo1 = store
+            .dispatch("t", |reply| Job::Sweep {
+                scenarios: r1.clone(),
+                deadline_ms: None,
+                reply,
+            })
+            .unwrap();
+        let solo2 = store
+            .dispatch("t", |reply| Job::Sweep {
+                scenarios: r2.clone(),
+                deadline_ms: None,
+                reply,
+            })
+            .unwrap();
+
+        // Drive the fusion path directly: queue both, then let the
+        // worker drain them in one batch.
+        let (tx1, rx1) = channel();
+        let (tx2, rx2) = channel();
+        {
+            let sessions = store.sessions.lock().unwrap();
+            let tx = sessions.get("t").unwrap().tx.clone();
+            tx.send(Job::Sweep {
+                scenarios: r1,
+                deadline_ms: None,
+                reply: tx1,
+            })
+            .unwrap();
+            tx.send(Job::Sweep {
+                scenarios: r2,
+                deadline_ms: None,
+                reply: tx2,
+            })
+            .unwrap();
+        }
+        let fused1 = rx1.recv().unwrap().unwrap();
+        let fused2 = rx2.recv().unwrap().unwrap();
+        assert_eq!(get(&fused1, "rows"), get(&solo1, "rows"));
+        assert_eq!(get(&fused2, "rows"), get(&solo2, "rows"));
+    }
+}

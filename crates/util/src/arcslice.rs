@@ -1,0 +1,177 @@
+//! Shared, cheaply clonable slices over arbitrary backing storage.
+//!
+//! [`ArcSlice`] is the storage type behind the compiled evaluation engine's
+//! CSR arrays: a `(pointer, length)` view plus an `Arc` keep-alive for
+//! whatever owns the bytes — a `Vec` produced by the compiler, or a
+//! memory-mapped persistence artifact ([`crate::mmap::MmapFile`]). Cloning
+//! is a reference-count bump, and loading a persisted program can alias the
+//! mapped file directly instead of re-allocating each array.
+
+use std::any::Any;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::align_of;
+use std::ops::Deref;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// An immutable shared slice: a borrowed-looking `&[T]` view that owns a
+/// reference to its backing allocation.
+///
+/// Constructed either from an owned `Vec<T>` (the common case) or — via the
+/// `unsafe` [`ArcSlice::from_raw_parts`] — from a region inside some other
+/// owner such as a memory-mapped file.
+///
+/// ```
+/// use cobra_util::ArcSlice;
+/// let s: ArcSlice<u32> = vec![1, 2, 3].into();
+/// let t = s.clone(); // O(1): bumps the refcount, no copy
+/// assert_eq!(&*s, &[1, 2, 3]);
+/// assert_eq!(s.as_ptr(), t.as_ptr());
+/// ```
+pub struct ArcSlice<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    _owner: Arc<dyn Any + Send + Sync>,
+}
+
+// Safety: ArcSlice hands out only shared `&[T]` access, so it is Send/Sync
+// exactly when `&[T]` is, i.e. when `T: Sync`; `T: Send` is required so the
+// owning allocation (which may embed `T`s) can be dropped on another thread.
+unsafe impl<T: Send + Sync> Send for ArcSlice<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSlice<T> {}
+
+impl<T> ArcSlice<T> {
+    /// An empty slice with a trivial owner.
+    pub fn new() -> ArcSlice<T> {
+        ArcSlice {
+            ptr: NonNull::dangling(),
+            len: 0,
+            _owner: Arc::new(()),
+        }
+    }
+
+    /// Wraps a raw region kept alive by `owner`.
+    ///
+    /// # Safety
+    /// `ptr` must be aligned for `T` and point at `len` initialized,
+    /// immutable `T`s that remain valid (and un-mutated) for as long as
+    /// `owner` is alive.
+    pub unsafe fn from_raw_parts(
+        ptr: *const T,
+        len: usize,
+        owner: Arc<dyn Any + Send + Sync>,
+    ) -> ArcSlice<T> {
+        debug_assert_eq!(ptr.align_offset(align_of::<T>()), 0, "misaligned ArcSlice");
+        ArcSlice {
+            ptr: NonNull::new_unchecked(ptr as *mut T),
+            len,
+            _owner: owner,
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> From<Vec<T>> for ArcSlice<T> {
+    fn from(v: Vec<T>) -> ArcSlice<T> {
+        let owner = Arc::new(v);
+        let ptr = owner.as_ptr();
+        let len = owner.len();
+        // Safety: the Arc'd Vec's heap buffer is stable and outlives the
+        // owner handle stored inside the ArcSlice.
+        unsafe { ArcSlice::from_raw_parts(ptr, len, owner) }
+    }
+}
+
+impl<T> Default for ArcSlice<T> {
+    fn default() -> Self {
+        ArcSlice::new()
+    }
+}
+
+impl<T> Deref for ArcSlice<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        // Safety: construction invariants (valid, aligned, initialized,
+        // kept alive by `_owner`).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> AsRef<[T]> for ArcSlice<T> {
+    fn as_ref(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T> Clone for ArcSlice<T> {
+    fn clone(&self) -> Self {
+        ArcSlice {
+            ptr: self.ptr,
+            len: self.len,
+            _owner: Arc::clone(&self._owner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for ArcSlice<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Eq> Eq for ArcSlice<T> {}
+
+impl<T: Hash> Hash for ArcSlice<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (**self).hash(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_clone_alias() {
+        let s: ArcSlice<u32> = vec![1, 2, 3].into();
+        let t = s.clone();
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert_eq!(s.as_ptr(), t.as_ptr());
+        drop(s);
+        assert_eq!(&*t, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_slices() {
+        let e: ArcSlice<u64> = ArcSlice::new();
+        assert!(e.is_empty());
+        let v: ArcSlice<u64> = Vec::new().into();
+        assert!(v.is_empty());
+        assert_eq!(e, v);
+    }
+
+    #[test]
+    fn raw_parts_keeps_owner_alive() {
+        let owner: Arc<Vec<u8>> = Arc::new(vec![7u8; 32]);
+        let ptr = owner.as_ptr();
+        let s = unsafe { ArcSlice::from_raw_parts(ptr, 32, owner) };
+        assert!(s.iter().all(|&b| b == 7));
+        let t = s.clone();
+        drop(s);
+        assert!(t.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn sub_region_of_owner() {
+        let owner: Arc<Vec<u32>> = Arc::new((0..16).collect());
+        let ptr = unsafe { owner.as_ptr().add(4) };
+        let s = unsafe { ArcSlice::from_raw_parts(ptr, 8, owner) };
+        assert_eq!(&*s, &[4, 5, 6, 7, 8, 9, 10, 11]);
+    }
+}

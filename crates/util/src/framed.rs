@@ -1,0 +1,124 @@
+//! Length-prefixed frame I/O for the sweep server's wire protocol.
+//!
+//! A frame is a little-endian `u32` payload length followed by exactly that
+//! many payload bytes (JSON text, in the server's case). The helpers here
+//! are transport-agnostic: anything `Read`/`Write` works, which keeps the
+//! protocol testable against in-memory buffers.
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on accepted frame sizes (16 MiB): a defense against
+/// corrupt or hostile length headers, not a protocol limit.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Writes one `u32`-length-prefixed frame and flushes the writer.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// cobra_util::framed::write_frame(&mut buf, b"hello").unwrap();
+/// assert_eq!(&buf[..4], &5u32.to_le_bytes());
+/// assert_eq!(&buf[4..], b"hello");
+/// ```
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean end-of-stream (EOF
+/// before any header byte). EOF in the middle of a frame, or a header
+/// larger than `max_len`, is an error.
+///
+/// ```
+/// let mut buf = Vec::new();
+/// cobra_util::framed::write_frame(&mut buf, b"abc").unwrap();
+/// let mut cursor = &buf[..];
+/// let frame = cobra_util::framed::read_frame(&mut cursor, 1 << 20).unwrap();
+/// assert_eq!(frame.as_deref(), Some(&b"abc"[..]));
+/// assert!(cobra_util::framed::read_frame(&mut cursor, 1 << 20).unwrap().is_none());
+/// ```
+pub fn read_frame<R: Read>(r: &mut R, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside frame header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap of {max_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"first"
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b""
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            vec![0xAB; 1000]
+        );
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // header cut short
+        let mut cut = &buf[..2];
+        assert_eq!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // payload cut short
+        let mut cut = &buf[..6];
+        assert_eq!(
+            read_frame(&mut cut, DEFAULT_MAX_FRAME).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor, 10).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -27,11 +27,20 @@
 //! * [`rng`] — SplitMix64, a tiny deterministic RNG for workload generation.
 //! * [`timing`] — wall-clock measurement helpers for the speedup experiments.
 //! * [`table`] — plain-text/markdown table rendering for experiment reports.
+//! * [`arcslice`] — shared slices ([`ArcSlice`]) over arbitrary owners,
+//!   letting compiled programs alias memory-mapped persistence artifacts.
+//! * [`mmap`] — dependency-free read-only memory mapping ([`MmapFile`])
+//!   with an aligned-buffer fallback.
+//! * [`framed`] — `u32`-length-prefixed frame I/O for the sweep server's
+//!   wire protocol.
 
+pub mod arcslice;
 pub mod cancel;
 pub mod faults;
+pub mod framed;
 pub mod hash;
 pub mod intern;
+pub mod mmap;
 pub mod par;
 pub mod rational;
 pub mod remap;
@@ -39,7 +48,9 @@ pub mod rng;
 pub mod table;
 pub mod timing;
 
+pub use arcslice::ArcSlice;
 pub use cancel::CancelToken;
+pub use mmap::{AlignedBytes, MmapFile};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{Interner, Symbol};
 pub use rational::{ParseRatError, Rat};

@@ -1,0 +1,246 @@
+//! Read-only memory-mapped file access without external dependencies.
+//!
+//! [`MmapFile`] maps a file with a hand-declared `mmap(2)` binding on
+//! 64-bit unix (std already links libc, so no new dependency is needed) and
+//! falls back to reading the file into a 16-byte-aligned buffer anywhere
+//! else — or when the mapping itself fails. Either way [`MmapFile::bytes`]
+//! yields a 16-byte-aligned view, which is what the persistence layer's
+//! zero-copy slice casts require.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::ptr::NonNull;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A file's contents, either memory-mapped (page faults stand in for I/O)
+/// or read into an aligned buffer on platforms without the mapping path.
+///
+/// The view is immutable; mappings are private and read-only.
+pub struct MmapFile {
+    data: Backing,
+}
+
+enum Backing {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped {
+        ptr: NonNull<u8>,
+        len: usize,
+    },
+    Owned(AlignedBytes),
+}
+
+// Safety: the mapping is PROT_READ/MAP_PRIVATE and never mutated; shared
+// byte reads from any thread are fine, and unmapping from another thread
+// is fine too.
+unsafe impl Send for MmapFile {}
+unsafe impl Sync for MmapFile {}
+
+/// A heap buffer whose bytes start on a 16-byte boundary (`Vec<u128>`
+/// backing), matching the alignment guarantee of the mapped path. The
+/// persistence layer uses it to give in-memory artifact images the same
+/// zero-copy-castable alignment a mapped file has.
+pub struct AlignedBytes {
+    buf: Vec<u128>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// A zero-filled buffer of `len` bytes.
+    pub fn with_len(len: usize) -> AlignedBytes {
+        AlignedBytes {
+            buf: vec![0u128; len.div_ceil(16)],
+            len,
+        }
+    }
+
+    /// An aligned copy of `src`.
+    pub fn copy_from(src: &[u8]) -> AlignedBytes {
+        let mut a = AlignedBytes::with_len(src.len());
+        a.bytes_mut().copy_from_slice(src);
+        a
+    }
+
+    /// The buffer contents (16-byte aligned).
+    pub fn bytes(&self) -> &[u8] {
+        // Safety: the Vec<u128> allocation covers at least `len` bytes and
+        // any byte pattern is a valid u8.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, self.len) }
+    }
+
+    /// Mutable view of the buffer contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        // Safety: as above, with unique access.
+        unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+impl std::fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBytes").field("len", &self.len).finish()
+    }
+}
+
+impl MmapFile {
+    /// Opens `path` read-only and maps (or loads) its full contents.
+    pub fn open(path: &Path) -> io::Result<MmapFile> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // Safety: fd is a valid open file, addr is a NULL hint, and the
+            // result is checked against MAP_FAILED before use.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 {
+                if let Some(ptr) = NonNull::new(ptr as *mut u8) {
+                    return Ok(MmapFile {
+                        data: Backing::Mapped { ptr, len },
+                    });
+                }
+            }
+            // Mapping failed (exotic filesystem, resource limits): fall
+            // through to the portable read path.
+        }
+
+        let mut buf = AlignedBytes::with_len(len);
+        file.read_exact(buf.bytes_mut())?;
+        Ok(MmapFile {
+            data: Backing::Owned(buf),
+        })
+    }
+
+    /// The file contents. The returned slice is 16-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => {
+                // Safety: the mapping stays valid until Drop.
+                unsafe { std::slice::from_raw_parts(ptr.as_ptr(), *len) }
+            }
+            Backing::Owned(buf) => buf.bytes(),
+        }
+    }
+
+    /// Number of bytes in the file.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned(buf) => buf.len,
+        }
+    }
+
+    /// True iff the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True iff the contents are an actual `mmap(2)` mapping rather than a
+    /// buffered copy — useful for reporting which path a load took.
+    pub fn is_mapped(&self) -> bool {
+        match &self.data {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mapped { ptr, len } = &self.data {
+            // Safety: exactly the region returned by mmap in `open`.
+            unsafe {
+                sys::munmap(ptr.as_ptr() as *mut std::os::raw::c_void, *len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapFile")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "cobra-mmap-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    #[test]
+    fn round_trips_file_contents() {
+        let path = temp_path("round");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(map.bytes().as_ptr().align_offset(16), 0, "16-byte aligned");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        let map = MmapFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(MmapFile::open(Path::new("/nonexistent/cobra-mmap")).is_err());
+    }
+}

@@ -16,10 +16,20 @@ use std::str::FromStr;
 /// An exact rational number `num / den`, always kept in canonical form:
 /// `den > 0` and `gcd(|num|, den) == 1` (and `0` is `0/1`).
 ///
-/// Arithmetic panics on overflow of the underlying `i128`s (after reduction);
-/// the workloads in this repository stay far below that (denominators are
-/// products of price denominators, ≤ 10⁴).
+/// Addition is exact for every representable result: when the `i128`
+/// intermediates of the reducing slow path would overflow, the sum is
+/// computed in 256-bit arithmetic and reduced by its gcd (the `wide`
+/// module), so
+/// results whose canonical form fits `i128` are always produced. Arithmetic
+/// panics (instead of silently wrapping) only when the exact *reduced*
+/// value itself does not fit; [`Rat::checked_add`] reports that case as
+/// `None`. The workloads in this repository stay far below these limits
+/// (denominators are products of price denominators, ≤ 10⁴).
+///
+/// The layout is `#[repr(C)]` — two `i128`s — so persisted coefficient
+/// arrays can be reloaded as zero-copy slices by the persistence layer.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct Rat {
     num: i128,
     den: i128, // invariant: den > 0, gcd(|num|, den) == 1
@@ -132,6 +142,52 @@ impl Rat {
         s.parse()
     }
 
+    /// Exact checked addition: `None` iff the canonical form of the exact
+    /// sum — after full gcd reduction — does not fit `i128`.
+    ///
+    /// Where [`Add`] panics on such unrepresentable sums,
+    /// this reports them; representable sums are identical on both paths.
+    pub fn checked_add(self, rhs: Rat) -> Option<Rat> {
+        // Small-integer fast paths (the hot shape in batched exact sweeps):
+        // both paths produce the canonical form without running gcd on the
+        // result, guarded so the skipped-reduction arithmetic stays within
+        // i128. Integer + integer is trivially reduced; for coprime
+        // denominators `a/b + c/d = (a·d + c·b)/(b·d)` is already in lowest
+        // terms (any common factor of the numerator and `b·d` would divide
+        // one of the coprime pairs).
+        if self.den == 1 && rhs.den == 1 {
+            return match self.num.checked_add(rhs.num) {
+                Some(num) => Some(Rat { num, den: 1 }),
+                None => wide::add_exact(self, rhs),
+            };
+        }
+        if all_fit_i64([self.num, self.den, rhs.num, rhs.den]) {
+            let g = gcd(self.den, rhs.den);
+            if g == 1 {
+                return Some(Rat {
+                    num: self.num * rhs.den + rhs.num * self.den,
+                    den: self.den * rhs.den,
+                });
+            }
+        }
+        // Reduce cross terms first to delay overflow (a/b + c/d with
+        // g = gcd(b, d)); if the i128 intermediates still overflow, fall
+        // back to the exact 256-bit reducing path instead of wrapping.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .zip(rhs.num.checked_mul(rhs_scale))
+            .and_then(|(a, b)| a.checked_add(b));
+        let den = self.den.checked_mul(lhs_scale);
+        match (num, den) {
+            (Some(n), Some(d)) => Some(Rat::new(n, d)),
+            _ => wide::add_exact(self, rhs),
+        }
+    }
+
     /// Raises to a non-negative integer power by repeated squaring.
     pub fn pow(self, mut exp: u32) -> Rat {
         let mut base = self;
@@ -176,36 +232,10 @@ impl From<u32> for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        // Small-integer fast paths (the hot shape in batched exact sweeps):
-        // both paths produce the canonical form without running gcd on the
-        // result, guarded so the skipped-reduction arithmetic stays within
-        // i128. Integer + integer is trivially reduced; for coprime
-        // denominators `a/b + c/d = (a·d + c·b)/(b·d)` is already in lowest
-        // terms (any common factor of the numerator and `b·d` would divide
-        // one of the coprime pairs).
-        if self.den == 1 && rhs.den == 1 {
-            return Rat {
-                num: self.num + rhs.num,
-                den: 1,
-            };
+        match self.checked_add(rhs) {
+            Some(sum) => sum,
+            None => panic!("Rat overflow: {self:?} + {rhs:?} is not representable in i128"),
         }
-        if all_fit_i64([self.num, self.den, rhs.num, rhs.den]) {
-            let g = gcd(self.den, rhs.den);
-            if g == 1 {
-                return Rat {
-                    num: self.num * rhs.den + rhs.num * self.den,
-                    den: self.den * rhs.den,
-                };
-            }
-        }
-        // Reduce cross terms first to delay overflow (a/b + c/d with g = gcd(b, d)).
-        let g = gcd(self.den, rhs.den);
-        let lhs_scale = rhs.den / g;
-        let rhs_scale = self.den / g;
-        Rat::new(
-            self.num * lhs_scale + rhs.num * rhs_scale,
-            self.den * lhs_scale,
-        )
     }
 }
 
@@ -291,8 +321,247 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
-        // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b
-        (self.num * other.den).cmp(&(other.num * self.den))
+        // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b; boundary-sized components
+        // overflow the i128 cross products, so those compare in 256-bit.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => wide::cmp_cross(self.num, other.den, other.num, self.den),
+        }
+    }
+}
+
+/// Overflow-proof 256-bit helpers for the rare additions and comparisons
+/// whose i128 cross terms wrap: with both components of both operands near
+/// `2^63`, `a·d + c·b` reaches `2·2^126` and exceeds `i128::MAX` even
+/// though the *reduced* exact result often fits. Everything here is
+/// sign-magnitude over a `(hi, lo)` pair of `u128` limbs; it only runs on
+/// the cold path after a `checked_*` failure.
+mod wide {
+    use super::{gcd, Rat};
+    use std::cmp::Ordering;
+
+    /// Unsigned 256-bit integer: `hi · 2^128 + lo`. Field order matters:
+    /// the derived `Ord` compares `hi` first.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct U256 {
+        hi: u128,
+        lo: u128,
+    }
+
+    impl U256 {
+        const ZERO: U256 = U256 { hi: 0, lo: 0 };
+
+        fn is_zero(self) -> bool {
+            self.hi == 0 && self.lo == 0
+        }
+
+        /// Full 128×128 → 256 bit widening multiply via 64-bit limbs.
+        fn mul_u128(a: u128, b: u128) -> U256 {
+            const MASK: u128 = (1 << 64) - 1;
+            let (a1, a0) = (a >> 64, a & MASK);
+            let (b1, b0) = (b >> 64, b & MASK);
+            let ll = a0 * b0;
+            let (mid, mid_carry) = (a0 * b1).overflowing_add(a1 * b0);
+            let (lo, lo_carry) = ll.overflowing_add(mid << 64);
+            let hi = a1 * b1 + (mid >> 64) + ((mid_carry as u128) << 64) + lo_carry as u128;
+            U256 { hi, lo }
+        }
+
+        /// Addition; the magnitudes this module produces stay below
+        /// `2^255`, so the carry out of `hi` cannot occur.
+        fn add(self, o: U256) -> U256 {
+            let (lo, carry) = self.lo.overflowing_add(o.lo);
+            U256 {
+                hi: self.hi + o.hi + carry as u128,
+                lo,
+            }
+        }
+
+        /// Subtraction, requiring `self >= o`.
+        fn sub(self, o: U256) -> U256 {
+            let (lo, borrow) = self.lo.overflowing_sub(o.lo);
+            U256 {
+                hi: self.hi - o.hi - borrow as u128,
+                lo,
+            }
+        }
+
+        fn trailing_zeros(self) -> u32 {
+            if self.lo != 0 {
+                self.lo.trailing_zeros()
+            } else {
+                128 + self.hi.trailing_zeros()
+            }
+        }
+
+        fn leading_zeros(self) -> u32 {
+            if self.hi != 0 {
+                self.hi.leading_zeros()
+            } else {
+                128 + self.lo.leading_zeros()
+            }
+        }
+
+        /// Right shift by `n < 256` bits.
+        fn shr(self, n: u32) -> U256 {
+            match n {
+                0 => self,
+                1..=127 => U256 {
+                    hi: self.hi >> n,
+                    lo: (self.lo >> n) | (self.hi << (128 - n)),
+                },
+                128 => U256 { hi: 0, lo: self.hi },
+                _ => U256 {
+                    hi: 0,
+                    lo: self.hi >> (n - 128),
+                },
+            }
+        }
+
+        /// Left shift by `n < 256` bits (used only where no bits shift out).
+        fn shl(self, n: u32) -> U256 {
+            match n {
+                0 => self,
+                1..=127 => U256 {
+                    hi: (self.hi << n) | (self.lo >> (128 - n)),
+                    lo: self.lo << n,
+                },
+                128 => U256 { hi: self.lo, lo: 0 },
+                _ => U256 {
+                    hi: self.lo << (n - 128),
+                    lo: 0,
+                },
+            }
+        }
+
+        /// Shift-subtract division; only reached with non-zero divisors.
+        fn div(self, d: U256) -> U256 {
+            debug_assert!(!d.is_zero());
+            if self < d {
+                return U256::ZERO;
+            }
+            let shift = d.leading_zeros() - self.leading_zeros();
+            let mut divisor = d.shl(shift);
+            let mut rem = self;
+            let mut quot = U256::ZERO;
+            for _ in 0..=shift {
+                quot = quot.shl(1);
+                if rem >= divisor {
+                    rem = rem.sub(divisor);
+                    quot.lo |= 1;
+                }
+                divisor = divisor.shr(1);
+            }
+            quot
+        }
+
+        fn to_u128(self) -> Option<u128> {
+            if self.hi == 0 {
+                Some(self.lo)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Binary gcd of two non-zero 256-bit values.
+    fn gcd_u256(mut a: U256, mut b: U256) -> U256 {
+        debug_assert!(!a.is_zero() && !b.is_zero());
+        let shift = a.trailing_zeros().min(b.trailing_zeros());
+        a = a.shr(a.trailing_zeros());
+        loop {
+            b = b.shr(b.trailing_zeros());
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(a);
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// Signed 256-bit value in sign-magnitude form (`neg` ignored at zero).
+    #[derive(Clone, Copy)]
+    struct I256 {
+        neg: bool,
+        mag: U256,
+    }
+
+    impl I256 {
+        fn mul_i128(a: i128, b: i128) -> I256 {
+            I256 {
+                neg: (a < 0) != (b < 0),
+                mag: U256::mul_u128(a.unsigned_abs(), b.unsigned_abs()),
+            }
+        }
+
+        fn add(self, o: I256) -> I256 {
+            if self.neg == o.neg {
+                I256 {
+                    neg: self.neg,
+                    mag: self.mag.add(o.mag),
+                }
+            } else if self.mag >= o.mag {
+                I256 {
+                    neg: self.neg,
+                    mag: self.mag.sub(o.mag),
+                }
+            } else {
+                I256 {
+                    neg: o.neg,
+                    mag: o.mag.sub(self.mag),
+                }
+            }
+        }
+    }
+
+    fn mag_to_i128(mag: U256, neg: bool) -> Option<i128> {
+        let mag = mag.to_u128()?;
+        if neg {
+            if mag == i128::MIN.unsigned_abs() {
+                Some(i128::MIN)
+            } else {
+                i128::try_from(mag).ok().map(|v| -v)
+            }
+        } else {
+            i128::try_from(mag).ok()
+        }
+    }
+
+    /// Exact `a + b` with 256-bit cross terms and full gcd reduction;
+    /// `None` iff the reduced result does not fit `i128`.
+    pub(super) fn add_exact(a: Rat, b: Rat) -> Option<Rat> {
+        let g = gcd(a.den, b.den);
+        let lhs_scale = b.den / g;
+        let rhs_scale = a.den / g;
+        let num = I256::mul_i128(a.num, lhs_scale).add(I256::mul_i128(b.num, rhs_scale));
+        if num.mag.is_zero() {
+            return Some(Rat::ZERO);
+        }
+        let den = U256::mul_u128(a.den.unsigned_abs(), lhs_scale.unsigned_abs());
+        let reduce = gcd_u256(num.mag, den);
+        let num_mag = num.mag.div(reduce);
+        let den_mag = den.div(reduce);
+        Some(Rat {
+            num: mag_to_i128(num_mag, num.neg)?,
+            den: mag_to_i128(den_mag, false)?,
+        })
+    }
+
+    /// `sign(a·d) cmp sign(c·b)` with 256-bit products (`d, b > 0`).
+    pub(super) fn cmp_cross(a: i128, d: i128, c: i128, b: i128) -> Ordering {
+        let lhs = I256::mul_i128(a, d);
+        let rhs = I256::mul_i128(c, b);
+        match (lhs.mag.is_zero() || !lhs.neg, rhs.mag.is_zero() || !rhs.neg) {
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (true, true) => lhs.mag.cmp(&rhs.mag),
+            (false, false) => rhs.mag.cmp(&lhs.mag),
+        }
     }
 }
 
@@ -530,6 +799,47 @@ mod tests {
         r.den > 0 && gcd(r.num, r.den) == 1
     }
 
+    fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    /// Independent exact reference for addition of operands small enough
+    /// (components near `2^63`, as every strategy below generates) that the
+    /// gcd-reduced cross products fit `u128`: plain u128 sign-magnitude
+    /// arithmetic then suffices — no shared code with the impl's 256-bit
+    /// path. Panics if an operand exceeds the precondition (never, for the
+    /// generators); `None` means the exact reduced sum is unrepresentable
+    /// in `i128`.
+    fn add_ref_small_components(a: Rat, b: Rat) -> Option<Rat> {
+        let g = gcd(a.den, b.den);
+        let lhs_scale = (b.den / g) as u128;
+        let rhs_scale = (a.den / g) as u128;
+        let pre = "reference precondition: cross products fit u128";
+        let m1 = a.num.unsigned_abs().checked_mul(lhs_scale).expect(pre);
+        let m2 = b.num.unsigned_abs().checked_mul(rhs_scale).expect(pre);
+        let (neg, mag) = match (a.num < 0, b.num < 0) {
+            (n1, n2) if n1 == n2 => (n1, m1.checked_add(m2).expect(pre)),
+            (n1, _) if m1 >= m2 => (n1, m1 - m2),
+            (_, n2) => (n2, m2 - m1),
+        };
+        if mag == 0 {
+            return Some(Rat::ZERO);
+        }
+        let den_mag = (a.den as u128).checked_mul(lhs_scale).expect(pre);
+        let reduce = gcd_u128(mag, den_mag);
+        let num = i128::try_from(mag / reduce).ok()?;
+        let den = i128::try_from(den_mag / reduce).ok()?;
+        Some(Rat {
+            num: if neg { -num } else { num },
+            den,
+        })
+    }
+
     mod fast_path_props {
         use super::*;
         use proptest::prelude::*;
@@ -583,12 +893,28 @@ mod tests {
                 a in boundary_rat(),
                 b in prop_oneof![boundary_rat(), rat_strategy()],
             ) {
-                let sum = a + b;
-                prop_assert_eq!(sum, add_slow(a, b));
-                prop_assert!(canonical(sum));
-                let diff = a - b;
-                prop_assert_eq!(diff, add_slow(a, -b));
-                prop_assert!(canonical(diff));
+                // Addition / subtraction against the independent exact
+                // reference. Representable sums must come out exact and
+                // canonical through whichever path (fast, checked-i128,
+                // 256-bit wide) the operands select; unrepresentable sums
+                // must be *detected* (checked_add → None), never wrapped.
+                for (x, y) in [(a, b), (a, -b)] {
+                    match add_ref_small_components(x, y) {
+                        Some(want) => {
+                            let got = x + y;
+                            prop_assert_eq!(got, want);
+                            prop_assert_eq!(got.num, want.num, "canonical numerator");
+                            prop_assert_eq!(got.den, want.den, "canonical denominator");
+                            prop_assert!(canonical(got));
+                            prop_assert_eq!(x.checked_add(y), Some(want));
+                        }
+                        None => prop_assert_eq!(x.checked_add(y), None),
+                    }
+                }
+                // Comparisons share the widening cross products.
+                if let Some(diff) = add_ref_small_components(a, -b) {
+                    prop_assert_eq!(a.cmp(&b), diff.num.cmp(&0));
+                }
                 let prod = a * b;
                 let slow = mul_slow(a, b);
                 prop_assert_eq!(prod.num, slow.num);
@@ -612,18 +938,62 @@ mod tests {
             (anchors, -4i64..5).prop_map(|(a, d)| a + d as i128)
         }
 
-        /// Boundary-sized in exactly **one** component (huge numerator
-        /// over a small denominator, or vice versa): with both components
-        /// near `2^63` the cross terms of addition reach `2·2^126` and
-        /// overflow `i128` on *every* path — an inherent fixed-precision
-        /// limit, not a fast-path property — so such pairs are excluded.
+        /// Boundary-sized components in either or **both** positions.
+        /// With both components near `2^63` the cross terms of addition
+        /// reach `2·2^126` and overflow `i128` on the checked slow path;
+        /// those pairs route through the 256-bit reducing path, which
+        /// either produces the exact canonical sum or reports it
+        /// unrepresentable — so they are generated, not excluded.
         fn boundary_rat() -> impl Strategy<Value = Rat> {
             prop_oneof![
                 (guard_adjacent(), 1i128..9).prop_map(|(n, d)| Rat::new(n, d)),
                 (-8i128..9, guard_adjacent().prop_map(|v| v.abs().max(2)))
                     .prop_map(|(n, d)| Rat::new(n, d)),
+                (guard_adjacent(), guard_adjacent().prop_map(|v| v.abs().max(2)))
+                    .prop_map(|(n, d)| Rat::new(n, d)),
             ]
         }
+    }
+
+    /// Both components of both operands near `2^63`: the i128 cross terms
+    /// of the slow path overflow, but the exact reduced sum fits — the
+    /// 256-bit wide path must produce it rather than wrapping or panicking.
+    #[test]
+    fn both_components_huge_addition_takes_wide_path() {
+        let p = (1i128 << 63) + 13; // odd
+        let q = (1i128 << 63) + 15; // odd, coprime with p (both odd, differ by 2)
+        let a = Rat::new((1i128 << 63) + 3, 2 * p);
+        let b = Rat::new((1i128 << 63) + 9, 2 * q);
+        // Cross terms ≈ 2·2^126 overflow i128; the shared factor 2 in the
+        // denominators guarantees the reduced sum fits.
+        let sum = a + b;
+        let want = add_ref_small_components(a, b).expect("sum is representable");
+        assert_eq!(sum, want);
+        assert!(canonical(sum));
+        // Round-trip back out of the huge-denominator sum (cross terms
+        // ≈ 2^190 — deep into the wide path again).
+        assert_eq!(sum - b, a);
+        assert_eq!(sum - a, b);
+        // Ordering across the widening comparison path.
+        assert!(a < sum);
+        assert!(b < sum);
+        assert_eq!(a.cmp(&b), (a - b).numer().cmp(&0));
+    }
+
+    /// When even the gcd-reduced exact sum cannot fit `i128`, the checked
+    /// API reports `None` — the old behavior was a silent wrap in release
+    /// builds.
+    #[test]
+    fn unrepresentable_sum_detected_not_wrapped() {
+        let a = Rat::new((1i128 << 63) + 3, (1i128 << 63) + 9);
+        let b = Rat::new((1i128 << 63) + 5, (1i128 << 63) + 29);
+        assert_eq!(a.checked_add(b), add_ref_small_components(a, b));
+        assert_eq!(a.checked_add(b), None);
+        // The same magnitudes with opposite signs cancel to a representable
+        // (tiny) difference, served exactly.
+        let diff = a - b;
+        assert!(canonical(diff));
+        assert_eq!(diff + b, a);
     }
 
     /// Components beyond the i64 guard must fall through to the reducing

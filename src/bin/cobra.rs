@@ -10,6 +10,10 @@
 //!     `label = polynomial` per line) against an abstraction tree
 //!     (inline text like `Plans(Standard(p1,p2), v)` or `@file`),
 //!     then optionally evaluate a what-if scenario.
+//!
+//! cobra serve [--addr HOST:PORT] [--store DIR]
+//!     Run the COBRA sweep server (length-prefixed JSON frames over
+//!     TCP). `--store` enables the persistent session tier.
 //! ```
 
 use cobra::core::{CobraSession, SensitivityReport};
@@ -23,7 +27,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("cobra: {message}");
-            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity]");
+            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR]");
             ExitCode::FAILURE
         }
     }
@@ -90,8 +94,34 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("demo") => demo(),
         Some("compress") => compress(parse_compress_args(&args[1..])?),
-        _ => Err("expected a subcommand: demo | compress".into()),
+        Some("serve") => serve(parse_serve_args(&args[1..])?),
+        _ => Err("expected a subcommand: demo | compress | serve".into()),
     }
+}
+
+fn parse_serve_args(args: &[String]) -> Result<cobra::server::ServerConfig, String> {
+    let mut config = cobra::server::ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value()?,
+            "--store" => config.store_dir = Some(value()?.into()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn serve(config: cobra::server::ServerConfig) -> Result<(), String> {
+    let server = cobra::server::serve(config).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("listening on {}", server.addr());
+    server.join();
+    Ok(())
 }
 
 fn demo() -> Result<(), String> {
@@ -237,6 +267,16 @@ mod tests {
             "--polys", "p", "--tree", "t", "--bound", "5", "--scenario", "novalue"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let config = parse_serve_args(&s(&["--addr", "0.0.0.0:7070", "--store", "/tmp/x"])).unwrap();
+        assert_eq!(config.addr, "0.0.0.0:7070");
+        assert_eq!(config.store_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(parse_serve_args(&[]).unwrap().addr, "127.0.0.1:0");
+        assert!(parse_serve_args(&s(&["--addr"])).is_err());
+        assert!(parse_serve_args(&s(&["--nope"])).is_err());
     }
 
     #[test]

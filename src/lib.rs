@@ -10,6 +10,7 @@
 //! | [`provenance`] (cobra-provenance) | provenance polynomials, semirings, valuations, text format |
 //! | [`engine`] (cobra-engine) | provenance-aware SPJA query engine, SQL subset, K-relations |
 //! | [`core`] (cobra-core) | abstraction trees, the exact DP compression optimizer, sessions |
+//! | [`server`] (cobra-server) | COBRA-as-a-service: TCP sweep server, session store, coalescing |
 //! | [`datagen`] (cobra-datagen) | telephony & TPC-H-style workloads, scenarios, synthetic inputs |
 //!
 //! ## The 30-second tour
@@ -39,4 +40,5 @@ pub use cobra_core as core;
 pub use cobra_datagen as datagen;
 pub use cobra_engine as engine;
 pub use cobra_provenance as provenance;
+pub use cobra_server as server;
 pub use cobra_util as util;

@@ -1,0 +1,108 @@
+//! Persistence-format stability: a session artifact committed to the
+//! repo (`tests/golden/session_v1.cobra`) must keep loading — and keep
+//! answering bit-identically — as the codebase evolves. A failure here
+//! means the on-disk format changed; bump the format version in
+//! `cobra_provenance::persist` and regenerate instead of silently
+//! breaking persisted stores:
+//!
+//! ```text
+//! cargo test --test persist_golden -- --ignored regenerate
+//! ```
+
+use cobra::core::{restore_session_from_bytes, snapshot_session, CobraSession};
+use cobra::provenance::Valuation;
+use cobra::util::Rat;
+
+const POLYS: &str = "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3";
+const TREE: &str = "Plans(Standard(p1,p2), v)";
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/session_v1.cobra"
+);
+
+/// The reference session the golden artifact was generated from: paper
+/// running example, full frontier, one warm engine left by a bound hop.
+fn reference_session() -> CobraSession {
+    let mut s = CobraSession::from_text(POLYS).unwrap();
+    s.add_tree_text(TREE).unwrap();
+    let sizes: Vec<u64> = s
+        .compress_frontier()
+        .unwrap()
+        .points()
+        .iter()
+        .map(|p| p.size)
+        .collect();
+    let probe = Valuation::with_default(Rat::ONE);
+    for size in sizes {
+        s.select_bound(size).unwrap();
+        s.assign(&probe).unwrap(); // compile engines so they persist warm
+    }
+    s
+}
+
+fn assert_answers_match_reference(restored: &mut CobraSession) {
+    let mut fresh = reference_session();
+    let mut scenario = Valuation::with_default(Rat::ONE);
+    let m3 = fresh.registry_mut().var("m3");
+    scenario.set(m3, Rat::parse("0.8").unwrap());
+    assert_eq!(restored.registry_mut().var("m3"), m3);
+
+    let sizes: Vec<u64> = fresh
+        .frontier()
+        .unwrap()
+        .points()
+        .iter()
+        .map(|p| p.size)
+        .collect();
+    assert!(!sizes.is_empty());
+    for size in sizes {
+        let want = fresh.select_bound(size).unwrap();
+        let got = restored.select_bound(size).unwrap();
+        assert_eq!(
+            format!("{want:?}"),
+            format!("{got:?}"),
+            "golden report diverged at bound {size}"
+        );
+        let want = fresh.assign(&scenario).unwrap();
+        let got = restored.assign(&scenario).unwrap();
+        for (w, g) in want.rows.iter().zip(&got.rows) {
+            assert_eq!(w.full, g.full, "bound {size}");
+            assert_eq!(w.compressed, g.compressed, "bound {size}");
+        }
+    }
+}
+
+#[test]
+fn golden_artifact_still_loads_and_answers_identically() {
+    let bytes = std::fs::read(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "missing golden artifact {GOLDEN}: {e}\n\
+             regenerate with: cargo test --test persist_golden -- --ignored regenerate"
+        )
+    });
+    let mut restored = restore_session_from_bytes(&bytes)
+        .expect("the committed golden artifact must keep loading — format change?");
+    let info = restored.info();
+    assert!(info.hydrated, "a restored session starts hydrated");
+    assert_eq!(info.trees, 1);
+    assert!(info.warm_engines >= 1, "the golden carries a warm engine");
+    assert_answers_match_reference(&mut restored);
+}
+
+#[test]
+fn freshly_snapshotted_bytes_restore_identically() {
+    // The committed golden plus this round-trip pin both directions:
+    // old bytes keep loading, and new bytes still follow the format.
+    let bytes = snapshot_session(&reference_session()).unwrap();
+    let mut restored = restore_session_from_bytes(&bytes).unwrap();
+    assert_answers_match_reference(&mut restored);
+}
+
+#[test]
+#[ignore = "regenerates tests/golden/session_v1.cobra in place"]
+fn regenerate() {
+    let bytes = snapshot_session(&reference_session()).unwrap();
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+    std::fs::write(GOLDEN, &bytes).unwrap();
+    println!("wrote {} bytes to {GOLDEN}", bytes.len());
+}

@@ -1,0 +1,365 @@
+//! End-to-end tests for the COBRA sweep server: real TCP connections
+//! against an ephemeral-port server, exercising the session store, the
+//! request coalescer, the persistence tier, deadlines, and fault
+//! isolation.
+
+use cobra::server::json::{parse, Json};
+use cobra::server::{serve, ServerConfig};
+use cobra::util::framed::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+const POLYS: &str = "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3";
+const TREE: &str = "Plans(Standard(p1,p2), v)";
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    TcpStream::connect(addr).expect("connecting to the test server")
+}
+
+fn request(stream: &mut TcpStream, body: &str) -> Json {
+    write_frame(stream, body.as_bytes()).unwrap();
+    let bytes = read_frame(stream, DEFAULT_MAX_FRAME)
+        .expect("reading the reply frame")
+        .expect("server closed the connection mid-request");
+    parse(std::str::from_utf8(&bytes).unwrap()).expect("reply is valid JSON")
+}
+
+fn assert_ok(reply: &Json) {
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Json::Bool(true)),
+        "expected an ok reply, got {reply:?}"
+    );
+}
+
+fn prepare(stream: &mut TcpStream, session: &str, persist: bool) -> Json {
+    let body = Json::Obj(vec![
+        ("op".into(), Json::Str("prepare".into())),
+        ("session".into(), Json::Str(session.into())),
+        ("polys".into(), Json::Str(POLYS.into())),
+        ("tree".into(), Json::Str(TREE.into())),
+        ("persist".into(), Json::Bool(persist)),
+    ]);
+    request(stream, &body.to_string())
+}
+
+fn select_bound(stream: &mut TcpStream, session: &str, bound: u64) -> Json {
+    request(
+        stream,
+        &format!(r#"{{"op":"select_bound","session":{session:?},"bound":{bound}}}"#),
+    )
+}
+
+fn sweep_request(session: &str, scenarios: &[(&str, &str)], deadline_ms: Option<u64>) -> String {
+    let pairs: Vec<Json> = scenarios
+        .iter()
+        .map(|(var, factor)| {
+            Json::Arr(vec![
+                Json::Str((*var).to_owned()),
+                Json::Str((*factor).to_owned()),
+            ])
+        })
+        .collect();
+    let mut members = vec![
+        ("op".to_owned(), Json::Str("sweep_fold_f64".into())),
+        ("session".to_owned(), Json::Str(session.to_owned())),
+        ("scenarios".to_owned(), Json::Arr(pairs)),
+    ];
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms".to_owned(), Json::Num(ms as f64)));
+    }
+    Json::Obj(members).to_string()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cobra-server-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn end_to_end_session_lifecycle() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut c = connect(addr);
+
+    let reply = prepare(&mut c, "demo", false);
+    assert_ok(&reply);
+    assert_eq!(reply.get("source").and_then(Json::as_str), Some("built"));
+    assert!(reply.get("frontier_points").unwrap().as_u64().unwrap() >= 2);
+
+    // Idempotent re-prepare hits the in-memory tier.
+    let reply = prepare(&mut c, "demo", false);
+    assert_eq!(reply.get("source").and_then(Json::as_str), Some("cached"));
+
+    let reply = select_bound(&mut c, "demo", 2);
+    assert_ok(&reply);
+    assert_eq!(reply.get("compressed_size"), Some(&Json::Num(2.0)));
+
+    let reply = request(
+        &mut c,
+        r#"{"op":"assign","session":"demo","scenario":{"m3":"0.8"}}"#,
+    );
+    assert_ok(&reply);
+    assert_eq!(reply.get("exact"), Some(&Json::Bool(true)));
+    let rows = reply.get("rows").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 1);
+    // 208.8 + 240*0.8 + 42 + 24.2*0.8 = 462.16 exactly, both sides.
+    assert_eq!(
+        rows[0].get("full").and_then(Json::as_str),
+        Some("462.16")
+    );
+    assert_eq!(rows[0].get("full"), rows[0].get("compressed"));
+
+    let reply = request(
+        &mut c,
+        &sweep_request("demo", &[("m3", "0.8"), ("m1", "1.2")], None),
+    );
+    assert_ok(&reply);
+    assert_eq!(reply.get("partial"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("rows").unwrap().as_arr().unwrap().len(), 2);
+
+    let reply = request(&mut c, r#"{"op":"stats","session":"demo"}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("trees"), Some(&Json::Num(1.0)));
+    assert_eq!(reply.get("bound"), Some(&Json::Num(2.0)));
+    assert_eq!(reply.get("hydrated"), Some(&Json::Bool(false)));
+
+    // Unknown sessions are typed errors, not hangs.
+    let reply = request(&mut c, r#"{"op":"stats","session":"nope"}"#);
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        reply.get("kind").and_then(Json::as_str),
+        Some("unknown_session")
+    );
+
+    let reply = request(&mut c, r#"{"id":9,"op":"shutdown"}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("id"), Some(&Json::Num(9.0)));
+    server.join();
+}
+
+#[test]
+fn coalesced_concurrent_sweeps_match_sequential_bit_for_bit() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let mut c = connect(addr);
+    assert_ok(&prepare(&mut c, "coal", false));
+    assert_ok(&select_bound(&mut c, "coal", 2));
+
+    // Eight distinct sweep requests with overlapping perturbations, so
+    // fused union grids genuinely dedup across requests.
+    let requests: Vec<Vec<(String, String)>> = (0..8)
+        .map(|i| {
+            (0..6)
+                .map(|j| {
+                    let var = ["m1", "m3", "v", "p1"][(i + j) % 4];
+                    (var.to_owned(), format!("{}/10", 8 + ((i * j) % 5)))
+                })
+                .collect()
+        })
+        .collect();
+
+    // Sequential baseline: one request at a time on one connection.
+    let baseline: Vec<Json> = requests
+        .iter()
+        .map(|scenarios| {
+            let pairs: Vec<(&str, &str)> = scenarios
+                .iter()
+                .map(|(v, f)| (v.as_str(), f.as_str()))
+                .collect();
+            let reply = request(&mut c, &sweep_request("coal", &pairs, None));
+            assert_ok(&reply);
+            reply.get("rows").unwrap().clone()
+        })
+        .collect();
+
+    // Concurrent: one connection per request, all in flight at once, so
+    // the session worker drains them in batches and fuses sweeps.
+    for round in 0..3 {
+        let replies: Vec<Json> = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|scenarios| {
+                    scope.spawn(move || {
+                        let pairs: Vec<(&str, &str)> = scenarios
+                            .iter()
+                            .map(|(v, f)| (v.as_str(), f.as_str()))
+                            .collect();
+                        let mut c = connect(addr);
+                        request(&mut c, &sweep_request("coal", &pairs, None))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, reply) in replies.iter().enumerate() {
+            assert_ok(reply);
+            assert_eq!(
+                reply.get("rows"),
+                Some(&baseline[i]),
+                "round {round}, request {i}: coalesced rows diverged from sequential"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn persisted_session_reloads_by_mmap_and_answers_identically() {
+    let dir = scratch_dir("persist");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+    };
+
+    // First server: build, persist, and capture reference answers.
+    let server = serve(config.clone()).unwrap();
+    let mut c = connect(server.addr());
+    let reply = prepare(&mut c, "tier", true);
+    assert_ok(&reply);
+    assert_eq!(reply.get("persisted"), Some(&Json::Bool(true)));
+    assert!(dir.join("tier.cobra").is_file());
+
+    let fresh_select = select_bound(&mut c, "tier", 2);
+    assert_ok(&fresh_select);
+    let fresh_assign = request(
+        &mut c,
+        r#"{"op":"assign","session":"tier","scenario":{"m3":"0.8","m1":"6/5"}}"#,
+    );
+    assert_ok(&fresh_assign);
+    let fresh_sweep = request(
+        &mut c,
+        &sweep_request("tier", &[("m3", "0.8"), ("v", "2"), ("m1", "6/5")], None),
+    );
+    assert_ok(&fresh_sweep);
+    server.shutdown();
+
+    // Second server, same store: the first request re-hydrates the
+    // session from the artifact (mmap, zero-copy) without re-compiling.
+    let server = serve(config).unwrap();
+    let mut c = connect(server.addr());
+    let reply = request(&mut c, r#"{"op":"prepare","session":"tier"}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("source").and_then(Json::as_str), Some("loaded"));
+
+    let stats = request(&mut c, r#"{"op":"stats","session":"tier"}"#);
+    assert_eq!(stats.get("hydrated"), Some(&Json::Bool(true)));
+
+    let loaded_select = select_bound(&mut c, "tier", 2);
+    let loaded_assign = request(
+        &mut c,
+        r#"{"op":"assign","session":"tier","scenario":{"m3":"0.8","m1":"6/5"}}"#,
+    );
+    let loaded_sweep = request(
+        &mut c,
+        &sweep_request("tier", &[("m3", "0.8"), ("v", "2"), ("m1", "6/5")], None),
+    );
+    for (fresh, loaded) in [
+        (&fresh_select, &loaded_select),
+        (&fresh_assign, &loaded_assign),
+        (&fresh_sweep, &loaded_sweep),
+    ] {
+        assert_eq!(fresh, loaded, "re-hydrated session diverged");
+    }
+
+    // The disk tier also serves requests that *skip* prepare entirely:
+    // a third server re-hydrates lazily on first dispatch.
+    server.shutdown();
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+    })
+    .unwrap();
+    let mut c = connect(server.addr());
+    let lazy_select = select_bound(&mut c, "tier", 2);
+    assert_eq!(&lazy_select, &fresh_select);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_returns_typed_partial_and_session_stays_live() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut c = connect(server.addr());
+    assert_ok(&prepare(&mut c, "dl", false));
+    assert_ok(&select_bound(&mut c, "dl", 2));
+
+    // 2000 scenarios under a zero deadline: the budget poll fires before
+    // the first block, so the sweep stops early with an exact prefix.
+    let scenarios: Vec<(String, String)> = (0..2000)
+        .map(|i| ("m1".to_owned(), format!("{}/1000", 1000 + i)))
+        .collect();
+    let pairs: Vec<(&str, &str)> = scenarios
+        .iter()
+        .map(|(v, f)| (v.as_str(), f.as_str()))
+        .collect();
+    let reply = request(&mut c, &sweep_request("dl", &pairs, Some(0)));
+    assert_ok(&reply);
+    assert_eq!(reply.get("partial"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("stop").and_then(Json::as_str), Some("deadline"));
+    let done = reply.get("done").unwrap().as_u64().unwrap();
+    assert!(done < 2000, "a zero deadline must interrupt the sweep");
+    assert_eq!(
+        reply.get("rows").unwrap().as_arr().unwrap().len(),
+        done as usize,
+        "partial rows must cover exactly the completed prefix"
+    );
+
+    // A generous deadline completes; rows are bit-identical to the
+    // deadline-free run.
+    let complete = request(&mut c, &sweep_request("dl", &pairs[..50], Some(60_000)));
+    assert_ok(&complete);
+    assert_eq!(complete.get("partial"), Some(&Json::Bool(false)));
+    let unbudgeted = request(&mut c, &sweep_request("dl", &pairs[..50], None));
+    assert_eq!(complete.get("rows"), unbudgeted.get("rows"));
+
+    // The session kept serving throughout.
+    let reply = request(
+        &mut c,
+        r#"{"op":"assign","session":"dl","scenario":{"m3":"0.8"}}"#,
+    );
+    assert_ok(&reply);
+    server.shutdown();
+}
+
+#[test]
+fn worker_panic_is_isolated_to_an_error_reply() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut c = connect(server.addr());
+    assert_ok(&prepare(&mut c, "flt", false));
+
+    let reply = request(&mut c, r#"{"id":"p1","op":"panic","session":"flt"}"#);
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("panic"));
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("p1"));
+
+    // Same session, same worker: still serving.
+    let reply = request(&mut c, r#"{"op":"stats","session":"flt"}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("trees"), Some(&Json::Num(1.0)));
+    let reply = select_bound(&mut c, "flt", 2);
+    assert_ok(&reply);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_without_killing_the_connection() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut c = connect(server.addr());
+
+    let reply = request(&mut c, "{not json");
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    let reply = request(&mut c, r#"{"op":"warp"}"#);
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("bad_request"));
+
+    // The connection survives both.
+    assert_ok(&prepare(&mut c, "ok", false));
+    server.shutdown();
+}
