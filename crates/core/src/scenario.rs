@@ -24,10 +24,10 @@ use crate::folds::MergeFold;
 use crate::scenario_set::{base_value, for_each_grid_digit, RowBinder, ScenarioSet};
 use cobra_provenance::compile::LANES;
 use cobra_provenance::{
-    BatchEvaluator, Coeff, EvalProgram, LaneScratch, PolySet, Valuation, Var,
+    BatchEvaluator, Coeff, EvalProgram, FixedScratch, LaneScratch, PolySet, Valuation, Var,
 };
 use cobra_util::timing::time_best_of;
-use cobra_util::{faults, par, CancelToken, FxHashMap, FxHashSet, Rat};
+use cobra_util::{faults, kernel, par, CancelToken, FxHashMap, FxHashSet, Rat};
 use std::panic::resume_unwind;
 
 /// Scenarios bound and evaluated per streamed block: a handful of lane
@@ -48,6 +48,14 @@ fn stream_block(num_polys: usize, num_locals: usize) -> usize {
     let block = by_results.min(by_rows).min(STREAM_BLOCK);
     if block >= LANES {
         (block / LANES) * LANES
+    } else if block * 2 >= LANES {
+        // A ragged block starves the SIMD lane kernels (their register
+        // tiles cover only the leading multiple of the tile width, the
+        // rest runs lane-at-a-time): at e.g. 1055 polynomials the result
+        // cap would yield 62-lane blocks that measure *slower* under
+        // AVX2 than the portable kernel. Within 2× of the memory caps,
+        // rounding up to one full lane block is the better trade.
+        LANES
     } else {
         block.max(1)
     }
@@ -502,9 +510,9 @@ impl CompiledComparison {
                 binder.bind_pair_into(start + k, frow, crow);
             }
             self.full
-                .eval_batch_into(&full_rows[..width], &mut full_out[..width * np]);
+                .eval_batch_exact_into(&full_rows[..width], &mut full_out[..width * np]);
             self.compressed
-                .eval_batch_into(&comp_rows[..width], &mut comp_out[..width * np]);
+                .eval_batch_exact_into(&comp_rows[..width], &mut comp_out[..width * np]);
             for k in 0..width {
                 acc = f(
                     acc,
@@ -611,6 +619,9 @@ impl CompiledComparison {
             .max(self.compressed.program().num_locals());
         let block = stream_block(np, locals).min(n_target);
         let check = budget.has_dynamic_limits();
+        // Kernel overrides are thread-local: resolve the exact-path choice
+        // here on the calling thread and hand it to every worker.
+        let use_fixed = kernel::exact_fixed_enabled();
         let abort = CancelToken::new();
         let partials = par::try_par_owned_spans(
             n_target,
@@ -631,10 +642,11 @@ impl CompiledComparison {
                     vec![Rat::ZERO; block * np],
                     fold.init(),
                     SpanProgress::default(),
+                    FixedScratch::new(),
                 )
             },
             |state, range| {
-                let (binder, full_rows, comp_rows, full_out, comp_out, f, span) = state;
+                let (binder, full_rows, comp_rows, full_out, comp_out, f, span, scratch) = state;
                 *span = SpanProgress::begin(&range);
                 let mut start = range.start;
                 while start < range.end {
@@ -653,10 +665,18 @@ impl CompiledComparison {
                     for k in 0..width {
                         binder.bind_pair_into(start + k, &mut full_rows[k], &mut comp_rows[k]);
                     }
-                    self.full
-                        .eval_batch_serial_into(&full_rows[..width], &mut full_out[..width * np]);
-                    self.compressed
-                        .eval_batch_serial_into(&comp_rows[..width], &mut comp_out[..width * np]);
+                    self.full.eval_batch_exact_serial_with(
+                        use_fixed,
+                        &full_rows[..width],
+                        &mut full_out[..width * np],
+                        scratch,
+                    );
+                    self.compressed.eval_batch_exact_serial_with(
+                        use_fixed,
+                        &comp_rows[..width],
+                        &mut comp_out[..width * np],
+                        scratch,
+                    );
                     for k in 0..width {
                         f.accept(FoldItem {
                             scenario: start + k,
@@ -821,6 +841,11 @@ impl CompiledComparison {
         let mut probe_full_row = vec![Rat::ZERO; self.full.program().num_locals()];
         let mut probe_comp_row = vec![Rat::ZERO; self.compressed.program().num_locals()];
         let mut probe_out = vec![Rat::ZERO; np];
+        // Probes follow the exact-kernel dispatch too: at full provenance
+        // scale a plain `Rat` walk per probe would dwarf the whole `f64`
+        // sweep it is spot-checking.
+        let probe_fixed = kernel::exact_fixed_enabled();
+        let mut probe_scratch = FixedScratch::new();
 
         // Higham-shadow buffers (unused, empty when no shadow is given).
         let mut bound = F64ErrorBound::default();
@@ -880,13 +905,19 @@ impl CompiledComparison {
                     next_probe += 1;
                     divergence.probed += 1;
                     binder.bind_pair_into(i, &mut probe_full_row, &mut probe_comp_row);
-                    self.full
-                        .program()
-                        .eval_scenario_into(&probe_full_row, &mut probe_out);
+                    self.full.program().eval_scenario_exact_with(
+                        probe_fixed,
+                        &probe_full_row,
+                        &mut probe_out,
+                        &mut probe_scratch,
+                    );
                     divergence.record(&probe_out, full);
-                    self.compressed
-                        .program()
-                        .eval_scenario_into(&probe_comp_row, &mut probe_out);
+                    self.compressed.program().eval_scenario_exact_with(
+                        probe_fixed,
+                        &probe_comp_row,
+                        &mut probe_out,
+                        &mut probe_scratch,
+                    );
                     divergence.record(&probe_out, compressed);
                 }
                 if let Some(err) = err {
@@ -1051,6 +1082,11 @@ impl CompiledComparison {
             f64_probe_indices(n)
         };
         let check = budget.has_dynamic_limits();
+        // Kernel overrides are thread-local: resolve the lane-kernel
+        // choice (and the exact-kernel choice the divergence probes
+        // follow) here on the calling thread and hand it to every worker.
+        let kern = kernel::current();
+        let probe_fixed = kernel::exact_fixed_enabled();
         let abort = CancelToken::new();
 
         struct Worker<'a, F> {
@@ -1063,6 +1099,7 @@ impl CompiledComparison {
             probe_full_row: Vec<Rat>,
             probe_comp_row: Vec<Rat>,
             probe_out: Vec<Rat>,
+            probe_scratch: FixedScratch,
             divergence: F64Divergence,
             abs_rows: Vec<Vec<f64>>,
             abs_comp_rows: Vec<Vec<f64>>,
@@ -1091,6 +1128,7 @@ impl CompiledComparison {
                 probe_full_row: vec![Rat::ZERO; self.full.program().num_locals()],
                 probe_comp_row: vec![Rat::ZERO; self.compressed.program().num_locals()],
                 probe_out: vec![Rat::ZERO; np],
+                probe_scratch: FixedScratch::new(),
                 divergence: F64Divergence::default(),
                 abs_rows: if err.is_some() {
                     (0..block)
@@ -1145,12 +1183,14 @@ impl CompiledComparison {
                             &mut w.comp_rows[k],
                         );
                     }
-                    full64.eval_batch_fast_serial_into(
+                    full64.eval_batch_fast_serial_with(
+                        kern,
                         &w.full_rows[..width],
                         &mut w.full_out[..width * np],
                         &mut w.scratch,
                     );
-                    comp64.eval_batch_fast_serial_into(
+                    comp64.eval_batch_fast_serial_with(
+                        kern,
                         &w.comp_rows[..width],
                         &mut w.comp_out[..width * np],
                         &mut w.scratch,
@@ -1164,12 +1204,14 @@ impl CompiledComparison {
                                 *a = x.abs();
                             }
                         }
-                        err.full_abs.eval_batch_fast_serial_into(
+                        err.full_abs.eval_batch_fast_serial_with(
+                            kern,
                             &w.abs_rows[..width],
                             &mut w.abs_full_out[..width * np],
                             &mut w.scratch,
                         );
-                        err.comp_abs.eval_batch_fast_serial_into(
+                        err.comp_abs.eval_batch_fast_serial_with(
+                            kern,
                             &w.abs_comp_rows[..width],
                             &mut w.abs_comp_out[..width * np],
                             &mut w.scratch,
@@ -1187,13 +1229,19 @@ impl CompiledComparison {
                                 &mut w.probe_full_row,
                                 &mut w.probe_comp_row,
                             );
-                            self.full
-                                .program()
-                                .eval_scenario_into(&w.probe_full_row, &mut w.probe_out);
+                            self.full.program().eval_scenario_exact_with(
+                                probe_fixed,
+                                &w.probe_full_row,
+                                &mut w.probe_out,
+                                &mut w.probe_scratch,
+                            );
                             w.divergence.record(&w.probe_out, full);
-                            self.compressed
-                                .program()
-                                .eval_scenario_into(&w.probe_comp_row, &mut w.probe_out);
+                            self.compressed.program().eval_scenario_exact_with(
+                                probe_fixed,
+                                &w.probe_comp_row,
+                                &mut w.probe_out,
+                                &mut w.probe_scratch,
+                            );
                             w.divergence.record(&w.probe_out, compressed);
                         }
                         if let Some(err) = err {
@@ -1540,7 +1588,7 @@ pub fn fold_program_sweep_budgeted<A>(
         for (k, row) in rows[..width].iter_mut().enumerate() {
             binder.bind_into(start + k, row);
         }
-        evaluator.eval_batch_into(&rows[..width], &mut out[..width * np]);
+        evaluator.eval_batch_exact_into(&rows[..width], &mut out[..width * np]);
         for k in 0..width {
             acc = f(acc, start + k, &out[k * np..(k + 1) * np]);
         }
@@ -1621,6 +1669,9 @@ fn fold_program_sweep_par_impl<F: MergeFold + Send + Sync>(
     }
     let block = stream_block(np, prog.num_locals()).min(n_target);
     let check = budget.has_dynamic_limits();
+    // Kernel overrides are thread-local: resolve the exact-path choice
+    // here on the calling thread and hand it to every worker.
+    let use_fixed = kernel::exact_fixed_enabled();
     let abort = CancelToken::new();
     let partials = par::try_par_owned_spans(
         n_target,
@@ -1636,10 +1687,11 @@ fn fold_program_sweep_par_impl<F: MergeFold + Send + Sync>(
                 vec![Rat::ZERO; block * np],
                 fold.init(),
                 SpanProgress::default(),
+                FixedScratch::new(),
             )
         },
         |state, range| {
-            let (binder, rows, out, f, span) = state;
+            let (binder, rows, out, f, span, scratch) = state;
             *span = SpanProgress::begin(&range);
             let mut start = range.start;
             while start < range.end {
@@ -1658,7 +1710,12 @@ fn fold_program_sweep_par_impl<F: MergeFold + Send + Sync>(
                 for (k, row) in rows[..width].iter_mut().enumerate() {
                     binder.bind_into(start + k, row);
                 }
-                evaluator.eval_batch_serial_into(&rows[..width], &mut out[..width * np]);
+                evaluator.eval_batch_exact_serial_with(
+                    use_fixed,
+                    &rows[..width],
+                    &mut out[..width * np],
+                    scratch,
+                );
                 for k in 0..width {
                     f.accept(FoldItem {
                         scenario: start + k,

@@ -74,6 +74,10 @@ pub struct SessionInfo {
     /// True for re-hydrated sessions that have not yet decompiled their
     /// polynomials (the zero-copy cold path).
     pub hydrated: bool,
+    /// Name of the `f64` lane kernel the session's sweeps resolve to
+    /// (`COBRA_KERNEL`, runtime CPU detection — see
+    /// [`cobra_util::kernel`]), as reported on monitoring surfaces.
+    pub kernel: &'static str,
 }
 
 /// An interactive COBRA session (Fig. 4).
@@ -678,6 +682,7 @@ impl CobraSession {
             compressed_vars: self.compressed.as_ref().map(|c| c.compressed_vars),
             warm_engines,
             hydrated: self.polys.get().is_none(),
+            kernel: cobra_util::kernel::current().as_str(),
         }
     }
 

@@ -24,19 +24,24 @@
 //! same multiply/add sequence per scenario as `eval_dense`, so results are
 //! bit-for-bit identical, not merely close.
 
+use crate::kernel::{self, FixedProgram, FixedScratch};
 use crate::monomial::Monomial;
 use crate::poly::{Coeff, Polynomial};
 use crate::polyset::PolySet;
 use crate::valuation::{DenseValuation, Valuation};
 use crate::var::Var;
+use cobra_util::kernel::F64Kernel;
 use cobra_util::{par, ArcSlice, DenseRemap, Rat};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Number of scenarios evaluated together by the `f64` lane kernel — one
+pub use crate::kernel::LaneScratch;
+
+/// Number of scenarios evaluated together by the `f64` lane kernels — one
 /// parallel work item. 64 lanes keep the per-term working set (512 B per
 /// accumulator vector) in L1 while the whole CSR program streams through
 /// exactly once per block.
 pub const LANES: usize = 64;
+
 
 /// A [`PolySet`] lowered to flat CSR arrays for repeated evaluation.
 ///
@@ -56,17 +61,22 @@ pub const LANES: usize = 64;
 /// re-allocation, cold-start cost is page faults.
 #[derive(Clone, Debug)]
 pub struct EvalProgram<C: Coeff> {
-    labels: Vec<String>,
-    poly_offsets: ArcSlice<u32>,
-    coeffs: ArcSlice<C>,
-    term_offsets: ArcSlice<u32>,
-    var_ids: ArcSlice<u32>,
-    exps: ArcSlice<u32>,
+    pub(crate) labels: Vec<String>,
+    pub(crate) poly_offsets: ArcSlice<u32>,
+    pub(crate) coeffs: ArcSlice<C>,
+    pub(crate) term_offsets: ArcSlice<u32>,
+    pub(crate) var_ids: ArcSlice<u32>,
+    pub(crate) exps: ArcSlice<u32>,
     /// Local index → global variable.
-    locals: Vec<Var>,
+    pub(crate) locals: Vec<Var>,
     /// Global variable → local index: a registry-scoped dense table, so
     /// lookups are one indexed load and binding performs no hashing.
-    local_of: DenseRemap,
+    pub(crate) local_of: DenseRemap,
+    /// Lazily-prepared fixed-point twin of an exact program (`None` once
+    /// initialized if the program does not fit the fixed-point guards).
+    /// Only meaningful for `C = Rat`; see
+    /// [`fixed_program`](EvalProgram::fixed_program).
+    fixed: OnceLock<Option<Arc<FixedProgram>>>,
 }
 
 impl<C: Coeff> EvalProgram<C> {
@@ -114,6 +124,7 @@ impl<C: Coeff> EvalProgram<C> {
             exps: exps.into(),
             locals,
             local_of,
+            fixed: OnceLock::new(),
         }
     }
 
@@ -139,6 +150,7 @@ impl<C: Coeff> EvalProgram<C> {
             exps,
             locals,
             local_of,
+            fixed: OnceLock::new(),
         }
     }
 
@@ -300,7 +312,48 @@ impl EvalProgram<Rat> {
             exps: self.exps.clone(),
             locals: self.locals.clone(),
             local_of: self.local_of.clone(),
+            fixed: OnceLock::new(),
         }
+    }
+
+    /// The scaled-`i128` fixed-point twin of this exact program, prepared
+    /// lazily on first use and cached for the program's lifetime. `None`
+    /// when the program does not fit the fixed-point guards (coefficient
+    /// scale overflows `i128` or a term's degree exceeds the table cap) —
+    /// such programs simply evaluate through the plain `Rat` kernel.
+    pub fn fixed_program(&self) -> Option<&FixedProgram> {
+        self.fixed
+            .get_or_init(|| FixedProgram::prepare(self).map(Arc::new))
+            .as_deref()
+    }
+
+    /// One exact scenario through the kernel dispatch: the scaled
+    /// fixed-point kernel when `use_fixed` (the caller's resolved
+    /// [`exact_fixed_enabled`](cobra_util::kernel::exact_fixed_enabled)
+    /// choice) and this program lowers, the plain `Rat` term walk
+    /// otherwise — including the per-scenario overflow fallback, so the
+    /// output is representation-identical either way. This is the
+    /// single-row sibling of [`BatchEvaluator::eval_batch_exact_into`];
+    /// the `f64` sweep engines use it for their divergence probes.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_locals()` or
+    /// `out.len() != num_polys()`.
+    pub fn eval_scenario_exact_with(
+        &self,
+        use_fixed: bool,
+        row: &[Rat],
+        out: &mut [Rat],
+        scratch: &mut FixedScratch,
+    ) {
+        if use_fixed {
+            if let Some(fp) = self.fixed_program() {
+                if fp.eval_scenario_into(self, row, out, scratch) {
+                    return;
+                }
+            }
+        }
+        self.eval_scenario_into(row, out);
     }
 }
 
@@ -495,81 +548,98 @@ impl<C: Coeff + Send + Sync> BatchEvaluator<C> {
     }
 }
 
-/// Reusable transpose/accumulator buffers for the `f64` lane kernel —
-/// per-worker scratch so a streaming sweep evaluates millions of blocks
-/// without re-allocating the three block-local vectors each time. Sized
-/// lazily on first use; a scratch can be shared across programs (it grows
-/// to the largest block seen).
-#[derive(Debug, Default)]
-pub struct LaneScratch {
-    vals: Vec<f64>,
-    term: Vec<f64>,
-    acc: Vec<f64>,
-}
-
-impl LaneScratch {
-    /// An empty scratch (buffers grow on first use).
-    pub fn new() -> LaneScratch {
-        LaneScratch::default()
-    }
-}
-
-/// Evaluates one lane block (`rows.len() ≤ LANES` scenarios) of `prog`
-/// into `out`, reusing `scratch`. Per scenario the multiply/add sequence
-/// is identical to the scalar kernel, so results do not depend on how
-/// scenarios were grouped into blocks.
-fn eval_lane_block(
-    prog: &EvalProgram<f64>,
-    rows: &[Vec<f64>],
-    out: &mut [f64],
-    scratch: &mut LaneScratch,
-) {
-    let np = prog.num_polys();
-    let nl = prog.num_locals();
-    let width = rows.len();
-    debug_assert_eq!(out.len(), width * np);
-    // Transpose the block: vals[v * width + lane], so one term's factor
-    // reads a contiguous lane vector per variable. Every slot is written
-    // below, so resizing without zeroing is sound.
-    scratch.vals.resize(nl * width, 0.0);
-    scratch.term.resize(width, 0.0);
-    scratch.acc.resize(width, 0.0);
-    let (vals, term, acc) = (
-        &mut scratch.vals[..nl * width],
-        &mut scratch.term[..width],
-        &mut scratch.acc[..width],
-    );
-    for (lane, row) in rows.iter().enumerate() {
-        for (v, &x) in row.iter().enumerate() {
-            vals[v * width + lane] = x;
+impl BatchEvaluator<Rat> {
+    /// [`eval_batch_into`](Self::eval_batch_into) through the exact-path
+    /// kernel dispatch: scenarios whose intermediates fit the
+    /// scaled-`i128` fixed-point kernel ([`FixedProgram`]) are evaluated
+    /// in pure integer arithmetic, the rest fall back — per scenario,
+    /// deterministically — to the generic `Rat` walk. Both kernels
+    /// produce the identical canonical rationals, so the split is
+    /// unobservable in the results. `COBRA_KERNEL=scalar` (or a scoped
+    /// [`cobra_util::kernel::with_target`], resolved on the calling
+    /// thread) disables the fixed kernel entirely.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_exact_into(&self, scenarios: &[Vec<Rat>], out: &mut [Rat]) {
+        let np = self.program.num_polys();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
+        if np == 0 || scenarios.is_empty() {
+            return;
         }
+        let use_fixed = cobra_util::kernel::exact_fixed_enabled();
+        // One chunk per worker: `par_chunks_mut` hands each thread a
+        // contiguous run of chunks anyway, so finer chunking buys no
+        // balance — it only multiplies the per-chunk [`FixedScratch`]
+        // allocations, which the O(1)-allocation sweep budget forbids.
+        let group = scenarios.len().div_ceil(par::num_threads().max(1)).max(1);
+        par::par_chunks_mut(out, group * np, |ci, out| {
+            let s0 = ci * group;
+            let width = (scenarios.len() - s0).min(group);
+            let mut scratch = FixedScratch::new();
+            self.eval_batch_exact_serial_with(
+                use_fixed,
+                &scenarios[s0..s0 + width],
+                out,
+                &mut scratch,
+            );
+        });
     }
-    for p in 0..np {
-        acc.fill(0.0);
-        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
-        for t in terms {
-            term.fill(prog.coeffs[t]);
-            let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
-            for f in factors {
-                let base = prog.var_ids[f] as usize * width;
-                let xs = &vals[base..base + width];
-                let e = prog.exps[f];
-                if e == 1 {
-                    for (t, &x) in term.iter_mut().zip(xs) {
-                        *t *= x;
-                    }
-                } else {
-                    for (t, &x) in term.iter_mut().zip(xs) {
-                        *t *= x.powi(e as i32);
-                    }
+
+    /// [`eval_batch_exact_into`](Self::eval_batch_exact_into) **without**
+    /// the internal scenario-parallel dispatch, reusing a caller-owned
+    /// [`FixedScratch`] — the form the parallel fold engines call from
+    /// their own worker threads. Resolves the kernel override on the
+    /// calling thread; workers that inherited a resolved choice use
+    /// [`eval_batch_exact_serial_with`](Self::eval_batch_exact_serial_with).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_exact_serial_into(
+        &self,
+        scenarios: &[Vec<Rat>],
+        out: &mut [Rat],
+        scratch: &mut FixedScratch,
+    ) {
+        let use_fixed = cobra_util::kernel::exact_fixed_enabled();
+        self.eval_batch_exact_serial_with(use_fixed, scenarios, out, scratch);
+    }
+
+    /// The exact serial kernel with an explicit, pre-resolved fixed-point
+    /// enable flag. Thread-local kernel overrides do not propagate into
+    /// spawned workers, so parallel engines resolve
+    /// [`cobra_util::kernel::exact_fixed_enabled`] once on the calling
+    /// thread and pass the choice down.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_exact_serial_with(
+        &self,
+        use_fixed: bool,
+        scenarios: &[Vec<Rat>],
+        out: &mut [Rat],
+        scratch: &mut FixedScratch,
+    ) {
+        let np = self.program.num_polys();
+        assert_eq!(out.len(), scenarios.len() * np, "output buffer size");
+        if np == 0 {
+            return;
+        }
+        let fixed = if use_fixed {
+            self.program.fixed_program()
+        } else {
+            None
+        };
+        for (row, out) in scenarios.iter().zip(out.chunks_exact_mut(np)) {
+            if let Some(fp) = fixed {
+                if fp.eval_scenario_into(&self.program, row, out, scratch) {
+                    continue;
                 }
             }
-            for (a, &t) in acc.iter_mut().zip(&*term) {
-                *a += t;
-            }
-        }
-        for (lane, &a) in acc.iter().enumerate() {
-            out[lane * np + p] = a;
+            self.program.eval_scenario_into(row, out);
         }
     }
 }
@@ -578,10 +648,13 @@ impl BatchEvaluator<f64> {
     /// The `f64` fast path: scenarios are blocked into [`LANES`]-wide
     /// groups; within a block the CSR program is streamed **once** and
     /// every term is applied to all lanes before moving on, so each cache
-    /// line of program data is touched once per block and the lane loops
-    /// auto-vectorize. Per scenario the multiply/add sequence is the same
-    /// as the scalar kernel (and as `eval_dense`), so results are
-    /// bit-identical to per-scenario evaluation.
+    /// line of program data is touched once per block. Which lane kernel
+    /// runs the block — portable auto-vectorized or explicit AVX2 — is
+    /// resolved per call by [`cobra_util::kernel`] (`COBRA_KERNEL`,
+    /// runtime CPU detection); every mul+add kernel performs the same
+    /// per-scenario multiply/add sequence as the generic scalar walk (and
+    /// as `eval_dense`), so results are bit-identical to per-scenario
+    /// evaluation regardless of the kernel chosen.
     ///
     /// # Panics
     /// Panics if any row's width differs from `num_locals()`.
@@ -614,12 +687,15 @@ impl BatchEvaluator<f64> {
         if np == 0 || scenarios.is_empty() {
             return;
         }
+        // Resolve the kernel on the calling thread (scoped overrides are
+        // thread-local and would not be visible inside spawned workers).
+        let kern = cobra_util::kernel::current();
         // One parallel chunk = one lane block of scenarios.
         par::par_chunks_mut(out, LANES * np, |block, out| {
             let s0 = block * LANES;
             let width = (scenarios.len() - s0).min(LANES);
             let mut scratch = LaneScratch::new();
-            eval_lane_block(prog, &scenarios[s0..s0 + width], out, &mut scratch);
+            kernel::eval_lane_block(kern, prog, &scenarios[s0..s0 + width], out, &mut scratch);
         });
     }
 
@@ -644,6 +720,25 @@ impl BatchEvaluator<f64> {
         out: &mut [f64],
         scratch: &mut LaneScratch,
     ) {
+        self.eval_batch_fast_serial_with(cobra_util::kernel::current(), scenarios, out, scratch);
+    }
+
+    /// The serial lane path with an explicit, pre-resolved kernel choice.
+    /// Thread-local kernel overrides do not propagate into spawned
+    /// workers, so parallel engines resolve
+    /// [`cobra_util::kernel::current`] once on the calling thread and
+    /// pass the [`F64Kernel`] down to every worker.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != scenarios.len() * num_polys()` or any row's
+    /// width differs from `num_locals()`.
+    pub fn eval_batch_fast_serial_with(
+        &self,
+        kern: F64Kernel,
+        scenarios: &[Vec<f64>],
+        out: &mut [f64],
+        scratch: &mut LaneScratch,
+    ) {
         let prog = &self.program;
         let np = prog.num_polys();
         let nl = prog.num_locals();
@@ -655,7 +750,7 @@ impl BatchEvaluator<f64> {
             return;
         }
         for (rows, out) in scenarios.chunks(LANES).zip(out.chunks_mut(LANES * np)) {
-            eval_lane_block(prog, rows, out, scratch);
+            kernel::eval_lane_block(kern, prog, rows, out, scratch);
         }
     }
 }

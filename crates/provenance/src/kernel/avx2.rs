@@ -1,0 +1,212 @@
+//! Explicit AVX2 lane kernels (x86-64 only, runtime-detected).
+//!
+//! Default `x86-64` builds guarantee only SSE2, so the auto-vectorized
+//! [`scalar`](super::scalar) kernel runs 2-wide and round-trips its term
+//! buffer through L1 on every factor. These kernels run 4-wide and keep
+//! each term's running product in **registers** across a 16-lane tile
+//! (four `ymm` accumulators), so per factor the only memory traffic is
+//! the factor's lane vector — the CSR program still streams exactly once
+//! per block, term metadata stays hot across the four tiles of a term.
+//!
+//! Per lane, [`eval_block`] performs the identical
+//! `term = c; term *= x_f; acc += term` sequence as the scalar kernel
+//! (exponents through the shared [`pow_f64`] chain), so its results are
+//! **bit-identical** — how lanes are grouped into tiles cannot matter,
+//! because lanes never interact. [`eval_block_fma`] instead fuses the
+//! last factor into the accumulate (`acc = fma(term, x_last, acc)`), one
+//! rounding fewer per term: *not* bit-identical to scalar, but strictly
+//! within the Higham shadow bound (which counts the unfused roundings).
+
+use crate::compile::EvalProgram;
+use cobra_util::kernel::pow_f64;
+use std::arch::x86_64::*;
+
+/// Lanes per register tile: four 4-wide `ymm` term accumulators.
+const TILE: usize = 16;
+
+/// The mul+add AVX2 kernel — bit-identical to the scalar kernel.
+///
+/// # Safety
+/// The CPU must support AVX2 (`cobra_util::kernel::avx2_available`).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn eval_block(
+    prog: &EvalProgram<f64>,
+    width: usize,
+    vals: &[f64],
+    acc: &mut [f64],
+    out: &mut [f64],
+) {
+    eval_block_impl::<false>(prog, width, vals, acc, out);
+}
+
+/// The AVX2+FMA kernel — fused accumulate, certified by the Higham
+/// shadow bound rather than bit-identity.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn eval_block_fma(
+    prog: &EvalProgram<f64>,
+    width: usize,
+    vals: &[f64],
+    acc: &mut [f64],
+    out: &mut [f64],
+) {
+    eval_block_impl::<true>(prog, width, vals, acc, out);
+}
+
+#[inline(always)]
+unsafe fn eval_block_impl<const FMA: bool>(
+    prog: &EvalProgram<f64>,
+    width: usize,
+    vals: &[f64],
+    acc: &mut [f64],
+    out: &mut [f64],
+) {
+    let np = prog.num_polys();
+    let w_tiles = width - width % TILE;
+    let vp = vals.as_ptr();
+    for p in 0..np {
+        acc.fill(0.0);
+        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+        for t in terms {
+            let c = prog.coeffs[t];
+            let f0 = prog.term_offsets[t] as usize;
+            let f1 = prog.term_offsets[t + 1] as usize;
+            // Constant terms have no factor to fuse into the accumulate.
+            let fused = FMA && f1 > f0;
+            let f_mul_end = if fused { f1 - 1 } else { f1 };
+            let mut lane = 0;
+            while lane < w_tiles {
+                let mut t0 = _mm256_set1_pd(c);
+                let mut t1 = t0;
+                let mut t2 = t0;
+                let mut t3 = t0;
+                for f in f0..f_mul_end {
+                    let base = prog.var_ids[f] as usize * width + lane;
+                    let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f]);
+                    t0 = _mm256_mul_pd(t0, x0);
+                    t1 = _mm256_mul_pd(t1, x1);
+                    t2 = _mm256_mul_pd(t2, x2);
+                    t3 = _mm256_mul_pd(t3, x3);
+                }
+                let ap = acc.as_mut_ptr().add(lane);
+                let mut a0 = _mm256_loadu_pd(ap);
+                let mut a1 = _mm256_loadu_pd(ap.add(4));
+                let mut a2 = _mm256_loadu_pd(ap.add(8));
+                let mut a3 = _mm256_loadu_pd(ap.add(12));
+                if fused {
+                    let base = prog.var_ids[f1 - 1] as usize * width + lane;
+                    let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f1 - 1]);
+                    a0 = _mm256_fmadd_pd(t0, x0, a0);
+                    a1 = _mm256_fmadd_pd(t1, x1, a1);
+                    a2 = _mm256_fmadd_pd(t2, x2, a2);
+                    a3 = _mm256_fmadd_pd(t3, x3, a3);
+                } else {
+                    a0 = _mm256_add_pd(a0, t0);
+                    a1 = _mm256_add_pd(a1, t1);
+                    a2 = _mm256_add_pd(a2, t2);
+                    a3 = _mm256_add_pd(a3, t3);
+                }
+                _mm256_storeu_pd(ap, a0);
+                _mm256_storeu_pd(ap.add(4), a1);
+                _mm256_storeu_pd(ap.add(8), a2);
+                _mm256_storeu_pd(ap.add(12), a3);
+                lane += TILE;
+            }
+            // Ragged lanes, 4-wide first: a lone `ymm` accumulator
+            // covers all but at most 3 lanes of a partial tile, so a
+            // 62-lane block (1055-polynomial programs hit exactly this
+            // before the stream rounding) is not mostly lane-at-a-time.
+            while lane + 4 <= width {
+                let mut tv = _mm256_set1_pd(c);
+                for f in f0..f_mul_end {
+                    let base = prog.var_ids[f] as usize * width + lane;
+                    let x = load4(vp.add(base), prog.exps[f]);
+                    tv = _mm256_mul_pd(tv, x);
+                }
+                let ap = acc.as_mut_ptr().add(lane);
+                let mut a = _mm256_loadu_pd(ap);
+                if fused {
+                    let base = prog.var_ids[f1 - 1] as usize * width + lane;
+                    let x = load4(vp.add(base), prog.exps[f1 - 1]);
+                    a = _mm256_fmadd_pd(tv, x, a);
+                } else {
+                    a = _mm256_add_pd(a, tv);
+                }
+                _mm256_storeu_pd(ap, a);
+                lane += 4;
+            }
+            // Last <4 lanes: the identical per-lane chain in scalar form
+            // (`mul_add` is a fused op exactly like `_mm256_fmadd_pd`,
+            // so the FMA variant stays deterministic across blockings).
+            for (off, slot) in acc[lane..width].iter_mut().enumerate() {
+                let l = lane + off;
+                let mut tv = c;
+                for f in f0..f_mul_end {
+                    let x = *vp.add(prog.var_ids[f] as usize * width + l);
+                    let e = prog.exps[f];
+                    tv *= if e == 1 { x } else { pow_f64(x, e) };
+                }
+                if fused {
+                    let x = *vp.add(prog.var_ids[f1 - 1] as usize * width + l);
+                    let e = prog.exps[f1 - 1];
+                    let xl = if e == 1 { x } else { pow_f64(x, e) };
+                    *slot = tv.mul_add(xl, *slot);
+                } else {
+                    *slot += tv;
+                }
+            }
+        }
+        for (lane, &a) in acc.iter().enumerate() {
+            out[lane * np + p] = a;
+        }
+    }
+}
+
+/// Loads one 16-lane tile of a factor's lane vector, applying the
+/// exponent through the register form of the shared [`pow_f64`] chain.
+#[inline(always)]
+unsafe fn load_tile(p: *const f64, e: u32) -> (__m256d, __m256d, __m256d, __m256d) {
+    let x0 = _mm256_loadu_pd(p);
+    let x1 = _mm256_loadu_pd(p.add(4));
+    let x2 = _mm256_loadu_pd(p.add(8));
+    let x3 = _mm256_loadu_pd(p.add(12));
+    if e == 1 {
+        (x0, x1, x2, x3)
+    } else {
+        (pow4(x0, e), pow4(x1, e), pow4(x2, e), pow4(x3, e))
+    }
+}
+
+/// Loads one 4-lane vector of a factor's lane vector, applying the
+/// exponent through the register form of the shared [`pow_f64`] chain.
+#[inline(always)]
+unsafe fn load4(p: *const f64, e: u32) -> __m256d {
+    let x = _mm256_loadu_pd(p);
+    if e == 1 {
+        x
+    } else {
+        pow4(x, e)
+    }
+}
+
+/// 4-wide [`pow_f64`]: the same LSB-first square-and-multiply chain per
+/// lane, so exponentiation cannot break cross-kernel bit-identity.
+#[inline(always)]
+unsafe fn pow4(x: __m256d, e: u32) -> __m256d {
+    let mut base = x;
+    let mut e = e;
+    let mut acc = _mm256_set1_pd(1.0);
+    loop {
+        if e & 1 == 1 {
+            acc = _mm256_mul_pd(acc, base);
+        }
+        e >>= 1;
+        if e == 0 {
+            break;
+        }
+        base = _mm256_mul_pd(base, base);
+    }
+    acc
+}

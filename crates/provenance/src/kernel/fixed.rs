@@ -1,0 +1,234 @@
+//! The scaled-`i128` fixed-point kernel for the exact path.
+//!
+//! The PR 5 `Rat` small-integer fast path showed how much skipping gcd
+//! normalization buys; this kernel is its logical endpoint. Instead of
+//! one rational reduction per ring operation, a whole scenario is
+//! evaluated in **pure integer arithmetic** at a common scale:
+//!
+//! * per *program* (once, cached): `S` = lcm of all coefficient
+//!   denominators, so every coefficient becomes the integer `c·S`;
+//! * per *scenario*: `D` = lcm of the row's value denominators, so every
+//!   value becomes the integer `x·D`; each term of total degree `g` in a
+//!   polynomial of max degree `G` is then padded by `D^(G−g)`, making
+//!   every addend an integer at the common scale `S·D^G`:
+//!
+//!   `poly(x) = ( Σ_t (c_t·S) · Π (x_v·D)^e · D^(G−g_t) ) / (S·D^G)`
+//!
+//!   — one [`Rat::new`] normalization per *polynomial* instead of one
+//!   gcd per ring operation.
+//!
+//! Every multiplication and addition is `checked_*`: the moment any
+//! intermediate would overflow `i128`, evaluation of that scenario
+//! returns `false` and the caller **deterministically falls back** to
+//! the plain `Rat` kernel. Because `Rat` keeps a unique canonical form,
+//! both kernels produce *representation-identical* results wherever the
+//! fixed path completes, so the fallback is invisible — pinned by the
+//! overflow-boundary property tests in `tests/kernel_diff.rs`.
+
+use crate::compile::EvalProgram;
+use cobra_util::Rat;
+
+/// Caps on the per-term total degree (sizes the per-scenario `D^k`
+/// table) — programs beyond it simply stay on the `Rat` path.
+const MAX_DEGREE: u64 = 64;
+
+/// A [`EvalProgram`]`<Rat>` lowered to common-scale integer form.
+///
+/// Built lazily (and cached) by
+/// [`EvalProgram::fixed_program`]; `None` when the program's
+/// coefficient scale or degrees do not fit the fixed-point guards.
+#[derive(Debug)]
+pub struct FixedProgram {
+    /// `c·S` per term: exact integer coefficients at the common scale.
+    coeff_num: Vec<i128>,
+    /// `S`: the lcm of every coefficient denominator.
+    coeff_scale: i128,
+    /// Total degree `g_t` of each term.
+    term_degree: Vec<u32>,
+    /// Max term degree `G_p` of each polynomial.
+    poly_degree: Vec<u32>,
+    /// Max degree over all polynomials (sizes the `D^k` table).
+    max_degree: u32,
+}
+
+/// Reusable per-scenario buffers for [`FixedProgram::eval_scenario_into`]
+/// (scaled values and the `D^k` table) — per-worker scratch, like
+/// [`LaneScratch`](super::LaneScratch) for the `f64` kernels.
+#[derive(Debug, Default)]
+pub struct FixedScratch {
+    xs: Vec<i128>,
+    dpow: Vec<i128>,
+}
+
+impl FixedScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> FixedScratch {
+        FixedScratch::default()
+    }
+}
+
+impl FixedProgram {
+    /// Lowers an exact program to fixed-point form, or `None` when the
+    /// coefficient scale overflows `i128` or any term's degree exceeds
+    /// the table guard.
+    pub fn prepare(prog: &EvalProgram<Rat>) -> Option<FixedProgram> {
+        let mut coeff_scale: i128 = 1;
+        for c in prog.coeffs.iter() {
+            coeff_scale = checked_lcm(coeff_scale, c.denom())?;
+        }
+        let coeff_num: Vec<i128> = prog
+            .coeffs
+            .iter()
+            .map(|c| c.numer().checked_mul(coeff_scale / c.denom()))
+            .collect::<Option<_>>()?;
+        let num_terms = prog.coeffs.len();
+        let mut term_degree = Vec::with_capacity(num_terms);
+        for t in 0..num_terms {
+            let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
+            let g: u64 = factors.map(|f| prog.exps[f] as u64).sum();
+            if g > MAX_DEGREE {
+                return None;
+            }
+            term_degree.push(g as u32);
+        }
+        let mut poly_degree = Vec::with_capacity(prog.num_polys());
+        for p in 0..prog.num_polys() {
+            let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+            poly_degree.push(terms.map(|t| term_degree[t]).max().unwrap_or(0));
+        }
+        let max_degree = poly_degree.iter().copied().max().unwrap_or(0);
+        Some(FixedProgram {
+            coeff_num,
+            coeff_scale,
+            term_degree,
+            poly_degree,
+            max_degree,
+        })
+    }
+
+    /// Evaluates one scenario row entirely in scaled integers, writing
+    /// `num_polys` canonical [`Rat`]s into `out`. Returns `false` — with
+    /// `out` in an unspecified state — the moment any intermediate would
+    /// overflow `i128`; the caller then re-evaluates the scenario through
+    /// [`EvalProgram::eval_scenario_into`], which produces the identical
+    /// canonical values wherever this kernel completes.
+    ///
+    /// # Panics
+    /// Panics if `row`/`out` widths do not match `prog`, or if `prog` is
+    /// not the program this fixed form was prepared from (term counts
+    /// differ).
+    pub fn eval_scenario_into(
+        &self,
+        prog: &EvalProgram<Rat>,
+        row: &[Rat],
+        out: &mut [Rat],
+        scratch: &mut FixedScratch,
+    ) -> bool {
+        assert_eq!(row.len(), prog.num_locals(), "scenario row width");
+        assert_eq!(out.len(), prog.num_polys(), "output row width");
+        assert_eq!(self.coeff_num.len(), prog.num_terms(), "foreign program");
+        self.eval_impl(prog, row, out, scratch).is_some()
+    }
+
+    fn eval_impl(
+        &self,
+        prog: &EvalProgram<Rat>,
+        row: &[Rat],
+        out: &mut [Rat],
+        scratch: &mut FixedScratch,
+    ) -> Option<()> {
+        // D = lcm of the row denominators; xs = values scaled by D.
+        let mut d: i128 = 1;
+        for x in row {
+            d = checked_lcm(d, x.denom())?;
+        }
+        scratch.xs.clear();
+        for x in row {
+            scratch.xs.push(x.numer().checked_mul(d / x.denom())?);
+        }
+        scratch.dpow.clear();
+        scratch.dpow.push(1);
+        for k in 1..=self.max_degree as usize {
+            let next = scratch.dpow[k - 1].checked_mul(d)?;
+            scratch.dpow.push(next);
+        }
+        let (xs, dpow) = (&scratch.xs[..], &scratch.dpow[..]);
+        for (p, slot) in out.iter_mut().enumerate() {
+            let g = self.poly_degree[p] as usize;
+            let mut acc: i128 = 0;
+            let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+            for t in terms {
+                let mut prod = self.coeff_num[t];
+                let factors =
+                    prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
+                for f in factors {
+                    let x = xs[prog.var_ids[f] as usize];
+                    prod = prod.checked_mul(checked_pow(x, prog.exps[f])?)?;
+                }
+                let padded = prod.checked_mul(dpow[g - self.term_degree[t] as usize])?;
+                acc = acc.checked_add(padded)?;
+            }
+            let den = self.coeff_scale.checked_mul(dpow[g])?;
+            *slot = Rat::new(acc, den);
+        }
+        Some(())
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// `lcm` with overflow detection. Inputs are positive here (`Rat`
+/// denominators), but the zero guard keeps the helper total.
+fn checked_lcm(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// `x`ᵉ with overflow detection (LSB-first square-and-multiply).
+fn checked_pow(x: i128, e: u32) -> Option<i128> {
+    match e {
+        0 => Some(1),
+        1 => Some(x),
+        _ => {
+            let mut base = x;
+            let mut e = e;
+            let mut acc: i128 = 1;
+            loop {
+                if e & 1 == 1 {
+                    acc = acc.checked_mul(base)?;
+                }
+                e >>= 1;
+                if e == 0 {
+                    return Some(acc);
+                }
+                base = base.checked_mul(base)?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcm_and_pow_helpers() {
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(1, 100), Some(100));
+        assert_eq!(checked_lcm(i128::MAX, 2), None);
+        assert_eq!(checked_pow(3, 4), Some(81));
+        assert_eq!(checked_pow(-2, 3), Some(-8));
+        assert_eq!(checked_pow(i128::MAX, 2), None);
+        assert_eq!(checked_pow(7, 0), Some(1));
+    }
+}

@@ -1,0 +1,55 @@
+//! The portable lane kernel — the auto-vectorized reference.
+//!
+//! This is the original `f64` lane kernel: per polynomial, per term, a
+//! coefficient-splatted `term` buffer is multiplied by each factor's
+//! lane vector and then added into the accumulator. LLVM auto-vectorizes
+//! the lane loops at whatever width the build target guarantees (2-wide
+//! SSE2 on default `x86-64`). Per lane the operation sequence is
+//! `term = c; term *= x_f (factor order); acc += term` with exponents
+//! expanded through [`pow_f64`] — the exact sequence the AVX2 kernel and
+//! the generic scalar walk ([`EvalProgram::eval_scenario_into`]) also
+//! perform, so all mul+add paths are bit-identical.
+
+use crate::compile::EvalProgram;
+use cobra_util::kernel::pow_f64;
+
+/// Evaluates one transposed lane block (see
+/// [`eval_lane_block`](super::eval_lane_block) for the layout contract).
+pub(crate) fn eval_block(
+    prog: &EvalProgram<f64>,
+    width: usize,
+    vals: &[f64],
+    term: &mut [f64],
+    acc: &mut [f64],
+    out: &mut [f64],
+) {
+    let np = prog.num_polys();
+    for p in 0..np {
+        acc.fill(0.0);
+        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
+        for t in terms {
+            term.fill(prog.coeffs[t]);
+            let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
+            for f in factors {
+                let base = prog.var_ids[f] as usize * width;
+                let xs = &vals[base..base + width];
+                let e = prog.exps[f];
+                if e == 1 {
+                    for (t, &x) in term.iter_mut().zip(xs) {
+                        *t *= x;
+                    }
+                } else {
+                    for (t, &x) in term.iter_mut().zip(xs) {
+                        *t *= pow_f64(x, e);
+                    }
+                }
+            }
+            for (a, &t) in acc.iter_mut().zip(&*term) {
+                *a += t;
+            }
+        }
+        for (lane, &a) in acc.iter().enumerate() {
+            out[lane * np + p] = a;
+        }
+    }
+}

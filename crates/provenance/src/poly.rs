@@ -84,7 +84,9 @@ impl Coeff for f64 {
         self * other
     }
     fn pow(&self, exp: u32) -> Self {
-        self.powi(exp as i32)
+        // The shared square-and-multiply chain keeps this walk
+        // bit-identical to every lane kernel (see `cobra_util::kernel`).
+        cobra_util::kernel::pow_f64(*self, exp)
     }
     fn is_zero(&self) -> bool {
         *self == 0.0

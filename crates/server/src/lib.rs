@@ -46,6 +46,7 @@ use crate::json::Json;
 use crate::proto::{err_reply, ok_reply, parse_request, Request};
 use crate::store::{Job, SessionStore};
 use cobra_util::framed::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use cobra_util::KernelTarget;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -60,6 +61,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Store directory enabling the disk tier (persist / re-load).
     pub store_dir: Option<PathBuf>,
+    /// Batch-kernel target every session worker runs under
+    /// ([`cobra_util::kernel`]): `Auto` resolves per CPU at runtime,
+    /// `Scalar`/`Avx2`/`Avx2Fma` force a kernel (unsupported targets
+    /// fall back to scalar). Reported by `stats` replies.
+    pub kernel: KernelTarget,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +73,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             store_dir: None,
+            kernel: KernelTarget::default(),
         }
     }
 }
@@ -110,7 +117,7 @@ impl Server {
 pub fn serve(config: ServerConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let store = Arc::new(SessionStore::new(config.store_dir));
+    let store = Arc::new(SessionStore::with_kernel(config.store_dir, config.kernel));
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = stop.clone();
     let accept = std::thread::Builder::new()

@@ -31,7 +31,7 @@ use cobra_core::{restore_session, snapshot_session, CobraSession, CoreError, Sce
     SweepBudget, SweepOutcome};
 use cobra_provenance::persist::{write_file, PersistError};
 use cobra_provenance::{LoadedArtifact, Valuation};
-use cobra_util::Rat;
+use cobra_util::{kernel, KernelTarget, Rat};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -93,6 +93,10 @@ struct SessionHandle {
 /// The tiered session store.
 pub struct SessionStore {
     dir: Option<PathBuf>,
+    /// Batch-kernel target every session worker runs under (scoped via
+    /// [`cobra_util::kernel::with_target`] around the worker loop, since
+    /// kernel overrides are thread-local).
+    kernel: KernelTarget,
     sessions: Mutex<HashMap<String, SessionHandle>>,
 }
 
@@ -113,10 +117,20 @@ fn valid_id(id: &str) -> bool {
 }
 
 impl SessionStore {
-    /// Creates a store; `dir` enables the disk tier.
+    /// Creates a store; `dir` enables the disk tier. Session workers
+    /// inherit the kernel target in effect on the calling thread
+    /// (`COBRA_KERNEL`, or a scoped
+    /// [`cobra_util::kernel::with_target`]).
     pub fn new(dir: Option<PathBuf>) -> SessionStore {
+        SessionStore::with_kernel(dir, kernel::target())
+    }
+
+    /// [`new`](Self::new) with an explicit batch-kernel target for every
+    /// session worker this store spawns.
+    pub fn with_kernel(dir: Option<PathBuf>, target: KernelTarget) -> SessionStore {
         SessionStore {
             dir,
+            kernel: target,
             sessions: Mutex::new(HashMap::new()),
         }
     }
@@ -216,9 +230,10 @@ impl SessionStore {
 
     fn insert_worker(&self, id: &str, session: CobraSession) {
         let (tx, rx) = channel();
+        let target = self.kernel;
         std::thread::Builder::new()
             .name(format!("cobra-session-{id}"))
-            .spawn(move || worker_loop(session, rx))
+            .spawn(move || kernel::with_target(target, || worker_loop(session, rx)))
             .expect("spawning a session worker thread");
         self.sessions
             .lock()
@@ -594,6 +609,7 @@ fn do_stats(session: &CobraSession) -> Vec<(String, Json)> {
         ),
         ("warm_engines".into(), Json::Num(info.warm_engines as f64)),
         ("hydrated".into(), Json::Bool(info.hydrated)),
+        ("kernel".into(), Json::Str(info.kernel.into())),
     ]
 }
 

@@ -21,6 +21,10 @@
 //! * [`faults`] — the fault-injection test hooks (`COBRA_FAULTS`,
 //!   [`faults::with_faults`]) that keep the robustness promises exercised;
 //!   compiled to near-no-ops when disarmed.
+//! * [`kernel`] — batch-kernel dispatch: runtime AVX2/FMA feature
+//!   detection, the `COBRA_KERNEL` override ([`kernel::with_target`]),
+//!   and the shared [`kernel::pow_f64`] exponentiation chain that keeps
+//!   every `f64` evaluation path bit-identical.
 //! * [`remap`] — registry-scoped dense `global → local` id remapping
 //!   ([`DenseRemap`]) backing allocation-free scenario binding in the
 //!   compiled evaluation engine.
@@ -40,6 +44,7 @@ pub mod faults;
 pub mod framed;
 pub mod hash;
 pub mod intern;
+pub mod kernel;
 pub mod mmap;
 pub mod par;
 pub mod rational;
@@ -50,6 +55,7 @@ pub mod timing;
 
 pub use arcslice::ArcSlice;
 pub use cancel::CancelToken;
+pub use kernel::{F64Kernel, KernelTarget};
 pub use mmap::{AlignedBytes, MmapFile};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{Interner, Symbol};

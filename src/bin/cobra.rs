@@ -11,9 +11,11 @@
 //!     (inline text like `Plans(Standard(p1,p2), v)` or `@file`),
 //!     then optionally evaluate a what-if scenario.
 //!
-//! cobra serve [--addr HOST:PORT] [--store DIR]
+//! cobra serve [--addr HOST:PORT] [--store DIR] [--kernel TARGET]
 //!     Run the COBRA sweep server (length-prefixed JSON frames over
-//!     TCP). `--store` enables the persistent session tier.
+//!     TCP). `--store` enables the persistent session tier;
+//!     `--kernel` pins the batch kernel (auto | scalar | avx2 |
+//!     avx2fma) for every session worker.
 //! ```
 
 use cobra::core::{CobraSession, SensitivityReport};
@@ -27,7 +29,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("cobra: {message}");
-            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR]");
+            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR] [--kernel auto|scalar|avx2|avx2fma]");
             ExitCode::FAILURE
         }
     }
@@ -111,6 +113,11 @@ fn parse_serve_args(args: &[String]) -> Result<cobra::server::ServerConfig, Stri
         match flag.as_str() {
             "--addr" => config.addr = value()?,
             "--store" => config.store_dir = Some(value()?.into()),
+            "--kernel" => {
+                config.kernel = value()?
+                    .parse()
+                    .map_err(|e: cobra::util::kernel::UnknownKernelTarget| e.to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -277,6 +284,14 @@ mod tests {
         assert_eq!(parse_serve_args(&[]).unwrap().addr, "127.0.0.1:0");
         assert!(parse_serve_args(&s(&["--addr"])).is_err());
         assert!(parse_serve_args(&s(&["--nope"])).is_err());
+
+        use cobra::util::KernelTarget;
+        assert_eq!(parse_serve_args(&[]).unwrap().kernel, KernelTarget::Auto);
+        let config = parse_serve_args(&s(&["--kernel", "scalar"])).unwrap();
+        assert_eq!(config.kernel, KernelTarget::Scalar);
+        let config = parse_serve_args(&s(&["--kernel", "avx2+fma"])).unwrap();
+        assert_eq!(config.kernel, KernelTarget::Avx2Fma);
+        assert!(parse_serve_args(&s(&["--kernel", "sse9"])).is_err());
     }
 
     #[test]

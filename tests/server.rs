@@ -215,6 +215,7 @@ fn persisted_session_reloads_by_mmap_and_answers_identically() {
     let config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
     };
 
     // First server: build, persist, and capture reference answers.
@@ -273,6 +274,7 @@ fn persisted_session_reloads_by_mmap_and_answers_identically() {
     let server = serve(ServerConfig {
         addr: "127.0.0.1:0".into(),
         store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
     })
     .unwrap();
     let mut c = connect(server.addr());
@@ -345,6 +347,89 @@ fn worker_panic_is_isolated_to_an_error_reply() {
     let reply = select_bound(&mut c, "flt", 2);
     assert_ok(&reply);
     server.shutdown();
+}
+
+/// Two servers pinned to different batch kernels (`--kernel scalar` vs
+/// `--kernel avx2`) must answer `sweep_fold_f64` — sequential *and*
+/// coalesced-concurrent — bit-identically: the AVX2 kernel performs the
+/// scalar kernel's exact multiply/add sequence, four lanes at a time.
+/// `stats` reports which kernel each worker resolved.
+#[test]
+fn forced_kernel_servers_reply_bit_identically() {
+    use cobra::util::{kernel, KernelTarget};
+
+    let kernel_of = |target: KernelTarget| {
+        let server = serve(ServerConfig {
+            kernel: target,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let mut c = connect(addr);
+        assert_ok(&prepare(&mut c, "kern", false));
+        assert_ok(&select_bound(&mut c, "kern", 2));
+
+        // One plain sweep…
+        let sweep = request(
+            &mut c,
+            &sweep_request("kern", &[("m3", "0.8"), ("m1", "6/5"), ("v", "2")], None),
+        );
+        assert_ok(&sweep);
+
+        // …and one coalesced round: four concurrent connections, fused
+        // by the session worker into a union-grid sweep.
+        let concurrent: Vec<Json> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let factor = format!("{}/10", 7 + i);
+                        let mut c = connect(addr);
+                        request(
+                            &mut c,
+                            &sweep_request("kern", &[("m3", factor.as_str()), ("m1", "6/5")], None),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for reply in &concurrent {
+            assert_ok(reply);
+        }
+
+        let stats = request(&mut c, r#"{"op":"stats","session":"kern"}"#);
+        assert_ok(&stats);
+        let resolved = stats
+            .get("kernel")
+            .and_then(Json::as_str)
+            .expect("stats reports the resolved kernel")
+            .to_owned();
+        server.shutdown();
+        (sweep, concurrent, resolved)
+    };
+
+    let (scalar_sweep, scalar_conc, scalar_name) = kernel_of(KernelTarget::Scalar);
+    assert_eq!(scalar_name, "scalar");
+
+    let (avx2_sweep, avx2_conc, avx2_name) = kernel_of(KernelTarget::Avx2);
+    if kernel::avx2_available() {
+        assert_eq!(avx2_name, "avx2");
+    } else {
+        assert_eq!(avx2_name, "scalar"); // silent fallback on older CPUs
+    }
+
+    assert_eq!(
+        scalar_sweep.get("rows"),
+        avx2_sweep.get("rows"),
+        "scalar and avx2 servers must agree bit for bit"
+    );
+    for (i, (s, a)) in scalar_conc.iter().zip(&avx2_conc).enumerate() {
+        assert_eq!(
+            s.get("rows"),
+            a.get("rows"),
+            "coalesced request {i} diverged between kernels"
+        );
+    }
 }
 
 #[test]
