@@ -63,6 +63,18 @@ pub enum CoreError {
     /// unsatisfiable (e.g. a scenario cap of zero) — a misuse, unlike a
     /// deadline that merely expired.
     InfeasibleBudget(String),
+    /// Exact rational arithmetic overflowed `i128` while folding sweep
+    /// results (reachable on adversarial coefficients). Caught at the
+    /// session boundary — the worker and the session both stay live,
+    /// matching the panic-isolation semantics of
+    /// [`WorkerPanicked`](Self::WorkerPanicked); the payload is the
+    /// overflow report.
+    ExactOverflow(String),
+    /// A delta update could not be applied; the session's polynomials
+    /// are left untouched. The payload is the
+    /// [`DeltaError`](cobra_provenance::DeltaError) (or label-resolution
+    /// failure) rendered.
+    Delta(String),
 }
 
 impl fmt::Display for CoreError {
@@ -104,6 +116,11 @@ impl fmt::Display for CoreError {
                 write!(f, "sweep worker panicked (session remains usable): {m}")
             }
             CoreError::InfeasibleBudget(m) => write!(f, "infeasible sweep budget: {m}"),
+            CoreError::ExactOverflow(m) => write!(
+                f,
+                "exact arithmetic overflow during sweep (session remains usable): {m}"
+            ),
+            CoreError::Delta(m) => write!(f, "delta update rejected: {m}"),
         }
     }
 }

@@ -139,6 +139,105 @@ impl GroupAnalysis {
         })
     }
 
+    /// Re-analyses only the polynomials listed in `touched` (sorted
+    /// indices into `set`), reusing this analysis's groups and base terms
+    /// for every other polynomial — the incremental sibling of
+    /// [`analyze`](Self::analyze) behind `CobraSession::apply_delta`.
+    ///
+    /// Sound because groups never span polynomials: a group is keyed by
+    /// `(polynomial, context, exponent)` and its `term_indices` reference
+    /// that polynomial's canonical term list alone, so a delta to one
+    /// polynomial cannot perturb another's groups. Only the touched
+    /// polynomials pay the context-hashing cost; the merged result —
+    /// canonical group order, base-term order, node weights — is
+    /// **identical** to a fresh `analyze(set, tree)`.
+    ///
+    /// # Errors
+    /// [`CoreError::MonomialSpansTree`] if a touched monomial now mentions
+    /// two distinct leaves of the tree.
+    pub fn reanalyze_polys<C: Coeff>(
+        &self,
+        set: &PolySet<C>,
+        tree: &AbstractionTree,
+        touched: &[usize],
+    ) -> Result<GroupAnalysis> {
+        let mut is_touched = vec![false; set.len()];
+        for &p in touched {
+            is_touched[p] = true;
+        }
+        // Keep everything belonging to untouched polynomials.
+        let mut base_terms: Vec<(u32, u32)> = self
+            .base_terms
+            .iter()
+            .filter(|&&(p, _)| !is_touched[p as usize])
+            .copied()
+            .collect();
+        let mut out_groups: Vec<Group> = self
+            .groups
+            .iter()
+            .filter(|g| !is_touched[g.poly as usize])
+            .cloned()
+            .collect();
+
+        // Re-classify the touched polynomials exactly like `analyze`.
+        let mut groups: FxHashMap<(u32, Monomial, u32), Vec<(u32, u32)>> = FxHashMap::default();
+        for &poly_idx in touched {
+            let label = set.label(poly_idx).expect("touched index in range");
+            let poly = set.poly(poly_idx).expect("touched index in range");
+            for (term_idx, (monomial, _)) in poly.iter().enumerate() {
+                let mut tree_var = None;
+                for v in monomial.vars() {
+                    if let Some(leaf) = tree.leaf_of_var(v) {
+                        if let Some((prev_var, _)) = tree_var {
+                            let pv: cobra_provenance::Var = prev_var;
+                            return Err(CoreError::MonomialSpansTree {
+                                poly: label.to_owned(),
+                                vars: (format!("Var({})", pv.0), format!("Var({})", v.0)),
+                            });
+                        }
+                        tree_var = Some((v, leaf));
+                    }
+                }
+                match tree_var {
+                    None => base_terms.push((poly_idx as u32, term_idx as u32)),
+                    Some((v, leaf)) => {
+                        let (context, exp) = monomial.without(v);
+                        let pos = tree.leaf_range(leaf).start as u32;
+                        groups
+                            .entry((poly_idx as u32, context, exp))
+                            .or_default()
+                            .push((pos, term_idx as u32));
+                    }
+                }
+            }
+        }
+        for ((poly, context, exponent), mut members) in groups {
+            members.sort_unstable_by_key(|&(pos, _)| pos);
+            debug_assert!(members.windows(2).all(|w| w[0].0 != w[1].0));
+            out_groups.push(Group {
+                poly,
+                exponent,
+                context,
+                leaf_positions: members.iter().map(|&(pos, _)| pos).collect(),
+                term_indices: members.iter().map(|&(_, idx)| idx).collect(),
+            });
+        }
+        // Restore the global canonical orders `analyze` produces.
+        base_terms.sort_unstable();
+        out_groups.sort_unstable_by(|a, b| {
+            (a.poly, a.exponent, &a.leaf_positions, &a.context)
+                .cmp(&(b.poly, b.exponent, &b.leaf_positions, &b.context))
+        });
+
+        let node_weight = compute_node_weights(tree, &out_groups);
+        Ok(GroupAnalysis {
+            base_monomials: base_terms.len() as u64,
+            base_terms,
+            groups: out_groups,
+            node_weight,
+        })
+    }
+
     /// The exact compressed size for a cut, via the additive formula.
     pub fn compressed_size(&self, cut_nodes: &[NodeId]) -> u64 {
         self.base_monomials
@@ -323,6 +422,51 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         )]);
         assert!(matches!(
             GroupAnalysis::analyze(&set, &tree),
+            Err(CoreError::MonomialSpansTree { .. })
+        ));
+    }
+
+    #[test]
+    fn reanalysis_matches_fresh_analysis_after_deltas() {
+        use cobra_provenance::PolyDelta;
+        let (mut reg, tree, mut set) = paper_setup();
+        let before = GroupAnalysis::analyze(&set, &tree).unwrap();
+        // Structural churn in P1 (drop a member, add one with a new
+        // context) plus a new base monomial in P2.
+        let p1 = reg.lookup("p1").unwrap();
+        let m1 = reg.lookup("m1").unwrap();
+        let b1 = reg.lookup("b1").unwrap();
+        let m9 = reg.var("m9");
+        let k = reg.var("k");
+        let mut delta = PolyDelta::new();
+        delta.remove(0, Monomial::from_pairs([(p1, 1), (m1, 1)]));
+        delta.add(0, Monomial::from_pairs([(b1, 1), (m9, 1)]), rat("5"));
+        delta.add(1, Monomial::var(k), rat("2"));
+        let report = set.apply_delta(&delta).unwrap();
+        assert_eq!(report.structural_polys, vec![0, 1]);
+
+        let incremental = before
+            .reanalyze_polys(&set, &tree, &report.touched())
+            .unwrap();
+        let fresh = GroupAnalysis::analyze(&set, &tree).unwrap();
+        assert_eq!(incremental.base_terms, fresh.base_terms);
+        assert_eq!(incremental.groups, fresh.groups);
+        assert_eq!(incremental.node_weight, fresh.node_weight);
+        assert_eq!(incremental.base_monomials, fresh.base_monomials);
+    }
+
+    #[test]
+    fn reanalysis_reports_spanning_monomials() {
+        use cobra_provenance::PolyDelta;
+        let (reg, tree, mut set) = paper_setup();
+        let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+        let p1 = reg.lookup("p1").unwrap();
+        let b1 = reg.lookup("b1").unwrap();
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::from_pairs([(p1, 1), (b1, 1)]), rat("1"));
+        let report = set.apply_delta(&delta).unwrap();
+        assert!(matches!(
+            analysis.reanalyze_polys(&set, &tree, &report.touched()),
             Err(CoreError::MonomialSpansTree { .. })
         ));
     }

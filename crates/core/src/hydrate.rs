@@ -319,6 +319,7 @@ fn restore_from_reader(
     let full_f64 = OnceCell::new();
     let _ = full_f64.set(full_f64_engine);
 
+    let reg_len_at_plan = reg.len();
     Ok(CobraSession {
         reg,
         // Left empty: decompiled from the full engine on first need.
@@ -327,6 +328,7 @@ fn restore_from_reader(
         trees: vec![tree],
         tree_texts: vec![Some(tree_text)],
         bound: None,
+        delta_churn: 0,
         full_rat,
         full_f64,
         compressed: None,
@@ -338,7 +340,12 @@ fn restore_from_reader(
             original_size,
             reserved,
             invariant_vars,
+            // DP tables are not persisted: the first structural delta on a
+            // re-hydrated session replans from scratch (and snapshots).
+            plan_snapshot: None,
+            reg_len_at_plan,
             selected: None,
+            subs: FxHashMap::default(),
             warm,
         }),
         forest: None::<ForestFrontierState>,

@@ -107,9 +107,10 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
+pub use cobra_provenance::{DeltaAction, DeltaError, DeltaOp, DeltaReport, PolyDelta};
 pub use planner::{
     BruteForce, CutFrontier, CutPlanner, ExactDp, FrontierPoint, Greedy, NodeStats, PlanContext,
-    PlannedCut,
+    PlanSnapshot, PlannedCut,
 };
 pub use folds::{MergeFold, SweepFold};
 pub use scenario::{

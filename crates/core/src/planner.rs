@@ -53,6 +53,7 @@ use crate::groups::GroupAnalysis;
 use crate::tree::{AbstractionTree, NodeId};
 use cobra_util::par;
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 const INF: u64 = u64::MAX;
 
@@ -101,7 +102,19 @@ pub struct PlanContext<'a> {
     tree: &'a AbstractionTree,
     analysis: &'a GroupAnalysis,
     stats: Vec<NodeStats>,
-    tables: OnceCell<Vec<NodeTable>>,
+    tables: OnceCell<Vec<Arc<NodeTable>>>,
+}
+
+/// An owned snapshot of a [`PlanContext`]'s derived state — the per-node
+/// statistics plus the (Arc-shared) knapsack tables — detached from the
+/// context's borrows so a session can keep it across delta updates.
+/// [`PlanContext::new_incremental`] rebuilds tables only for subtrees
+/// whose group weight actually changed, reusing every clean subtree's
+/// table by pointer.
+#[derive(Clone)]
+pub struct PlanSnapshot {
+    stats: Vec<NodeStats>,
+    tables: Vec<Arc<NodeTable>>,
 }
 
 impl<'a> PlanContext<'a> {
@@ -179,8 +192,61 @@ impl<'a> PlanContext<'a> {
 
     /// The memoized DP tables (built on first exact query, shared by
     /// every subsequent `plan`/`plan_frontier`/cardinality call).
-    fn tables(&self) -> &[NodeTable] {
+    fn tables(&self) -> &[Arc<NodeTable>] {
         self.tables.get_or_init(|| build_tables(self.tree, &self.stats))
+    }
+
+    /// Captures the derived statistics and DP tables (forcing the table
+    /// build if it has not happened yet) for later reuse by
+    /// [`new_incremental`](Self::new_incremental). Tables are Arc-shared,
+    /// so a snapshot costs `O(nodes)` pointer clones.
+    pub fn snapshot(&self) -> PlanSnapshot {
+        PlanSnapshot {
+            stats: self.stats.clone(),
+            tables: self.tables().to_vec(),
+        }
+    }
+
+    /// Builds a context for `(tree, analysis)` reusing a previous
+    /// snapshot's knapsack tables wherever they are still valid. A node's
+    /// table depends only on the **weights** inside its subtree
+    /// (the table builder reads nothing else from the statistics), so
+    /// after a delta the tables along unaffected root-to-leaf paths are
+    /// reused by pointer and only the dirty paths re-run the knapsack
+    /// convolution. Falls back to plain [`new`](Self::new) semantics
+    /// (everything lazily rebuilt) if the snapshot came from a different
+    /// tree shape.
+    pub fn new_incremental(
+        tree: &'a AbstractionTree,
+        analysis: &'a GroupAnalysis,
+        prev: &PlanSnapshot,
+    ) -> PlanContext<'a> {
+        let ctx = PlanContext::new(tree, analysis);
+        if prev.stats.len() != ctx.stats.len() {
+            return ctx;
+        }
+        let mut tables: Vec<Option<Arc<NodeTable>>> =
+            (0..tree.num_nodes()).map(|_| None).collect();
+        let mut dirty = vec![false; tree.num_nodes()];
+        for node in tree.post_order() {
+            let i = node.index();
+            dirty[i] = ctx.stats[i].weight != prev.stats[i].weight
+                || tree.children(node).iter().any(|c| dirty[c.index()]);
+            tables[i] = Some(if dirty[i] {
+                Arc::new(build_node_table(
+                    tree,
+                    node,
+                    ctx.stats[i].weight,
+                    &tables,
+                ))
+            } else {
+                Arc::clone(&prev.tables[i])
+            });
+        }
+        let tables: Vec<Arc<NodeTable>> =
+            tables.into_iter().map(|t| t.expect("all filled")).collect();
+        let _ = ctx.tables.set(tables);
+        ctx
     }
 }
 
@@ -665,71 +731,84 @@ impl CutPlanner for BruteForce {
     }
 }
 
-fn build_tables(tree: &AbstractionTree, stats: &[NodeStats]) -> Vec<NodeTable> {
-    let mut tables: Vec<Option<NodeTable>> = (0..tree.num_nodes()).map(|_| None).collect();
-    for node in tree.post_order() {
-        let w = stats[node.index()].weight;
-        let table = if tree.is_leaf(node) {
-            NodeTable {
-                cost: vec![w],
-                choice: vec![None],
-            }
-        } else {
-            // Knapsack convolution over children: `acc_cost[k]` is the
-            // minimal Σw over cuts of the already-folded children using
-            // exactly `k` nodes; `acc_split[k]` records each child's share.
-            let mut acc_cost: Vec<u64> = vec![0];
-            let mut acc_split: Vec<Vec<usize>> = vec![Vec::new()];
-            for &child in tree.children(node) {
-                let ct = tables[child.index()].as_ref().expect("post-order fills children first");
-                let new_len = acc_cost.len() + ct.cost.len();
-                let mut new_cost = vec![INF; new_len];
-                let mut new_split: Vec<Vec<usize>> = vec![Vec::new(); new_len];
-                for (i, &ca) in acc_cost.iter().enumerate() {
-                    if ca == INF {
-                        continue;
-                    }
-                    for (j, &cb) in ct.cost.iter().enumerate() {
-                        if cb == INF {
-                            continue;
-                        }
-                        let k = i + j + 1; // this child contributes j+1 nodes
-                        let total = ca + cb;
-                        if total < new_cost[k] {
-                            new_cost[k] = total;
-                            let mut s = acc_split[i].clone();
-                            s.push(j + 1);
-                            new_split[k] = s;
-                        }
-                    }
-                }
-                acc_cost = new_cost;
-                acc_split = new_split;
-            }
-            // Shift to 1-based cardinalities; k ranges up to #leaves(node).
-            let max_k = acc_cost.len() - 1;
-            let mut cost = vec![INF; max_k];
-            let mut choice: Vec<Option<Vec<usize>>> = vec![None; max_k];
-            for k in 1..=max_k {
-                if acc_cost[k] != INF {
-                    cost[k - 1] = acc_cost[k];
-                    choice[k - 1] = Some(std::mem::take(&mut acc_split[k]));
-                }
-            }
-            // Option: cut at this node itself (k = 1).
-            if w < cost[0] {
-                cost[0] = w;
-                choice[0] = None;
-            }
-            NodeTable { cost, choice }
+/// Builds one node's knapsack table from its children's (already filled)
+/// tables — the shared body of the full bottom-up build and the
+/// dirty-path rebuild in [`PlanContext::new_incremental`]. Depends only
+/// on the node's own weight `w` and the children's tables.
+fn build_node_table(
+    tree: &AbstractionTree,
+    node: NodeId,
+    w: u64,
+    tables: &[Option<Arc<NodeTable>>],
+) -> NodeTable {
+    if tree.is_leaf(node) {
+        return NodeTable {
+            cost: vec![w],
+            choice: vec![None],
         };
-        tables[node.index()] = Some(table);
+    }
+    // Knapsack convolution over children: `acc_cost[k]` is the
+    // minimal Σw over cuts of the already-folded children using
+    // exactly `k` nodes; `acc_split[k]` records each child's share.
+    let mut acc_cost: Vec<u64> = vec![0];
+    let mut acc_split: Vec<Vec<usize>> = vec![Vec::new()];
+    for &child in tree.children(node) {
+        let ct = tables[child.index()]
+            .as_deref()
+            .expect("post-order fills children first");
+        let new_len = acc_cost.len() + ct.cost.len();
+        let mut new_cost = vec![INF; new_len];
+        let mut new_split: Vec<Vec<usize>> = vec![Vec::new(); new_len];
+        for (i, &ca) in acc_cost.iter().enumerate() {
+            if ca == INF {
+                continue;
+            }
+            for (j, &cb) in ct.cost.iter().enumerate() {
+                if cb == INF {
+                    continue;
+                }
+                let k = i + j + 1; // this child contributes j+1 nodes
+                let total = ca + cb;
+                if total < new_cost[k] {
+                    new_cost[k] = total;
+                    let mut s = acc_split[i].clone();
+                    s.push(j + 1);
+                    new_split[k] = s;
+                }
+            }
+        }
+        acc_cost = new_cost;
+        acc_split = new_split;
+    }
+    // Shift to 1-based cardinalities; k ranges up to #leaves(node).
+    let max_k = acc_cost.len() - 1;
+    let mut cost = vec![INF; max_k];
+    let mut choice: Vec<Option<Vec<usize>>> = vec![None; max_k];
+    for k in 1..=max_k {
+        if acc_cost[k] != INF {
+            cost[k - 1] = acc_cost[k];
+            choice[k - 1] = Some(std::mem::take(&mut acc_split[k]));
+        }
+    }
+    // Option: cut at this node itself (k = 1).
+    if w < cost[0] {
+        cost[0] = w;
+        choice[0] = None;
+    }
+    NodeTable { cost, choice }
+}
+
+fn build_tables(tree: &AbstractionTree, stats: &[NodeStats]) -> Vec<Arc<NodeTable>> {
+    let mut tables: Vec<Option<Arc<NodeTable>>> = (0..tree.num_nodes()).map(|_| None).collect();
+    for node in tree.post_order() {
+        let table = build_node_table(tree, node, stats[node.index()].weight, &tables);
+        tables[node.index()] = Some(Arc::new(table));
     }
     tables.into_iter().map(|t| t.expect("all filled")).collect()
 }
 
 /// Recovers the minimal cut of cardinality `k` through the backpointers.
-fn reconstruct_cut(tree: &AbstractionTree, tables: &[NodeTable], k: usize) -> Cut {
+fn reconstruct_cut(tree: &AbstractionTree, tables: &[Arc<NodeTable>], k: usize) -> Cut {
     let mut nodes = Vec::with_capacity(k);
     reconstruct(tree, tables, tree.root(), k, &mut nodes);
     Cut::new(tree, nodes).expect("DP reconstruction yields a valid cut")
@@ -737,7 +816,7 @@ fn reconstruct_cut(tree: &AbstractionTree, tables: &[NodeTable], k: usize) -> Cu
 
 fn reconstruct(
     tree: &AbstractionTree,
-    tables: &[NodeTable],
+    tables: &[Arc<NodeTable>],
     node: NodeId,
     k: usize,
     out: &mut Vec<NodeId>,
@@ -830,6 +909,61 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
                 (plan, point) => panic!("bound {bound}: {plan:?} vs {point:?}"),
             }
         }
+    }
+
+    #[test]
+    fn incremental_context_reuses_clean_subtree_tables() {
+        use cobra_provenance::{parse_polyset, Monomial, PolyDelta};
+        let mut reg = VarRegistry::new();
+        let tree = paper_plans_tree(&mut reg);
+        let src = "\
+P1 = 208.8*p1*m1 + 240*p1*m3 + 127.4*f1*m1 + 114.45*f1*m3 \
+   + 75.9*y1*m1 + 72.5*y1*m3 + 42*v*m1 + 24.2*v*m3
+P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3";
+        let mut set: PolySet<Rat> = parse_polyset(src, &mut reg).unwrap();
+        let analysis = GroupAnalysis::analyze(&set, &tree).unwrap();
+        let ctx = PlanContext::new(&tree, &analysis);
+        ExactDp.plan_frontier(&ctx).unwrap(); // force the tables
+        let snap = ctx.snapshot();
+
+        // A delta confined to P2 under Business: a new group touching b1.
+        let b1 = reg.lookup("b1").unwrap();
+        let m9 = reg.var("m9");
+        let mut delta = PolyDelta::new();
+        delta.add(1, Monomial::from_pairs([(b1, 1), (m9, 1)]), Rat::parse("3").unwrap());
+        let report = set.apply_delta(&delta).unwrap();
+        let analysis2 = analysis
+            .reanalyze_polys(&set, &tree, &report.touched())
+            .unwrap();
+
+        let inc = PlanContext::new_incremental(&tree, &analysis2, &snap);
+        let fresh = PlanContext::new(&tree, &analysis2);
+        let f_inc = ExactDp.plan_frontier(&inc).unwrap();
+        let f_fresh = ExactDp.plan_frontier(&fresh).unwrap();
+        assert_eq!(f_inc.len(), f_fresh.len());
+        for (a, b) in f_inc.points().iter().zip(f_fresh.points()) {
+            assert_eq!((a.variables, a.size, &a.cut), (b.variables, b.size, &b.cut));
+        }
+
+        // Weight changed only along b1 → SB → Business → root: the
+        // Standard and Special subtrees reuse their snapshot tables by
+        // pointer, the dirty path is rebuilt.
+        let tables = inc.tables();
+        for (name, reused) in [
+            ("Standard", true),
+            ("Special", true),
+            ("Business", false),
+            ("SB", false),
+        ] {
+            let node = tree.node_by_name(name).unwrap();
+            assert_eq!(
+                Arc::ptr_eq(&tables[node.index()], &snap.tables[node.index()]),
+                reused,
+                "table reuse for {name}"
+            );
+        }
+        let root = tree.root().index();
+        assert!(!Arc::ptr_eq(&tables[root], &snap.tables[root]));
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::groups::GroupAnalysis;
 use crate::multi::{
     optimize_forest_descent, optimize_single_tree, plan_forest_frontier, ForestFrontier,
 };
-use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext};
+use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext, PlanSnapshot};
 use crate::report::CompressionReport;
 use crate::scenario::{
     measure_sweep_speedup, CompiledComparison, ErrorShadow, F64Divergence, F64ErrorBound,
@@ -33,9 +33,40 @@ use crate::scenario::{
 };
 use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
-use cobra_provenance::{BatchEvaluator, PolySet, ProvenanceStats, Valuation, Var, VarRegistry};
-use cobra_util::{FxHashMap, FxHashSet, Rat};
+use cobra_provenance::{
+    BatchEvaluator, DeltaReport, PolyDelta, PolySet, ProvenanceStats, Valuation, Var, VarRegistry,
+};
+use cobra_util::{par, FxHashMap, FxHashSet, Rat};
 use std::cell::OnceCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Maps an already-caught worker panic whose payload is the exact
+/// `i128` rational overflow panic onto the typed, recoverable
+/// [`CoreError::ExactOverflow`]; every other error passes through.
+fn overflow_to_typed(e: CoreError) -> CoreError {
+    match e {
+        CoreError::WorkerPanicked(m) if m.contains("Rat overflow") => CoreError::ExactOverflow(m),
+        other => other,
+    }
+}
+
+/// Runs an exact sweep surface under `catch_unwind`, converting a `Rat`
+/// overflow panic (reachable on adversarial coefficients near `i128::MAX`)
+/// into the typed [`CoreError::ExactOverflow`] so a long-lived session or
+/// server worker survives it; any unrelated panic is resumed unchanged.
+fn catch_exact_overflow<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result.map_err(overflow_to_typed),
+        Err(payload) => {
+            let msg = par::panic_message(&payload);
+            if msg.contains("Rat overflow") {
+                Err(CoreError::ExactOverflow(msg))
+            } else {
+                resume_unwind(payload)
+            }
+        }
+    }
+}
 
 /// One row of the meta-variable screen: the meta-variable, the original
 /// variables it groups with their base values, and the default (average).
@@ -96,6 +127,12 @@ pub struct CobraSession {
     /// session rebuilds identical trees.
     pub(crate) tree_texts: Vec<Option<String>>,
     pub(crate) bound: Option<u64>,
+    /// Terms touched by deltas since the full program was last compiled
+    /// from scratch: once the accumulated churn passes a fraction of the
+    /// program, [`apply_delta`](CobraSession::apply_delta) compacts by
+    /// recompiling instead of splicing another patch, bounding the local
+    /// table's drift from first-occurrence order.
+    pub(crate) delta_churn: usize,
     /// Exact compiled engine over the full provenance. The input
     /// polynomials never change after construction, so this is compiled
     /// once per session (lazily, on first compression) and *shared* with
@@ -197,8 +234,24 @@ pub(crate) struct FrontierState {
     /// they survive every cut, so any selection's `compressed_vars` is
     /// this count plus the cut nodes that some group actually touches.
     pub(crate) invariant_vars: usize,
+    /// The planner's per-node DP tables behind the frontier, kept so a
+    /// structural delta replans only the root-to-leaf paths whose weights
+    /// changed ([`PlanContext::new_incremental`]). `None` for re-hydrated
+    /// sessions, which fall back to a fresh plan on their first delta.
+    pub(crate) plan_snapshot: Option<PlanSnapshot>,
+    /// Registry length when `reserved` was last brought up to date. The
+    /// registry is append-only, so this is a perfect generation stamp:
+    /// variables interned through `registry_mut` since then are folded
+    /// into `reserved` before the next cut substitution, keeping user
+    /// variables from aliasing a meta-variable that shares their name.
+    pub(crate) reg_len_at_plan: usize,
     /// Frontier index currently materialized in `compressed`, if any.
     pub(crate) selected: Option<usize>,
+    /// Memoized per-point meta-variable substitutions: re-selecting a
+    /// frontier point must reuse the *same* meta-variable identities it
+    /// minted the first time (fresh-naming on every selection would strand
+    /// the warm engines compiled against the earlier identities).
+    pub(crate) subs: FxHashMap<usize, (FxHashMap<Var, Var>, Vec<MetaVar>)>,
     /// Compiled compressed-side engines of *previously* selected frontier
     /// points, stashed on de-selection so hopping back to a bound the
     /// session already explored re-installs its engines (cheap `Arc`
@@ -240,6 +293,7 @@ impl CobraSession {
             trees: Vec::new(),
             tree_texts: Vec::new(),
             bound: None,
+            delta_churn: 0,
             full_rat: OnceCell::new(),
             full_f64: OnceCell::new(),
             compressed: None,
@@ -456,6 +510,10 @@ impl CobraSession {
         if self.trees.is_empty() {
             return Err(CoreError::Session("no abstraction tree registered".into()));
         }
+        // Reserve user-interned variables *before* the optimizer interns
+        // its meta-variables, so the stamp advance below never hides them
+        // from a later `select_bound`.
+        self.sync_reserved_vars();
         let full_stats = ProvenanceStats::compute(Self::polys_of(&self.polys, &self.full_rat));
         self.log(|| format!("input: {full_stats}"));
         let polys = Self::polys_of(&self.polys, &self.full_rat);
@@ -499,8 +557,14 @@ impl CobraSession {
         // program stays session-cached either way.
         self.compressed = Some(Compressed::from_applied(applied, cuts_display));
         // Any frontier selection no longer reflects the compressed state.
+        // The meta-variables the one-shot path just interned are the
+        // session's own, not user variables: advance the generation stamp
+        // past them so a later `select_bound` aliases onto them (it must
+        // reproduce this compression bit for bit) instead of reserving
+        // them and minting fresh meta-variables.
         if let Some(frontier) = &mut self.frontier {
             frontier.selected = None;
+            frontier.reg_len_at_plan = self.reg.len();
         }
         if let Some(forest) = &mut self.forest {
             forest.selected = None;
@@ -560,9 +624,13 @@ impl CobraSession {
             let set = Self::polys_of(&self.polys, &self.full_rat);
             let tree = &self.trees[0];
             let analysis = GroupAnalysis::analyze(set, tree)?;
+            let ctx = PlanContext::new(tree, &analysis);
             let frontier = ExactDp
-                .plan_frontier(&PlanContext::new(tree, &analysis))
+                .plan_frontier(&ctx)
                 .expect("the exact DP frontier always exists");
+            // Keep the DP tables: structural deltas replan incrementally
+            // against them instead of rebuilding the whole tree.
+            let plan_snapshot = Some(ctx.snapshot());
             let full_stats = ProvenanceStats::compute(set);
             // The non-tree variables survive every cut: count them once so
             // selections can report `compressed_vars` without building the
@@ -596,7 +664,10 @@ impl CobraSession {
                 original_size,
                 reserved,
                 invariant_vars: invariant.len(),
+                plan_snapshot,
+                reg_len_at_plan: self.reg.len(),
                 selected: None,
+                subs: FxHashMap::default(),
                 warm: FxHashMap::default(),
             });
         }
@@ -710,6 +781,22 @@ impl CobraSession {
             .ok_or_else(|| CoreError::Session("compress_frontier must be called first".into()))
     }
 
+    /// Folds every variable interned since the frontier was planned (or
+    /// last synced) into the plan's reserved set and advances the
+    /// generation stamp. The registry is append-only, so its length is a
+    /// perfect generation stamp for "what appeared since".
+    fn sync_reserved_vars(&mut self) {
+        if let Some(state) = self.frontier.as_mut() {
+            let len = self.reg.len();
+            if len > state.reg_len_at_plan {
+                state
+                    .reserved
+                    .extend((state.reg_len_at_plan..len).map(|i| Var(i as u32)));
+                state.reg_len_at_plan = len;
+            }
+        }
+    }
+
     /// Re-selects the session's compression for a new bound against the
     /// cached frontier: an `O(log frontier)` lookup, then — only if the
     /// selected point actually changed — an `O(leaves)` meta-variable
@@ -735,6 +822,12 @@ impl CobraSession {
         if self.forest.is_some() {
             return self.select_bound_forest(bound);
         }
+        // Variables interned through `registry_mut` since planning must be
+        // treated as reserved, or a cut node sharing their name would alias
+        // its meta-variable onto the caller's variable — and a sweep
+        // binding that variable would silently perturb the compressed side
+        // only.
+        self.sync_reserved_vars();
         let state = self
             .frontier
             .as_ref()
@@ -750,8 +843,10 @@ impl CobraSession {
             let tree = &self.trees[0];
             // Disjoint field borrows: the frontier state is read-only here
             // while the registry takes the only mutable borrow.
-            let (substitution, meta_vars) =
-                point.cut.substitution(tree, &mut self.reg, &state.reserved);
+            let (substitution, meta_vars) = match state.subs.get(&idx) {
+                Some(pair) => pair.clone(),
+                None => point.cut.substitution(tree, &mut self.reg, &state.reserved),
+            };
             // The invariant (non-tree) variables survive every cut; a cut
             // node's meta-variable occurs iff some group touches it.
             let compressed_vars = state.invariant_vars
@@ -811,6 +906,15 @@ impl CobraSession {
                 }
             }
             fs.selected = Some(idx);
+            fs.subs
+                .entry(idx)
+                .or_insert_with(|| (next.substitution.clone(), next.meta_vars.clone()));
+            // The substitution may have interned fresh meta-variable
+            // names; advance the generation stamp past them so they are
+            // never mistaken for user variables (name-addressing a
+            // meta-variable via `registry_mut` must keep resolving to the
+            // meta-variable itself).
+            fs.reg_len_at_plan = self.reg.len();
             self.compressed = Some(next);
         }
         let state = self.frontier.as_ref().expect("checked above");
@@ -870,6 +974,236 @@ impl CobraSession {
             cuts: compressed.cuts_display.clone(),
             speedup: None,
         })
+    }
+
+    /// Applies a term-level delta to the session's polynomials **in
+    /// place**, then patches — rather than rebuilds — every cache the
+    /// delta touches, so a live session absorbs upstream provenance
+    /// changes at `O(touched)` cost instead of a full
+    /// regenerate → recompile → replan cycle:
+    ///
+    /// * the polynomial set is edited via [`PolySet::apply_delta`]
+    ///   (atomic: an invalid delta leaves the session untouched);
+    /// * the compiled full-side program is **spliced**: untouched CSR rows
+    ///   are copied by range (coefficient-only deltas share every shape
+    ///   array), and accumulated churn eventually triggers a compacting
+    ///   recompile;
+    /// * for planned frontiers, a structural delta re-analyzes only the
+    ///   touched polynomials (groups never span polynomials) and replans
+    ///   reusing the DP tables of every subtree whose weights did not
+    ///   change; a coefficient-only delta keeps the analysis, frontier and
+    ///   selection metadata entirely and drops just the compiled engines;
+    /// * an active frontier selection is re-selected at its bound, a
+    ///   one-shot [`compress`](Self::compress) state is re-derived, and a
+    ///   forest staircase (descent-built over the whole set) is cleared
+    ///   for replanning.
+    ///
+    /// Answers after a delta are **bit-identical** to a session rebuilt
+    /// from scratch on the updated polynomials (pinned across kernels and
+    /// thread counts in `tests/delta_diff.rs`).
+    ///
+    /// ```
+    /// use cobra_core::{CobraSession, PolyDelta};
+    /// use cobra_provenance::{Monomial, Valuation};
+    /// use cobra_util::Rat;
+    ///
+    /// let mut session = CobraSession::from_text(
+    ///     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3",
+    /// ).unwrap();
+    /// session.add_tree_text("Plans(Standard(p1,p2), v)").unwrap();
+    /// session.compress_frontier().unwrap();
+    /// session.select_bound(2).unwrap();
+    ///
+    /// // a March price correction lands as a coefficient-only delta…
+    /// let p1 = session.polynomials().index_of("P1").unwrap();
+    /// let (p, m3) = {
+    ///     let reg = session.registry_mut();
+    ///     (reg.var("p1"), reg.var("m3"))
+    /// };
+    /// let march = Monomial::from_pairs([(p, 1), (m3, 1)]);
+    /// let mut delta = PolyDelta::new();
+    /// delta.set(p1, march.clone(), Rat::int(250));
+    /// let report = session.apply_delta(&delta).unwrap();
+    /// assert!(!report.is_structural());
+    /// let all_ones = Valuation::with_default(Rat::ONE);
+    /// assert_eq!(session.assign(&all_ones).unwrap().rows[0].full, Rat::int(525));
+    ///
+    /// // …while deleting the tuple entirely is structural: the session
+    /// // re-analyzes, replans incrementally and re-selects its bound.
+    /// let mut delta = PolyDelta::new();
+    /// delta.remove(p1, march);
+    /// assert!(session.apply_delta(&delta).unwrap().is_structural());
+    /// assert_eq!(session.assign(&all_ones).unwrap().rows[0].full, Rat::int(275));
+    /// ```
+    ///
+    /// # Errors
+    /// `Delta` if the delta addresses a polynomial index outside the set
+    /// (nothing is modified); `InfeasibleBound` if a structural delta
+    /// grows the minimum achievable size past the currently selected
+    /// bound (the polynomials and frontier are updated, the selection is
+    /// cleared, and the session stays live — select a feasible bound).
+    pub fn apply_delta(&mut self, delta: &PolyDelta<Rat>) -> Result<DeltaReport> {
+        // Materialize first: re-hydrated sessions decompile their full
+        // engine before it is patched out from under them.
+        let _ = Self::polys_of(&self.polys, &self.full_rat);
+        let report = self
+            .polys
+            .get_mut()
+            .expect("just materialized")
+            .apply_delta(delta)
+            .map_err(|e| CoreError::Delta(e.to_string()))?;
+        if report.is_noop() {
+            return Ok(report);
+        }
+        self.log(|| {
+            format!(
+                "delta: {} terms touched ({} structural / {} coeff-only polys)",
+                report.terms_touched,
+                report.structural_polys.len(),
+                report.coeff_polys.len()
+            )
+        });
+        self.patch_full_engines(&report);
+        if self.forest.is_some() {
+            // Forest staircases are descent-built over the whole set;
+            // there is no incremental recipe, so clear for replanning.
+            self.forest = None;
+            self.compressed = None;
+            return Ok(report);
+        }
+        if self.frontier.is_some() {
+            if report.is_structural() {
+                let recompress = matches!(&self.compressed, Some(c) if c.lazy_cut.is_none());
+                let reselect = matches!(&self.compressed, Some(c) if c.lazy_cut.is_some());
+                self.compressed = None;
+                self.refresh_frontier_after_structural_delta(&report)?;
+                if recompress {
+                    self.compress()?;
+                } else if reselect {
+                    let bound = self.bound.expect("a frontier selection records its bound");
+                    self.select_bound(bound)?;
+                }
+            } else {
+                // Coefficient-only: groups, weights, the frontier and the
+                // selection metadata (cut, meta-variables, sizes) are all
+                // untouched — only compiled / materialized caches are
+                // stale.
+                let state = self.frontier.as_mut().expect("checked above");
+                state.warm.clear();
+                match self.compressed.take() {
+                    Some(c) if c.lazy_cut.is_some() => {
+                        self.compressed = Some(Compressed {
+                            meta_vars: c.meta_vars,
+                            substitution: c.substitution,
+                            original_size: c.original_size,
+                            compressed_size: c.compressed_size,
+                            compressed_vars: c.compressed_vars,
+                            cuts_display: c.cuts_display,
+                            lazy_cut: c.lazy_cut,
+                            applied: OnceCell::new(),
+                            engines: OnceCell::new(),
+                            comp_f64: OnceCell::new(),
+                            err_shadow: OnceCell::new(),
+                        });
+                    }
+                    Some(_) => self.compress().map(|_| ())?,
+                    None => {}
+                }
+            }
+            return Ok(report);
+        }
+        if self.compressed.is_some() {
+            // One-shot `compress()` state without a planned frontier:
+            // re-derive it against the updated set (the full program above
+            // was patched, not recompiled).
+            self.compress()?;
+        }
+        Ok(report)
+    }
+
+    /// Patches the session-cached full-side engines after a delta:
+    /// coefficient-only deltas overwrite coefficient ranges and share
+    /// every shape array; structural deltas splice only the touched CSR
+    /// rows. Accumulated churn past a quarter of the program triggers a
+    /// compacting recompile, bounding local-table drift.
+    fn patch_full_engines(&mut self, report: &DeltaReport) {
+        self.delta_churn += report.terms_touched;
+        if let Some(old) = self.full_rat.take() {
+            let set = Self::polys_of(&self.polys, &self.full_rat);
+            let threshold = (old.program().num_terms() / 4).max(64);
+            let patched = if self.delta_churn >= threshold {
+                self.delta_churn = 0;
+                BatchEvaluator::compile(set)
+            } else if report.is_structural() {
+                BatchEvaluator::new(old.program().patched(set, &report.touched()))
+            } else {
+                BatchEvaluator::new(old.program().patched_coeffs(set, &report.touched()))
+            };
+            let _ = self.full_rat.set(patched);
+        }
+        // The f64 shadow re-derives lazily from the patched exact program.
+        let _ = self.full_f64.take();
+    }
+
+    /// Refreshes a planned frontier after a structural delta: re-analyzes
+    /// only the polynomials whose monomial set changed (groups never span
+    /// polynomials), replans reusing every clean subtree's DP table, and
+    /// recomputes the report statistics the way a fresh plan would. The
+    /// current selection must already be cleared by the caller.
+    fn refresh_frontier_after_structural_delta(&mut self, report: &DeltaReport) -> Result<()> {
+        let set = Self::polys_of(&self.polys, &self.full_rat);
+        let tree = &self.trees[0];
+        let state = self
+            .frontier
+            .as_mut()
+            .expect("structural refresh requires a planned frontier");
+        let analysis = match state.analysis.get() {
+            Some(prev) => prev.reanalyze_polys(set, tree, &report.structural_polys)?,
+            // Re-hydrated cold state: nothing to patch, analyze afresh.
+            None => GroupAnalysis::analyze(set, tree)?,
+        };
+        let ctx = match &state.plan_snapshot {
+            Some(prev) => PlanContext::new_incremental(tree, &analysis, prev),
+            None => PlanContext::new(tree, &analysis),
+        };
+        let frontier = ExactDp
+            .plan_frontier(&ctx)
+            .expect("the exact DP frontier always exists");
+        let plan_snapshot = Some(ctx.snapshot());
+        let mut invariant: FxHashSet<Var> = FxHashSet::default();
+        for group in &analysis.groups {
+            invariant.extend(group.context.vars());
+        }
+        let polys: Vec<_> = set.iter().map(|(_, p)| p).collect();
+        for &(poly, term) in &analysis.base_terms {
+            invariant.extend(polys[poly as usize].terms()[term as usize].0.vars());
+        }
+        state.node_weight = analysis.node_weight.clone();
+        state.frontier = frontier;
+        state.plan_snapshot = plan_snapshot;
+        state.original_vars = ProvenanceStats::compute(set).distinct_vars;
+        state.original_size = set.total_monomials() as u64;
+        state.invariant_vars = invariant.len();
+        let cell = OnceCell::new();
+        let _ = cell.set(analysis);
+        state.analysis = cell;
+        // Deltas may introduce brand-new variables: everything the updated
+        // set mentions is reserved, plus whatever the user interned since
+        // the last generation stamp.
+        state.reserved.extend(set.distinct_vars());
+        let len = self.reg.len();
+        if len > state.reg_len_at_plan {
+            state
+                .reserved
+                .extend((state.reg_len_at_plan..len).map(|i| Var(i as u32)));
+        }
+        state.reg_len_at_plan = len;
+        state.selected = None;
+        // Frontier indices shifted: cached substitutions and warm engines
+        // are keyed by index and compiled against the old set — drop both.
+        state.subs.clear();
+        state.warm.clear();
+        Ok(())
     }
 
     fn compressed_state(&self) -> Result<&Compressed> {
@@ -975,11 +1309,12 @@ impl CobraSession {
     /// exactness for lane-kernel speed with [`sweep_f64`](Self::sweep_f64).
     pub fn sweep(&self, scenarios: impl Into<ScenarioSet>) -> Result<ScenarioSweep> {
         let state = self.compressed_state()?;
-        Ok(self.engines(state).sweep(
-            &state.meta_vars,
-            &self.base_valuation,
-            &scenarios.into(),
-        ))
+        let set = scenarios.into();
+        catch_exact_overflow(|| {
+            Ok(self
+                .engines(state)
+                .sweep(&state.meta_vars, &self.base_valuation, &set))
+        })
     }
 
     /// Streams a scenario family through both compiled engines and folds
@@ -1037,13 +1372,12 @@ impl CobraSession {
         f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
     ) -> Result<A> {
         let state = self.compressed_state()?;
-        Ok(self.engines(state).sweep_fold(
-            &state.meta_vars,
-            &self.base_valuation,
-            &scenarios.into(),
-            init,
-            f,
-        ))
+        let set = scenarios.into();
+        catch_exact_overflow(move || {
+            Ok(self
+                .engines(state)
+                .sweep_fold(&state.meta_vars, &self.base_valuation, &set, init, f))
+        })
     }
 
     /// [`sweep_fold`](Self::sweep_fold) under a [`SweepBudget`]: the
@@ -1091,14 +1425,17 @@ impl CobraSession {
         f: impl FnMut(A, FoldItem<'_, Rat>) -> A,
     ) -> Result<SweepOutcome<A>> {
         let state = self.compressed_state()?;
-        self.engines(state).sweep_fold_budgeted(
-            &state.meta_vars,
-            &self.base_valuation,
-            &scenarios.into(),
-            &budget,
-            init,
-            f,
-        )
+        let set = scenarios.into();
+        catch_exact_overflow(move || {
+            self.engines(state).sweep_fold_budgeted(
+                &state.meta_vars,
+                &self.base_valuation,
+                &set,
+                &budget,
+                init,
+                f,
+            )
+        })
     }
 
     /// [`sweep_fold`](Self::sweep_fold) **fanned across cores**: the
@@ -1109,7 +1446,7 @@ impl CobraSession {
     /// result is **bit-identical** to the sequential
     /// `sweep_fold(set, fold, folds::step)` at any thread count
     /// (`COBRA_THREADS`, or
-    /// [`par::with_threads`](cobra_util::par::with_threads) in tests).
+    /// [`par::with_threads`] in tests).
     /// This lifts the fold path's single-thread bind bottleneck: binding
     /// dominated compressed-side sweeps, and it now scales with cores.
     ///
@@ -1182,13 +1519,18 @@ impl CobraSession {
         fold: F,
     ) -> Result<SweepOutcome<F>> {
         let state = self.compressed_state()?;
-        self.engines(state).sweep_fold_par_budgeted(
-            &state.meta_vars,
-            &self.base_valuation,
-            &scenarios.into(),
-            &budget,
-            fold,
-        )
+        // Workers already catch their own panics at span boundaries; an
+        // exact overflow surfaces as `WorkerPanicked` and is remapped to
+        // the typed, recoverable error here.
+        self.engines(state)
+            .sweep_fold_par_budgeted(
+                &state.meta_vars,
+                &self.base_valuation,
+                &scenarios.into(),
+                &budget,
+                fold,
+            )
+            .map_err(overflow_to_typed)
     }
 
     /// [`sweep_fold`](Self::sweep_fold) on the **approximate `f64` fast
@@ -1517,31 +1859,33 @@ impl CobraSession {
                 set.len()
             )));
         }
-        let defaults =
-            assign::default_meta_valuation(&state.meta_vars, &self.base_valuation);
-        let meta_base = self.base_valuation.overridden_by(&defaults);
-        let meta_val = meta_base.overridden_by(&set.scenario_valuation(0, &meta_base));
-        let leaf_val = self
-            .base_valuation
-            .overridden_by(&assign::expand_to_leaves(&state.meta_vars, &meta_val));
-        let engines = self.engines(state);
-        let full_row = engines
-            .full
-            .program()
-            .bind(&leaf_val)
-            .expect("leaf valuation must be total");
-        let meta_row = engines
-            .compressed
-            .program()
-            .bind(&meta_val)
-            .expect("meta valuation must be total");
-        let full = engines.full.program().eval_scenario(&full_row);
-        let compressed = engines.compressed.program().eval_scenario(&meta_row);
-        Ok(crate::scenario::compare_rows(
-            engines.full.program().labels(),
-            full,
-            compressed,
-        ))
+        catch_exact_overflow(|| {
+            let defaults =
+                assign::default_meta_valuation(&state.meta_vars, &self.base_valuation);
+            let meta_base = self.base_valuation.overridden_by(&defaults);
+            let meta_val = meta_base.overridden_by(&set.scenario_valuation(0, &meta_base));
+            let leaf_val = self
+                .base_valuation
+                .overridden_by(&assign::expand_to_leaves(&state.meta_vars, &meta_val));
+            let engines = self.engines(state);
+            let full_row = engines
+                .full
+                .program()
+                .bind(&leaf_val)
+                .expect("leaf valuation must be total");
+            let meta_row = engines
+                .compressed
+                .program()
+                .bind(&meta_val)
+                .expect("meta valuation must be total");
+            let full = engines.full.program().eval_scenario(&full_row);
+            let compressed = engines.compressed.program().eval_scenario(&meta_row);
+            Ok(crate::scenario::compare_rows(
+                engines.full.program().labels(),
+                full,
+                compressed,
+            ))
+        })
     }
 
     /// Measures the assignment speedup (paper §4) on the `f64` fast path —
@@ -2070,5 +2414,251 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         s.set_bound(4);
         let r2 = s.compress().unwrap();
         assert_eq!(r2.compressed_size, 4);
+    }
+
+    use cobra_provenance::Monomial;
+
+    fn planned_paper_session() -> CobraSession {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.compress_frontier().unwrap();
+        s
+    }
+
+    /// Rebuilds a session from scratch over `s`'s *current* polynomials —
+    /// the reference every delta-patched session must match bit for bit.
+    fn fresh_rebuild(s: &CobraSession, bound: u64) -> CobraSession {
+        let mut fresh = CobraSession::new(s.registry().clone(), s.polynomials().clone());
+        fresh.add_tree_text(FIG2_TREE).unwrap();
+        fresh.compress_frontier().unwrap();
+        fresh.select_bound(bound).unwrap();
+        fresh
+    }
+
+    #[test]
+    fn user_vars_interned_after_planning_never_alias_meta_vars() {
+        // Regression: a variable interned through `registry_mut` *after*
+        // planning, sharing a cut node's name, used to become that node's
+        // meta-variable — so sweeping over the user's variable silently
+        // perturbed the compressed side only and returned wrong rows.
+        let mut s = planned_paper_session();
+        let user_var = s.registry_mut().var("Business");
+        s.select_bound(6).unwrap();
+        let metas: Vec<Var> = s
+            .compressed
+            .as_ref()
+            .unwrap()
+            .meta_vars
+            .iter()
+            .map(|m| m.var)
+            .collect();
+        assert!(!metas.contains(&user_var), "meta-variable aliases a user variable");
+        // Binding the user's variable moves neither side: identical to a
+        // session that never interned it.
+        let scenario = Valuation::with_default(Rat::ONE).bind(user_var, rat("17"));
+        let cmp = s.assign(&scenario).unwrap();
+        let mut clean = planned_paper_session();
+        clean.select_bound(6).unwrap();
+        let clean_cmp = clean.assign(Valuation::with_default(Rat::ONE)).unwrap();
+        assert_eq!(cmp.rows, clean_cmp.rows);
+    }
+
+    #[test]
+    fn meta_vars_stay_addressable_by_name_after_selection() {
+        // The fix must not break name-addressing: interning a cut node's
+        // name *after* selection resolves to the meta-variable itself.
+        let mut s = planned_paper_session();
+        s.select_bound(6).unwrap();
+        let meta = s.registry_mut().var("Business");
+        assert!(s
+            .compressed
+            .as_ref()
+            .unwrap()
+            .meta_vars
+            .iter()
+            .any(|m| m.var == meta));
+        // …and assign_meta through that name stays internally consistent.
+        let scenario = Valuation::new().bind(meta, rat("1.1"));
+        assert!(s.assign_meta(&scenario).unwrap().is_exact());
+    }
+
+    #[test]
+    fn reselection_with_reserved_name_keeps_meta_identities_stable() {
+        // With "Business" reserved (user-interned), every selection of the
+        // same frontier point must reuse the same fresh-named
+        // meta-variable — otherwise warm engines compiled against the
+        // first identities could never be rebound.
+        let mut s = planned_paper_session();
+        let _user = s.registry_mut().var("Business");
+        s.select_bound(6).unwrap();
+        let metas1: Vec<Var> = s.compressed.as_ref().unwrap().meta_vars.iter().map(|m| m.var).collect();
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        let first = s.assign(&scenario).unwrap();
+        s.select_bound(4).unwrap();
+        let _ = s.assign(&scenario).unwrap();
+        s.select_bound(6).unwrap();
+        let metas2: Vec<Var> = s.compressed.as_ref().unwrap().meta_vars.iter().map(|m| m.var).collect();
+        assert_eq!(metas1, metas2);
+        // the warm path reinstalled the stashed engines and answers match
+        assert!(s.compressed.as_ref().unwrap().engines.get().is_some());
+        assert_eq!(first.rows, s.assign(&scenario).unwrap().rows);
+    }
+
+    #[test]
+    fn coeff_only_delta_patches_in_place_and_matches_fresh_rebuild() {
+        let mut s = planned_paper_session();
+        s.select_bound(6).unwrap();
+        s.baseline_results().unwrap(); // force engines so the patch path runs
+        let (p1v, m3) = {
+            let reg = s.registry_mut();
+            (reg.var("p1"), reg.var("m3"))
+        };
+        let idx = s.polynomials().index_of("P1").unwrap();
+        let mut delta = PolyDelta::new();
+        delta.set(idx, Monomial::from_pairs([(p1v, 1), (m3, 1)]), rat("250"));
+        let report = s.apply_delta(&delta).unwrap();
+        assert!(!report.is_structural());
+        // selection metadata survived; only compiled caches were dropped
+        let state = s.compressed.as_ref().unwrap();
+        assert!(state.engines.get().is_none());
+        assert_eq!(state.compressed_size, 6);
+        assert!(s.frontier.as_ref().unwrap().selected.is_some());
+        let fresh = fresh_rebuild(&s, 6);
+        let b1 = s.registry_mut().var("b1");
+        let scenarios: Vec<Valuation<Rat>> = (0..8)
+            .map(|i: i128| {
+                Valuation::with_default(Rat::ONE)
+                    .bind(m3, Rat::ONE - Rat::new(i, 100))
+                    .bind(b1, Rat::ONE + Rat::new(i, 50))
+            })
+            .collect();
+        let patched = s.sweep(&scenarios).unwrap();
+        let rebuilt = fresh.sweep(&scenarios).unwrap();
+        for i in 0..scenarios.len() {
+            assert_eq!(patched.comparison(i).rows, rebuilt.comparison(i).rows, "scenario {i}");
+        }
+    }
+
+    #[test]
+    fn structural_delta_replans_incrementally_and_matches_fresh_rebuild() {
+        let mut s = planned_paper_session();
+        s.select_bound(6).unwrap();
+        let (b1, e, m1, m9) = {
+            let reg = s.registry_mut();
+            (reg.var("b1"), reg.var("e"), reg.var("m1"), reg.var("m9"))
+        };
+        let idx = s.polynomials().index_of("P2").unwrap();
+        let mut delta = PolyDelta::new();
+        // a September tuple appears (brand-new month variable)…
+        delta.add(idx, Monomial::from_pairs([(b1, 1), (m9, 1)]), rat("3"));
+        // …and a January tuple is deleted upstream
+        delta.remove(idx, Monomial::from_pairs([(e, 1), (m1, 1)]));
+        let report = s.apply_delta(&delta).unwrap();
+        assert!(report.is_structural());
+        // the session re-selected its bound against the refreshed frontier
+        assert!(s.compressed.is_some());
+        let fresh = fresh_rebuild(&s, 6);
+        let curve: Vec<(usize, u64)> = s
+            .frontier()
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| (p.variables, p.size))
+            .collect();
+        let fresh_curve: Vec<(usize, u64)> = fresh
+            .frontier()
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| (p.variables, p.size))
+            .collect();
+        assert_eq!(curve, fresh_curve);
+        let m3 = s.registry_mut().var("m3");
+        let scenarios: Vec<Valuation<Rat>> = (0..8)
+            .map(|i: i128| {
+                Valuation::with_default(Rat::ONE)
+                    .bind(m3, Rat::ONE - Rat::new(i, 100))
+                    .bind(b1, Rat::ONE + Rat::new(i, 50))
+                    .bind(m9, Rat::ONE + Rat::new(i, 25))
+            })
+            .collect();
+        let patched = s.sweep(&scenarios).unwrap();
+        let rebuilt = fresh.sweep(&scenarios).unwrap();
+        for i in 0..scenarios.len() {
+            assert_eq!(patched.comparison(i).rows, rebuilt.comparison(i).rows, "scenario {i}");
+        }
+    }
+
+    #[test]
+    fn one_shot_compress_state_recompresses_after_delta() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let (p1v, m3) = {
+            let reg = s.registry_mut();
+            (reg.var("p1"), reg.var("m3"))
+        };
+        let idx = s.polynomials().index_of("P1").unwrap();
+        let mut delta = PolyDelta::new();
+        delta.set(idx, Monomial::from_pairs([(p1v, 1), (m3, 1)]), rat("250"));
+        s.apply_delta(&delta).unwrap();
+        // the one-shot state was re-derived against the updated set
+        let mut fresh = CobraSession::new(s.registry().clone(), s.polynomials().clone());
+        fresh.add_tree_text(FIG2_TREE).unwrap();
+        fresh.set_bound(6);
+        fresh.compress().unwrap();
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        assert_eq!(
+            s.assign(&scenario).unwrap().rows,
+            fresh.assign(&scenario).unwrap().rows
+        );
+    }
+
+    #[test]
+    fn invalid_delta_is_rejected_atomically() {
+        let mut s = planned_paper_session();
+        s.select_bound(6).unwrap();
+        let before = s.polynomials().clone();
+        let v = s.registry_mut().var("p1");
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::var(v), rat("1"));
+        delta.add(99, Monomial::var(v), rat("1")); // no such polynomial
+        assert!(matches!(s.apply_delta(&delta), Err(CoreError::Delta(_))));
+        assert_eq!(
+            s.polynomials().total_monomials(),
+            before.total_monomials()
+        );
+        // the selection is untouched and the session still answers
+        assert!(s.assign(Valuation::with_default(Rat::ONE)).unwrap().is_exact());
+    }
+
+    #[test]
+    fn exact_overflow_is_typed_and_survivable() {
+        // 2^126: one addition away from leaving i128.
+        const BIG: &str = "85070591730234615865843651857942052864";
+        let mut s =
+            CobraSession::from_text(&format!("P = {BIG}*a + {BIG}*b")).unwrap();
+        s.add_tree_text("T(a,b)").unwrap();
+        s.set_bound(2);
+        s.compress().unwrap();
+        let all_ones = [Valuation::with_default(Rat::ONE)];
+        // the sequential exact surfaces surface the typed error…
+        assert!(matches!(
+            s.sweep(&all_ones[..]),
+            Err(CoreError::ExactOverflow(_))
+        ));
+        assert!(matches!(
+            s.sweep_fold(&all_ones[..], (), |(), _| ()),
+            Err(CoreError::ExactOverflow(_))
+        ));
+        // …and so does the fanned-out engine (worker panic remapped)
+        assert!(matches!(
+            s.sweep_fold_par(&all_ones[..], crate::folds::MaxAbsError::new()),
+            Err(CoreError::ExactOverflow(_))
+        ));
+        // the session stays fully usable on non-overflowing scenarios
+        let a = s.registry_mut().var("a");
+        let safe = Valuation::with_default(Rat::ONE).bind(a, Rat::int(0));
+        assert!(s.assign(&safe).unwrap().is_exact());
     }
 }

@@ -189,6 +189,146 @@ impl<C: Coeff> EvalProgram<C> {
         set
     }
 
+    /// Rebuilds this program against `set` after a structural delta
+    /// ([`crate::delta`]): the CSR rows of untouched polynomials are
+    /// spliced over verbatim (straight `memcpy`s, no per-factor interning
+    /// or hashing), and only the polynomials listed in `touched` (sorted,
+    /// deduplicated indices into the set) are re-emitted from their
+    /// canonical term lists. New variables are appended to the local
+    /// space *after* every existing local.
+    ///
+    /// The result can therefore differ from a fresh
+    /// [`compile`](Self::compile) of `set` in local numbering — but local
+    /// ids only select binding slots. Per-term factor order still follows
+    /// each monomial's canonical order and per-polynomial term order still
+    /// follows the canonical term list, so every evaluation path produces
+    /// **bit-identical** answers to the freshly compiled program, and
+    /// [`decompile`](Self::decompile) still returns exactly `set`.
+    ///
+    /// # Panics
+    /// Panics if `set` does not have the same polynomial count (deltas
+    /// edit terms, never add or drop polynomials).
+    pub fn patched(&self, set: &PolySet<C>, touched: &[usize]) -> EvalProgram<C> {
+        assert_eq!(
+            set.len(),
+            self.num_polys(),
+            "patched set must keep the polynomial count"
+        );
+        debug_assert!(
+            touched.windows(2).all(|w| w[0] < w[1]),
+            "touched indices must be sorted and deduplicated"
+        );
+        let mut poly_offsets = Vec::with_capacity(self.poly_offsets.len());
+        let mut coeffs: Vec<C> = Vec::with_capacity(self.coeffs.len());
+        let mut term_offsets: Vec<u32> = Vec::with_capacity(self.term_offsets.len());
+        let mut var_ids: Vec<u32> = Vec::with_capacity(self.var_ids.len());
+        let mut exps: Vec<u32> = Vec::with_capacity(self.exps.len());
+        let mut locals = self.locals.clone();
+        let mut local_of = self.local_of.clone();
+
+        poly_offsets.push(0);
+        term_offsets.push(0);
+        let mut next_touched = touched.iter().copied().peekable();
+        for (p, (_, poly)) in set.iter().enumerate() {
+            if next_touched.peek() == Some(&p) {
+                next_touched.next();
+                // Re-emit the patched polynomial from its canonical terms.
+                for (m, c) in poly.iter() {
+                    coeffs.push(c.clone());
+                    for (v, e) in m.iter() {
+                        let (local, fresh) = local_of.get_or_insert(v.0);
+                        if fresh {
+                            locals.push(v);
+                        }
+                        var_ids.push(local);
+                        exps.push(e);
+                    }
+                    term_offsets.push(
+                        u32::try_from(var_ids.len())
+                            .expect("EvalProgram limited to u32::MAX factors"),
+                    );
+                }
+            } else {
+                // Splice the untouched rows: factor data verbatim, term
+                // offsets rebased onto the new factor array.
+                let t0 = self.poly_offsets[p] as usize;
+                let t1 = self.poly_offsets[p + 1] as usize;
+                coeffs.extend_from_slice(&self.coeffs[t0..t1]);
+                let f0 = self.term_offsets[t0] as usize;
+                let f1 = self.term_offsets[t1] as usize;
+                let base = var_ids.len();
+                var_ids.extend_from_slice(&self.var_ids[f0..f1]);
+                exps.extend_from_slice(&self.exps[f0..f1]);
+                for t in t0..t1 {
+                    let rebased = base + (self.term_offsets[t + 1] as usize - f0);
+                    term_offsets.push(
+                        u32::try_from(rebased)
+                            .expect("EvalProgram limited to u32::MAX factors"),
+                    );
+                }
+            }
+            poly_offsets.push(
+                u32::try_from(coeffs.len()).expect("EvalProgram limited to u32::MAX terms"),
+            );
+        }
+
+        EvalProgram {
+            labels: self.labels.clone(),
+            poly_offsets: poly_offsets.into(),
+            coeffs: coeffs.into(),
+            term_offsets: term_offsets.into(),
+            var_ids: var_ids.into(),
+            exps: exps.into(),
+            locals,
+            local_of,
+            fixed: OnceLock::new(),
+        }
+    }
+
+    /// The coefficient-only fast path of [`patched`](Self::patched): every
+    /// shape array (offsets, factor ids, exponents, locals) is shared via
+    /// `O(1)` [`ArcSlice`] clones, and only the coefficient array is
+    /// rebuilt — one `memcpy` plus the touched polynomials' values. Valid
+    /// **only** when no touched polynomial's monomial set changed
+    /// (`DeltaReport::is_structural()` is false).
+    ///
+    /// # Panics
+    /// Panics if `set`'s polynomial count differs, or a touched
+    /// polynomial's term count no longer matches its CSR row (a
+    /// structural delta routed down the coefficient-only path).
+    pub fn patched_coeffs(&self, set: &PolySet<C>, touched: &[usize]) -> EvalProgram<C> {
+        assert_eq!(
+            set.len(),
+            self.num_polys(),
+            "patched set must keep the polynomial count"
+        );
+        let mut coeffs: Vec<C> = self.coeffs.to_vec();
+        for &p in touched {
+            let poly = set.poly(p).expect("touched index in range");
+            let t0 = self.poly_offsets[p] as usize;
+            let t1 = self.poly_offsets[p + 1] as usize;
+            assert_eq!(
+                poly.num_terms(),
+                t1 - t0,
+                "coefficient-only patch requires an unchanged monomial set"
+            );
+            for (k, (_, c)) in poly.iter().enumerate() {
+                coeffs[t0 + k] = c.clone();
+            }
+        }
+        EvalProgram {
+            labels: self.labels.clone(),
+            poly_offsets: self.poly_offsets.clone(),
+            coeffs: coeffs.into(),
+            term_offsets: self.term_offsets.clone(),
+            var_ids: self.var_ids.clone(),
+            exps: self.exps.clone(),
+            locals: self.locals.clone(),
+            local_of: self.local_of.clone(),
+            fixed: OnceLock::new(),
+        }
+    }
+
     /// Number of polynomials.
     pub fn num_polys(&self) -> usize {
         self.labels.len()
@@ -975,5 +1115,69 @@ mod tests {
         // Both use powi for e > 1, so even non-multilinear programs agree
         // bit-for-bit.
         assert_eq!(fast, scalar);
+    }
+
+    #[test]
+    fn patched_program_answers_like_a_fresh_compile() {
+        use crate::delta::PolyDelta;
+        let (mut reg, mut set) = sample();
+        let prog = EvalProgram::compile(&set);
+        let x = reg.lookup("x").unwrap();
+        let y = reg.lookup("y").unwrap();
+        let w = reg.var("w"); // brand-new variable, unseen by `prog`
+        let mut delta = PolyDelta::new();
+        delta.remove(0, Monomial::from_pairs([(x, 2)]));
+        delta.add(2, Monomial::from_pairs([(w, 1), (y, 2)]), rat("4.5"));
+        delta.add(1, Monomial::var(x), rat("-3")); // Pzero grows a term
+        let report = set.apply_delta(&delta).unwrap();
+        assert!(report.is_structural());
+
+        let patched = prog.patched(&set, &report.touched());
+        let fresh = EvalProgram::compile(&set);
+        // Same canonical set on both sides…
+        assert_eq!(patched.decompile(), fresh.decompile());
+        assert_eq!(patched.labels, fresh.labels);
+        assert_eq!(patched.num_terms(), fresh.num_terms());
+        // …and bit-identical answers, despite possibly different local
+        // numbering (patched appends new locals after existing ones).
+        let val = Valuation::with_default(Rat::ONE)
+            .bind(x, rat("2"))
+            .bind(y, rat("5"))
+            .bind(w, rat("-0.25"));
+        let row_p = patched.bind(&val).unwrap();
+        let row_f = fresh.bind(&val).unwrap();
+        assert_eq!(patched.eval_scenario(&row_p), fresh.eval_scenario(&row_f));
+        // Original locals keep their slots: the patched program is a
+        // superset extension of the old local space.
+        for (i, &v) in prog.locals.iter().enumerate() {
+            assert_eq!(patched.locals[i], v);
+        }
+    }
+
+    #[test]
+    fn coeff_only_patch_shares_every_shape_array() {
+        use crate::delta::PolyDelta;
+        let (reg, mut set) = sample();
+        let prog = EvalProgram::compile(&set);
+        let x = reg.lookup("x").unwrap();
+        let y = reg.lookup("y").unwrap();
+        let mut delta = PolyDelta::new();
+        delta.set(0, Monomial::from_pairs([(x, 1), (y, 1)]), rat("9"));
+        let report = set.apply_delta(&delta).unwrap();
+        assert!(!report.is_structural());
+
+        let patched = prog.patched_coeffs(&set, &report.touched());
+        let fresh = EvalProgram::compile(&set);
+        assert_eq!(patched.coeffs, fresh.coeffs);
+        assert_eq!(patched.locals, fresh.locals);
+        // Shape arrays are shared, not copied.
+        assert_eq!(patched.term_offsets.as_ptr(), prog.term_offsets.as_ptr());
+        assert_eq!(patched.var_ids.as_ptr(), prog.var_ids.as_ptr());
+        let val = Valuation::with_default(Rat::ONE).bind(x, rat("3"));
+        let row = patched.bind(&val).unwrap();
+        assert_eq!(
+            patched.eval_scenario(&row),
+            fresh.eval_scenario(&fresh.bind(&val).unwrap())
+        );
     }
 }

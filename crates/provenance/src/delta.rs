@@ -1,0 +1,351 @@
+//! Delta updates to polynomial sets: the `O(touched)` mutation path.
+//!
+//! Long-lived sessions mean the underlying data changes while compiled
+//! programs and plans are hot. A [`PolyDelta`] describes tuple inserts,
+//! deletes and coefficient changes as term-level edits against a
+//! [`PolySet`]; [`PolySet::apply_delta`] patches the set in place in
+//! `O(ops · log terms)` and returns a [`DeltaReport`] saying exactly which
+//! polynomials changed and whether any *monomial set* changed — the
+//! structural/coefficient-only split the higher layers use to invalidate
+//! only the caches a delta actually touches (compiled CSR rows, group
+//! analysis, plan tables).
+//!
+//! Application is atomic: every op is validated against the set before
+//! the first mutation, so an invalid delta leaves the set untouched.
+
+use crate::monomial::Monomial;
+use crate::poly::Coeff;
+use crate::polyset::PolySet;
+use cobra_util::FxHashSet;
+use std::fmt;
+
+/// The edit a [`DeltaOp`] applies to one monomial's coefficient.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaAction<C: Coeff> {
+    /// Add `c` to the coefficient — a tuple insert contributes its
+    /// monomial; a negative `c` models partial retraction. Adding to an
+    /// absent monomial creates it; cancelling to zero removes it.
+    Add(C),
+    /// Set the coefficient to exactly `c` (zero removes the term).
+    Set(C),
+    /// Remove the monomial entirely (tuple delete).
+    Remove,
+}
+
+/// One term-level edit against a polynomial of a [`PolySet`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaOp<C: Coeff> {
+    /// Index of the target polynomial in the set (insertion order).
+    pub poly: usize,
+    /// The monomial being edited.
+    pub monomial: Monomial,
+    /// What happens to its coefficient.
+    pub action: DeltaAction<C>,
+}
+
+/// A batch of term-level edits applied atomically by
+/// [`PolySet::apply_delta`]. Ops apply in order, so a delete followed by
+/// a re-insert of the same monomial behaves like two sequential edits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PolyDelta<C: Coeff> {
+    ops: Vec<DeltaOp<C>>,
+}
+
+impl<C: Coeff> PolyDelta<C> {
+    /// An empty delta.
+    pub fn new() -> Self {
+        PolyDelta { ops: Vec::new() }
+    }
+
+    /// Appends an arbitrary op.
+    pub fn push(&mut self, op: DeltaOp<C>) {
+        self.ops.push(op);
+    }
+
+    /// Appends an [`DeltaAction::Add`] op.
+    pub fn add(&mut self, poly: usize, monomial: Monomial, coeff: C) {
+        self.push(DeltaOp {
+            poly,
+            monomial,
+            action: DeltaAction::Add(coeff),
+        });
+    }
+
+    /// Appends a [`DeltaAction::Set`] op.
+    pub fn set(&mut self, poly: usize, monomial: Monomial, coeff: C) {
+        self.push(DeltaOp {
+            poly,
+            monomial,
+            action: DeltaAction::Set(coeff),
+        });
+    }
+
+    /// Appends a [`DeltaAction::Remove`] op.
+    pub fn remove(&mut self, poly: usize, monomial: Monomial) {
+        self.push(DeltaOp {
+            poly,
+            monomial,
+            action: DeltaAction::Remove,
+        });
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the delta has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The ops in application order.
+    pub fn ops(&self) -> &[DeltaOp<C>] {
+        &self.ops
+    }
+}
+
+/// What applying a delta actually changed, per polynomial.
+///
+/// No-op edits (adding zero, setting a coefficient to its current value,
+/// removing an absent monomial) do **not** mark a polynomial touched, so
+/// the report is safe to drive cache invalidation directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Polynomials whose *monomial set* changed (a term appeared or
+    /// vanished), sorted and deduplicated. These need their CSR rows,
+    /// group analysis and plan statistics rebuilt.
+    pub structural_polys: Vec<usize>,
+    /// Polynomials where only coefficient *values* changed (same monomial
+    /// set), sorted, deduplicated, and disjoint from `structural_polys`.
+    /// These keep every shape-derived cache; only coefficients reload.
+    pub coeff_polys: Vec<usize>,
+    /// Number of ops that changed a term (the churn measure compaction
+    /// counters accumulate).
+    pub terms_touched: usize,
+}
+
+impl DeltaReport {
+    /// All touched polynomial indices (structural ∪ coefficient-only),
+    /// sorted and deduplicated.
+    pub fn touched(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .structural_polys
+            .iter()
+            .chain(&self.coeff_polys)
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True iff any polynomial's monomial set changed.
+    pub fn is_structural(&self) -> bool {
+        !self.structural_polys.is_empty()
+    }
+
+    /// True iff the delta changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.structural_polys.is_empty() && self.coeff_polys.is_empty()
+    }
+}
+
+/// Why a delta could not be applied (the set is left untouched).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op addressed a polynomial index outside the set.
+    NoSuchPoly {
+        /// The offending index.
+        index: usize,
+        /// The set's polynomial count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::NoSuchPoly { index, len } => {
+                write!(f, "delta op addresses polynomial {index}, but the set has {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl<C: Coeff> PolySet<C> {
+    /// Applies a delta in place, in `O(ops · log terms)`.
+    ///
+    /// Each op resolves the monomial's current coefficient, computes the
+    /// new one, and rewrites the term through
+    /// [`Polynomial::set_term`](crate::Polynomial::set_term); the returned
+    /// [`DeltaReport`] classifies every genuinely changed polynomial as
+    /// structural or coefficient-only.
+    ///
+    /// # Errors
+    /// [`DeltaError::NoSuchPoly`] if any op addresses an out-of-range
+    /// polynomial — checked up front, so a failed application leaves the
+    /// set untouched.
+    pub fn apply_delta(&mut self, delta: &PolyDelta<C>) -> Result<DeltaReport, DeltaError> {
+        let len = self.len();
+        if let Some(op) = delta.ops().iter().find(|op| op.poly >= len) {
+            return Err(DeltaError::NoSuchPoly {
+                index: op.poly,
+                len,
+            });
+        }
+        let mut structural: FxHashSet<usize> = FxHashSet::default();
+        let mut coeff_only: FxHashSet<usize> = FxHashSet::default();
+        let mut terms_touched = 0usize;
+        for op in delta.ops() {
+            let poly = self.poly_mut(op.poly).expect("validated above");
+            let old = poly.coeff_of(&op.monomial);
+            let new = match &op.action {
+                DeltaAction::Add(c) => old.add(c),
+                DeltaAction::Set(c) => c.clone(),
+                DeltaAction::Remove => C::zero(),
+            };
+            if new == old {
+                continue;
+            }
+            if old.is_zero() || new.is_zero() {
+                structural.insert(op.poly);
+            } else {
+                coeff_only.insert(op.poly);
+            }
+            poly.set_term(op.monomial.clone(), new);
+            terms_touched += 1;
+        }
+        let mut structural_polys: Vec<usize> = structural.iter().copied().collect();
+        structural_polys.sort_unstable();
+        let mut coeff_polys: Vec<usize> = coeff_only
+            .into_iter()
+            .filter(|p| !structural.contains(p))
+            .collect();
+        coeff_polys.sort_unstable();
+        Ok(DeltaReport {
+            structural_polys,
+            coeff_polys,
+            terms_touched,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polynomial;
+    use crate::var::VarRegistry;
+    use cobra_util::Rat;
+
+    fn rat(s: &str) -> Rat {
+        Rat::parse(s).unwrap()
+    }
+
+    fn sample() -> (VarRegistry, PolySet<Rat>) {
+        let mut reg = VarRegistry::new();
+        let x = reg.var("x");
+        let y = reg.var("y");
+        let mut set = PolySet::new();
+        set.push(
+            "P1",
+            Polynomial::from_terms([
+                (Monomial::var(x), rat("2")),
+                (Monomial::var(y), rat("3")),
+            ]),
+        );
+        set.push(
+            "P2",
+            Polynomial::from_terms([(Monomial::from_pairs([(x, 1), (y, 1)]), rat("1"))]),
+        );
+        (reg, set)
+    }
+
+    #[test]
+    fn coeff_only_edits_keep_shape() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::var(x), rat("0.5"));
+        let report = set.apply_delta(&delta).unwrap();
+        assert_eq!(report.coeff_polys, vec![0]);
+        assert!(report.structural_polys.is_empty());
+        assert!(!report.is_structural());
+        assert_eq!(report.terms_touched, 1);
+        assert_eq!(set.poly(0).unwrap().coeff_of(&Monomial::var(x)), rat("2.5"));
+        assert_eq!(set.total_monomials(), 3);
+    }
+
+    #[test]
+    fn inserts_and_removes_are_structural() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let z = reg.var("z");
+        let mut delta = PolyDelta::new();
+        delta.add(1, Monomial::var(z), rat("7")); // new monomial, new var
+        delta.remove(0, Monomial::var(x));
+        delta.set(0, Monomial::var(reg.var("y")), rat("4")); // coeff-only
+        let report = set.apply_delta(&delta).unwrap();
+        assert_eq!(report.structural_polys, vec![0, 1]);
+        assert!(report.coeff_polys.is_empty()); // poly 0 already structural
+        assert_eq!(report.touched(), vec![0, 1]);
+        assert_eq!(set.poly(0).unwrap().num_terms(), 1);
+        assert_eq!(set.poly(1).unwrap().coeff_of(&Monomial::var(z)), rat("7"));
+    }
+
+    #[test]
+    fn cancellation_to_zero_is_structural() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::var(x), rat("-2"));
+        let report = set.apply_delta(&delta).unwrap();
+        assert_eq!(report.structural_polys, vec![0]);
+        assert_eq!(set.poly(0).unwrap().coeff_of(&Monomial::var(x)), Rat::ZERO);
+    }
+
+    #[test]
+    fn noop_edits_touch_nothing() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let before = set.clone();
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::var(x), Rat::ZERO); // add zero
+        delta.set(0, Monomial::var(x), rat("2")); // set to current value
+        delta.remove(1, Monomial::var(reg.var("absent"))); // remove absent
+        let report = set.apply_delta(&delta).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(report.terms_touched, 0);
+        assert_eq!(set, before);
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let before = set.clone();
+        let mut delta = PolyDelta::new();
+        delta.remove(0, Monomial::var(x));
+        delta.add(0, Monomial::var(x), rat("2"));
+        let report = set.apply_delta(&delta).unwrap();
+        // both ops individually changed the monomial set
+        assert_eq!(report.structural_polys, vec![0]);
+        assert_eq!(report.terms_touched, 2);
+        assert_eq!(set, before);
+    }
+
+    #[test]
+    fn invalid_index_is_atomic() {
+        let (mut reg, mut set) = sample();
+        let x = reg.var("x");
+        let before = set.clone();
+        let mut delta = PolyDelta::new();
+        delta.add(0, Monomial::var(x), rat("100"));
+        delta.remove(9, Monomial::var(x));
+        let err = set.apply_delta(&delta).unwrap_err();
+        assert_eq!(err, DeltaError::NoSuchPoly { index: 9, len: 2 });
+        assert!(err.to_string().contains("polynomial 9"));
+        assert_eq!(set, before, "failed application must leave the set untouched");
+    }
+}

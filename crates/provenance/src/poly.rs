@@ -256,6 +256,34 @@ impl<C: Coeff> Polynomial<C> {
         }
     }
 
+    /// Sets the coefficient of `m` to exactly `c`, inserting the term when
+    /// absent and removing it when `c` is zero. Returns `true` iff the
+    /// polynomial's *monomial set* changed (a term appeared or vanished) —
+    /// the structural/coefficient-only distinction delta application
+    /// reports upward so callers can invalidate only shape-dependent
+    /// caches ([`crate::delta`]).
+    pub fn set_term(&mut self, m: Monomial, c: C) -> bool {
+        match self.terms.binary_search_by(|(tm, _)| tm.cmp(&m)) {
+            Ok(i) => {
+                if c.is_zero() {
+                    self.terms.remove(i);
+                    true
+                } else {
+                    self.terms[i].1 = c;
+                    false
+                }
+            }
+            Err(i) => {
+                if c.is_zero() {
+                    false
+                } else {
+                    self.terms.insert(i, (m, c));
+                    true
+                }
+            }
+        }
+    }
+
     /// Difference of two polynomials.
     pub fn sub(&self, other: &Self) -> Self {
         self.add(&other.neg())

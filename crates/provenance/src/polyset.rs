@@ -68,6 +68,27 @@ impl<C: Coeff> PolySet<C> {
         self.entries.iter().find(|(l, _)| l == label).map(|(_, p)| p)
     }
 
+    /// The polynomial at `idx` (insertion order).
+    pub fn poly(&self, idx: usize) -> Option<&Polynomial<C>> {
+        self.entries.get(idx).map(|(_, p)| p)
+    }
+
+    /// Mutable access to the polynomial at `idx` — the entry point delta
+    /// application patches through ([`crate::delta`]).
+    pub fn poly_mut(&mut self, idx: usize) -> Option<&mut Polynomial<C>> {
+        self.entries.get_mut(idx).map(|(_, p)| p)
+    }
+
+    /// Index of the first polynomial with the given label.
+    pub fn index_of(&self, label: &str) -> Option<usize> {
+        self.entries.iter().position(|(l, _)| l == label)
+    }
+
+    /// The label of the polynomial at `idx`.
+    pub fn label(&self, idx: usize) -> Option<&str> {
+        self.entries.get(idx).map(|(l, _)| l.as_str())
+    }
+
     /// **The paper's provenance-size measure**: total number of monomials
     /// across all polynomials (§2, "the provenance size is measured by the
     /// number of monomials").

@@ -18,7 +18,17 @@
 //! with `persist:true` snapshots the session
 //! ([`cobra_core::snapshot_session`]); a later `prepare` (or any
 //! request) naming that id re-loads it by mmap, zero-copy, through
-//! [`cobra_core::restore_session`].
+//! [`cobra_core::restore_session`]. The in-memory tier is optionally
+//! capped ([`ServerConfig::max_sessions`]): past the cap the
+//! least-recently-used session is retired to the disk tier (and keeps
+//! answering from there), or refused with a typed `store_full` error
+//! when no disk tier exists.
+//!
+//! Live sessions accept **incremental provenance updates**: an
+//! `apply_delta` request patches the session's polynomials in place
+//! through [`cobra_core::CobraSession::apply_delta`] — compiled engines
+//! are spliced, plans replanned incrementally — so the session keeps
+//! answering, bit-identical to a full rebuild, without re-preparing.
 //!
 //! Concurrent deadline-free `sweep_fold_f64` requests against the same
 //! session are **coalesced**: the worker drains its queue and fuses
@@ -66,6 +76,12 @@ pub struct ServerConfig {
     /// `Scalar`/`Avx2`/`Avx2Fma` force a kernel (unsupported targets
     /// fall back to scalar). Reported by `stats` replies.
     pub kernel: KernelTarget,
+    /// Cap on live in-memory sessions (`None` = unbounded). Past the
+    /// cap the least-recently-used session is retired: persisted into
+    /// `store_dir` (whence it transparently re-loads on its next
+    /// request), or — with no `store_dir` — the new session is refused
+    /// with a typed `store_full` error.
+    pub max_sessions: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +90,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             store_dir: None,
             kernel: KernelTarget::default(),
+            max_sessions: None,
         }
     }
 }
@@ -117,7 +134,11 @@ impl Server {
 pub fn serve(config: ServerConfig) -> io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let store = Arc::new(SessionStore::with_kernel(config.store_dir, config.kernel));
+    let store = Arc::new(SessionStore::with_limits(
+        config.store_dir,
+        config.kernel,
+        config.max_sessions,
+    ));
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = stop.clone();
     let accept = std::thread::Builder::new()
@@ -198,20 +219,27 @@ fn handle_frame(frame: &[u8], store: &SessionStore) -> (String, bool) {
             tree,
             persist,
         } => store.prepare(&session, polys.as_deref(), tree.as_deref(), persist),
-        Request::Assign { session, scenario } => {
-            store.dispatch(&session, |reply| Job::Assign { scenario, reply })
-        }
+        Request::Assign { session, scenario } => store.dispatch(&session, |reply| Job::Assign {
+            scenario: scenario.clone(),
+            reply,
+        }),
         Request::SweepFoldF64 {
             session,
             scenarios,
             deadline_ms,
         } => store.dispatch(&session, |reply| Job::Sweep {
-            scenarios,
+            scenarios: scenarios.clone(),
             deadline_ms,
             reply,
         }),
         Request::SelectBound { session, bound } => {
             store.dispatch(&session, |reply| Job::SelectBound { bound, reply })
+        }
+        Request::ApplyDelta { session, ops } => {
+            store.dispatch(&session, |reply| Job::ApplyDelta {
+                ops: ops.clone(),
+                reply,
+            })
         }
         Request::Stats { session } => store.dispatch(&session, |reply| Job::Stats { reply }),
         Request::Panic { session } => store.dispatch(&session, |reply| Job::Panic { reply }),

@@ -12,9 +12,18 @@
 //! | `assign`         | `session`, `scenario` (object: var → factor string)        |
 //! | `sweep_fold_f64` | `session`, `scenarios` (array of `[var, factor]`), `deadline_ms`? |
 //! | `select_bound`   | `session`, `bound`                                         |
+//! | `apply_delta`    | `session`, `ops` (array of `{poly, action, term}`)         |
 //! | `stats`          | `session`                                                  |
 //! | `panic`          | `session` (debug: fault-injection probe)                   |
 //! | `shutdown`       | —                                                          |
+//!
+//! `apply_delta` ops edit a live session's provenance in place: `poly`
+//! names a polynomial label, `action` is `add` (alias `insert`), `set`,
+//! or `remove` (alias `delete`), and `term` is a `coeff*monomial`
+//! product in the text interchange format (for `remove`, the
+//! coefficient is ignored — `"p1*m1"` suffices). Term text is parsed
+//! against the *session's* registry by the worker, so new variables
+//! intern on arrival.
 //!
 //! Replies are `{"id":…,"ok":true,…}` or
 //! `{"id":…,"ok":false,"kind":…,"error":…}`. Budgeted sweeps that hit
@@ -23,6 +32,34 @@
 
 use crate::json::Json;
 use cobra_util::Rat;
+
+/// What a wire delta op does to its monomial's coefficient (the
+/// text-level mirror of [`cobra_core::DeltaAction`], before coefficients
+/// are parsed against the target session's registry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireDeltaAction {
+    /// Add the term's coefficient (tuple insert; wire names `add` /
+    /// `insert`).
+    Add,
+    /// Set the coefficient to the term's value (wire name `set`).
+    Set,
+    /// Remove the monomial (tuple delete; wire names `remove` /
+    /// `delete`).
+    Remove,
+}
+
+/// One unparsed delta edit from an `apply_delta` request. The `term`
+/// text is resolved against the session registry by the session worker,
+/// not here — the registry lives with the session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDeltaOp {
+    /// Label of the target polynomial.
+    pub poly: String,
+    /// The edit to perform.
+    pub action: WireDeltaAction,
+    /// `coeff*monomial` product in the text interchange format.
+    pub term: String,
+}
 
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
@@ -61,6 +98,13 @@ pub enum Request {
         session: String,
         /// Bound on the compressed monomial count.
         bound: u64,
+    },
+    /// Patch the session's provenance in place (incremental update).
+    ApplyDelta {
+        /// Target session.
+        session: String,
+        /// Term-level edits, applied atomically in order.
+        ops: Vec<WireDeltaOp>,
     },
     /// Session statistics.
     Stats {
@@ -157,6 +201,38 @@ pub fn parse_request(text: &str) -> Result<Envelope, String> {
                 .and_then(Json::as_u64)
                 .ok_or("select_bound requires an integer \"bound\"")?,
         },
+        "apply_delta" => {
+            let ops = obj
+                .get("ops")
+                .and_then(Json::as_arr)
+                .ok_or("apply_delta requires an \"ops\" array")?
+                .iter()
+                .map(|op| {
+                    let action = match str_field(op, "action")?.as_str() {
+                        "add" | "insert" => WireDeltaAction::Add,
+                        "set" => WireDeltaAction::Set,
+                        "remove" | "delete" => WireDeltaAction::Remove,
+                        other => {
+                            return Err(format!(
+                                "delta action must be add|set|remove (or insert|delete), got {other:?}"
+                            ))
+                        }
+                    };
+                    Ok(WireDeltaOp {
+                        poly: str_field(op, "poly")?,
+                        action,
+                        term: str_field(op, "term")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            if ops.is_empty() {
+                return Err("apply_delta requires at least one op".into());
+            }
+            Request::ApplyDelta {
+                session: str_field(&obj, "session")?,
+                ops,
+            }
+        }
         "stats" => Request::Stats {
             session: str_field(&obj, "session")?,
         },
@@ -239,6 +315,25 @@ mod tests {
                 .request,
             Request::SelectBound { bound: 6, .. }
         ));
+        let e = parse_request(
+            r#"{"op":"apply_delta","session":"t","ops":[
+                {"poly":"P1","action":"set","term":"250*p1*m1"},
+                {"poly":"P2","action":"insert","term":"7*b1*m9"},
+                {"poly":"P2","action":"delete","term":"e*m1"}]}"#,
+        )
+        .unwrap();
+        match e.request {
+            Request::ApplyDelta { ops, .. } => {
+                assert_eq!(ops.len(), 3);
+                assert_eq!(ops[0].action, WireDeltaAction::Set);
+                assert_eq!(ops[0].poly, "P1");
+                assert_eq!(ops[0].term, "250*p1*m1");
+                assert_eq!(ops[1].action, WireDeltaAction::Add);
+                assert_eq!(ops[2].action, WireDeltaAction::Remove);
+            }
+            other => panic!("{other:?}"),
+        }
+
         assert!(matches!(
             parse_request(r#"{"op":"stats","session":"t"}"#).unwrap().request,
             Request::Stats { .. }
@@ -258,6 +353,10 @@ mod tests {
             r#"{"op":"assign","session":"t","scenario":{"m3":0.8}}"#,
             r#"{"op":"select_bound","session":"t","bound":"six"}"#,
             r#"{"op":"sweep_fold_f64","session":"t","scenarios":[["p1"]]}"#,
+            r#"{"op":"apply_delta","session":"t"}"#,
+            r#"{"op":"apply_delta","session":"t","ops":[]}"#,
+            r#"{"op":"apply_delta","session":"t","ops":[{"poly":"P1","action":"zap","term":"a"}]}"#,
+            r#"{"op":"apply_delta","session":"t","ops":[{"poly":"P1","action":"set"}]}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?}");
         }

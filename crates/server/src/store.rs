@@ -7,6 +7,16 @@
 //! and re-loaded — zero-copy, by mmap — on the first request that misses
 //! the in-memory tier.
 //!
+//! ## Capacity
+//!
+//! The in-memory tier is optionally capped
+//! ([`SessionStore::with_limits`]): admitting a session past the cap
+//! retires the least-recently-used worker, which persists its own
+//! session into the disk tier before exiting, so evicted ids keep
+//! answering — the next request re-hydrates them by mmap. A capped
+//! store *without* a disk tier refuses new sessions with a typed
+//! `store_full` error rather than growing without bound.
+//!
 //! ## Coalescing
 //!
 //! Each worker drains its queue in batches. Within a batch, maximal runs
@@ -27,8 +37,10 @@
 //! API, so an unwound job leaves it consistent).
 
 use crate::json::Json;
-use cobra_core::{restore_session, snapshot_session, CobraSession, CoreError, ScenarioSet,
-    SweepBudget, SweepOutcome};
+use crate::proto::{WireDeltaAction, WireDeltaOp};
+use cobra_core::{restore_session, snapshot_session, CobraSession, CoreError, PolyDelta,
+    ScenarioSet, SweepBudget, SweepOutcome};
+use cobra_provenance::parse::parse_poly;
 use cobra_provenance::persist::{write_file, PersistError};
 use cobra_provenance::{LoadedArtifact, Valuation};
 use cobra_util::{kernel, KernelTarget, Rat};
@@ -74,8 +86,26 @@ pub enum Job {
         /// Reply channel.
         reply: Sender<ReplyBody>,
     },
+    /// Incremental provenance update (batch boundary, like
+    /// `select_bound`: it mutates the session).
+    ApplyDelta {
+        /// Unparsed term-level edits; the worker resolves labels and
+        /// term text against its session.
+        ops: Vec<WireDeltaOp>,
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
     /// Cheap statistics.
     Stats {
+        /// Reply channel.
+        reply: Sender<ReplyBody>,
+    },
+    /// Eviction: persist the session to `path` and exit the worker.
+    /// Sent only by the store's LRU capacity enforcement; on a persist
+    /// failure the worker replies with the error and *keeps serving*.
+    Retire {
+        /// Artifact path to snapshot the session into.
+        path: PathBuf,
         /// Reply channel.
         reply: Sender<ReplyBody>,
     },
@@ -90,6 +120,41 @@ struct SessionHandle {
     tx: Sender<Job>,
 }
 
+/// The in-memory tier: live workers plus a recency order for LRU
+/// eviction (front = least recently used).
+#[derive(Default)]
+struct LiveTier {
+    map: HashMap<String, SessionHandle>,
+    recency: Vec<String>,
+}
+
+impl LiveTier {
+    /// Marks `id` most recently used (no-op if it is not live).
+    fn touch(&mut self, id: &str) {
+        if let Some(pos) = self.recency.iter().position(|r| r == id) {
+            let entry = self.recency.remove(pos);
+            self.recency.push(entry);
+        }
+    }
+
+    fn insert(&mut self, id: String, handle: SessionHandle) {
+        self.recency.retain(|r| r != &id);
+        self.recency.push(id.clone());
+        self.map.insert(id, handle);
+    }
+
+    fn remove(&mut self, id: &str) -> Option<SessionHandle> {
+        self.recency.retain(|r| r != id);
+        self.map.remove(id)
+    }
+
+    fn pop_lru(&mut self) -> Option<(String, SessionHandle)> {
+        let id = self.recency.first()?.clone();
+        let handle = self.remove(&id)?;
+        Some((id, handle))
+    }
+}
+
 /// The tiered session store.
 pub struct SessionStore {
     dir: Option<PathBuf>,
@@ -97,12 +162,19 @@ pub struct SessionStore {
     /// [`cobra_util::kernel::with_target`] around the worker loop, since
     /// kernel overrides are thread-local).
     kernel: KernelTarget,
-    sessions: Mutex<HashMap<String, SessionHandle>>,
+    /// In-memory tier cap; `None` is unbounded. Reaching the cap evicts
+    /// the least-recently-used session: persisted to the disk tier when
+    /// the store has a directory (whence it transparently re-loads on
+    /// the next request), a typed `store_full` error when it does not.
+    max_sessions: Option<usize>,
+    sessions: Mutex<LiveTier>,
 }
 
 fn session_err(e: CoreError) -> (String, String) {
     let kind = match &e {
         CoreError::InfeasibleBound { .. } => "infeasible_bound",
+        CoreError::ExactOverflow(_) => "exact_overflow",
+        CoreError::Delta(_) => "delta",
         _ => "session",
     };
     (kind.to_owned(), e.to_string())
@@ -128,10 +200,28 @@ impl SessionStore {
     /// [`new`](Self::new) with an explicit batch-kernel target for every
     /// session worker this store spawns.
     pub fn with_kernel(dir: Option<PathBuf>, target: KernelTarget) -> SessionStore {
+        SessionStore::with_limits(dir, target, None)
+    }
+
+    /// [`with_kernel`](Self::with_kernel) plus a cap on live sessions.
+    ///
+    /// With `max_sessions: Some(n)`, admitting session `n + 1` first
+    /// retires the least-recently-used live session: its worker
+    /// snapshots the session into the disk tier and exits, and later
+    /// requests naming the evicted id re-hydrate it by mmap exactly like
+    /// a `persist`ed one. Without a store directory there is nowhere to
+    /// evict *to*, so hitting the cap is a typed `store_full` error
+    /// instead of unbounded memory growth.
+    pub fn with_limits(
+        dir: Option<PathBuf>,
+        target: KernelTarget,
+        max_sessions: Option<usize>,
+    ) -> SessionStore {
         SessionStore {
             dir,
             kernel: target,
-            sessions: Mutex::new(HashMap::new()),
+            max_sessions,
+            sessions: Mutex::new(LiveTier::default()),
         }
     }
 
@@ -156,8 +246,9 @@ impl SessionStore {
             ));
         }
         {
-            let sessions = self.sessions.lock().unwrap();
-            if sessions.contains_key(id) {
+            let mut sessions = self.sessions.lock().unwrap();
+            if sessions.map.contains_key(id) {
+                sessions.touch(id);
                 return Ok(vec![
                     ("session".into(), Json::Str(id.to_owned())),
                     ("source".into(), Json::Str("cached".into())),
@@ -187,7 +278,7 @@ impl SessionStore {
             None => (self.load_from_disk(id)?, "loaded"),
         };
         let points = session.info().frontier_points.unwrap_or(0);
-        self.insert_worker(id, session);
+        self.insert_worker(id, session)?;
         Ok(vec![
             ("session".into(), Json::Str(id.to_owned())),
             ("source".into(), Json::Str(source.into())),
@@ -207,8 +298,7 @@ impl SessionStore {
                 "session ids are 1-64 chars of [A-Za-z0-9_-]".into(),
             ));
         }
-        self.insert_worker(id, session);
-        Ok(())
+        self.insert_worker(id, session)
     }
 
     fn load_from_disk(&self, id: &str) -> Result<CobraSession, (String, String)> {
@@ -228,7 +318,10 @@ impl SessionStore {
         restore_session(&artifact).map_err(session_err)
     }
 
-    fn insert_worker(&self, id: &str, session: CobraSession) {
+    /// Spawns a worker for `session` and registers it, first making
+    /// room under the live-session cap.
+    fn insert_worker(&self, id: &str, session: CobraSession) -> Result<(), (String, String)> {
+        self.make_room(id)?;
         let (tx, rx) = channel();
         let target = self.kernel;
         std::thread::Builder::new()
@@ -239,41 +332,107 @@ impl SessionStore {
             .lock()
             .unwrap()
             .insert(id.to_owned(), SessionHandle { tx });
+        Ok(())
+    }
+
+    /// Enforces the live-session cap before admitting `incoming`:
+    /// synchronously retires least-recently-used workers (each persists
+    /// its own session into the disk tier, then exits) until a slot is
+    /// free. Without a disk tier eviction would lose a live session, so
+    /// a full store refuses the admission with a `store_full` error.
+    fn make_room(&self, incoming: &str) -> Result<(), (String, String)> {
+        let Some(cap) = self.max_sessions else {
+            return Ok(());
+        };
+        loop {
+            let victim = {
+                let mut sessions = self.sessions.lock().unwrap();
+                if sessions.map.contains_key(incoming) || sessions.map.len() < cap {
+                    return Ok(());
+                }
+                sessions.pop_lru()
+            };
+            let Some((vid, handle)) = victim else {
+                return Err((
+                    "store_full".to_owned(),
+                    format!("the live-session cap is {cap} and nothing is evictable"),
+                ));
+            };
+            let Some(path) = self.artifact_path(&vid) else {
+                self.sessions.lock().unwrap().insert(vid, handle);
+                return Err((
+                    "store_full".to_owned(),
+                    format!(
+                        "live-session cap of {cap} reached and the server has no \
+                         store directory to evict into (start with --store DIR, \
+                         or raise --max-sessions)"
+                    ),
+                ));
+            };
+            let (reply_tx, reply_rx) = channel();
+            if handle.tx.send(Job::Retire { path, reply: reply_tx }).is_err() {
+                continue; // worker already gone — the slot is free
+            }
+            match reply_rx.recv() {
+                Ok(Ok(_)) | Err(_) => {} // persisted and retired
+                Ok(Err(err)) => {
+                    // The snapshot failed and the worker kept serving:
+                    // put the victim back instead of losing it, and
+                    // refuse the admission with the persist error.
+                    self.sessions.lock().unwrap().insert(vid, handle);
+                    return Err(err);
+                }
+            }
+        }
     }
 
     /// Routes a job to a session's worker, re-hydrating from the disk
     /// tier on an in-memory miss, and waits for the reply.
-    pub fn dispatch(&self, id: &str, job: impl FnOnce(Sender<ReplyBody>) -> Job) -> ReplyBody {
+    ///
+    /// The job constructor may be called more than once: a handle can go
+    /// stale when the LRU cap retires its worker between lookup and
+    /// send, in which case the session is already persisted and one
+    /// reload retry reaches it again.
+    pub fn dispatch(&self, id: &str, job: impl Fn(Sender<ReplyBody>) -> Job) -> ReplyBody {
         if !valid_id(id) {
             return Err((
                 "bad_request".into(),
                 "session ids are 1-64 chars of [A-Za-z0-9_-]".into(),
             ));
         }
-        let tx = {
-            let sessions = self.sessions.lock().unwrap();
-            sessions.get(id).map(|h| h.tx.clone())
-        };
-        let tx = match tx {
-            Some(tx) => tx,
-            None => {
-                let session = self.load_from_disk(id)?;
-                self.insert_worker(id, session);
-                self.sessions
-                    .lock()
-                    .unwrap()
-                    .get(id)
-                    .map(|h| h.tx.clone())
-                    .expect("worker just inserted")
+        let mut last_err = ("session".to_owned(), "session worker is gone".to_owned());
+        for _ in 0..2 {
+            let tx = {
+                let mut sessions = self.sessions.lock().unwrap();
+                sessions.touch(id);
+                sessions.map.get(id).map(|h| h.tx.clone())
+            };
+            let tx = match tx {
+                Some(tx) => tx,
+                None => {
+                    let session = self.load_from_disk(id)?;
+                    self.insert_worker(id, session)?;
+                    match self.sessions.lock().unwrap().map.get(id).map(|h| h.tx.clone()) {
+                        Some(tx) => tx,
+                        None => continue, // immediately re-evicted (tiny cap): retry
+                    }
+                }
+            };
+            let (reply_tx, reply_rx) = channel();
+            if tx.send(job(reply_tx)).is_err() {
+                continue; // worker retired after lookup: reload from disk
             }
-        };
-        let (reply_tx, reply_rx) = channel();
-        if tx.send(job(reply_tx)).is_err() {
-            return Err(("session".into(), "session worker is gone".into()));
+            match reply_rx.recv() {
+                Ok(body) => return body,
+                // The worker exited (retirement) with this job still
+                // queued — it never ran, so re-dispatching is safe.
+                Err(_) => {
+                    last_err =
+                        ("session".to_owned(), "session worker retired mid-request".to_owned());
+                }
+            }
         }
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| Err(("session".into(), "session worker dropped the reply".into())))
+        Err(last_err)
     }
 }
 
@@ -322,13 +481,22 @@ fn worker_loop(mut session: CobraSession, rx: Receiver<Job>) {
                     }
                     run_sweep_group(&mut session, group);
                 }
-                other => run_one(&mut session, other),
+                other => {
+                    if !run_one(&mut session, other) {
+                        // Retired: the receiver drops here, so jobs still
+                        // queued behind the retirement are never run —
+                        // their dispatchers retry through the disk tier.
+                        return;
+                    }
+                }
             }
         }
     }
 }
 
-fn run_one(session: &mut CobraSession, job: Job) {
+/// Runs one job; returns `false` when the worker must exit (a
+/// successful [`Job::Retire`]).
+fn run_one(session: &mut CobraSession, job: Job) -> bool {
     match job {
         Job::Assign { scenario, reply } => {
             let body = catch_unwind(AssertUnwindSafe(|| do_assign(session, &scenario)))
@@ -350,10 +518,22 @@ fn run_one(session: &mut CobraSession, job: Job) {
                 .unwrap_or_else(panic_body);
             send(&reply, body);
         }
+        Job::ApplyDelta { ops, reply } => {
+            let body = catch_unwind(AssertUnwindSafe(|| do_apply_delta(session, &ops)))
+                .unwrap_or_else(panic_body);
+            send(&reply, body);
+        }
         Job::Stats { reply } => {
             let body = catch_unwind(AssertUnwindSafe(|| Ok(do_stats(session))))
                 .unwrap_or_else(panic_body);
             send(&reply, body);
+        }
+        Job::Retire { path, reply } => {
+            let body = catch_unwind(AssertUnwindSafe(|| do_retire(session, &path)))
+                .unwrap_or_else(panic_body);
+            let retired = body.is_ok();
+            send(&reply, body);
+            return !retired;
         }
         Job::Panic { reply } => {
             let body = catch_unwind(|| -> ReplyBody {
@@ -363,6 +543,58 @@ fn run_one(session: &mut CobraSession, job: Job) {
             send(&reply, body);
         }
     }
+    true
+}
+
+/// Eviction: snapshot the session into the disk tier. A success retires
+/// the worker; a failure keeps it serving (the store re-registers it).
+fn do_retire(session: &CobraSession, path: &std::path::Path) -> ReplyBody {
+    let bytes = snapshot_session(session).map_err(session_err)?;
+    write_file(path, &bytes).map_err(persist_io_err)?;
+    Ok(vec![("retired".into(), Json::Bool(true))])
+}
+
+/// Resolves an `apply_delta` request's labels and term text against the
+/// session, then applies the delta through the incremental session path
+/// (engines spliced, plans reused — no full recompile).
+fn do_apply_delta(session: &mut CobraSession, ops: &[WireDeltaOp]) -> ReplyBody {
+    let mut delta = PolyDelta::new();
+    for op in ops {
+        let idx = session.polynomials().index_of(&op.poly).ok_or_else(|| {
+            (
+                "bad_request".to_owned(),
+                format!("no polynomial labelled {:?} in this session", op.poly),
+            )
+        })?;
+        let parsed = parse_poly(&op.term, session.registry_mut())
+            .map_err(|e| ("bad_request".to_owned(), format!("term {:?}: {e}", op.term)))?;
+        let (monomial, coeff) = match parsed.terms() {
+            [single] => single.clone(),
+            _ => {
+                return Err((
+                    "bad_request".to_owned(),
+                    format!("term {:?} must be a single coeff*monomial product", op.term),
+                ))
+            }
+        };
+        match op.action {
+            WireDeltaAction::Add => delta.add(idx, monomial, coeff),
+            WireDeltaAction::Set => delta.set(idx, monomial, coeff),
+            WireDeltaAction::Remove => delta.remove(idx, monomial),
+        }
+    }
+    let report = session.apply_delta(&delta).map_err(session_err)?;
+    Ok(vec![
+        ("structural".into(), Json::Bool(report.is_structural())),
+        (
+            "polys_touched".into(),
+            Json::Num(report.touched().len() as f64),
+        ),
+        (
+            "terms_touched".into(),
+            Json::Num(report.terms_touched as f64),
+        ),
+    ])
 }
 
 fn panic_body(payload: Box<dyn std::any::Any + Send>) -> ReplyBody {
@@ -735,7 +967,7 @@ mod tests {
         let (tx2, rx2) = channel();
         {
             let sessions = store.sessions.lock().unwrap();
-            let tx = sessions.get("t").unwrap().tx.clone();
+            let tx = sessions.map.get("t").unwrap().tx.clone();
             tx.send(Job::Sweep {
                 scenarios: r1,
                 deadline_ms: None,
@@ -753,5 +985,147 @@ mod tests {
         let fused2 = rx2.recv().unwrap().unwrap();
         assert_eq!(get(&fused1, "rows"), get(&solo1, "rows"));
         assert_eq!(get(&fused2, "rows"), get(&solo2, "rows"));
+    }
+
+    fn assign_rows(store: &SessionStore, id: &str) -> Json {
+        let body = store
+            .dispatch(id, |reply| Job::Assign {
+                scenario: vec![("m3".into(), Rat::parse("0.8").unwrap())],
+                reply,
+            })
+            .unwrap();
+        get(&body, "rows")
+    }
+
+    #[test]
+    fn delta_updates_flow_through_the_worker() {
+        let store = prepared_store();
+        store
+            .dispatch("t", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        let body = store
+            .dispatch("t", |reply| Job::ApplyDelta {
+                ops: vec![
+                    WireDeltaOp {
+                        poly: "P1".into(),
+                        action: WireDeltaAction::Set,
+                        term: "250*p1*m1".into(),
+                    },
+                    WireDeltaOp {
+                        poly: "P1".into(),
+                        action: WireDeltaAction::Remove,
+                        term: "v*m3".into(),
+                    },
+                ],
+                reply,
+            })
+            .unwrap();
+        assert_eq!(get(&body, "structural"), Json::Bool(true));
+        assert_eq!(get(&body, "terms_touched"), Json::Num(2.0));
+
+        // The patched session answers exactly like one built fresh from
+        // the post-delta polynomials.
+        let fresh = SessionStore::new(None);
+        fresh
+            .prepare(
+                "f",
+                Some("P1 = 250*p1*m1 + 240*p1*m3 + 42*v*m1"),
+                Some(TREE),
+                false,
+            )
+            .unwrap();
+        fresh
+            .dispatch("f", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        assert_eq!(assign_rows(&store, "t"), assign_rows(&fresh, "f"));
+    }
+
+    #[test]
+    fn delta_errors_are_typed_and_atomic() {
+        let store = prepared_store();
+        let before = store
+            .dispatch("t", |reply| Job::Stats { reply })
+            .map(|b| get(&b, "original_size"));
+        let (kind, _) = store
+            .dispatch("t", |reply| Job::ApplyDelta {
+                ops: vec![WireDeltaOp {
+                    poly: "Nope".into(),
+                    action: WireDeltaAction::Add,
+                    term: "2*p1*m1".into(),
+                }],
+                reply,
+            })
+            .unwrap_err();
+        assert_eq!(kind, "bad_request");
+        let (kind, _) = store
+            .dispatch("t", |reply| Job::ApplyDelta {
+                ops: vec![WireDeltaOp {
+                    poly: "P1".into(),
+                    action: WireDeltaAction::Add,
+                    term: "2*p1 + 3*v".into(),
+                }],
+                reply,
+            })
+            .unwrap_err();
+        assert_eq!(kind, "bad_request");
+        let after = store
+            .dispatch("t", |reply| Job::Stats { reply })
+            .map(|b| get(&b, "original_size"));
+        assert_eq!(before, after, "rejected deltas must change nothing");
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cobra-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn lru_cap_evicts_to_disk_and_evicted_ids_reload() {
+        let dir = scratch_dir("evict");
+        let store = SessionStore::with_limits(Some(dir.clone()), kernel::target(), Some(2));
+        for id in ["a", "b", "c"] {
+            store.prepare(id, Some(POLYS), Some(TREE), false).unwrap();
+        }
+        // "a" was LRU: its worker persisted the session and exited.
+        assert_eq!(store.sessions.lock().unwrap().map.len(), 2);
+        assert!(!store.sessions.lock().unwrap().map.contains_key("a"));
+        assert!(dir.join("a.cobra").exists());
+
+        // The evicted id still answers — transparently re-hydrated from
+        // the artifact its own worker wrote (this in turn evicts "b").
+        let body = store
+            .dispatch("a", |reply| Job::SelectBound { bound: 2, reply })
+            .unwrap();
+        assert_eq!(get(&body, "compressed_size"), Json::Num(2.0));
+        assert!(dir.join("b.cobra").exists());
+
+        // Touching "a" protects it: the next admission evicts "c".
+        store.prepare("d", Some(POLYS), Some(TREE), false).unwrap();
+        let live = store.sessions.lock().unwrap();
+        assert!(live.map.contains_key("a") && live.map.contains_key("d"));
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_store_without_disk_tier_refuses_with_store_full() {
+        let store = SessionStore::with_limits(None, kernel::target(), Some(1));
+        store.prepare("a", Some(POLYS), Some(TREE), false).unwrap();
+        let (kind, msg) = store
+            .prepare("b", Some(POLYS), Some(TREE), false)
+            .unwrap_err();
+        assert_eq!(kind, "store_full");
+        assert!(msg.contains("no store directory"), "{msg}");
+        // The incumbent session is untouched and still serving.
+        let body = store.dispatch("a", |reply| Job::Stats { reply }).unwrap();
+        assert_eq!(get(&body, "trees"), Json::Num(1.0));
+        // Re-preparing a live id is not an admission and stays fine.
+        let body = store.prepare("a", None, None, false).unwrap();
+        assert_eq!(get(&body, "source"), Json::Str("cached".into()));
     }
 }

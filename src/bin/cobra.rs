@@ -12,10 +12,13 @@
 //!     then optionally evaluate a what-if scenario.
 //!
 //! cobra serve [--addr HOST:PORT] [--store DIR] [--kernel TARGET]
+//!             [--max-sessions N]
 //!     Run the COBRA sweep server (length-prefixed JSON frames over
 //!     TCP). `--store` enables the persistent session tier;
 //!     `--kernel` pins the batch kernel (auto | scalar | avx2 |
-//!     avx2fma) for every session worker.
+//!     avx2fma) for every session worker; `--max-sessions` caps the
+//!     live in-memory tier, evicting least-recently-used sessions to
+//!     the store directory.
 //! ```
 
 use cobra::core::{CobraSession, SensitivityReport};
@@ -29,7 +32,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("cobra: {message}");
-            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR] [--kernel auto|scalar|avx2|avx2fma]");
+            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR] [--kernel auto|scalar|avx2|avx2fma] [--max-sessions N]");
             ExitCode::FAILURE
         }
     }
@@ -117,6 +120,13 @@ fn parse_serve_args(args: &[String]) -> Result<cobra::server::ServerConfig, Stri
                 config.kernel = value()?
                     .parse()
                     .map_err(|e: cobra::util::kernel::UnknownKernelTarget| e.to_string())?
+            }
+            "--max-sessions" => {
+                config.max_sessions = Some(
+                    value()?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--max-sessions: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -292,6 +302,11 @@ mod tests {
         let config = parse_serve_args(&s(&["--kernel", "avx2+fma"])).unwrap();
         assert_eq!(config.kernel, KernelTarget::Avx2Fma);
         assert!(parse_serve_args(&s(&["--kernel", "sse9"])).is_err());
+
+        assert_eq!(parse_serve_args(&[]).unwrap().max_sessions, None);
+        let config = parse_serve_args(&s(&["--max-sessions", "8"])).unwrap();
+        assert_eq!(config.max_sessions, Some(8));
+        assert!(parse_serve_args(&s(&["--max-sessions", "lots"])).is_err());
     }
 
     #[test]

@@ -433,6 +433,124 @@ fn forced_kernel_servers_reply_bit_identically() {
 }
 
 #[test]
+fn apply_delta_patches_live_sessions_over_the_wire() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut c = connect(server.addr());
+    assert_ok(&prepare(&mut c, "inc", false));
+    assert_ok(&select_bound(&mut c, "inc", 2));
+
+    // Coefficient-only edit: the p1*m1 revenue 208.8 → 250.
+    let reply = request(
+        &mut c,
+        r#"{"op":"apply_delta","session":"inc","ops":[{"poly":"P1","action":"set","term":"250*p1*m1"}]}"#,
+    );
+    assert_ok(&reply);
+    assert_eq!(reply.get("structural"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("terms_touched"), Some(&Json::Num(1.0)));
+
+    // Structural edit: a tuple delete plus a tuple insert.
+    let reply = request(
+        &mut c,
+        r#"{"op":"apply_delta","session":"inc","ops":[{"poly":"P1","action":"delete","term":"v*m3"},{"poly":"P1","action":"insert","term":"10*p2*m1"}]}"#,
+    );
+    assert_ok(&reply);
+    assert_eq!(reply.get("structural"), Some(&Json::Bool(true)));
+    assert_eq!(reply.get("polys_touched"), Some(&Json::Num(1.0)));
+
+    // The patched session answers exactly like a server that built the
+    // post-delta polynomials from scratch.
+    let assign = r#"{"op":"assign","session":"inc","scenario":{"m3":"0.8","m1":"6/5"}}"#;
+    let patched_assign = request(&mut c, assign);
+    assert_ok(&patched_assign);
+    let patched_sweep = request(
+        &mut c,
+        &sweep_request("inc", &[("m3", "0.8"), ("m1", "6/5"), ("v", "2")], None),
+    );
+    assert_ok(&patched_sweep);
+
+    let fresh_server = serve(ServerConfig::default()).unwrap();
+    let mut f = connect(fresh_server.addr());
+    let body = Json::Obj(vec![
+        ("op".into(), Json::Str("prepare".into())),
+        ("session".into(), Json::Str("inc".into())),
+        (
+            "polys".into(),
+            Json::Str("P1 = 250*p1*m1 + 240*p1*m3 + 42*v*m1 + 10*p2*m1".into()),
+        ),
+        ("tree".into(), Json::Str(TREE.into())),
+    ]);
+    assert_ok(&request(&mut f, &body.to_string()));
+    assert_ok(&select_bound(&mut f, "inc", 2));
+    let fresh_assign = request(&mut f, assign);
+    let fresh_sweep = request(
+        &mut f,
+        &sweep_request("inc", &[("m3", "0.8"), ("m1", "6/5"), ("v", "2")], None),
+    );
+    assert_eq!(patched_assign.get("rows"), fresh_assign.get("rows"));
+    assert_eq!(patched_sweep.get("rows"), fresh_sweep.get("rows"));
+
+    // Bad deltas are typed errors and the session keeps serving.
+    let reply = request(
+        &mut c,
+        r#"{"op":"apply_delta","session":"inc","ops":[{"poly":"Nope","action":"set","term":"1*p1*m1"}]}"#,
+    );
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("bad_request"));
+    assert_ok(&request(&mut c, r#"{"op":"stats","session":"inc"}"#));
+
+    server.shutdown();
+    fresh_server.shutdown();
+}
+
+#[test]
+fn session_cap_evicts_lru_to_store_and_reloads_transparently() {
+    let dir = scratch_dir("cap");
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+        max_sessions: Some(2),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = connect(server.addr());
+    for id in ["ca", "cb", "cc"] {
+        assert_ok(&prepare(&mut c, id, false));
+    }
+    // "ca" was least recently used: its own worker persisted it into
+    // the disk tier on the way out.
+    assert!(dir.join("ca.cobra").is_file());
+
+    // …and it keeps answering — the next request re-hydrates it by
+    // mmap, exactly like an explicitly persisted session.
+    let stats = request(&mut c, r#"{"op":"stats","session":"ca"}"#);
+    assert_ok(&stats);
+    assert_eq!(stats.get("hydrated"), Some(&Json::Bool(true)));
+    let reply = select_bound(&mut c, "ca", 2);
+    assert_ok(&reply);
+    assert_eq!(reply.get("compressed_size"), Some(&Json::Num(2.0)));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_cap_without_store_is_a_typed_store_full_error() {
+    let server = serve(ServerConfig {
+        max_sessions: Some(1),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = connect(server.addr());
+    assert_ok(&prepare(&mut c, "one", false));
+    let reply = prepare(&mut c, "two", false);
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("store_full"));
+    // The incumbent session is untouched and keeps serving.
+    assert_ok(&request(&mut c, r#"{"op":"stats","session":"one"}"#));
+    server.shutdown();
+}
+
+#[test]
 fn malformed_frames_get_typed_errors_without_killing_the_connection() {
     let server = serve(ServerConfig::default()).unwrap();
     let mut c = connect(server.addr());
