@@ -43,7 +43,8 @@ use crate::session::{CobraSession, ForestFrontierState, FrontierState, WarmEngin
 use crate::tree::AbstractionTree;
 use cobra_provenance::persist::{self, tags};
 use cobra_provenance::{
-    ArtifactReader, ArtifactWriter, BatchEvaluator, LoadedArtifact, Valuation, Var, VarRegistry,
+    ArtifactReader, ArtifactWriter, BatchEvaluator, DagOptions, LoadedArtifact, Valuation, Var,
+    VarRegistry,
 };
 use cobra_util::{AlignedBytes, FxHashMap, FxHashSet, Rat};
 use std::any::Any;
@@ -153,6 +154,11 @@ pub fn snapshot_session(session: &CobraSession) -> Result<Vec<u8>> {
         w.put_u32(idx as u32);
         w.put_u32(u32::from(engines.f64.is_some()));
     }
+
+    // v2: whether algebraic (DAG) compression was armed. The DAG programs
+    // themselves are cheap deterministic rewrites of the flat programs, so
+    // only the flag persists — restore re-derives them lazily.
+    w.put_u32(u32::from(session.dag_mode));
 
     persist::write_program(&mut w, tags::PROGRAM_RAT, full_rat.program());
     persist::write_program(&mut w, tags::PROGRAM_F64, full_f64.program());
@@ -278,6 +284,14 @@ fn restore_from_reader(
         warm_dir.push((idx, has_f64));
     }
 
+    // v1 artifacts predate algebraic compression: their SESSION section
+    // ends at the warm directory, so the flag is read only from v2 on.
+    let dag_mode = if reader.version() >= 2 {
+        s.get_u32().map_err(persist_err)? != 0
+    } else {
+        false
+    };
+
     let load = |tag: u32| -> Result<BatchEvaluator<Rat>> {
         let prog = persist::read_program_ref::<Rat>(reader, tag).map_err(persist_err)?;
         Ok(BatchEvaluator::new(prog.to_program(owner.clone())))
@@ -349,6 +363,12 @@ fn restore_from_reader(
             warm,
         }),
         forest: None::<ForestFrontierState>,
+        dag_mode,
+        // Options are not persisted: a restored session re-arms under the
+        // defaults (compile_dag_with can override after the fact).
+        dag_opts: DagOptions::default(),
+        dag_full_rat: OnceCell::new(),
+        dag_full_f64: OnceCell::new(),
         trace: Vec::new(),
         trace_enabled: false,
     })

@@ -21,7 +21,10 @@
 //! * [`planner`] — the **unified compression planner**: one
 //!   [`CutPlanner`] interface (`plan` one bound, `plan_frontier` the whole
 //!   Pareto curve) over a shared [`PlanContext`] of memoized cut
-//!   statistics, implemented by [`ExactDp`], [`Greedy`] and [`BruteForce`].
+//!   statistics, implemented by [`ExactDp`], [`Greedy`] and [`BruteForce`];
+//!   plus the orthogonal [`DagOptimizer`] axis ([`AlgebraicDag`],
+//!   [`ProductCse`]) selecting the algebraic rewrite behind
+//!   [`CobraSession::compile_dag`].
 //! * [`dp`] — the exact PTIME optimizer: bottom-up tree-knapsack dynamic
 //!   programming, plus the expressiveness/size Pareto frontier (thin
 //!   wrappers over the planner).
@@ -57,7 +60,9 @@
 //!   [`folds::ArgmaxImpact`], [`folds::Histogram`], [`folds::TopK`]), all
 //!   mergeable ([`MergeFold`]) so the same fold runs sequentially or
 //!   fanned across cores with bit-identical results.
-//! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4.
+//! * [`session`] — [`CobraSession`], the end-to-end pipeline of Fig. 4,
+//!   including `compile_dag()`: algebraic compression of the compiled
+//!   engines (shared-subterm DAG programs), composable with any cut.
 //! * [`report`] — displayable compression reports.
 //!
 //! ## Quick start
@@ -107,10 +112,12 @@ pub use dp::{optimize, pareto_frontier, DpSolution, ParetoPoint};
 pub use error::{CoreError, Result};
 pub use greedy::optimize_greedy;
 pub use groups::GroupAnalysis;
-pub use cobra_provenance::{DeltaAction, DeltaError, DeltaOp, DeltaReport, PolyDelta};
+pub use cobra_provenance::{
+    DagOptions, DagStats, DeltaAction, DeltaError, DeltaOp, DeltaReport, PolyDelta,
+};
 pub use planner::{
-    BruteForce, CutFrontier, CutPlanner, ExactDp, FrontierPoint, Greedy, NodeStats, PlanContext,
-    PlanSnapshot, PlannedCut,
+    AlgebraicDag, BruteForce, CutFrontier, CutPlanner, DagOptimizer, ExactDp, FrontierPoint,
+    Greedy, NodeStats, PlanContext, PlanSnapshot, PlannedCut, ProductCse,
 };
 pub use folds::{MergeFold, SweepFold};
 pub use scenario::{
@@ -127,6 +134,6 @@ pub use multi::{
     forest_sweep_fold_par_budgeted, optimize_forest_descent, plan_forest_frontier, ForestFrontier,
     ForestFrontierPoint, ForestSolution,
 };
-pub use report::{frontier_table, CompressionReport};
+pub use report::{frontier_table, CompressionReport, DagReport};
 pub use session::{CobraSession, MetaSummaryRow, SessionInfo};
 pub use tree::{AbstractionTree, NodeId, TreeSpec};

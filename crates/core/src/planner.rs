@@ -51,6 +51,7 @@ use crate::cut::{enumerate_cuts, Cut};
 use crate::error::{CoreError, Result};
 use crate::groups::GroupAnalysis;
 use crate::tree::{AbstractionTree, NodeId};
+use cobra_provenance::DagOptions;
 use cobra_util::par;
 use std::cell::OnceCell;
 use std::sync::Arc;
@@ -731,6 +732,56 @@ impl CutPlanner for BruteForce {
     }
 }
 
+/// The **algebraic** optimizer interface — the DAG sibling of
+/// [`CutPlanner`]. Cut planners shrink the provenance itself by merging
+/// variables; a `DagOptimizer` leaves the polynomials untouched and
+/// instead factors their *evaluation* into a shared-subterm DAG program
+/// ([`cobra_provenance::dag`]), cutting the multiplies each scenario
+/// costs. The two axes compose:
+/// [`CobraSession::compile_dag_with`](crate::CobraSession::compile_dag_with)
+/// rewrites whatever programs the current cut selection evaluates.
+pub trait DagOptimizer {
+    /// A short human-readable optimizer name (reports, benches).
+    fn name(&self) -> &'static str;
+
+    /// The rewrite configuration handed to
+    /// [`cobra_provenance::dag::rewrite`].
+    fn options(&self) -> DagOptions;
+}
+
+/// The full three-pass algebraic pipeline — power-product CSE, shared-pair
+/// mining and Horner restructuring at the default bounds
+/// ([`DagOptions::default`]). The optimizer behind
+/// [`CobraSession::compile_dag`](crate::CobraSession::compile_dag).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlgebraicDag;
+
+impl DagOptimizer for AlgebraicDag {
+    fn name(&self) -> &'static str {
+        "algebraic-dag"
+    }
+
+    fn options(&self) -> DagOptions {
+        DagOptions::default()
+    }
+}
+
+/// Power-product CSE alone (pair mining and Horner disabled) — the
+/// ablation baseline isolating what plain hash-consing of complete power
+/// products buys ([`DagOptions::cse_only`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProductCse;
+
+impl DagOptimizer for ProductCse {
+    fn name(&self) -> &'static str {
+        "product-cse"
+    }
+
+    fn options(&self) -> DagOptions {
+        DagOptions::cse_only()
+    }
+}
+
 /// Builds one node's knapsack table from its children's (already filled)
 /// tables — the shared body of the full bottom-up build and the
 /// dirty-path rebuild in [`PlanContext::new_incremental`]. Depends only
@@ -1039,5 +1090,15 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         assert_eq!(ExactDp.name(), "exact-dp");
         assert_eq!(Greedy.name(), "greedy");
         assert_eq!(BruteForce::default().name(), "brute-force");
+    }
+
+    #[test]
+    fn dag_optimizers_resolve_to_their_rewrite_options() {
+        assert_eq!(AlgebraicDag.name(), "algebraic-dag");
+        assert_eq!(ProductCse.name(), "product-cse");
+        let full = AlgebraicDag.options();
+        assert!(full.product_cse && full.pair_mining && full.horner);
+        let cse = ProductCse.options();
+        assert!(cse.product_cse && !cse.pair_mining && !cse.horner);
     }
 }

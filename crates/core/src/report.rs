@@ -6,6 +6,7 @@
 use crate::assign::SpeedupMeasurement;
 use crate::planner::CutFrontier;
 use crate::tree::AbstractionTree;
+use cobra_provenance::DagStats;
 use cobra_util::table::thousands;
 use cobra_util::Table;
 use std::fmt;
@@ -88,6 +89,63 @@ impl fmt::Display for CompressionReport {
     }
 }
 
+/// Summary of one [`compile_dag`](crate::CobraSession::compile_dag) run:
+/// the per-side rewrite accounting of the algebraic compression, in the
+/// units the experiment gate measures (static multiplies per scenario).
+#[derive(Clone, Copy, Debug)]
+pub struct DagReport {
+    /// Name of the [`DagOptimizer`](crate::planner::DagOptimizer) that ran.
+    pub optimizer: &'static str,
+    /// Rewrite statistics of the full-provenance program.
+    pub full: DagStats,
+    /// Rewrite statistics of the compressed-side program.
+    pub compressed: DagStats,
+}
+
+impl DagReport {
+    /// The full-side op-reduction factor (`flat / dag` multiplies) — the
+    /// number experiment e17 gates at ≥ 1.5 on the telephony workload.
+    pub fn op_ratio(&self) -> f64 {
+        self.full.op_ratio()
+    }
+
+    /// Renders as a two-column table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["metric", "value"]).numeric();
+        t.row(["optimizer".to_owned(), self.optimizer.to_owned()]);
+        for (side, stats) in [("full", &self.full), ("compressed", &self.compressed)] {
+            t.row([
+                format!("slots ({side})"),
+                thousands(stats.num_slots as u64),
+            ]);
+            t.row([
+                format!("terms ({side})"),
+                format!(
+                    "{} → {}",
+                    thousands(stats.flat_terms as u64),
+                    thousands(stats.dag_terms as u64)
+                ),
+            ]);
+            t.row([
+                format!("multiplies ({side})"),
+                format!(
+                    "{} → {} ({:.2}×)",
+                    thousands(stats.flat_multiply_ops),
+                    thousands(stats.dag_multiply_ops),
+                    stats.op_ratio()
+                ),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for DagReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
 /// Renders a planner [`CutFrontier`] as the bound-sweep table the demo's
 /// interactive slider walks: one row per selectable point with its
 /// expressiveness, minimal size, and witness cut.
@@ -148,6 +206,29 @@ mod tests {
         assert!(s.contains("88,620"));
         assert!(s.contains("{SB, e, F, Y, v, p1, p2}"));
         assert!((r.ratio() - 0.6364).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dag_report_renders_both_sides() {
+        let stats = |flat_ops: u64, dag_ops: u64| DagStats {
+            num_polys: 2,
+            num_slots: 3,
+            flat_terms: 14,
+            dag_terms: 17,
+            flat_multiply_ops: flat_ops,
+            dag_multiply_ops: dag_ops,
+        };
+        let r = DagReport {
+            optimizer: "algebraic-dag",
+            full: stats(278_520, 139_524),
+            compressed: stats(100, 80),
+        };
+        assert!((r.op_ratio() - 278_520.0 / 139_524.0).abs() < 1e-9);
+        let s = r.to_string();
+        assert!(s.contains("algebraic-dag"));
+        assert!(s.contains("multiplies (full)"));
+        assert!(s.contains("278,520"));
+        assert!(s.contains("multiplies (compressed)"));
     }
 
     #[test]

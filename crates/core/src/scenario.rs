@@ -367,6 +367,15 @@ pub struct CompiledComparison {
     pub full: BatchEvaluator<Rat>,
     /// Batched evaluator over the compressed provenance.
     pub compressed: BatchEvaluator<Rat>,
+    /// Optional exact-value twins the `f64` divergence probes evaluate
+    /// instead of `full`/`compressed`. A shared-subterm DAG program
+    /// (`num_slots > 0`) never lowers to the fixed-point exact kernel,
+    /// so probing it directly pays a plain `Rat` walk per probe — enough
+    /// to dwarf the whole `f64` sweep at provenance scale. Its flat twin
+    /// produces bit-identical exact values (the DAG rewrite is exact in
+    /// the ring) while staying fixed-point eligible, so DAG-mode sessions
+    /// arm the flat pair here and the divergence record is unchanged.
+    probe: Option<Box<(BatchEvaluator<Rat>, BatchEvaluator<Rat>)>>,
 }
 
 impl CompiledComparison {
@@ -375,6 +384,7 @@ impl CompiledComparison {
         CompiledComparison {
             full: BatchEvaluator::compile(full),
             compressed: BatchEvaluator::compile(compressed),
+            probe: None,
         }
     }
 
@@ -384,7 +394,59 @@ impl CompiledComparison {
         full: BatchEvaluator<Rat>,
         compressed: BatchEvaluator<Rat>,
     ) -> CompiledComparison {
-        CompiledComparison { full, compressed }
+        CompiledComparison {
+            full,
+            compressed,
+            probe: None,
+        }
+    }
+
+    /// Arms exact probe twins for the `f64` divergence probes: a pair of
+    /// engines whose exact values are bit-identical to `full`/`compressed`
+    /// but which remain eligible for the fixed-point exact kernel (e.g.
+    /// the flat originals of a DAG rewrite). The twins must share each
+    /// side's polynomial count and local layout — probes bind the same
+    /// scenario rows.
+    ///
+    /// # Panics
+    /// Panics when a twin's shape diverges from the engine it probes for.
+    #[must_use]
+    pub fn with_probe_twins(
+        mut self,
+        full: BatchEvaluator<Rat>,
+        compressed: BatchEvaluator<Rat>,
+    ) -> CompiledComparison {
+        assert_eq!(
+            full.program().num_polys(),
+            self.full.program().num_polys(),
+            "probe twin must mirror the full program's outputs"
+        );
+        assert_eq!(
+            full.program().num_locals(),
+            self.full.program().num_locals(),
+            "probe twin must share the full program's local layout"
+        );
+        assert_eq!(
+            compressed.program().num_polys(),
+            self.compressed.program().num_polys(),
+            "probe twin must mirror the compressed program's outputs"
+        );
+        assert_eq!(
+            compressed.program().num_locals(),
+            self.compressed.program().num_locals(),
+            "probe twin must share the compressed program's local layout"
+        );
+        self.probe = Some(Box::new((full, compressed)));
+        self
+    }
+
+    /// The exact programs the divergence probes evaluate: the armed probe
+    /// twins, or the engines themselves when none are armed.
+    fn probe_programs(&self) -> (&EvalProgram<Rat>, &EvalProgram<Rat>) {
+        match &self.probe {
+            Some(twins) => (twins.0.program(), twins.1.program()),
+            None => (self.full.program(), self.compressed.program()),
+        }
     }
 
     /// Evaluates every scenario of `set` on both sides, streaming grid
@@ -838,8 +900,11 @@ impl CompiledComparison {
         };
         let mut next_probe = 0usize;
         let mut divergence = F64Divergence::default();
-        let mut probe_full_row = vec![Rat::ZERO; self.full.program().num_locals()];
-        let mut probe_comp_row = vec![Rat::ZERO; self.compressed.program().num_locals()];
+        // Probes evaluate the armed twins (flat originals in DAG mode) so
+        // they stay fixed-point eligible — see `probe_programs`.
+        let (probe_full, probe_comp) = self.probe_programs();
+        let mut probe_full_row = vec![Rat::ZERO; probe_full.num_locals()];
+        let mut probe_comp_row = vec![Rat::ZERO; probe_comp.num_locals()];
         let mut probe_out = vec![Rat::ZERO; np];
         // Probes follow the exact-kernel dispatch too: at full provenance
         // scale a plain `Rat` walk per probe would dwarf the whole `f64`
@@ -905,14 +970,14 @@ impl CompiledComparison {
                     next_probe += 1;
                     divergence.probed += 1;
                     binder.bind_pair_into(i, &mut probe_full_row, &mut probe_comp_row);
-                    self.full.program().eval_scenario_exact_with(
+                    probe_full.eval_scenario_exact_with(
                         probe_fixed,
                         &probe_full_row,
                         &mut probe_out,
                         &mut probe_scratch,
                     );
                     divergence.record(&probe_out, full);
-                    self.compressed.program().eval_scenario_exact_with(
+                    probe_comp.eval_scenario_exact_with(
                         probe_fixed,
                         &probe_comp_row,
                         &mut probe_out,
@@ -1087,6 +1152,9 @@ impl CompiledComparison {
         // follow) here on the calling thread and hand it to every worker.
         let kern = kernel::current();
         let probe_fixed = kernel::exact_fixed_enabled();
+        // Probes evaluate the armed twins (flat originals in DAG mode) so
+        // they stay fixed-point eligible — see `probe_programs`.
+        let (probe_full, probe_comp) = self.probe_programs();
         let abort = CancelToken::new();
 
         struct Worker<'a, F> {
@@ -1125,8 +1193,8 @@ impl CompiledComparison {
                 full_out: vec![0.0f64; block * np],
                 comp_out: vec![0.0f64; block * np],
                 scratch: LaneScratch::new(),
-                probe_full_row: vec![Rat::ZERO; self.full.program().num_locals()],
-                probe_comp_row: vec![Rat::ZERO; self.compressed.program().num_locals()],
+                probe_full_row: vec![Rat::ZERO; probe_full.num_locals()],
+                probe_comp_row: vec![Rat::ZERO; probe_comp.num_locals()],
                 probe_out: vec![Rat::ZERO; np],
                 probe_scratch: FixedScratch::new(),
                 divergence: F64Divergence::default(),
@@ -1229,14 +1297,14 @@ impl CompiledComparison {
                                 &mut w.probe_full_row,
                                 &mut w.probe_comp_row,
                             );
-                            self.full.program().eval_scenario_exact_with(
+                            probe_full.eval_scenario_exact_with(
                                 probe_fixed,
                                 &w.probe_full_row,
                                 &mut w.probe_out,
                                 &mut w.probe_scratch,
                             );
                             w.divergence.record(&w.probe_out, full);
-                            self.compressed.program().eval_scenario_exact_with(
+                            probe_comp.eval_scenario_exact_with(
                                 probe_fixed,
                                 &w.probe_comp_row,
                                 &mut w.probe_out,

@@ -25,8 +25,10 @@ use crate::groups::GroupAnalysis;
 use crate::multi::{
     optimize_forest_descent, optimize_single_tree, plan_forest_frontier, ForestFrontier,
 };
-use crate::planner::{CutFrontier, CutPlanner, ExactDp, PlanContext, PlanSnapshot};
-use crate::report::CompressionReport;
+use crate::planner::{
+    AlgebraicDag, CutFrontier, CutPlanner, DagOptimizer, ExactDp, PlanContext, PlanSnapshot,
+};
+use crate::report::{CompressionReport, DagReport};
 use crate::scenario::{
     measure_sweep_speedup, CompiledComparison, ErrorShadow, F64Divergence, F64ErrorBound,
     F64ScenarioSweep, FoldItem, ScenarioSweep,
@@ -34,7 +36,8 @@ use crate::scenario::{
 use crate::scenario_set::ScenarioSet;
 use crate::tree::AbstractionTree;
 use cobra_provenance::{
-    BatchEvaluator, DeltaReport, PolyDelta, PolySet, ProvenanceStats, Valuation, Var, VarRegistry,
+    dag, BatchEvaluator, DagOptions, DagStats, DeltaReport, EvalProgram, PolyDelta, PolySet,
+    ProvenanceStats, Valuation, Var, VarRegistry,
 };
 use cobra_util::{par, FxHashMap, FxHashSet, Rat};
 use std::cell::OnceCell;
@@ -109,6 +112,12 @@ pub struct SessionInfo {
     /// (`COBRA_KERNEL`, runtime CPU detection — see
     /// [`cobra_util::kernel`]), as reported on monitoring surfaces.
     pub kernel: &'static str,
+    /// True when algebraic DAG mode is armed
+    /// ([`compile_dag`](CobraSession::compile_dag)).
+    pub dag: bool,
+    /// Shared-subterm slots across the *built* DAG engines (full +
+    /// compressed side); `None` while no DAG engine has been built.
+    pub dag_slots: Option<usize>,
 }
 
 /// An interactive COBRA session (Fig. 4).
@@ -151,6 +160,19 @@ pub struct CobraSession {
     /// The forest sibling of `frontier`, populated by
     /// [`compress_forest_frontier`](CobraSession::compress_forest_frontier).
     pub(crate) forest: Option<ForestFrontierState>,
+    /// Algebraic DAG mode ([`compile_dag`](CobraSession::compile_dag)):
+    /// when armed, every evaluation surface resolves to the DAG-rewritten
+    /// engines instead of the flat ones.
+    pub(crate) dag_mode: bool,
+    /// The rewrite configuration of the armed optimizer.
+    pub(crate) dag_opts: DagOptions,
+    /// DAG rewrite of the session-invariant full-side exact engine, built
+    /// lazily in armed mode and dropped whenever a delta patches the flat
+    /// program it was rewritten from.
+    pub(crate) dag_full_rat: OnceCell<BatchEvaluator<Rat>>,
+    /// Its `f64` shadow (derived from the exact DAG program, so both
+    /// paths share one slot structure).
+    pub(crate) dag_full_f64: OnceCell<BatchEvaluator<f64>>,
     pub(crate) trace: Vec<String>,
     pub(crate) trace_enabled: bool,
 }
@@ -187,6 +209,16 @@ pub(crate) struct Compressed {
     /// per-polynomial γ factors) for the *bounded* `f64` sweeps, derived
     /// from the `f64` engines on first use.
     pub(crate) err_shadow: OnceCell<ErrorShadow>,
+    /// DAG-rewritten exact comparison (armed mode only), built lazily
+    /// from the flat engines. A fresh cell on every `Compressed`
+    /// construction is what guarantees delta updates can never serve
+    /// stale slots: any path that rebuilds a selection rebuilds these.
+    pub(crate) dag_engines: OnceCell<CompiledComparison>,
+    /// `f64` shadow of the DAG compressed-side engine.
+    pub(crate) dag_comp_f64: OnceCell<BatchEvaluator<f64>>,
+    /// Higham shadows derived from the DAG `f64` engines (slot-aware
+    /// rounding-op counts — see [`EvalProgram::rounding_op_counts`]).
+    pub(crate) dag_err_shadow: OnceCell<ErrorShadow>,
 }
 
 impl Compressed {
@@ -204,6 +236,9 @@ impl Compressed {
             engines: OnceCell::new(),
             comp_f64: OnceCell::new(),
             err_shadow: OnceCell::new(),
+            dag_engines: OnceCell::new(),
+            dag_comp_f64: OnceCell::new(),
+            dag_err_shadow: OnceCell::new(),
         };
         let _ = state.applied.set(applied);
         state
@@ -278,6 +313,14 @@ pub(crate) struct ForestFrontierState {
     pub(crate) original_size: u64,
     /// Frontier index currently materialized in `compressed`, if any.
     pub(crate) selected: Option<usize>,
+    /// Previously selected staircase points, stashed **whole** on
+    /// de-selection (applied polynomials, meta-variable identities and any
+    /// compiled engines ride along): hopping back to a bound the session
+    /// already explored re-installs the state instead of re-applying the
+    /// per-tree cuts and recompiling — the forest analogue of
+    /// [`FrontierState::warm`]. Forest deltas clear the whole state, so a
+    /// stashed point can never outlive the polynomials it was built from.
+    pub(crate) warm: FxHashMap<usize, Compressed>,
 }
 
 impl CobraSession {
@@ -299,6 +342,10 @@ impl CobraSession {
             compressed: None,
             frontier: None,
             forest: None,
+            dag_mode: false,
+            dag_opts: DagOptions::default(),
+            dag_full_rat: OnceCell::new(),
+            dag_full_f64: OnceCell::new(),
             trace: Vec::new(),
             trace_enabled: false,
         }
@@ -333,16 +380,51 @@ impl CobraSession {
             .get_or_init(|| BatchEvaluator::new(self.full_engine().program().to_f64_program()))
     }
 
-    /// The exact compiled comparison of a compression, built on first use:
-    /// the session-invariant full side is shared (an `Arc` clone), only
-    /// the compressed side compiles — and only when something actually
-    /// evaluates.
-    fn engines<'a>(&'a self, state: &'a Compressed) -> &'a CompiledComparison {
+    /// The **flat** exact compiled comparison of a compression, built on
+    /// first use: the session-invariant full side is shared (an `Arc`
+    /// clone), only the compressed side compiles — and only when
+    /// something actually evaluates.
+    fn flat_engines<'a>(&'a self, state: &'a Compressed) -> &'a CompiledComparison {
         state.engines.get_or_init(|| {
             CompiledComparison::from_engines(
                 self.full_engine().clone(),
                 BatchEvaluator::compile(&self.applied(state).compressed),
             )
+        })
+    }
+
+    /// The exact comparison every evaluation surface uses: the flat
+    /// engines, or — with DAG mode armed
+    /// ([`compile_dag`](Self::compile_dag)) — their shared-subterm DAG
+    /// rewrites ([`cobra_provenance::dag::rewrite`]). The `Rat` path of a
+    /// DAG program is bit-identical to the flat walk (rearrangement is
+    /// exact in the ring), so arming the mode never changes an exact
+    /// answer.
+    fn engines<'a>(&'a self, state: &'a Compressed) -> &'a CompiledComparison {
+        if !self.dag_mode {
+            return self.flat_engines(state);
+        }
+        state.dag_engines.get_or_init(|| {
+            let flat = self.flat_engines(state);
+            let compressed = dag::rewrite(flat.compressed.program(), &self.dag_opts).program;
+            // The flat engines ride along as probe twins: DAG programs
+            // never lower to the fixed-point exact kernel, so the `f64`
+            // sweeps' divergence probes evaluate the (bit-identical) flat
+            // originals instead of paying a `Rat` slot walk per probe.
+            CompiledComparison::from_engines(
+                self.dag_full_engine().clone(),
+                BatchEvaluator::new(compressed),
+            )
+            .with_probe_twins(flat.full.clone(), flat.compressed.clone())
+        })
+    }
+
+    /// The DAG rewrite of the session-invariant full engine (armed mode
+    /// only), shared by every selection the way the flat full engine is.
+    fn dag_full_engine(&self) -> &BatchEvaluator<Rat> {
+        self.dag_full_rat.get_or_init(|| {
+            let build = dag::rewrite(self.full_engine().program(), &self.dag_opts);
+            BatchEvaluator::new(build.program)
         })
     }
 
@@ -384,13 +466,24 @@ impl CobraSession {
     }
 
     /// The `f64` timing shadows: session-cached full side, per-compression
-    /// compressed side.
+    /// compressed side. In DAG mode both shadows derive from the exact DAG
+    /// programs, so the `f64` path evaluates the identical slot structure
+    /// the exact path does.
     fn f64_engines<'a>(
         &'a self,
         state: &'a Compressed,
     ) -> (&'a BatchEvaluator<f64>, &'a BatchEvaluator<f64>) {
-        let full = self.full_f64_engine();
-        let compressed = state.comp_f64.get_or_init(|| {
+        if !self.dag_mode {
+            let full = self.full_f64_engine();
+            let compressed = state.comp_f64.get_or_init(|| {
+                BatchEvaluator::new(self.engines(state).compressed.program().to_f64_program())
+            });
+            return (full, compressed);
+        }
+        let full = self
+            .dag_full_f64
+            .get_or_init(|| BatchEvaluator::new(self.dag_full_engine().program().to_f64_program()));
+        let compressed = state.dag_comp_f64.get_or_init(|| {
             BatchEvaluator::new(self.engines(state).compressed.program().to_f64_program())
         });
         (full, compressed)
@@ -398,9 +491,16 @@ impl CobraSession {
 
     /// The Higham running-error machinery for the bounded `f64` sweeps
     /// (|coefficient| shadow programs + per-polynomial γ factors), built
-    /// once per compression on the first bounded sweep.
+    /// once per compression on the first bounded sweep. DAG mode carries
+    /// its own shadow: the slot-aware rounding-op counts certify the
+    /// restructured evaluation, not the flat one.
     fn error_shadow<'a>(&'a self, state: &'a Compressed) -> &'a ErrorShadow {
-        state.err_shadow.get_or_init(|| {
+        let cell = if self.dag_mode {
+            &state.dag_err_shadow
+        } else {
+            &state.err_shadow
+        };
+        cell.get_or_init(|| {
             let (full, compressed) = self.f64_engines(state);
             ErrorShadow::new(full, compressed)
         })
@@ -712,6 +812,7 @@ impl CobraSession {
                 original_vars: full_stats.distinct_vars,
                 original_size,
                 selected: None,
+                warm: FxHashMap::default(),
             });
         }
         Ok(&self.forest.as_ref().expect("just populated").frontier)
@@ -733,7 +834,7 @@ impl CobraSession {
                     Some(f.frontier.len()),
                     Some(f.original_size),
                     Some(f.original_vars),
-                    0,
+                    f.warm.len(),
                 ),
                 None => (
                     None,
@@ -754,6 +855,19 @@ impl CobraSession {
             warm_engines,
             hydrated: self.polys.get().is_none(),
             kernel: cobra_util::kernel::current().as_str(),
+            dag: self.dag_mode,
+            dag_slots: {
+                let full = self.dag_full_rat.get().map(|e| e.program().num_slots());
+                let comp = self
+                    .compressed
+                    .as_ref()
+                    .and_then(|c| c.dag_engines.get())
+                    .map(|e| e.compressed.program().num_slots());
+                match (full, comp) {
+                    (None, None) => None,
+                    (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
+                }
+            },
         }
     }
 
@@ -890,6 +1004,9 @@ impl CobraSession {
                 engines: OnceCell::new(),
                 comp_f64: OnceCell::new(),
                 err_shadow: OnceCell::new(),
+                dag_engines: OnceCell::new(),
+                dag_comp_f64: OnceCell::new(),
+                dag_err_shadow: OnceCell::new(),
             };
             let fs = self.frontier.as_mut().expect("checked above");
             if let Some((old_idx, warm)) = stash {
@@ -932,7 +1049,13 @@ impl CobraSession {
 
     /// Forest-staircase bound selection: resolves `bound` against the
     /// cached [`ForestFrontier`] and applies the selected per-tree cuts
-    /// eagerly (forest applications have no lazy group recipe).
+    /// eagerly (forest applications have no lazy group recipe). Because
+    /// that application is the expensive step, the outgoing selection —
+    /// compressed polynomials, meta-variable identities and every compiled
+    /// engine — is stashed in a per-point warm cache, so hopping back and
+    /// forth along the staircase (the demo slider's access pattern)
+    /// re-applies each cut at most once. Deltas clear the whole forest
+    /// state, warm cache included, so no stale entry survives a mutation.
     fn select_bound_forest(&mut self, bound: u64) -> Result<CompressionReport> {
         let state = self
             .forest
@@ -946,21 +1069,39 @@ impl CobraSession {
         self.bound = Some(bound);
         if state.selected != Some(idx) || self.compressed.is_none() {
             let cuts: Vec<Cut> = state.frontier.points()[idx].cuts.to_vec();
-            let polys = Self::polys_of(&self.polys, &self.full_rat);
-            let pairs: Vec<(&AbstractionTree, &Cut)> =
-                self.trees.iter().zip(cuts.iter()).collect();
-            let applied = crate::apply::apply_cuts(polys, &pairs, &mut self.reg);
-            let cuts_display: Vec<String> = self
-                .trees
-                .iter()
-                .zip(&cuts)
-                .map(|(t, c)| format!("{}: {}", t.name(), c.display(t)))
-                .collect();
-            for line in &cuts_display {
-                let line = line.clone();
-                self.log(move || format!("selected forest cut — {line}"));
+            let old_selected = state.selected;
+            if let Some(old_idx) = old_selected {
+                if old_idx != idx {
+                    if let Some(old) = self.compressed.take() {
+                        self.forest
+                            .as_mut()
+                            .expect("checked above")
+                            .warm
+                            .insert(old_idx, old);
+                    }
+                }
             }
-            self.compressed = Some(Compressed::from_applied(applied, cuts_display));
+            let warm = self.forest.as_mut().expect("checked above").warm.remove(&idx);
+            if let Some(prev) = warm {
+                self.log(move || format!("forest staircase warm hit — reinstalled point {idx}"));
+                self.compressed = Some(prev);
+            } else {
+                let polys = Self::polys_of(&self.polys, &self.full_rat);
+                let pairs: Vec<(&AbstractionTree, &Cut)> =
+                    self.trees.iter().zip(cuts.iter()).collect();
+                let applied = crate::apply::apply_cuts(polys, &pairs, &mut self.reg);
+                let cuts_display: Vec<String> = self
+                    .trees
+                    .iter()
+                    .zip(&cuts)
+                    .map(|(t, c)| format!("{}: {}", t.name(), c.display(t)))
+                    .collect();
+                for line in &cuts_display {
+                    let line = line.clone();
+                    self.log(move || format!("selected forest cut — {line}"));
+                }
+                self.compressed = Some(Compressed::from_applied(applied, cuts_display));
+            }
             self.forest.as_mut().expect("checked above").selected = Some(idx);
         }
         let state = self.forest.as_ref().expect("checked above");
@@ -1104,6 +1245,9 @@ impl CobraSession {
                             engines: OnceCell::new(),
                             comp_f64: OnceCell::new(),
                             err_shadow: OnceCell::new(),
+                            dag_engines: OnceCell::new(),
+                            dag_comp_f64: OnceCell::new(),
+                            dag_err_shadow: OnceCell::new(),
                         });
                     }
                     Some(_) => self.compress().map(|_| ())?,
@@ -1141,8 +1285,12 @@ impl CobraSession {
             };
             let _ = self.full_rat.set(patched);
         }
-        // The f64 shadow re-derives lazily from the patched exact program.
+        // The f64 shadow re-derives lazily from the patched exact program,
+        // and the DAG rewrites of the full side re-derive from that shadow's
+        // exact source — both must drop with it.
         let _ = self.full_f64.take();
+        let _ = self.dag_full_rat.take();
+        let _ = self.dag_full_f64.take();
     }
 
     /// Refreshes a planned frontier after a structural delta: re-analyzes
@@ -1226,6 +1374,128 @@ impl CobraSession {
         let _ = self.engines(state);
         let _ = self.f64_engines(state);
         Ok(())
+    }
+
+    /// Whether algebraic (DAG) compression is armed: when `true`, every
+    /// evaluation surface — sweeps, folds, assignments, speedup
+    /// measurements — runs the factored shared-subterm programs built by
+    /// [`compile_dag`](Self::compile_dag) instead of the flat ones.
+    pub fn dag_mode(&self) -> bool {
+        self.dag_mode
+    }
+
+    /// Arms (or disarms) algebraic compression without requiring a
+    /// selection: once armed, engines rewrite into DAG programs (under
+    /// the current options) lazily as they are first built — the way a
+    /// service prepares a session before any bound is chosen.
+    /// [`compile_dag`](Self::compile_dag) additionally forces the
+    /// rewrite of the current selection and reports its accounting.
+    /// Disarming flips evaluation back to the (still cached) flat
+    /// engines; nothing is rebuilt in either direction.
+    pub fn set_dag_mode(&mut self, enable: bool) {
+        self.dag_mode = enable;
+    }
+
+    /// Rewrites both compiled engines of the current selection — full and
+    /// compressed — into shared-subterm DAG programs with the default
+    /// [`AlgebraicDag`] optimizer, and arms them for every subsequent
+    /// evaluation.
+    ///
+    /// Algebraic compression composes with — it does not replace —
+    /// cut-based abstraction: [`compress`](Self::compress) (or
+    /// [`select_bound`](Self::select_bound)) shrinks the *provenance*,
+    /// `compile_dag` then shrinks the *arithmetic* needed to evaluate it,
+    /// by factoring repeated power products, shared monomial pairs and
+    /// common-variable groups into slot rows evaluated once per scenario.
+    /// Exact results are bit-identical to the flat programs'; `f64`
+    /// sweeps carry slot-aware rounding certificates.
+    ///
+    /// ```
+    /// use cobra_core::CobraSession;
+    ///
+    /// let mut session = CobraSession::from_text(
+    ///     "P1 = 208.8*p1*m1 + 240*p1*m3 + 42*v*m1 + 24.2*v*m3\n\
+    ///      P2 = 208.8*p1*m1 + 42*v*m1 + 24.2*v*m3",
+    /// )
+    /// .unwrap();
+    /// session.add_tree_text("Plans(Standard(p1, p2), v)").unwrap();
+    /// session.set_bound(4);
+    /// session.compress().unwrap();
+    /// let report = session.compile_dag().unwrap();
+    /// assert!(session.dag_mode());
+    /// // Factoring never adds multiplies, and on shared-structure
+    /// // workloads it removes many.
+    /// assert!(report.op_ratio() >= 1.0);
+    /// ```
+    ///
+    /// # Errors
+    /// `Session` if no compression is selected yet (run
+    /// [`compress`](Self::compress) or [`select_bound`](Self::select_bound)
+    /// first).
+    pub fn compile_dag(&mut self) -> Result<DagReport> {
+        self.compile_dag_with(&AlgebraicDag)
+    }
+
+    /// [`compile_dag`](Self::compile_dag) with an explicit
+    /// [`DagOptimizer`] choosing which rewrite passes run (e.g.
+    /// [`ProductCse`](crate::planner::ProductCse) for the CSE-only
+    /// baseline the experiments compare against).
+    ///
+    /// Re-arming with a different optimizer drops every previously built
+    /// DAG engine and rebuilds under the new options; the flat engines
+    /// are never touched, so the rewrite is always reversible.
+    ///
+    /// # Errors
+    /// `Session` if no compression is selected yet.
+    pub fn compile_dag_with(&mut self, optimizer: &dyn DagOptimizer) -> Result<DagReport> {
+        self.compressed_state()?;
+        // Re-arm: the options may differ from a previous call, so every
+        // cached rewrite is stale.
+        let _ = self.dag_full_rat.take();
+        let _ = self.dag_full_f64.take();
+        if let Some(c) = &mut self.compressed {
+            c.dag_engines = OnceCell::new();
+            c.dag_comp_f64 = OnceCell::new();
+            c.dag_err_shadow = OnceCell::new();
+        }
+        self.dag_opts = optimizer.options();
+        self.dag_mode = true;
+        let state = self.compressed.as_ref().expect("checked above");
+        let engines = self.engines(state);
+        let report = DagReport {
+            optimizer: optimizer.name(),
+            full: Self::dag_stats(self.full_engine().program(), engines.full.program()),
+            compressed: Self::dag_stats(
+                self.flat_engines(state).compressed.program(),
+                engines.compressed.program(),
+            ),
+        };
+        let _ = self.f64_engines(state);
+        self.log(move || {
+            format!(
+                "compiled DAG programs ({}): full {} → {} multiplies ({:.2}×), \
+                 compressed {} → {} multiplies",
+                report.optimizer,
+                report.full.flat_multiply_ops,
+                report.full.dag_multiply_ops,
+                report.op_ratio(),
+                report.compressed.flat_multiply_ops,
+                report.compressed.dag_multiply_ops,
+            )
+        });
+        Ok(report)
+    }
+
+    /// Rewrite accounting for one side: flat program vs its DAG rewrite.
+    fn dag_stats(flat: &EvalProgram<Rat>, dag: &EvalProgram<Rat>) -> DagStats {
+        DagStats {
+            num_polys: flat.num_polys(),
+            num_slots: dag.num_slots(),
+            flat_terms: flat.num_terms(),
+            dag_terms: dag.num_terms(),
+            flat_multiply_ops: flat.multiply_ops(),
+            dag_multiply_ops: dag.multiply_ops(),
+        }
     }
 
     /// The compressed polynomials (materialized on first access for
@@ -2660,5 +2930,100 @@ P2 = 77.9*b1*m1 + 80.5*b1*m3 + 52.2*e*m1 + 56.5*e*m3 + 69.7*b2*m1 + 100.65*b2*m3
         let a = s.registry_mut().var("a");
         let safe = Valuation::with_default(Rat::ONE).bind(a, Rat::int(0));
         assert!(s.assign(&safe).unwrap().is_exact());
+    }
+
+    #[test]
+    fn compile_dag_requires_a_selection() {
+        let mut s = session_with_bound(6);
+        assert!(matches!(s.compile_dag(), Err(CoreError::Session(_))));
+        assert!(!s.dag_mode());
+    }
+
+    #[test]
+    fn compile_dag_is_bit_identical_to_flat() {
+        let mut s = session_with_bound(6);
+        s.compress().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let b1 = s.registry_mut().var("b1");
+        let scenarios: Vec<Valuation<Rat>> = (0..12)
+            .map(|i: i128| {
+                Valuation::with_default(Rat::ONE)
+                    .bind(m3, Rat::ONE - Rat::new(i, 100))
+                    .bind(b1, Rat::ONE + Rat::new(i, 50))
+            })
+            .collect();
+        let flat_rows: Vec<_> = {
+            let sweep = s.sweep(&scenarios).unwrap();
+            sweep.comparisons().map(|c| c.rows.clone()).collect()
+        };
+
+        let report = s.compile_dag().unwrap();
+        assert!(s.dag_mode());
+        assert_eq!(report.optimizer, "algebraic-dag");
+        // Factoring never adds multiplies.
+        assert!(report.full.dag_multiply_ops <= report.full.flat_multiply_ops);
+        assert!(report.compressed.dag_multiply_ops <= report.compressed.flat_multiply_ops);
+
+        let dag_rows: Vec<_> = {
+            let sweep = s.sweep(&scenarios).unwrap();
+            sweep.comparisons().map(|c| c.rows.clone()).collect()
+        };
+        assert_eq!(flat_rows, dag_rows);
+        // …and so are the single-assignment and meta paths.
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        assert_eq!(
+            s.assign(&scenario).unwrap().rows[0].full,
+            rat("454.1") + rat("0.8") * rat("451.15")
+        );
+        let info = s.info();
+        assert!(info.dag);
+        assert!(info.dag_slots.is_some());
+    }
+
+    #[test]
+    fn compile_dag_survives_reselection_and_disables_cleanly() {
+        let mut s = session_with_bound(14);
+        s.compress_frontier().unwrap();
+        s.select_bound(6).unwrap();
+        s.compile_dag().unwrap();
+        let m3 = s.registry_mut().var("m3");
+        let scenario = Valuation::with_default(Rat::ONE).bind(m3, rat("0.8"));
+        // a bound hop builds a fresh Compressed: its DAG engines rebuild
+        // against the new selection, never reusing stale slots
+        s.select_bound(4).unwrap();
+        assert!(s.dag_mode());
+        let hopped = s.assign(&scenario).unwrap();
+        let mut fresh = session_with_bound(4);
+        fresh.compress().unwrap();
+        assert_eq!(hopped.rows, fresh.assign(&scenario).unwrap().rows);
+    }
+
+    #[test]
+    fn forest_staircase_reuses_warm_selections() {
+        let mut s = CobraSession::from_text(PAPER_POLYS).unwrap();
+        s.add_tree_text(FIG2_TREE).unwrap();
+        s.add_tree_text("Months(m1,m3)").unwrap();
+        let sizes: Vec<u64> = s
+            .compress_forest_frontier()
+            .unwrap()
+            .points()
+            .iter()
+            .map(|p| p.size)
+            .collect();
+        assert!(sizes.len() >= 2, "staircase too small to hop");
+        let (lo, hi) = (sizes[0], *sizes.last().unwrap());
+        let all_ones = Valuation::with_default(Rat::ONE);
+
+        let first = s.select_bound(hi).unwrap();
+        let first_rows = s.assign(&all_ones).unwrap().rows;
+        s.select_bound(lo).unwrap();
+        // the outgoing selection was stashed, not dropped
+        assert_eq!(s.info().warm_engines, 1);
+        let again = s.select_bound(hi).unwrap();
+        // hopping back reinstalls the stash: identical report and engines
+        assert_eq!(format!("{first:?}"), format!("{again:?}"));
+        assert_eq!(s.assign(&all_ones).unwrap().rows, first_rows);
+        // the low point is now the stashed one
+        assert_eq!(s.info().warm_engines, 1);
     }
 }

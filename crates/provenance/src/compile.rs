@@ -59,6 +59,18 @@ pub const LANES: usize = 64;
 /// compiler produced, but a program loaded from a persisted artifact
 /// ([`crate::persist`]) aliases the memory-mapped file directly — no
 /// re-allocation, cold-start cost is page faults.
+///
+/// ## Shared-subterm slots
+///
+/// A program produced by the DAG rewriter ([`crate::dag`]) carries
+/// `num_slots > 0` extra CSR rows *after* the output rows: row
+/// `num_polys + s` defines slot `s`, a named intermediate other rows
+/// reference through the extended variable index space
+/// `num_locals + s`. Slots are topologically ordered (a slot only
+/// references earlier slots), so every evaluation path computes the
+/// slot rows first and then the output rows — slots are just extra
+/// lanes, and the observable surface (`num_polys`, `labels`, binding
+/// width `num_locals`) is identical to the flat program's.
 #[derive(Clone, Debug)]
 pub struct EvalProgram<C: Coeff> {
     pub(crate) labels: Vec<String>,
@@ -69,6 +81,9 @@ pub struct EvalProgram<C: Coeff> {
     pub(crate) exps: ArcSlice<u32>,
     /// Local index → global variable.
     pub(crate) locals: Vec<Var>,
+    /// Shared-subterm rows appended after the output rows (0 for a flat
+    /// program; see the type-level docs).
+    pub(crate) num_slots: usize,
     /// Global variable → local index: a registry-scoped dense table, so
     /// lookups are one indexed load and binding performs no hashing.
     pub(crate) local_of: DenseRemap,
@@ -124,6 +139,37 @@ impl<C: Coeff> EvalProgram<C> {
             exps: exps.into(),
             locals,
             local_of,
+            num_slots: 0,
+            fixed: OnceLock::new(),
+        }
+    }
+
+    /// Assembles a program directly from CSR parts — the constructor the
+    /// DAG rewriter ([`crate::dag`]) emits its slot rows through. The
+    /// caller guarantees CSR consistency and topological slot order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        labels: Vec<String>,
+        poly_offsets: Vec<u32>,
+        coeffs: Vec<C>,
+        term_offsets: Vec<u32>,
+        var_ids: Vec<u32>,
+        exps: Vec<u32>,
+        locals: Vec<Var>,
+        local_of: DenseRemap,
+        num_slots: usize,
+    ) -> EvalProgram<C> {
+        debug_assert_eq!(poly_offsets.len(), labels.len() + num_slots + 1);
+        EvalProgram {
+            labels,
+            poly_offsets: poly_offsets.into(),
+            coeffs: coeffs.into(),
+            term_offsets: term_offsets.into(),
+            var_ids: var_ids.into(),
+            exps: exps.into(),
+            locals,
+            local_of,
+            num_slots,
             fixed: OnceLock::new(),
         }
     }
@@ -131,6 +177,7 @@ impl<C: Coeff> EvalProgram<C> {
     /// Reassembles a program from persisted parts: owned labels/locals and
     /// (possibly file-backed) CSR slices. The `local_of` remap is rebuilt
     /// from `locals`, which lists globals in local-index order.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_persisted_parts(
         labels: Vec<String>,
         poly_offsets: ArcSlice<u32>,
@@ -139,6 +186,7 @@ impl<C: Coeff> EvalProgram<C> {
         var_ids: ArcSlice<u32>,
         exps: ArcSlice<u32>,
         locals: Vec<Var>,
+        num_slots: usize,
     ) -> EvalProgram<C> {
         let local_of: DenseRemap = locals.iter().map(|v| v.0).collect();
         EvalProgram {
@@ -150,6 +198,7 @@ impl<C: Coeff> EvalProgram<C> {
             exps,
             locals,
             local_of,
+            num_slots,
             fixed: OnceLock::new(),
         }
     }
@@ -172,7 +221,13 @@ impl<C: Coeff> EvalProgram<C> {
     /// order, so `compile(&prog.decompile())` reproduces `prog`'s CSR
     /// arrays exactly — the property session re-hydration relies on to
     /// re-plan compressions from a persisted program alone.
+    ///
+    /// # Panics
+    /// Panics on a DAG program (`num_slots > 0`): slot rows are a derived
+    /// evaluation artifact, not part of any canonical set — decompile the
+    /// flat source program instead.
     pub fn decompile(&self) -> PolySet<C> {
+        assert_eq!(self.num_slots, 0, "cannot decompile a DAG program");
         let mut set = PolySet::new();
         for (p, label) in self.labels.iter().enumerate() {
             let terms = self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
@@ -207,8 +262,11 @@ impl<C: Coeff> EvalProgram<C> {
     ///
     /// # Panics
     /// Panics if `set` does not have the same polynomial count (deltas
-    /// edit terms, never add or drop polynomials).
+    /// edit terms, never add or drop polynomials), or on a DAG program
+    /// (`num_slots > 0`) — deltas patch the flat program; DAG programs
+    /// are recompiled from the patched flat source.
     pub fn patched(&self, set: &PolySet<C>, touched: &[usize]) -> EvalProgram<C> {
+        assert_eq!(self.num_slots, 0, "cannot patch a DAG program");
         assert_eq!(
             set.len(),
             self.num_polys(),
@@ -281,6 +339,7 @@ impl<C: Coeff> EvalProgram<C> {
             exps: exps.into(),
             locals,
             local_of,
+            num_slots: 0,
             fixed: OnceLock::new(),
         }
     }
@@ -295,8 +354,10 @@ impl<C: Coeff> EvalProgram<C> {
     /// # Panics
     /// Panics if `set`'s polynomial count differs, or a touched
     /// polynomial's term count no longer matches its CSR row (a
-    /// structural delta routed down the coefficient-only path).
+    /// structural delta routed down the coefficient-only path), or on a
+    /// DAG program (`num_slots > 0`).
     pub fn patched_coeffs(&self, set: &PolySet<C>, touched: &[usize]) -> EvalProgram<C> {
+        assert_eq!(self.num_slots, 0, "cannot patch a DAG program");
         assert_eq!(
             set.len(),
             self.num_polys(),
@@ -325,6 +386,7 @@ impl<C: Coeff> EvalProgram<C> {
             exps: self.exps.clone(),
             locals: self.locals.clone(),
             local_of: self.local_of.clone(),
+            num_slots: 0,
             fixed: OnceLock::new(),
         }
     }
@@ -334,7 +396,12 @@ impl<C: Coeff> EvalProgram<C> {
         self.labels.len()
     }
 
-    /// Number of terms (monomials) across all polynomials.
+    /// Number of shared-subterm slot rows (0 for a flat program).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of terms (monomials) across all rows, slot rows included.
     pub fn num_terms(&self) -> usize {
         self.coeffs.len()
     }
@@ -413,22 +480,63 @@ impl<C: Coeff> EvalProgram<C> {
     pub fn eval_scenario_into(&self, scenario: &[C], out: &mut [C]) {
         assert_eq!(scenario.len(), self.num_locals(), "scenario row width");
         assert_eq!(out.len(), self.num_polys(), "output row width");
-        for (p, slot) in out.iter_mut().enumerate() {
-            let mut acc = C::zero();
-            let terms =
-                self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
-            for t in terms {
-                let mut term = self.coeffs[t].clone();
-                let factors =
-                    self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
-                for f in factors {
-                    let x = &scenario[self.var_ids[f] as usize];
-                    term = term.mul(&x.pow(self.exps[f]));
-                }
-                acc = acc.add(&term);
+        if self.num_slots == 0 {
+            for (p, slot) in out.iter_mut().enumerate() {
+                *slot = self.eval_row(p, scenario);
             }
-            *slot = acc;
+            return;
         }
+        // DAG path: stage the slot values after the scenario values, in
+        // the extended variable index space the slot rows were emitted
+        // against, then evaluate the output rows over the staged table.
+        let np = self.num_polys();
+        let mut ext: Vec<C> = Vec::with_capacity(scenario.len() + self.num_slots);
+        ext.extend_from_slice(scenario);
+        for s in 0..self.num_slots {
+            let v = self.eval_row(np + s, &ext);
+            ext.push(v);
+        }
+        for (p, slot) in out.iter_mut().enumerate() {
+            *slot = self.eval_row(p, &ext);
+        }
+    }
+
+    /// One CSR row (output or slot) over a value table indexed by the
+    /// extended variable space — term-for-term the operation order of the
+    /// original flat walk, so flat programs are bit-unchanged.
+    fn eval_row(&self, row: usize, vals: &[C]) -> C {
+        let mut acc = C::zero();
+        let terms = self.poly_offsets[row] as usize..self.poly_offsets[row + 1] as usize;
+        for t in terms {
+            let mut term = self.coeffs[t].clone();
+            let factors = self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
+            for f in factors {
+                let x = &vals[self.var_ids[f] as usize];
+                term = term.mul(&x.pow(self.exps[f]));
+            }
+            acc = acc.add(&term);
+        }
+        acc
+    }
+
+    /// Static count of `f64` multiplications one scenario evaluation of
+    /// this program performs, slot rows included: per factor one multiply
+    /// into the running term plus the square-and-multiply chain of its
+    /// exponent (`⌊log₂ e⌋` squarings and `popcount(e) − 1` odd-bit
+    /// multiplies — the exact cost of the shared
+    /// [`pow_f64`](cobra_util::kernel::pow_f64) chain). The DAG rewriter's
+    /// op-reduction ratio is `flat.multiply_ops() / dag.multiply_ops()`.
+    pub fn multiply_ops(&self) -> u64 {
+        self.exps
+            .iter()
+            .map(|&e| {
+                if e <= 1 {
+                    1
+                } else {
+                    1 + (31 - e.leading_zeros()) as u64 + (e.count_ones() - 1) as u64
+                }
+            })
+            .sum()
     }
 
     /// Evaluates every polynomial for one scenario row.
@@ -452,6 +560,7 @@ impl EvalProgram<Rat> {
             exps: self.exps.clone(),
             locals: self.locals.clone(),
             local_of: self.local_of.clone(),
+            num_slots: self.num_slots,
             fixed: OnceLock::new(),
         }
     }
@@ -461,9 +570,18 @@ impl EvalProgram<Rat> {
     /// when the program does not fit the fixed-point guards (coefficient
     /// scale overflows `i128` or a term's degree exceeds the table cap) —
     /// such programs simply evaluate through the plain `Rat` kernel.
+    /// DAG programs (`num_slots > 0`) never lower — their exact path is
+    /// the slot-aware `Rat` walk, which keeps the fixed kernel's overflow
+    /// pre-check sound without modelling staged slot magnitudes.
     pub fn fixed_program(&self) -> Option<&FixedProgram> {
         self.fixed
-            .get_or_init(|| FixedProgram::prepare(self).map(Arc::new))
+            .get_or_init(|| {
+                if self.num_slots > 0 {
+                    None
+                } else {
+                    FixedProgram::prepare(self).map(Arc::new)
+                }
+            })
             .as_deref()
     }
 
@@ -522,27 +640,50 @@ impl EvalProgram<f64> {
     /// charged `2·bits(e) + 1` multiplications (covers both the `e == 1`
     /// fast path and `powi`'s square-and-multiply chain). An empty
     /// polynomial evaluates exactly and gets `k_p = 0`.
+    ///
+    /// On a DAG program the bound is computed over the slot graph: a slot
+    /// row first receives its own `k_s` by the same per-row formula, and a
+    /// factor referencing slot `s` with exponent `e` additionally inherits
+    /// `e · k_s` (the slot's relative error enters once per multiplied
+    /// copy, by the standard `(1+θ_a)(1+θ_b) = 1+θ_{a+b}` composition).
+    /// Only the `num_polys` output-row bounds are returned, so the Higham
+    /// shadow machinery is oblivious to whether a program is flat or DAG.
     pub fn rounding_op_counts(&self) -> Vec<u32> {
-        (0..self.num_polys())
-            .map(|p| {
-                let terms = self.poly_offsets[p] as usize..self.poly_offsets[p + 1] as usize;
-                let num_terms = terms.len() as u32;
-                if num_terms == 0 {
-                    return 0;
-                }
-                let worst_term = terms
-                    .map(|t| {
-                        let factors =
-                            self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
-                        factors
-                            .map(|f| 2 * (32 - self.exps[f].leading_zeros()) + 1)
-                            .sum::<u32>()
-                    })
-                    .max()
-                    .unwrap_or(0);
-                num_terms + 1 + worst_term
-            })
-            .collect()
+        let np = self.num_polys();
+        let nl = self.num_locals();
+        let mut slot_k = vec![0u32; self.num_slots];
+        let row_k = |row: usize, slot_k: &[u32]| -> u32 {
+            let terms = self.poly_offsets[row] as usize..self.poly_offsets[row + 1] as usize;
+            let num_terms = terms.len() as u32;
+            if num_terms == 0 {
+                return 0;
+            }
+            let worst_term = terms
+                .map(|t| {
+                    let factors =
+                        self.term_offsets[t] as usize..self.term_offsets[t + 1] as usize;
+                    factors
+                        .map(|f| {
+                            let e = self.exps[f];
+                            let chain = 2 * (32 - e.leading_zeros()) + 1;
+                            let src = self.var_ids[f] as usize;
+                            let inherited = if src >= nl {
+                                e.saturating_mul(slot_k[src - nl])
+                            } else {
+                                0
+                            };
+                            chain.saturating_add(inherited)
+                        })
+                        .fold(0u32, u32::saturating_add)
+                })
+                .max()
+                .unwrap_or(0);
+            (num_terms + 1).saturating_add(worst_term)
+        };
+        for s in 0..self.num_slots {
+            slot_k[s] = row_k(np + s, &slot_k);
+        }
+        (0..np).map(|p| row_k(p, &slot_k)).collect()
     }
 }
 

@@ -2,11 +2,12 @@
 //!
 //! Default `x86-64` builds guarantee only SSE2, so the auto-vectorized
 //! [`scalar`](super::scalar) kernel runs 2-wide and round-trips its term
-//! buffer through L1 on every factor. These kernels run 4-wide and keep
-//! each term's running product in **registers** across a 16-lane tile
-//! (four `ymm` accumulators), so per factor the only memory traffic is
-//! the factor's lane vector — the CSR program still streams exactly once
-//! per block, term metadata stays hot across the four tiles of a term.
+//! buffer through L1 on every factor. These kernels run 4-wide with lane
+//! tiles **outer** and terms inner: both each term's running product and
+//! the row accumulator live in `ymm` registers across the whole row, so
+//! per term the only memory traffic is the factor lane vectors (plus the
+//! L1-hot CSR metadata, re-streamed once per 16-lane tile) and `acc` is
+//! stored once per tile instead of per term.
 //!
 //! Per lane, [`eval_block`] performs the identical
 //! `term = c; term *= x_f; acc += term` sequence as the scalar kernel
@@ -32,7 +33,7 @@ const TILE: usize = 16;
 pub(crate) unsafe fn eval_block(
     prog: &EvalProgram<f64>,
     width: usize,
-    vals: &[f64],
+    vals: &mut [f64],
     acc: &mut [f64],
     out: &mut [f64],
 ) {
@@ -48,7 +49,7 @@ pub(crate) unsafe fn eval_block(
 pub(crate) unsafe fn eval_block_fma(
     prog: &EvalProgram<f64>,
     width: usize,
-    vals: &[f64],
+    vals: &mut [f64],
     acc: &mut [f64],
     out: &mut [f64],
 ) {
@@ -59,108 +60,249 @@ pub(crate) unsafe fn eval_block_fma(
 unsafe fn eval_block_impl<const FMA: bool>(
     prog: &EvalProgram<f64>,
     width: usize,
-    vals: &[f64],
+    vals: &mut [f64],
     acc: &mut [f64],
     out: &mut [f64],
 ) {
     let np = prog.num_polys();
-    let w_tiles = width - width % TILE;
-    let vp = vals.as_ptr();
+    let nl = prog.num_locals();
+    // Slot rows of a DAG program run first, each staging its accumulator
+    // as the extended lane vector `nl + s`. A slot row only references
+    // strictly earlier lane vectors, so the raw-pointer reads below never
+    // alias the one vector being written.
+    let vp = vals.as_mut_ptr();
+    for s in 0..prog.num_slots() {
+        eval_row::<FMA>(prog, np + s, width, vp, acc);
+        std::ptr::copy_nonoverlapping(acc.as_ptr(), vp.add((nl + s) * width), width);
+    }
     for p in 0..np {
-        acc.fill(0.0);
-        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
-        for t in terms {
+        eval_row::<FMA>(prog, p, width, vp, acc);
+        for (lane, &a) in acc.iter().enumerate() {
+            out[lane * np + p] = a;
+        }
+    }
+}
+
+/// One CSR row over the (possibly slot-extended) lane table, accumulated
+/// into `acc` — lane tiles outer, terms inner, so the four `ymm`
+/// accumulators live in registers across the **whole row** and `acc` is
+/// written once per tile instead of round-tripped through L1 per term.
+/// For a lane the terms still run in CSR order with the identical
+/// `term = c; term *= x_f; acc += term` chain, so the interchange cannot
+/// change a single rounding: bit-identity with the scalar kernel is
+/// preserved. The payoff is largest for single-factor rows (DAG programs
+/// after CSE: one coefficient×slot multiply per term), where the
+/// accumulator traffic used to cost more than the term itself.
+#[inline(always)]
+unsafe fn eval_row<const FMA: bool>(
+    prog: &EvalProgram<f64>,
+    row: usize,
+    width: usize,
+    vp: *const f64,
+    acc: &mut [f64],
+) {
+    let terms = prog.poly_offsets[row] as usize..prog.poly_offsets[row + 1] as usize;
+    // A *linear* row — every term exactly one factor, every exponent 1 —
+    // is a dot product `Σ c_t · x_{v_t}`, the shape CSE leaves behind:
+    // after the pair miner hoists shared products into slots, each DAG
+    // output term is a single coefficient×slot multiply. Detecting it
+    // here is one O(row) metadata scan per block (amortized over every
+    // lane), and the specialized loop skips the per-term offset reads,
+    // factor-loop control and exponent branches while performing the
+    // identical per-lane multiply/add sequence — bit-identity holds.
+    let linear = prog.term_offsets[terms.start..=terms.end]
+        .windows(2)
+        .all(|w| w[1] == w[0] + 1)
+        && prog.exps[prog.term_offsets[terms.start] as usize
+            ..prog.term_offsets[terms.end] as usize]
+            .iter()
+            .all(|&e| e == 1);
+    if linear {
+        return eval_row_linear::<FMA>(prog, terms, width, vp, acc);
+    }
+    let mut lane = 0;
+    while lane + TILE <= width {
+        let mut a0 = _mm256_setzero_pd();
+        let mut a1 = a0;
+        let mut a2 = a0;
+        let mut a3 = a0;
+        for t in terms.clone() {
             let c = prog.coeffs[t];
             let f0 = prog.term_offsets[t] as usize;
             let f1 = prog.term_offsets[t + 1] as usize;
             // Constant terms have no factor to fuse into the accumulate.
             let fused = FMA && f1 > f0;
             let f_mul_end = if fused { f1 - 1 } else { f1 };
-            let mut lane = 0;
-            while lane < w_tiles {
-                let mut t0 = _mm256_set1_pd(c);
-                let mut t1 = t0;
-                let mut t2 = t0;
-                let mut t3 = t0;
-                for f in f0..f_mul_end {
-                    let base = prog.var_ids[f] as usize * width + lane;
-                    let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f]);
-                    t0 = _mm256_mul_pd(t0, x0);
-                    t1 = _mm256_mul_pd(t1, x1);
-                    t2 = _mm256_mul_pd(t2, x2);
-                    t3 = _mm256_mul_pd(t3, x3);
-                }
-                let ap = acc.as_mut_ptr().add(lane);
-                let mut a0 = _mm256_loadu_pd(ap);
-                let mut a1 = _mm256_loadu_pd(ap.add(4));
-                let mut a2 = _mm256_loadu_pd(ap.add(8));
-                let mut a3 = _mm256_loadu_pd(ap.add(12));
-                if fused {
-                    let base = prog.var_ids[f1 - 1] as usize * width + lane;
-                    let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f1 - 1]);
-                    a0 = _mm256_fmadd_pd(t0, x0, a0);
-                    a1 = _mm256_fmadd_pd(t1, x1, a1);
-                    a2 = _mm256_fmadd_pd(t2, x2, a2);
-                    a3 = _mm256_fmadd_pd(t3, x3, a3);
-                } else {
-                    a0 = _mm256_add_pd(a0, t0);
-                    a1 = _mm256_add_pd(a1, t1);
-                    a2 = _mm256_add_pd(a2, t2);
-                    a3 = _mm256_add_pd(a3, t3);
-                }
-                _mm256_storeu_pd(ap, a0);
-                _mm256_storeu_pd(ap.add(4), a1);
-                _mm256_storeu_pd(ap.add(8), a2);
-                _mm256_storeu_pd(ap.add(12), a3);
-                lane += TILE;
+            let mut t0 = _mm256_set1_pd(c);
+            let mut t1 = t0;
+            let mut t2 = t0;
+            let mut t3 = t0;
+            for f in f0..f_mul_end {
+                let base = prog.var_ids[f] as usize * width + lane;
+                let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f]);
+                t0 = _mm256_mul_pd(t0, x0);
+                t1 = _mm256_mul_pd(t1, x1);
+                t2 = _mm256_mul_pd(t2, x2);
+                t3 = _mm256_mul_pd(t3, x3);
             }
-            // Ragged lanes, 4-wide first: a lone `ymm` accumulator
-            // covers all but at most 3 lanes of a partial tile, so a
-            // 62-lane block (1055-polynomial programs hit exactly this
-            // before the stream rounding) is not mostly lane-at-a-time.
-            while lane + 4 <= width {
-                let mut tv = _mm256_set1_pd(c);
-                for f in f0..f_mul_end {
-                    let base = prog.var_ids[f] as usize * width + lane;
-                    let x = load4(vp.add(base), prog.exps[f]);
-                    tv = _mm256_mul_pd(tv, x);
-                }
-                let ap = acc.as_mut_ptr().add(lane);
-                let mut a = _mm256_loadu_pd(ap);
-                if fused {
-                    let base = prog.var_ids[f1 - 1] as usize * width + lane;
-                    let x = load4(vp.add(base), prog.exps[f1 - 1]);
-                    a = _mm256_fmadd_pd(tv, x, a);
-                } else {
-                    a = _mm256_add_pd(a, tv);
-                }
-                _mm256_storeu_pd(ap, a);
-                lane += 4;
-            }
-            // Last <4 lanes: the identical per-lane chain in scalar form
-            // (`mul_add` is a fused op exactly like `_mm256_fmadd_pd`,
-            // so the FMA variant stays deterministic across blockings).
-            for (off, slot) in acc[lane..width].iter_mut().enumerate() {
-                let l = lane + off;
-                let mut tv = c;
-                for f in f0..f_mul_end {
-                    let x = *vp.add(prog.var_ids[f] as usize * width + l);
-                    let e = prog.exps[f];
-                    tv *= if e == 1 { x } else { pow_f64(x, e) };
-                }
-                if fused {
-                    let x = *vp.add(prog.var_ids[f1 - 1] as usize * width + l);
-                    let e = prog.exps[f1 - 1];
-                    let xl = if e == 1 { x } else { pow_f64(x, e) };
-                    *slot = tv.mul_add(xl, *slot);
-                } else {
-                    *slot += tv;
-                }
+            if fused {
+                let base = prog.var_ids[f1 - 1] as usize * width + lane;
+                let (x0, x1, x2, x3) = load_tile(vp.add(base), prog.exps[f1 - 1]);
+                a0 = _mm256_fmadd_pd(t0, x0, a0);
+                a1 = _mm256_fmadd_pd(t1, x1, a1);
+                a2 = _mm256_fmadd_pd(t2, x2, a2);
+                a3 = _mm256_fmadd_pd(t3, x3, a3);
+            } else {
+                a0 = _mm256_add_pd(a0, t0);
+                a1 = _mm256_add_pd(a1, t1);
+                a2 = _mm256_add_pd(a2, t2);
+                a3 = _mm256_add_pd(a3, t3);
             }
         }
-        for (lane, &a) in acc.iter().enumerate() {
-            out[lane * np + p] = a;
+        let ap = acc.as_mut_ptr().add(lane);
+        _mm256_storeu_pd(ap, a0);
+        _mm256_storeu_pd(ap.add(4), a1);
+        _mm256_storeu_pd(ap.add(8), a2);
+        _mm256_storeu_pd(ap.add(12), a3);
+        lane += TILE;
+    }
+    // Ragged lanes, 4-wide first: a lone `ymm` accumulator covers all
+    // but at most 3 lanes of a partial tile, so a 62-lane block
+    // (1055-polynomial programs hit exactly this before the stream
+    // rounding) is not mostly lane-at-a-time.
+    while lane + 4 <= width {
+        let mut a = _mm256_setzero_pd();
+        for t in terms.clone() {
+            let c = prog.coeffs[t];
+            let f0 = prog.term_offsets[t] as usize;
+            let f1 = prog.term_offsets[t + 1] as usize;
+            let fused = FMA && f1 > f0;
+            let f_mul_end = if fused { f1 - 1 } else { f1 };
+            let mut tv = _mm256_set1_pd(c);
+            for f in f0..f_mul_end {
+                let base = prog.var_ids[f] as usize * width + lane;
+                let x = load4(vp.add(base), prog.exps[f]);
+                tv = _mm256_mul_pd(tv, x);
+            }
+            if fused {
+                let base = prog.var_ids[f1 - 1] as usize * width + lane;
+                let x = load4(vp.add(base), prog.exps[f1 - 1]);
+                a = _mm256_fmadd_pd(tv, x, a);
+            } else {
+                a = _mm256_add_pd(a, tv);
+            }
         }
+        _mm256_storeu_pd(acc.as_mut_ptr().add(lane), a);
+        lane += 4;
+    }
+    // Last <4 lanes: the identical per-lane chain in scalar form
+    // (`mul_add` is a fused op exactly like `_mm256_fmadd_pd`,
+    // so the FMA variant stays deterministic across blockings).
+    for (off, slot) in acc[lane..width].iter_mut().enumerate() {
+        let l = lane + off;
+        let mut a = 0.0f64;
+        for t in terms.clone() {
+            let c = prog.coeffs[t];
+            let f0 = prog.term_offsets[t] as usize;
+            let f1 = prog.term_offsets[t + 1] as usize;
+            let fused = FMA && f1 > f0;
+            let f_mul_end = if fused { f1 - 1 } else { f1 };
+            let mut tv = c;
+            for f in f0..f_mul_end {
+                let x = *vp.add(prog.var_ids[f] as usize * width + l);
+                let e = prog.exps[f];
+                tv *= if e == 1 { x } else { pow_f64(x, e) };
+            }
+            if fused {
+                let x = *vp.add(prog.var_ids[f1 - 1] as usize * width + l);
+                let e = prog.exps[f1 - 1];
+                let xl = if e == 1 { x } else { pow_f64(x, e) };
+                a = tv.mul_add(xl, a);
+            } else {
+                a += tv;
+            }
+        }
+        *slot = a;
+    }
+}
+
+/// The dot-product specialization of [`eval_row`] for linear rows
+/// (`Σ c_t · x_{v_t}`): term `t`'s lone factor sits at CSR position
+/// `term_offsets[terms.start] + (t - terms.start)`, so the loop streams
+/// `coeffs` and `var_ids` in lockstep with no per-term offset reads, no
+/// factor-loop control and no exponent dispatch. Per lane the operation
+/// chain is exactly the generic one — `term = c; term *= x; acc += term`,
+/// or the fused `acc = fma(c·x + acc)` in the FMA variant — so both
+/// variants stay bit-identical to their generic selves.
+#[inline(always)]
+unsafe fn eval_row_linear<const FMA: bool>(
+    prog: &EvalProgram<f64>,
+    terms: std::ops::Range<usize>,
+    width: usize,
+    vp: *const f64,
+    acc: &mut [f64],
+) {
+    let fbase = prog.term_offsets[terms.start] as usize;
+    let vars = &prog.var_ids[fbase..fbase + terms.len()];
+    let coeffs = &prog.coeffs[terms];
+    let mut lane = 0;
+    while lane + TILE <= width {
+        let mut a0 = _mm256_setzero_pd();
+        let mut a1 = a0;
+        let mut a2 = a0;
+        let mut a3 = a0;
+        for (&c, &v) in coeffs.iter().zip(vars) {
+            let p = vp.add(v as usize * width + lane);
+            let x0 = _mm256_loadu_pd(p);
+            let x1 = _mm256_loadu_pd(p.add(4));
+            let x2 = _mm256_loadu_pd(p.add(8));
+            let x3 = _mm256_loadu_pd(p.add(12));
+            let cv = _mm256_set1_pd(c);
+            if FMA {
+                a0 = _mm256_fmadd_pd(cv, x0, a0);
+                a1 = _mm256_fmadd_pd(cv, x1, a1);
+                a2 = _mm256_fmadd_pd(cv, x2, a2);
+                a3 = _mm256_fmadd_pd(cv, x3, a3);
+            } else {
+                a0 = _mm256_add_pd(a0, _mm256_mul_pd(cv, x0));
+                a1 = _mm256_add_pd(a1, _mm256_mul_pd(cv, x1));
+                a2 = _mm256_add_pd(a2, _mm256_mul_pd(cv, x2));
+                a3 = _mm256_add_pd(a3, _mm256_mul_pd(cv, x3));
+            }
+        }
+        let ap = acc.as_mut_ptr().add(lane);
+        _mm256_storeu_pd(ap, a0);
+        _mm256_storeu_pd(ap.add(4), a1);
+        _mm256_storeu_pd(ap.add(8), a2);
+        _mm256_storeu_pd(ap.add(12), a3);
+        lane += TILE;
+    }
+    while lane + 4 <= width {
+        let mut a = _mm256_setzero_pd();
+        for (&c, &v) in coeffs.iter().zip(vars) {
+            let x = _mm256_loadu_pd(vp.add(v as usize * width + lane));
+            let cv = _mm256_set1_pd(c);
+            a = if FMA {
+                _mm256_fmadd_pd(cv, x, a)
+            } else {
+                _mm256_add_pd(a, _mm256_mul_pd(cv, x))
+            };
+        }
+        _mm256_storeu_pd(acc.as_mut_ptr().add(lane), a);
+        lane += 4;
+    }
+    for (off, slot) in acc[lane..width].iter_mut().enumerate() {
+        let l = lane + off;
+        let mut a = 0.0f64;
+        for (&c, &v) in coeffs.iter().zip(vars) {
+            let x = *vp.add(v as usize * width + l);
+            if FMA {
+                a = c.mul_add(x, a);
+            } else {
+                a += c * x;
+            }
+        }
+        *slot = a;
     }
 }
 

@@ -70,16 +70,21 @@ pub(crate) fn eval_lane_block(
 ) {
     let np = prog.num_polys();
     let nl = prog.num_locals();
+    let ns = prog.num_slots();
     let width = rows.len();
     debug_assert_eq!(out.len(), width * np);
     // Transpose the block: vals[v * width + lane], so one term's factor
-    // reads a contiguous lane vector per variable. Every slot is written
-    // below, so resizing without zeroing is sound.
-    scratch.vals.resize(nl * width, 0.0);
+    // reads a contiguous lane vector per variable. A DAG program gets
+    // `num_slots` extra lane vectors after the scenario variables; the
+    // kernels stage each slot row's accumulator there before the rows
+    // that reference it run. Every slot is written below (scenario
+    // values here, slot vectors inside the kernels), so resizing without
+    // zeroing is sound.
+    scratch.vals.resize((nl + ns) * width, 0.0);
     scratch.term.resize(width, 0.0);
     scratch.acc.resize(width, 0.0);
     let (vals, term, acc) = (
-        &mut scratch.vals[..nl * width],
+        &mut scratch.vals[..(nl + ns) * width],
         &mut scratch.term[..width],
         &mut scratch.acc[..width],
     );

@@ -15,41 +15,63 @@ use cobra_util::kernel::pow_f64;
 
 /// Evaluates one transposed lane block (see
 /// [`eval_lane_block`](super::eval_lane_block) for the layout contract).
+/// Slot rows of a DAG program run first, each staging its accumulator as
+/// the extended lane vector `num_locals + s` of `vals`; the output rows
+/// then scatter into `out` exactly as before.
 pub(crate) fn eval_block(
     prog: &EvalProgram<f64>,
     width: usize,
-    vals: &[f64],
+    vals: &mut [f64],
     term: &mut [f64],
     acc: &mut [f64],
     out: &mut [f64],
 ) {
     let np = prog.num_polys();
+    let nl = prog.num_locals();
+    for s in 0..prog.num_slots() {
+        eval_row(prog, np + s, width, vals, term, acc);
+        let base = (nl + s) * width;
+        vals[base..base + width].copy_from_slice(acc);
+    }
     for p in 0..np {
-        acc.fill(0.0);
-        let terms = prog.poly_offsets[p] as usize..prog.poly_offsets[p + 1] as usize;
-        for t in terms {
-            term.fill(prog.coeffs[t]);
-            let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
-            for f in factors {
-                let base = prog.var_ids[f] as usize * width;
-                let xs = &vals[base..base + width];
-                let e = prog.exps[f];
-                if e == 1 {
-                    for (t, &x) in term.iter_mut().zip(xs) {
-                        *t *= x;
-                    }
-                } else {
-                    for (t, &x) in term.iter_mut().zip(xs) {
-                        *t *= pow_f64(x, e);
-                    }
-                }
-            }
-            for (a, &t) in acc.iter_mut().zip(&*term) {
-                *a += t;
-            }
-        }
+        eval_row(prog, p, width, vals, term, acc);
         for (lane, &a) in acc.iter().enumerate() {
             out[lane * np + p] = a;
+        }
+    }
+}
+
+/// One CSR row over the (possibly slot-extended) lane table: per lane the
+/// unchanged `term = c; term *= x_f; acc += term` sequence.
+fn eval_row(
+    prog: &EvalProgram<f64>,
+    row: usize,
+    width: usize,
+    vals: &[f64],
+    term: &mut [f64],
+    acc: &mut [f64],
+) {
+    acc.fill(0.0);
+    let terms = prog.poly_offsets[row] as usize..prog.poly_offsets[row + 1] as usize;
+    for t in terms {
+        term.fill(prog.coeffs[t]);
+        let factors = prog.term_offsets[t] as usize..prog.term_offsets[t + 1] as usize;
+        for f in factors {
+            let base = prog.var_ids[f] as usize * width;
+            let xs = &vals[base..base + width];
+            let e = prog.exps[f];
+            if e == 1 {
+                for (t, &x) in term.iter_mut().zip(xs) {
+                    *t *= x;
+                }
+            } else {
+                for (t, &x) in term.iter_mut().zip(xs) {
+                    *t *= pow_f64(x, e);
+                }
+            }
+        }
+        for (a, &t) in acc.iter_mut().zip(&*term) {
+            *a += t;
         }
     }
 }

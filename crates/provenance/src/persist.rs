@@ -71,8 +71,13 @@ use std::sync::Arc;
 
 /// File magic: the bytes `COBR` at offset 0.
 pub const MAGIC: [u8; 4] = *b"COBR";
-/// Current format version. Readers reject any other value.
-pub const VERSION: u32 = 1;
+/// Current format version, the one writers emit. Version 2 added the
+/// shared-subterm slot count to program sections ([`write_program`]) and
+/// the DAG-engine flag to session sections; readers still accept
+/// [`MIN_VERSION`] artifacts (absent fields default to zero).
+pub const VERSION: u32 = 2;
+/// Oldest artifact version readers accept.
+pub const MIN_VERSION: u32 = 1;
 
 const HEADER_LEN: usize = 16;
 const TABLE_START: usize = 32;
@@ -130,7 +135,7 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 pub enum PersistError {
     /// The file does not start with the `COBR` magic.
     BadMagic,
-    /// The file's format version is not [`VERSION`].
+    /// The file's format version is outside [`MIN_VERSION`]..=[`VERSION`].
     BadVersion(u32),
     /// The stored checksum does not match the contents.
     ChecksumMismatch {
@@ -158,7 +163,10 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => write!(f, "not a COBR artifact (bad magic)"),
             PersistError::BadVersion(v) => {
-                write!(f, "unsupported artifact version {v} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported artifact version {v} (expected {MIN_VERSION}..={VERSION})"
+                )
             }
             PersistError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -310,6 +318,7 @@ impl ArtifactWriter {
 /// section table decoded. Borrows the backing bytes.
 pub struct ArtifactReader<'a> {
     bytes: &'a [u8],
+    version: u32,
     sections: Vec<(u32, usize, usize)>,
 }
 
@@ -326,7 +335,7 @@ impl<'a> ArtifactReader<'a> {
             return Err(PersistError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PersistError::BadVersion(version));
         }
         let stored = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
@@ -357,7 +366,16 @@ impl<'a> ArtifactReader<'a> {
             }
             sections.push((tag, offset, len));
         }
-        Ok(ArtifactReader { bytes, sections })
+        Ok(ArtifactReader {
+            bytes,
+            version,
+            sections,
+        })
+    }
+
+    /// The artifact's format version ([`MIN_VERSION`]..=[`VERSION`]).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Tags present, in file order.
@@ -520,12 +538,16 @@ impl PersistCoeff for f64 {
     }
 }
 
-/// Writes a compiled program as one section under `tag`.
+/// Writes a compiled program as one section under `tag`. Since format
+/// version 2 the section carries the shared-subterm slot count right
+/// after the polynomial count, so DAG programs ([`crate::dag`]) persist
+/// like any other program.
 pub fn write_program<C: PersistCoeff>(w: &mut ArtifactWriter, tag: u32, prog: &EvalProgram<C>) {
     let (poly_offsets, coeffs, term_offsets, var_ids, exps) = prog.csr_parts();
     w.begin_section(tag);
     w.put_u32(C::TYPE_ID);
     w.put_u32(u32::try_from(prog.num_polys()).expect("program too large"));
+    w.put_u32(u32::try_from(prog.num_slots()).expect("program too large"));
     for label in prog.labels() {
         w.put_str(label);
     }
@@ -545,6 +567,9 @@ pub fn write_program<C: PersistCoeff>(w: &mut ArtifactWriter, tag: u32, prog: &E
 pub struct EvalProgramRef<'a, C> {
     /// Result-tuple labels, in program order.
     pub labels: Vec<&'a str>,
+    /// Shared-subterm slot rows after the output rows (0 in v1 artifacts
+    /// and for flat programs).
+    pub num_slots: usize,
     /// Global variable ids in local-index order.
     pub locals: &'a [u32],
     /// Term range of each polynomial.
@@ -573,6 +598,12 @@ pub fn read_program_ref<'a, C: PersistCoeff>(
         )));
     }
     let num_polys = s.get_u32()? as usize;
+    // v1 program sections predate shared-subterm slots.
+    let num_slots = if reader.version() >= 2 {
+        s.get_u32()? as usize
+    } else {
+        0
+    };
     let mut labels = Vec::with_capacity(num_polys);
     for _ in 0..num_polys {
         labels.push(s.get_str()?);
@@ -585,6 +616,7 @@ pub fn read_program_ref<'a, C: PersistCoeff>(
     let coeffs = C::read_slice(&mut s)?;
     let view = EvalProgramRef {
         labels,
+        num_slots,
         locals,
         poly_offsets,
         term_offsets,
@@ -601,7 +633,7 @@ impl<'a, C: PersistCoeff> EvalProgramRef<'a, C> {
     /// in-bounds so evaluation cannot index out of range.
     fn validate(&self) -> Result<(), PersistError> {
         let bad = |msg: &str| Err(PersistError::Invalid(msg.to_owned()));
-        if self.poly_offsets.len() != self.labels.len() + 1 {
+        if self.poly_offsets.len() != self.labels.len() + self.num_slots + 1 {
             return bad("poly_offsets length");
         }
         if self.term_offsets.len() != self.coeffs.len() + 1 {
@@ -623,8 +655,23 @@ impl<'a, C: PersistCoeff> EvalProgramRef<'a, C> {
             return bad("term_offsets range");
         }
         let nl = self.locals.len() as u32;
-        if self.var_ids.iter().any(|&v| v >= nl) {
+        let ns = self.num_slots as u32;
+        if self.var_ids.iter().any(|&v| v >= nl + ns) {
             return bad("var_id out of local range");
+        }
+        // Slot rows must be topologically ordered: slot `s` (row
+        // `num_polys + s`) may only reference scenario variables and
+        // strictly earlier slots, or evaluation would read a lane that
+        // has not been staged yet.
+        let np = self.labels.len();
+        for s in 0..self.num_slots {
+            let t0 = self.poly_offsets[np + s] as usize;
+            let t1 = self.poly_offsets[np + s + 1] as usize;
+            let f0 = self.term_offsets[t0] as usize;
+            let f1 = self.term_offsets[t1] as usize;
+            if self.var_ids[f0..f1].iter().any(|&v| v >= nl + s as u32) {
+                return bad("slot rows not topologically ordered");
+            }
         }
         Ok(())
     }
@@ -650,6 +697,7 @@ impl<'a, C: PersistCoeff> EvalProgramRef<'a, C> {
             arc(self.var_ids),
             arc(self.exps),
             self.locals.iter().map(|&v| Var(v)).collect(),
+            self.num_slots,
         )
     }
 
@@ -664,6 +712,7 @@ impl<'a, C: PersistCoeff> EvalProgramRef<'a, C> {
             self.var_ids.to_vec().into(),
             self.exps.to_vec().into(),
             self.locals.iter().map(|&v| Var(v)).collect(),
+            self.num_slots,
         )
     }
 }
@@ -901,6 +950,7 @@ mod tests {
         bad.begin_section(tags::PROGRAM_RAT);
         bad.put_u32(Rat::TYPE_ID);
         bad.put_u32(2);
+        bad.put_u32(0); // num_slots (v2)
         bad.put_str("A");
         bad.put_str("B");
         bad.put_u32_slice(&[]); // locals

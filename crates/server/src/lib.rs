@@ -22,7 +22,15 @@
 //! capped ([`ServerConfig::max_sessions`]): past the cap the
 //! least-recently-used session is retired to the disk tier (and keeps
 //! answering from there), or refused with a typed `store_full` error
-//! when no disk tier exists.
+//! when no disk tier exists. A graceful `shutdown` drains the whole
+//! in-memory tier to disk first, so live sessions survive a restart
+//! without each having asked for `persist`.
+//!
+//! `prepare` accepts a `dag:true` option arming **algebraic
+//! compression** ([`cobra_core::CobraSession::compile_dag`]): engines
+//! factor into shared-subterm DAG programs as they compile, reducing
+//! multiply counts without changing any result bit. `stats` reports the
+//! armed flag and built slot counts.
 //!
 //! Live sessions accept **incremental provenance updates**: an
 //! `apply_delta` request patches the session's polynomials in place
@@ -218,7 +226,8 @@ fn handle_frame(frame: &[u8], store: &SessionStore) -> (String, bool) {
             polys,
             tree,
             persist,
-        } => store.prepare(&session, polys.as_deref(), tree.as_deref(), persist),
+            dag,
+        } => store.prepare(&session, polys.as_deref(), tree.as_deref(), persist, dag),
         Request::Assign { session, scenario } => store.dispatch(&session, |reply| Job::Assign {
             scenario: scenario.clone(),
             reply,
@@ -245,7 +254,14 @@ fn handle_frame(frame: &[u8], store: &SessionStore) -> (String, bool) {
         Request::Panic { session } => store.dispatch(&session, |reply| Job::Panic { reply }),
         Request::Shutdown => {
             shutdown = true;
-            Ok(vec![("stopping".to_owned(), Json::Bool(true))])
+            // Graceful shutdown drains the in-memory tier to disk (when a
+            // store directory is armed), so sessions prepared without
+            // `persist` survive a restart.
+            let persisted = store.persist_all();
+            Ok(vec![
+                ("stopping".to_owned(), Json::Bool(true)),
+                ("persisted".to_owned(), Json::Num(persisted as f64)),
+            ])
         }
     };
     let reply = match body {

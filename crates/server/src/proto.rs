@@ -8,7 +8,7 @@
 //!
 //! | op               | fields                                                    |
 //! |------------------|-----------------------------------------------------------|
-//! | `prepare`        | `session`, `polys`?, `tree`?, `persist`?                   |
+//! | `prepare`        | `session`, `polys`?, `tree`?, `persist`?, `dag`?           |
 //! | `assign`         | `session`, `scenario` (object: var → factor string)        |
 //! | `sweep_fold_f64` | `session`, `scenarios` (array of `[var, factor]`), `deadline_ms`? |
 //! | `select_bound`   | `session`, `bound`                                         |
@@ -75,6 +75,9 @@ pub enum Request {
         tree: Option<String>,
         /// Persist the prepared session to the store directory.
         persist: bool,
+        /// Arm algebraic (DAG) compression: engines factor into
+        /// shared-subterm programs as they compile.
+        dag: bool,
     },
     /// Evaluate one exact scenario, full vs compressed.
     Assign {
@@ -157,6 +160,7 @@ pub fn parse_request(text: &str) -> Result<Envelope, String> {
                 .get("persist")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+            dag: obj.get("dag").and_then(Json::as_bool).unwrap_or(false),
         },
         "assign" => {
             let scenario = match obj.get("scenario") {
@@ -277,7 +281,19 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e.id, Json::Num(1.0));
-        assert!(matches!(e.request, Request::Prepare { persist: true, .. }));
+        assert!(matches!(
+            e.request,
+            Request::Prepare {
+                persist: true,
+                dag: false,
+                ..
+            }
+        ));
+        let e = parse_request(
+            r#"{"op":"prepare","session":"t","polys":"P = 2*a","tree":"T(a)","dag":true}"#,
+        )
+        .unwrap();
+        assert!(matches!(e.request, Request::Prepare { dag: true, .. }));
 
         let e = parse_request(
             r#"{"op":"assign","session":"t","scenario":{"m3":"0.8","v":"5/4"}}"#,

@@ -238,6 +238,7 @@ impl SessionStore {
         polys: Option<&str>,
         tree: Option<&str>,
         persist: bool,
+        dag: bool,
     ) -> ReplyBody {
         if !valid_id(id) {
             return Err((
@@ -263,6 +264,11 @@ impl SessionStore {
                 let mut s = CobraSession::from_text(polys).map_err(session_err)?;
                 s.add_tree_text(tree).map_err(session_err)?;
                 s.compress_frontier().map_err(session_err)?;
+                if dag {
+                    // Armed before any snapshot, so the flag persists and
+                    // re-loads armed (the programs rewrite lazily).
+                    s.set_dag_mode(true);
+                }
                 if persist {
                     let path = self.artifact_path(id).ok_or_else(|| {
                         (
@@ -275,15 +281,24 @@ impl SessionStore {
                 }
                 (s, "built")
             }
-            None => (self.load_from_disk(id)?, "loaded"),
+            None => {
+                let mut s = self.load_from_disk(id)?;
+                if dag {
+                    s.set_dag_mode(true);
+                }
+                (s, "loaded")
+            }
         };
-        let points = session.info().frontier_points.unwrap_or(0);
+        let info = session.info();
+        let points = info.frontier_points.unwrap_or(0);
+        let dag_armed = info.dag;
         self.insert_worker(id, session)?;
         Ok(vec![
             ("session".into(), Json::Str(id.to_owned())),
             ("source".into(), Json::Str(source.into())),
             ("frontier_points".into(), Json::Num(points as f64)),
             ("persisted".into(), Json::Bool(persist)),
+            ("dag".into(), Json::Bool(dag_armed)),
         ])
     }
 
@@ -382,6 +397,34 @@ impl SessionStore {
                     self.sessions.lock().unwrap().insert(vid, handle);
                     return Err(err);
                 }
+            }
+        }
+    }
+
+    /// Persists every live session into the disk tier and retires its
+    /// worker — the graceful-shutdown path, so sessions built without
+    /// `persist` survive a server restart whenever a store directory is
+    /// armed. Returns the number of sessions persisted; a no-op without
+    /// a disk tier. A session whose snapshot fails is skipped (its
+    /// worker drains and exits when the store drops) rather than
+    /// blocking the shutdown.
+    pub fn persist_all(&self) -> usize {
+        if self.dir.is_none() {
+            return 0;
+        }
+        let mut persisted = 0;
+        loop {
+            let victim = self.sessions.lock().unwrap().pop_lru();
+            let Some((id, handle)) = victim else {
+                return persisted;
+            };
+            let path = self.artifact_path(&id).expect("disk tier checked above");
+            let (reply_tx, reply_rx) = channel();
+            if handle.tx.send(Job::Retire { path, reply: reply_tx }).is_err() {
+                continue; // worker already gone
+            }
+            if matches!(reply_rx.recv(), Ok(Ok(_))) {
+                persisted += 1;
             }
         }
     }
@@ -842,6 +885,11 @@ fn do_stats(session: &CobraSession) -> Vec<(String, Json)> {
         ("warm_engines".into(), Json::Num(info.warm_engines as f64)),
         ("hydrated".into(), Json::Bool(info.hydrated)),
         ("kernel".into(), Json::Str(info.kernel.into())),
+        ("dag".into(), Json::Bool(info.dag)),
+        (
+            "dag_slots".into(),
+            opt_num(info.dag_slots.map(|n| n as u64)),
+        ),
     ]
 }
 
@@ -854,7 +902,7 @@ mod tests {
 
     fn prepared_store() -> SessionStore {
         let store = SessionStore::new(None);
-        store.prepare("t", Some(POLYS), Some(TREE), false).unwrap();
+        store.prepare("t", Some(POLYS), Some(TREE), false, false).unwrap();
         store
     }
 
@@ -894,7 +942,7 @@ mod tests {
             .dispatch("../evil", |reply| Job::Stats { reply })
             .unwrap_err();
         assert_eq!(kind, "bad_request");
-        let (kind, _) = store.prepare("t", Some("P1 ="), Some(TREE), false).unwrap_err();
+        let (kind, _) = store.prepare("t", Some("P1 ="), Some(TREE), false, false).unwrap_err();
         assert_eq!(kind, "session");
     }
 
@@ -1032,6 +1080,7 @@ mod tests {
                 Some("P1 = 250*p1*m1 + 240*p1*m3 + 42*v*m1"),
                 Some(TREE),
                 false,
+                false,
             )
             .unwrap();
         fresh
@@ -1089,7 +1138,7 @@ mod tests {
         let dir = scratch_dir("evict");
         let store = SessionStore::with_limits(Some(dir.clone()), kernel::target(), Some(2));
         for id in ["a", "b", "c"] {
-            store.prepare(id, Some(POLYS), Some(TREE), false).unwrap();
+            store.prepare(id, Some(POLYS), Some(TREE), false, false).unwrap();
         }
         // "a" was LRU: its worker persisted the session and exited.
         assert_eq!(store.sessions.lock().unwrap().map.len(), 2);
@@ -1105,7 +1154,7 @@ mod tests {
         assert!(dir.join("b.cobra").exists());
 
         // Touching "a" protects it: the next admission evicts "c".
-        store.prepare("d", Some(POLYS), Some(TREE), false).unwrap();
+        store.prepare("d", Some(POLYS), Some(TREE), false, false).unwrap();
         let live = store.sessions.lock().unwrap();
         assert!(live.map.contains_key("a") && live.map.contains_key("d"));
         drop(live);
@@ -1115,9 +1164,9 @@ mod tests {
     #[test]
     fn capped_store_without_disk_tier_refuses_with_store_full() {
         let store = SessionStore::with_limits(None, kernel::target(), Some(1));
-        store.prepare("a", Some(POLYS), Some(TREE), false).unwrap();
+        store.prepare("a", Some(POLYS), Some(TREE), false, false).unwrap();
         let (kind, msg) = store
-            .prepare("b", Some(POLYS), Some(TREE), false)
+            .prepare("b", Some(POLYS), Some(TREE), false, false)
             .unwrap_err();
         assert_eq!(kind, "store_full");
         assert!(msg.contains("no store directory"), "{msg}");
@@ -1125,7 +1174,7 @@ mod tests {
         let body = store.dispatch("a", |reply| Job::Stats { reply }).unwrap();
         assert_eq!(get(&body, "trees"), Json::Num(1.0));
         // Re-preparing a live id is not an admission and stays fine.
-        let body = store.prepare("a", None, None, false).unwrap();
+        let body = store.prepare("a", None, None, false, false).unwrap();
         assert_eq!(get(&body, "source"), Json::Str("cached".into()));
     }
 }

@@ -6,10 +6,14 @@
 //!
 //! cobra compress --polys FILE --tree TREE --bound N
 //!                [--scenario v=1.1,w=0.8] [--trace] [--sensitivity]
+//!                [--dag]
 //!     Compress a polynomial file (text interchange format: one
 //!     `label = polynomial` per line) against an abstraction tree
 //!     (inline text like `Plans(Standard(p1,p2), v)` or `@file`),
-//!     then optionally evaluate a what-if scenario.
+//!     then optionally evaluate a what-if scenario. `--dag` adds
+//!     algebraic compression: the compiled engines are factored into
+//!     shared-subterm DAG programs (fewer multiplies, identical
+//!     results) and the rewrite accounting is printed.
 //!
 //! cobra serve [--addr HOST:PORT] [--store DIR] [--kernel TARGET]
 //!             [--max-sessions N]
@@ -32,7 +36,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("cobra: {message}");
-            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] | cobra serve [--addr HOST:PORT] [--store DIR] [--kernel auto|scalar|avx2|avx2fma] [--max-sessions N]");
+            eprintln!("usage: cobra demo | cobra compress --polys FILE --tree TREE --bound N [--scenario v=1.1,...] [--trace] [--sensitivity] [--dag] | cobra serve [--addr HOST:PORT] [--store DIR] [--kernel auto|scalar|avx2|avx2fma] [--max-sessions N]");
             ExitCode::FAILURE
         }
     }
@@ -47,6 +51,7 @@ struct CompressArgs {
     scenario: Vec<(String, Rat)>,
     trace: bool,
     sensitivity: bool,
+    dag: bool,
 }
 
 fn parse_compress_args(args: &[String]) -> Result<CompressArgs, String> {
@@ -82,6 +87,7 @@ fn parse_compress_args(args: &[String]) -> Result<CompressArgs, String> {
             }
             "--trace" => out.trace = true,
             "--sensitivity" => out.sensitivity = true,
+            "--dag" => out.dag = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -190,6 +196,12 @@ fn compress(args: CompressArgs) -> Result<(), String> {
     let report = session.compress().map_err(|e| e.to_string())?;
     println!("{report}");
 
+    if args.dag {
+        let dag_report = session.compile_dag().map_err(|e| e.to_string())?;
+        println!("Algebraic compression:");
+        println!("{dag_report}");
+    }
+
     println!("Meta-variables:");
     for row in session.meta_summary().map_err(|e| e.to_string())? {
         let leaves: Vec<String> = row.leaves.iter().map(|(n, _)| n.clone()).collect();
@@ -264,6 +276,7 @@ mod tests {
             "m3=0.8, b1=1.1",
             "--trace",
             "--sensitivity",
+            "--dag",
         ]))
         .unwrap();
         assert_eq!(args.polys, "p.txt");
@@ -271,7 +284,7 @@ mod tests {
         assert_eq!(args.scenario.len(), 2);
         assert_eq!(args.scenario[0].0, "m3");
         assert_eq!(args.scenario[0].1, Rat::parse("0.8").unwrap());
-        assert!(args.trace && args.sensitivity);
+        assert!(args.trace && args.sensitivity && args.dag);
     }
 
     #[test]

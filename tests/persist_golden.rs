@@ -1,9 +1,12 @@
-//! Persistence-format stability: a session artifact committed to the
-//! repo (`tests/golden/session_v1.cobra`) must keep loading — and keep
-//! answering bit-identically — as the codebase evolves. A failure here
-//! means the on-disk format changed; bump the format version in
-//! `cobra_provenance::persist` and regenerate instead of silently
-//! breaking persisted stores:
+//! Persistence-format stability: session artifacts committed to the
+//! repo (`tests/golden/session_v1.cobra`, a version-1 artifact, and
+//! `session_v2.cobra`, a version-2 artifact with algebraic compression
+//! armed) must keep loading — and keep answering bit-identically — as
+//! the codebase evolves. A failure here means the on-disk format
+//! changed; bump the format version in `cobra_provenance::persist` and
+//! regenerate the *current*-version artifact instead of silently
+//! breaking persisted stores (older goldens are never regenerated —
+//! they pin backward compatibility):
 //!
 //! ```text
 //! cargo test --test persist_golden -- --ignored regenerate
@@ -18,6 +21,10 @@ const TREE: &str = "Plans(Standard(p1,p2), v)";
 const GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/session_v1.cobra"
+);
+const GOLDEN_V2: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/session_v2.cobra"
 );
 
 /// The reference session the golden artifact was generated from: paper
@@ -77,15 +84,41 @@ fn golden_artifact_still_loads_and_answers_identically() {
     let bytes = std::fs::read(GOLDEN).unwrap_or_else(|e| {
         panic!(
             "missing golden artifact {GOLDEN}: {e}\n\
-             regenerate with: cargo test --test persist_golden -- --ignored regenerate"
+             v1 goldens are committed once and never regenerated"
         )
     });
     let mut restored = restore_session_from_bytes(&bytes)
-        .expect("the committed golden artifact must keep loading — format change?");
+        .expect("the committed v1 golden artifact must keep loading — format change?");
     let info = restored.info();
     assert!(info.hydrated, "a restored session starts hydrated");
     assert_eq!(info.trees, 1);
     assert!(info.warm_engines >= 1, "the golden carries a warm engine");
+    assert!(
+        !info.dag,
+        "a v1 artifact predates the dag flag, which must default off"
+    );
+    assert_answers_match_reference(&mut restored);
+}
+
+#[test]
+fn golden_v2_artifact_restores_with_dag_armed() {
+    let bytes = std::fs::read(GOLDEN_V2).unwrap_or_else(|e| {
+        panic!(
+            "missing golden artifact {GOLDEN_V2}: {e}\n\
+             regenerate with: cargo test --test persist_golden -- --ignored regenerate"
+        )
+    });
+    let mut restored = restore_session_from_bytes(&bytes)
+        .expect("the committed v2 golden artifact must keep loading — format change?");
+    let info = restored.info();
+    assert!(info.hydrated, "a restored session starts hydrated");
+    assert!(
+        info.dag,
+        "the v2 golden was snapshotted with algebraic compression armed"
+    );
+    // DAG programs are deterministic rewrites and never persisted: the
+    // restored session re-derives them lazily and must still answer
+    // bit-identically to the flat reference.
     assert_answers_match_reference(&mut restored);
 }
 
@@ -99,10 +132,14 @@ fn freshly_snapshotted_bytes_restore_identically() {
 }
 
 #[test]
-#[ignore = "regenerates tests/golden/session_v1.cobra in place"]
+#[ignore = "regenerates tests/golden/session_v2.cobra in place"]
 fn regenerate() {
-    let bytes = snapshot_session(&reference_session()).unwrap();
+    // Only the current-version artifact is ever regenerated; the v1
+    // golden is frozen history pinning backward compatibility.
+    let mut session = reference_session();
+    session.compile_dag().unwrap();
+    let bytes = snapshot_session(&session).unwrap();
     std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
-    std::fs::write(GOLDEN, &bytes).unwrap();
-    println!("wrote {} bytes to {GOLDEN}", bytes.len());
+    std::fs::write(GOLDEN_V2, &bytes).unwrap();
+    println!("wrote {} bytes to {GOLDEN_V2}", bytes.len());
 }

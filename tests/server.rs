@@ -551,6 +551,92 @@ fn session_cap_without_store_is_a_typed_store_full_error() {
 }
 
 #[test]
+fn graceful_shutdown_persists_live_sessions() {
+    let dir = scratch_dir("drain");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = serve(config.clone()).unwrap();
+    let mut c = connect(server.addr());
+    // Prepared WITHOUT persist: only the shutdown drain writes it out.
+    assert_ok(&prepare(&mut c, "drain", false));
+    let fresh_select = select_bound(&mut c, "drain", 2);
+    assert_ok(&fresh_select);
+    let assign = r#"{"op":"assign","session":"drain","scenario":{"m3":"0.8","m1":"6/5"}}"#;
+    let fresh_assign = request(&mut c, assign);
+    assert_ok(&fresh_assign);
+
+    let reply = request(&mut c, r#"{"op":"shutdown"}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("persisted"), Some(&Json::Num(1.0)));
+    server.join();
+    assert!(dir.join("drain.cobra").is_file());
+
+    // A restarted server answers from the drained artifact — no
+    // re-prepare, bit-identical replies.
+    let server = serve(config).unwrap();
+    let mut c = connect(server.addr());
+    let loaded_select = select_bound(&mut c, "drain", 2);
+    assert_eq!(&loaded_select, &fresh_select);
+    assert_eq!(
+        request(&mut c, assign).get("rows"),
+        fresh_assign.get("rows")
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dag_armed_sessions_answer_identically_and_report_stats() {
+    let server = serve(ServerConfig::default()).unwrap();
+    let mut c = connect(server.addr());
+    assert_ok(&prepare(&mut c, "flat", false));
+    assert_ok(&select_bound(&mut c, "flat", 2));
+
+    let body = Json::Obj(vec![
+        ("op".into(), Json::Str("prepare".into())),
+        ("session".into(), Json::Str("dg".into())),
+        ("polys".into(), Json::Str(POLYS.into())),
+        ("tree".into(), Json::Str(TREE.into())),
+        ("dag".into(), Json::Bool(true)),
+    ]);
+    let reply = request(&mut c, &body.to_string());
+    assert_ok(&reply);
+    assert_eq!(reply.get("dag"), Some(&Json::Bool(true)));
+    assert_ok(&select_bound(&mut c, "dg", 2));
+
+    // The exact path through the DAG programs is bit-identical to flat.
+    let assign_req = |session: &str| {
+        format!(r#"{{"op":"assign","session":{session:?},"scenario":{{"m3":"0.8","m1":"6/5"}}}}"#)
+    };
+    let flat_assign = request(&mut c, &assign_req("flat"));
+    let dag_assign = request(&mut c, &assign_req("dg"));
+    assert_ok(&dag_assign);
+    assert_eq!(flat_assign.get("rows"), dag_assign.get("rows"));
+
+    // f64 sweeps run the slot programs end to end (certified by the
+    // slot-aware error bounds; exact equality is pinned in dag_diff.rs).
+    let dag_sweep = request(
+        &mut c,
+        &sweep_request("dg", &[("m3", "0.8"), ("m1", "6/5"), ("v", "2")], None),
+    );
+    assert_ok(&dag_sweep);
+    assert_eq!(dag_sweep.get("partial"), Some(&Json::Bool(false)));
+    assert_eq!(dag_sweep.get("rows").unwrap().as_arr().unwrap().len(), 3);
+
+    let stats = request(&mut c, r#"{"op":"stats","session":"dg"}"#);
+    assert_ok(&stats);
+    assert_eq!(stats.get("dag"), Some(&Json::Bool(true)));
+    // select_bound warmed every engine, so slot counts are built.
+    assert!(stats.get("dag_slots").unwrap().as_u64().is_some());
+    let flat_stats = request(&mut c, r#"{"op":"stats","session":"flat"}"#);
+    assert_eq!(flat_stats.get("dag"), Some(&Json::Bool(false)));
+    server.shutdown();
+}
+
+#[test]
 fn malformed_frames_get_typed_errors_without_killing_the_connection() {
     let server = serve(ServerConfig::default()).unwrap();
     let mut c = connect(server.addr());
